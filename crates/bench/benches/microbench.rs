@@ -1,0 +1,245 @@
+//! Criterion microbenchmarks for the hot paths of the pipeline:
+//! text processing, classification, retrieval, annotation and the two
+//! graph/scoring algorithms.
+//!
+//! Run with `cargo bench -p teda-bench`.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use teda_classifier::naive_bayes::NaiveBayesConfig;
+use teda_classifier::svm::pegasos::PegasosConfig;
+use teda_classifier::svm::smo::{SmoConfig, SmoSvm};
+use teda_classifier::Kernel;
+use teda_core::config::AnnotatorConfig;
+use teda_core::postprocess::eliminate_spurious;
+use teda_core::preprocess::preprocess;
+use teda_core::trainer::{harvest, train_bayes, train_svm_linear, TrainerConfig};
+use teda_corpus::gft::{category_column_table, poi_table};
+use teda_geo::disambiguate::{disambiguate, DisambiguationConfig};
+use teda_geo::{Gazetteer, LocationKind};
+use teda_kb::{CategoryNetwork, EntityType, World, WorldSpec};
+use teda_simkit::rng_from_seed;
+use teda_tabular::CellId;
+use teda_text::{FeatureExtractor, Stemmer};
+use teda_websim::{BingSim, SearchEngine, WebCorpus, WebCorpusSpec};
+
+const SNIPPET: &str =
+    "Melisse restaurant Santa Monica tasting menu cuisine chef wine dinner seasonal michelin \
+     reservations dining";
+
+fn bench_text(c: &mut Criterion) {
+    let mut group = c.benchmark_group("text");
+    let mut stemmer = Stemmer::new();
+    group.bench_function("porter_stem_word", |b| {
+        b.iter(|| stemmer.stem(black_box("universities")).len())
+    });
+    let mut fx = FeatureExtractor::new();
+    fx.fit_transform(SNIPPET);
+    group.bench_function("feature_extract_snippet", |b| {
+        b.iter(|| fx.transform(black_box(SNIPPET)).nnz())
+    });
+    group.finish();
+}
+
+fn bench_classifiers(c: &mut Criterion) {
+    let world = World::generate(WorldSpec::tiny(), 42);
+    let net = CategoryNetwork::build(&world, 42);
+    let web = WebCorpus::build(&world, WebCorpusSpec::tiny(), 42);
+    let engine = BingSim::instant(Arc::new(web));
+    let corpus = harvest(
+        &world,
+        &net,
+        &engine,
+        &EntityType::TARGETS,
+        TrainerConfig {
+            max_entities_per_type: Some(10),
+            ..TrainerConfig::default()
+        },
+    );
+    let mut nb = train_bayes(&corpus, NaiveBayesConfig::snippet_default());
+    let mut svm = train_svm_linear(&corpus, PegasosConfig::default());
+
+    let mut group = c.benchmark_group("classifier");
+    group.bench_function("naive_bayes_classify_snippet", |b| {
+        b.iter(|| nb.classify(black_box(SNIPPET)))
+    });
+    group.bench_function("svm_linear_classify_snippet", |b| {
+        b.iter(|| svm.classify(black_box(SNIPPET)))
+    });
+    group.bench_function("pegasos_train_ovr_12class", |b| {
+        b.iter(|| train_svm_linear(&corpus, PegasosConfig::default()))
+    });
+    group.finish();
+}
+
+fn bench_smo(c: &mut Criterion) {
+    // A small binary problem of realistic snippet vectors.
+    let world = World::generate(WorldSpec::tiny(), 7);
+    let net = CategoryNetwork::build(&world, 7);
+    let web = WebCorpus::build(&world, WebCorpusSpec::tiny(), 7);
+    let engine = BingSim::instant(Arc::new(web));
+    let corpus = harvest(
+        &world,
+        &net,
+        &engine,
+        &[EntityType::Restaurant, EntityType::Museum],
+        TrainerConfig {
+            max_entities_per_type: Some(8),
+            ..TrainerConfig::default()
+        },
+    );
+    let xs: Vec<_> = corpus.train.xs().to_vec();
+    let ys: Vec<f64> = corpus
+        .train
+        .ys()
+        .iter()
+        .map(|&y| if y == 0 { 1.0 } else { -1.0 })
+        .collect();
+    c.bench_function("smo_train_rbf_binary", |b| {
+        b.iter(|| {
+            SmoSvm::train(
+                &xs,
+                &ys,
+                SmoConfig {
+                    kernel: Kernel::Rbf { gamma: 8.0 },
+                    ..SmoConfig::default()
+                },
+            )
+            .n_support()
+        })
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let world = World::generate(WorldSpec::default(), 42);
+    let web = WebCorpus::build(&world, WebCorpusSpec::default(), 42);
+    let engine = BingSim::instant(Arc::new(web));
+    let name = world.entities()[0].name.clone();
+    c.bench_function("bm25_search_top10", |b| {
+        b.iter(|| engine.search(black_box(&name), 10).len())
+    });
+}
+
+fn bench_annotation(c: &mut Criterion) {
+    let world = World::generate(WorldSpec::tiny(), 42);
+    let net = CategoryNetwork::build(&world, 42);
+    let web = Arc::new(WebCorpus::build(&world, WebCorpusSpec::tiny(), 42));
+    let engine = Arc::new(BingSim::instant(web));
+    let corpus = harvest(
+        &world,
+        &net,
+        engine.as_ref(),
+        &EntityType::TARGETS,
+        TrainerConfig {
+            max_entities_per_type: Some(10),
+            ..TrainerConfig::default()
+        },
+    );
+    let svm = train_svm_linear(&corpus, PegasosConfig::default());
+    let mut rng = rng_from_seed(1);
+    let table = poi_table(&world, EntityType::Restaurant, 20, 0, "bench", &mut rng);
+
+    let mut annotator = teda_core::pipeline::Annotator::new(
+        engine,
+        svm,
+        AnnotatorConfig::default(),
+    );
+    c.bench_function("annotate_20row_poi_table", |b| {
+        b.iter(|| annotator.annotate_table(black_box(&table.table)).cells.len())
+    });
+}
+
+fn bench_pre_and_postprocess(c: &mut Criterion) {
+    let world = World::generate(WorldSpec::tiny(), 42);
+    let mut rng = rng_from_seed(2);
+    let gold = category_column_table(&world, EntityType::Museum, 50, "fig8", &mut rng);
+    let config = AnnotatorConfig::default();
+
+    let mut group = c.benchmark_group("pipeline_steps");
+    group.bench_function("preprocess_50row_table", |b| {
+        b.iter(|| preprocess(black_box(&gold.table), &config).candidates.len())
+    });
+
+    let annotations: Vec<_> = (0..50)
+        .flat_map(|i| {
+            [
+                teda_core::annotate::CellAnnotation {
+                    cell: CellId::new(i, 0),
+                    etype: EntityType::Museum,
+                    score: 0.8,
+                    votes: 8,
+                },
+                teda_core::annotate::CellAnnotation {
+                    cell: CellId::new(i, 1),
+                    etype: EntityType::Museum,
+                    score: 1.0,
+                    votes: 10,
+                },
+            ]
+        })
+        .collect();
+    group.bench_function("postprocess_eq2_100_annotations", |b| {
+        b.iter(|| eliminate_spurious(black_box(&gold.table), annotations.clone()).len())
+    });
+    group.finish();
+}
+
+fn bench_disambiguation(c: &mut Criterion) {
+    let g = Gazetteer::figure7();
+    let find_city = |name: &str, mark: &str| {
+        g.lookup_kind(name, LocationKind::City)
+            .into_iter()
+            .find(|&id| g.full_name(id).contains(mark))
+            .unwrap()
+    };
+    let cells = vec![
+        (
+            CellId::new(11, 0),
+            g.lookup_kind("Pennsylvania Avenue", LocationKind::Street),
+        ),
+        (
+            CellId::new(11, 1),
+            vec![find_city("Washington", "D.C."), find_city("Washington", "GA")],
+        ),
+        (
+            CellId::new(12, 0),
+            g.lookup_kind("Wofford Lane", LocationKind::Street),
+        ),
+        (
+            CellId::new(12, 1),
+            vec![
+                find_city("College Park", "MD"),
+                find_city("College Park", "GA"),
+            ],
+        ),
+        (
+            CellId::new(19, 0),
+            g.lookup_kind("Clarksville Street", LocationKind::Street),
+        ),
+        (
+            CellId::new(19, 1),
+            vec![
+                find_city("Paris", "TX"),
+                find_city("Paris", "France"),
+                find_city("Paris", "TN"),
+            ],
+        ),
+    ];
+    c.bench_function("toponym_disambiguation_fig7", |b| {
+        b.iter(|| disambiguate(&g, black_box(&cells), DisambiguationConfig::default()).iterations)
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_text,
+    bench_classifiers,
+    bench_smo,
+    bench_search,
+    bench_annotation,
+    bench_pre_and_postprocess,
+    bench_disambiguation
+);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Runs the extension ablations (reject class, clustering, kernel).
+
+use teda_bench::exp::ablation;
+use teda_bench::harness::{Fixture, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Standard
+    };
+    let fixture = Fixture::build(scale, 42);
+    let result = ablation::run(&fixture);
+    println!("{}", ablation::render(&result));
+}

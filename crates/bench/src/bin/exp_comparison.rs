@@ -1,0 +1,15 @@
+//! Regenerates the §6.3 Wiki Manual comparison.
+
+use teda_bench::exp::comparison;
+use teda_bench::harness::{Fixture, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Standard
+    };
+    let fixture = Fixture::build(scale, 42);
+    let result = comparison::run(&fixture);
+    println!("{}", comparison::render(&result));
+}

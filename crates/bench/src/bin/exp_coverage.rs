@@ -1,0 +1,15 @@
+//! Regenerates the §1 catalogue-coverage statistic (22%).
+
+use teda_bench::exp::coverage;
+use teda_bench::harness::{Fixture, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Standard
+    };
+    let fixture = Fixture::build(scale, 42);
+    let result = coverage::run(&fixture);
+    println!("{}", coverage::render(&result));
+}

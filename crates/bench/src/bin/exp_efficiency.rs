@@ -1,0 +1,15 @@
+//! Regenerates the §6.4 efficiency analysis (virtual-latency timing).
+
+use teda_bench::exp::efficiency;
+use teda_bench::harness::{Fixture, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Standard
+    };
+    let fixture = Fixture::build(scale, 42);
+    let result = efficiency::run(&fixture);
+    println!("{}", efficiency::render(&result));
+}

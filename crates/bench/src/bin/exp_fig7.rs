@@ -1,0 +1,8 @@
+//! Prints the Figure 7 toponym-disambiguation worked example.
+
+use teda_bench::exp::fig7;
+
+fn main() {
+    let result = fig7::run();
+    println!("{}", fig7::render(&result));
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table 1 (run with `--release`; ~a minute on the standard
+//! fixture). `--quick` uses the reduced fixture.
+
+use teda_bench::exp::table1;
+use teda_bench::harness::{Fixture, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Standard
+    };
+    let fixture = Fixture::build(scale, 42);
+    let result = table1::run(&fixture);
+    println!("{}", table1::render(&result));
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table 2 (corpus sizes, classifier test F, grid search).
+
+use teda_bench::exp::table2;
+use teda_bench::harness::{Fixture, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Standard
+    };
+    let fixture = Fixture::build(scale, 42);
+    let result = table2::run(&fixture);
+    println!("{}", table2::render(&result));
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table 3 (post-processing / disambiguation ablation).
+
+use teda_bench::exp::table3;
+use teda_bench::harness::{Fixture, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Standard
+    };
+    let fixture = Fixture::build(scale, 42);
+    let result = table3::run(&fixture);
+    println!("{}", table3::render(&result));
+}

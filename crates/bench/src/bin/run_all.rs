@@ -1,0 +1,30 @@
+//! Runs every experiment in order over one shared fixture and prints the
+//! full report (the source of EXPERIMENTS.md's measured numbers).
+
+use teda_bench::exp::{
+    ablation, comparison, coverage, efficiency, fig7, preprocess_stats, table1, table2, table3,
+};
+use teda_bench::harness::{Fixture, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Standard
+    };
+    let fixture = Fixture::build(scale, 42);
+
+    println!("==============================================================");
+    println!(" teda — full experiment suite (seed 42, {scale:?} fixture)");
+    println!("==============================================================\n");
+
+    println!("{}", table2::render(&table2::run(&fixture)));
+    println!("{}", table1::render(&table1::run(&fixture)));
+    println!("{}", table3::render(&table3::run(&fixture)));
+    println!("{}", comparison::render(&comparison::run(&fixture)));
+    println!("{}", coverage::render(&coverage::run(&fixture)));
+    println!("{}", preprocess_stats::render(&preprocess_stats::run(&fixture)));
+    println!("{}", efficiency::render(&efficiency::run(&fixture)));
+    println!("{}", fig7::render(&fig7::run()));
+    println!("{}", ablation::render(&ablation::run(&fixture)));
+}

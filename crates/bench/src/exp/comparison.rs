@@ -1,0 +1,160 @@
+//! §6.3 — the Wiki Manual comparison.
+//!
+//! The paper runs its SVM+postprocessing setting on the 36-table Wiki
+//! Manual set and reports F = 0.84, comparable to Limaye's 0.8382 —
+//! while additionally being able to annotate entities *outside* any
+//! catalogue. This experiment runs both our annotator and the
+//! catalogue-based comparator on the Wiki-like set and splits recall by
+//! known/unknown mentions to make the discovery advantage visible.
+
+use std::collections::HashSet;
+
+use teda_classifier::Prf;
+use teda_core::catalogue_annotator::catalogue_annotate;
+use teda_core::config::AnnotatorConfig;
+use teda_core::preprocess::preprocess;
+use teda_corpus::gold::GoldTable;
+use teda_corpus::wiki::{known_mention_fraction, wiki_manual};
+use teda_simkit::tablefmt::{f2, Align, TextTable};
+use teda_tabular::infer::infer_column_types;
+
+use crate::harness::{run_method, Fixture, RunOutput};
+
+/// The comparison result.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Our algorithm (SVM + postprocessing), micro PRF.
+    pub ours: Prf,
+    /// The catalogue-based comparator, micro PRF.
+    pub catalogue: Prf,
+    /// Fraction of gold mentions present in the catalogue.
+    pub known_fraction: f64,
+    /// Recall of each method on catalogued mentions only.
+    pub ours_recall_known: f64,
+    pub catalogue_recall_known: f64,
+    /// Recall of each method on *uncatalogued* mentions — the paper's
+    /// discovery claim: catalogue methods score 0 here by construction.
+    pub ours_recall_unknown: f64,
+    pub catalogue_recall_unknown: f64,
+}
+
+/// Runs the comparison.
+pub fn run(fixture: &Fixture) -> Comparison {
+    let tables = wiki_manual(&fixture.world, &fixture.catalogue, fixture.seed);
+    let known_fraction =
+        known_mention_fraction(&tables, &fixture.world, &fixture.catalogue);
+
+    let mut ours_annotator = fixture.svm_annotator(true, false);
+    let ours_out = run_method(&tables, |t| ours_annotator.annotate_table(&t.table).cells);
+
+    let config = AnnotatorConfig::default();
+    let catalogue_out = run_method(&tables, |t| {
+        // catalogue comparator sees the same inferred tables
+        let mut table = t.table.clone();
+        infer_column_types(&mut table);
+        let pre = preprocess(&table, &config);
+        catalogue_annotate(&table, &pre.candidates, &fixture.catalogue, &config.targets)
+    });
+
+    let (ours_known, ours_unknown) = split_recall(fixture, &tables, &ours_out);
+    let (cat_known, cat_unknown) = split_recall(fixture, &tables, &catalogue_out);
+
+    Comparison {
+        ours: ours_out.micro_prf(),
+        catalogue: catalogue_out.micro_prf(),
+        known_fraction,
+        ours_recall_known: ours_known,
+        catalogue_recall_known: cat_known,
+        ours_recall_unknown: ours_unknown,
+        catalogue_recall_unknown: cat_unknown,
+    }
+}
+
+/// Recall restricted to (known, unknown) gold mentions.
+fn split_recall(fixture: &Fixture, tables: &[GoldTable], out: &RunOutput) -> (f64, f64) {
+    let mut known_hits = 0usize;
+    let mut known_total = 0usize;
+    let mut unknown_hits = 0usize;
+    let mut unknown_total = 0usize;
+    for (table, (_, predicted)) in tables.iter().zip(&out.per_table) {
+        let predicted_cells: HashSet<_> = predicted
+            .iter()
+            .map(|a| (a.cell, a.etype))
+            .collect();
+        for e in &table.entries {
+            let is_known = fixture
+                .catalogue
+                .contains(&fixture.world.entity(e.entity).name);
+            let hit = predicted_cells.contains(&(e.cell, e.etype));
+            if is_known {
+                known_total += 1;
+                known_hits += usize::from(hit);
+            } else {
+                unknown_total += 1;
+                unknown_hits += usize::from(hit);
+            }
+        }
+    }
+    let frac = |h: usize, t: usize| if t == 0 { 0.0 } else { h as f64 / t as f64 };
+    (
+        frac(known_hits, known_total),
+        frac(unknown_hits, unknown_total),
+    )
+}
+
+/// Renders the comparison report.
+pub fn render(c: &Comparison) -> String {
+    let mut out = String::from(
+        "Comparison on the Wiki Manual-like set (36 tables, §6.3).\n",
+    );
+    out.push_str(&format!(
+        "Catalogued gold mentions: {:.0}%\n\n",
+        c.known_fraction * 100.0
+    ));
+    let mut tbl = TextTable::new(vec!["Method", "P", "R", "F", "R(known)", "R(unknown)"]);
+    tbl.align(0, Align::Left);
+    tbl.row(vec![
+        "Ours (SVM+postproc)".into(),
+        f2(c.ours.precision),
+        f2(c.ours.recall),
+        f2(c.ours.f1),
+        f2(c.ours_recall_known),
+        f2(c.ours_recall_unknown),
+    ]);
+    tbl.row(vec![
+        "Catalogue (Limaye-like)".into(),
+        f2(c.catalogue.precision),
+        f2(c.catalogue.recall),
+        f2(c.catalogue.f1),
+        f2(c.catalogue_recall_known),
+        f2(c.catalogue_recall_unknown),
+    ]);
+    out.push_str(&tbl.render());
+    out.push_str("(paper: our F = 0.84 vs Limaye's reported 0.8382 accuracy)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Scale;
+
+    #[test]
+    fn comparison_shows_the_discovery_advantage() {
+        let fixture = Fixture::build(Scale::Quick, 42);
+        let c = run(&fixture);
+        // The catalogue method is structurally blind to unknown entities.
+        assert_eq!(
+            c.catalogue_recall_unknown, 0.0,
+            "catalogue methods cannot discover"
+        );
+        // Ours annotates at least some unknown mentions.
+        assert!(
+            c.ours_recall_unknown > 0.0,
+            "our annotator must discover unknown entities"
+        );
+        // The catalogue method is very precise on its own turf.
+        assert!(c.catalogue.precision > 0.9);
+        assert!(render(&c).contains("R(unknown)"));
+    }
+}

@@ -1,0 +1,11 @@
+//! Experiment implementations, one module per paper artefact.
+
+pub mod ablation;
+pub mod comparison;
+pub mod coverage;
+pub mod efficiency;
+pub mod fig7;
+pub mod preprocess_stats;
+pub mod table1;
+pub mod table2;
+pub mod table3;

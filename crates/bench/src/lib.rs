@@ -1,0 +1,22 @@
+//! `teda-bench` — the experiment harness.
+//!
+//! One binary per paper artefact (run with `--release`):
+//!
+//! | binary           | reproduces                                          |
+//! |------------------|-----------------------------------------------------|
+//! | `exp_table1`     | Table 1 — P/R/F of SVM / Bayes / TIN / TIS          |
+//! | `exp_table2`     | Table 2 — corpus sizes + classifier test F          |
+//! | `exp_table3`     | Table 3 — ablation: postproc / disambiguation       |
+//! | `exp_comparison` | §6.3 — Wiki Manual comparison vs catalogue annotator|
+//! | `exp_efficiency` | §6.4 — seconds/row, scaling, hybrid speed-up        |
+//! | `exp_coverage`   | §1  — 22% catalogue coverage statistic              |
+//! | `exp_fig7`       | Figure 7 — toponym disambiguation worked example    |
+//! | `run_all`        | everything, in order                                |
+//!
+//! All experiments share one seeded [`harness::Fixture`]: world → Web →
+//! gazetteer → benchmark tables → harvested training corpus → trained
+//! classifiers. Building the standard fixture takes a few seconds in
+//! release mode.
+
+pub mod exp;
+pub mod harness;

@@ -1,0 +1,103 @@
+//! k-fold cross-validation.
+//!
+//! The paper follows "the grid-search procedure with 10-fold cross
+//! validation described in [Hsu, Chang & Lin 2003]" to select SVM
+//! hyper-parameters (§6.1). Folds are stratified so each fold carries all
+//! classes.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Assigns each example to one of `k` folds, stratified by class.
+/// Returns `fold_of[i] ∈ 0..k`. Deterministic per seed.
+pub fn stratified_folds(ys: &[usize], k: usize, seed: u64) -> Vec<usize> {
+    assert!(k >= 2, "need at least 2 folds");
+    let n_classes = ys.iter().copied().max().map_or(0, |m| m + 1);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for (i, &y) in ys.iter().enumerate() {
+        per_class[y].push(i);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fold_of = vec![0usize; ys.len()];
+    let mut next_fold = 0usize;
+    for mut members in per_class {
+        members.shuffle(&mut rng);
+        for i in members {
+            fold_of[i] = next_fold;
+            next_fold = (next_fold + 1) % k;
+        }
+    }
+    fold_of
+}
+
+/// Iterates `(train_indices, test_indices)` pairs for each fold.
+pub fn fold_splits(fold_of: &[usize], k: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
+    (0..k)
+        .map(|f| {
+            let mut train = Vec::new();
+            let mut test = Vec::new();
+            for (i, &fi) in fold_of.iter().enumerate() {
+                if fi == f {
+                    test.push(i);
+                } else {
+                    train.push(i);
+                }
+            }
+            (train, test)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_cover_everything_once() {
+        let ys = vec![0, 1, 0, 1, 0, 1, 2, 2, 2, 0];
+        let folds = stratified_folds(&ys, 3, 5);
+        assert_eq!(folds.len(), 10);
+        assert!(folds.iter().all(|&f| f < 3));
+        let splits = fold_splits(&folds, 3);
+        assert_eq!(splits.len(), 3);
+        let total_test: usize = splits.iter().map(|(_, t)| t.len()).sum();
+        assert_eq!(total_test, 10, "each example tested exactly once");
+        for (train, test) in &splits {
+            assert_eq!(train.len() + test.len(), 10);
+            assert!(train.iter().all(|i| !test.contains(i)));
+        }
+    }
+
+    #[test]
+    fn stratification_balances_classes() {
+        // 30 of each of 3 classes, 10 folds: every fold gets 3 of each.
+        let mut ys = Vec::new();
+        for c in 0..3 {
+            ys.extend(std::iter::repeat_n(c, 30));
+        }
+        let folds = stratified_folds(&ys, 10, 6);
+        for f in 0..10 {
+            for c in 0..3 {
+                let count = ys
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, &y)| folds[i] == f && y == c)
+                    .count();
+                assert_eq!(count, 3, "fold {f} class {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ys = vec![0, 1, 2, 0, 1, 2, 0, 1, 2];
+        assert_eq!(stratified_folds(&ys, 3, 1), stratified_folds(&ys, 3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn one_fold_rejected() {
+        stratified_folds(&[0, 1], 1, 0);
+    }
+}

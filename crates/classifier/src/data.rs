@@ -1,0 +1,144 @@
+//! Labelled datasets: feature vectors paired with class indices.
+
+use teda_text::SparseVector;
+
+/// A labelled dataset: `x[i]` is the feature vector of example `i`,
+/// `y[i] ∈ 0..n_classes` its class.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    x: Vec<SparseVector>,
+    y: Vec<usize>,
+    n_classes: usize,
+    dim: usize,
+}
+
+impl Dataset {
+    /// Creates an empty dataset expecting `n_classes` classes over features
+    /// `0..dim`.
+    pub fn new(n_classes: usize, dim: usize) -> Self {
+        Dataset {
+            x: Vec::new(),
+            y: Vec::new(),
+            n_classes,
+            dim,
+        }
+    }
+
+    /// Adds an example. Panics if the label is out of range — labels come
+    /// from a fixed type set, so this is a programming error, not data.
+    pub fn push(&mut self, x: SparseVector, y: usize) {
+        assert!(y < self.n_classes, "label {y} >= n_classes {}", self.n_classes);
+        self.x.push(x);
+        self.y.push(y);
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether there are no examples.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Feature dimensionality (vocabulary size at training time).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Updates the feature dimensionality (the vocabulary grows while
+    /// examples are added; set this once, after extraction).
+    pub fn set_dim(&mut self, dim: usize) {
+        self.dim = dim;
+    }
+
+    /// The feature vectors.
+    pub fn xs(&self) -> &[SparseVector] {
+        &self.x
+    }
+
+    /// The labels.
+    pub fn ys(&self) -> &[usize] {
+        &self.y
+    }
+
+    /// Example `i` as `(features, label)`.
+    pub fn get(&self, i: usize) -> (&SparseVector, usize) {
+        (&self.x[i], self.y[i])
+    }
+
+    /// A new dataset containing the examples at `indices` (cloned).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::new(self.n_classes, self.dim);
+        out.x.reserve(indices.len());
+        out.y.reserve(indices.len());
+        for &i in indices {
+            out.x.push(self.x[i].clone());
+            out.y.push(self.y[i]);
+        }
+        out
+    }
+
+    /// Per-class example counts (length `n_classes`).
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &y in &self.y {
+            counts[y] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teda_text::SparseVector;
+
+    fn vecf(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.to_vec())
+    }
+
+    #[test]
+    fn push_and_access() {
+        let mut d = Dataset::new(2, 4);
+        d.push(vecf(&[(0, 1.0)]), 0);
+        d.push(vecf(&[(1, 1.0)]), 1);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.get(1).1, 1);
+        assert_eq!(d.class_counts(), vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn out_of_range_label_panics() {
+        let mut d = Dataset::new(2, 1);
+        d.push(vecf(&[]), 5);
+    }
+
+    #[test]
+    fn subset_preserves_pairs() {
+        let mut d = Dataset::new(3, 2);
+        d.push(vecf(&[(0, 1.0)]), 0);
+        d.push(vecf(&[(1, 1.0)]), 1);
+        d.push(vecf(&[(0, 0.5)]), 2);
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0).1, 2);
+        assert_eq!(s.get(1).1, 0);
+        assert_eq!(s.dim(), 2);
+    }
+
+    #[test]
+    fn dim_can_be_set_after_extraction() {
+        let mut d = Dataset::new(1, 0);
+        d.push(vecf(&[(7, 1.0)]), 0);
+        d.set_dim(8);
+        assert_eq!(d.dim(), 8);
+    }
+}

@@ -1,0 +1,86 @@
+//! `teda-classifier` — the machine-learning substrate.
+//!
+//! §6.1 of the paper trains and compares two multi-class text classifiers
+//! over snippet features:
+//!
+//! * a **Support Vector Machine**: "a C-SVC based on the implementation
+//!   provided by LibSVM … trained with a RBF kernel", with `(cost, γ)`
+//!   selected by "the grid-search procedure with 10-fold cross validation
+//!   described in \[Hsu, Chang & Lin\]" (both ended up at 8);
+//! * a **Naive Bayes** classifier: "the implementation provided by
+//!   LingPipe; we turned off length normalization and set the prior counts
+//!   to 1.0".
+//!
+//! Everything is implemented here from scratch:
+//!
+//! * [`naive_bayes`] — multinomial NB in log space with configurable prior
+//!   counts and no length normalization;
+//! * [`svm`] — binary C-SVC via SMO (linear / RBF kernels), the Pegasos
+//!   linear SGD trainer for large corpora, and a one-vs-rest multiclass
+//!   wrapper;
+//! * [`metrics`] — confusion matrices and the paper's precision / recall /
+//!   F-measure definitions;
+//! * [`split`] / [`cv`] / [`grid`] — stratified 75/25 splits (§5.2.1),
+//!   k-fold cross-validation and (C, γ) grid search.
+
+pub mod cv;
+pub mod data;
+pub mod grid;
+pub mod metrics;
+pub mod naive_bayes;
+pub mod split;
+pub mod svm;
+
+pub use data::Dataset;
+pub use metrics::{ConfusionMatrix, Prf};
+pub use naive_bayes::NaiveBayes;
+pub use svm::kernel::Kernel;
+pub use svm::multiclass::OneVsRest;
+pub use svm::pegasos::{PegasosConfig, PegasosSvm};
+pub use svm::smo::{SmoConfig, SmoSvm};
+
+use teda_text::SparseVector;
+
+/// A trained multi-class classifier over sparse snippet features.
+///
+/// `scores` returns one decision value per class (log-posteriors for NB,
+/// margins for SVM); `predict` is the argmax with deterministic
+/// lowest-index tie-breaking.
+pub trait Classifier {
+    /// Number of classes the model was trained with.
+    fn n_classes(&self) -> usize;
+
+    /// Per-class decision scores for `x` (length = `n_classes`).
+    fn scores(&self, x: &SparseVector) -> Vec<f64>;
+
+    /// The predicted class: argmax of [`scores`](Classifier::scores).
+    fn predict(&self, x: &SparseVector) -> usize {
+        let scores = self.scores(x);
+        argmax(&scores)
+    }
+}
+
+/// Index of the maximum value; first index wins ties; 0 for empty input.
+pub(crate) fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    let mut best_v = f64::NEG_INFINITY;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_first_tie_wins() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[]), 0);
+        assert_eq!(argmax(&[f64::NEG_INFINITY, -1.0]), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Evaluation metrics: confusion matrices and the paper's precision /
+//! recall / F-measure.
+//!
+//! §6.2 defines, per type `t`:
+//!
+//! * `P = |C_t| / |A_t|` — correct annotations over all annotations made,
+//! * `R = |C_t| / |T_t|` — correct annotations over all true entities,
+//! * `F = 2PR / (P + R)`.
+//!
+//! [`Prf::from_counts`] implements exactly those ratios (with the 0/0 → 0
+//! convention); [`ConfusionMatrix`] provides the multi-class view used for
+//! classifier testing (Table 2).
+
+/// Precision / recall / F-measure triple.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Prf {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+impl Prf {
+    /// Builds a PRF from raw counts: `tp` correct annotations, `fp` wrong
+    /// annotations, `fn` missed entities. All 0/0 cases yield 0.0.
+    ///
+    /// ```
+    /// use teda_classifier::Prf;
+    ///
+    /// let p = Prf::from_counts(8, 2, 2);
+    /// assert_eq!(p.precision, 0.8);
+    /// assert_eq!(p.recall, 0.8);
+    /// assert!((p.f1 - 0.8).abs() < 1e-12);
+    /// ```
+    pub fn from_counts(tp: usize, fp: usize, fn_: usize) -> Self {
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Prf {
+            precision,
+            recall,
+            f1,
+        }
+    }
+
+    /// Arithmetic mean of several PRFs — the paper's per-category AVERAGE
+    /// rows in Table 1 average P, R and F independently.
+    pub fn mean(prfs: &[Prf]) -> Prf {
+        if prfs.is_empty() {
+            return Prf::default();
+        }
+        let n = prfs.len() as f64;
+        Prf {
+            precision: prfs.iter().map(|p| p.precision).sum::<f64>() / n,
+            recall: prfs.iter().map(|p| p.recall).sum::<f64>() / n,
+            f1: prfs.iter().map(|p| p.f1).sum::<f64>() / n,
+        }
+    }
+}
+
+/// A multi-class confusion matrix: `counts[gold][pred]`.
+#[derive(Debug, Clone)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `n_classes` classes.
+    pub fn new(n_classes: usize) -> Self {
+        assert!(n_classes > 0);
+        ConfusionMatrix {
+            n_classes,
+            counts: vec![0; n_classes * n_classes],
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, gold: usize, pred: usize) {
+        assert!(gold < self.n_classes && pred < self.n_classes);
+        self.counts[gold * self.n_classes + pred] += 1;
+    }
+
+    /// The count of (gold, pred) pairs.
+    pub fn count(&self, gold: usize, pred: usize) -> usize {
+        self.counts[gold * self.n_classes + pred]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy; 0.0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.n_classes).map(|c| self.count(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// One-vs-rest PRF for class `c`.
+    pub fn prf(&self, c: usize) -> Prf {
+        let tp = self.count(c, c);
+        let fp: usize = (0..self.n_classes)
+            .filter(|&g| g != c)
+            .map(|g| self.count(g, c))
+            .sum();
+        let fn_: usize = (0..self.n_classes)
+            .filter(|&p| p != c)
+            .map(|p| self.count(c, p))
+            .sum();
+        Prf::from_counts(tp, fp, fn_)
+    }
+
+    /// Macro-averaged F1 across all classes.
+    pub fn macro_f1(&self) -> f64 {
+        let sum: f64 = (0..self.n_classes).map(|c| self.prf(c).f1).sum();
+        sum / self.n_classes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prf_known_values() {
+        let p = Prf::from_counts(8, 2, 2);
+        assert!((p.precision - 0.8).abs() < 1e-12);
+        assert!((p.recall - 0.8).abs() < 1e-12);
+        assert!((p.f1 - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prf_zero_conventions() {
+        let p = Prf::from_counts(0, 0, 0);
+        assert_eq!(p, Prf::default());
+        let p = Prf::from_counts(0, 5, 0);
+        assert_eq!(p.precision, 0.0);
+        assert_eq!(p.f1, 0.0);
+        let p = Prf::from_counts(0, 0, 5);
+        assert_eq!(p.recall, 0.0);
+    }
+
+    #[test]
+    fn prf_asymmetric() {
+        // high precision, low recall — the TIN/TIS baseline shape
+        let p = Prf::from_counts(10, 0, 90);
+        assert_eq!(p.precision, 1.0);
+        assert!((p.recall - 0.1).abs() < 1e-12);
+        assert!((p.f1 - 2.0 * 0.1 / 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prf_mean() {
+        let m = Prf::mean(&[Prf::from_counts(1, 0, 0), Prf::from_counts(0, 1, 1)]);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+        assert_eq!(Prf::mean(&[]), Prf::default());
+    }
+
+    #[test]
+    fn confusion_matrix_basics() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.observe(0, 0);
+        cm.observe(0, 0);
+        cm.observe(0, 1);
+        cm.observe(1, 1);
+        assert_eq!(cm.total(), 4);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+        let p0 = cm.prf(0);
+        assert!((p0.precision - 1.0).abs() < 1e-12); // nothing misclassified into 0
+        assert!((p0.recall - 2.0 / 3.0).abs() < 1e-12);
+        let p1 = cm.prf(1);
+        assert!((p1.precision - 0.5).abs() < 1e-12);
+        assert!((p1.recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_averages_classes() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.observe(0, 0);
+        cm.observe(1, 1);
+        assert!((cm.macro_f1() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_accuracy_zero() {
+        let cm = ConfusionMatrix::new(3);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.total(), 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Seeded, stratified train/test splitting.
+//!
+//! §5.2.1: "Of the snippets obtained in the previous step, 75% are used to
+//! form the training set TR and 25% to form the test set TE." Stratified by
+//! class so that rare types (Simpson's episodes had only ~7,300 snippets vs
+//! ~45,000 for others) keep their proportions in both halves.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Splits indices `0..ys.len()` into (train, test) with approximately
+/// `test_frac` of *each class* in the test half. Deterministic per seed.
+///
+/// Every class with at least 2 examples contributes at least one example to
+/// each side; singleton classes go to the training side.
+pub fn stratified_split(ys: &[usize], test_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        (0.0..1.0).contains(&test_frac),
+        "test_frac must be in [0, 1)"
+    );
+    let n_classes = ys.iter().copied().max().map_or(0, |m| m + 1);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for (i, &y) in ys.iter().enumerate() {
+        per_class[y].push(i);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for mut members in per_class {
+        if members.is_empty() {
+            continue;
+        }
+        members.shuffle(&mut rng);
+        let mut n_test = (members.len() as f64 * test_frac).round() as usize;
+        if members.len() >= 2 {
+            n_test = n_test.clamp(1, members.len() - 1);
+        } else {
+            n_test = 0;
+        }
+        test.extend_from_slice(&members[..n_test]);
+        train.extend_from_slice(&members[n_test..]);
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportions_respected_per_class() {
+        // 80 of class 0, 40 of class 1, 25% test
+        let mut ys = vec![0usize; 80];
+        ys.extend(vec![1usize; 40]);
+        let (train, test) = stratified_split(&ys, 0.25, 42);
+        assert_eq!(train.len() + test.len(), 120);
+        let test_c0 = test.iter().filter(|&&i| ys[i] == 0).count();
+        let test_c1 = test.iter().filter(|&&i| ys[i] == 1).count();
+        assert_eq!(test_c0, 20);
+        assert_eq!(test_c1, 10);
+    }
+
+    #[test]
+    fn no_overlap_full_cover() {
+        let ys = vec![0, 1, 0, 1, 0, 1, 0, 0];
+        let (train, test) = stratified_split(&ys, 0.25, 1);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ys = vec![0, 0, 1, 1, 2, 2, 0, 1, 2, 0];
+        let a = stratified_split(&ys, 0.3, 7);
+        let b = stratified_split(&ys, 0.3, 7);
+        assert_eq!(a, b);
+        let c = stratified_split(&ys, 0.3, 8);
+        assert!(a != c || ys.len() < 4, "different seeds should differ");
+    }
+
+    #[test]
+    fn small_classes_keep_one_on_each_side() {
+        let ys = vec![0, 0, 1, 1]; // 2 per class, 25% would round to 0–1
+        let (train, test) = stratified_split(&ys, 0.25, 3);
+        for c in 0..2 {
+            assert!(train.iter().any(|&i| ys[i] == c), "class {c} not in train");
+            assert!(test.iter().any(|&i| ys[i] == c), "class {c} not in test");
+        }
+    }
+
+    #[test]
+    fn singleton_class_goes_to_train() {
+        let ys = vec![0, 0, 0, 0, 1];
+        let (train, test) = stratified_split(&ys, 0.25, 3);
+        assert!(train.iter().any(|&i| ys[i] == 1));
+        assert!(!test.iter().any(|&i| ys[i] == 1));
+    }
+
+    #[test]
+    fn zero_frac_puts_all_but_minimum_in_train() {
+        let ys = vec![0; 10];
+        let (train, test) = stratified_split(&ys, 0.0, 9);
+        // clamp forces ≥ 1 test example for classes with ≥ 2 members
+        assert_eq!(test.len(), 1);
+        assert_eq!(train.len(), 9);
+    }
+}

@@ -1,0 +1,70 @@
+//! SVM kernels.
+//!
+//! The paper trains its C-SVC "with a RBF kernel" and grid-searches γ
+//! (ending at γ = 8, cost = 8). The linear kernel is provided for the
+//! Pegasos-equivalence tests and for cheap models.
+
+use teda_text::SparseVector;
+
+/// A positive-definite kernel over sparse feature vectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// `K(a, b) = a · b`
+    Linear,
+    /// `K(a, b) = exp(−γ ‖a − b‖²)`
+    Rbf {
+        /// The width parameter γ (> 0).
+        gamma: f64,
+    },
+}
+
+impl Kernel {
+    /// Evaluates the kernel.
+    pub fn eval(&self, a: &SparseVector, b: &SparseVector) -> f64 {
+        match *self {
+            Kernel::Linear => a.dot(b),
+            Kernel::Rbf { gamma } => (-gamma * a.distance_sq(b)).exp(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecf(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.to_vec())
+    }
+
+    #[test]
+    fn linear_is_dot() {
+        let a = vecf(&[(0, 1.0), (1, 2.0)]);
+        let b = vecf(&[(1, 3.0)]);
+        assert_eq!(Kernel::Linear.eval(&a, &b), 6.0);
+    }
+
+    #[test]
+    fn rbf_self_similarity_is_one() {
+        let a = vecf(&[(0, 0.3), (5, 0.7)]);
+        let k = Kernel::Rbf { gamma: 8.0 };
+        assert!((k.eval(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rbf_decays_with_distance() {
+        let k = Kernel::Rbf { gamma: 1.0 };
+        let a = vecf(&[(0, 0.0)]);
+        let near = vecf(&[(0, 0.1)]);
+        let far = vecf(&[(0, 2.0)]);
+        assert!(k.eval(&a, &near) > k.eval(&a, &far));
+        assert!(k.eval(&a, &far) > 0.0, "RBF is strictly positive");
+    }
+
+    #[test]
+    fn rbf_is_symmetric() {
+        let k = Kernel::Rbf { gamma: 2.5 };
+        let a = vecf(&[(0, 1.0), (3, 0.5)]);
+        let b = vecf(&[(1, 0.25), (3, 1.5)]);
+        assert!((k.eval(&a, &b) - k.eval(&b, &a)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,34 @@
+//! Support vector machines.
+//!
+//! Two trainers for binary C-SVC, behind the common [`BinaryClassifier`]
+//! trait, plus a one-vs-rest multiclass wrapper:
+//!
+//! * [`smo`] — exact Sequential Minimal Optimization with linear or RBF
+//!   kernels, the LibSVM-equivalent the paper used (§6.1). Quadratic in the
+//!   number of examples; used for the grid-search reproduction and
+//!   moderate corpora.
+//! * [`pegasos`] — the Pegasos stochastic sub-gradient trainer for linear
+//!   SVMs, linear-time per epoch; used where the paper's 40k-snippet
+//!   corpora make SMO impractical.
+
+pub mod kernel;
+pub mod multiclass;
+pub mod pegasos;
+pub mod smo;
+
+use teda_text::SparseVector;
+
+/// A trained binary large-margin classifier: `decision(x) > 0` ⇒ positive.
+pub trait BinaryClassifier {
+    /// The signed decision value `f(x)`.
+    fn decision(&self, x: &SparseVector) -> f64;
+
+    /// Predicted binary label: `+1` or `-1`.
+    fn predict_sign(&self, x: &SparseVector) -> i8 {
+        if self.decision(x) > 0.0 {
+            1
+        } else {
+            -1
+        }
+    }
+}

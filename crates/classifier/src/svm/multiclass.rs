@@ -1,0 +1,149 @@
+//! One-vs-rest multiclass wrapper over binary margin classifiers.
+//!
+//! §5.2.1 trains "a multi-class text classifier"; LibSVM's native scheme is
+//! one-vs-one, but for the snippet-voting pipeline what matters is the
+//! per-class decision value, which one-vs-rest exposes directly (the
+//! annotation step compares per-type snippet votes, Eq. 1). One model is
+//! trained per class with that class positive and all others negative.
+
+use teda_text::SparseVector;
+
+use crate::data::Dataset;
+use crate::Classifier;
+
+use super::BinaryClassifier;
+
+/// A one-vs-rest ensemble: `models[c]` separates class `c` from the rest.
+#[derive(Debug, Clone)]
+pub struct OneVsRest<M> {
+    models: Vec<M>,
+}
+
+impl<M: BinaryClassifier> OneVsRest<M> {
+    /// Trains one binary model per class using `fit`, which receives the
+    /// feature vectors and ±1 labels (`+1` = the current class).
+    ///
+    /// `fit` is called with the class index so trainers can derive
+    /// per-class seeds.
+    pub fn train<F>(data: &Dataset, mut fit: F) -> Self
+    where
+        F: FnMut(usize, &[SparseVector], &[f64]) -> M,
+    {
+        assert!(!data.is_empty(), "cannot train OVR on empty data");
+        let n_classes = data.n_classes();
+        let mut models = Vec::with_capacity(n_classes);
+        for c in 0..n_classes {
+            let ys: Vec<f64> = data
+                .ys()
+                .iter()
+                .map(|&y| if y == c { 1.0 } else { -1.0 })
+                .collect();
+            models.push(fit(c, data.xs(), &ys));
+        }
+        OneVsRest { models }
+    }
+
+    /// Builds an ensemble directly from pre-trained binary models.
+    pub fn from_models(models: Vec<M>) -> Self {
+        assert!(!models.is_empty());
+        OneVsRest { models }
+    }
+
+    /// The per-class binary models.
+    pub fn models(&self) -> &[M] {
+        &self.models
+    }
+}
+
+impl<M: BinaryClassifier> Classifier for OneVsRest<M> {
+    fn n_classes(&self) -> usize {
+        self.models.len()
+    }
+
+    fn scores(&self, x: &SparseVector) -> Vec<f64> {
+        self.models.iter().map(|m| m.decision(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svm::pegasos::{PegasosConfig, PegasosSvm};
+    use crate::svm::smo::{SmoConfig, SmoSvm};
+    use crate::Kernel;
+
+    fn vecf(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.to_vec())
+    }
+
+    /// Three classes, each concentrated on its own feature.
+    fn three_class_data(n_per: usize) -> Dataset {
+        let mut d = Dataset::new(3, 3);
+        for i in 0..n_per {
+            let minor = 0.1 * ((i % 3) as f64) / 3.0;
+            d.push(vecf(&[(0, 1.0), (1, minor)]), 0);
+            d.push(vecf(&[(1, 1.0), (2, minor)]), 1);
+            d.push(vecf(&[(2, 1.0), (0, minor)]), 2);
+        }
+        d
+    }
+
+    #[test]
+    fn ovr_pegasos_separates_three_classes() {
+        let data = three_class_data(20);
+        let ovr = OneVsRest::train(&data, |c, xs, ys| {
+            PegasosSvm::train(
+                xs,
+                ys,
+                3,
+                PegasosConfig {
+                    seed: 100 + c as u64,
+                    ..PegasosConfig::default()
+                },
+            )
+        });
+        assert_eq!(ovr.n_classes(), 3);
+        assert_eq!(ovr.predict(&vecf(&[(0, 1.0)])), 0);
+        assert_eq!(ovr.predict(&vecf(&[(1, 1.0)])), 1);
+        assert_eq!(ovr.predict(&vecf(&[(2, 1.0)])), 2);
+    }
+
+    #[test]
+    fn ovr_smo_separates_three_classes() {
+        let data = three_class_data(8);
+        let ovr = OneVsRest::train(&data, |c, xs, ys| {
+            SmoSvm::train(
+                xs,
+                ys,
+                SmoConfig {
+                    kernel: Kernel::Rbf { gamma: 8.0 },
+                    seed: c as u64,
+                    ..SmoConfig::default()
+                },
+            )
+        });
+        for (feat, class) in [(0u32, 0usize), (1, 1), (2, 2)] {
+            assert_eq!(ovr.predict(&vecf(&[(feat, 1.0)])), class);
+        }
+    }
+
+    #[test]
+    fn scores_have_one_entry_per_class() {
+        let data = three_class_data(5);
+        let ovr = OneVsRest::train(&data, |_, xs, ys| {
+            PegasosSvm::train(xs, ys, 3, PegasosConfig::default())
+        });
+        let s = ovr.scores(&vecf(&[(0, 1.0)]));
+        assert_eq!(s.len(), 3);
+        assert!(s[0] > s[1] && s[0] > s[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_data_rejected() {
+        let d = Dataset::new(2, 1);
+        let _ = OneVsRest::train(&d, |_, xs, ys| {
+            PegasosSvm::train(xs, ys, 1, PegasosConfig::default())
+        });
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the ML substrate.
+
+use proptest::prelude::*;
+
+use teda_classifier::cv::{fold_splits, stratified_folds};
+use teda_classifier::naive_bayes::{NaiveBayes, NaiveBayesConfig};
+use teda_classifier::split::stratified_split;
+use teda_classifier::{Dataset, Prf};
+use teda_text::SparseVector;
+
+proptest! {
+    /// Stratified split partitions the indices exactly.
+    #[test]
+    fn split_partitions(
+        ys in proptest::collection::vec(0usize..4, 1..60),
+        seed in 0u64..1000
+    ) {
+        let (train, test) = stratified_split(&ys, 0.25, seed);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..ys.len()).collect();
+        prop_assert_eq!(all, expected);
+    }
+
+    /// k-fold assignment covers every example exactly once per fold split.
+    #[test]
+    fn folds_partition(
+        ys in proptest::collection::vec(0usize..3, 4..40),
+        seed in 0u64..1000
+    ) {
+        let k = 3;
+        let folds = stratified_folds(&ys, k, seed);
+        prop_assert!(folds.iter().all(|&f| f < k));
+        for (train, test) in fold_splits(&folds, k) {
+            prop_assert_eq!(train.len() + test.len(), ys.len());
+        }
+        let total_test: usize = fold_splits(&folds, k).iter().map(|(_, t)| t.len()).sum();
+        prop_assert_eq!(total_test, ys.len());
+    }
+
+    /// PRF values always live in [0, 1] and F ≤ max(P, R).
+    #[test]
+    fn prf_bounds(tp in 0usize..50, fp in 0usize..50, fn_ in 0usize..50) {
+        let p = Prf::from_counts(tp, fp, fn_);
+        for v in [p.precision, p.recall, p.f1] {
+            prop_assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+        prop_assert!(p.f1 <= p.precision.max(p.recall) + 1e-12);
+    }
+
+    /// NB posteriors are a probability distribution and the argmax matches
+    /// the raw log-score argmax.
+    #[test]
+    fn nb_posteriors_are_distributions(
+        weights in proptest::collection::vec(0.01f64..1.0, 1..6),
+        seed in 0u64..100
+    ) {
+        // two fixed separable classes
+        let mut d = Dataset::new(2, 4);
+        for _ in 0..5 {
+            d.push(SparseVector::from_pairs(vec![(0, 0.6), (1, 0.4)]), 0);
+            d.push(SparseVector::from_pairs(vec![(2, 0.6), (3, 0.4)]), 1);
+        }
+        let nb = NaiveBayes::train(&d, NaiveBayesConfig::default());
+        let x = SparseVector::from_pairs(
+            weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| ((i as u32 + seed as u32) % 4, w))
+                .collect(),
+        );
+        let post = nb.posteriors(&x);
+        prop_assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(post.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        let log_arg = nb
+            .log_scores(&x)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let post_arg = post
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        prop_assert_eq!(log_arg, post_arg);
+    }
+}

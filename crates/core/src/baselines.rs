@@ -1,0 +1,220 @@
+//! The TIN and TIS baselines (§6.2).
+//!
+//! * **TIN (TypeInName)** "annotates a cell T(i,j) with type t, and sets
+//!   the score S_ij to 1.0 only if T(i,j) contains the name of type t
+//!   (e.g. 'restaurant')".
+//! * **TIS (TypeInSnippet)** "annotates a cell T(i,j) with type t if the
+//!   majority of the snippets retrieved by querying Bing contains the name
+//!   of type t. The score S_ij is set as in Equation 1."
+//!
+//! Both run over the same pre-processed candidate cells as the main
+//! algorithm, so the comparison isolates the annotation policy.
+
+use teda_kb::names::name_contains_word;
+use teda_kb::EntityType;
+use teda_tabular::{CellId, Table};
+use teda_websim::SearchEngine;
+
+use crate::annotate::CellAnnotation;
+use crate::config::AnnotatorConfig;
+
+/// The TIN baseline.
+pub fn tin_annotate(
+    table: &Table,
+    candidates: &[CellId],
+    targets: &[EntityType],
+) -> Vec<CellAnnotation> {
+    let mut out = Vec::new();
+    for &cell in candidates {
+        let content = table.cell_at(cell);
+        // first matching target wins (targets are disjoint words)
+        if let Some(&etype) = targets
+            .iter()
+            .find(|t| name_contains_word(content, t.type_word()))
+        {
+            out.push(CellAnnotation {
+                cell,
+                etype,
+                score: 1.0,
+                votes: 0,
+            });
+        }
+    }
+    out
+}
+
+/// The TIS baseline.
+pub fn tis_annotate<E: SearchEngine + ?Sized>(
+    table: &Table,
+    candidates: &[CellId],
+    engine: &E,
+    targets: &[EntityType],
+    config: &AnnotatorConfig,
+) -> Vec<CellAnnotation> {
+    let mut out = Vec::new();
+    for &cell in candidates {
+        let content = table.cell_at(cell);
+        if content.trim().is_empty() {
+            continue;
+        }
+        let results = engine.search(content, config.top_k);
+        if results.is_empty() {
+            continue;
+        }
+        // votes per type: snippets containing the literal type word
+        let mut best: Option<(EntityType, usize)> = None;
+        for &etype in targets {
+            let votes = results
+                .iter()
+                .filter(|r| name_contains_word(&r.snippet, etype.type_word()))
+                .count();
+            if best.is_none_or(|(_, b)| votes > b) {
+                best = Some((etype, votes));
+            }
+        }
+        if let Some((etype, votes)) = best {
+            if votes > config.majority_threshold() {
+                out.push(CellAnnotation {
+                    cell,
+                    etype,
+                    score: votes as f64 / config.top_k as f64,
+                    votes,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teda_websim::SearchResult;
+
+    struct Fixed(Vec<&'static str>);
+
+    impl SearchEngine for Fixed {
+        fn search(&self, _query: &str, k: usize) -> Vec<SearchResult> {
+            self.0
+                .iter()
+                .take(k)
+                .map(|s| SearchResult {
+                    url: "u".into(),
+                    title: "t".into(),
+                    snippet: (*s).to_owned(),
+                })
+                .collect()
+        }
+    }
+
+    fn table() -> Table {
+        Table::builder(1)
+            .row(vec!["Louvre Museum"])
+            .unwrap()
+            .row(vec!["Melisse"])
+            .unwrap()
+            .row(vec!["Riverside High School"])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn config() -> AnnotatorConfig {
+        AnnotatorConfig::default()
+    }
+
+    #[test]
+    fn tin_annotates_only_type_word_names() {
+        let t = table();
+        let candidates: Vec<CellId> = t.cell_ids().collect();
+        let anns = tin_annotate(
+            &t,
+            &candidates,
+            &[EntityType::Museum, EntityType::School, EntityType::Restaurant],
+        );
+        assert_eq!(anns.len(), 2);
+        assert_eq!(anns[0].etype, EntityType::Museum);
+        assert_eq!(anns[0].score, 1.0);
+        assert_eq!(anns[1].etype, EntityType::School);
+        // "Melisse" has no type word → not annotated
+        assert!(!anns.iter().any(|a| a.cell == CellId::new(1, 0)));
+    }
+
+    #[test]
+    fn tin_is_token_level_not_substring() {
+        let t = Table::builder(1)
+            .row(vec!["Museumgoers Society"])
+            .unwrap()
+            .build()
+            .unwrap();
+        let anns = tin_annotate(&t, &[CellId::new(0, 0)], &[EntityType::Museum]);
+        assert!(anns.is_empty());
+    }
+
+    #[test]
+    fn tis_needs_a_majority() {
+        let t = table();
+        // 6 of 10 snippets contain "museum" → annotate with 0.6
+        let engine = Fixed(vec![
+            "a museum in town",
+            "the museum opens",
+            "museum hours",
+            "visit the museum",
+            "museum tickets",
+            "great museum",
+            "nothing here",
+            "random words",
+            "more words",
+            "unrelated",
+        ]);
+        let anns = tis_annotate(
+            &t,
+            &[CellId::new(0, 0)],
+            &engine,
+            &[EntityType::Museum],
+            &config(),
+        );
+        assert_eq!(anns.len(), 1);
+        assert_eq!(anns[0].votes, 6);
+        assert!((anns[0].score - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tis_below_majority_abstains() {
+        let t = table();
+        let engine = Fixed(vec![
+            "a museum in town",
+            "the museum opens",
+            "museum hours",
+            "visit the museum",
+            "museum tickets",
+            "nothing",
+            "random",
+            "words",
+            "more",
+            "unrelated",
+        ]);
+        let anns = tis_annotate(
+            &t,
+            &[CellId::new(0, 0)],
+            &engine,
+            &[EntityType::Museum],
+            &config(),
+        );
+        assert!(anns.is_empty(), "5/10 is not a majority");
+    }
+
+    #[test]
+    fn tis_empty_results_abstain() {
+        let t = table();
+        let engine = Fixed(vec![]);
+        let anns = tis_annotate(
+            &t,
+            &[CellId::new(0, 0)],
+            &engine,
+            &[EntityType::Museum],
+            &config(),
+        );
+        assert!(anns.is_empty());
+    }
+}

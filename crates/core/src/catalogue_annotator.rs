@@ -1,0 +1,134 @@
+//! The catalogue-based comparator (the Limaye-style annotator of §6.3).
+//!
+//! State-of-the-art annotators "assign annotations to tables based on a
+//! pre-compiled catalogue of entities" — they are precise on *known*
+//! entities and blind to unknown ones. This annotator looks every
+//! candidate cell up in the catalogue by normalized name; a hit whose
+//! catalogued type is unambiguous (within the target set) yields an
+//! annotation with score 1.0.
+
+use teda_kb::{Catalogue, EntityType};
+use teda_tabular::{CellId, Table};
+
+use crate::annotate::CellAnnotation;
+
+/// Annotates candidates by catalogue lookup.
+pub fn catalogue_annotate(
+    table: &Table,
+    candidates: &[CellId],
+    catalogue: &Catalogue,
+    targets: &[EntityType],
+) -> Vec<CellAnnotation> {
+    let mut out = Vec::new();
+    for &cell in candidates {
+        let content = table.cell_at(cell);
+        let hits = catalogue.lookup(content);
+        if hits.is_empty() {
+            continue;
+        }
+        // Restrict to target types, then require a single consistent type
+        // (an ambiguous name — restaurant vs jazz label — is unusable
+        // without context, which a pure catalogue lookup does not have).
+        let mut target_types: Vec<EntityType> = hits
+            .iter()
+            .map(|&(_, t)| t)
+            .filter(|t| targets.contains(t))
+            .collect();
+        target_types.sort();
+        target_types.dedup();
+        if let [etype] = target_types.as_slice() {
+            out.push(CellAnnotation {
+                cell,
+                etype: *etype,
+                score: 1.0,
+                votes: 0,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teda_kb::EntityId;
+
+    fn catalogue() -> Catalogue {
+        let mut c = Catalogue::default();
+        c.insert("Melisse", EntityId(0), EntityType::Restaurant);
+        c.insert("Louvre Museum", EntityId(1), EntityType::Museum);
+        c.insert("Aurora", EntityId(2), EntityType::Restaurant);
+        c.insert("Aurora", EntityId(3), EntityType::Hotel); // ambiguous
+        c
+    }
+
+    fn table() -> Table {
+        Table::builder(1)
+            .row(vec!["Melisse"])
+            .unwrap()
+            .row(vec!["louvre   museum"]) // normalization test
+            .unwrap()
+            .row(vec!["Aurora"])
+            .unwrap()
+            .row(vec!["Completely Unknown"])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn known_entities_annotated() {
+        let t = table();
+        let candidates: Vec<CellId> = t.cell_ids().collect();
+        let anns = catalogue_annotate(
+            &t,
+            &candidates,
+            &catalogue(),
+            &[EntityType::Restaurant, EntityType::Museum, EntityType::Hotel],
+        );
+        assert_eq!(anns.len(), 2);
+        assert_eq!(anns[0].etype, EntityType::Restaurant);
+        assert_eq!(anns[1].etype, EntityType::Museum);
+        assert!(anns.iter().all(|a| a.score == 1.0));
+    }
+
+    #[test]
+    fn ambiguous_catalogue_names_are_skipped() {
+        let t = table();
+        let anns = catalogue_annotate(
+            &t,
+            &[CellId::new(2, 0)],
+            &catalogue(),
+            &[EntityType::Restaurant, EntityType::Hotel],
+        );
+        assert!(anns.is_empty(), "Aurora is restaurant-or-hotel ambiguous");
+    }
+
+    #[test]
+    fn ambiguity_outside_targets_is_harmless() {
+        // If only Restaurant is targeted, the Hotel reading of "Aurora"
+        // does not block the annotation.
+        let t = table();
+        let anns = catalogue_annotate(
+            &t,
+            &[CellId::new(2, 0)],
+            &catalogue(),
+            &[EntityType::Restaurant],
+        );
+        assert_eq!(anns.len(), 1);
+        assert_eq!(anns[0].etype, EntityType::Restaurant);
+    }
+
+    #[test]
+    fn unknown_entities_are_invisible() {
+        // The paper's core criticism: catalogue annotators cannot discover.
+        let t = table();
+        let anns = catalogue_annotate(
+            &t,
+            &[CellId::new(3, 0)],
+            &catalogue(),
+            &[EntityType::Restaurant],
+        );
+        assert!(anns.is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! Annotator configuration.
+
+use teda_kb::EntityType;
+
+use crate::cluster::ClusterConfig;
+
+/// Configuration of the annotation pipeline (§5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatorConfig {
+    /// The target types Γ.
+    pub targets: Vec<EntityType>,
+    /// Snippets requested per query (the paper's `k`; evaluation used 10).
+    pub top_k: usize,
+    /// Verbose-value threshold: cells with more words than this are ruled
+    /// out by pre-processing ("cells containing long values, such as
+    /// verbose descriptions", §5.1).
+    pub long_value_words: usize,
+    /// Whether to run the §5.3 spurious-annotation elimination.
+    pub use_postprocessing: bool,
+    /// Whether to disambiguate queries with spatial context (§5.2.2).
+    pub use_disambiguation: bool,
+    /// Whether to cluster snippets and vote per cluster — the paper's
+    /// future-work ambiguity treatment (§5.2), off by default.
+    pub use_clustering: bool,
+    /// Clustering parameters (only read when `use_clustering`).
+    pub cluster: ClusterConfig,
+    /// Seed for the disambiguation tie-breaks.
+    pub seed: u64,
+}
+
+impl Default for AnnotatorConfig {
+    fn default() -> Self {
+        AnnotatorConfig {
+            targets: EntityType::TARGETS.to_vec(),
+            top_k: 10,
+            long_value_words: 10,
+            use_postprocessing: true,
+            use_disambiguation: false,
+            use_clustering: false,
+            cluster: ClusterConfig::default(),
+            seed: 0x7eda,
+        }
+    }
+}
+
+impl AnnotatorConfig {
+    /// The majority threshold: a cell is annotated with `t_max` only when
+    /// strictly more than `k/2` snippets vote for it (§5.2.1).
+    pub fn majority_threshold(&self) -> usize {
+        self.top_k / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_paper() {
+        let c = AnnotatorConfig::default();
+        assert_eq!(c.top_k, 10);
+        assert_eq!(c.majority_threshold(), 5); // "> k/2" ⇒ ≥ 6 votes
+        assert!(c.use_postprocessing);
+        assert!(!c.use_disambiguation);
+        assert_eq!(c.targets.len(), 12);
+    }
+
+    #[test]
+    fn odd_k_threshold() {
+        let c = AnnotatorConfig {
+            top_k: 7,
+            ..AnnotatorConfig::default()
+        };
+        assert_eq!(c.majority_threshold(), 3); // > 3 of 7
+    }
+}

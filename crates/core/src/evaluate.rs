@@ -1,0 +1,156 @@
+//! Gold-standard evaluation with the paper's definitions (§6.2):
+//!
+//! * `C_t` — entities the algorithm correctly annotates with type `t`;
+//! * `A_t` — entities for which the algorithm determines an annotation of
+//!   type `t`;
+//! * `T_t` — all entities of type `t`;
+//! * `P = C_t / A_t`, `R = C_t / T_t`, `F = 2PR / (P + R)`.
+//!
+//! Evaluation is cell-based: a predicted annotation is correct when the
+//! gold standard marks the same cell with the same type.
+
+use teda_classifier::Prf;
+use teda_kb::EntityType;
+use teda_tabular::CellId;
+
+use crate::annotate::CellAnnotation;
+
+/// Raw counts for one type over one or more tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TypeCounts {
+    /// Correct annotations (`C_t`).
+    pub tp: usize,
+    /// Wrong annotations of the type (`A_t − C_t`).
+    pub fp: usize,
+    /// Gold mentions the algorithm missed (`T_t − C_t`).
+    pub fn_: usize,
+}
+
+impl TypeCounts {
+    /// Accumulates another table's counts.
+    pub fn add(&mut self, other: TypeCounts) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+
+    /// The paper's P/R/F.
+    pub fn prf(&self) -> Prf {
+        Prf::from_counts(self.tp, self.fp, self.fn_)
+    }
+}
+
+/// Counts one table's outcomes for `etype`. `gold` lists every gold
+/// (cell, type) pair of the table; `predicted` is the annotator output.
+pub fn count_type(
+    gold: &[(CellId, EntityType)],
+    predicted: &[CellAnnotation],
+    etype: EntityType,
+) -> TypeCounts {
+    let gold_cells: std::collections::HashSet<CellId> = gold
+        .iter()
+        .filter(|&&(_, t)| t == etype)
+        .map(|&(c, _)| c)
+        .collect();
+    let predicted_cells: std::collections::HashSet<CellId> = predicted
+        .iter()
+        .filter(|a| a.etype == etype)
+        .map(|a| a.cell)
+        .collect();
+
+    let tp = predicted_cells.intersection(&gold_cells).count();
+    TypeCounts {
+        tp,
+        fp: predicted_cells.len() - tp,
+        fn_: gold_cells.len() - tp,
+    }
+}
+
+/// One table's evaluation inputs: its gold `(cell, type)` pairs and the
+/// annotator's predictions.
+pub type TableResult = (Vec<(CellId, EntityType)>, Vec<CellAnnotation>);
+
+/// Aggregates counts over many `(gold, predicted)` table pairs and
+/// returns the PRF for `etype`.
+pub fn evaluate_type(results: &[TableResult], etype: EntityType) -> Prf {
+    let mut totals = TypeCounts::default();
+    for (gold, predicted) in results {
+        totals.add(count_type(gold, predicted, etype));
+    }
+    totals.prf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ann(row: usize, col: usize, etype: EntityType) -> CellAnnotation {
+        CellAnnotation {
+            cell: CellId::new(row, col),
+            etype,
+            score: 1.0,
+            votes: 10,
+        }
+    }
+
+    #[test]
+    fn perfect_annotation() {
+        let gold = vec![
+            (CellId::new(0, 0), EntityType::Museum),
+            (CellId::new(1, 0), EntityType::Museum),
+        ];
+        let pred = vec![ann(0, 0, EntityType::Museum), ann(1, 0, EntityType::Museum)];
+        let c = count_type(&gold, &pred, EntityType::Museum);
+        assert_eq!(c, TypeCounts { tp: 2, fp: 0, fn_: 0 });
+        let prf = c.prf();
+        assert_eq!(prf.precision, 1.0);
+        assert_eq!(prf.recall, 1.0);
+    }
+
+    #[test]
+    fn wrong_type_is_both_fp_and_fn() {
+        // Gold says museum; we predicted restaurant on the same cell:
+        // restaurant gains a false positive, museum a false negative.
+        let gold = vec![(CellId::new(0, 0), EntityType::Museum)];
+        let pred = vec![ann(0, 0, EntityType::Restaurant)];
+        let m = count_type(&gold, &pred, EntityType::Museum);
+        assert_eq!(m, TypeCounts { tp: 0, fp: 0, fn_: 1 });
+        let r = count_type(&gold, &pred, EntityType::Restaurant);
+        assert_eq!(r, TypeCounts { tp: 0, fp: 1, fn_: 0 });
+    }
+
+    #[test]
+    fn spurious_annotations_hurt_precision_only() {
+        let gold = vec![(CellId::new(0, 0), EntityType::Museum)];
+        let pred = vec![
+            ann(0, 0, EntityType::Museum),
+            ann(5, 1, EntityType::Museum), // spurious
+        ];
+        let c = count_type(&gold, &pred, EntityType::Museum);
+        assert_eq!(c, TypeCounts { tp: 1, fp: 1, fn_: 0 });
+        let prf = c.prf();
+        assert!((prf.precision - 0.5).abs() < 1e-12);
+        assert_eq!(prf.recall, 1.0);
+    }
+
+    #[test]
+    fn aggregation_over_tables() {
+        let t1 = (
+            vec![(CellId::new(0, 0), EntityType::Hotel)],
+            vec![ann(0, 0, EntityType::Hotel)],
+        );
+        let t2 = (
+            vec![(CellId::new(0, 0), EntityType::Hotel)],
+            vec![], // missed
+        );
+        let prf = evaluate_type(&[t1, t2], EntityType::Hotel);
+        assert_eq!(prf.precision, 1.0);
+        assert!((prf.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_everything_is_zero() {
+        let prf = evaluate_type(&[], EntityType::Mine);
+        assert_eq!(prf, Prf::default());
+    }
+}

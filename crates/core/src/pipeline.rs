@@ -1,0 +1,307 @@
+//! The end-to-end annotator (Figure 5): pre-processing → annotation →
+//! post-processing.
+
+use std::borrow::Cow;
+use std::sync::Arc;
+
+use teda_geo::SimGeocoder;
+use teda_kb::EntityType;
+use teda_tabular::{infer::infer_column_types, CellId, ColumnType, Table};
+use teda_websim::SearchEngine;
+
+use crate::annotate::{annotate_cells, CellAnnotation};
+use crate::config::AnnotatorConfig;
+use crate::model::SnippetClassifier;
+use crate::postprocess::eliminate_spurious;
+use crate::preprocess::preprocess;
+use crate::query::build_spatial_context;
+
+/// One annotated row: the paper's final output shape ("identifies the rows
+/// that contain information on entities of a specific type … and
+/// determines the cells that contain the names of those entities").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowAnnotation {
+    /// 0-based row index.
+    pub row: usize,
+    /// The entity type found in the row.
+    pub etype: EntityType,
+    /// The cell holding the entity name.
+    pub name_cell: CellId,
+    /// The Eq. 1 score of the winning cell.
+    pub score: f64,
+}
+
+/// The full annotation result for one table.
+#[derive(Debug, Clone, Default)]
+pub struct TableAnnotations {
+    /// Per-cell annotations (after post-processing, when enabled).
+    pub cells: Vec<CellAnnotation>,
+    /// Number of cells ruled out by pre-processing.
+    pub skipped_cells: usize,
+    /// Number of cells submitted to the search engine.
+    pub queried_cells: usize,
+}
+
+impl TableAnnotations {
+    /// The row-level view of the annotations.
+    pub fn rows(&self) -> Vec<RowAnnotation> {
+        self.cells
+            .iter()
+            .map(|a| RowAnnotation {
+                row: a.cell.row,
+                etype: a.etype,
+                name_cell: a.cell,
+                score: a.score,
+            })
+            .collect()
+    }
+
+    /// The annotations of one type.
+    pub fn of_type(&self, etype: EntityType) -> impl Iterator<Item = &CellAnnotation> {
+        self.cells.iter().filter(move |a| a.etype == etype)
+    }
+}
+
+/// The annotator: owns the classifier, borrows the Web through a shared
+/// engine handle, and optionally a geocoder for spatial disambiguation.
+pub struct Annotator {
+    pub(crate) engine: Arc<dyn SearchEngine + Send + Sync>,
+    pub(crate) classifier: SnippetClassifier,
+    pub(crate) geocoder: Option<Arc<SimGeocoder>>,
+    pub(crate) config: AnnotatorConfig,
+}
+
+impl Annotator {
+    /// Creates an annotator.
+    pub fn new(
+        engine: Arc<dyn SearchEngine + Send + Sync>,
+        classifier: SnippetClassifier,
+        config: AnnotatorConfig,
+    ) -> Self {
+        Annotator {
+            engine,
+            classifier,
+            geocoder: None,
+            config,
+        }
+    }
+
+    /// Attaches a geocoder, enabling `use_disambiguation`.
+    pub fn with_geocoder(mut self, geocoder: Arc<SimGeocoder>) -> Self {
+        self.geocoder = Some(geocoder);
+        self
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &AnnotatorConfig {
+        &self.config
+    }
+
+    /// Mutable configuration access (benches toggle post-processing and
+    /// disambiguation between runs).
+    pub fn config_mut(&mut self) -> &mut AnnotatorConfig {
+        &mut self.config
+    }
+
+    /// Annotates one table end-to-end.
+    pub fn annotate_table(&mut self, table: &Table) -> TableAnnotations {
+        // Untyped Web tables get their columns inferred first (§6.3 set).
+        let table: Cow<'_, Table> = if table
+            .column_types().contains(&ColumnType::Unknown)
+        {
+            let mut owned = table.clone();
+            infer_column_types(&mut owned);
+            Cow::Owned(owned)
+        } else {
+            Cow::Borrowed(table)
+        };
+        let table = table.as_ref();
+
+        let pre = preprocess(table, &self.config);
+
+        let spatial = if self.config.use_disambiguation {
+            self.geocoder
+                .as_ref()
+                .map(|g| build_spatial_context(table, g, &self.config))
+        } else {
+            None
+        };
+
+        let annotations = annotate_cells(
+            table,
+            &pre.candidates,
+            self.engine.as_ref(),
+            &mut self.classifier,
+            spatial.as_ref(),
+            &self.config,
+        );
+
+        let cells = if self.config.use_postprocessing {
+            eliminate_spurious(table, annotations)
+        } else {
+            annotations
+        };
+
+        TableAnnotations {
+            cells,
+            skipped_cells: pre.skipped.len(),
+            queried_cells: pre.candidates.len(),
+        }
+    }
+
+    /// Splits the annotator back into its parts (used by the hybrid
+    /// annotator and benches that retarget the classifier).
+    pub fn into_parts(
+        self,
+    ) -> (
+        Arc<dyn SearchEngine + Send + Sync>,
+        SnippetClassifier,
+        AnnotatorConfig,
+    ) {
+        (self.engine, self.classifier, self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teda_classifier::naive_bayes::NaiveBayesConfig;
+    use teda_classifier::{Dataset, NaiveBayes};
+    use teda_text::FeatureExtractor;
+    use teda_websim::SearchResult;
+
+    use crate::model::{AnyModel, TypeLabels};
+
+    /// Engine: restaurant-sounding snippets for queries containing a known
+    /// restaurant name, museum vocabulary for the literal word "museum".
+    struct Scripted;
+
+    impl SearchEngine for Scripted {
+        fn search(&self, query: &str, k: usize) -> Vec<SearchResult> {
+            let q = query.to_lowercase();
+            let snippet: &str = if q.contains("melisse") || q.contains("bayona") {
+                "menu cuisine dining chef tasting"
+            } else if q.contains("museum") {
+                "exhibition gallery collection paintings curated"
+            } else {
+                return Vec::new();
+            };
+            (0..k)
+                .map(|i| SearchResult {
+                    url: format!("http://scripted/{i}"),
+                    title: "t".into(),
+                    snippet: snippet.to_owned(),
+                })
+                .collect()
+        }
+    }
+
+    fn classifier() -> SnippetClassifier {
+        let mut fx = FeatureExtractor::new();
+        let rest = fx.fit_transform("menu cuisine dining chef tasting");
+        let musm = fx.fit_transform("exhibition gallery collection paintings curated");
+        let other = fx.fit_transform("random generic website words");
+        let mut data = Dataset::new(3, fx.dim());
+        for _ in 0..8 {
+            data.push(rest.clone(), 0);
+            data.push(musm.clone(), 1);
+            data.push(other.clone(), 2);
+        }
+        let nb = NaiveBayes::train(&data, NaiveBayesConfig::default());
+        SnippetClassifier::new(
+            fx,
+            AnyModel::Bayes(nb),
+            TypeLabels::with_other(vec![EntityType::Restaurant, EntityType::Museum]),
+        )
+    }
+
+    fn annotator(postproc: bool) -> Annotator {
+        Annotator::new(
+            Arc::new(Scripted),
+            classifier(),
+            AnnotatorConfig {
+                targets: vec![EntityType::Restaurant, EntityType::Museum],
+                use_postprocessing: postproc,
+                ..AnnotatorConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn end_to_end_restaurant_table() {
+        let t = Table::builder(2)
+            .column_type(1, ColumnType::Location)
+            .row(vec!["Melisse", "1104 Wilshire Blvd"])
+            .unwrap()
+            .row(vec!["Bayona", "430 Dauphine St"])
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut a = annotator(true);
+        let result = a.annotate_table(&t);
+        assert_eq!(result.cells.len(), 2);
+        assert!(result
+            .cells
+            .iter()
+            .all(|c| c.etype == EntityType::Restaurant));
+        let rows = result.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name_cell, CellId::new(0, 0));
+        // address column never queried
+        assert_eq!(result.queried_cells, 2);
+        assert_eq!(result.skipped_cells, 2);
+    }
+
+    #[test]
+    fn figure8_scenario_fixed_by_postprocessing() {
+        // Column 1 repeats "Museum"; its cells classify as museums, but
+        // Eq. 2 kills the column. (Names here are *not* searchable in the
+        // scripted engine, so column 0 yields nothing and column 1 wins
+        // only without post-processing.)
+        let t = Table::builder(2)
+            .row(vec!["Melisse", "Museum"])
+            .unwrap()
+            .row(vec!["Bayona", "Museum"])
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut raw = annotator(false);
+        let without = raw.annotate_table(&t);
+        let museum_hits = without.of_type(EntityType::Museum).count();
+        assert_eq!(museum_hits, 2, "repeated Museum cells get misannotated");
+
+        let mut post = annotator(true);
+        let with = post.annotate_table(&t);
+        // Restaurant annotations in column 0 survive; the Museum-typed
+        // annotations survive too (their own column argmax), but the point
+        // is the restaurant column is not suppressed by them.
+        assert_eq!(with.of_type(EntityType::Restaurant).count(), 2);
+    }
+
+    #[test]
+    fn untyped_tables_get_inferred() {
+        let t = Table::builder(2)
+            .column_types(vec![ColumnType::Unknown, ColumnType::Unknown])
+            .unwrap()
+            .row(vec!["Melisse", "4.5"])
+            .unwrap()
+            .row(vec!["Bayona", "4.2"])
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut a = annotator(true);
+        let result = a.annotate_table(&t);
+        // numeric column inferred → skipped; names annotated
+        assert_eq!(result.queried_cells, 2);
+        assert_eq!(result.cells.len(), 2);
+    }
+
+    #[test]
+    fn empty_table_yields_empty_result() {
+        let t = Table::builder(2).build().unwrap();
+        let mut a = annotator(true);
+        let r = a.annotate_table(&t);
+        assert!(r.cells.is_empty());
+        assert_eq!(r.queried_cells, 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Post-processing (§5.3): elimination of spurious annotations.
+//!
+//! Cells like the repeated "Museum" category column of Figure 8 get
+//! misannotated because their snippets genuinely describe the type. The
+//! paper's countermeasure is the column-coherence score, Eq. 2:
+//!
+//! ```text
+//! S_j = Σ_i ln( (1 / o_ij) · S_ij + 1 )
+//! ```
+//!
+//! where `o_ij` is the number of occurrences of the content of `T(i,j)`
+//! within column `j`. "Ideally, the column with the highest score is the
+//! one that has references to entities of type t"; annotations of `t`
+//! outside that column are eliminated. The `1/o_ij` factor discounts
+//! columns of repeated values, which is exactly what defeats Figure 8.
+
+use std::collections::HashMap;
+
+use teda_kb::EntityType;
+use teda_tabular::Table;
+
+use crate::annotate::CellAnnotation;
+
+/// Eq. 2 column scores for type `etype`: a map column index → `S_j`
+/// (columns with no annotation of the type are absent).
+pub fn column_scores(
+    table: &Table,
+    annotations: &[CellAnnotation],
+    etype: EntityType,
+) -> HashMap<usize, f64> {
+    let mut scores: HashMap<usize, f64> = HashMap::new();
+    // Occurrence counts are per column; compute lazily and cache.
+    let mut occ_cache: HashMap<usize, HashMap<String, usize>> = HashMap::new();
+    for ann in annotations.iter().filter(|a| a.etype == etype) {
+        let j = ann.cell.col;
+        let occ = occ_cache.entry(j).or_insert_with(|| {
+            table
+                .column_occurrences(j)
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect()
+        });
+        let content = table.cell_at(ann.cell);
+        let o_ij = occ.get(content).copied().unwrap_or(1) as f64;
+        *scores.entry(j).or_insert(0.0) += (ann.score / o_ij + 1.0).ln();
+    }
+    scores
+}
+
+/// Applies §5.3: for each annotated type, keep only the annotations in the
+/// column with the highest Eq. 2 score (ties break to the leftmost
+/// column, deterministically).
+pub fn eliminate_spurious(table: &Table, annotations: Vec<CellAnnotation>) -> Vec<CellAnnotation> {
+    let mut types: Vec<EntityType> = annotations.iter().map(|a| a.etype).collect();
+    types.sort();
+    types.dedup();
+
+    let mut keep: Vec<CellAnnotation> = Vec::with_capacity(annotations.len());
+    for etype in types {
+        let scores = column_scores(table, &annotations, etype);
+        let Some(winner) = scores
+            .iter()
+            .map(|(&j, &s)| (j, s))
+            .max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("finite scores")
+                    .then(b.0.cmp(&a.0)) // ties → leftmost column
+            })
+            .map(|(j, _)| j)
+        else {
+            continue;
+        };
+        keep.extend(
+            annotations
+                .iter()
+                .filter(|a| a.etype == etype && a.cell.col == winner)
+                .copied(),
+        );
+    }
+    keep.sort_by_key(|a| a.cell);
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teda_tabular::CellId;
+
+    fn ann(row: usize, col: usize, etype: EntityType, score: f64) -> CellAnnotation {
+        CellAnnotation {
+            cell: CellId::new(row, col),
+            etype,
+            score,
+            votes: (score * 10.0) as usize,
+        }
+    }
+
+    /// A Figure 8-style table: names in column 0, the repeated word
+    /// "Museum" in column 1.
+    fn fig8_table() -> Table {
+        let mut b = Table::builder(2);
+        for name in ["Aurora Gallery", "Vesper Collection", "Stone Museum", "Onyx Gallery"] {
+            b.push_row(vec![name, "Museum"]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn eq2_hand_computed() {
+        let t = fig8_table();
+        // Column 0: two annotations, distinct values (o = 1), scores 0.8.
+        // Column 1: two annotations on the repeated value (o = 4), 1.0.
+        let anns = vec![
+            ann(0, 0, EntityType::Museum, 0.8),
+            ann(1, 0, EntityType::Museum, 0.8),
+            ann(0, 1, EntityType::Museum, 1.0),
+            ann(1, 1, EntityType::Museum, 1.0),
+        ];
+        let scores = column_scores(&t, &anns, EntityType::Museum);
+        let s0 = 2.0 * (0.8f64 / 1.0 + 1.0).ln();
+        let s1 = 2.0 * (1.0f64 / 4.0 + 1.0).ln();
+        assert!((scores[&0] - s0).abs() < 1e-12);
+        assert!((scores[&1] - s1).abs() < 1e-12);
+        assert!(
+            scores[&0] > scores[&1],
+            "distinct names must outscore repeated type words"
+        );
+    }
+
+    #[test]
+    fn figure8_spurious_annotations_eliminated() {
+        let t = fig8_table();
+        let anns = vec![
+            ann(0, 0, EntityType::Museum, 0.8),
+            ann(1, 0, EntityType::Museum, 0.7),
+            ann(2, 0, EntityType::Museum, 0.9),
+            // the "Museum" cells misclassified with full confidence
+            ann(0, 1, EntityType::Museum, 1.0),
+            ann(1, 1, EntityType::Museum, 1.0),
+            ann(2, 1, EntityType::Museum, 1.0),
+            ann(3, 1, EntityType::Museum, 1.0),
+        ];
+        let kept = eliminate_spurious(&t, anns);
+        assert_eq!(kept.len(), 3);
+        assert!(kept.iter().all(|a| a.cell.col == 0), "{kept:?}");
+    }
+
+    #[test]
+    fn types_are_pruned_independently() {
+        let t = Table::builder(2)
+            .row(vec!["Melisse", "Aurora Gallery"])
+            .unwrap()
+            .row(vec!["Chez Marie", "Vesper Collection"])
+            .unwrap()
+            .build()
+            .unwrap();
+        let anns = vec![
+            ann(0, 0, EntityType::Restaurant, 0.9),
+            ann(1, 0, EntityType::Restaurant, 0.8),
+            ann(0, 1, EntityType::Museum, 0.9),
+            ann(1, 1, EntityType::Museum, 0.7),
+        ];
+        let kept = eliminate_spurious(&t, anns.clone());
+        assert_eq!(kept.len(), 4, "both columns win for their own type");
+    }
+
+    #[test]
+    fn empty_annotations_are_fine() {
+        let t = fig8_table();
+        assert!(eliminate_spurious(&t, vec![]).is_empty());
+        assert!(column_scores(&t, &[], EntityType::Museum).is_empty());
+    }
+
+    #[test]
+    fn single_stray_annotation_loses_to_a_populated_column() {
+        let t = Table::builder(2)
+            .row(vec!["Melisse", "review of Melisse"])
+            .unwrap()
+            .row(vec!["Chez Marie", "tasting menu notes"])
+            .unwrap()
+            .row(vec!["Bayona", "wine list"])
+            .unwrap()
+            .build()
+            .unwrap();
+        let anns = vec![
+            ann(0, 0, EntityType::Restaurant, 0.7),
+            ann(1, 0, EntityType::Restaurant, 0.8),
+            ann(2, 0, EntityType::Restaurant, 0.9),
+            ann(0, 1, EntityType::Restaurant, 1.0), // stray review cell
+        ];
+        let kept = eliminate_spurious(&t, anns);
+        assert_eq!(kept.len(), 3);
+        assert!(kept.iter().all(|a| a.cell.col == 0));
+    }
+}

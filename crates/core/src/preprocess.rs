@@ -1,0 +1,249 @@
+//! Pre-processing (§5.1): rule out cells that cannot contain entity names.
+//!
+//! "The content of some cells may feature syntactic regularities that can
+//! be used to determine that they do not contain names of entities without
+//! querying the search engine":
+//!
+//! * pattern-shaped values — phone numbers, URLs, email addresses, numeric
+//!   values, geographic coordinates (and dates/addresses, which GFT types
+//!   usually catch anyway);
+//! * long values — verbose descriptions;
+//! * cells in columns typed `Location`, `Date` or `Number` by GFT.
+//!
+//! Conversely, "if the algorithm is looking for phone numbers or URLs, it
+//! can quickly find them without resorting to a web search engine" —
+//! [`find_pattern_cells`] provides that direct path.
+
+use teda_tabular::detect::{detect, word_count, ValueKind};
+use teda_tabular::{CellId, ColumnType, Table};
+
+use crate::config::AnnotatorConfig;
+
+/// Why a cell was ruled out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// The cell sits in a GFT `Location`/`Date`/`Number` column.
+    ColumnType(ColumnType),
+    /// The cell value matches a syntactic pattern.
+    Pattern(ValueKind),
+    /// The cell value is a verbose description.
+    TooLong {
+        /// Observed word count.
+        words: usize,
+    },
+    /// The cell is empty.
+    Empty,
+}
+
+/// The outcome of pre-processing one table.
+#[derive(Debug, Clone)]
+pub struct Preprocessed {
+    /// Cells that survive to the annotation step, row-major order.
+    pub candidates: Vec<CellId>,
+    /// Ruled-out cells with reasons (for reports and tests).
+    pub skipped: Vec<(CellId, SkipReason)>,
+}
+
+impl Preprocessed {
+    /// Fraction of cells ruled out — the pre-processing saving the paper
+    /// motivates ("querying a Web search engine is a costly operation").
+    pub fn skip_fraction(&self) -> f64 {
+        let total = self.candidates.len() + self.skipped.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.skipped.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Runs §5.1 over `table`.
+pub fn preprocess(table: &Table, config: &AnnotatorConfig) -> Preprocessed {
+    let mut candidates = Vec::new();
+    let mut skipped = Vec::new();
+
+    for id in table.cell_ids() {
+        let ctype = table.column_type(id.col);
+        if ctype.excludes_entity_names() {
+            skipped.push((id, SkipReason::ColumnType(ctype)));
+            continue;
+        }
+        let value = table.cell_at(id);
+        match detect(value) {
+            ValueKind::Empty => skipped.push((id, SkipReason::Empty)),
+            ValueKind::Text => {
+                let words = word_count(value);
+                if words > config.long_value_words {
+                    skipped.push((id, SkipReason::TooLong { words }));
+                } else {
+                    candidates.push(id);
+                }
+            }
+            kind => skipped.push((id, SkipReason::Pattern(kind))),
+        }
+    }
+    Preprocessed {
+        candidates,
+        skipped,
+    }
+}
+
+/// The direct path of §5.1: cells whose value matches `kind`, found
+/// without any search-engine query (used when the target "type" is itself
+/// a syntactic pattern, e.g. phone numbers or URLs).
+pub fn find_pattern_cells(table: &Table, kind: ValueKind) -> Vec<CellId> {
+    table
+        .cell_ids()
+        .filter(|&id| detect(table.cell_at(id)) == kind)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teda_tabular::Table;
+
+    fn config() -> AnnotatorConfig {
+        AnnotatorConfig::default()
+    }
+
+    fn poi_table() -> Table {
+        Table::builder(5)
+            .headers(vec!["Name", "Address", "Phone", "Site", "Rating"])
+            .unwrap()
+            .column_types(vec![
+                ColumnType::Text,
+                ColumnType::Location,
+                ColumnType::Text,
+                ColumnType::Text,
+                ColumnType::Number,
+            ])
+            .unwrap()
+            .row(vec![
+                "Melisse",
+                "1104 Wilshire Blvd",
+                "+1 (310) 395-0881",
+                "www.melisse.example.com",
+                "4.7",
+            ])
+            .unwrap()
+            .row(vec![
+                "The Silent Lantern",
+                "12 Main St",
+                "310-555-0123",
+                "www.lantern.example.com",
+                "4.1",
+            ])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn only_name_cells_survive() {
+        let t = poi_table();
+        let p = preprocess(&t, &config());
+        assert_eq!(
+            p.candidates,
+            vec![CellId::new(0, 0), CellId::new(1, 0)],
+            "{:?}",
+            p.candidates
+        );
+    }
+
+    #[test]
+    fn skip_reasons_are_recorded() {
+        let t = poi_table();
+        let p = preprocess(&t, &config());
+        let reason_of = |cell: CellId| {
+            p.skipped
+                .iter()
+                .find(|(c, _)| *c == cell)
+                .map(|(_, r)| *r)
+                .unwrap()
+        };
+        assert_eq!(
+            reason_of(CellId::new(0, 1)),
+            SkipReason::ColumnType(ColumnType::Location)
+        );
+        assert_eq!(
+            reason_of(CellId::new(0, 2)),
+            SkipReason::Pattern(ValueKind::Phone)
+        );
+        assert_eq!(
+            reason_of(CellId::new(0, 3)),
+            SkipReason::Pattern(ValueKind::Url)
+        );
+        assert_eq!(
+            reason_of(CellId::new(0, 4)),
+            SkipReason::ColumnType(ColumnType::Number)
+        );
+    }
+
+    #[test]
+    fn long_values_are_ruled_out() {
+        let t = Table::builder(1)
+            .row(vec!["a verbose description with clearly more than ten different words in this cell"])
+            .unwrap()
+            .row(vec!["Short Name"])
+            .unwrap()
+            .build()
+            .unwrap();
+        let p = preprocess(&t, &config());
+        assert_eq!(p.candidates, vec![CellId::new(1, 0)]);
+        assert!(matches!(p.skipped[0].1, SkipReason::TooLong { words } if words > 10));
+    }
+
+    #[test]
+    fn empty_cells_are_ruled_out() {
+        let t = Table::builder(1)
+            .row(vec![""])
+            .unwrap()
+            .row(vec!["  "])
+            .unwrap()
+            .build()
+            .unwrap();
+        let p = preprocess(&t, &config());
+        assert!(p.candidates.is_empty());
+        assert_eq!(p.skipped.len(), 2);
+        assert!((p.skip_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn untyped_columns_are_not_excluded_wholesale() {
+        // Unknown columns (Web tables) must rely on cell-level patterns.
+        let t = Table::builder(2)
+            .column_types(vec![ColumnType::Unknown, ColumnType::Unknown])
+            .unwrap()
+            .row(vec!["Louvre Museum", "48.8606, 2.3376"])
+            .unwrap()
+            .build()
+            .unwrap();
+        let p = preprocess(&t, &config());
+        assert_eq!(p.candidates, vec![CellId::new(0, 0)]);
+        assert_eq!(
+            p.skipped[0].1,
+            SkipReason::Pattern(ValueKind::Coordinates)
+        );
+    }
+
+    #[test]
+    fn direct_pattern_lookup() {
+        let t = poi_table();
+        let phones = find_pattern_cells(&t, ValueKind::Phone);
+        assert_eq!(phones, vec![CellId::new(0, 2), CellId::new(1, 2)]);
+        let urls = find_pattern_cells(&t, ValueKind::Url);
+        assert_eq!(urls.len(), 2);
+    }
+
+    #[test]
+    fn preprocessing_saves_queries() {
+        let t = poi_table();
+        let p = preprocess(&t, &config());
+        assert!(
+            p.skip_fraction() >= 0.7,
+            "a 5-column POI table should skip most cells: {}",
+            p.skip_fraction()
+        );
+    }
+}

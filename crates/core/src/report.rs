@@ -1,0 +1,163 @@
+//! Human-readable and machine-readable views of annotation results.
+//!
+//! The paper's application (§1) feeds annotations into an RDF repository
+//! behind a faceted browser; downstream users of this library need the
+//! same kind of exports: a summary for logs, a per-row listing, and a CSV
+//! with the annotations joined back onto the table.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use teda_kb::EntityType;
+use teda_tabular::Table;
+
+use crate::pipeline::TableAnnotations;
+
+/// A plain-text summary of one table's annotation run.
+pub fn summary(table: &Table, result: &TableAnnotations) -> String {
+    let mut by_type: BTreeMap<EntityType, usize> = BTreeMap::new();
+    for a in &result.cells {
+        *by_type.entry(a.etype).or_insert(0) += 1;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "table {:?}: {} rows x {} cols; {} cells pre-filtered, {} queried, {} annotated",
+        table.name(),
+        table.n_rows(),
+        table.n_cols(),
+        result.skipped_cells,
+        result.queried_cells,
+        result.cells.len(),
+    );
+    for (etype, n) in &by_type {
+        let _ = writeln!(out, "  {etype}: {n}");
+    }
+    out
+}
+
+/// A per-row listing: `row <i>: <type> "<name>" (score)`.
+pub fn row_listing(table: &Table, result: &TableAnnotations) -> String {
+    let mut out = String::new();
+    for row in result.rows() {
+        let _ = writeln!(
+            out,
+            "row {:>4}: {:<20} {:?} (score {:.2})",
+            row.row,
+            row.etype.to_string(),
+            table.cell_at(row.name_cell),
+            row.score,
+        );
+    }
+    out
+}
+
+/// The annotated table as CSV: the original columns plus two trailing
+/// columns, `entity_type` and `annotation_score`, filled on annotated
+/// rows. Rows with several annotations repeat the strongest one.
+pub fn to_csv(table: &Table, result: &TableAnnotations) -> String {
+    // strongest annotation per row
+    let mut best: BTreeMap<usize, (&EntityType, f64)> = BTreeMap::new();
+    for a in &result.cells {
+        let entry = best.entry(a.cell.row).or_insert((&a.etype, a.score));
+        if a.score > entry.1 {
+            *entry = (&a.etype, a.score);
+        }
+    }
+
+    let mut augmented = Table::builder(table.n_cols() + 2);
+    if let Some(headers) = table.headers() {
+        let mut h: Vec<String> = headers.to_vec();
+        h.push("entity_type".into());
+        h.push("annotation_score".into());
+        augmented = augmented.headers(h).expect("width matches");
+    }
+    for i in 0..table.n_rows() {
+        let mut row: Vec<String> = table.row(i).map(str::to_owned).collect();
+        match best.get(&i) {
+            Some((etype, score)) => {
+                row.push(etype.type_word().to_owned());
+                row.push(format!("{score:.2}"));
+            }
+            None => {
+                row.push(String::new());
+                row.push(String::new());
+            }
+        }
+        augmented.push_row(row).expect("width matches");
+    }
+    teda_tabular::csv::write_table(&augmented.build().expect("non-empty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::CellAnnotation;
+    use teda_tabular::CellId;
+
+    fn fixture() -> (Table, TableAnnotations) {
+        let table = Table::builder(2)
+            .name("t")
+            .headers(vec!["Name", "City"])
+            .unwrap()
+            .row(vec!["Melisse", "Santa Monica"])
+            .unwrap()
+            .row(vec!["Nothing", "Nowhere"])
+            .unwrap()
+            .build()
+            .unwrap();
+        let result = TableAnnotations {
+            cells: vec![CellAnnotation {
+                cell: CellId::new(0, 0),
+                etype: EntityType::Restaurant,
+                score: 0.8,
+                votes: 8,
+            }],
+            skipped_cells: 2,
+            queried_cells: 2,
+        };
+        (table, result)
+    }
+
+    #[test]
+    fn summary_counts_types() {
+        let (t, r) = fixture();
+        let s = summary(&t, &r);
+        assert!(s.contains("2 rows x 2 cols"));
+        assert!(s.contains("Restaurants: 1"));
+    }
+
+    #[test]
+    fn row_listing_names_the_cell() {
+        let (t, r) = fixture();
+        let s = row_listing(&t, &r);
+        assert!(s.contains("Melisse"));
+        assert!(s.contains("0.80"));
+    }
+
+    #[test]
+    fn csv_round_trips_with_annotation_columns() {
+        let (t, r) = fixture();
+        let csv = to_csv(&t, &r);
+        let back = teda_tabular::csv::parse_table(&csv, "t", true).unwrap();
+        assert_eq!(back.n_cols(), 4);
+        assert_eq!(back.headers().unwrap()[2], "entity_type");
+        assert_eq!(back.cell(0, 2), "restaurant");
+        assert_eq!(back.cell(0, 3), "0.80");
+        assert_eq!(back.cell(1, 2), "", "unannotated rows stay blank");
+    }
+
+    #[test]
+    fn strongest_annotation_wins_the_row() {
+        let (t, mut r) = fixture();
+        r.cells.push(CellAnnotation {
+            cell: CellId::new(0, 1),
+            etype: EntityType::Museum,
+            score: 0.9,
+            votes: 9,
+        });
+        let csv = to_csv(&t, &r);
+        let back = teda_tabular::csv::parse_table(&csv, "t", true).unwrap();
+        assert_eq!(back.cell(0, 2), "museum");
+    }
+}

@@ -1,0 +1,492 @@
+//! Classifier training (§5.2.1).
+//!
+//! The training pipeline, exactly as the paper describes it:
+//!
+//! 1. For each type `t`, build the positive entity set `P` from the
+//!    category network: root at ρ, visit all subcategories, and apply the
+//!    heuristic that "consists of removing from Cpos all categories whose
+//!    names do not contain the name of type t".
+//! 2. For each positive entity, query the search engine with the phrase
+//!    "`<name> <type>`" ("Melisse restaurant") — "the name of the type
+//!    disambiguates the query" — and keep up to 10 snippets.
+//! 3. Split 75% / 25% into training and test sets.
+//!
+//! Snippets of the world's distractor types are harvested the same way to
+//! populate the `Other` class, so the classifier has a reject option.
+
+use rand::seq::SliceRandom;
+
+use teda_classifier::cv::{fold_splits, stratified_folds};
+use teda_classifier::naive_bayes::{NaiveBayes, NaiveBayesConfig};
+use teda_classifier::split::stratified_split;
+use teda_classifier::svm::pegasos::{PegasosConfig, PegasosSvm};
+use teda_classifier::svm::smo::{SmoConfig, SmoSvm};
+use teda_classifier::{Classifier, ConfusionMatrix, Dataset, OneVsRest, Prf};
+use teda_kb::{CategoryId, CategoryNetwork, EntityId, EntityType, World};
+use teda_simkit::{derive_seed, rng_from_seed};
+use teda_text::FeatureExtractor;
+use teda_websim::SearchEngine;
+
+use crate::model::{AnyModel, SnippetClassifier, TypeLabels};
+
+/// Configuration of the harvesting process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainerConfig {
+    /// Snippets collected per entity ("Up to 10 snippets are collected").
+    pub snippets_per_entity: usize,
+    /// Cap on positive entities per type (`None` = all of them).
+    pub max_entities_per_type: Option<usize>,
+    /// Test fraction ("75% … training … 25% … test").
+    pub test_frac: f64,
+    /// Whether to add an `Other` reject class trained on distractor-type
+    /// snippets. `false` is the paper's closed-Γ setup; `true` is the
+    /// extension evaluated as an ablation.
+    pub include_other_class: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            snippets_per_entity: 10,
+            max_entities_per_type: None,
+            test_frac: 0.25,
+            include_other_class: false,
+            seed: 0x7ea1,
+        }
+    }
+}
+
+/// Per-type harvest statistics (the |TR| / |TE| columns of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HarvestStat {
+    pub etype: EntityType,
+    /// Positive entities used.
+    pub n_entities: usize,
+    /// Training snippets.
+    pub n_train: usize,
+    /// Test snippets.
+    pub n_test: usize,
+}
+
+/// The harvested corpus: datasets, labels, extractor, stats.
+#[derive(Debug, Clone)]
+pub struct TrainingCorpus {
+    pub train: Dataset,
+    pub test: Dataset,
+    pub labels: TypeLabels,
+    pub extractor: FeatureExtractor,
+    pub stats: Vec<HarvestStat>,
+}
+
+/// The §5.2.1 positive-entity selection: category traversal from ρ plus
+/// the category-name filtering heuristic.
+pub fn positive_entities(
+    net: &CategoryNetwork,
+    world: &World,
+    etype: EntityType,
+) -> Vec<EntityId> {
+    let Some(root) = net.root_for(etype) else {
+        return Vec::new();
+    };
+    // Match on the Porter stem of the type word, not the literal word:
+    // "Universities in USA" does not contain "university" (y → ies), but
+    // both share the stem "univers". The paper's prose says "the name of
+    // type t"; a literal-string reading would silently drop every plural
+    // category of y-final types.
+    let stem = teda_text::porter::stem(&etype.type_word().to_lowercase());
+    let mut out: Vec<EntityId> = Vec::new();
+    for cat in net.descendants(root) {
+        if !net.name(cat).to_lowercase().contains(&stem) {
+            continue; // the heuristic: drop "Curators" under "Museums"
+        }
+        out.extend_from_slice(net.entities_in(cat));
+    }
+    out.sort();
+    out.dedup();
+    let _ = world;
+    out
+}
+
+/// Automatic root-category selection — the paper's scalability
+/// future work (§6.4):
+///
+/// > "if we intended to use our algorithm for annotating entities of any
+/// > type in Probase, which includes up to two million types, we would
+/// > need a way to automatically select the category that best represents
+/// > a type."
+///
+/// Scores every category as a root candidate for `etype`: the stem of the
+/// type word must appear in the category name; among matches, the one
+/// that reaches the most entities wins (the root is the most general
+/// container), with shorter names breaking ties ("Museums" over "Museums
+/// by country" when both reach everything). Returns `None` when no
+/// category mentions the type at all.
+pub fn auto_select_root(net: &CategoryNetwork, etype: EntityType) -> Option<CategoryId> {
+    let stem = teda_text::porter::stem(&etype.type_word().to_lowercase());
+    let mut best: Option<(CategoryId, usize, usize)> = None; // (cat, reach, name_len)
+    for cat in net.all_categories() {
+        let name = net.name(cat).to_lowercase();
+        if !name.contains(&stem) {
+            continue;
+        }
+        let reach: usize = net
+            .descendants(cat)
+            .iter()
+            .map(|&c| net.entities_in(c).len())
+            .sum();
+        if reach == 0 {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((_, breach, blen)) => {
+                reach > breach || (reach == breach && name.len() < blen)
+            }
+        };
+        if better {
+            best = Some((cat, reach, name.len()));
+        }
+    }
+    best.map(|(cat, _, _)| cat)
+}
+
+/// Harvests the training corpus for `targets` over the given engine.
+pub fn harvest<E: SearchEngine + ?Sized>(
+    world: &World,
+    net: &CategoryNetwork,
+    engine: &E,
+    targets: &[EntityType],
+    config: TrainerConfig,
+) -> TrainingCorpus {
+    let labels = if config.include_other_class {
+        TypeLabels::with_other(targets.to_vec())
+    } else {
+        TypeLabels::new(targets.to_vec())
+    };
+    let mut rng = rng_from_seed(derive_seed(config.seed, "harvest"));
+
+    // (snippet text, class) pairs, per class for stats.
+    let mut snippets: Vec<(String, usize)> = Vec::new();
+    let mut entities_per_class: Vec<usize> = vec![0; labels.n_classes()];
+
+    let collect = |snippets: &mut Vec<(String, usize)>,
+                       rng: &mut rand::rngs::StdRng,
+                       ids: &[EntityId],
+                       class: usize,
+                       phrase: &str| {
+        let mut ids = ids.to_vec();
+        ids.shuffle(rng);
+        if let Some(cap) = config.max_entities_per_type {
+            ids.truncate(cap);
+        }
+        let mut used = 0usize;
+        for id in &ids {
+            let e = world.entity(*id);
+            let query = format!("{} {}", e.name, phrase);
+            let results = engine.search(&query, config.snippets_per_entity);
+            if results.is_empty() {
+                continue;
+            }
+            used += 1;
+            for r in results {
+                snippets.push((r.snippet, class));
+            }
+        }
+        used
+    };
+
+    for (class, &etype) in targets.iter().enumerate() {
+        let positives = positive_entities(net, world, etype);
+        let used = collect(
+            &mut snippets,
+            &mut rng,
+            &positives,
+            class,
+            etype.query_phrase(),
+        );
+        entities_per_class[class] = used;
+    }
+    // Optional Other class: the distractor types, harvested identically.
+    if let Some(other) = labels.other_class() {
+        for &etype in &EntityType::DISTRACTORS {
+            let ids = world.entities_of(etype);
+            entities_per_class[other] +=
+                collect(&mut snippets, &mut rng, ids, other, etype.query_phrase());
+        }
+    }
+
+    // 75/25 stratified split, then vocabulary fitted on training text only.
+    let ys: Vec<usize> = snippets.iter().map(|&(_, c)| c).collect();
+    let (train_idx, test_idx) =
+        stratified_split(&ys, config.test_frac, derive_seed(config.seed, "split"));
+
+    let mut extractor = FeatureExtractor::new();
+    let mut train = Dataset::new(labels.n_classes(), 0);
+    for &i in &train_idx {
+        let (text, class) = &snippets[i];
+        let x = extractor.fit_transform(text);
+        train.push(x, *class);
+    }
+    train.set_dim(extractor.dim());
+    let mut test = Dataset::new(labels.n_classes(), extractor.dim());
+    for &i in &test_idx {
+        let (text, class) = &snippets[i];
+        let x = extractor.transform(text);
+        test.push(x, *class);
+    }
+
+    let mut stats = Vec::with_capacity(targets.len());
+    for (class, &etype) in targets.iter().enumerate() {
+        let n_train = train.ys().iter().filter(|&&y| y == class).count();
+        let n_test = test.ys().iter().filter(|&&y| y == class).count();
+        stats.push(HarvestStat {
+            etype,
+            n_entities: entities_per_class[class],
+            n_train,
+            n_test,
+        });
+    }
+
+    TrainingCorpus {
+        train,
+        test,
+        labels,
+        extractor,
+        stats,
+    }
+}
+
+/// Trains the Naive Bayes snippet classifier (the paper's LingPipe
+/// configuration: prior counts 1.0, no length normalization).
+pub fn train_bayes(corpus: &TrainingCorpus, config: NaiveBayesConfig) -> SnippetClassifier {
+    let nb = NaiveBayes::train(&corpus.train, config);
+    SnippetClassifier::new(
+        corpus.extractor.clone(),
+        AnyModel::Bayes(nb),
+        corpus.labels.clone(),
+    )
+}
+
+/// Trains the linear SVM (Pegasos) snippet classifier — the scale-friendly
+/// counterpart of the paper's C-SVC, used for full-size corpora.
+pub fn train_svm_linear(corpus: &TrainingCorpus, config: PegasosConfig) -> SnippetClassifier {
+    let dim = corpus.train.dim();
+    let ovr = OneVsRest::train(&corpus.train, |class, xs, ys| {
+        PegasosSvm::train(
+            xs,
+            ys,
+            dim,
+            PegasosConfig {
+                seed: config.seed ^ (class as u64).wrapping_mul(0x9e37_79b9),
+                ..config
+            },
+        )
+    });
+    SnippetClassifier::new(
+        corpus.extractor.clone(),
+        AnyModel::SvmLinear(ovr),
+        corpus.labels.clone(),
+    )
+}
+
+/// Trains the RBF C-SVC via SMO — the paper's exact configuration
+/// (C = 8, γ = 8). Panics if the corpus exceeds the SMO size cap; use a
+/// `max_entities_per_type` cap or [`train_svm_linear`] for large corpora.
+pub fn train_svm_rbf(corpus: &TrainingCorpus, config: SmoConfig) -> SnippetClassifier {
+    let ovr = OneVsRest::train(&corpus.train, |class, xs, ys| {
+        SmoSvm::train(
+            xs,
+            ys,
+            SmoConfig {
+                seed: config.seed ^ class as u64,
+                ..config
+            },
+        )
+    });
+    SnippetClassifier::new(
+        corpus.extractor.clone(),
+        AnyModel::SvmRbf(ovr),
+        corpus.labels.clone(),
+    )
+}
+
+/// Per-type one-vs-rest PRF of `model` over the held-out test set — the
+/// Bayes/SVM columns of Table 2.
+pub fn test_prf(corpus: &TrainingCorpus, model: &AnyModel) -> Vec<(EntityType, Prf)> {
+    let mut cm = ConfusionMatrix::new(corpus.labels.n_classes());
+    for i in 0..corpus.test.len() {
+        let (x, y) = corpus.test.get(i);
+        cm.observe(y, model.predict(x));
+    }
+    corpus
+        .labels
+        .types()
+        .iter()
+        .enumerate()
+        .map(|(class, &etype)| (etype, cm.prf(class)))
+        .collect()
+}
+
+/// Cross-validated accuracy of the training set at a given fold count —
+/// the inner loop of the grid-search reproduction.
+pub fn cv_accuracy(corpus: &TrainingCorpus, folds: usize, seed: u64) -> f64 {
+    let fold_of = stratified_folds(corpus.train.ys(), folds, seed);
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (train_idx, test_idx) in fold_splits(&fold_of, folds) {
+        if train_idx.is_empty() || test_idx.is_empty() {
+            continue;
+        }
+        let fold_train = corpus.train.subset(&train_idx);
+        let nb = NaiveBayes::train(&fold_train, NaiveBayesConfig::default());
+        for &i in &test_idx {
+            let (x, y) = corpus.train.get(i);
+            if nb.predict(x) == y {
+                correct += 1;
+            }
+            total += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use teda_kb::WorldSpec;
+    use teda_websim::{BingSim, WebCorpus, WebCorpusSpec};
+
+    fn fixture() -> (World, CategoryNetwork, BingSim) {
+        let world = World::generate(WorldSpec::tiny(), 42);
+        let net = CategoryNetwork::build(&world, 42);
+        let web = WebCorpus::build(&world, WebCorpusSpec::tiny(), 42);
+        (world, net, BingSim::instant(Arc::new(web)))
+    }
+
+    #[test]
+    fn positive_entities_are_clean() {
+        let (world, net, _) = fixture();
+        for etype in [EntityType::Museum, EntityType::Restaurant] {
+            let pos = positive_entities(&net, &world, etype);
+            assert!(!pos.is_empty(), "{etype}");
+            for id in pos {
+                assert_eq!(
+                    world.entity(id).etype,
+                    etype,
+                    "noise leaked into {etype} positives"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_root_selection_matches_the_manual_choice() {
+        // §6.4 future work: for every target type, the automatic selector
+        // must land on the same root a human picked.
+        let (world, net, _) = fixture();
+        let _ = &world;
+        for etype in EntityType::TARGETS {
+            assert_eq!(
+                auto_select_root(&net, etype),
+                net.root_for(etype),
+                "{etype}"
+            );
+        }
+    }
+
+    #[test]
+    fn harvest_produces_both_splits_and_stats() {
+        let (world, net, engine) = fixture();
+        let targets = vec![EntityType::Restaurant, EntityType::Museum];
+        let corpus = harvest(
+            &world,
+            &net,
+            &engine,
+            &targets,
+            TrainerConfig {
+                max_entities_per_type: Some(8),
+                include_other_class: true,
+                ..TrainerConfig::default()
+            },
+        );
+        assert!(corpus.train.len() > corpus.test.len());
+        assert_eq!(corpus.stats.len(), 2);
+        for s in &corpus.stats {
+            assert!(s.n_train > 0, "{:?}", s);
+            assert!(s.n_test > 0, "{:?}", s);
+            // ~75/25
+            let frac = s.n_test as f64 / (s.n_train + s.n_test) as f64;
+            assert!((0.15..=0.35).contains(&frac), "{frac}");
+        }
+        // the Other class is populated from distractors
+        let other = corpus.labels.other_class().expect("other enabled");
+        assert!(corpus.train.ys().contains(&other));
+    }
+
+    #[test]
+    fn trained_classifiers_beat_chance_on_test() {
+        let (world, net, engine) = fixture();
+        let targets = vec![EntityType::Restaurant, EntityType::Museum];
+        let corpus = harvest(
+            &world,
+            &net,
+            &engine,
+            &targets,
+            TrainerConfig {
+                max_entities_per_type: Some(10),
+                ..TrainerConfig::default()
+            },
+        );
+        let nb = train_bayes(&corpus, NaiveBayesConfig::snippet_default());
+        let svm = train_svm_linear(&corpus, PegasosConfig::default());
+        for (name, model) in [("nb", nb.model()), ("svm", svm.model())] {
+            let prfs = test_prf(&corpus, model);
+            for (etype, prf) in prfs {
+                assert!(
+                    prf.f1 > 0.6,
+                    "{name} {etype}: test F {:.2} too low",
+                    prf.f1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn harvest_is_deterministic() {
+        let (world, net, engine) = fixture();
+        let targets = vec![EntityType::Hotel];
+        let cfg = TrainerConfig {
+            max_entities_per_type: Some(6),
+            ..TrainerConfig::default()
+        };
+        let a = harvest(&world, &net, &engine, &targets, cfg);
+        let b = harvest(&world, &net, &engine, &targets, cfg);
+        assert_eq!(a.train.len(), b.train.len());
+        assert_eq!(a.test.len(), b.test.len());
+        assert_eq!(a.train.ys(), b.train.ys());
+    }
+
+    #[test]
+    fn cv_accuracy_is_sane() {
+        let (world, net, engine) = fixture();
+        let corpus = harvest(
+            &world,
+            &net,
+            &engine,
+            &[EntityType::Restaurant, EntityType::Museum],
+            TrainerConfig {
+                max_entities_per_type: Some(8),
+                ..TrainerConfig::default()
+            },
+        );
+        let acc = cv_accuracy(&corpus, 3, 1);
+        assert!(acc > 0.5, "cv accuracy {acc}");
+    }
+}

@@ -1,0 +1,254 @@
+//! The 40-table GFT benchmark with the paper's exact per-type mention
+//! counts (§6.2).
+
+use rand::rngs::StdRng;
+
+use teda_kb::{EntityType, World};
+use teda_simkit::{derive_seed, rng_from_seed};
+
+use crate::gft::{
+    category_column_table, cinema_table, distractor_table, limited_context_table, mixed_table,
+    people_table, poi_table,
+};
+use crate::gold::{total_counts, GoldTable};
+
+/// The paper's per-type reference counts for the 40-table set.
+pub const PAPER_MENTIONS: [(EntityType, usize); 12] = [
+    (EntityType::Restaurant, 287),
+    (EntityType::Museum, 240),
+    (EntityType::Theatre, 160),
+    (EntityType::Hotel, 67),
+    (EntityType::School, 109),
+    (EntityType::University, 150),
+    (EntityType::Mine, 30),
+    (EntityType::Actor, 50),
+    (EntityType::Singer, 120),
+    (EntityType::Scientist, 100),
+    (EntityType::Film, 24),
+    (EntityType::SimpsonsEpisode, 34),
+];
+
+/// The generated benchmark: 40 gold tables.
+#[derive(Debug, Clone)]
+pub struct BenchmarkSet {
+    /// The tables, in a fixed order (POI sets first, then people, cinema,
+    /// the figure scenarios, and the distractor tables).
+    pub tables: Vec<GoldTable>,
+}
+
+impl BenchmarkSet {
+    /// Per-type mention totals across the set.
+    pub fn mention_counts(&self) -> std::collections::HashMap<EntityType, usize> {
+        total_counts(&self.tables)
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(|t| t.table.n_rows()).sum()
+    }
+}
+
+/// Generates the 40-table benchmark over `world`, mention counts matching
+/// [`PAPER_MENTIONS`] exactly. Deterministic per seed.
+pub fn gft_benchmark(world: &World, seed: u64) -> BenchmarkSet {
+    let mut rng = rng_from_seed(derive_seed(seed, "gft-benchmark"));
+    let mut tables: Vec<GoldTable> = Vec::with_capacity(40);
+    let r = &mut rng;
+
+    // Restaurants: 205 plain + 42 limited-context (Fig 4) + 10 small
+    // + 30 in the mixed table (added below) = 287.
+    for (i, &n) in [50usize, 60, 55, 40].iter().enumerate() {
+        tables.push(named_poi(world, EntityType::Restaurant, n, i, r));
+    }
+    tables.push(limited_context_table(
+        world,
+        EntityType::Restaurant,
+        42,
+        "gft_restaurants_fig4",
+        r,
+    ));
+    tables.push(named_poi(world, EntityType::Restaurant, 10, 4, r));
+
+    // Museums: 190 plain + 50 in the Fig 8 category-column table = 240.
+    for (i, &n) in [60usize, 55, 45, 30].iter().enumerate() {
+        tables.push(named_poi(world, EntityType::Museum, n, i, r));
+    }
+    tables.push(category_column_table(
+        world,
+        EntityType::Museum,
+        50,
+        "gft_museums_fig8",
+        r,
+    ));
+
+    // Theatres: 160.
+    for (i, &n) in [45usize, 40, 40, 35].iter().enumerate() {
+        tables.push(named_poi(world, EntityType::Theatre, n, i, r));
+    }
+
+    // Hotels: 37 plain + 30 mixed = 67.
+    tables.push(named_poi(world, EntityType::Hotel, 37, 0, r));
+
+    // Schools: 109.
+    for (i, &n) in [40usize, 35, 34].iter().enumerate() {
+        tables.push(named_poi(world, EntityType::School, n, i, r));
+    }
+
+    // Universities: 150.
+    for (i, &n) in [50usize, 50, 50].iter().enumerate() {
+        tables.push(named_poi(world, EntityType::University, n, i, r));
+    }
+
+    // Mines: 30.
+    tables.push(named_poi(world, EntityType::Mine, 30, 1, r));
+
+    // People.
+    for (i, &n) in [25usize, 25].iter().enumerate() {
+        tables.push(people_table(
+            world,
+            EntityType::Actor,
+            n,
+            &format!("gft_actors_{i}"),
+            r,
+        ));
+    }
+    for (i, &n) in [40usize, 40, 40].iter().enumerate() {
+        tables.push(people_table(
+            world,
+            EntityType::Singer,
+            n,
+            &format!("gft_singers_{i}"),
+            r,
+        ));
+    }
+    for (i, &n) in [34usize, 33, 33].iter().enumerate() {
+        tables.push(people_table(
+            world,
+            EntityType::Scientist,
+            n,
+            &format!("gft_scientists_{i}"),
+            r,
+        ));
+    }
+
+    // Cinema.
+    tables.push(cinema_table(world, EntityType::Film, 24, "gft_films_0", r));
+    tables.push(cinema_table(
+        world,
+        EntityType::SimpsonsEpisode,
+        34,
+        "gft_episodes_0",
+        r,
+    ));
+
+    // The Figure 2 mixed table: 30 restaurants + 30 hotels + 15 temples.
+    tables.push(mixed_table(
+        world,
+        &[
+            (EntityType::Restaurant, 30),
+            (EntityType::Hotel, 30),
+            (EntityType::Temple, 15),
+        ],
+        "gft_mixed_fig2",
+        r,
+    ));
+
+    // Six distractor tables (no target entities): parks and companies.
+    for i in 0..3 {
+        tables.push(distractor_table(
+            world,
+            EntityType::Park,
+            12 + i,
+            &format!("gft_parks_{i}"),
+            r,
+        ));
+    }
+    for i in 0..3 {
+        tables.push(distractor_table(
+            world,
+            EntityType::Company,
+            14 + i,
+            &format!("gft_companies_{i}"),
+            r,
+        ));
+    }
+
+    assert_eq!(tables.len(), 40, "the benchmark is defined as 40 tables");
+    BenchmarkSet { tables }
+}
+
+fn named_poi(
+    world: &World,
+    etype: EntityType,
+    n: usize,
+    serial: usize,
+    rng: &mut StdRng,
+) -> GoldTable {
+    let name = format!("gft_{}_{serial}", etype.type_word());
+    poi_table(world, etype, n, serial as u8, &name, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teda_kb::WorldSpec;
+
+    fn set() -> BenchmarkSet {
+        let world = World::generate(WorldSpec::tiny(), 42);
+        gft_benchmark(&world, 42)
+    }
+
+    #[test]
+    fn exactly_forty_tables() {
+        assert_eq!(set().tables.len(), 40);
+    }
+
+    #[test]
+    fn mention_counts_match_the_paper_exactly() {
+        let counts = set().mention_counts();
+        for (etype, expected) in PAPER_MENTIONS {
+            assert_eq!(
+                counts.get(&etype).copied().unwrap_or(0),
+                expected,
+                "{etype}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_gold_entries_for_distractor_types() {
+        let counts = set().mention_counts();
+        for t in EntityType::DISTRACTORS {
+            assert_eq!(counts.get(&t), None, "{t}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let world = World::generate(WorldSpec::tiny(), 42);
+        let a = gft_benchmark(&world, 42);
+        let b = gft_benchmark(&world, 42);
+        for (ta, tb) in a.tables.iter().zip(&b.tables) {
+            assert_eq!(ta.table, tb.table);
+            assert_eq!(ta.entries, tb.entries);
+        }
+    }
+
+    #[test]
+    fn average_rows_is_in_the_papers_ballpark() {
+        // §6.4: "the average number of rows in the tables in our datasets
+        // is 50"; ours lands in the 30–50 band (documented deviation).
+        let s = set();
+        let avg = s.total_rows() as f64 / s.tables.len() as f64;
+        assert!((25.0..=55.0).contains(&avg), "average rows {avg}");
+    }
+
+    #[test]
+    fn special_tables_are_present() {
+        let s = set();
+        let names: Vec<&str> = s.tables.iter().map(|t| t.table.name()).collect();
+        assert!(names.contains(&"gft_mixed_fig2"));
+        assert!(names.contains(&"gft_museums_fig8"));
+        assert!(names.contains(&"gft_restaurants_fig4"));
+    }
+}

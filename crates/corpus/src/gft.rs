@@ -1,0 +1,575 @@
+//! GFT-style table generators: one function per table shape the paper
+//! shows or implies.
+//!
+//! All generators return [`GoldTable`]s: the table plus the cell-level
+//! gold standard. Column types are set the way GFT would assign them
+//! (§3: Text / Number / Location / Date).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use teda_kb::{EntityId, EntityType, World};
+use teda_tabular::{CellId, ColumnType, Table};
+
+use crate::gold::{GoldEntry, GoldTable};
+
+/// Samples `n` entities of `etype`, cycling (reshuffled) when the world
+/// holds fewer than `n` — the paper counts *references*, and real tables
+/// repeat popular entities across tables.
+pub fn sample_entities(world: &World, etype: EntityType, n: usize, rng: &mut StdRng) -> Vec<EntityId> {
+    let pool = world.entities_of(etype);
+    assert!(!pool.is_empty(), "world has no {etype}");
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let mut round = pool.to_vec();
+        round.shuffle(rng);
+        let take = (n - out.len()).min(round.len());
+        out.extend(round.into_iter().take(take));
+    }
+    out
+}
+
+/// A verbose description cell (> 10 words, so §5.1 pre-processing rules it
+/// out of the search path).
+pub fn describe(world: &World, id: EntityId, rng: &mut StdRng) -> String {
+    let e = world.entity(id);
+    let core = e.etype.core_terms();
+    let domain = e.etype.domain_terms();
+    let pick = |rng: &mut StdRng, pool: &[&str]| pool[rng.gen_range(0..pool.len())].to_owned();
+    let place = e
+        .city_name(world.gazetteer())
+        .map(|c| format!("in {c}"))
+        .unwrap_or_else(|| "worth knowing".to_owned());
+    let (a, b, c, d) = (
+        pick(rng, core),
+        pick(rng, core),
+        pick(rng, domain),
+        pick(rng, domain),
+    );
+    format!(
+        "A well regarded destination {place} offering {a} and {b} with plenty of {c} and {d} for every visitor"
+    )
+}
+
+fn phone_or_default(world: &World, id: EntityId) -> String {
+    world
+        .entity(id)
+        .phone
+        .clone()
+        .unwrap_or_else(|| "+1 (555) 000-0000".to_owned())
+}
+
+fn url_or_default(world: &World, id: EntityId) -> String {
+    world
+        .entity(id)
+        .url
+        .clone()
+        .unwrap_or_else(|| "www.example.com".to_owned())
+}
+
+fn address_or_default(world: &World, id: EntityId) -> String {
+    world
+        .entity(id)
+        .street_address(world.gazetteer())
+        .unwrap_or_else(|| "1 Main Street".to_owned())
+}
+
+fn city_or_default(world: &World, id: EntityId) -> String {
+    world
+        .entity(id)
+        .city_name(world.gazetteer())
+        .unwrap_or("Springfield")
+        .to_owned()
+}
+
+/// A POI table. `variant` picks among realistic schemas; the name column
+/// is not always first.
+///
+/// * 0: Name | Address | City | Phone | Rating
+/// * 1: Name | Address | Description
+/// * 2: Website | Name | City | Phone
+pub fn poi_table(
+    world: &World,
+    etype: EntityType,
+    n_rows: usize,
+    variant: u8,
+    name: &str,
+    rng: &mut StdRng,
+) -> GoldTable {
+    let ids = sample_entities(world, etype, n_rows, rng);
+    let (mut builder, name_col) = match variant % 3 {
+        0 => (
+            Table::builder(5)
+                .name(name)
+                .headers(vec!["Name", "Address", "City", "Phone", "Rating"])
+                .unwrap()
+                .column_types(vec![
+                    ColumnType::Text,
+                    ColumnType::Location,
+                    ColumnType::Location,
+                    ColumnType::Text,
+                    ColumnType::Number,
+                ])
+                .unwrap(),
+            0usize,
+        ),
+        1 => (
+            Table::builder(3)
+                .name(name)
+                .headers(vec!["Name", "Address", "Description"])
+                .unwrap()
+                .column_types(vec![
+                    ColumnType::Text,
+                    ColumnType::Location,
+                    ColumnType::Text,
+                ])
+                .unwrap(),
+            0usize,
+        ),
+        _ => (
+            Table::builder(4)
+                .name(name)
+                .headers(vec!["Website", "Name", "City", "Phone"])
+                .unwrap()
+                .column_types(vec![
+                    ColumnType::Text,
+                    ColumnType::Text,
+                    ColumnType::Location,
+                    ColumnType::Text,
+                ])
+                .unwrap(),
+            1usize,
+        ),
+    };
+
+    let mut entries = Vec::with_capacity(ids.len());
+    for (i, &id) in ids.iter().enumerate() {
+        let e = world.entity(id);
+        let row: Vec<String> = match variant % 3 {
+            0 => vec![
+                e.name.clone(),
+                address_or_default(world, id),
+                city_or_default(world, id),
+                phone_or_default(world, id),
+                e.rating.map(|r| format!("{r:.1}")).unwrap_or_else(|| {
+                    format!("{:.1}", rng.gen_range(20..50) as f32 / 10.0)
+                }),
+            ],
+            1 => vec![
+                e.name.clone(),
+                address_or_default(world, id),
+                describe(world, id, rng),
+            ],
+            _ => vec![
+                url_or_default(world, id),
+                e.name.clone(),
+                city_or_default(world, id),
+                phone_or_default(world, id),
+            ],
+        };
+        builder.push_row(row).expect("schema width fixed");
+        entries.push(GoldEntry {
+            cell: CellId::new(i, name_col),
+            etype,
+            entity: id,
+        });
+    }
+    GoldTable::new(builder.build().expect("non-empty schema"), entries)
+}
+
+/// A people table: Name | Born | Known for.
+pub fn people_table(
+    world: &World,
+    etype: EntityType,
+    n_rows: usize,
+    name: &str,
+    rng: &mut StdRng,
+) -> GoldTable {
+    debug_assert!(matches!(
+        etype,
+        EntityType::Actor | EntityType::Singer | EntityType::Scientist
+    ));
+    let ids = sample_entities(world, etype, n_rows, rng);
+    let mut builder = Table::builder(3)
+        .name(name)
+        .headers(vec!["Name", "Born", "Known for"])
+        .unwrap()
+        .column_types(vec![ColumnType::Text, ColumnType::Number, ColumnType::Text])
+        .unwrap();
+    let mut entries = Vec::with_capacity(ids.len());
+    for (i, &id) in ids.iter().enumerate() {
+        let e = world.entity(id);
+        let core = etype.core_terms();
+        // Verbose (> 10 words) so §5.1 pre-processing rules it out; a
+        // short type-evocative phrase here would retrieve typed pages and
+        // hijack the Eq. 2 column selection away from the name column.
+        let known_for = format!(
+            "Known over a long career for remarkable {} and celebrated {} work",
+            core[rng.gen_range(0..core.len())],
+            core[rng.gen_range(0..core.len())]
+        );
+        builder
+            .push_row(vec![
+                e.name.clone(),
+                e.year.unwrap_or(1970).to_string(),
+                known_for,
+            ])
+            .expect("fixed width");
+        entries.push(GoldEntry {
+            cell: CellId::new(i, 0),
+            etype,
+            entity: id,
+        });
+    }
+    GoldTable::new(builder.build().expect("non-empty"), entries)
+}
+
+/// A cinema table: Title | Year | Director (films) or
+/// Episode | Season | Aired (Simpson's episodes).
+pub fn cinema_table(
+    world: &World,
+    etype: EntityType,
+    n_rows: usize,
+    name: &str,
+    rng: &mut StdRng,
+) -> GoldTable {
+    debug_assert!(matches!(
+        etype,
+        EntityType::Film | EntityType::SimpsonsEpisode
+    ));
+    let ids = sample_entities(world, etype, n_rows, rng);
+    let is_film = etype == EntityType::Film;
+    let mut builder = if is_film {
+        Table::builder(3)
+            .name(name)
+            .headers(vec!["Title", "Year", "Director"])
+            .unwrap()
+            .column_types(vec![ColumnType::Text, ColumnType::Number, ColumnType::Text])
+            .unwrap()
+    } else {
+        Table::builder(3)
+            .name(name)
+            .headers(vec!["Episode", "Season", "Aired"])
+            .unwrap()
+            .column_types(vec![ColumnType::Text, ColumnType::Number, ColumnType::Date])
+            .unwrap()
+    };
+    let mut entries = Vec::with_capacity(ids.len());
+    for (i, &id) in ids.iter().enumerate() {
+        let e = world.entity(id);
+        let row = if is_film {
+            // Director names are fresh people, unknown to the world — the
+            // annotator should leave them unannotated (abstention path).
+            let director = teda_kb::names::generate_name(rng, EntityType::Scientist, false);
+            vec![
+                e.name.clone(),
+                e.year.unwrap_or(2000).to_string(),
+                director,
+            ]
+        } else {
+            let season = rng.gen_range(1..24u32);
+            let aired = format!(
+                "{}-{:02}-{:02}",
+                e.year.unwrap_or(2000),
+                rng.gen_range(1..13u32),
+                rng.gen_range(1..29u32)
+            );
+            vec![e.name.clone(), season.to_string(), aired]
+        };
+        builder.push_row(row).expect("fixed width");
+        entries.push(GoldEntry {
+            cell: CellId::new(i, 0),
+            etype,
+            entity: id,
+        });
+    }
+    GoldTable::new(builder.build().expect("non-empty"), entries)
+}
+
+/// The Figure 2 mixed-type table: one name column holding temples, hotels
+/// and restaurants (plus type and address columns). Only the target types
+/// get gold entries; temples are world entities but never targets.
+pub fn mixed_table(
+    world: &World,
+    parts: &[(EntityType, usize)],
+    name: &str,
+    rng: &mut StdRng,
+) -> GoldTable {
+    let mut builder = Table::builder(4)
+        .name(name)
+        .headers(vec!["Name", "Type", "Address", "Description"])
+        .unwrap()
+        .column_types(vec![
+            ColumnType::Text,
+            ColumnType::Text,
+            ColumnType::Location,
+            ColumnType::Text,
+        ])
+        .unwrap();
+    let mut rows: Vec<(EntityId, EntityType)> = Vec::new();
+    for &(etype, n) in parts {
+        for id in sample_entities(world, etype, n, rng) {
+            rows.push((id, etype));
+        }
+    }
+    rows.shuffle(rng);
+
+    let mut entries = Vec::new();
+    for (i, &(id, etype)) in rows.iter().enumerate() {
+        let e = world.entity(id);
+        let type_label = capitalize(etype.type_word());
+        builder
+            .push_row(vec![
+                e.name.clone(),
+                type_label,
+                address_or_default(world, id),
+                describe(world, id, rng),
+            ])
+            .expect("fixed width");
+        if EntityType::TARGETS.contains(&etype) {
+            entries.push(GoldEntry {
+                cell: CellId::new(i, 0),
+                etype,
+                entity: id,
+            });
+        }
+    }
+    GoldTable::new(builder.build().expect("non-empty"), entries)
+}
+
+/// The Figure 4 limited-context table: Name | Address, with headers "that
+/// can refer to any entity that has a name and an address".
+pub fn limited_context_table(
+    world: &World,
+    etype: EntityType,
+    n_rows: usize,
+    name: &str,
+    rng: &mut StdRng,
+) -> GoldTable {
+    let ids = sample_entities(world, etype, n_rows, rng);
+    let mut builder = Table::builder(2)
+        .name(name)
+        .headers(vec!["Name", "Address"])
+        .unwrap()
+        .column_types(vec![ColumnType::Text, ColumnType::Location])
+        .unwrap();
+    let mut entries = Vec::with_capacity(ids.len());
+    for (i, &id) in ids.iter().enumerate() {
+        let e = world.entity(id);
+        // Fig. 4-style addresses include the city ("1104 Wilshire Blvd,
+        // Santa Monica") half the time, and are partial otherwise.
+        let addr = if rng.gen_bool(0.5) {
+            format!(
+                "{}, {}",
+                address_or_default(world, id),
+                city_or_default(world, id)
+            )
+        } else {
+            address_or_default(world, id)
+        };
+        builder
+            .push_row(vec![e.name.clone(), addr])
+            .expect("fixed width");
+        entries.push(GoldEntry {
+            cell: CellId::new(i, 0),
+            etype,
+            entity: id,
+        });
+    }
+    GoldTable::new(builder.build().expect("non-empty"), entries)
+}
+
+/// The Figure 8 table: a category column where the literal type word
+/// ("Museum") is repeated in many cells — the post-processing stress case.
+pub fn category_column_table(
+    world: &World,
+    etype: EntityType,
+    n_rows: usize,
+    name: &str,
+    rng: &mut StdRng,
+) -> GoldTable {
+    let ids = sample_entities(world, etype, n_rows, rng);
+    let mut builder = Table::builder(3)
+        .name(name)
+        .headers(vec!["Name", "Category", "City"])
+        .unwrap()
+        .column_types(vec![ColumnType::Text, ColumnType::Text, ColumnType::Location])
+        .unwrap();
+    let mut entries = Vec::with_capacity(ids.len());
+    for (i, &id) in ids.iter().enumerate() {
+        let e = world.entity(id);
+        builder
+            .push_row(vec![
+                e.name.clone(),
+                capitalize(etype.type_word()),
+                city_or_default(world, id),
+            ])
+            .expect("fixed width");
+        entries.push(GoldEntry {
+            cell: CellId::new(i, 0),
+            etype,
+            entity: id,
+        });
+    }
+    GoldTable::new(builder.build().expect("non-empty"), entries)
+}
+
+/// A distractor table holding only non-target entities (parks, companies):
+/// its gold standard is empty, so every annotation on it is a false
+/// positive.
+pub fn distractor_table(
+    world: &World,
+    etype: EntityType,
+    n_rows: usize,
+    name: &str,
+    rng: &mut StdRng,
+) -> GoldTable {
+    debug_assert!(EntityType::DISTRACTORS.contains(&etype));
+    let ids = sample_entities(world, etype, n_rows, rng);
+    let mut builder = Table::builder(3)
+        .name(name)
+        .headers(vec!["Name", "Location", "Details"])
+        .unwrap()
+        .column_types(vec![ColumnType::Text, ColumnType::Location, ColumnType::Text])
+        .unwrap();
+    for &id in &ids {
+        let e = world.entity(id);
+        builder
+            .push_row(vec![
+                e.name.clone(),
+                city_or_default(world, id),
+                describe(world, id, rng),
+            ])
+            .expect("fixed width");
+    }
+    GoldTable::new(builder.build().expect("non-empty"), Vec::new())
+}
+
+fn capitalize(word: &str) -> String {
+    let mut c = word.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use teda_kb::WorldSpec;
+
+    fn fixture() -> (World, StdRng) {
+        (
+            World::generate(WorldSpec::tiny(), 42),
+            StdRng::seed_from_u64(7),
+        )
+    }
+
+    #[test]
+    fn sampling_cycles_beyond_pool() {
+        let (w, mut rng) = fixture();
+        let ids = sample_entities(&w, EntityType::Mine, 50, &mut rng);
+        assert_eq!(ids.len(), 50); // world only has 20 mines
+    }
+
+    #[test]
+    fn poi_table_variants() {
+        let (w, mut rng) = fixture();
+        for v in 0..3u8 {
+            let g = poi_table(&w, EntityType::Restaurant, 12, v, "t", &mut rng);
+            assert_eq!(g.table.n_rows(), 12);
+            assert_eq!(g.entries.len(), 12);
+            let name_col = g.entries[0].cell.col;
+            // every gold cell holds the entity's name
+            for e in &g.entries {
+                assert_eq!(e.cell.col, name_col);
+                let cell = g.table.cell_at(e.cell);
+                assert_eq!(cell, w.entity(e.entity).name);
+            }
+        }
+    }
+
+    #[test]
+    fn variant2_name_column_is_second() {
+        let (w, mut rng) = fixture();
+        let g = poi_table(&w, EntityType::Hotel, 5, 2, "t", &mut rng);
+        assert_eq!(g.entries[0].cell.col, 1);
+        assert_eq!(g.table.column_type(0), ColumnType::Text); // website col
+    }
+
+    #[test]
+    fn descriptions_are_verbose() {
+        let (w, mut rng) = fixture();
+        let id = w.entities_of(EntityType::Museum)[0];
+        let d = describe(&w, id, &mut rng);
+        assert!(d.split_whitespace().count() > 10, "{d}");
+    }
+
+    #[test]
+    fn mixed_table_gold_skips_temples() {
+        let (w, mut rng) = fixture();
+        let g = mixed_table(
+            &w,
+            &[
+                (EntityType::Restaurant, 5),
+                (EntityType::Hotel, 5),
+                (EntityType::Temple, 5),
+            ],
+            "fig2",
+            &mut rng,
+        );
+        assert_eq!(g.table.n_rows(), 15);
+        assert_eq!(g.entries.len(), 10, "temples are not annotation targets");
+        assert_eq!(g.count_of(EntityType::Restaurant), 5);
+        assert_eq!(g.count_of(EntityType::Hotel), 5);
+    }
+
+    #[test]
+    fn category_table_repeats_the_type_word() {
+        let (w, mut rng) = fixture();
+        let g = category_column_table(&w, EntityType::Museum, 10, "fig8", &mut rng);
+        let occ = g.table.column_occurrences(1);
+        assert_eq!(occ["Museum"], 10, "category column must repeat Museum");
+    }
+
+    #[test]
+    fn limited_context_table_is_two_columns() {
+        let (w, mut rng) = fixture();
+        let g = limited_context_table(&w, EntityType::Restaurant, 8, "fig4", &mut rng);
+        assert_eq!(g.table.n_cols(), 2);
+        assert_eq!(g.table.headers().unwrap(), &["Name", "Address"]);
+        assert_eq!(g.entries.len(), 8);
+    }
+
+    #[test]
+    fn distractor_table_has_empty_gold() {
+        let (w, mut rng) = fixture();
+        let g = distractor_table(&w, EntityType::Park, 9, "parks", &mut rng);
+        assert!(g.entries.is_empty());
+        assert_eq!(g.table.n_rows(), 9);
+    }
+
+    #[test]
+    fn people_table_shape() {
+        let (w, mut rng) = fixture();
+        let g = people_table(&w, EntityType::Singer, 7, "singers", &mut rng);
+        assert_eq!(g.table.column_type(1), ColumnType::Number);
+        assert_eq!(g.entries.len(), 7);
+    }
+
+    #[test]
+    fn episode_table_has_dates() {
+        let (w, mut rng) = fixture();
+        let g = cinema_table(&w, EntityType::SimpsonsEpisode, 6, "eps", &mut rng);
+        assert_eq!(g.table.column_type(2), ColumnType::Date);
+        for i in 0..g.table.n_rows() {
+            let d = g.table.cell(i, 2);
+            assert!(
+                teda_tabular::detect::is_date(d),
+                "aired cell {d} should parse as a date"
+            );
+        }
+    }
+}

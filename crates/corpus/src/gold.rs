@@ -1,0 +1,140 @@
+//! Gold-standard annotations.
+//!
+//! §6.2: "Each table was manually annotated by one person, so as to have a
+//! gold standard against which we compared our algorithm." Here the
+//! generator emits the gold standard alongside each table.
+
+use std::collections::HashMap;
+
+use teda_kb::{EntityId, EntityType};
+use teda_tabular::{CellId, Table};
+
+/// One gold annotation: this cell holds the name of this entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GoldEntry {
+    /// The cell containing the entity name.
+    pub cell: CellId,
+    /// The entity's fine-grained type.
+    pub etype: EntityType,
+    /// The world entity (for audits; evaluation is cell/type-based).
+    pub entity: EntityId,
+}
+
+/// A table paired with its gold standard.
+#[derive(Debug, Clone)]
+pub struct GoldTable {
+    /// The table itself.
+    pub table: Table,
+    /// All gold annotations, sorted by cell (row-major).
+    pub entries: Vec<GoldEntry>,
+}
+
+impl GoldTable {
+    /// Creates a gold table, normalizing entry order.
+    pub fn new(table: Table, mut entries: Vec<GoldEntry>) -> Self {
+        entries.sort_by_key(|e| e.cell);
+        GoldTable { table, entries }
+    }
+
+    /// Gold entries of one type.
+    pub fn entries_of(&self, etype: EntityType) -> impl Iterator<Item = &GoldEntry> {
+        self.entries.iter().filter(move |e| e.etype == etype)
+    }
+
+    /// Number of gold mentions of `etype`.
+    pub fn count_of(&self, etype: EntityType) -> usize {
+        self.entries_of(etype).count()
+    }
+
+    /// The gold type of a cell, if annotated.
+    pub fn gold_type_at(&self, cell: CellId) -> Option<EntityType> {
+        self.entries
+            .iter()
+            .find(|e| e.cell == cell)
+            .map(|e| e.etype)
+    }
+
+    /// Per-type mention counts.
+    pub fn counts(&self) -> HashMap<EntityType, usize> {
+        let mut m = HashMap::new();
+        for e in &self.entries {
+            *m.entry(e.etype).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+/// Per-type mention counts across a set of gold tables.
+pub fn total_counts(tables: &[GoldTable]) -> HashMap<EntityType, usize> {
+    let mut m = HashMap::new();
+    for t in tables {
+        for (ty, c) in t.counts() {
+            *m.entry(ty).or_insert(0) += c;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teda_tabular::Table;
+
+    fn table() -> Table {
+        Table::builder(2)
+            .row(vec!["Melisse", "Santa Monica"])
+            .unwrap()
+            .row(vec!["Louvre Museum", "Paris"])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn entries_are_sorted_and_queryable() {
+        let g = GoldTable::new(
+            table(),
+            vec![
+                GoldEntry {
+                    cell: CellId::new(1, 0),
+                    etype: EntityType::Museum,
+                    entity: EntityId(5),
+                },
+                GoldEntry {
+                    cell: CellId::new(0, 0),
+                    etype: EntityType::Restaurant,
+                    entity: EntityId(3),
+                },
+            ],
+        );
+        assert_eq!(g.entries[0].cell, CellId::new(0, 0));
+        assert_eq!(g.count_of(EntityType::Museum), 1);
+        assert_eq!(
+            g.gold_type_at(CellId::new(0, 0)),
+            Some(EntityType::Restaurant)
+        );
+        assert_eq!(g.gold_type_at(CellId::new(0, 1)), None);
+    }
+
+    #[test]
+    fn totals_accumulate_across_tables() {
+        let g1 = GoldTable::new(
+            table(),
+            vec![GoldEntry {
+                cell: CellId::new(0, 0),
+                etype: EntityType::Restaurant,
+                entity: EntityId(0),
+            }],
+        );
+        let g2 = GoldTable::new(
+            table(),
+            vec![GoldEntry {
+                cell: CellId::new(0, 0),
+                etype: EntityType::Restaurant,
+                entity: EntityId(1),
+            }],
+        );
+        let totals = total_counts(&[g1, g2]);
+        assert_eq!(totals[&EntityType::Restaurant], 2);
+    }
+}

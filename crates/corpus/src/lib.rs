@@ -1,0 +1,35 @@
+//! `teda-corpus` — benchmark dataset generators.
+//!
+//! §6.2: "We manually obtained 40 tables from GFT containing references to
+//! entities of the twelve selected types. In total we have 287 references
+//! to restaurants, 240 to museums, 160 to theatres, 67 to hotels, 109 to
+//! schools, 150 to universities, 30 to mines, 50 to actors, 120 to
+//! singers, 100 to scientists, 24 to films and 34 to episodes of the
+//! Simpson's."
+//!
+//! [`datasets::gft_benchmark`] regenerates a 40-table set with exactly
+//! those per-type mention counts (asserted in tests), including the
+//! paper's illustrated hard cases:
+//!
+//! * a **mixed-type table** (Figure 2: temples + hotels + restaurants in
+//!   one name column);
+//! * a **limited-context table** (Figure 4: name + address only, useless
+//!   headers);
+//! * a **repeated-type-word column** (Figure 8: a category column full of
+//!   the literal word "Museum");
+//! * six **distractor tables** with no target entities at all (parks,
+//!   companies), to measure false positives.
+//!
+//! [`wiki::wiki_manual`] generates the 36-table "Wiki Manual"-like set of
+//! §6.3: untyped Web-table columns, entities mostly present in the
+//! pre-compiled catalogue — the home turf of the Limaye-style comparator.
+
+pub mod datasets;
+pub mod export;
+pub mod gft;
+pub mod gold;
+pub mod wiki;
+
+pub use datasets::{gft_benchmark, BenchmarkSet};
+pub use gold::{GoldEntry, GoldTable};
+pub use wiki::wiki_manual;

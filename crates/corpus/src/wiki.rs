@@ -1,0 +1,184 @@
+//! The "Wiki Manual"-like comparison set (§6.3).
+//!
+//! The paper compares against Limaye et al. on "36 tables obtained from
+//! Wikipedia articles which mostly contain entities of the types used in
+//! our evaluation". Two properties matter for the comparison:
+//!
+//! * columns carry **no GFT types** (they are plain Web tables) — the
+//!   annotator must fall back to column-type inference;
+//! * entities are mostly **catalogued** (Wikipedia entities are in
+//!   DBpedia by construction) — the home turf of catalogue-based
+//!   annotation, making the comparison fair to the Limaye-style baseline.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use teda_kb::{Catalogue, EntityId, EntityType, World};
+use teda_simkit::{derive_seed, rng_from_seed};
+use teda_tabular::{CellId, ColumnType, Table};
+
+use crate::gft::describe;
+use crate::gold::{GoldEntry, GoldTable};
+
+/// Fraction of mentions drawn from catalogued entities.
+pub const KNOWN_FRACTION: f64 = 0.8;
+
+/// Generates the 36-table Wiki-like set. Every column has type
+/// [`ColumnType::Unknown`]; run `teda_tabular::infer` before annotating,
+/// as the pipeline does for non-GFT tables.
+pub fn wiki_manual(world: &World, catalogue: &Catalogue, seed: u64) -> Vec<GoldTable> {
+    let mut rng = rng_from_seed(derive_seed(seed, "wiki-manual"));
+    let mut tables = Vec::with_capacity(36);
+    let targets = EntityType::TARGETS;
+
+    for i in 0..36 {
+        let etype = targets[i % targets.len()];
+        let n_rows = rng.gen_range(8..16);
+        tables.push(wiki_table(
+            world,
+            catalogue,
+            etype,
+            n_rows,
+            &format!("wiki_{i}_{}", etype.type_word()),
+            &mut rng,
+        ));
+    }
+    tables
+}
+
+/// One Wikipedia-style table: Name | Notes (verbose) | Year-as-text.
+/// All columns `Unknown`; mentions ~80% catalogued.
+pub fn wiki_table(
+    world: &World,
+    catalogue: &Catalogue,
+    etype: EntityType,
+    n_rows: usize,
+    name: &str,
+    rng: &mut StdRng,
+) -> GoldTable {
+    let pool = world.entities_of(etype);
+    assert!(!pool.is_empty(), "world has no {etype}");
+    let (known, unknown): (Vec<EntityId>, Vec<EntityId>) = pool
+        .iter()
+        .copied()
+        .partition(|&id| catalogue.contains(&world.entity(id).name));
+
+    let mut ids: Vec<EntityId> = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let from_known = !known.is_empty() && (unknown.is_empty() || rng.gen_bool(KNOWN_FRACTION));
+        let source = if from_known { &known } else { &unknown };
+        ids.push(*source.choose(rng).expect("non-empty partition"));
+    }
+
+    let mut builder = Table::builder(3)
+        .name(name)
+        .headers(vec!["Name", "Notes", "Year"])
+        .unwrap()
+        .column_types(vec![
+            ColumnType::Unknown,
+            ColumnType::Unknown,
+            ColumnType::Unknown,
+        ])
+        .unwrap();
+    let mut entries = Vec::with_capacity(ids.len());
+    for (i, &id) in ids.iter().enumerate() {
+        let e = world.entity(id);
+        builder
+            .push_row(vec![
+                e.name.clone(),
+                describe(world, id, rng),
+                e.year.map(|y| y.to_string()).unwrap_or_default(),
+            ])
+            .expect("fixed width");
+        entries.push(GoldEntry {
+            cell: CellId::new(i, 0),
+            etype,
+            entity: id,
+        });
+    }
+    GoldTable::new(builder.build().expect("non-empty"), entries)
+}
+
+/// Fraction of gold mentions across `tables` whose entity is catalogued —
+/// the §6.3 "known entities" statistic.
+pub fn known_mention_fraction(
+    tables: &[GoldTable],
+    world: &World,
+    catalogue: &Catalogue,
+) -> f64 {
+    let mut known = 0usize;
+    let mut total = 0usize;
+    for t in tables {
+        for e in &t.entries {
+            total += 1;
+            if catalogue.contains(&world.entity(e.entity).name) {
+                known += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        known as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teda_kb::WorldSpec;
+
+    fn fixture() -> (World, Catalogue) {
+        let w = World::generate(WorldSpec::tiny(), 42);
+        let c = Catalogue::sample(&w, 0.5, 42);
+        (w, c)
+    }
+
+    #[test]
+    fn thirty_six_tables() {
+        let (w, c) = fixture();
+        let tables = wiki_manual(&w, &c, 42);
+        assert_eq!(tables.len(), 36);
+    }
+
+    #[test]
+    fn all_columns_untyped() {
+        let (w, c) = fixture();
+        for t in wiki_manual(&w, &c, 42) {
+            assert!(t
+                .table
+                .column_types()
+                .iter()
+                .all(|&ty| ty == ColumnType::Unknown));
+        }
+    }
+
+    #[test]
+    fn known_fraction_is_high() {
+        let (w, c) = fixture();
+        let tables = wiki_manual(&w, &c, 42);
+        let f = known_mention_fraction(&tables, &w, &c);
+        assert!(f > 0.6, "known fraction {f} too low for a Wikipedia set");
+    }
+
+    #[test]
+    fn every_target_type_appears() {
+        let (w, c) = fixture();
+        let tables = wiki_manual(&w, &c, 42);
+        let totals = crate::gold::total_counts(&tables);
+        for t in EntityType::TARGETS {
+            assert!(totals.get(&t).copied().unwrap_or(0) > 0, "{t} missing");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (w, c) = fixture();
+        let a = wiki_manual(&w, &c, 1);
+        let b = wiki_manual(&w, &c, 1);
+        for (ta, tb) in a.iter().zip(&b) {
+            assert_eq!(ta.table, tb.table);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Loose postal-address parsing.
+//!
+//! §5.2.2: "spatial information in GFT tables often comes as postal
+//! addresses, which are difficult to parse because their format depends on
+//! the country. … in many tables we came across, addresses are incomplete,
+//! and just report the street number and name and, possibly, the zip code."
+//!
+//! The parser is therefore deliberately forgiving: comma-separated
+//! segments, the first of which may carry a street number + street name;
+//! later segments are city / state / zip candidates. Anything it cannot
+//! classify is kept as an extra token so the geocoder can still try name
+//! lookup on it.
+
+/// A decomposed (possibly partial) postal address.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedAddress {
+    /// Leading house number of the first segment, if any.
+    pub street_number: Option<String>,
+    /// Street name (first segment minus the number), if it looks like one.
+    pub street_name: Option<String>,
+    /// City name candidate (second-to-last comma segment, typically).
+    pub city: Option<String>,
+    /// State / region candidate (short trailing alpha segment).
+    pub state: Option<String>,
+    /// Zip / postal code (trailing digit group).
+    pub zip: Option<String>,
+}
+
+impl ParsedAddress {
+    /// Whether nothing at all was recognized.
+    pub fn is_empty(&self) -> bool {
+        self.street_number.is_none()
+            && self.street_name.is_none()
+            && self.city.is_none()
+            && self.state.is_none()
+            && self.zip.is_none()
+    }
+}
+
+const STREET_MARKERS: [&str; 20] = [
+    "street", "st", "avenue", "ave", "road", "rd", "boulevard", "blvd", "lane", "ln", "drive",
+    "dr", "way", "court", "ct", "place", "pl", "highway", "hwy", "square",
+];
+
+fn looks_like_street(segment: &str) -> bool {
+    segment
+        .split_whitespace()
+        .map(|t| t.trim_matches(|c: char| c.is_ascii_punctuation()).to_lowercase())
+        .any(|t| STREET_MARKERS.contains(&t.as_str()))
+}
+
+fn looks_like_zip(tok: &str) -> bool {
+    let digits: Vec<&str> = tok.split('-').collect();
+    digits.iter().all(|d| !d.is_empty() && d.chars().all(|c| c.is_ascii_digit()))
+        && (4..=6).contains(&digits[0].len())
+}
+
+fn looks_like_state(tok: &str) -> bool {
+    // Two-to-four uppercase letters ("MD", "D.C." stripped of dots), or a
+    // known long-form region is accepted via the city fallback anyway.
+    let stripped: String = tok.chars().filter(|c| c.is_ascii_alphabetic()).collect();
+    !stripped.is_empty() && stripped.len() <= 4 && tok
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .all(|c| c.is_ascii_uppercase())
+}
+
+/// Parses `raw` into components. Never fails; unrecognized inputs yield a
+/// mostly-empty [`ParsedAddress`] whose `city` holds the raw text when it
+/// is a plausible bare toponym (single segment, no digits).
+pub fn parse_address(raw: &str) -> ParsedAddress {
+    let mut out = ParsedAddress::default();
+    let segments: Vec<&str> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if segments.is_empty() {
+        return out;
+    }
+
+    let mut rest_start = 0;
+    let first = segments[0];
+    let mut first_tokens = first.split_whitespace().peekable();
+    let leading_number = first_tokens
+        .peek()
+        .map(|t| t.chars().all(|c| c.is_ascii_digit()) && !t.is_empty())
+        .unwrap_or(false);
+    if leading_number {
+        out.street_number = first_tokens.next().map(str::to_owned);
+        let name: Vec<&str> = first_tokens.collect();
+        if !name.is_empty() {
+            out.street_name = Some(name.join(" "));
+        }
+        rest_start = 1;
+    } else if looks_like_street(first) {
+        out.street_name = Some(first.to_owned());
+        rest_start = 1;
+    }
+
+    // Remaining segments: zip / state / city, scanned from the right.
+    let mut remaining: Vec<&str> = segments[rest_start..].to_vec();
+    while let Some(last) = remaining.last().copied() {
+        // A lone state-like segment is accepted as a state when a street
+        // was already parsed ("Clarksville Street, TX"); otherwise a
+        // single remaining segment is better treated as a city candidate.
+        let have_street = out.street_name.is_some() || out.street_number.is_some();
+        if looks_like_zip(last) {
+            out.zip = Some(last.to_owned());
+            remaining.pop();
+        } else if out.state.is_none()
+            && looks_like_state(last)
+            && (remaining.len() > 1 || have_street)
+        {
+            out.state = Some(last.to_owned());
+            remaining.pop();
+        } else {
+            break;
+        }
+    }
+    // Trailing "City ST" or "City ST zip" inside one segment.
+    if let Some(last) = remaining.last().copied() {
+        let mut toks: Vec<&str> = last.split_whitespace().collect();
+        while let Some(t) = toks.last().copied() {
+            if out.zip.is_none() && looks_like_zip(t) {
+                out.zip = Some(t.to_owned());
+                toks.pop();
+            } else if out.state.is_none() && toks.len() > 1 && looks_like_state(t) {
+                out.state = Some(t.to_owned());
+                toks.pop();
+            } else {
+                break;
+            }
+        }
+        if !toks.is_empty() {
+            out.city = Some(toks.join(" "));
+            remaining.pop();
+        }
+    }
+    // Any leftover middle segment: prefer it as city if none found.
+    if out.city.is_none() {
+        if let Some(seg) = remaining.last() {
+            out.city = Some((*seg).to_owned());
+        }
+    }
+    // Bare toponym: "Paris" with no digits, no street → treat as city.
+    if out.street_name.is_none()
+        && out.street_number.is_none()
+        && out.city.is_none()
+        && segments.len() == 1
+        && !first.chars().any(|c| c.is_ascii_digit())
+    {
+        out.city = Some(first.to_owned());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_address() {
+        let a = parse_address("1104 Wilshire Blvd, Santa Monica, CA, 90401");
+        assert_eq!(a.street_number.as_deref(), Some("1104"));
+        assert_eq!(a.street_name.as_deref(), Some("Wilshire Blvd"));
+        assert_eq!(a.city.as_deref(), Some("Santa Monica"));
+        assert_eq!(a.state.as_deref(), Some("CA"));
+        assert_eq!(a.zip.as_deref(), Some("90401"));
+    }
+
+    #[test]
+    fn partial_address_street_only() {
+        // the paper's own partial example
+        let a = parse_address("1600 Pennsylvania Avenue");
+        assert_eq!(a.street_number.as_deref(), Some("1600"));
+        assert_eq!(a.street_name.as_deref(), Some("Pennsylvania Avenue"));
+        assert_eq!(a.city, None);
+        assert_eq!(a.state, None);
+    }
+
+    #[test]
+    fn city_state_in_one_segment() {
+        let a = parse_address("College Park, GA");
+        assert_eq!(a.city.as_deref(), Some("College Park"));
+        assert_eq!(a.state.as_deref(), Some("GA"));
+        assert_eq!(a.street_name, None);
+    }
+
+    #[test]
+    fn city_state_without_comma() {
+        let a = parse_address("Washington GA");
+        assert_eq!(a.city.as_deref(), Some("Washington"));
+        assert_eq!(a.state.as_deref(), Some("GA"));
+    }
+
+    #[test]
+    fn bare_city() {
+        let a = parse_address("Paris");
+        assert_eq!(a.city.as_deref(), Some("Paris"));
+        assert!(a.street_name.is_none());
+    }
+
+    #[test]
+    fn street_with_city() {
+        let a = parse_address("12 Main St, Springfield");
+        assert_eq!(a.street_name.as_deref(), Some("Main St"));
+        assert_eq!(a.city.as_deref(), Some("Springfield"));
+    }
+
+    #[test]
+    fn zip_only_tail() {
+        let a = parse_address("42 Oak Avenue, 75460");
+        assert_eq!(a.zip.as_deref(), Some("75460"));
+        assert_eq!(a.street_name.as_deref(), Some("Oak Avenue"));
+        assert_eq!(a.city, None);
+    }
+
+    #[test]
+    fn empty_and_garbage() {
+        assert!(parse_address("").is_empty());
+        assert!(parse_address("   ").is_empty());
+        let a = parse_address("12345");
+        // a bare number: recognized as street number with no name
+        assert_eq!(a.street_number.as_deref(), Some("12345"));
+        assert!(a.street_name.is_none());
+    }
+
+    #[test]
+    fn multi_word_city_survives() {
+        let a = parse_address("1 Museum Way, New York City, NY");
+        assert_eq!(a.city.as_deref(), Some("New York City"));
+        assert_eq!(a.state.as_deref(), Some("NY"));
+    }
+}

@@ -1,0 +1,404 @@
+//! Toponym disambiguation: the §5.2.2 voting graph.
+//!
+//! Given cells `T(i,j)` whose addresses geocode to candidate sets `L_{i,j}`,
+//! build a graph with one node per (cell, candidate interpretation) and a
+//! directed edge `n_{l1} → n_{l2}` iff
+//!
+//! 1. the two candidates belong to cells in the same row or the same column
+//!    (but not the same cell), and
+//! 2. `l1` and `l2` share the same direct geographic container (including
+//!    the case where one *is* the other's container — the paper's
+//!    "Pennsylvania Ave, Washington, D.C." ↔ "Washington, D.C., USA"
+//!    example).
+//!
+//! Scores start at `1/|L_{i,j}|` and are iterated with
+//! `S(n_l) = Σ_{v ∈ IN(n_l)} S(v)` until a fixed point.
+//!
+//! **Deviation from the paper, documented:** the raw in-sum iteration has
+//! no normalization and diverges on any graph with a cycle (scores grow
+//! without bound). We renormalize the candidate scores of each cell to sum
+//! to 1 after every sweep (Jacobi style). This preserves the *ranking*
+//! fixed point the paper relies on while guaranteeing convergence; cells
+//! whose candidates receive no votes at all keep their uniform prior.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use teda_tabular::CellId;
+
+use crate::gazetteer::{Gazetteer, LocationId};
+
+/// Configuration for [`disambiguate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DisambiguationConfig {
+    /// Maximum Jacobi sweeps.
+    pub max_iterations: usize,
+    /// Convergence threshold on the max absolute score change.
+    pub tolerance: f64,
+    /// Seed for random tie-breaking (the paper: "If the nodes corresponding
+    /// to two or more locations in Li,j have the same score, we choose one
+    /// randomly").
+    pub seed: u64,
+}
+
+impl Default for DisambiguationConfig {
+    fn default() -> Self {
+        DisambiguationConfig {
+            max_iterations: 50,
+            tolerance: 1e-9,
+            seed: 0x9e0,
+        }
+    }
+}
+
+/// The outcome of a disambiguation run.
+#[derive(Debug, Clone)]
+pub struct DisambiguationResult {
+    /// The chosen interpretation per cell (cells with empty candidate sets
+    /// are absent).
+    pub chosen: HashMap<CellId, LocationId>,
+    /// Final normalized score of every (cell, candidate) node.
+    pub scores: HashMap<(CellId, LocationId), f64>,
+    /// Sweeps executed before convergence (or the cap).
+    pub iterations: usize,
+    /// Whether the tolerance was reached before the iteration cap.
+    pub converged: bool,
+}
+
+impl DisambiguationResult {
+    /// The chosen interpretation for `cell`, if it had candidates.
+    pub fn interpretation(&self, cell: CellId) -> Option<LocationId> {
+        self.chosen.get(&cell).copied()
+    }
+}
+
+/// Flattened per-cell ranking of candidate indices by descending score
+/// (stable within ties), used for the ranking-stability convergence check.
+fn cell_ranking(cells: &[(CellId, Vec<LocationId>)], score: &[f64]) -> Vec<usize> {
+    let mut ranking = Vec::with_capacity(score.len());
+    let mut idx = 0usize;
+    for (_, cands) in cells {
+        let m = cands.len();
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by(|&a, &b| {
+            score[idx + b]
+                .partial_cmp(&score[idx + a])
+                .expect("scores are finite")
+        });
+        ranking.extend(order);
+        idx += m;
+    }
+    ranking
+}
+
+/// Runs the voting-graph disambiguation over `cells`: each entry is a cell
+/// id and its geocoded candidate set `L_{i,j}`.
+///
+/// Contract: at most one entry per cell id, and candidates distinct within
+/// a cell (the geocoder guarantees both — it sorts and dedups).
+pub fn disambiguate(
+    gazetteer: &Gazetteer,
+    cells: &[(CellId, Vec<LocationId>)],
+    config: DisambiguationConfig,
+) -> DisambiguationResult {
+    // Node table: (cell index, candidate index) → flat node id.
+    let mut nodes: Vec<(usize, usize)> = Vec::new();
+    for (ci, (_, cands)) in cells.iter().enumerate() {
+        for k in 0..cands.len() {
+            nodes.push((ci, k));
+        }
+    }
+    let n = nodes.len();
+
+    // In-edges per node, built from the same-row/same-column +
+    // shared-container condition.
+    let mut in_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (a, &(ca, ka)) in nodes.iter().enumerate() {
+        let (cell_a, cands_a) = &cells[ca];
+        let la = cands_a[ka];
+        for (b, &(cb, kb)) in nodes.iter().enumerate() {
+            if ca == cb {
+                continue; // same cell — condition 1 excludes it
+            }
+            let (cell_b, cands_b) = &cells[cb];
+            if cell_a.row != cell_b.row && cell_a.col != cell_b.col {
+                continue;
+            }
+            let lb = cands_b[kb];
+            if gazetteer.shares_direct_container(la, lb) {
+                // a votes for b
+                in_edges[b].push(a);
+            }
+        }
+    }
+
+    // Initial scores: uniform within each cell.
+    let mut score: Vec<f64> = nodes
+        .iter()
+        .map(|&(ci, _)| 1.0 / cells[ci].1.len() as f64)
+        .collect();
+
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut next = vec![0.0f64; n];
+    // Ranking-stability criterion: the output only depends on the per-cell
+    // ordering of candidate scores, and some vote cycles decay harmonically
+    // (Θ(1/n) toward zero), so a tight absolute-delta fixed point would
+    // need tens of thousands of sweeps while the ranking is already frozen.
+    let mut prev_ranking: Vec<usize> = Vec::new();
+    let mut stable_sweeps = 0usize;
+    while iterations < config.max_iterations {
+        iterations += 1;
+        // Jacobi sweep: raw in-sums from the previous iteration's scores.
+        for (b, slot) in next.iter_mut().enumerate() {
+            *slot = in_edges[b].iter().map(|&a| score[a]).sum();
+        }
+        // Per-cell renormalization; vote-less cells keep their prior.
+        let mut delta = 0.0f64;
+        let mut idx = 0usize;
+        for (ci, (_, cands)) in cells.iter().enumerate() {
+            let m = cands.len();
+            let slice = &mut next[idx..idx + m];
+            let sum: f64 = slice.iter().sum();
+            if sum <= 0.0 {
+                for (k, s) in slice.iter_mut().enumerate() {
+                    *s = score[idx + k];
+                }
+            } else {
+                for s in slice.iter_mut() {
+                    *s /= sum;
+                }
+            }
+            for (k, &s) in slice.iter().enumerate() {
+                delta = delta.max((s - score[idx + k]).abs());
+            }
+            idx += m;
+            let _ = ci;
+        }
+        score.copy_from_slice(&next);
+        if delta < config.tolerance {
+            converged = true;
+            break;
+        }
+        // Per-cell score ranking; if it holds for 3 consecutive sweeps the
+        // argmax output can no longer change.
+        let ranking = cell_ranking(cells, &score);
+        if ranking == prev_ranking {
+            stable_sweeps += 1;
+            if stable_sweeps >= 3 {
+                converged = true;
+                break;
+            }
+        } else {
+            stable_sweeps = 0;
+            prev_ranking = ranking;
+        }
+    }
+
+    // Argmax per cell with seeded random tie-breaking.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut chosen = HashMap::new();
+    let mut scores = HashMap::new();
+    let mut idx = 0usize;
+    for (cell, cands) in cells {
+        let m = cands.len();
+        if m == 0 {
+            continue;
+        }
+        let slice = &score[idx..idx + m];
+        let best = slice.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut best_ks: Vec<usize> = (0..m)
+            .filter(|&k| (slice[k] - best).abs() < 1e-12)
+            .collect();
+        best_ks.shuffle(&mut rng);
+        chosen.insert(*cell, cands[best_ks[0]]);
+        for (k, &s) in slice.iter().enumerate() {
+            scores.insert((*cell, cands[k]), s);
+        }
+        idx += m;
+    }
+
+    DisambiguationResult {
+        chosen,
+        scores,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gazetteer::LocationKind;
+
+    /// Builds the exact candidate layout of Figure 7a over the Figure 7
+    /// gazetteer. Cell coordinates follow the paper (1-based there,
+    /// 0-based here): rows 12, 13, 20 and columns 1, 2 become (11,0),
+    /// (11,1), (12,0), (12,1), (19,0), (19,1).
+    fn figure7_cells(g: &Gazetteer) -> Vec<(CellId, Vec<LocationId>)> {
+        let find_city = |name: &str, mark: &str| {
+            g.lookup_kind(name, LocationKind::City)
+                .into_iter()
+                .find(|&id| g.full_name(id).contains(mark))
+                .unwrap()
+        };
+        let streets = |name: &str| g.lookup_kind(name, LocationKind::Street);
+
+        vec![
+            (CellId::new(11, 0), streets("Pennsylvania Avenue")),
+            (
+                CellId::new(11, 1),
+                vec![find_city("Washington", "D.C."), find_city("Washington", "GA")],
+            ),
+            (CellId::new(12, 0), streets("Wofford Lane")),
+            (
+                CellId::new(12, 1),
+                vec![
+                    find_city("College Park", "MD"),
+                    find_city("College Park", "GA"),
+                ],
+            ),
+            (CellId::new(19, 0), streets("Clarksville Street")),
+            (
+                CellId::new(19, 1),
+                vec![
+                    find_city("Paris", "TX"),
+                    find_city("Paris", "France"),
+                    find_city("Paris", "TN"),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn figure7_resolves_as_in_the_paper() {
+        let g = Gazetteer::figure7();
+        let cells = figure7_cells(&g);
+        let res = disambiguate(&g, &cells, DisambiguationConfig::default());
+        assert!(res.converged, "figure 7 graph must converge");
+
+        let full = |cell: CellId| g.full_name(res.interpretation(cell).unwrap());
+        assert!(full(CellId::new(11, 0)).contains("D.C."), "{}", full(CellId::new(11, 0)));
+        assert!(full(CellId::new(11, 1)).contains("D.C."));
+        assert!(full(CellId::new(12, 0)).contains("College Park, MD"));
+        assert!(full(CellId::new(12, 1)).contains("MD"));
+        assert!(full(CellId::new(19, 0)).contains("Paris, TX"));
+        assert!(full(CellId::new(19, 1)).contains("TX"));
+    }
+
+    #[test]
+    fn scores_are_normalized_per_cell() {
+        let g = Gazetteer::figure7();
+        let cells = figure7_cells(&g);
+        let res = disambiguate(&g, &cells, DisambiguationConfig::default());
+        for (cell, cands) in &cells {
+            let sum: f64 = cands
+                .iter()
+                .map(|&l| res.scores.get(&(*cell, l)).copied().unwrap_or(0.0))
+                .sum();
+            assert!((sum - 1.0).abs() < 1e-9, "cell {cell} scores sum to {sum}");
+        }
+    }
+
+    #[test]
+    fn isolated_cells_keep_uniform_prior() {
+        let g = Gazetteer::figure7();
+        // One lonely ambiguous cell: no row/column partners, no votes.
+        let paris = g.lookup_kind("Paris", LocationKind::City);
+        let cells = vec![(CellId::new(0, 0), paris.clone())];
+        let res = disambiguate(&g, &cells, DisambiguationConfig::default());
+        for &p in &paris {
+            let s = res.scores[&(CellId::new(0, 0), p)];
+            assert!((s - 1.0 / 3.0).abs() < 1e-9);
+        }
+        // A choice is still made (random among ties, seeded).
+        assert!(res.interpretation(CellId::new(0, 0)).is_some());
+    }
+
+    #[test]
+    fn tie_breaking_is_deterministic_per_seed() {
+        let g = Gazetteer::figure7();
+        let paris = g.lookup_kind("Paris", LocationKind::City);
+        let cells = vec![(CellId::new(0, 0), paris)];
+        let a = disambiguate(&g, &cells, DisambiguationConfig::default());
+        let b = disambiguate(&g, &cells, DisambiguationConfig::default());
+        assert_eq!(
+            a.interpretation(CellId::new(0, 0)),
+            b.interpretation(CellId::new(0, 0))
+        );
+    }
+
+    #[test]
+    fn unambiguous_cell_votes_with_full_weight() {
+        let g = Gazetteer::figure7();
+        let wash_dc = g
+            .lookup_kind("Washington", LocationKind::City)
+            .into_iter()
+            .find(|&id| g.full_name(id).contains("D.C."))
+            .unwrap();
+        let penn = g.lookup_kind("Pennsylvania Avenue", LocationKind::Street);
+        // Row 0: unambiguous city next to the ambiguous street.
+        let cells = vec![
+            (CellId::new(0, 0), penn.clone()),
+            (CellId::new(0, 1), vec![wash_dc]),
+        ];
+        let res = disambiguate(&g, &cells, DisambiguationConfig::default());
+        let street = res.interpretation(CellId::new(0, 0)).unwrap();
+        assert!(g.full_name(street).contains("D.C."));
+        let s = res.scores[&(CellId::new(0, 0), street)];
+        assert!(s > 0.99, "city vote should dominate: {s}");
+    }
+
+    #[test]
+    fn same_column_city_votes_propagate() {
+        let g = Gazetteer::figure7();
+        // Column of cities: "Washington" (ambiguous DC/GA) above
+        // "College Park" (ambiguous MD/GA). Only the GA pair shares a
+        // container, so both resolve to Georgia.
+        let find_city = |name: &str, mark: &str| {
+            g.lookup_kind(name, LocationKind::City)
+                .into_iter()
+                .find(|&id| g.full_name(id).contains(mark))
+                .unwrap()
+        };
+        let cells = vec![
+            (
+                CellId::new(0, 0),
+                vec![find_city("Washington", "D.C."), find_city("Washington", "GA")],
+            ),
+            (
+                CellId::new(1, 0),
+                vec![
+                    find_city("College Park", "MD"),
+                    find_city("College Park", "GA"),
+                ],
+            ),
+        ];
+        let res = disambiguate(&g, &cells, DisambiguationConfig::default());
+        assert!(g
+            .full_name(res.interpretation(CellId::new(0, 0)).unwrap())
+            .contains("GA"));
+        assert!(g
+            .full_name(res.interpretation(CellId::new(1, 0)).unwrap())
+            .contains("GA"));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let g = Gazetteer::figure7();
+        let res = disambiguate(&g, &[], DisambiguationConfig::default());
+        assert!(res.chosen.is_empty());
+        assert!(res.converged);
+    }
+
+    #[test]
+    fn cells_with_no_candidates_are_skipped() {
+        let g = Gazetteer::figure7();
+        let cells = vec![(CellId::new(0, 0), vec![])];
+        let res = disambiguate(&g, &cells, DisambiguationConfig::default());
+        assert!(res.interpretation(CellId::new(0, 0)).is_none());
+    }
+}

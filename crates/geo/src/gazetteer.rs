@@ -1,0 +1,368 @@
+//! The gazetteer: a containment hierarchy of geographic locations.
+//!
+//! §5.2.2: "Such geographic locations are in a containment relationship
+//! defined as follows: streets are contained by cities, which are contained
+//! by states which in turn are contained by countries. Since the
+//! containment is a hierarchical relationship, any geographic location
+//! (e.g. a street) has a direct or most specific container (e.g. a city)
+//! and indirect or less specific containers (e.g. states and countries)."
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a location inside a [`Gazetteer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LocationId(pub u32);
+
+/// The level of a location in the containment hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LocationKind {
+    Country,
+    State,
+    City,
+    Street,
+}
+
+/// One geographic location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Location {
+    /// Display name, e.g. "Paris" or "Pennsylvania Avenue".
+    pub name: String,
+    /// Hierarchy level.
+    pub kind: LocationKind,
+    /// The direct (most specific) container; `None` only for countries.
+    pub parent: Option<LocationId>,
+}
+
+/// An immutable containment hierarchy with name lookup.
+///
+/// Names are *not* unique — ambiguity is the point (Paris, TX vs Paris,
+/// France). [`Gazetteer::lookup`] returns every location bearing a name.
+#[derive(Debug, Clone, Default)]
+pub struct Gazetteer {
+    locations: Vec<Location>,
+    by_name: HashMap<String, Vec<LocationId>>,
+}
+
+impl Gazetteer {
+    /// Creates an empty gazetteer.
+    pub fn new() -> Self {
+        Gazetteer::default()
+    }
+
+    /// Adds a country.
+    pub fn add_country(&mut self, name: &str) -> LocationId {
+        self.add(name, LocationKind::Country, None)
+    }
+
+    /// Adds a state inside `country`.
+    pub fn add_state(&mut self, name: &str, country: LocationId) -> LocationId {
+        debug_assert_eq!(self.locations[country.0 as usize].kind, LocationKind::Country);
+        self.add(name, LocationKind::State, Some(country))
+    }
+
+    /// Adds a city inside `state`.
+    pub fn add_city(&mut self, name: &str, state: LocationId) -> LocationId {
+        debug_assert_eq!(self.locations[state.0 as usize].kind, LocationKind::State);
+        self.add(name, LocationKind::City, Some(state))
+    }
+
+    /// Adds a street inside `city`.
+    pub fn add_street(&mut self, name: &str, city: LocationId) -> LocationId {
+        debug_assert_eq!(self.locations[city.0 as usize].kind, LocationKind::City);
+        self.add(name, LocationKind::Street, Some(city))
+    }
+
+    fn add(&mut self, name: &str, kind: LocationKind, parent: Option<LocationId>) -> LocationId {
+        let id = LocationId(u32::try_from(self.locations.len()).expect("gazetteer too large"));
+        self.locations.push(Location {
+            name: name.to_owned(),
+            kind,
+            parent,
+        });
+        self.by_name
+            .entry(name.to_lowercase())
+            .or_default()
+            .push(id);
+        id
+    }
+
+    /// Number of locations.
+    pub fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Whether the gazetteer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.locations.is_empty()
+    }
+
+    /// The location with id `id`.
+    pub fn location(&self, id: LocationId) -> &Location {
+        &self.locations[id.0 as usize]
+    }
+
+    /// All locations named `name` (case-insensitive).
+    pub fn lookup(&self, name: &str) -> &[LocationId] {
+        self.by_name
+            .get(&name.to_lowercase())
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// All locations of a given kind named `name`.
+    pub fn lookup_kind(&self, name: &str, kind: LocationKind) -> Vec<LocationId> {
+        self.lookup(name)
+            .iter()
+            .copied()
+            .filter(|&id| self.location(id).kind == kind)
+            .collect()
+    }
+
+    /// The direct container of `id` (`None` for countries).
+    pub fn direct_container(&self, id: LocationId) -> Option<LocationId> {
+        self.location(id).parent
+    }
+
+    /// The chain of containers from `id` (exclusive) to the root country.
+    pub fn container_chain(&self, id: LocationId) -> Vec<LocationId> {
+        let mut chain = Vec::new();
+        let mut cur = self.location(id).parent;
+        while let Some(p) = cur {
+            chain.push(p);
+            cur = self.location(p).parent;
+        }
+        chain
+    }
+
+    /// Whether `inner` is (transitively) contained in `outer`.
+    pub fn contains(&self, outer: LocationId, inner: LocationId) -> bool {
+        self.container_chain(inner).contains(&outer)
+    }
+
+    /// The §5.2.2 edge condition: two interpretations "share the same
+    /// direct geographic container". The paper's own example pairs a street
+    /// with the very city that contains it ("Pennsylvania Ave, Washington,
+    /// D.C." ↔ "Washington, D.C., USA"), so the relation also holds when
+    /// one location *is* the other's direct container.
+    pub fn shares_direct_container(&self, a: LocationId, b: LocationId) -> bool {
+        if a == b {
+            return false;
+        }
+        let pa = self.direct_container(a);
+        let pb = self.direct_container(b);
+        (pa.is_some() && pa == pb) || pa == Some(b) || pb == Some(a)
+    }
+
+    /// Fully qualified display name: "Pennsylvania Avenue, Washington,
+    /// D.C., USA".
+    pub fn full_name(&self, id: LocationId) -> String {
+        let mut parts = vec![self.location(id).name.clone()];
+        for c in self.container_chain(id) {
+            parts.push(self.location(c).name.clone());
+        }
+        parts.join(", ")
+    }
+
+    /// The city containing `id` (or `id` itself when it is a city).
+    pub fn city_of(&self, id: LocationId) -> Option<LocationId> {
+        if self.location(id).kind == LocationKind::City {
+            return Some(id);
+        }
+        self.container_chain(id)
+            .into_iter()
+            .find(|&c| self.location(c).kind == LocationKind::City)
+    }
+
+    /// Iterates all locations of a kind.
+    pub fn of_kind(&self, kind: LocationKind) -> impl Iterator<Item = LocationId> + '_ {
+        self.locations
+            .iter()
+            .enumerate()
+            .filter(move |(_, l)| l.kind == kind)
+            .map(|(i, _)| LocationId(i as u32))
+    }
+
+    /// The streets directly contained in `city`.
+    pub fn streets_in(&self, city: LocationId) -> Vec<LocationId> {
+        self.of_kind(LocationKind::Street)
+            .filter(|&s| self.location(s).parent == Some(city))
+            .collect()
+    }
+
+    /// Builds the paper's Figure 7 micro-world: Pennsylvania Avenue in both
+    /// Baltimore and Washington D.C.; Wofford Lane in College Park MD,
+    /// Lockhart FL and Conway AR; Clarksville Street in Paris TX, Bogata TX
+    /// and Trenton KY; the cities Washington GA, College Park GA, Paris TN
+    /// and Paris, France. Used by tests and by the `exp_fig7` experiment.
+    ///
+    /// ```
+    /// use teda_geo::{Gazetteer, LocationKind};
+    ///
+    /// let g = Gazetteer::figure7();
+    /// assert_eq!(g.lookup_kind("Paris", LocationKind::City).len(), 3);
+    /// assert_eq!(g.lookup_kind("Pennsylvania Avenue", LocationKind::Street).len(), 2);
+    /// ```
+    pub fn figure7() -> Gazetteer {
+        let mut g = Gazetteer::new();
+        let usa = g.add_country("USA");
+        let france = g.add_country("France");
+
+        let md = g.add_state("MD", usa);
+        let dc = g.add_state("D.C.", usa);
+        let ga = g.add_state("GA", usa);
+        let fl = g.add_state("FL", usa);
+        let ar = g.add_state("AR", usa);
+        let tx = g.add_state("TX", usa);
+        let ky = g.add_state("KY", usa);
+        let tn = g.add_state("TN", usa);
+        let idf = g.add_state("Île-de-France", france);
+
+        let baltimore = g.add_city("Baltimore", md);
+        let washington_dc = g.add_city("Washington", dc);
+        let washington_ga = g.add_city("Washington", ga);
+        let college_park_md = g.add_city("College Park", md);
+        let college_park_ga = g.add_city("College Park", ga);
+        let lockhart = g.add_city("Lockhart", fl);
+        let conway = g.add_city("Conway", ar);
+        let paris_tx = g.add_city("Paris", tx);
+        let bogata = g.add_city("Bogata", tx);
+        let trenton = g.add_city("Trenton", ky);
+        let paris_tn = g.add_city("Paris", tn);
+        let paris_fr = g.add_city("Paris", idf);
+
+        g.add_street("Pennsylvania Avenue", baltimore);
+        g.add_street("Pennsylvania Avenue", washington_dc);
+        g.add_street("Wofford Lane", college_park_md);
+        g.add_street("Wofford Lane", lockhart);
+        g.add_street("Wofford Lane", conway);
+        g.add_street("Clarksville Street", paris_tx);
+        g.add_street("Clarksville Street", bogata);
+        g.add_street("Clarksville Street", trenton);
+
+        let _ = (washington_ga, college_park_ga, paris_tn, paris_fr);
+        g
+    }
+}
+
+impl fmt::Display for LocationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LocationKind::Country => "country",
+            LocationKind::State => "state",
+            LocationKind::City => "city",
+            LocationKind::Street => "street",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_and_chains() {
+        let g = Gazetteer::figure7();
+        let penn = g.lookup_kind("Pennsylvania Avenue", LocationKind::Street);
+        assert_eq!(penn.len(), 2, "Pennsylvania Avenue is ambiguous");
+        let chain = g.container_chain(penn[0]);
+        assert_eq!(chain.len(), 3); // city, state, country
+        assert_eq!(g.location(chain[2]).kind, LocationKind::Country);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let g = Gazetteer::figure7();
+        assert_eq!(g.lookup("paris").len(), 3);
+        assert_eq!(g.lookup("PARIS").len(), 3);
+        assert!(g.lookup("atlantis").is_empty());
+    }
+
+    #[test]
+    fn full_names_read_like_the_figure() {
+        let g = Gazetteer::figure7();
+        let washington: Vec<LocationId> = g.lookup_kind("Washington", LocationKind::City);
+        let names: Vec<String> = washington.iter().map(|&id| g.full_name(id)).collect();
+        assert!(names.contains(&"Washington, D.C., USA".to_owned()), "{names:?}");
+        assert!(names.contains(&"Washington, GA, USA".to_owned()));
+    }
+
+    #[test]
+    fn shares_direct_container_cases() {
+        let g = Gazetteer::figure7();
+        // two cities in Georgia share the state
+        let wash_ga = g
+            .lookup_kind("Washington", LocationKind::City)
+            .into_iter()
+            .find(|&id| g.full_name(id).contains("GA"))
+            .unwrap();
+        let cp_ga = g
+            .lookup_kind("College Park", LocationKind::City)
+            .into_iter()
+            .find(|&id| g.full_name(id).contains("GA"))
+            .unwrap();
+        assert!(g.shares_direct_container(wash_ga, cp_ga));
+
+        // a street and its containing city share (asymmetric case)
+        let penn_dc = g
+            .lookup_kind("Pennsylvania Avenue", LocationKind::Street)
+            .into_iter()
+            .find(|&id| g.full_name(id).contains("D.C."))
+            .unwrap();
+        let wash_dc = g
+            .lookup_kind("Washington", LocationKind::City)
+            .into_iter()
+            .find(|&id| g.full_name(id).contains("D.C."))
+            .unwrap();
+        assert!(g.shares_direct_container(penn_dc, wash_dc));
+        assert!(g.shares_direct_container(wash_dc, penn_dc), "symmetric");
+
+        // unrelated locations do not share
+        let paris_fr = g
+            .lookup_kind("Paris", LocationKind::City)
+            .into_iter()
+            .find(|&id| g.full_name(id).contains("France"))
+            .unwrap();
+        assert!(!g.shares_direct_container(paris_fr, wash_dc));
+
+        // a location does not share with itself
+        assert!(!g.shares_direct_container(wash_dc, wash_dc));
+    }
+
+    #[test]
+    fn contains_is_transitive() {
+        let g = Gazetteer::figure7();
+        let penn_dc = g
+            .lookup_kind("Pennsylvania Avenue", LocationKind::Street)
+            .into_iter()
+            .find(|&id| g.full_name(id).contains("D.C."))
+            .unwrap();
+        let usa = g.of_kind(LocationKind::Country).next().unwrap();
+        assert!(g.contains(usa, penn_dc));
+        assert!(!g.contains(penn_dc, usa));
+    }
+
+    #[test]
+    fn city_of_resolves_streets_and_cities() {
+        let g = Gazetteer::figure7();
+        let penn = g.lookup_kind("Pennsylvania Avenue", LocationKind::Street)[0];
+        let city = g.city_of(penn).unwrap();
+        assert_eq!(g.location(city).kind, LocationKind::City);
+        assert_eq!(g.city_of(city), Some(city));
+        let country = g.of_kind(LocationKind::Country).next().unwrap();
+        assert_eq!(g.city_of(country), None);
+    }
+
+    #[test]
+    fn streets_in_city() {
+        let g = Gazetteer::figure7();
+        let paris_tx = g
+            .lookup_kind("Paris", LocationKind::City)
+            .into_iter()
+            .find(|&id| g.full_name(id).contains("TX"))
+            .unwrap();
+        let streets = g.streets_in(paris_tx);
+        assert_eq!(streets.len(), 1);
+        assert_eq!(g.location(streets[0]).name, "Clarksville Street");
+    }
+}

@@ -1,0 +1,204 @@
+//! The simulated geocoding service.
+//!
+//! Stands in for the Google Geocoding API of §5.2.2: given a (possibly
+//! partial) address string, returns *every* candidate interpretation from
+//! the gazetteer — the set `L_{i,j}` that the disambiguation graph
+//! consumes. "If the address is partial, the API can still retrieve the
+//! name of the city or cities to which the address may refer; therefore,
+//! we are left with the problem of resolving the ambiguities."
+//!
+//! Each call charges virtual latency into the shared [`VirtualClock`] so
+//! the §6.4 efficiency experiment accounts for geocoding round-trips.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use teda_simkit::{LatencyModel, VirtualClock};
+
+use crate::address::parse_address;
+use crate::gazetteer::{Gazetteer, LocationId, LocationKind};
+
+/// A geocoding service: address text → candidate interpretations.
+pub trait Geocoder {
+    /// All candidate locations the address may denote, most specific kind
+    /// first (streets before cities). Empty when nothing matches.
+    fn geocode(&self, address: &str) -> Vec<LocationId>;
+}
+
+/// The simulated Google Geocoding API.
+pub struct SimGeocoder {
+    gazetteer: Arc<Gazetteer>,
+    clock: VirtualClock,
+    latency: LatencyModel,
+    rng: Mutex<StdRng>,
+    queries: AtomicU64,
+}
+
+impl SimGeocoder {
+    /// Creates a geocoder over `gazetteer`, charging `latency` per query
+    /// into `clock`.
+    pub fn new(gazetteer: Arc<Gazetteer>, clock: VirtualClock, latency: LatencyModel) -> Self {
+        SimGeocoder {
+            gazetteer,
+            clock,
+            latency,
+            rng: Mutex::new(StdRng::seed_from_u64(0x6e0c0de)),
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    /// A zero-latency geocoder for tests.
+    pub fn instant(gazetteer: Arc<Gazetteer>) -> Self {
+        SimGeocoder::new(gazetteer, VirtualClock::new(), LatencyModel::zero())
+    }
+
+    /// Number of geocoding calls served.
+    pub fn query_count(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// The underlying gazetteer.
+    pub fn gazetteer(&self) -> &Gazetteer {
+        &self.gazetteer
+    }
+
+    fn charge(&self) {
+        let d = {
+            let mut rng = self.rng.lock().expect("geocoder rng poisoned");
+            self.latency.sample(&mut *rng)
+        };
+        self.clock.advance(d);
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Geocoder for SimGeocoder {
+    fn geocode(&self, address: &str) -> Vec<LocationId> {
+        self.charge();
+        let parsed = parse_address(address);
+        let g = &*self.gazetteer;
+        let mut out: Vec<LocationId> = Vec::new();
+
+        if let Some(street) = &parsed.street_name {
+            let mut streets = g.lookup_kind(street, LocationKind::Street);
+            // A city (and/or state) narrows the street candidates.
+            if let Some(city) = &parsed.city {
+                let cities = g.lookup_kind(city, LocationKind::City);
+                streets.retain(|&s| {
+                    g.direct_container(s)
+                        .map(|c| cities.contains(&c))
+                        .unwrap_or(false)
+                });
+            }
+            if let Some(state) = &parsed.state {
+                let states = g.lookup_kind(state, LocationKind::State);
+                streets.retain(|&s| states.iter().any(|&st| g.contains(st, s)));
+            }
+            out.extend(streets);
+        }
+
+        if out.is_empty() {
+            if let Some(city) = &parsed.city {
+                let mut cities = g.lookup_kind(city, LocationKind::City);
+                if let Some(state) = &parsed.state {
+                    let states = g.lookup_kind(state, LocationKind::State);
+                    let narrowed: Vec<LocationId> = cities
+                        .iter()
+                        .copied()
+                        .filter(|&c| states.iter().any(|&st| g.contains(st, c)))
+                        .collect();
+                    if !narrowed.is_empty() {
+                        cities = narrowed;
+                    }
+                }
+                out.extend(cities);
+            }
+        }
+
+        // Last resort: the raw string may itself be a known toponym of any
+        // kind (state names, etc.).
+        if out.is_empty() {
+            out.extend(g.lookup(address.trim()).iter().copied());
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn fixture() -> SimGeocoder {
+        SimGeocoder::instant(Arc::new(Gazetteer::figure7()))
+    }
+
+    #[test]
+    fn ambiguous_street_returns_all_interpretations() {
+        let gc = fixture();
+        let cands = gc.geocode("1600 Pennsylvania Avenue");
+        assert_eq!(cands.len(), 2, "Baltimore and Washington D.C.");
+        let names: Vec<String> = cands
+            .iter()
+            .map(|&id| gc.gazetteer().full_name(id))
+            .collect();
+        assert!(names.iter().any(|n| n.contains("Baltimore")));
+        assert!(names.iter().any(|n| n.contains("D.C.")));
+    }
+
+    #[test]
+    fn city_narrows_street() {
+        let gc = fixture();
+        let cands = gc.geocode("1600 Pennsylvania Avenue, Washington");
+        assert_eq!(cands.len(), 1);
+        assert!(gc.gazetteer().full_name(cands[0]).contains("D.C."));
+    }
+
+    #[test]
+    fn state_narrows_street() {
+        let gc = fixture();
+        let cands = gc.geocode("Clarksville Street, TX");
+        assert_eq!(cands.len(), 2, "Paris TX and Bogata TX");
+    }
+
+    #[test]
+    fn bare_city_is_ambiguous() {
+        let gc = fixture();
+        let cands = gc.geocode("Paris");
+        assert_eq!(cands.len(), 3, "TX, TN, France");
+    }
+
+    #[test]
+    fn city_plus_state() {
+        let gc = fixture();
+        let cands = gc.geocode("College Park, GA");
+        assert_eq!(cands.len(), 1);
+        assert!(gc.gazetteer().full_name(cands[0]).contains("GA"));
+    }
+
+    #[test]
+    fn unknown_address_is_empty() {
+        let gc = fixture();
+        assert!(gc.geocode("Atlantis Boulevard, Atlantis").is_empty());
+        assert!(gc.geocode("").is_empty());
+    }
+
+    #[test]
+    fn latency_is_charged() {
+        let clock = VirtualClock::new();
+        let gc = SimGeocoder::new(
+            Arc::new(Gazetteer::figure7()),
+            clock.clone(),
+            LatencyModel::Fixed(Duration::from_millis(120)),
+        );
+        gc.geocode("Paris");
+        gc.geocode("Washington");
+        assert_eq!(clock.now(), Duration::from_millis(240));
+        assert_eq!(gc.query_count(), 2);
+    }
+}

@@ -1,0 +1,287 @@
+//! Seeded synthetic gazetteer generation.
+//!
+//! The benchmark world needs many more places than the Figure 7 fixture,
+//! with the same essential property: **toponym ambiguity**. Real U.S.
+//! geography reuses city names across states (there are dozens of
+//! Springfields) and street names across cities (every town has a Main
+//! Street); the generator draws from bounded name pools so the collision
+//! rate is controlled by pool size relative to entity count.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::gazetteer::{Gazetteer, LocationId, LocationKind};
+
+/// Shape parameters for [`generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GazetteerSpec {
+    /// Number of countries.
+    pub countries: usize,
+    /// States per country.
+    pub states_per_country: usize,
+    /// Cities per state.
+    pub cities_per_state: usize,
+    /// Streets per city.
+    pub streets_per_city: usize,
+    /// Size of the city-name pool; smaller pools mean more ambiguous city
+    /// names. Must be ≥ 1.
+    pub city_name_pool: usize,
+    /// Size of the street-name pool.
+    pub street_name_pool: usize,
+}
+
+impl Default for GazetteerSpec {
+    fn default() -> Self {
+        GazetteerSpec {
+            countries: 3,
+            states_per_country: 6,
+            cities_per_state: 6,
+            streets_per_city: 8,
+            city_name_pool: 60, // 108 cities from 60 names → ~45% reuse
+            street_name_pool: 40,
+        }
+    }
+}
+
+const CITY_STEMS: [&str; 40] = [
+    "Spring", "Clar", "Green", "Fair", "Mill", "River", "Oak", "George", "Frank", "Madi",
+    "Jack", "Harri", "Lex", "Bright", "Ash", "Wood", "Stone", "Maple", "Cedar", "Hill",
+    "Lake", "North", "West", "East", "Glen", "Brook", "Kings", "Queens", "Salem", "Dover",
+    "Milan", "Paris", "Troy", "Rome", "Vernon", "Marion", "Newport", "Auburn", "Camden",
+    "Bristol",
+];
+
+const CITY_SUFFIXES: [&str; 10] = [
+    "field", "ton", "ville", "burg", "port", "view", "wood", "dale", " City", " Park",
+];
+
+const STREET_NAMES: [&str; 24] = [
+    "Main", "Oak", "Pine", "Maple", "Cedar", "Elm", "Washington", "Lake", "Hill", "Park",
+    "Church", "Mill", "Spring", "River", "Franklin", "Highland", "Union", "Center", "Prospect",
+    "Pennsylvania", "Jefferson", "Madison", "Walnut", "Chestnut",
+];
+
+const STREET_SUFFIXES: [&str; 6] = ["Street", "Avenue", "Road", "Boulevard", "Lane", "Drive"];
+
+const STATE_CODES: [&str; 24] = [
+    "AL", "AR", "CA", "CO", "FL", "GA", "IL", "KS", "KY", "LA", "MD", "MI", "MN", "MO", "NC",
+    "NY", "OH", "OK", "OR", "PA", "TN", "TX", "VA", "WA",
+];
+
+const COUNTRY_NAMES: [&str; 6] = ["USA", "France", "Italy", "Germany", "Spain", "Australia"];
+
+/// Builds the city-name pool deterministically from the seed.
+fn city_name_pool(rng: &mut StdRng, size: usize) -> Vec<String> {
+    let mut pool = Vec::with_capacity(size);
+    let mut seen = std::collections::HashSet::new();
+    while pool.len() < size {
+        let stem = CITY_STEMS[rng.gen_range(0..CITY_STEMS.len())];
+        // Some bare stems (Paris, Troy, Rome...) are city names on their own.
+        let name = if rng.gen_bool(0.25) {
+            stem.to_owned()
+        } else {
+            format!("{stem}{}", CITY_SUFFIXES[rng.gen_range(0..CITY_SUFFIXES.len())])
+        };
+        if seen.insert(name.clone()) {
+            pool.push(name);
+        }
+        if seen.len() >= CITY_STEMS.len() * (CITY_SUFFIXES.len() + 1) {
+            break; // pool exhausted; accept fewer
+        }
+    }
+    pool
+}
+
+fn street_name_pool(rng: &mut StdRng, size: usize) -> Vec<String> {
+    let mut pool = Vec::with_capacity(size);
+    let mut seen = std::collections::HashSet::new();
+    while pool.len() < size {
+        let name = format!(
+            "{} {}",
+            STREET_NAMES[rng.gen_range(0..STREET_NAMES.len())],
+            STREET_SUFFIXES[rng.gen_range(0..STREET_SUFFIXES.len())]
+        );
+        if seen.insert(name.clone()) {
+            pool.push(name);
+        }
+        if seen.len() >= STREET_NAMES.len() * STREET_SUFFIXES.len() {
+            break;
+        }
+    }
+    pool
+}
+
+/// Generates a gazetteer per `spec`, deterministic in `seed`.
+pub fn generate(spec: GazetteerSpec, seed: u64) -> Gazetteer {
+    assert!(spec.countries >= 1 && spec.city_name_pool >= 1 && spec.street_name_pool >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cities_pool = city_name_pool(&mut rng, spec.city_name_pool);
+    let streets_pool = street_name_pool(&mut rng, spec.street_name_pool);
+
+    let mut g = Gazetteer::new();
+    let mut state_counter = 0usize;
+    for ci in 0..spec.countries {
+        let cname = COUNTRY_NAMES
+            .get(ci)
+            .map(|s| (*s).to_owned())
+            .unwrap_or_else(|| format!("Country{ci}"));
+        let country = g.add_country(&cname);
+        for _ in 0..spec.states_per_country {
+            let sname = STATE_CODES
+                .get(state_counter % STATE_CODES.len())
+                .map(|s| {
+                    if state_counter < STATE_CODES.len() {
+                        (*s).to_owned()
+                    } else {
+                        format!("{s}{}", state_counter / STATE_CODES.len())
+                    }
+                })
+                .expect("state codes non-empty");
+            state_counter += 1;
+            let state = g.add_state(&sname, country);
+            for _ in 0..spec.cities_per_state {
+                let city_name = cities_pool.choose(&mut rng).expect("non-empty pool");
+                let city = g.add_city(city_name, state);
+                for _ in 0..spec.streets_per_city {
+                    let street_name = streets_pool.choose(&mut rng).expect("non-empty pool");
+                    g.add_street(street_name, city);
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Formats a (street, number) pair as a postal address with optional
+/// city/state qualifiers — what the table generator writes into
+/// `Location` columns.
+pub fn format_address(
+    g: &Gazetteer,
+    street: LocationId,
+    number: u32,
+    include_city: bool,
+    include_state: bool,
+) -> String {
+    let mut s = format!("{} {}", number, g.location(street).name);
+    if include_city {
+        if let Some(city) = g.city_of(street) {
+            s.push_str(", ");
+            s.push_str(&g.location(city).name);
+            if include_state {
+                if let Some(state) = g.direct_container(city) {
+                    s.push_str(", ");
+                    s.push_str(&g.location(state).name);
+                }
+            }
+        }
+    }
+    s
+}
+
+/// Picks a uniformly random city.
+pub fn random_city(g: &Gazetteer, rng: &mut StdRng) -> LocationId {
+    let cities: Vec<LocationId> = g.of_kind(LocationKind::City).collect();
+    *cities.choose(rng).expect("gazetteer has cities")
+}
+
+/// Picks a uniformly random street inside `city`; `None` when the city has
+/// no streets.
+pub fn random_street_in(g: &Gazetteer, city: LocationId, rng: &mut StdRng) -> Option<LocationId> {
+    let streets = g.streets_in(city);
+    streets.choose(rng).copied()
+}
+
+/// The fraction of city names shared by more than one city — the ambiguity
+/// statistic reported by the corpus audit.
+pub fn city_name_ambiguity(g: &Gazetteer) -> f64 {
+    use std::collections::HashMap;
+    let mut by_name: HashMap<&str, usize> = HashMap::new();
+    let mut total = 0usize;
+    for id in g.of_kind(LocationKind::City) {
+        *by_name.entry(g.location(id).name.as_str()).or_insert(0) += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    let ambiguous: usize = by_name.values().filter(|&&c| c > 1).copied().sum();
+    ambiguous as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(GazetteerSpec::default(), 7);
+        let b = generate(GazetteerSpec::default(), 7);
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() as u32 {
+            assert_eq!(
+                a.location(LocationId(i)).name,
+                b.location(LocationId(i)).name
+            );
+        }
+    }
+
+    #[test]
+    fn counts_match_spec() {
+        let spec = GazetteerSpec {
+            countries: 2,
+            states_per_country: 3,
+            cities_per_state: 4,
+            streets_per_city: 5,
+            city_name_pool: 10,
+            street_name_pool: 10,
+        };
+        let g = generate(spec, 1);
+        assert_eq!(g.of_kind(LocationKind::Country).count(), 2);
+        assert_eq!(g.of_kind(LocationKind::State).count(), 6);
+        assert_eq!(g.of_kind(LocationKind::City).count(), 24);
+        assert_eq!(g.of_kind(LocationKind::Street).count(), 120);
+    }
+
+    #[test]
+    fn small_pool_forces_ambiguity() {
+        let spec = GazetteerSpec {
+            city_name_pool: 5, // 108 cities from 5 names
+            ..GazetteerSpec::default()
+        };
+        let g = generate(spec, 2);
+        assert!(
+            city_name_ambiguity(&g) > 0.9,
+            "ambiguity {}",
+            city_name_ambiguity(&g)
+        );
+    }
+
+    #[test]
+    fn formatted_addresses_parse_back() {
+        let g = generate(GazetteerSpec::default(), 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let city = random_city(&g, &mut rng);
+        let street = random_street_in(&g, city, &mut rng).unwrap();
+        let addr = format_address(&g, street, 42, true, true);
+        let parsed = crate::address::parse_address(&addr);
+        assert_eq!(parsed.street_number.as_deref(), Some("42"));
+        assert_eq!(
+            parsed.street_name.as_deref(),
+            Some(g.location(street).name.as_str())
+        );
+        assert_eq!(
+            parsed.city.as_deref(),
+            Some(g.location(city).name.as_str())
+        );
+    }
+
+    #[test]
+    fn every_street_has_a_city() {
+        let g = generate(GazetteerSpec::default(), 5);
+        for s in g.of_kind(LocationKind::Street) {
+            assert!(g.city_of(s).is_some());
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! The DBpedia-like category network.
+//!
+//! §5.2.1 harvests positive training entities by rooting at a manually
+//! chosen category ρ (e.g. "Museums") and visiting its subcategories.
+//! Figure 6 shows why that is noisy: "Museum people" and its child
+//! "Curators" sit under "Museums" but contain no museums at all. The
+//! paper's countermeasure is a name heuristic — drop categories whose name
+//! does not contain the type word.
+//!
+//! The synthetic network reproduces exactly that topology per target type:
+//!
+//! ```text
+//! Museums
+//! ├── Museums by country
+//! │   ├── Museums in USA           (holds USA museums)
+//! │   │   └── History museums in USA (holds a subset)
+//! │   └── Museums in France        ...
+//! ├── Museums by continent          (structural, no direct entities)
+//! └── Museum people                 (name *contains* the type word…)
+//!     └── Curators                  (…but this child does NOT, and holds
+//!                                    people — filtered by the heuristic)
+//! ```
+
+use std::collections::HashMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use teda_simkit::{derive_seed, rng_from_seed};
+
+use crate::entity::EntityId;
+use crate::types::{EntityType, TypeCategory};
+use crate::world::World;
+
+/// Index of a category inside a [`CategoryNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CategoryId(pub u32);
+
+#[derive(Debug, Clone)]
+struct Category {
+    name: String,
+    children: Vec<CategoryId>,
+    entities: Vec<EntityId>,
+}
+
+/// A category DAG with per-type roots.
+#[derive(Debug, Clone, Default)]
+pub struct CategoryNetwork {
+    categories: Vec<Category>,
+    roots: HashMap<EntityType, CategoryId>,
+}
+
+impl CategoryNetwork {
+    /// Builds the network for every target type of `world`.
+    pub fn build(world: &World, seed: u64) -> Self {
+        let mut net = CategoryNetwork::default();
+        let mut rng = rng_from_seed(derive_seed(seed, "categories"));
+
+        // Noise donors: people entities used to fill the polluting
+        // subcategories of non-people types.
+        let mut people: Vec<EntityId> = Vec::new();
+        for t in [EntityType::Actor, EntityType::Singer, EntityType::Scientist] {
+            people.extend_from_slice(world.entities_of(t));
+        }
+
+        for &etype in &EntityType::TARGETS {
+            let root = net.add(etype.display().to_string());
+            net.roots.insert(etype, root);
+
+            // Partition entities geographically (located types) or by
+            // decade (people / cinema) into type-word-bearing categories.
+            let ids = world.entities_of(etype).to_vec();
+            let word = capitalized(etype.type_word());
+            let by_country = net.add(format!("{} by country", etype.display()));
+            net.link(root, by_country);
+
+            let gaz = world.gazetteer();
+            // BTreeMap: bucket iteration order must be stable for the
+            // network (and RNG consumption) to be deterministic per seed.
+            let mut buckets: std::collections::BTreeMap<String, Vec<EntityId>> =
+                std::collections::BTreeMap::new();
+            for &id in &ids {
+                let e = world.entity(id);
+                let key = match e.city {
+                    Some(city) => {
+                        let chain = gaz.container_chain(city);
+                        let country = chain.last().copied();
+                        country
+                            .map(|c| gaz.location(c).name.clone())
+                            .unwrap_or_else(|| "Unknown".into())
+                    }
+                    None => {
+                        let decade = e.year.map(|y| y / 10 * 10).unwrap_or(2000);
+                        format!("the {decade}s")
+                    }
+                };
+                buckets.entry(key).or_default().push(id);
+            }
+            for (where_, mut members) in buckets {
+                let label = if etype.category() == TypeCategory::Poi {
+                    format!("{} in {}", etype.display(), where_)
+                } else {
+                    format!("{} of {}", etype.display(), where_)
+                };
+                let cat = net.add(label);
+                net.link(by_country, cat);
+                // A nested, more specific subcategory gets a slice of the
+                // members (DBpedia's "History museums in France" level).
+                members.shuffle(&mut rng);
+                let split = members.len() / 3;
+                let (deep, direct) = members.split_at(split);
+                net.set_entities(cat, direct.to_vec());
+                if !deep.is_empty() {
+                    let sub = net.add(format!("Notable {} in {}", etype.display(), where_));
+                    net.link(cat, sub);
+                    net.set_entities(sub, deep.to_vec());
+                }
+            }
+
+            // Structural child without entities.
+            let by_continent = net.add(format!("{} by continent", etype.display()));
+            net.link(root, by_continent);
+
+            // The polluting branch: "<Word> people" → "Curators"-style
+            // child holding entities of the wrong type.
+            let people_cat = net.add(format!("{word} people"));
+            net.link(root, people_cat);
+            let noisy_child = net.add(noise_child_name(etype).to_owned());
+            net.link(people_cat, noisy_child);
+            let n_noise = (ids.len() / 10).clamp(2, 12).min(people.len());
+            if n_noise > 0 && !people.is_empty() {
+                let mut noise = Vec::with_capacity(n_noise);
+                for _ in 0..n_noise {
+                    noise.push(people[rng.gen_range(0..people.len())]);
+                }
+                net.set_entities(noisy_child, noise);
+            }
+        }
+        net
+    }
+
+    fn add(&mut self, name: String) -> CategoryId {
+        let id = CategoryId(u32::try_from(self.categories.len()).expect("too many categories"));
+        self.categories.push(Category {
+            name,
+            children: Vec::new(),
+            entities: Vec::new(),
+        });
+        id
+    }
+
+    fn link(&mut self, parent: CategoryId, child: CategoryId) {
+        self.categories[parent.0 as usize].children.push(child);
+    }
+
+    fn set_entities(&mut self, cat: CategoryId, entities: Vec<EntityId>) {
+        self.categories[cat.0 as usize].entities = entities;
+    }
+
+    /// The root category ρ for `etype` — the manual selection step of
+    /// §5.2.1 ("we manually identify the category ρ").
+    pub fn root_for(&self, etype: EntityType) -> Option<CategoryId> {
+        self.roots.get(&etype).copied()
+    }
+
+    /// The display name of a category.
+    pub fn name(&self, cat: CategoryId) -> &str {
+        &self.categories[cat.0 as usize].name
+    }
+
+    /// Direct subcategories (the SPARQL step: "iterating a SPARQL query on
+    /// each subcategory of ρ").
+    pub fn subcategories(&self, cat: CategoryId) -> &[CategoryId] {
+        &self.categories[cat.0 as usize].children
+    }
+
+    /// Entities directly attached to `cat`.
+    pub fn entities_in(&self, cat: CategoryId) -> &[EntityId] {
+        &self.categories[cat.0 as usize].entities
+    }
+
+    /// All categories reachable from `root` (inclusive), breadth-first.
+    pub fn descendants(&self, root: CategoryId) -> Vec<CategoryId> {
+        let mut seen = vec![false; self.categories.len()];
+        let mut queue = std::collections::VecDeque::from([root]);
+        let mut out = Vec::new();
+        while let Some(c) = queue.pop_front() {
+            if std::mem::replace(&mut seen[c.0 as usize], true) {
+                continue;
+            }
+            out.push(c);
+            queue.extend(self.subcategories(c));
+        }
+        out
+    }
+
+    /// Iterates every category id (used by automatic root selection,
+    /// which must scan the network without knowing the roots).
+    pub fn all_categories(&self) -> impl Iterator<Item = CategoryId> + '_ {
+        (0..self.categories.len() as u32).map(CategoryId)
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// Whether the network is empty.
+    pub fn is_empty(&self) -> bool {
+        self.categories.is_empty()
+    }
+}
+
+fn capitalized(word: &str) -> String {
+    let mut c = word.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+/// The "Curators"-style polluting child per type: a plausible related-people
+/// category whose name does not contain the type word.
+fn noise_child_name(etype: EntityType) -> &'static str {
+    use EntityType::*;
+    match etype {
+        Museum => "Curators",
+        Restaurant => "Celebrity chefs",
+        Theatre => "Stage directors",
+        Hotel => "Hospitality managers",
+        School => "Headteachers",
+        University => "Chancellors",
+        Mine => "Mining engineers",
+        Actor => "Casting directors",
+        Singer => "Record producers",
+        Scientist => "Lab technicians",
+        Film => "Screenwriters",
+        SimpsonsEpisode => "Voice cast",
+        _ => "Related people",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldSpec;
+
+    fn net() -> (World, CategoryNetwork) {
+        let w = World::generate(WorldSpec::tiny(), 42);
+        let n = CategoryNetwork::build(&w, 42);
+        (w, n)
+    }
+
+    #[test]
+    fn every_target_type_has_a_root() {
+        let (_, n) = net();
+        for t in EntityType::TARGETS {
+            let root = n.root_for(t).unwrap();
+            assert_eq!(n.name(root), t.display());
+        }
+    }
+
+    #[test]
+    fn all_entities_reachable_from_their_root() {
+        let (w, n) = net();
+        for t in EntityType::TARGETS {
+            let root = n.root_for(t).unwrap();
+            let mut reachable: Vec<EntityId> = Vec::new();
+            for c in n.descendants(root) {
+                reachable.extend_from_slice(n.entities_in(c));
+            }
+            for &id in w.entities_of(t) {
+                assert!(
+                    reachable.contains(&id),
+                    "{t}: entity {} not reachable",
+                    w.entity(id).name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn network_contains_noise_like_figure6() {
+        let (w, n) = net();
+        let root = n.root_for(EntityType::Museum).unwrap();
+        let descendants = n.descendants(root);
+        // A "Curators" category exists below "Museums"…
+        let curators = descendants
+            .iter()
+            .find(|&&c| n.name(c) == "Curators")
+            .copied()
+            .expect("Curators category exists");
+        // …whose name lacks the type word and whose entities are not
+        // museums.
+        assert!(!n.name(curators).to_lowercase().contains("museum"));
+        assert!(!n.entities_in(curators).is_empty());
+        for &id in n.entities_in(curators) {
+            assert_ne!(w.entity(id).etype, EntityType::Museum);
+        }
+    }
+
+    #[test]
+    fn the_name_heuristic_separates_noise() {
+        // Applying the §5.2.1 filter over the museum network keeps only
+        // museum entities.
+        let (w, n) = net();
+        let root = n.root_for(EntityType::Museum).unwrap();
+        let word = "museum";
+        let mut kept: Vec<EntityId> = Vec::new();
+        for c in n.descendants(root) {
+            if n.name(c).to_lowercase().contains(word) {
+                kept.extend_from_slice(n.entities_in(c));
+            }
+        }
+        assert!(!kept.is_empty());
+        for &id in &kept {
+            assert_eq!(
+                w.entity(id).etype,
+                EntityType::Museum,
+                "{} leaked through the filter",
+                w.entity(id).name
+            );
+        }
+    }
+
+    #[test]
+    fn descendants_terminates_and_dedupes() {
+        let (_, n) = net();
+        let root = n.root_for(EntityType::Film).unwrap();
+        let d = n.descendants(root);
+        let mut d2 = d.clone();
+        d2.sort();
+        d2.dedup();
+        assert_eq!(d.len(), d2.len(), "no duplicates in BFS order");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let w = World::generate(WorldSpec::tiny(), 9);
+        let a = CategoryNetwork::build(&w, 9);
+        let b = CategoryNetwork::build(&w, 9);
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() as u32 {
+            assert_eq!(a.name(CategoryId(i)), b.name(CategoryId(i)));
+            assert_eq!(
+                a.entities_in(CategoryId(i)),
+                b.entities_in(CategoryId(i))
+            );
+        }
+    }
+}

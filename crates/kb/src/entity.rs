@@ -1,0 +1,110 @@
+//! Entities: the individuals of the synthetic world.
+
+use teda_geo::LocationId;
+
+use crate::types::EntityType;
+
+/// Index of an entity inside a [`crate::world::World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityId(pub u32);
+
+/// One entity: a restaurant, a museum, an actor, a film, ...
+///
+/// Attribute presence depends on the type: POIs carry spatial attributes
+/// (city, street, phone), people and cinema carry years. All attributes are
+/// what the GFT table generator writes into columns and the Web simulator
+/// mentions in pages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entity {
+    /// Stable id (index into the world's entity table).
+    pub id: EntityId,
+    /// Surface name, not necessarily unique (ambiguity is deliberate).
+    pub name: String,
+    /// The entity's (single, fine-grained) type.
+    pub etype: EntityType,
+    /// The city the entity is physically in, for located types.
+    pub city: Option<LocationId>,
+    /// Street within the city.
+    pub street: Option<LocationId>,
+    /// House number on the street.
+    pub street_number: Option<u32>,
+    /// Birth year (people), release/airing year (cinema), founding year
+    /// (institutions).
+    pub year: Option<u32>,
+    /// A 0–5 quality rating with one decimal, where a table would show one.
+    pub rating: Option<f32>,
+    /// Phone number, for POIs.
+    pub phone: Option<String>,
+    /// Website URL, for POIs and companies.
+    pub url: Option<String>,
+}
+
+impl Entity {
+    /// The postal address string ("12 Main Street"), if the entity has one.
+    /// `gazetteer` resolves the street name.
+    pub fn street_address(&self, gazetteer: &teda_geo::Gazetteer) -> Option<String> {
+        match (self.street, self.street_number) {
+            (Some(street), Some(n)) => {
+                Some(format!("{} {}", n, gazetteer.location(street).name))
+            }
+            _ => None,
+        }
+    }
+
+    /// The city name, if located.
+    pub fn city_name<'g>(&self, gazetteer: &'g teda_geo::Gazetteer) -> Option<&'g str> {
+        self.city.map(|c| gazetteer.location(c).name.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teda_geo::Gazetteer;
+
+    #[test]
+    fn address_formatting() {
+        let mut g = Gazetteer::new();
+        let usa = g.add_country("USA");
+        let ca = g.add_state("CA", usa);
+        let sm = g.add_city("Santa Monica", ca);
+        let wilshire = g.add_street("Wilshire Boulevard", sm);
+
+        let e = Entity {
+            id: EntityId(0),
+            name: "Melisse".into(),
+            etype: EntityType::Restaurant,
+            city: Some(sm),
+            street: Some(wilshire),
+            street_number: Some(1104),
+            year: None,
+            rating: Some(4.7),
+            phone: Some("+1 (310) 395-0881".into()),
+            url: Some("www.melisse.example.com".into()),
+        };
+        assert_eq!(
+            e.street_address(&g).as_deref(),
+            Some("1104 Wilshire Boulevard")
+        );
+        assert_eq!(e.city_name(&g), Some("Santa Monica"));
+    }
+
+    #[test]
+    fn unlocated_entity_has_no_address() {
+        let g = Gazetteer::new();
+        let e = Entity {
+            id: EntityId(1),
+            name: "James Lee".into(),
+            etype: EntityType::Actor,
+            city: None,
+            street: None,
+            street_number: None,
+            year: Some(1971),
+            rating: None,
+            phone: None,
+            url: None,
+        };
+        assert_eq!(e.street_address(&g), None);
+        assert_eq!(e.city_name(&g), None);
+    }
+}

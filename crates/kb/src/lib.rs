@@ -1,0 +1,34 @@
+//! `teda-kb` — the synthetic knowledge world (the DBpedia stand-in).
+//!
+//! The paper needs a knowledge base twice:
+//!
+//! 1. **Training** (§5.2.1): positive entities per type are harvested from
+//!    DBpedia's *category network* rooted at a manually chosen category
+//!    (e.g. "Museums"), filtered by the heuristic that keeps only
+//!    categories whose names contain the type word — because real category
+//!    networks are polluted ("Curators" sits under "Museums" but holds no
+//!    museums).
+//! 2. **Comparison** (§1, §6.3): only ~22% of table entities exist in
+//!    Yago ∪ DBpedia ∪ Freebase, which is the paper's core argument for
+//!    discovering *unknown* entities on the Web; the catalogue-based
+//!    comparator (Limaye-like) can only annotate that fraction.
+//!
+//! This crate builds a deterministic synthetic world with the same
+//! structure: 12 target entity types plus distractor types
+//! ([`types::EntityType`]), generated names with controlled cross-type
+//! collisions ([`names`]) so queries are genuinely ambiguous ("Melisse" the
+//! restaurant vs "Melisse" the jazz label), a polluted category network
+//! ([`category`]), and a partial catalogue ([`catalogue`]).
+
+pub mod catalogue;
+pub mod category;
+pub mod entity;
+pub mod names;
+pub mod types;
+pub mod world;
+
+pub use catalogue::Catalogue;
+pub use category::{CategoryId, CategoryNetwork};
+pub use entity::{Entity, EntityId};
+pub use types::{EntityType, TypeCategory};
+pub use world::{World, WorldSpec};

@@ -1,0 +1,388 @@
+//! The world builder: generates the full synthetic universe of entities.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use teda_geo::synthetic::{generate as generate_gazetteer, GazetteerSpec};
+use teda_geo::{Gazetteer, LocationKind};
+use teda_simkit::{derive_seed, rng_from_seed};
+use teda_text::similarity::normalize_name;
+
+use crate::entity::{Entity, EntityId};
+use crate::names::generate_name;
+use crate::types::EntityType;
+
+/// Shape parameters for [`World::generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorldSpec {
+    /// Entities per annotation-target type.
+    pub entities_per_target_type: usize,
+    /// Entities per distractor type.
+    pub entities_per_distractor_type: usize,
+    /// Fraction of jazz labels that reuse a restaurant's exact name —
+    /// the paper's "Melisse" scenario (§5.2: "'Melisse' may refer to a
+    /// restaurant, as well as to a French contemporary Jazz label").
+    pub cross_type_name_share: f64,
+    /// Fraction of people who reuse another person's exact name (§6.2:
+    /// "names of people tend to be highly ambiguous").
+    pub person_name_collision: f64,
+    /// The gazetteer to generate underneath.
+    pub gazetteer: GazetteerSpec,
+}
+
+impl Default for WorldSpec {
+    fn default() -> Self {
+        WorldSpec {
+            entities_per_target_type: 120,
+            entities_per_distractor_type: 60,
+            cross_type_name_share: 0.3,
+            person_name_collision: 0.2,
+            gazetteer: GazetteerSpec::default(),
+        }
+    }
+}
+
+impl WorldSpec {
+    /// A reduced world for unit tests (fast to build).
+    pub fn tiny() -> Self {
+        WorldSpec {
+            entities_per_target_type: 20,
+            entities_per_distractor_type: 10,
+            ..WorldSpec::default()
+        }
+    }
+}
+
+/// The synthetic universe: every entity, with name and type indexes, plus
+/// the gazetteer they live in.
+#[derive(Debug, Clone)]
+pub struct World {
+    entities: Vec<Entity>,
+    by_type: HashMap<EntityType, Vec<EntityId>>,
+    by_name: HashMap<String, Vec<EntityId>>,
+    gazetteer: Arc<Gazetteer>,
+}
+
+impl World {
+    /// Generates a world deterministically from `seed`.
+    pub fn generate(spec: WorldSpec, seed: u64) -> Self {
+        let gazetteer = Arc::new(generate_gazetteer(
+            spec.gazetteer,
+            derive_seed(seed, "gazetteer"),
+        ));
+        let mut rng = rng_from_seed(derive_seed(seed, "world"));
+        let cities: Vec<_> = gazetteer.of_kind(LocationKind::City).collect();
+
+        let mut world = World {
+            entities: Vec::new(),
+            by_type: HashMap::new(),
+            by_name: HashMap::new(),
+            gazetteer,
+        };
+
+        // Generate target types first so distractors can steal their names.
+        for &etype in EntityType::TARGETS.iter().chain(&EntityType::DISTRACTORS) {
+            let count = if EntityType::TARGETS.contains(&etype) {
+                spec.entities_per_target_type
+            } else {
+                spec.entities_per_distractor_type
+            };
+            for _ in 0..count {
+                let name = world.pick_name(&mut rng, etype, &spec);
+                world.push_entity(&mut rng, name, etype, &cities);
+            }
+        }
+        world
+    }
+
+    fn pick_name(&self, rng: &mut StdRng, etype: EntityType, spec: &WorldSpec) -> String {
+        // Cross-type reuse: jazz labels borrow restaurant names; people
+        // borrow other people's names.
+        if etype == EntityType::JazzLabel && rng.gen_bool(spec.cross_type_name_share) {
+            if let Some(name) = self.random_name_of(rng, EntityType::Restaurant) {
+                return name;
+            }
+        }
+        if matches!(
+            etype,
+            EntityType::Actor | EntityType::Singer | EntityType::Scientist
+        ) && rng.gen_bool(spec.person_name_collision)
+        {
+            let pools = [EntityType::Actor, EntityType::Singer, EntityType::Scientist];
+            let donor = pools[rng.gen_range(0..pools.len())];
+            if let Some(name) = self.random_name_of(rng, donor) {
+                return name;
+            }
+        }
+        // Fresh name, with the type word embedded at the calibrated rate.
+        // Retry a few times for within-type uniqueness; give up gracefully
+        // (a handful of same-type duplicates is realistic).
+        let p = etype.name_type_word_prob();
+        for _ in 0..8 {
+            let with_word = p > 0.0 && rng.gen_bool(p);
+            let name = generate_name(rng, etype, with_word);
+            let clash = self
+                .lookup_name(&name)
+                .iter()
+                .any(|&id| self.entity(id).etype == etype);
+            if !clash {
+                return name;
+            }
+        }
+        let with_word = p > 0.0 && rng.gen_bool(p);
+        generate_name(rng, etype, with_word)
+    }
+
+    fn random_name_of(&self, rng: &mut StdRng, etype: EntityType) -> Option<String> {
+        let ids = self.by_type.get(&etype)?;
+        ids.choose(rng).map(|&id| self.entity(id).name.clone())
+    }
+
+    fn push_entity(
+        &mut self,
+        rng: &mut StdRng,
+        name: String,
+        etype: EntityType,
+        cities: &[teda_geo::LocationId],
+    ) {
+        let id = EntityId(u32::try_from(self.entities.len()).expect("world too large"));
+        let located = etype.is_located() && !cities.is_empty();
+        let (city, street, street_number) = if located {
+            let city = *cities.choose(rng).expect("non-empty");
+            let street = teda_geo::synthetic::random_street_in(&self.gazetteer, city, rng);
+            let number = street.map(|_| rng.gen_range(1..2500u32));
+            (Some(city), street, number)
+        } else {
+            (None, None, None)
+        };
+        let year = match etype.category() {
+            crate::types::TypeCategory::People => Some(rng.gen_range(1930..1996)),
+            crate::types::TypeCategory::Cinema => Some(rng.gen_range(1960..2013)),
+            _ => {
+                if rng.gen_bool(0.5) {
+                    Some(rng.gen_range(1850..2010))
+                } else {
+                    None
+                }
+            }
+        };
+        let rating = matches!(etype, EntityType::Restaurant | EntityType::Hotel)
+            .then(|| (rng.gen_range(20..50) as f32) / 10.0);
+        let phone = located.then(|| {
+            format!(
+                "+1 ({:03}) {:03}-{:04}",
+                rng.gen_range(200..990),
+                rng.gen_range(200..990),
+                rng.gen_range(0..10_000)
+            )
+        });
+        let url = (located || etype == EntityType::Company).then(|| {
+            let slug: String = name
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_lowercase();
+            format!("www.{}.example.com", if slug.is_empty() { "entity".into() } else { slug })
+        });
+
+        let entity = Entity {
+            id,
+            name: name.clone(),
+            etype,
+            city,
+            street,
+            street_number,
+            year,
+            rating,
+            phone,
+            url,
+        };
+        self.by_type.entry(etype).or_default().push(id);
+        self.by_name
+            .entry(normalize_name(&name))
+            .or_default()
+            .push(id);
+        self.entities.push(entity);
+    }
+
+    /// The entity with id `id`.
+    pub fn entity(&self, id: EntityId) -> &Entity {
+        &self.entities[id.0 as usize]
+    }
+
+    /// Every entity, in generation order.
+    pub fn entities(&self) -> &[Entity] {
+        &self.entities
+    }
+
+    /// Total entity count.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether the world is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// The ids of all entities of `etype`.
+    pub fn entities_of(&self, etype: EntityType) -> &[EntityId] {
+        self.by_type.get(&etype).map_or(&[], Vec::as_slice)
+    }
+
+    /// All entities whose normalized name equals `name`.
+    pub fn lookup_name(&self, name: &str) -> &[EntityId] {
+        self.by_name
+            .get(&normalize_name(name))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The shared gazetteer.
+    pub fn gazetteer(&self) -> &Arc<Gazetteer> {
+        &self.gazetteer
+    }
+
+    /// Fraction of entities whose name is shared with at least one other
+    /// entity (of any type) — the ambiguity statistic.
+    pub fn ambiguous_name_fraction(&self) -> f64 {
+        if self.entities.is_empty() {
+            return 0.0;
+        }
+        let ambiguous = self
+            .entities
+            .iter()
+            .filter(|e| self.lookup_name(&e.name).len() > 1)
+            .count();
+        ambiguous as f64 / self.entities.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_world() -> World {
+        World::generate(WorldSpec::tiny(), 42)
+    }
+
+    #[test]
+    fn counts_match_spec() {
+        let w = tiny_world();
+        for t in EntityType::TARGETS {
+            assert_eq!(w.entities_of(t).len(), 20, "{t}");
+        }
+        for t in EntityType::DISTRACTORS {
+            assert_eq!(w.entities_of(t).len(), 10, "{t}");
+        }
+        assert_eq!(w.len(), 12 * 20 + 4 * 10);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = World::generate(WorldSpec::tiny(), 7);
+        let b = World::generate(WorldSpec::tiny(), 7);
+        assert_eq!(a.len(), b.len());
+        for (ea, eb) in a.entities().iter().zip(b.entities()) {
+            assert_eq!(ea.name, eb.name);
+            assert_eq!(ea.etype, eb.etype);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = World::generate(WorldSpec::tiny(), 1);
+        let b = World::generate(WorldSpec::tiny(), 2);
+        let same = a
+            .entities()
+            .iter()
+            .zip(b.entities())
+            .filter(|(x, y)| x.name == y.name)
+            .count();
+        assert!(same < a.len() / 2, "seeds produce near-identical worlds");
+    }
+
+    #[test]
+    fn pois_are_located_people_are_not() {
+        let w = tiny_world();
+        for &id in w.entities_of(EntityType::Restaurant) {
+            let e = w.entity(id);
+            assert!(e.city.is_some(), "{} has no city", e.name);
+            assert!(e.street.is_some());
+            assert!(e.phone.is_some());
+            assert!(e.street_address(w.gazetteer()).is_some());
+        }
+        for &id in w.entities_of(EntityType::Actor) {
+            let e = w.entity(id);
+            assert!(e.city.is_none());
+            assert!(e.year.is_some(), "people have birth years");
+        }
+    }
+
+    #[test]
+    fn cross_type_ambiguity_exists() {
+        // With share = 0.3 over 10 jazz labels, expect at least one
+        // restaurant/label name collision at this seed (deterministic).
+        let w = World::generate(
+            WorldSpec {
+                cross_type_name_share: 0.8,
+                ..WorldSpec::tiny()
+            },
+            3,
+        );
+        let collisions = w
+            .entities_of(EntityType::JazzLabel)
+            .iter()
+            .filter(|&&id| {
+                w.lookup_name(&w.entity(id).name)
+                    .iter()
+                    .any(|&other| w.entity(other).etype == EntityType::Restaurant)
+            })
+            .count();
+        assert!(collisions > 0, "no Melisse-style collisions generated");
+    }
+
+    #[test]
+    fn person_names_collide() {
+        let w = World::generate(
+            WorldSpec {
+                person_name_collision: 0.8,
+                ..WorldSpec::tiny()
+            },
+            4,
+        );
+        assert!(
+            w.ambiguous_name_fraction() > 0.1,
+            "ambiguity fraction {}",
+            w.ambiguous_name_fraction()
+        );
+    }
+
+    #[test]
+    fn name_lookup_is_normalized() {
+        let w = tiny_world();
+        let e = &w.entities()[0];
+        let shouted = e.name.to_uppercase();
+        assert!(w.lookup_name(&shouted).contains(&e.id));
+    }
+
+    #[test]
+    fn urls_and_phones_are_detectable() {
+        use teda_tabular_detect::{detect, ValueKind};
+        let w = tiny_world();
+        for &id in w.entities_of(EntityType::Hotel) {
+            let e = w.entity(id);
+            assert_eq!(detect(e.url.as_ref().unwrap()), ValueKind::Url);
+            assert_eq!(detect(e.phone.as_ref().unwrap()), ValueKind::Phone);
+        }
+    }
+
+    // tiny shim so the test above reads naturally without adding a direct
+    // dev-dependency edge in the main module tree
+    mod teda_tabular_detect {
+        pub use teda_tabular::detect::{detect, ValueKind};
+    }
+}

@@ -1,0 +1,257 @@
+//! Virtual time: a shared clock that simulated services charge latency into.
+//!
+//! The paper (§6.4) reports that "the running time of our algorithm is
+//! dominated by the latency time required to connect to the search engine"
+//! (~0.5 s per table row). Reproducing that on a synthetic, in-process Web
+//! would be meaningless with wall-clock timing — local lookups take
+//! microseconds. Instead, every simulated remote call *advances* a
+//! [`VirtualClock`] by a sampled latency, and the efficiency experiment
+//! reports virtual seconds per row alongside real CPU time.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::Rng;
+
+/// A monotonically increasing virtual clock, cheaply cloneable and shareable
+/// between simulated services (search engine, geocoder) and the harness.
+///
+/// Internally a single atomic nanosecond counter; `advance` is the only
+/// mutation. Cloning shares the underlying counter.
+#[derive(Clone, Default)]
+pub struct VirtualClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// Creates a clock at virtual time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `d`, returning the new reading.
+    pub fn advance(&self, d: Duration) -> Duration {
+        let add = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let prev = self.nanos.fetch_add(add, Ordering::Relaxed);
+        Duration::from_nanos(prev.saturating_add(add))
+    }
+
+    /// Current virtual time since clock creation (or the last [`reset`]).
+    ///
+    /// [`reset`]: VirtualClock::reset
+    pub fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
+    }
+
+    /// Resets the clock to zero. Useful between experiment phases that share
+    /// one fixture but report independent timings.
+    pub fn reset(&self) {
+        self.nanos.store(0, Ordering::Relaxed);
+    }
+
+    /// Convenience: elapsed virtual time since an earlier reading.
+    pub fn since(&self, earlier: Duration) -> Duration {
+        self.now().saturating_sub(earlier)
+    }
+}
+
+impl fmt::Debug for VirtualClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VirtualClock({:?})", self.now())
+    }
+}
+
+/// A seeded latency distribution for a simulated remote service.
+///
+/// All variants are bounded and deterministic given the caller's RNG, so the
+/// efficiency experiment is exactly reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Always exactly this long.
+    Fixed(Duration),
+    /// Uniform in `[lo, hi]`.
+    Uniform { lo: Duration, hi: Duration },
+    /// `base` plus a uniform jitter of up to `jitter_frac * base` in either
+    /// direction (clamped at zero). `jitter_frac` is typically in `[0, 1)`.
+    Jittered { base: Duration, jitter_frac: f64 },
+}
+
+impl LatencyModel {
+    /// The latency model used for the simulated Bing API: 350–450 ms, the
+    /// ballpark that makes a k-snippet row cost ~0.5 s as in §6.4 (one
+    /// search query per candidate cell, one to two candidate cells per row).
+    pub fn bing_default() -> Self {
+        LatencyModel::Uniform {
+            lo: Duration::from_millis(350),
+            hi: Duration::from_millis(450),
+        }
+    }
+
+    /// The latency model used for the simulated Google Geocoding API.
+    pub fn geocoder_default() -> Self {
+        LatencyModel::Uniform {
+            lo: Duration::from_millis(90),
+            hi: Duration::from_millis(150),
+        }
+    }
+
+    /// Zero latency — for unit tests that do not care about timing.
+    pub fn zero() -> Self {
+        LatencyModel::Fixed(Duration::ZERO)
+    }
+
+    /// Samples one latency value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        match *self {
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Uniform { lo, hi } => {
+                if hi <= lo {
+                    return lo;
+                }
+                let span = (hi - lo).as_nanos() as u64;
+                lo + Duration::from_nanos(rng.gen_range(0..=span))
+            }
+            LatencyModel::Jittered { base, jitter_frac } => {
+                let base_ns = base.as_nanos() as f64;
+                let jitter = base_ns * jitter_frac.clamp(0.0, 1.0);
+                let lo = (base_ns - jitter).max(0.0) as u64;
+                let hi = (base_ns + jitter) as u64;
+                if hi <= lo {
+                    return base;
+                }
+                Duration::from_nanos(rng.gen_range(lo..=hi))
+            }
+        }
+    }
+
+    /// The mean of the distribution, used for back-of-envelope reporting.
+    pub fn mean(&self) -> Duration {
+        match *self {
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Uniform { lo, hi } => (lo + hi) / 2,
+            LatencyModel::Jittered { base, .. } => base,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let c = VirtualClock::new();
+        c.advance(Duration::from_millis(100));
+        c.advance(Duration::from_millis(250));
+        assert_eq!(c.now(), Duration::from_millis(350));
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let c = VirtualClock::new();
+        let c2 = c.clone();
+        c.advance(Duration::from_secs(1));
+        assert_eq!(c2.now(), Duration::from_secs(1));
+        c2.advance(Duration::from_secs(2));
+        assert_eq!(c.now(), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let c = VirtualClock::new();
+        c.advance(Duration::from_secs(5));
+        c.reset();
+        assert_eq!(c.now(), Duration::ZERO);
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let c = VirtualClock::new();
+        c.advance(Duration::from_millis(10));
+        let t0 = c.now();
+        c.advance(Duration::from_millis(30));
+        assert_eq!(c.since(t0), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn fixed_latency_is_exact() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = LatencyModel::Fixed(Duration::from_millis(42));
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), Duration::from_millis(42));
+        }
+    }
+
+    #[test]
+    fn uniform_latency_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let lo = Duration::from_millis(100);
+        let hi = Duration::from_millis(200);
+        let m = LatencyModel::Uniform { lo, hi };
+        for _ in 0..500 {
+            let d = m.sample(&mut rng);
+            assert!(d >= lo && d <= hi, "{d:?} out of bounds");
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = Duration::from_millis(5);
+        let m = LatencyModel::Uniform { lo: d, hi: d };
+        assert_eq!(m.sample(&mut rng), d);
+    }
+
+    #[test]
+    fn jittered_latency_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = LatencyModel::Jittered {
+            base: Duration::from_millis(100),
+            jitter_frac: 0.5,
+        };
+        for _ in 0..500 {
+            let d = m.sample(&mut rng);
+            assert!(d >= Duration::from_millis(50) && d <= Duration::from_millis(150));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = LatencyModel::bing_default();
+        let a: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(123);
+            (0..20).map(|_| m.sample(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(123);
+            (0..20).map(|_| m.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn means_are_sensible() {
+        assert_eq!(
+            LatencyModel::Fixed(Duration::from_secs(1)).mean(),
+            Duration::from_secs(1)
+        );
+        assert_eq!(
+            LatencyModel::Uniform {
+                lo: Duration::from_millis(100),
+                hi: Duration::from_millis(300),
+            }
+            .mean(),
+            Duration::from_millis(200)
+        );
+    }
+}

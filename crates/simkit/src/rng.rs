@@ -1,0 +1,109 @@
+//! Stable seed derivation.
+//!
+//! Every generated artefact in the reproduction (knowledge world, Web
+//! corpus, gazetteer, table sets, train/test splits, classifier
+//! initialisation) must be deterministic given one master seed, yet the
+//! streams must be statistically decorrelated: reordering the construction
+//! of two components must not change either one.
+//!
+//! `derive_seed(master, label)` hashes a component label into the master
+//! seed (FNV-1a followed by a SplitMix64 finalizer), giving each component
+//! its own independent, stable seed.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Derives a stable sub-seed for a named component from a master seed.
+///
+/// The same `(master, label)` pair always yields the same seed; different
+/// labels yield decorrelated seeds.
+///
+/// ```
+/// use teda_simkit::derive_seed;
+///
+/// assert_eq!(derive_seed(42, "web"), derive_seed(42, "web"));
+/// assert_ne!(derive_seed(42, "web"), derive_seed(42, "world"));
+/// ```
+pub fn derive_seed(master: u64, label: &str) -> u64 {
+    let mut h = FNV_OFFSET ^ master;
+    for &b in label.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    splitmix64(h)
+}
+
+/// Constructs a [`StdRng`] from a seed. Thin wrapper kept for call-site
+/// readability (`rng_from_seed(derive_seed(master, "web"))`).
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// SplitMix64 finalizer: diffuses low-entropy inputs (small master seeds,
+/// short labels) across all 64 bits.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn same_inputs_same_seed() {
+        assert_eq!(derive_seed(42, "web"), derive_seed(42, "web"));
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        assert_ne!(derive_seed(42, "web"), derive_seed(42, "world"));
+    }
+
+    #[test]
+    fn different_masters_differ() {
+        assert_ne!(derive_seed(1, "web"), derive_seed(2, "web"));
+    }
+
+    #[test]
+    fn empty_label_is_valid() {
+        // Shouldn't panic, and should still mix the master seed.
+        assert_ne!(derive_seed(1, ""), derive_seed(2, ""));
+    }
+
+    #[test]
+    fn no_collisions_over_small_space() {
+        // 1000 (master, label) pairs — collisions would indicate a broken
+        // mixer, not bad luck (p < 1e-11 for a good 64-bit hash).
+        let mut seen = HashSet::new();
+        for master in 0..10u64 {
+            for i in 0..100 {
+                let s = derive_seed(master, &format!("component-{i}"));
+                assert!(seen.insert(s), "collision at master={master} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn rng_stream_is_reproducible() {
+        let mut a = rng_from_seed(derive_seed(7, "x"));
+        let mut b = rng_from_seed(derive_seed(7, "x"));
+        let va: Vec<u32> = (0..16).map(|_| a.gen()).collect();
+        let vb: Vec<u32> = (0..16).map(|_| b.gen()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn label_prefix_does_not_alias() {
+        // "ab" + "c" must differ from "a" + "bc" style aliasing.
+        assert_ne!(derive_seed(3, "abc"), derive_seed(3, "ab"));
+        assert_ne!(derive_seed(3, "abc"), derive_seed(3, "bc"));
+    }
+}

@@ -1,0 +1,224 @@
+//! A plain-text table renderer.
+//!
+//! Every experiment binary prints results as tables mirroring the paper's
+//! layout (Table 1, 2, 3), so the renderer supports column alignment,
+//! separator rows (used for the paper's per-category AVERAGE rows) and
+//! fixed-precision float cells.
+
+use std::fmt::Write as _;
+
+/// Horizontal alignment of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    Left,
+    Right,
+}
+
+/// A simple text-table builder.
+///
+/// ```
+/// use teda_simkit::tablefmt::{Align, TextTable};
+///
+/// let mut t = TextTable::new(vec!["Type", "P", "R", "F"]);
+/// t.align(0, Align::Left);
+/// t.row(vec!["Museums".into(), "0.83".into(), "0.82".into(), "0.82".into()]);
+/// t.separator();
+/// t.row(vec!["AVERAGE".into(), "0.88".into(), "0.87".into(), "0.87".into()]);
+/// let s = t.render();
+/// assert!(s.contains("Museums"));
+/// assert!(s.contains("AVERAGE"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<RowKind>,
+}
+
+#[derive(Debug, Clone)]
+enum RowKind {
+    Cells(Vec<String>),
+    Separator,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers. Columns default to
+    /// right alignment (numeric results), which matches the paper's tables;
+    /// label columns should be set to [`Align::Left`].
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Right; headers.len()];
+        TextTable {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the alignment of column `idx`.
+    pub fn align(&mut self, idx: usize, a: Align) -> &mut Self {
+        assert!(idx < self.aligns.len(), "column index out of range");
+        self.aligns[idx] = a;
+        self
+    }
+
+    /// Appends a data row. Panics if the cell count does not match the
+    /// header count — experiment code should never emit ragged tables.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(RowKind::Cells(cells));
+        self
+    }
+
+    /// Appends a horizontal separator (used before AVERAGE rows).
+    pub fn separator(&mut self) -> &mut Self {
+        self.rows.push(RowKind::Separator);
+        self
+    }
+
+    /// Number of data rows added so far (separators excluded).
+    pub fn n_rows(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r, RowKind::Cells(_)))
+            .count()
+    }
+
+    /// Renders the table to a `String` terminated by a newline.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            if let RowKind::Cells(cells) = row {
+                for (i, c) in cells.iter().enumerate() {
+                    widths[i] = widths[i].max(c.chars().count());
+                }
+            }
+        }
+
+        let mut out = String::new();
+        self.render_rule(&mut out, &widths);
+        self.render_cells(&mut out, &widths, &self.headers);
+        self.render_rule(&mut out, &widths);
+        for row in &self.rows {
+            match row {
+                RowKind::Cells(cells) => self.render_cells(&mut out, &widths, cells),
+                RowKind::Separator => self.render_rule(&mut out, &widths),
+            }
+        }
+        self.render_rule(&mut out, &widths);
+        let _ = ncols;
+        out
+    }
+
+    fn render_rule(&self, out: &mut String, widths: &[usize]) {
+        out.push('+');
+        for w in widths {
+            for _ in 0..w + 2 {
+                out.push('-');
+            }
+            out.push('+');
+        }
+        out.push('\n');
+    }
+
+    fn render_cells(&self, out: &mut String, widths: &[usize], cells: &[String]) {
+        out.push('|');
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths[i];
+            let len = cell.chars().count();
+            let pad = w.saturating_sub(len);
+            match self.aligns[i] {
+                Align::Left => {
+                    let _ = write!(out, " {}{} ", cell, " ".repeat(pad));
+                }
+                Align::Right => {
+                    let _ = write!(out, " {}{} ", " ".repeat(pad), cell);
+                }
+            }
+            out.push('|');
+        }
+        out.push('\n');
+    }
+}
+
+/// Formats an `f64` with 2 decimals, the paper's precision for P/R/F values.
+/// Negative zero renders as plain zero.
+pub fn f2(x: f64) -> String {
+    let x = if x == 0.0 { 0.0 } else { x };
+    format!("{x:.2}")
+}
+
+/// Formats an `f64` with 3 decimals (used for score breakdowns).
+/// Negative zero renders as plain zero.
+pub fn f3(x: f64) -> String {
+    let x = if x == 0.0 { 0.0 } else { x };
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_headers_and_rows() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("| a |") || s.contains("|  a |") || s.contains(" a "));
+        assert!(s.contains('1') && s.contains('2'));
+    }
+
+    #[test]
+    fn width_accounts_for_long_cells() {
+        let mut t = TextTable::new(vec!["x"]);
+        t.row(vec!["longer-cell".into()]);
+        let s = t.render();
+        assert!(s.contains("longer-cell"));
+        // every line must be the same length
+        let lens: Vec<usize> = s.lines().map(|l| l.chars().count()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "ragged render: {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_panics() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn left_and_right_alignment() {
+        let mut t = TextTable::new(vec!["name", "val"]);
+        t.align(0, Align::Left);
+        t.row(vec!["x".into(), "9".into()]);
+        let s = t.render();
+        // left-aligned: "| x    |", right-aligned: "|    9 |"
+        assert!(s.contains("| x  "), "left align missing: {s}");
+        assert!(s.contains("  9 |"), "right align missing: {s}");
+    }
+
+    #[test]
+    fn separators_and_counts() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.row(vec!["1".into()]);
+        t.separator();
+        t.row(vec!["2".into()]);
+        assert_eq!(t.n_rows(), 2);
+        let s = t.render();
+        // top rule + header rule + separator + bottom rule = 4 rules
+        let rules = s.lines().filter(|l| l.starts_with('+')).count();
+        assert_eq!(rules, 4);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f2(0.876), "0.88");
+        assert_eq!(f3(0.125), "0.125");
+        assert_eq!(f2(1.0), "1.00");
+    }
+}

@@ -1,0 +1,63 @@
+//! Cell addressing.
+//!
+//! The paper addresses cells as `T(i, j)` with 1-based row and column
+//! indices (§4). Rust-side we use 0-based indices throughout; the paper's
+//! worked examples are translated in tests where they are reproduced.
+
+use std::fmt;
+
+/// The coordinates of one cell inside a table: `row` then `col`, 0-based.
+///
+/// Annotations, gold-standard records and disambiguation-graph nodes all
+/// refer to cells through this id, so it is `Copy`, hashable and ordered
+/// (row-major) to make reports deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId {
+    /// 0-based row index.
+    pub row: usize,
+    /// 0-based column index.
+    pub col: usize,
+}
+
+impl CellId {
+    /// Creates a cell id.
+    pub fn new(row: usize, col: usize) -> Self {
+        CellId { row, col }
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Rendered 1-based to match the paper's T(i, j) notation in reports.
+        write!(f, "T({},{})", self.row + 1, self.col + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_is_one_based_like_the_paper() {
+        assert_eq!(CellId::new(11, 0).to_string(), "T(12,1)");
+    }
+
+    #[test]
+    fn ordering_is_row_major() {
+        let mut v = vec![CellId::new(1, 0), CellId::new(0, 5), CellId::new(0, 1)];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![CellId::new(0, 1), CellId::new(0, 5), CellId::new(1, 0)]
+        );
+    }
+
+    #[test]
+    fn hashable() {
+        let mut s = HashSet::new();
+        s.insert(CellId::new(0, 0));
+        s.insert(CellId::new(0, 0));
+        assert_eq!(s.len(), 1);
+    }
+}

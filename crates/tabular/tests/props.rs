@@ -1,0 +1,59 @@
+//! Property tests for the table substrate.
+
+use proptest::prelude::*;
+
+use teda_tabular::csv::{parse_table, write_table};
+use teda_tabular::detect::detect;
+use teda_tabular::Table;
+
+proptest! {
+    /// CSV round-trips arbitrary cell content, including quotes, commas
+    /// and newlines.
+    #[test]
+    fn csv_round_trip(
+        rows in proptest::collection::vec(
+            proptest::collection::vec("\\PC{0,20}", 2..=2),
+            1..8
+        )
+    ) {
+        let mut b = Table::builder(2).name("rt");
+        for r in &rows {
+            b.push_row(r.clone()).unwrap();
+        }
+        let t = b.build().unwrap();
+        let csv = write_table(&t);
+        let back = parse_table(&csv, "rt", false).unwrap();
+        prop_assert_eq!(back.n_rows(), t.n_rows());
+        for i in 0..t.n_rows() {
+            for j in 0..2 {
+                // \r\n and \r normalize to \n on re-parse; compare modulo that
+                let orig = t.cell(i, j).replace("\r\n", "\n").replace('\r', "");
+                prop_assert_eq!(back.cell(i, j), orig);
+            }
+        }
+    }
+
+    /// Occurrence counts per column sum to the number of rows.
+    #[test]
+    fn occurrences_partition_the_column(
+        cells in proptest::collection::vec("[a-c]{0,2}", 1..20)
+    ) {
+        let mut b = Table::builder(1);
+        for c in &cells {
+            b.push_row(vec![c.clone()]).unwrap();
+        }
+        let t = b.build().unwrap();
+        let occ = t.column_occurrences(0);
+        let total: usize = occ.values().sum();
+        prop_assert_eq!(total, t.n_rows());
+        for i in 0..t.n_rows() {
+            prop_assert_eq!(t.occurrence_count(i, 0), occ[t.cell(i, 0)]);
+        }
+    }
+
+    /// The value detector never panics and is deterministic.
+    #[test]
+    fn detect_total_and_pure(s in "\\PC{0,60}") {
+        prop_assert_eq!(detect(&s), detect(&s));
+    }
+}

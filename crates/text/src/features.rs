@@ -1,0 +1,276 @@
+//! Sparse feature vectors with the paper's normalized-TF weighting.
+//!
+//! §5.2.1: "Each token is associated with its normalized frequency in the
+//! snippet, that is obtained by dividing the number of its occurrences by
+//! the length of the snippet. The set of tokens, along with their relative
+//! frequencies, form the features used by the text classifier."
+//!
+//! "Length of the snippet" is taken as the number of content tokens after
+//! stop-word removal (so weights of a snippet always sum to 1 when at
+//! least one token survives) — the convention LingPipe-era pipelines used.
+
+use std::collections::HashMap;
+
+use crate::porter::Stemmer;
+use crate::stopwords::is_stopword;
+use crate::tokenize::tokenize;
+use crate::vocab::Vocabulary;
+
+/// A sparse feature vector: `(feature id, weight)` pairs sorted by id,
+/// each id unique.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseVector {
+    entries: Vec<(u32, f64)>,
+}
+
+impl SparseVector {
+    /// Builds a vector from unsorted, possibly duplicated pairs; duplicate
+    /// ids are summed.
+    pub fn from_pairs(mut pairs: Vec<(u32, f64)>) -> Self {
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        let mut entries: Vec<(u32, f64)> = Vec::with_capacity(pairs.len());
+        for (id, w) in pairs {
+            match entries.last_mut() {
+                Some((last_id, last_w)) if *last_id == id => *last_w += w,
+                _ => entries.push((id, w)),
+            }
+        }
+        SparseVector { entries }
+    }
+
+    /// The entries, sorted by feature id.
+    pub fn entries(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// Number of non-zero features.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no features (e.g. the snippet was all stopwords).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The weight of feature `id`, 0.0 when absent.
+    pub fn get(&self, id: u32) -> f64 {
+        self.entries
+            .binary_search_by_key(&id, |&(i, _)| i)
+            .map(|idx| self.entries[idx].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Sum of weights (≈ 1.0 for normalized-TF vectors).
+    pub fn sum(&self) -> f64 {
+        self.entries.iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|&(_, w)| w * w)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Dot product with another sparse vector (merge join).
+    pub fn dot(&self, other: &SparseVector) -> f64 {
+        let (mut i, mut j) = (0, 0);
+        let (a, b) = (&self.entries, &other.entries);
+        let mut acc = 0.0;
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += a[i].1 * b[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Dot product with a dense weight slice; out-of-range ids contribute 0.
+    pub fn dot_dense(&self, dense: &[f64]) -> f64 {
+        self.entries
+            .iter()
+            .map(|&(id, w)| dense.get(id as usize).copied().unwrap_or(0.0) * w)
+            .sum()
+    }
+
+    /// Adds `scale * self` into a dense accumulator (grows implicitly via
+    /// the caller sizing `dense` to the vocabulary).
+    pub fn add_scaled_into(&self, dense: &mut [f64], scale: f64) {
+        for &(id, w) in &self.entries {
+            if let Some(slot) = dense.get_mut(id as usize) {
+                *slot += scale * w;
+            }
+        }
+    }
+
+    /// Squared Euclidean distance to another sparse vector.
+    pub fn distance_sq(&self, other: &SparseVector) -> f64 {
+        // |a|² + |b|² − 2·a·b
+        let na = self.entries.iter().map(|&(_, w)| w * w).sum::<f64>();
+        let nb = other.entries.iter().map(|&(_, w)| w * w).sum::<f64>();
+        (na + nb - 2.0 * self.dot(other)).max(0.0)
+    }
+}
+
+/// Turns raw text into [`SparseVector`]s via the §5.2.1 recipe:
+/// lowercase → tokenize → stop-filter → Porter stem → normalized TF.
+///
+/// During training, call [`fit_transform`](FeatureExtractor::fit_transform)
+/// so new tokens extend the vocabulary; at prediction time call
+/// [`transform`](FeatureExtractor::transform), which skips unseen tokens.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureExtractor {
+    vocab: Vocabulary,
+    stemmer: Stemmer,
+}
+
+impl FeatureExtractor {
+    /// Creates an extractor with an empty vocabulary.
+    pub fn new() -> Self {
+        FeatureExtractor::default()
+    }
+
+    /// The current vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Vocabulary size; classifiers size their weight vectors from this.
+    pub fn dim(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Extracts features, interning unseen tokens (training mode).
+    pub fn fit_transform(&mut self, text: &str) -> SparseVector {
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        let mut total = 0u32;
+        for tok in tokenize(text) {
+            if is_stopword(&tok) {
+                continue;
+            }
+            let stem = self.stemmer.stem(&tok);
+            let id = self.vocab.intern(stem);
+            *counts.entry(id).or_insert(0) += 1;
+            total += 1;
+        }
+        Self::normalize(counts, total)
+    }
+
+    /// Extracts features against the frozen vocabulary (prediction mode);
+    /// unseen tokens are skipped but still count toward the snippet length,
+    /// as they would for a classifier that has never seen the word.
+    pub fn transform(&mut self, text: &str) -> SparseVector {
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        let mut total = 0u32;
+        for tok in tokenize(text) {
+            if is_stopword(&tok) {
+                continue;
+            }
+            let stem = self.stemmer.stem(&tok);
+            total += 1;
+            if let Some(id) = self.vocab.get(stem) {
+                *counts.entry(id).or_insert(0) += 1;
+            }
+        }
+        Self::normalize(counts, total)
+    }
+
+    fn normalize(counts: HashMap<u32, u32>, total: u32) -> SparseVector {
+        if total == 0 {
+            return SparseVector::default();
+        }
+        let denom = f64::from(total);
+        SparseVector::from_pairs(
+            counts
+                .into_iter()
+                .map(|(id, c)| (id, f64::from(c) / denom))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_and_merges() {
+        let v = SparseVector::from_pairs(vec![(3, 1.0), (1, 0.5), (3, 2.0)]);
+        assert_eq!(v.entries(), &[(1, 0.5), (3, 3.0)]);
+        assert_eq!(v.get(3), 3.0);
+        assert_eq!(v.get(2), 0.0);
+    }
+
+    #[test]
+    fn dot_products() {
+        let a = SparseVector::from_pairs(vec![(0, 1.0), (2, 2.0)]);
+        let b = SparseVector::from_pairs(vec![(1, 5.0), (2, 3.0)]);
+        assert_eq!(a.dot(&b), 6.0);
+        assert_eq!(a.dot_dense(&[1.0, 1.0, 1.0]), 3.0);
+        assert_eq!(a.dot_dense(&[1.0]), 1.0); // id 2 out of range → 0
+    }
+
+    #[test]
+    fn norms_and_distance() {
+        let a = SparseVector::from_pairs(vec![(0, 3.0), (1, 4.0)]);
+        assert_eq!(a.norm(), 5.0);
+        let b = SparseVector::from_pairs(vec![(0, 0.0), (1, 0.0)]);
+        assert!((a.distance_sq(&b) - 25.0).abs() < 1e-12);
+        assert_eq!(a.distance_sq(&a), 0.0);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let a = SparseVector::from_pairs(vec![(0, 1.0), (2, 2.0)]);
+        let mut dense = vec![0.0; 3];
+        a.add_scaled_into(&mut dense, 2.0);
+        assert_eq!(dense, vec![2.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn fit_transform_normalizes_to_one() {
+        let mut fx = FeatureExtractor::new();
+        let v = fx.fit_transform("The Louvre museum is a museum in Paris");
+        // content tokens: louvre museum museum paris → weights sum to 1
+        assert!((v.sum() - 1.0).abs() < 1e-12);
+        let museum_id = fx.vocab().get("museum").unwrap();
+        assert!((v.get(museum_id) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transform_skips_unseen_but_counts_length() {
+        let mut fx = FeatureExtractor::new();
+        fx.fit_transform("museum paris");
+        let v = fx.transform("museum zanzibar"); // zanzibar unseen
+        let museum_id = fx.vocab().get("museum").unwrap();
+        // length 2, museum count 1 → weight 0.5
+        assert!((v.get(museum_id) - 0.5).abs() < 1e-12);
+        assert_eq!(v.nnz(), 1);
+        assert_eq!(fx.dim(), 2, "transform must not grow the vocabulary");
+    }
+
+    #[test]
+    fn all_stopword_text_yields_empty_vector() {
+        let mut fx = FeatureExtractor::new();
+        let v = fx.fit_transform("the of and");
+        assert!(v.is_empty());
+        assert_eq!(v.sum(), 0.0);
+    }
+
+    #[test]
+    fn stemming_merges_inflections() {
+        let mut fx = FeatureExtractor::new();
+        let v = fx.fit_transform("museums museum");
+        assert_eq!(v.nnz(), 1, "museums and museum share a stem");
+        assert!((v.sum() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,594 @@
+//! The Porter stemming algorithm (M.F. Porter, 1980), implemented in full.
+//!
+//! The paper stems snippet tokens "with the Porter algorithm \[21\]" before
+//! feature extraction (§5.2.1). This is a faithful implementation of the
+//! original algorithm — steps 1a, 1b (with its AT/BL/IZ cleanup), 1c, 2, 3,
+//! 4, 5a and 5b — operating on ASCII buffers. Tokens containing non-ASCII
+//! letters (e.g. "musée") are returned unchanged: the original algorithm is
+//! defined over the English alphabet only.
+//!
+//! The implementation mirrors Porter's reference structure: a working
+//! buffer `b[0..k]`, the consonant predicate, the measure `m()` counting
+//! VC sequences, and the condition predicates `*v*`, `*d`, `*o`.
+
+// The step functions keep the exact branch layout of Porter's reference
+// implementation so each rule can be audited against the paper. Clippy's
+// suggestions to merge branches are unsound here: `ends()` mutates `j` as
+// a side effect, so two branches with identical bodies still differ.
+#![allow(clippy::collapsible_match, clippy::if_same_then_else)]
+
+/// A reusable Porter stemmer. Holds a scratch buffer so repeated calls do
+/// not allocate (the snippet pipeline stems millions of tokens).
+#[derive(Debug, Default, Clone)]
+pub struct Stemmer {
+    b: Vec<u8>,
+    /// Index of the last valid byte in `b` (inclusive), i.e. Porter's `k`.
+    k: usize,
+    /// Porter's `j`: the end of the stem when a suffix has been matched.
+    j: usize,
+    /// Scratch for returning non-ASCII tokens unchanged.
+    passthrough: String,
+}
+
+impl Stemmer {
+    /// Creates a stemmer.
+    pub fn new() -> Self {
+        Stemmer::default()
+    }
+
+    /// Stems `word`, returning the stem as a borrowed `&str` valid until
+    /// the next call. The input is expected lowercase (the tokenizer
+    /// guarantees it); uppercase input is lowercased defensively.
+    ///
+    /// Words shorter than 3 characters are returned unchanged, as in the
+    /// reference implementation.
+    pub fn stem(&mut self, word: &str) -> &str {
+        if !word.is_ascii() {
+            self.passthrough.clear();
+            self.passthrough.push_str(word);
+            return &self.passthrough;
+        }
+        self.b.clear();
+        self.b.extend(word.bytes().map(|c| c.to_ascii_lowercase()));
+        if self.b.len() <= 2 {
+            self.passthrough.clear();
+            self.passthrough
+                .push_str(std::str::from_utf8(&self.b).expect("ascii"));
+            return &self.passthrough;
+        }
+        self.k = self.b.len() - 1;
+        self.step1ab();
+        self.step1c();
+        self.step2();
+        self.step3();
+        self.step4();
+        self.step5();
+        std::str::from_utf8(&self.b[..=self.k]).expect("ascii buffer")
+    }
+
+    /// `true` when `b[i]` is a consonant (Porter's `cons(i)`): not a vowel,
+    /// and `y` is a consonant only when following a vowel-position.
+    fn cons(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.cons(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// Porter's `m()`: the number of VC sequences in `b[0..=j]`.
+    fn m(&self) -> usize {
+        let mut n = 0;
+        let mut i = 0;
+        let j = self.j;
+        loop {
+            if i > j {
+                return n;
+            }
+            if !self.cons(i) {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+        loop {
+            loop {
+                if i > j {
+                    return n;
+                }
+                if self.cons(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+            n += 1;
+            loop {
+                if i > j {
+                    return n;
+                }
+                if !self.cons(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+        }
+    }
+
+    /// `*v*`: the stem `b[0..=j]` contains a vowel.
+    fn vowel_in_stem(&self) -> bool {
+        (0..=self.j).any(|i| !self.cons(i))
+    }
+
+    /// `*d`: `b[i-1..=i]` is a double consonant.
+    fn double_c(&self, i: usize) -> bool {
+        i >= 1 && self.b[i] == self.b[i - 1] && self.cons(i)
+    }
+
+    /// `*o`: `b[i-2..=i]` is consonant-vowel-consonant where the final
+    /// consonant is not `w`, `x` or `y` (e.g. `hop`, `cav`; not `snow`).
+    fn cvc(&self, i: usize) -> bool {
+        if i < 2 || !self.cons(i) || self.cons(i - 1) || !self.cons(i - 2) {
+            return false;
+        }
+        !matches!(self.b[i], b'w' | b'x' | b'y')
+    }
+
+    /// Whether `b[..=k]` ends with `s`; sets `j` to the stem end on match.
+    ///
+    /// Requires at least one stem character before the suffix (the reference
+    /// implementation allows an empty stem via `j = -1`; with unsigned
+    /// indices we reject it, which only affects degenerate suffix-only
+    /// tokens like "sses" — measure zero either way, so no rule fires).
+    fn ends(&mut self, s: &[u8]) -> bool {
+        let len = s.len();
+        if len > self.k {
+            return false;
+        }
+        if &self.b[self.k + 1 - len..=self.k] != s {
+            return false;
+        }
+        self.j = self.k - len;
+        true
+    }
+
+    /// Replaces the suffix (everything after `j`) with `s`, updating `k`.
+    fn set_to(&mut self, s: &[u8]) {
+        self.b.truncate(self.j + 1);
+        self.b.extend_from_slice(s);
+        self.k = self.b.len() - 1;
+    }
+
+    /// `set_to(s)` guarded by `m() > 0`.
+    fn r(&mut self, s: &[u8]) {
+        if self.m() > 0 {
+            self.set_to(s);
+        }
+    }
+
+    /// Step 1a (plurals) and 1b (-ed, -ing) with the 1b cleanup rules.
+    fn step1ab(&mut self) {
+        if self.b[self.k] == b's' {
+            if self.ends(b"sses") {
+                self.k -= 2;
+                self.b.truncate(self.k + 1);
+            } else if self.ends(b"ies") {
+                self.set_to(b"i");
+            } else if self.b[self.k - 1] != b's' {
+                self.k -= 1;
+                self.b.truncate(self.k + 1);
+            }
+        }
+        if self.ends(b"eed") {
+            if self.m() > 0 {
+                self.k -= 1;
+                self.b.truncate(self.k + 1);
+            }
+        } else if (self.ends(b"ed") || self.ends(b"ing")) && self.vowel_in_stem() {
+            self.k = self.j;
+            self.b.truncate(self.k + 1);
+            if self.ends(b"at") {
+                self.set_to(b"ate");
+            } else if self.ends(b"bl") {
+                self.set_to(b"ble");
+            } else if self.ends(b"iz") {
+                self.set_to(b"ize");
+            } else if self.double_c(self.k) {
+                if !matches!(self.b[self.k], b'l' | b's' | b'z') {
+                    self.k -= 1;
+                    self.b.truncate(self.k + 1);
+                }
+            } else {
+                self.j = self.k;
+                if self.m() == 1 && self.cvc(self.k) {
+                    self.set_to_e();
+                }
+            }
+        }
+    }
+
+    fn set_to_e(&mut self) {
+        self.b.truncate(self.k + 1);
+        self.b.push(b'e');
+        self.k = self.b.len() - 1;
+    }
+
+    /// Step 1c: terminal `y` → `i` when the stem contains a vowel.
+    fn step1c(&mut self) {
+        if self.ends(b"y") && self.vowel_in_stem() {
+            self.b[self.k] = b'i';
+        }
+    }
+
+    /// Step 2: double/triple suffixes mapped to single ones, keyed on the
+    /// penultimate letter as in the reference implementation.
+    fn step2(&mut self) {
+        if self.k == 0 {
+            return;
+        }
+        match self.b[self.k - 1] {
+            b'a' => {
+                if self.ends(b"ational") {
+                    self.r(b"ate");
+                } else if self.ends(b"tional") {
+                    self.r(b"tion");
+                }
+            }
+            b'c' => {
+                if self.ends(b"enci") {
+                    self.r(b"ence");
+                } else if self.ends(b"anci") {
+                    self.r(b"ance");
+                }
+            }
+            b'e' => {
+                if self.ends(b"izer") {
+                    self.r(b"ize");
+                }
+            }
+            b'l' => {
+                if self.ends(b"bli") {
+                    // Porter's later revision of "abli" → "able"
+                    self.r(b"ble");
+                } else if self.ends(b"alli") {
+                    self.r(b"al");
+                } else if self.ends(b"entli") {
+                    self.r(b"ent");
+                } else if self.ends(b"eli") {
+                    self.r(b"e");
+                } else if self.ends(b"ousli") {
+                    self.r(b"ous");
+                }
+            }
+            b'o' => {
+                if self.ends(b"ization") {
+                    self.r(b"ize");
+                } else if self.ends(b"ation") {
+                    self.r(b"ate");
+                } else if self.ends(b"ator") {
+                    self.r(b"ate");
+                }
+            }
+            b's' => {
+                if self.ends(b"alism") {
+                    self.r(b"al");
+                } else if self.ends(b"iveness") {
+                    self.r(b"ive");
+                } else if self.ends(b"fulness") {
+                    self.r(b"ful");
+                } else if self.ends(b"ousness") {
+                    self.r(b"ous");
+                }
+            }
+            b't' => {
+                if self.ends(b"aliti") {
+                    self.r(b"al");
+                } else if self.ends(b"iviti") {
+                    self.r(b"ive");
+                } else if self.ends(b"biliti") {
+                    self.r(b"ble");
+                }
+            }
+            b'g' => {
+                if self.ends(b"logi") {
+                    self.r(b"log");
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Step 3: -ic-, -full, -ness etc.
+    fn step3(&mut self) {
+        match self.b[self.k] {
+            b'e' => {
+                if self.ends(b"icate") {
+                    self.r(b"ic");
+                } else if self.ends(b"ative") {
+                    self.r(b"");
+                } else if self.ends(b"alize") {
+                    self.r(b"al");
+                }
+            }
+            b'i' => {
+                if self.ends(b"iciti") {
+                    self.r(b"ic");
+                }
+            }
+            b'l' => {
+                if self.ends(b"ical") {
+                    self.r(b"ic");
+                } else if self.ends(b"ful") {
+                    self.r(b"");
+                }
+            }
+            b's' => {
+                if self.ends(b"ness") {
+                    self.r(b"");
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Step 4: strip residual suffixes when `m() > 1`.
+    fn step4(&mut self) {
+        if self.k == 0 {
+            return;
+        }
+        let matched = match self.b[self.k - 1] {
+            b'a' => self.ends(b"al"),
+            b'c' => self.ends(b"ance") || self.ends(b"ence"),
+            b'e' => self.ends(b"er"),
+            b'i' => self.ends(b"ic"),
+            b'l' => self.ends(b"able") || self.ends(b"ible"),
+            b'n' => {
+                self.ends(b"ant")
+                    || self.ends(b"ement")
+                    || self.ends(b"ment")
+                    || self.ends(b"ent")
+            }
+            b'o' => {
+                (self.ends(b"ion") && self.j > 0 && matches!(self.b[self.j], b's' | b't'))
+                    || self.ends(b"ou")
+            }
+            b's' => self.ends(b"ism"),
+            b't' => self.ends(b"ate") || self.ends(b"iti"),
+            b'u' => self.ends(b"ous"),
+            b'v' => self.ends(b"ive"),
+            b'z' => self.ends(b"ize"),
+            _ => false,
+        };
+        if matched && self.m() > 1 {
+            self.k = self.j;
+            self.b.truncate(self.k + 1);
+        }
+    }
+
+    /// Step 5a (terminal -e) and 5b (terminal double l).
+    fn step5(&mut self) {
+        self.j = self.k;
+        if self.b[self.k] == b'e' {
+            let a = self.m();
+            if a > 1 || (a == 1 && {
+                // need cvc(k-1) on the stem without the final e
+                self.j = self.k - 1;
+                let c = self.cvc(self.k - 1);
+                self.j = self.k;
+                !c
+            }) {
+                self.k -= 1;
+                self.b.truncate(self.k + 1);
+            }
+        }
+        self.j = self.k;
+        if self.b[self.k] == b'l' && self.double_c(self.k) && self.m() > 1 {
+            self.k -= 1;
+            self.b.truncate(self.k + 1);
+        }
+    }
+}
+
+/// One-shot convenience wrapper around [`Stemmer::stem`].
+///
+/// ```
+/// use teda_text::porter::stem;
+///
+/// assert_eq!(stem("museums"), "museum");
+/// assert_eq!(stem("universities"), "univers");
+/// assert_eq!(stem("relational"), "relat");
+/// ```
+pub fn stem(word: &str) -> String {
+    Stemmer::new().stem(word).to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(pairs: &[(&str, &str)]) {
+        let mut s = Stemmer::new();
+        for (w, expected) in pairs {
+            assert_eq!(&s.stem(w), expected, "stem({w})");
+        }
+    }
+
+    #[test]
+    fn step1a_plurals() {
+        check(&[
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+        ]);
+    }
+
+    #[test]
+    fn step1b_ed_ing() {
+        check(&[
+            ("feed", "feed"),
+            ("agreed", "agre"), // agree → step5a drops final e (m=2 after ee? actual Porter: agreed→agre)
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+        ]);
+    }
+
+    #[test]
+    fn step1b_cleanup() {
+        check(&[
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+        ]);
+    }
+
+    #[test]
+    fn step1c_y_to_i() {
+        check(&[("happy", "happi"), ("sky", "sky")]);
+    }
+
+    #[test]
+    fn step2_suffix_mapping() {
+        check(&[
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+        ]);
+    }
+
+    #[test]
+    fn step3_suffixes() {
+        check(&[
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+        ]);
+    }
+
+    #[test]
+    fn step4_residues() {
+        check(&[
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+        ]);
+    }
+
+    #[test]
+    fn step5_final_e_and_ll() {
+        check(&[
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ]);
+    }
+
+    #[test]
+    fn domain_words_from_the_paper() {
+        check(&[
+            ("museums", "museum"),
+            ("restaurants", "restaur"),
+            ("theatres", "theatr"),
+            ("universities", "univers"),
+            ("annotations", "annot"),
+            ("episodes", "episod"),
+        ]);
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        check(&[("is", "is"), ("by", "by"), ("to", "to")]);
+    }
+
+    #[test]
+    fn non_ascii_passthrough() {
+        let mut s = Stemmer::new();
+        assert_eq!(s.stem("musée"), "musée");
+    }
+
+    #[test]
+    fn uppercase_is_lowercased() {
+        let mut s = Stemmer::new();
+        assert_eq!(s.stem("MUSEUMS"), "museum");
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_typical_words() {
+        // Not a theorem for Porter in general, but holds for our domain
+        // vocabulary; the feature extractor relies on stable ids for
+        // already-stemmed lexicon terms.
+        let mut s = Stemmer::new();
+        for w in [
+            "museum", "restaur", "theatr", "hotel", "school", "mine", "actor", "singer",
+            "scientist", "film", "episod",
+        ] {
+            let once = s.stem(w).to_owned();
+            let twice = s.stem(&once).to_owned();
+            assert_eq!(once, twice, "{w}");
+        }
+    }
+
+    #[test]
+    fn reusable_buffer_no_cross_talk() {
+        let mut s = Stemmer::new();
+        let a = s.stem("caresses").to_owned();
+        let b = s.stem("ponies").to_owned();
+        assert_eq!(a, "caress");
+        assert_eq!(b, "poni");
+    }
+}

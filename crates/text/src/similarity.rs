@@ -1,0 +1,148 @@
+//! String and set similarity measures.
+//!
+//! Used by the catalogue-based comparator (the Limaye-like annotator of
+//! §6.3): catalogue lookup matches cell content against known entity names
+//! exactly and, failing that, by normalized edit distance / token overlap.
+
+use std::collections::HashSet;
+
+use crate::features::SparseVector;
+
+/// Cosine similarity between two sparse vectors; 0.0 when either is empty.
+pub fn cosine(a: &SparseVector, b: &SparseVector) -> f64 {
+    let na = a.norm();
+    let nb = b.norm();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (a.dot(b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Jaccard similarity of two token sets; 1.0 when both are empty.
+pub fn jaccard<'a>(a: impl IntoIterator<Item = &'a str>, b: impl IntoIterator<Item = &'a str>) -> f64 {
+    let sa: HashSet<&str> = a.into_iter().collect();
+    let sb: HashSet<&str> = b.into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs),
+/// computed over `char`s with a rolling single-row DP.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    if a_chars.is_empty() {
+        return b_chars.len();
+    }
+    if b_chars.is_empty() {
+        return a_chars.len();
+    }
+    let mut row: Vec<usize> = (0..=b_chars.len()).collect();
+    for (i, &ca) in a_chars.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b_chars.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            let val = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = val;
+        }
+    }
+    row[b_chars.len()]
+}
+
+/// Normalized edit similarity in `[0, 1]`: `1 − dist / max_len`.
+/// 1.0 for two empty strings.
+pub fn edit_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Case- and whitespace-insensitive name equality used for exact catalogue
+/// hits: collapses runs of whitespace and compares lowercase.
+pub fn names_equal(a: &str, b: &str) -> bool {
+    normalize_name(a) == normalize_name(b)
+}
+
+/// Normalizes an entity name for comparison: lowercase, collapsed
+/// whitespace, stripped leading/trailing punctuation.
+pub fn normalize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut last_was_space = true;
+    for c in name
+        .trim_matches(|c: char| c.is_ascii_punctuation() || c.is_whitespace())
+        .chars()
+    {
+        if c.is_whitespace() {
+            if !last_was_space {
+                out.push(' ');
+                last_was_space = true;
+            }
+        } else {
+            out.extend(c.to_lowercase());
+            last_was_space = false;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_basics() {
+        let a = SparseVector::from_pairs(vec![(0, 1.0)]);
+        let b = SparseVector::from_pairs(vec![(0, 2.0)]);
+        let c = SparseVector::from_pairs(vec![(1, 1.0)]);
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(cosine(&a, &c), 0.0);
+        assert_eq!(cosine(&a, &SparseVector::default()), 0.0);
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard(["a", "b"], ["b", "c"]), 1.0 / 3.0);
+        assert_eq!(jaccard(["a"], ["a"]), 1.0);
+        assert_eq!(jaccard([], []), 1.0);
+        assert_eq!(jaccard(["a"], []), 0.0);
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("melisse", "melise"), 1);
+    }
+
+    #[test]
+    fn levenshtein_unicode() {
+        assert_eq!(levenshtein("musée", "musee"), 1);
+    }
+
+    #[test]
+    fn edit_similarity_range() {
+        assert_eq!(edit_similarity("", ""), 1.0);
+        assert_eq!(edit_similarity("abc", "abc"), 1.0);
+        assert_eq!(edit_similarity("abc", "xyz"), 0.0);
+        let s = edit_similarity("Melisse", "Mélisse");
+        assert!(s > 0.8 && s < 1.0);
+    }
+
+    #[test]
+    fn name_normalization() {
+        assert!(names_equal("  Musée du   Louvre ", "musée du louvre"));
+        assert!(names_equal("Melisse.", "melisse"));
+        assert!(!names_equal("Melisse", "Melissa"));
+        assert_eq!(normalize_name("THE  LOUVRE"), "the louvre");
+    }
+}

@@ -1,0 +1,64 @@
+//! Embedded English stopword list.
+//!
+//! A standard ~150-word function-word list (articles, prepositions,
+//! pronouns, auxiliaries, common adverbs), matching what LingPipe and
+//! LibSVM-era text pipelines shipped. §5.2.1: "tokens that correspond to
+//! English stopwords are removed".
+
+/// The stopword list, lowercase, sorted (binary-searchable).
+pub const STOPWORDS: &[&str] = &[
+    "about", "above", "after", "again", "against", "all", "also", "am", "an", "and", "any",
+    "are", "aren", "as", "at", "be", "because", "been", "before", "being", "below", "between",
+    "both", "but", "by", "can", "cannot", "could", "couldn", "did", "didn", "do", "does",
+    "doesn", "doing", "don", "down", "during", "each", "few", "for", "from", "further", "had",
+    "hadn", "has", "hasn", "have", "haven", "having", "he", "her", "here", "hers", "herself",
+    "him", "himself", "his", "how", "if", "in", "into", "is", "isn", "it", "its", "itself",
+    "just", "ll", "me", "more", "most", "mustn", "my", "myself", "no", "nor", "not", "now",
+    "of", "off", "on", "once", "only", "or", "other", "ought", "our", "ours", "ourselves",
+    "out", "over", "own", "re", "same", "shan", "she", "should", "shouldn", "so", "some",
+    "such", "than", "that", "the", "their", "theirs", "them", "themselves", "then", "there",
+    "these", "they", "this", "those", "through", "to", "too", "under", "until", "up", "ve",
+    "very", "was", "wasn", "we", "were", "weren", "what", "when", "where", "which", "while",
+    "who", "whom", "why", "will", "with", "won", "would", "wouldn", "you", "your", "yours",
+    "yourself", "yourselves",
+];
+
+/// Whether `token` (already lowercased) is an English stopword.
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.binary_search(&token).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_deduped() {
+        // binary_search correctness depends on this invariant.
+        for w in STOPWORDS.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn common_stopwords_hit() {
+        for w in ["the", "and", "of", "is", "in", "to", "a"] {
+            if w.len() >= 2 {
+                assert!(is_stopword(w), "{w} should be a stopword");
+            }
+        }
+    }
+
+    #[test]
+    fn content_words_miss() {
+        for w in ["museum", "restaurant", "louvre", "actor", "mine"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_sensitive_by_contract() {
+        // Callers must lowercase first (the tokenizer does).
+        assert!(!is_stopword("The"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Lowercasing word tokenizer.
+//!
+//! Tokens are maximal runs of alphabetic characters, lowercased. Digits and
+//! punctuation are separators; purely numeric runs are dropped, matching
+//! the paper's "each token corresponding to a word in the English
+//! dictionary". Single-character tokens are dropped as well (they are
+//! artifacts of possessives and initials, not dictionary words).
+
+/// Tokenizes `text` into lowercase word tokens.
+///
+/// Returns an iterator to avoid allocating a vector when the caller only
+/// counts or filters. Each token is an owned `String` because lowercasing
+/// may change byte length (e.g. `É` → `é` is same length, but `İ` is not).
+pub fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
+    TokenIter {
+        chars: text.char_indices().peekable(),
+        text,
+    }
+}
+
+/// Tokenizes into a vector; convenience for tests and one-shot callers.
+///
+/// ```
+/// use teda_text::tokenize::tokenize_vec;
+///
+/// assert_eq!(
+///     tokenize_vec("Melisse, Santa Monica (2013)"),
+///     vec!["melisse", "santa", "monica"]
+/// );
+/// ```
+pub fn tokenize_vec(text: &str) -> Vec<String> {
+    tokenize(text).collect()
+}
+
+struct TokenIter<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    text: &'a str,
+}
+
+impl<'a> Iterator for TokenIter<'a> {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        loop {
+            // skip non-alphabetic
+            let start = loop {
+                match self.chars.peek() {
+                    Some(&(i, c)) if c.is_alphabetic() => break i,
+                    Some(_) => {
+                        self.chars.next();
+                    }
+                    None => return None,
+                }
+            };
+            // consume the alphabetic run
+            let mut end = start;
+            while let Some(&(i, c)) = self.chars.peek() {
+                if c.is_alphabetic() {
+                    end = i + c.len_utf8();
+                    self.chars.next();
+                } else {
+                    break;
+                }
+            }
+            let raw = &self.text[start..end];
+            // single-character tokens are dropped (possessive 's', initials)
+            if raw.chars().count() >= 2 {
+                return Some(raw.to_lowercase());
+            }
+            // else continue scanning for the next token
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenization() {
+        assert_eq!(
+            tokenize_vec("Melisse is a restaurant in Santa Monica"),
+            vec!["melisse", "is", "restaurant", "in", "santa", "monica"]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_digits_split() {
+        assert_eq!(
+            tokenize_vec("Top-10 museums, 2013 edition!"),
+            vec!["top", "museums", "edition"]
+        );
+    }
+
+    #[test]
+    fn possessives_drop_single_letters() {
+        assert_eq!(tokenize_vec("Simpson's episodes"), vec!["simpson", "episodes"]);
+    }
+
+    #[test]
+    fn unicode_letters_kept() {
+        assert_eq!(tokenize_vec("Musée du Louvre"), vec!["musée", "du", "louvre"]);
+    }
+
+    #[test]
+    fn empty_and_nonword_input() {
+        assert!(tokenize_vec("").is_empty());
+        assert!(tokenize_vec("12345 --- !!!").is_empty());
+        assert!(tokenize_vec("a b c").is_empty()); // all single letters
+    }
+
+    #[test]
+    fn lowercasing_applied() {
+        assert_eq!(tokenize_vec("LOUVRE Museum"), vec!["louvre", "museum"]);
+    }
+
+    #[test]
+    fn urls_shatter_into_words() {
+        // Tokenizer is intentionally naive about URLs: pre-processing
+        // filters URL cells before tokenization ever sees them.
+        assert_eq!(
+            tokenize_vec("www.louvre.fr"),
+            vec!["www", "louvre", "fr"]
+        );
+    }
+}

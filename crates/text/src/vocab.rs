@@ -1,0 +1,118 @@
+//! String interning: maps tokens to dense `u32` feature ids.
+//!
+//! Classifiers index weight vectors by feature id; the vocabulary is built
+//! during training and *frozen* at prediction time — unseen tokens map to
+//! `None` and are skipped, which is exactly how a trained §5.2.1 classifier
+//! treats out-of-vocabulary words in a fresh snippet.
+
+use std::collections::HashMap;
+
+/// A bidirectional token ↔ id mapping.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    ids: HashMap<String, u32>,
+    words: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Vocabulary::default()
+    }
+
+    /// Returns the id of `token`, interning it if new.
+    pub fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.ids.get(token) {
+            return id;
+        }
+        let id = u32::try_from(self.words.len()).expect("vocabulary exceeds u32::MAX entries");
+        self.ids.insert(token.to_owned(), id);
+        self.words.push(token.to_owned());
+        id
+    }
+
+    /// Looks up `token` without interning.
+    pub fn get(&self, token: &str) -> Option<u32> {
+        self.ids.get(token).copied()
+    }
+
+    /// The token for `id`, if in range.
+    pub fn word(&self, id: u32) -> Option<&str> {
+        self.words.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned tokens.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Iterates `(id, token)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i as u32, w.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("museum");
+        let b = v.intern("restaurant");
+        let a2 = v.intern("museum");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.intern("a0"), 0);
+        assert_eq!(v.intern("a1"), 1);
+        assert_eq!(v.intern("a2"), 2);
+    }
+
+    #[test]
+    fn lookup_without_interning() {
+        let mut v = Vocabulary::new();
+        v.intern("museum");
+        assert_eq!(v.get("museum"), Some(0));
+        assert_eq!(v.get("unseen"), None);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn reverse_lookup() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("hotel");
+        assert_eq!(v.word(id), Some("hotel"));
+        assert_eq!(v.word(999), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut v = Vocabulary::new();
+        v.intern("x");
+        v.intern("y");
+        let all: Vec<(u32, &str)> = v.iter().collect();
+        assert_eq!(all, vec![(0, "x"), (1, "y")]);
+    }
+
+    #[test]
+    fn empty_checks() {
+        let v = Vocabulary::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Property tests for the text substrate.
+
+use proptest::prelude::*;
+
+use teda_text::porter::stem;
+use teda_text::similarity::{edit_similarity, levenshtein};
+use teda_text::tokenize::tokenize_vec;
+
+proptest! {
+    /// Tokens are lowercase alphabetic runs of length ≥ 2.
+    #[test]
+    fn tokens_are_lowercase_words(s in "\\PC{0,200}") {
+        for tok in tokenize_vec(&s) {
+            prop_assert!(tok.chars().count() >= 2, "{tok}");
+            prop_assert!(tok.chars().all(char::is_alphabetic), "{tok}");
+            prop_assert_eq!(&tok.to_lowercase(), &tok);
+        }
+    }
+
+    /// Stemming an ASCII word never yields the empty string and never
+    /// grows the word.
+    #[test]
+    fn stem_shrinks_ascii_words(w in "[a-z]{1,24}") {
+        let out = stem(&w);
+        prop_assert!(!out.is_empty());
+        prop_assert!(out.len() <= w.len(), "{w} -> {out}");
+        prop_assert!(out.is_ascii());
+    }
+
+    /// Stemming is stable across calls (a pure function).
+    #[test]
+    fn stem_is_pure(w in "[a-z]{1,24}") {
+        prop_assert_eq!(stem(&w), stem(&w));
+    }
+
+    /// Levenshtein is a metric: identity, symmetry, triangle inequality.
+    #[test]
+    fn levenshtein_is_a_metric(
+        a in "[a-z]{0,12}",
+        b in "[a-z]{0,12}",
+        c in "[a-z]{0,12}"
+    ) {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(
+            levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c)
+        );
+    }
+
+    /// Edit similarity stays in [0, 1].
+    #[test]
+    fn edit_similarity_bounded(a in "\\PC{0,20}", b in "\\PC{0,20}") {
+        let s = edit_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s), "{s}");
+    }
+}

@@ -1,0 +1,227 @@
+//! Building the synthetic Web for a world.
+
+use rand::Rng;
+
+use teda_kb::{EntityType, World};
+use teda_simkit::{derive_seed, rng_from_seed};
+
+use crate::index::InvertedIndex;
+use crate::page::{PageId, WebPage};
+use crate::template::{entity_page, noise_page, type_directory_page, PageFlavour};
+
+/// Shape parameters for [`WebCorpus::build`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WebCorpusSpec {
+    /// Minimum pages per entity (the official site).
+    pub min_pages_per_entity: usize,
+    /// Maximum extra pages per entity (reviews / listings / news).
+    pub max_extra_pages_per_entity: usize,
+    /// Directory pages per entity type.
+    pub directory_pages_per_type: usize,
+    /// Pure-noise pages.
+    pub noise_pages: usize,
+}
+
+impl Default for WebCorpusSpec {
+    fn default() -> Self {
+        // An entity needs enough pages that the top-10 results for its
+        // bare name are dominated by pages actually about it — on the real
+        // Web even obscure POIs have listings, reviews and socials. With
+        // fewer than ~6 pages the §5.2 majority rule (> k/2 of 10) can
+        // never fire for unambiguous names.
+        WebCorpusSpec {
+            min_pages_per_entity: 6,
+            max_extra_pages_per_entity: 5,
+            directory_pages_per_type: 6,
+            noise_pages: 150,
+        }
+    }
+}
+
+impl WebCorpusSpec {
+    /// A reduced Web for unit tests.
+    pub fn tiny() -> Self {
+        WebCorpusSpec {
+            min_pages_per_entity: 6,
+            max_extra_pages_per_entity: 3,
+            directory_pages_per_type: 2,
+            noise_pages: 20,
+        }
+    }
+}
+
+/// The synthetic Web: a page store plus its search index.
+#[derive(Debug, Clone)]
+pub struct WebCorpus {
+    pages: Vec<WebPage>,
+    index: InvertedIndex,
+}
+
+impl WebCorpus {
+    /// Generates every page for `world` and indexes them. Deterministic in
+    /// `seed`.
+    pub fn build(world: &World, spec: WebCorpusSpec, seed: u64) -> Self {
+        let mut rng = rng_from_seed(derive_seed(seed, "web"));
+        let mut pages = Vec::new();
+
+        for entity in world.entities() {
+            // Official page first.
+            pages.push(entity_page(
+                &mut rng,
+                world,
+                entity,
+                PageFlavour::Official,
+                0,
+            ));
+            let extra = rng.gen_range(
+                spec.min_pages_per_entity.saturating_sub(1)
+                    ..=spec.min_pages_per_entity.saturating_sub(1)
+                        + spec.max_extra_pages_per_entity,
+            );
+            for serial in 1..=extra {
+                // Reviews dominate third-party coverage; news items (the
+                // weakest type signal) are rare.
+                let flavour = match rng.gen_range(0..6) {
+                    0..=2 => PageFlavour::Review,
+                    3 | 4 => PageFlavour::Listing,
+                    _ => PageFlavour::News,
+                };
+                pages.push(entity_page(&mut rng, world, entity, flavour, serial as u32));
+            }
+        }
+
+        for &etype in EntityType::ALL.iter() {
+            if world.entities_of(etype).is_empty() {
+                continue;
+            }
+            for serial in 0..spec.directory_pages_per_type {
+                pages.push(type_directory_page(&mut rng, world, etype, serial as u32));
+            }
+        }
+
+        for serial in 0..spec.noise_pages {
+            pages.push(noise_page(&mut rng, serial as u32));
+        }
+
+        let index = InvertedIndex::build(&pages);
+        WebCorpus { pages, index }
+    }
+
+    /// The page with id `id`.
+    pub fn page(&self, id: PageId) -> &WebPage {
+        &self.pages[id.0 as usize]
+    }
+
+    /// All pages.
+    pub fn pages(&self) -> &[WebPage] {
+        &self.pages
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// The search index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teda_kb::WorldSpec;
+
+    fn fixture() -> (World, WebCorpus) {
+        let w = World::generate(WorldSpec::tiny(), 42);
+        let c = WebCorpus::build(&w, WebCorpusSpec::tiny(), 42);
+        (w, c)
+    }
+
+    #[test]
+    fn every_entity_has_pages() {
+        let (w, c) = fixture();
+        for e in w.entities().iter().take(30) {
+            let hits = c.index().search(&e.name, 10);
+            assert!(!hits.is_empty(), "no pages found for {}", e.name);
+            // at least one hit actually mentions the entity's name tokens
+            let first_tok = e.name.split_whitespace().next().unwrap().to_lowercase();
+            assert!(
+                hits.iter()
+                    .any(|(p, _)| c.page(*p).body.to_lowercase().contains(&first_tok)),
+                "hits for {} don't mention it",
+                e.name
+            );
+        }
+    }
+
+    #[test]
+    fn page_count_is_plausible() {
+        let (w, c) = fixture();
+        let min_expected = w.len() * 2; // ≥ min_pages_per_entity
+        assert!(
+            c.len() >= min_expected,
+            "only {} pages for {} entities",
+            c.len(),
+            w.len()
+        );
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let w = World::generate(WorldSpec::tiny(), 7);
+        let a = WebCorpus::build(&w, WebCorpusSpec::tiny(), 7);
+        let b = WebCorpus::build(&w, WebCorpusSpec::tiny(), 7);
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.pages().iter().zip(b.pages()) {
+            assert_eq!(pa.url, pb.url);
+            assert_eq!(pa.body, pb.body);
+        }
+    }
+
+    #[test]
+    fn directory_pages_exist_per_type() {
+        let (_, c) = fixture();
+        for t in EntityType::TARGETS {
+            let n = c
+                .pages()
+                .iter()
+                .filter(|p| p.url.contains(&format!("/directory/{}", t.type_word())))
+                .count();
+            assert_eq!(n, 2, "{t}");
+        }
+    }
+
+    #[test]
+    fn ambiguous_names_retrieve_mixed_pages() {
+        // A jazz label sharing a restaurant's name must surface pages of
+        // both senses for the bare-name query.
+        let w = World::generate(
+            WorldSpec {
+                cross_type_name_share: 0.9,
+                ..WorldSpec::tiny()
+            },
+            11,
+        );
+        let c = WebCorpus::build(&w, WebCorpusSpec::tiny(), 11);
+        let shared = w.entities_of(EntityType::JazzLabel).iter().find(|&&id| {
+            w.lookup_name(&w.entity(id).name)
+                .iter()
+                .any(|&o| w.entity(o).etype == EntityType::Restaurant)
+        });
+        let Some(&label_id) = shared else {
+            panic!("fixture should contain a shared name at this seed");
+        };
+        let name = &w.entity(label_id).name;
+        let hits = c.index().search(name, 10);
+        let urls: Vec<&str> = hits.iter().map(|(p, _)| c.page(*p).url.as_str()).collect();
+        // both the label's pages and the restaurant's pages appear
+        assert!(urls.len() >= 2, "{urls:?}");
+    }
+}

@@ -1,0 +1,160 @@
+//! The search-engine facade: the Bing API stand-in.
+//!
+//! §5.2: "It submits the content of the cell to a Web search engine; it
+//! collects the top-k search results, each consisting of a link to a Web
+//! page, its title and a short summary of its content, often referred to
+//! as a snippet." The engine charges virtual latency per query — "querying
+//! a Web search engine is a costly operation" (§5) is the whole reason the
+//! paper has a pre-processing step, and the efficiency experiment (§6.4)
+//! measures exactly this cost.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use teda_simkit::{LatencyModel, VirtualClock};
+
+use crate::corpus::WebCorpus;
+
+/// One search result, as the annotator consumes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchResult {
+    /// Link to the page.
+    pub url: String,
+    /// Page title.
+    pub title: String,
+    /// Short summary (≤ ~20 words).
+    pub snippet: String,
+}
+
+/// A Web search engine.
+pub trait SearchEngine {
+    /// Returns the top-`k` results for `query` (possibly fewer).
+    fn search(&self, query: &str, k: usize) -> Vec<SearchResult>;
+}
+
+/// The simulated Bing API over a [`WebCorpus`].
+pub struct BingSim {
+    corpus: Arc<WebCorpus>,
+    clock: VirtualClock,
+    latency: LatencyModel,
+    rng: Mutex<StdRng>,
+    queries: AtomicU64,
+}
+
+impl BingSim {
+    /// Creates an engine charging `latency` per query into `clock`.
+    pub fn new(corpus: Arc<WebCorpus>, clock: VirtualClock, latency: LatencyModel) -> Self {
+        BingSim {
+            corpus,
+            clock,
+            latency,
+            rng: Mutex::new(StdRng::seed_from_u64(0xb19)),
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    /// A zero-latency engine for tests.
+    pub fn instant(corpus: Arc<WebCorpus>) -> Self {
+        BingSim::new(corpus, VirtualClock::new(), LatencyModel::zero())
+    }
+
+    /// Number of queries served (the paper's daily-allowance concern).
+    pub fn query_count(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// The shared corpus.
+    pub fn corpus(&self) -> &WebCorpus {
+        &self.corpus
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+}
+
+impl SearchEngine for BingSim {
+    fn search(&self, query: &str, k: usize) -> Vec<SearchResult> {
+        let d = {
+            let mut rng = self.rng.lock().expect("engine rng poisoned");
+            self.latency.sample(&mut *rng)
+        };
+        self.clock.advance(d);
+        self.queries.fetch_add(1, Ordering::Relaxed);
+
+        self.corpus
+            .index()
+            .search(query, k)
+            .into_iter()
+            .map(|(page, _)| {
+                let p = self.corpus.page(page);
+                SearchResult {
+                    url: p.url.clone(),
+                    title: p.title.clone(),
+                    snippet: p.snippet(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use teda_kb::{World, WorldSpec};
+
+    use crate::corpus::WebCorpusSpec;
+
+    fn engine() -> (World, BingSim) {
+        let w = World::generate(WorldSpec::tiny(), 42);
+        let c = WebCorpus::build(&w, WebCorpusSpec::tiny(), 42);
+        (w, BingSim::instant(Arc::new(c)))
+    }
+
+    #[test]
+    fn results_have_url_title_snippet() {
+        let (w, engine) = engine();
+        let name = &w.entities()[0].name;
+        let results = engine.search(name, 5);
+        assert!(!results.is_empty());
+        for r in &results {
+            assert!(r.url.starts_with("http"));
+            assert!(!r.title.is_empty());
+            assert!(r.snippet.split_whitespace().count() <= 20);
+        }
+    }
+
+    #[test]
+    fn k_is_respected() {
+        let (w, engine) = engine();
+        let name = &w.entities()[0].name;
+        assert!(engine.search(name, 3).len() <= 3);
+    }
+
+    #[test]
+    fn latency_accumulates_on_the_shared_clock() {
+        let w = World::generate(WorldSpec::tiny(), 1);
+        let c = WebCorpus::build(&w, WebCorpusSpec::tiny(), 1);
+        let clock = VirtualClock::new();
+        let engine = BingSim::new(
+            Arc::new(c),
+            clock.clone(),
+            LatencyModel::Fixed(Duration::from_millis(400)),
+        );
+        engine.search("anything", 10);
+        engine.search("anything else", 10);
+        assert_eq!(clock.now(), Duration::from_millis(800));
+        assert_eq!(engine.query_count(), 2);
+    }
+
+    #[test]
+    fn unknown_query_returns_empty() {
+        let (_, engine) = engine();
+        assert!(engine.search("xylophone zanzibar quux", 10).is_empty());
+    }
+}

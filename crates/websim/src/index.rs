@@ -1,0 +1,214 @@
+//! Inverted index with BM25 ranking.
+//!
+//! Standard Okapi BM25 (`k1 = 1.2`, `b = 0.75`) over page bodies and
+//! titles (title terms counted twice — titles matter in real engines).
+//! Tokens are the lowercase word tokens of `teda-text`, unstemmed: entity
+//! names must match near-exactly, as they do in a real search engine.
+
+use std::collections::HashMap;
+
+use teda_text::tokenize;
+
+use crate::page::{PageId, WebPage};
+
+const K1: f64 = 1.2;
+const B: f64 = 0.75;
+
+/// A posting: page and term frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Posting {
+    page: PageId,
+    tf: f64,
+}
+
+/// The inverted index over a page collection.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<String, Vec<Posting>>,
+    doc_len: Vec<f64>,
+    avg_len: f64,
+    n_docs: usize,
+}
+
+impl InvertedIndex {
+    /// Builds the index over `pages` (ids are positional).
+    pub fn build(pages: &[WebPage]) -> Self {
+        let mut postings: HashMap<String, Vec<Posting>> = HashMap::new();
+        let mut doc_len = Vec::with_capacity(pages.len());
+        let mut total_len = 0.0f64;
+
+        for (i, page) in pages.iter().enumerate() {
+            let id = PageId(i as u32);
+            let mut counts: HashMap<String, f64> = HashMap::new();
+            for tok in tokenize(&page.body) {
+                *counts.entry(tok).or_insert(0.0) += 1.0;
+            }
+            for tok in tokenize(&page.title) {
+                *counts.entry(tok).or_insert(0.0) += 2.0;
+            }
+            let len: f64 = counts.values().sum();
+            doc_len.push(len);
+            total_len += len;
+            for (tok, tf) in counts {
+                postings
+                    .entry(tok)
+                    .or_default()
+                    .push(Posting { page: id, tf });
+            }
+        }
+        let n_docs = pages.len();
+        InvertedIndex {
+            postings,
+            doc_len,
+            avg_len: if n_docs == 0 {
+                0.0
+            } else {
+                total_len / n_docs as f64
+            },
+            n_docs,
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Number of distinct terms.
+    pub fn n_terms(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// BM25 IDF with the standard +1 floor against negative values.
+    fn idf(&self, term: &str) -> f64 {
+        let df = self.postings.get(term).map_or(0, Vec::len) as f64;
+        (((self.n_docs as f64 - df + 0.5) / (df + 0.5)) + 1.0).ln()
+    }
+
+    /// Scores `query` against the collection, returning up to `k` pages by
+    /// descending BM25 score. Ties break by page id (stable, deterministic).
+    pub fn search(&self, query: &str, k: usize) -> Vec<(PageId, f64)> {
+        let mut scores: HashMap<PageId, f64> = HashMap::new();
+        for term in tokenize(query) {
+            let Some(posts) = self.postings.get(&term) else {
+                continue;
+            };
+            let idf = self.idf(&term);
+            for p in posts {
+                let dl = self.doc_len[p.page.0 as usize];
+                let norm = K1 * (1.0 - B + B * dl / self.avg_len.max(1e-9));
+                let contrib = idf * (p.tf * (K1 + 1.0)) / (p.tf + norm);
+                *scores.entry(p.page).or_insert(0.0) += contrib;
+            }
+        }
+        let mut ranked: Vec<(PageId, f64)> = scores.into_iter().collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("BM25 scores are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(url: &str, title: &str, body: &str) -> WebPage {
+        WebPage {
+            url: url.into(),
+            title: title.into(),
+            body: body.into(),
+        }
+    }
+
+    fn collection() -> Vec<WebPage> {
+        vec![
+            page(
+                "u0",
+                "Melisse - Official Site",
+                "melisse restaurant santa monica menu tasting cuisine chef",
+            ),
+            page(
+                "u1",
+                "Melisse Records",
+                "melisse jazz label records quartet saxophone sessions",
+            ),
+            page(
+                "u2",
+                "Best restaurants",
+                "restaurant restaurant dining guide menu city top list",
+            ),
+            page("u3", "Random", "online information website page home free"),
+        ]
+    }
+
+    #[test]
+    fn name_query_retrieves_both_senses() {
+        let idx = InvertedIndex::build(&collection());
+        let hits = idx.search("Melisse", 10);
+        let pages: Vec<u32> = hits.iter().map(|(p, _)| p.0).collect();
+        assert!(pages.contains(&0) && pages.contains(&1), "{pages:?}");
+        assert!(!pages.contains(&3), "noise page shouldn't match");
+    }
+
+    #[test]
+    fn type_word_disambiguates() {
+        let idx = InvertedIndex::build(&collection());
+        let hits = idx.search("Melisse restaurant", 10);
+        assert_eq!(hits[0].0 .0, 0, "restaurant page should rank first");
+    }
+
+    #[test]
+    fn city_disambiguates() {
+        let idx = InvertedIndex::build(&collection());
+        let hits = idx.search("Melisse Santa Monica", 10);
+        assert_eq!(hits[0].0 .0, 0);
+    }
+
+    #[test]
+    fn bare_type_word_finds_type_pages() {
+        let idx = InvertedIndex::build(&collection());
+        let hits = idx.search("restaurant", 10);
+        assert!(!hits.is_empty());
+        // The directory page repeats "restaurant" → highest tf saturation.
+        assert_eq!(hits[0].0 .0, 2);
+    }
+
+    #[test]
+    fn k_truncates() {
+        let idx = InvertedIndex::build(&collection());
+        assert_eq!(idx.search("melisse restaurant jazz", 1).len(), 1);
+    }
+
+    #[test]
+    fn unknown_terms_yield_empty() {
+        let idx = InvertedIndex::build(&collection());
+        assert!(idx.search("zanzibar", 10).is_empty());
+        assert!(idx.search("", 10).is_empty());
+    }
+
+    #[test]
+    fn title_terms_count_double() {
+        let a = page("a", "records", "melisse");
+        let b = page("b", "nothing", "melisse records");
+        let idx = InvertedIndex::build(&[a, b]);
+        let hits = idx.search("records", 2);
+        assert_eq!(hits[0].0 .0, 0, "title match outranks body match");
+    }
+
+    #[test]
+    fn empty_collection() {
+        let idx = InvertedIndex::build(&[]);
+        assert!(idx.search("anything", 5).is_empty());
+        assert_eq!(idx.n_docs(), 0);
+    }
+
+    #[test]
+    fn scores_are_deterministic() {
+        let idx = InvertedIndex::build(&collection());
+        assert_eq!(idx.search("melisse", 10), idx.search("melisse", 10));
+    }
+}

@@ -1,0 +1,32 @@
+//! `teda-websim` — the synthetic Web and search engine (the Bing stand-in).
+//!
+//! The paper's annotator "submits the content of the cell to a Web search
+//! engine" and classifies the returned snippets (§5). Microsoft Bing is
+//! replaced here with a deterministic synthetic Web:
+//!
+//! * [`template`] — page text generators conditioned on entity type
+//!   (official sites, review pages, directory listings, news), with the
+//!   type-word frequencies calibrated in `teda-kb::types`;
+//! * [`corpus`] — builds the whole Web for a [`teda_kb::World`]: several
+//!   pages per entity, per-type directory pages (what the bare query
+//!   "Museum" retrieves — the Figure 8 failure mode), and pure noise;
+//! * [`index`] — an inverted index with BM25 ranking;
+//! * [`engine`] — the [`engine::SearchEngine`] trait and [`engine::BingSim`],
+//!   which returns `(url, title, snippet)` triples (snippets truncated to
+//!   ~20 words, as the paper observes of real snippets) and charges
+//!   virtual latency per query.
+//!
+//! Ambiguity is inherited from the world: "Melisse" the restaurant and
+//! "Melisse" the jazz label both have pages, and an unaugmented query
+//! retrieves a mix; appending the city (§5.2.2) shifts BM25 toward the
+//! right entity because official pages mention their city.
+
+pub mod corpus;
+pub mod engine;
+pub mod index;
+pub mod page;
+pub mod template;
+
+pub use corpus::{WebCorpus, WebCorpusSpec};
+pub use engine::{BingSim, SearchEngine, SearchResult};
+pub use page::{PageId, WebPage};

@@ -1,0 +1,58 @@
+//! Web pages.
+
+/// Index of a page within a [`crate::corpus::WebCorpus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+/// A synthetic Web page. `body` is plain text; the search engine derives
+/// snippets from its leading words.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WebPage {
+    /// The page URL (unique within a corpus).
+    pub url: String,
+    /// The page title, shown in search results.
+    pub title: String,
+    /// The page text.
+    pub body: String,
+}
+
+/// Maximum snippet length in words; the paper notes "most of them are less
+/// than 20 words long" (§5.2).
+pub const SNIPPET_WORDS: usize = 20;
+
+impl WebPage {
+    /// The search-result snippet: the first [`SNIPPET_WORDS`] words of the
+    /// body.
+    pub fn snippet(&self) -> String {
+        let words: Vec<&str> = self.body.split_whitespace().take(SNIPPET_WORDS).collect();
+        words.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snippet_truncates_to_twenty_words() {
+        let body: Vec<String> = (0..50).map(|i| format!("w{i}")).collect();
+        let p = WebPage {
+            url: "u".into(),
+            title: "t".into(),
+            body: body.join(" "),
+        };
+        let s = p.snippet();
+        assert_eq!(s.split_whitespace().count(), SNIPPET_WORDS);
+        assert!(s.starts_with("w0 w1"));
+    }
+
+    #[test]
+    fn short_body_snippet_is_whole_body() {
+        let p = WebPage {
+            url: "u".into(),
+            title: "t".into(),
+            body: "just a few words".into(),
+        };
+        assert_eq!(p.snippet(), "just a few words");
+    }
+}

@@ -1,0 +1,431 @@
+//! Page-text generation: type-conditioned language models.
+//!
+//! Pages are bags of short phrases drawn from four pools, mixed per page
+//! flavour:
+//!
+//! * the entity's **name** (always, early in the body — so the snippet
+//!   carries it and BM25 retrieves the page for name queries);
+//! * the literal **type word**, with the per-type probability calibrated
+//!   in [`EntityType::snippet_type_word_prob`] (drives the TIS baseline);
+//! * **core terms** distinctive of the type (what the classifier learns);
+//! * **domain terms** shared across the broad category, plus generic Web
+//!   noise (what makes the problem non-trivial).
+//!
+//! Official pages also name the entity's **city** prominently — that is
+//! what makes spatial query augmentation (§5.2.2) effective.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use teda_kb::{Entity, EntityType, World};
+
+use crate::page::WebPage;
+
+/// The flavour of a generated page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageFlavour {
+    /// The entity's own site: name + city + core vocabulary.
+    Official,
+    /// A third-party review: name + review vocabulary + core vocabulary.
+    Review,
+    /// A listing that mentions the entity among others of its type.
+    Listing,
+    /// A news item: name + generic vocabulary, weak type signal.
+    News,
+}
+
+/// Generic Web words mixed into every page.
+pub const GENERIC_WEB: [&str; 24] = [
+    "online",
+    "information",
+    "website",
+    "contact",
+    "page",
+    "home",
+    "official",
+    "find",
+    "best",
+    "top",
+    "new",
+    "world",
+    "free",
+    "read",
+    "share",
+    "more",
+    "list",
+    "guide",
+    "today",
+    "welcome",
+    "discover",
+    "latest",
+    "featured",
+    "search",
+];
+
+const REVIEW_WORDS: [&str; 12] = [
+    "review",
+    "rated",
+    "stars",
+    "experience",
+    "recommend",
+    "visited",
+    "amazing",
+    "great",
+    "disappointing",
+    "overall",
+    "definitely",
+    "worth",
+];
+
+const NEWS_WORDS: [&str; 10] = [
+    "announced",
+    "reported",
+    "yesterday",
+    "officials",
+    "according",
+    "sources",
+    "community",
+    "plans",
+    "reopened",
+    "story",
+];
+
+fn push_words<'a>(out: &mut Vec<&'a str>, rng: &mut StdRng, pool: &[&'a str], n: usize) {
+    for _ in 0..n {
+        out.push(pool[rng.gen_range(0..pool.len())]);
+    }
+}
+
+/// Generates one page about `entity`.
+pub fn entity_page(
+    rng: &mut StdRng,
+    world: &World,
+    entity: &Entity,
+    flavour: PageFlavour,
+    serial: u32,
+) -> WebPage {
+    let etype = entity.etype;
+    let mut words: Vec<&str> = Vec::with_capacity(48);
+
+    // Name leads the body so it survives snippet truncation.
+    words.extend(entity.name.split_whitespace());
+
+    let city_name = entity.city_name(world.gazetteer());
+    let type_word = etype.type_word();
+    let include_type_word = rng.gen_bool(etype.snippet_type_word_prob());
+
+    match flavour {
+        PageFlavour::Official => {
+            if include_type_word {
+                words.push(type_word);
+            }
+            if let Some(city) = city_name {
+                words.extend(city.split_whitespace());
+            }
+            {
+                let n = rng.gen_range(4..8);
+                push_words(&mut words, rng, etype.core_terms(), n);
+            }
+            {
+                let n = rng.gen_range(2..4);
+                push_words(&mut words, rng, etype.domain_terms(), n);
+            }
+            {
+                let n = rng.gen_range(2..5);
+                push_words(&mut words, rng, &GENERIC_WEB, n);
+            }
+            if let Some(city) = city_name {
+                // mentioned again deeper in the body
+                words.extend(city.split_whitespace());
+            }
+        }
+        PageFlavour::Review => {
+            {
+                let n = rng.gen_range(3..6);
+                push_words(&mut words, rng, &REVIEW_WORDS, n);
+            }
+            if include_type_word {
+                words.push(type_word);
+            }
+            {
+                let n = rng.gen_range(3..6);
+                push_words(&mut words, rng, etype.core_terms(), n);
+            }
+            if let Some(city) = city_name {
+                if rng.gen_bool(0.6) {
+                    words.extend(city.split_whitespace());
+                }
+            }
+            {
+                let n = rng.gen_range(1..3);
+                push_words(&mut words, rng, etype.domain_terms(), n);
+            }
+            {
+                let n = rng.gen_range(2..4);
+                push_words(&mut words, rng, &GENERIC_WEB, n);
+            }
+        }
+        PageFlavour::Listing => {
+            {
+                let n = rng.gen_range(2..4);
+                push_words(&mut words, rng, &GENERIC_WEB, n);
+            }
+            if include_type_word {
+                words.push(type_word);
+            }
+            {
+                let n = rng.gen_range(2..4);
+                push_words(&mut words, rng, etype.core_terms(), n);
+            }
+            {
+                let n = rng.gen_range(2..4);
+                push_words(&mut words, rng, etype.domain_terms(), n);
+            }
+            // Listings name a couple of sibling entities of the same type.
+            let siblings = world.entities_of(etype);
+            for _ in 0..rng.gen_range(1..3usize) {
+                if let Some(&sid) = siblings.choose(rng) {
+                    words.extend(world.entity(sid).name.split_whitespace());
+                }
+            }
+        }
+        PageFlavour::News => {
+            {
+                let n = rng.gen_range(3..6);
+                push_words(&mut words, rng, &NEWS_WORDS, n);
+            }
+            if rng.gen_bool(0.3) && include_type_word {
+                words.push(type_word);
+            }
+            {
+                let n = rng.gen_range(0..3);
+                push_words(&mut words, rng, etype.core_terms(), n);
+            }
+            {
+                let n = rng.gen_range(3..6);
+                push_words(&mut words, rng, &GENERIC_WEB, n);
+            }
+            if let Some(city) = city_name {
+                if rng.gen_bool(0.5) {
+                    words.extend(city.split_whitespace());
+                }
+            }
+        }
+    }
+
+    let suffix = match flavour {
+        PageFlavour::Official => "Official Site",
+        PageFlavour::Review => "Reviews",
+        PageFlavour::Listing => "Directory",
+        PageFlavour::News => "News",
+    };
+    WebPage {
+        url: format!(
+            "http://web.example/{}/{}-{}",
+            slug(&entity.name),
+            suffix.to_lowercase().replace(' ', "-"),
+            serial
+        ),
+        title: format!("{} - {}", entity.name, suffix),
+        body: words.join(" "),
+    }
+}
+
+/// A type-level directory page: heavy type vocabulary, several entity
+/// names. These are what a bare query like "Museum" retrieves — the
+/// Figure 8 spurious-annotation hazard.
+pub fn type_directory_page(
+    rng: &mut StdRng,
+    world: &World,
+    etype: EntityType,
+    serial: u32,
+) -> WebPage {
+    let mut words: Vec<&str> = Vec::with_capacity(48);
+    push_words(&mut words, rng, &GENERIC_WEB, 2);
+    // The type word appears repeatedly — a page "about museums".
+    for _ in 0..rng.gen_range(2..5) {
+        words.push(etype.type_word());
+    }
+    {
+        let n = rng.gen_range(5..9);
+        push_words(&mut words, rng, etype.core_terms(), n);
+    }
+    {
+        let n = rng.gen_range(2..4);
+        push_words(&mut words, rng, etype.domain_terms(), n);
+    }
+    let members = world.entities_of(etype);
+    for _ in 0..rng.gen_range(2..5usize) {
+        if let Some(&id) = members.choose(rng) {
+            words.extend(world.entity(id).name.split_whitespace());
+        }
+    }
+    WebPage {
+        url: format!(
+            "http://web.example/directory/{}-{}",
+            etype.type_word(),
+            serial
+        ),
+        title: format!("Top {} Directory", etype.display()),
+        body: words.join(" "),
+    }
+}
+
+/// A pure-noise page with no type signal at all.
+pub fn noise_page(rng: &mut StdRng, serial: u32) -> WebPage {
+    let mut words: Vec<&str> = Vec::with_capacity(32);
+    {
+        let n = rng.gen_range(12..24);
+        push_words(&mut words, rng, &GENERIC_WEB, n);
+    }
+    {
+        let n = rng.gen_range(2..6);
+        push_words(&mut words, rng, &NEWS_WORDS, n);
+    }
+    WebPage {
+        url: format!("http://web.example/misc/{serial}"),
+        title: format!("Page {serial}"),
+        body: words.join(" "),
+    }
+}
+
+fn slug(name: &str) -> String {
+    let s: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    s.trim_matches('-').to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use teda_kb::WorldSpec;
+
+    fn fixture() -> (World, StdRng) {
+        (
+            World::generate(WorldSpec::tiny(), 42),
+            StdRng::seed_from_u64(1),
+        )
+    }
+
+    #[test]
+    fn entity_pages_carry_the_name_early() {
+        let (w, mut rng) = fixture();
+        for &id in w.entities_of(EntityType::Museum).iter().take(5) {
+            let e = w.entity(id);
+            let p = entity_page(&mut rng, &w, e, PageFlavour::Official, 0);
+            let first_word = e.name.split_whitespace().next().unwrap().to_lowercase();
+            assert!(
+                p.snippet().to_lowercase().contains(&first_word),
+                "snippet loses the entity name: {}",
+                p.snippet()
+            );
+        }
+    }
+
+    #[test]
+    fn official_pages_mention_the_city() {
+        let (w, mut rng) = fixture();
+        let id = w.entities_of(EntityType::Restaurant)[0];
+        let e = w.entity(id);
+        let city = e.city_name(w.gazetteer()).unwrap().to_lowercase();
+        let p = entity_page(&mut rng, &w, e, PageFlavour::Official, 0);
+        assert!(
+            p.body.to_lowercase().contains(&city),
+            "official page must mention {city}: {}",
+            p.body
+        );
+    }
+
+    #[test]
+    fn type_word_frequency_is_calibrated() {
+        let (w, mut rng) = fixture();
+        // Schools: p = 0.68 → in 200 official pages, expect the word in
+        // roughly 110–160.
+        let id = w.entities_of(EntityType::School)[0];
+        let e = w.entity(id);
+        let mut with_word = 0;
+        for i in 0..200 {
+            let p = entity_page(&mut rng, &w, e, PageFlavour::Official, i);
+            if p.body
+                .split_whitespace()
+                .any(|t| t.eq_ignore_ascii_case("school"))
+            {
+                with_word += 1;
+            }
+        }
+        // name may also contain "School", inflating the count — accept a
+        // broad band around the calibration target
+        assert!(
+            (90..=200).contains(&with_word),
+            "school type-word rate: {with_word}/200"
+        );
+
+        // Singers: p = 0.08 → rare.
+        let id = w.entities_of(EntityType::Singer)[0];
+        let e = w.entity(id);
+        let mut with_word = 0;
+        for i in 0..200 {
+            let p = entity_page(&mut rng, &w, e, PageFlavour::Official, i);
+            if p.body
+                .split_whitespace()
+                .any(|t| t.eq_ignore_ascii_case("singer"))
+            {
+                with_word += 1;
+            }
+        }
+        assert!(with_word < 40, "singer type-word rate: {with_word}/200");
+    }
+
+    #[test]
+    fn directory_pages_repeat_the_type_word() {
+        let (w, mut rng) = fixture();
+        let p = type_directory_page(&mut rng, &w, EntityType::Museum, 0);
+        let n = p
+            .body
+            .split_whitespace()
+            .filter(|t| t.eq_ignore_ascii_case("museum"))
+            .count();
+        assert!(n >= 2, "directory page mentions museum {n} times");
+    }
+
+    #[test]
+    fn noise_pages_have_no_core_terms() {
+        let (_, mut rng) = fixture();
+        let p = noise_page(&mut rng, 0);
+        for t in EntityType::TARGETS {
+            for core in t.core_terms().iter().take(3) {
+                // noise vocabulary is disjoint from distinctive core terms
+                assert!(
+                    !p.body.split_whitespace().any(|w| w == *core),
+                    "noise page contains core term {core}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn urls_are_distinct_per_serial() {
+        let (w, mut rng) = fixture();
+        let id = w.entities_of(EntityType::Hotel)[0];
+        let e = w.entity(id);
+        let a = entity_page(&mut rng, &w, e, PageFlavour::Review, 0);
+        let b = entity_page(&mut rng, &w, e, PageFlavour::Review, 1);
+        assert_ne!(a.url, b.url);
+    }
+
+    #[test]
+    fn slugging() {
+        assert_eq!(slug("Musée du Louvre"), "mus-e-du-louvre");
+        assert_eq!(slug("Joe's Kitchen"), "joe-s-kitchen");
+    }
+}

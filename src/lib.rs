@@ -1,0 +1,31 @@
+//! # `teda` — Table Entity Discovery and Annotation
+//!
+//! A from-scratch Rust reproduction of *Quercini & Reynaud-Delaître,
+//! "Entity Discovery and Annotation in Tables", EDBT 2013*.
+//!
+//! This facade crate re-exports every workspace member so applications can
+//! depend on a single crate:
+//!
+//! * [`tabular`] — GFT-like table model (typed columns, CSV, inference).
+//! * [`text`] — tokenizer, stopwords, Porter stemmer, feature extraction.
+//! * [`classifier`] — Naive Bayes and SVM (SMO / Pegasos) text classifiers.
+//! * [`geo`] — gazetteer, geocoding simulation, toponym disambiguation.
+//! * [`kb`] — synthetic knowledge world and DBpedia-like category network.
+//! * [`websim`] — synthetic Web corpus and BM25 search engine (Bing stand-in).
+//! * [`corpus`] — benchmark table generators and gold standards.
+//! * [`core`] — the annotation pipeline itself (pre-processing, snippet
+//!   classification, post-processing, baselines, evaluation).
+//! * [`simkit`] — virtual clock, seeded RNG, reporting helpers.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough, and
+//! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction methodology.
+
+pub use teda_classifier as classifier;
+pub use teda_core as core;
+pub use teda_corpus as corpus;
+pub use teda_geo as geo;
+pub use teda_kb as kb;
+pub use teda_simkit as simkit;
+pub use teda_tabular as tabular;
+pub use teda_text as text;
+pub use teda_websim as websim;

@@ -1,0 +1,173 @@
+//! Integration tests for the baselines (§6.2) and the hybrid annotator
+//! (§6.4) against the synthetic Web — behavioural contracts that the
+//! experiment binaries rely on.
+
+use std::sync::Arc;
+
+use teda::classifier::svm::pegasos::PegasosConfig;
+use teda::core::baselines::{tin_annotate, tis_annotate};
+use teda::core::catalogue_annotator::catalogue_annotate;
+use teda::core::config::AnnotatorConfig;
+use teda::core::hybrid::annotate_hybrid;
+use teda::core::pipeline::Annotator;
+use teda::core::preprocess::preprocess;
+use teda::core::trainer::{harvest, train_svm_linear, TrainerConfig};
+use teda::corpus::gft::poi_table;
+use teda::kb::{Catalogue, CategoryNetwork, EntityType, World, WorldSpec};
+use teda::simkit::rng_from_seed;
+use teda::websim::{BingSim, WebCorpus, WebCorpusSpec};
+
+struct Fx {
+    world: World,
+    engine: Arc<BingSim>,
+    classifier: teda::core::model::SnippetClassifier,
+}
+
+fn fx() -> Fx {
+    let world = World::generate(WorldSpec::tiny(), 42);
+    let net = CategoryNetwork::build(&world, 42);
+    let web = Arc::new(WebCorpus::build(&world, WebCorpusSpec::tiny(), 42));
+    let engine = Arc::new(BingSim::instant(web));
+    let corpus = harvest(
+        &world,
+        &net,
+        engine.as_ref(),
+        &EntityType::TARGETS,
+        TrainerConfig {
+            max_entities_per_type: Some(12),
+            ..TrainerConfig::default()
+        },
+    );
+    let classifier = train_svm_linear(&corpus, PegasosConfig::default());
+    Fx {
+        world,
+        engine,
+        classifier,
+    }
+}
+
+#[test]
+fn tin_never_annotates_people_or_films() {
+    // Table 1's structural zero: people and film names carry no type word.
+    let f = fx();
+    let mut rng = rng_from_seed(10);
+    let config = AnnotatorConfig::default();
+    for etype in [EntityType::Actor, EntityType::Singer, EntityType::Film] {
+        let gold = match etype {
+            EntityType::Film => teda::corpus::gft::cinema_table(
+                &f.world, etype, 10, "t", &mut rng,
+            ),
+            _ => teda::corpus::gft::people_table(&f.world, etype, 10, "t", &mut rng),
+        };
+        let pre = preprocess(&gold.table, &config);
+        let anns = tin_annotate(&gold.table, &pre.candidates, &config.targets);
+        let of_type = anns.iter().filter(|a| a.etype == etype).count();
+        assert_eq!(of_type, 0, "{etype}: TIN found a type word in a name");
+    }
+}
+
+#[test]
+fn tis_is_more_permissive_than_tin_on_museums() {
+    // Museums: names carry the type word sometimes, snippets more often —
+    // TIS recall ≥ TIN recall (Table 1's POI pattern).
+    let f = fx();
+    let mut rng = rng_from_seed(11);
+    let config = AnnotatorConfig::default();
+    let gold = poi_table(&f.world, EntityType::Museum, 20, 0, "museums", &mut rng);
+    let pre = preprocess(&gold.table, &config);
+    let tin = tin_annotate(&gold.table, &pre.candidates, &config.targets);
+    let tis = tis_annotate(
+        &gold.table,
+        &pre.candidates,
+        f.engine.as_ref(),
+        &config.targets,
+        &config,
+    );
+    let tin_museums = tin.iter().filter(|a| a.etype == EntityType::Museum).count();
+    let tis_museums = tis.iter().filter(|a| a.etype == EntityType::Museum).count();
+    assert!(
+        tis_museums >= tin_museums,
+        "TIS ({tis_museums}) should find at least as many museums as TIN ({tin_museums})"
+    );
+}
+
+#[test]
+fn hybrid_with_empty_catalogue_equals_pure_web() {
+    let f = fx();
+    let mut rng = rng_from_seed(12);
+    let gold = poi_table(&f.world, EntityType::Restaurant, 12, 0, "rests", &mut rng);
+
+    let mut web_annotator = Annotator::new(
+        f.engine.clone(),
+        f.classifier.clone(),
+        AnnotatorConfig::default(),
+    );
+    let web = web_annotator.annotate_table(&gold.table);
+
+    let mut hybrid_annotator = Annotator::new(
+        f.engine.clone(),
+        f.classifier.clone(),
+        AnnotatorConfig::default(),
+    );
+    let (hybrid, stats) = annotate_hybrid(&mut hybrid_annotator, &gold.table, &Catalogue::default());
+    assert_eq!(stats.catalogue_hits, 0);
+    assert_eq!(web.cells, hybrid.cells, "empty catalogue must not change output");
+}
+
+#[test]
+fn hybrid_annotations_superset_catalogue_hits() {
+    // Whatever the catalogue resolves must survive into the hybrid output
+    // (post-processing keeps name-column annotations; catalogue hits land
+    // in the name column by construction).
+    let f = fx();
+    let mut rng = rng_from_seed(13);
+    let gold = poi_table(&f.world, EntityType::Hotel, 15, 0, "hotels", &mut rng);
+    let catalogue = Catalogue::sample(&f.world, 0.5, 42);
+
+    let config = AnnotatorConfig::default();
+    let pre = preprocess(&gold.table, &config);
+    let catalogue_only = catalogue_annotate(&gold.table, &pre.candidates, &catalogue, &config.targets);
+
+    let mut annotator = Annotator::new(f.engine.clone(), f.classifier.clone(), config);
+    let (hybrid, stats) = annotate_hybrid(&mut annotator, &gold.table, &catalogue);
+    assert_eq!(stats.catalogue_hits, catalogue_only.len());
+    for hit in &catalogue_only {
+        assert!(
+            hybrid.cells.iter().any(|a| a.cell == hit.cell && a.etype == hit.etype),
+            "catalogue hit {hit:?} lost in hybrid output"
+        );
+    }
+}
+
+#[test]
+fn hybrid_spends_fewer_queries_than_pure_web() {
+    let f = fx();
+    let mut rng = rng_from_seed(14);
+    let gold = poi_table(&f.world, EntityType::Museum, 20, 0, "museums", &mut rng);
+    let catalogue = Catalogue::sample(&f.world, 0.5, 42);
+
+    let q0 = f.engine.query_count();
+    let mut web_annotator = Annotator::new(
+        f.engine.clone(),
+        f.classifier.clone(),
+        AnnotatorConfig::default(),
+    );
+    web_annotator.annotate_table(&gold.table);
+    let web_queries = f.engine.query_count() - q0;
+
+    let q1 = f.engine.query_count();
+    let mut hybrid_annotator = Annotator::new(
+        f.engine.clone(),
+        f.classifier.clone(),
+        AnnotatorConfig::default(),
+    );
+    let (_, stats) = annotate_hybrid(&mut hybrid_annotator, &gold.table, &catalogue);
+    let hybrid_queries = f.engine.query_count() - q1;
+
+    assert!(stats.catalogue_hits > 0, "fixture should have known hotels");
+    assert!(
+        hybrid_queries < web_queries,
+        "hybrid {hybrid_queries} vs web {web_queries}"
+    );
+    assert_eq!(hybrid_queries as usize, stats.web_cells);
+}

@@ -1,0 +1,56 @@
+//! Determinism: the whole stack — world, Web, harvest, training,
+//! annotation — must be byte-identical across runs with the same seed.
+
+use std::sync::Arc;
+
+use teda::classifier::svm::pegasos::PegasosConfig;
+use teda::core::config::AnnotatorConfig;
+use teda::core::pipeline::Annotator;
+use teda::core::trainer::{harvest, train_svm_linear, TrainerConfig};
+use teda::corpus::datasets::gft_benchmark;
+use teda::kb::{CategoryNetwork, EntityType, World, WorldSpec};
+use teda::websim::{BingSim, WebCorpus, WebCorpusSpec};
+
+fn run_pipeline(seed: u64) -> Vec<(usize, usize, String, f64)> {
+    let world = World::generate(WorldSpec::tiny(), seed);
+    let net = CategoryNetwork::build(&world, seed);
+    let web = Arc::new(WebCorpus::build(&world, WebCorpusSpec::tiny(), seed));
+    let engine = Arc::new(BingSim::instant(web));
+    let corpus = harvest(
+        &world,
+        &net,
+        engine.as_ref(),
+        &EntityType::TARGETS,
+        TrainerConfig {
+            max_entities_per_type: Some(14),
+            seed,
+            ..TrainerConfig::default()
+        },
+    );
+    let classifier = train_svm_linear(&corpus, PegasosConfig::default());
+    let mut annotator = Annotator::new(engine, classifier, AnnotatorConfig::default());
+
+    let benchmark = gft_benchmark(&world, seed);
+    let mut out = Vec::new();
+    for gold in benchmark.tables.iter().take(12) {
+        for a in annotator.annotate_table(&gold.table).cells {
+            out.push((a.cell.row, a.cell.col, a.etype.to_string(), a.score));
+        }
+    }
+    out
+}
+
+#[test]
+fn same_seed_same_annotations() {
+    let a = run_pipeline(42);
+    let b = run_pipeline(42);
+    assert_eq!(a, b, "pipeline must be deterministic per seed");
+    assert!(!a.is_empty(), "sanity: pipeline produced annotations");
+}
+
+#[test]
+fn different_seed_different_world() {
+    let a = run_pipeline(42);
+    let b = run_pipeline(43);
+    assert_ne!(a, b, "different seeds must differ somewhere");
+}

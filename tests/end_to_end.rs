@@ -1,0 +1,145 @@
+//! Cross-crate integration tests: the full pipeline against generated
+//! tables with gold standards, including the paper's figure scenarios.
+
+use std::sync::Arc;
+
+use teda::classifier::svm::pegasos::PegasosConfig;
+use teda::core::config::AnnotatorConfig;
+use teda::core::evaluate::count_type;
+use teda::core::model::SnippetClassifier;
+use teda::core::pipeline::Annotator;
+use teda::core::trainer::{harvest, train_svm_linear, TrainerConfig};
+use teda::corpus::gft::{category_column_table, mixed_table, poi_table};
+use teda::corpus::gold::GoldTable;
+use teda::kb::{CategoryNetwork, EntityType, World, WorldSpec};
+use teda::simkit::rng_from_seed;
+use teda::websim::{BingSim, WebCorpus, WebCorpusSpec};
+
+fn fixture() -> (World, Arc<BingSim>, SnippetClassifier) {
+    let world = World::generate(WorldSpec::tiny(), 42);
+    let net = CategoryNetwork::build(&world, 42);
+    let web = Arc::new(WebCorpus::build(&world, WebCorpusSpec::tiny(), 42));
+    let engine = Arc::new(BingSim::instant(web));
+    let corpus = harvest(
+        &world,
+        &net,
+        engine.as_ref(),
+        &EntityType::TARGETS,
+        TrainerConfig {
+            max_entities_per_type: Some(12),
+            ..TrainerConfig::default()
+        },
+    );
+    let classifier = train_svm_linear(&corpus, PegasosConfig::default());
+    (world, engine, classifier)
+}
+
+fn annotate(gold: &GoldTable, engine: Arc<BingSim>, classifier: SnippetClassifier) -> Vec<teda::core::annotate::CellAnnotation> {
+    let mut annotator = Annotator::new(engine, classifier, AnnotatorConfig::default());
+    annotator.annotate_table(&gold.table).cells
+}
+
+#[test]
+fn poi_table_annotates_with_good_f() {
+    let (world, engine, classifier) = fixture();
+    let mut rng = rng_from_seed(1);
+    let gold = poi_table(&world, EntityType::Museum, 15, 0, "museums", &mut rng);
+    let anns = annotate(&gold, engine, classifier);
+    let pairs: Vec<_> = gold.entries.iter().map(|e| (e.cell, e.etype)).collect();
+    let prf = count_type(&pairs, &anns, EntityType::Museum).prf();
+    assert!(prf.f1 > 0.7, "museum table F = {:.2}", prf.f1);
+}
+
+#[test]
+fn figure2_mixed_table_separates_types_per_row() {
+    // The paper's Figure 2 argument: a column mixing temples, hotels and
+    // restaurants must not be annotated wholesale with one type.
+    let (world, engine, classifier) = fixture();
+    let mut rng = rng_from_seed(2);
+    let gold = mixed_table(
+        &world,
+        &[
+            (EntityType::Restaurant, 8),
+            (EntityType::Hotel, 8),
+            (EntityType::Temple, 6),
+        ],
+        "fig2",
+        &mut rng,
+    );
+    let anns = annotate(&gold, engine, classifier);
+
+    // Some of both target types found, each on the right rows.
+    let pairs: Vec<_> = gold.entries.iter().map(|e| (e.cell, e.etype)).collect();
+    for etype in [EntityType::Restaurant, EntityType::Hotel] {
+        let counts = count_type(&pairs, &anns, etype);
+        assert!(counts.tp > 0, "{etype}: no true positives");
+        let prf = counts.prf();
+        assert!(prf.precision > 0.6, "{etype}: precision {:.2}", prf.precision);
+    }
+    // Temple rows (not targets) must not be annotated with target types.
+    let temple_rows: Vec<usize> = (0..gold.table.n_rows())
+        .filter(|&i| gold.gold_type_at(teda::tabular::CellId::new(i, 0)).is_none())
+        .collect();
+    let temple_fps = anns
+        .iter()
+        .filter(|a| a.cell.col == 0 && temple_rows.contains(&a.cell.row))
+        .count();
+    assert!(
+        temple_fps <= temple_rows.len() / 3,
+        "too many temple rows misannotated: {temple_fps}/{}",
+        temple_rows.len()
+    );
+}
+
+#[test]
+fn figure8_category_column_cleaned_by_postprocessing() {
+    let (world, engine, classifier) = fixture();
+    let mut rng = rng_from_seed(3);
+    let gold = category_column_table(&world, EntityType::Museum, 12, "fig8", &mut rng);
+
+    // Without post-processing the repeated "Museum" cells may be
+    // annotated; with it, every museum annotation must sit in the name
+    // column (column 0).
+    let mut annotator = Annotator::new(
+        engine,
+        classifier,
+        AnnotatorConfig {
+            use_postprocessing: true,
+            ..AnnotatorConfig::default()
+        },
+    );
+    let result = annotator.annotate_table(&gold.table);
+    for a in result.of_type(EntityType::Museum) {
+        assert_eq!(a.cell.col, 0, "museum annotation escaped to {:?}", a.cell);
+    }
+}
+
+#[test]
+fn eq1_scores_are_majorities() {
+    let (world, engine, classifier) = fixture();
+    let mut rng = rng_from_seed(4);
+    let gold = poi_table(&world, EntityType::Hotel, 10, 0, "hotels", &mut rng);
+    let anns = annotate(&gold, engine, classifier);
+    for a in &anns {
+        assert!(a.votes > 5, "votes {} must exceed k/2", a.votes);
+        assert!(a.score > 0.5 && a.score <= 1.0, "Eq. 1 score {}", a.score);
+        assert!((a.score - a.votes as f64 / 10.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn annotations_only_target_candidate_cells() {
+    // Location/Number columns and pattern cells must never be annotated.
+    let (world, engine, classifier) = fixture();
+    let mut rng = rng_from_seed(5);
+    let gold = poi_table(&world, EntityType::Restaurant, 12, 0, "rests", &mut rng);
+    let anns = annotate(&gold, engine, classifier);
+    for a in &anns {
+        let ctype = gold.table.column_type(a.cell.col);
+        assert!(
+            !ctype.excludes_entity_names(),
+            "annotation in excluded column: {:?}",
+            a
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Cross-crate property tests (proptest): invariants of the text
+//! pipeline, scoring equations and post-processing, over arbitrary
+//! inputs.
+
+use proptest::prelude::*;
+
+use teda::core::annotate::CellAnnotation;
+use teda::core::postprocess::{column_scores, eliminate_spurious};
+use teda::kb::EntityType;
+use teda::tabular::{CellId, Table};
+use teda::text::{preprocess as text_preprocess, FeatureExtractor};
+
+proptest! {
+    /// Tokenize→stopword→stem never produces empty, uppercase or
+    /// single-character tokens.
+    #[test]
+    fn preprocess_token_invariants(s in "\\PC{0,200}") {
+        for tok in text_preprocess(&s) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(tok.chars().count() >= 1);
+            prop_assert!(!tok.chars().any(|c| c.is_ascii_uppercase()), "{tok}");
+        }
+    }
+
+    /// Feature vectors are normalized: weights sum to 1 when any content
+    /// token survives, 0 otherwise; all weights positive.
+    #[test]
+    fn feature_weights_normalized(s in "[a-zA-Z ]{0,120}") {
+        let mut fx = FeatureExtractor::new();
+        let v = fx.fit_transform(&s);
+        let sum = v.sum();
+        prop_assert!(
+            v.is_empty() && sum == 0.0 || (sum - 1.0).abs() < 1e-9,
+            "sum = {sum}"
+        );
+        prop_assert!(v.entries().iter().all(|&(_, w)| w > 0.0));
+    }
+
+    /// `transform` never grows the vocabulary.
+    #[test]
+    fn transform_is_frozen(a in "[a-z ]{0,80}", b in "[a-z ]{0,80}") {
+        let mut fx = FeatureExtractor::new();
+        fx.fit_transform(&a);
+        let dim = fx.dim();
+        let _ = fx.transform(&b);
+        prop_assert_eq!(fx.dim(), dim);
+    }
+
+    /// Post-processing only removes annotations (output ⊆ input) and
+    /// leaves at most one column per type.
+    #[test]
+    fn postprocess_shrinks_and_unifies_columns(
+        anns in proptest::collection::vec(
+            (0usize..8, 0usize..3, 0usize..3, 1usize..=10),
+            0..24
+        )
+    ) {
+        // table of 8 rows × 3 columns with distinct-ish cell values
+        let mut b = Table::builder(3);
+        for i in 0..8 {
+            b.push_row(vec![
+                format!("a{i}"),
+                format!("b{}", i % 2), // repeated values in column 1
+                format!("c{i}"),
+            ]).unwrap();
+        }
+        let table = b.build().unwrap();
+        let types = [EntityType::Restaurant, EntityType::Museum, EntityType::Hotel];
+        let input: Vec<CellAnnotation> = anns
+            .iter()
+            .map(|&(row, col, t, votes)| CellAnnotation {
+                cell: CellId::new(row, col),
+                etype: types[t],
+                score: votes as f64 / 10.0,
+                votes,
+            })
+            .collect();
+        let output = eliminate_spurious(&table, input.clone());
+        prop_assert!(output.len() <= input.len());
+        for a in &output {
+            prop_assert!(input.contains(a), "postprocess invented {a:?}");
+        }
+        for t in types {
+            let cols: std::collections::HashSet<usize> = output
+                .iter()
+                .filter(|a| a.etype == t)
+                .map(|a| a.cell.col)
+                .collect();
+            prop_assert!(cols.len() <= 1, "{t}: columns {cols:?}");
+        }
+    }
+
+    /// Eq. 2 column scores are non-negative and grow monotonically with
+    /// extra annotations.
+    #[test]
+    fn eq2_scores_monotone(votes in proptest::collection::vec(6usize..=10, 1..8)) {
+        let mut b = Table::builder(1);
+        for i in 0..8 {
+            b.push_row(vec![format!("v{i}")]).unwrap();
+        }
+        let table = b.build().unwrap();
+        let mut anns: Vec<CellAnnotation> = Vec::new();
+        let mut last = 0.0;
+        for (i, &v) in votes.iter().enumerate() {
+            anns.push(CellAnnotation {
+                cell: CellId::new(i, 0),
+                etype: EntityType::Museum,
+                score: v as f64 / 10.0,
+                votes: v,
+            });
+            let s = column_scores(&table, &anns, EntityType::Museum)[&0];
+            prop_assert!(s >= last, "score dropped: {last} -> {s}");
+            prop_assert!(s >= 0.0);
+            last = s;
+        }
+    }
+}
