@@ -58,8 +58,8 @@ fn bench_classifiers(c: &mut Criterion) {
             ..TrainerConfig::default()
         },
     );
-    let mut nb = train_bayes(&corpus, NaiveBayesConfig::snippet_default());
-    let mut svm = train_svm_linear(&corpus, PegasosConfig::default());
+    let nb = train_bayes(&corpus, NaiveBayesConfig::snippet_default());
+    let svm = train_svm_linear(&corpus, PegasosConfig::default());
 
     let mut group = c.benchmark_group("classifier");
     group.bench_function("naive_bayes_classify_snippet", |b| {
@@ -115,11 +115,83 @@ fn bench_smo(c: &mut Criterion) {
 fn bench_search(c: &mut Criterion) {
     let world = World::generate(WorldSpec::default(), 42);
     let web = WebCorpus::build(&world, WebCorpusSpec::default(), 42);
+    let pages = web.pages().to_vec();
     let engine = BingSim::instant(Arc::new(web));
     let name = world.entities()[0].name.clone();
-    c.bench_function("bm25_search_top10", |b| {
+
+    let mut group = c.benchmark_group("search");
+    group.bench_function("bm25_search_top10", |b| {
         b.iter(|| engine.search(black_box(&name), 10).len())
     });
+    // The interned-term index: bounded-heap ranking vs the historical
+    // full sort, and a from-scratch build of the whole collection.
+    let index = teda_websim::index::InvertedIndex::build(&pages);
+    group.bench_function("index_heap_top10", |b| {
+        b.iter(|| index.search(black_box(&name), 10).len())
+    });
+    group.bench_function("index_full_sort_top10", |b| {
+        b.iter(|| index.search_full_sort(black_box(&name), 10).len())
+    });
+    group.bench_function("index_build_full_corpus", |b| {
+        b.iter(|| teda_websim::index::InvertedIndex::build(black_box(&pages)).n_terms())
+    });
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    use teda_core::pipeline::BatchAnnotator;
+
+    let world = World::generate(WorldSpec::tiny(), 42);
+    let net = CategoryNetwork::build(&world, 42);
+    let web = Arc::new(WebCorpus::build(&world, WebCorpusSpec::tiny(), 42));
+    let engine = Arc::new(BingSim::instant(web));
+    let corpus = harvest(
+        &world,
+        &net,
+        engine.as_ref(),
+        &EntityType::TARGETS,
+        TrainerConfig {
+            max_entities_per_type: Some(10),
+            ..TrainerConfig::default()
+        },
+    );
+    let svm = train_svm_linear(&corpus, PegasosConfig::default());
+    let mut rng = rng_from_seed(3);
+    let tables: Vec<_> = (0..6)
+        .map(|i| {
+            poi_table(
+                &world,
+                EntityType::Restaurant,
+                12,
+                (i % 3) as u8,
+                &format!("bb_{i}"),
+                &mut rng,
+            )
+            .table
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("batch");
+    let cold = BatchAnnotator::new(engine.clone(), svm.clone(), AnnotatorConfig::default());
+    group.bench_function("annotate_corpus_seq", |b| {
+        b.iter(|| {
+            cold.cache().clear();
+            cold.annotate_corpus(black_box(&tables)).len()
+        })
+    });
+    let par = BatchAnnotator::new(engine.clone(), svm.clone(), AnnotatorConfig::default());
+    group.bench_function("annotate_corpus_par", |b| {
+        b.iter(|| {
+            par.cache().clear();
+            par.annotate_corpus_par(black_box(&tables)).len()
+        })
+    });
+    let warm = BatchAnnotator::new(engine, svm, AnnotatorConfig::default());
+    warm.annotate_corpus(&tables);
+    group.bench_function("annotate_corpus_warm_cache", |b| {
+        b.iter(|| warm.annotate_corpus(black_box(&tables)).len())
+    });
+    group.finish();
 }
 
 fn bench_annotation(c: &mut Criterion) {
@@ -141,13 +213,14 @@ fn bench_annotation(c: &mut Criterion) {
     let mut rng = rng_from_seed(1);
     let table = poi_table(&world, EntityType::Restaurant, 20, 0, "bench", &mut rng);
 
-    let mut annotator = teda_core::pipeline::Annotator::new(
-        engine,
-        svm,
-        AnnotatorConfig::default(),
-    );
+    let annotator = teda_core::pipeline::Annotator::new(engine, svm, AnnotatorConfig::default());
     c.bench_function("annotate_20row_poi_table", |b| {
-        b.iter(|| annotator.annotate_table(black_box(&table.table)).cells.len())
+        b.iter(|| {
+            annotator
+                .annotate_table(black_box(&table.table))
+                .cells
+                .len()
+        })
     });
 }
 
@@ -201,7 +274,10 @@ fn bench_disambiguation(c: &mut Criterion) {
         ),
         (
             CellId::new(11, 1),
-            vec![find_city("Washington", "D.C."), find_city("Washington", "GA")],
+            vec![
+                find_city("Washington", "D.C."),
+                find_city("Washington", "GA"),
+            ],
         ),
         (
             CellId::new(12, 0),
@@ -238,6 +314,7 @@ criterion_group!(
     bench_classifiers,
     bench_smo,
     bench_search,
+    bench_batch,
     bench_annotation,
     bench_pre_and_postprocess,
     bench_disambiguation

@@ -3,6 +3,7 @@
 
 use teda_bench::exp::{
     ablation, comparison, coverage, efficiency, fig7, preprocess_stats, table1, table2, table3,
+    throughput,
 };
 use teda_bench::harness::{Fixture, Scale};
 
@@ -23,8 +24,12 @@ fn main() {
     println!("{}", table3::render(&table3::run(&fixture)));
     println!("{}", comparison::render(&comparison::run(&fixture)));
     println!("{}", coverage::render(&coverage::run(&fixture)));
-    println!("{}", preprocess_stats::render(&preprocess_stats::run(&fixture)));
+    println!(
+        "{}",
+        preprocess_stats::render(&preprocess_stats::run(&fixture))
+    );
     println!("{}", efficiency::render(&efficiency::run(&fixture)));
+    println!("{}", throughput::render(&throughput::run(&fixture)));
     println!("{}", fig7::render(&fig7::run()));
     println!("{}", ablation::render(&ablation::run(&fixture)));
 }

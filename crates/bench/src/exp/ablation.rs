@@ -52,7 +52,7 @@ pub fn run(fixture: &Fixture) -> Ablation {
     );
 
     let mut eval = |label: &str, classifier: teda_core::model::SnippetClassifier| {
-        let mut annotator = fixture.annotator(classifier, AnnotatorConfig::default());
+        let annotator = fixture.annotator(classifier, AnnotatorConfig::default());
         let out = run_method(tables, |t| annotator.annotate_table(&t.table).cells);
         variants.push((label.to_owned(), out.micro_prf()));
     };
@@ -99,7 +99,7 @@ pub fn run(fixture: &Fixture) -> Ablation {
         .cloned()
         .collect();
     let recall_of = |use_clustering: bool| {
-        let mut annotator = fixture.annotator(
+        let annotator = fixture.annotator(
             fixture.svm.clone(),
             AnnotatorConfig {
                 use_clustering,

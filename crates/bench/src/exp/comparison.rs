@@ -41,10 +41,9 @@ pub struct Comparison {
 /// Runs the comparison.
 pub fn run(fixture: &Fixture) -> Comparison {
     let tables = wiki_manual(&fixture.world, &fixture.catalogue, fixture.seed);
-    let known_fraction =
-        known_mention_fraction(&tables, &fixture.world, &fixture.catalogue);
+    let known_fraction = known_mention_fraction(&tables, &fixture.world, &fixture.catalogue);
 
-    let mut ours_annotator = fixture.svm_annotator(true, false);
+    let ours_annotator = fixture.svm_annotator(true, false);
     let ours_out = run_method(&tables, |t| ours_annotator.annotate_table(&t.table).cells);
 
     let config = AnnotatorConfig::default();
@@ -77,10 +76,7 @@ fn split_recall(fixture: &Fixture, tables: &[GoldTable], out: &RunOutput) -> (f6
     let mut unknown_hits = 0usize;
     let mut unknown_total = 0usize;
     for (table, (_, predicted)) in tables.iter().zip(&out.per_table) {
-        let predicted_cells: HashSet<_> = predicted
-            .iter()
-            .map(|a| (a.cell, a.etype))
-            .collect();
+        let predicted_cells: HashSet<_> = predicted.iter().map(|a| (a.cell, a.etype)).collect();
         for e in &table.entries {
             let is_known = fixture
                 .catalogue
@@ -104,9 +100,7 @@ fn split_recall(fixture: &Fixture, tables: &[GoldTable], out: &RunOutput) -> (f6
 
 /// Renders the comparison report.
 pub fn render(c: &Comparison) -> String {
-    let mut out = String::from(
-        "Comparison on the Wiki Manual-like set (36 tables, §6.3).\n",
-    );
+    let mut out = String::from("Comparison on the Wiki Manual-like set (36 tables, §6.3).\n");
     out.push_str(&format!(
         "Catalogued gold mentions: {:.0}%\n\n",
         c.known_fraction * 100.0

@@ -40,6 +40,11 @@ pub struct Efficiency {
     pub pure_web_virtual_s: f64,
     pub hybrid_virtual_s: f64,
     pub hybrid_catalogue_hits: usize,
+    /// Memoized re-annotation of the 100-row table through the batch
+    /// engine: queries answered from the `(query, k)` cache on the second
+    /// pass, and the virtual seconds that pass cost.
+    pub cache_hits_on_rerun: u64,
+    pub cached_rerun_virtual_s: f64,
 }
 
 /// Runs the sweep.
@@ -57,7 +62,7 @@ pub fn run(fixture: &Fixture) -> Efficiency {
             &format!("eff_{n}"),
             &mut rng,
         );
-        let mut annotator = fixture.svm_annotator(true, false);
+        let annotator = fixture.svm_annotator(true, false);
         series.push(measure(fixture, n, || {
             annotator.annotate_table(&table.table);
         }));
@@ -72,22 +77,33 @@ pub fn run(fixture: &Fixture) -> Efficiency {
         "eff_disambig",
         &mut rng,
     );
-    let mut annotator = fixture.svm_annotator(true, true);
+    let annotator = fixture.svm_annotator(true, true);
     let with_disambiguation = measure(fixture, 100, || {
         annotator.annotate_table(&table100.table);
     });
 
     // Hybrid vs pure web on one 100-row table.
-    let mut pure = fixture.svm_annotator(true, false);
+    let pure = fixture.svm_annotator(true, false);
     let p = measure(fixture, 100, || {
         pure.annotate_table(&table100.table);
     });
-    let mut hybrid_annotator = fixture.svm_annotator(true, false);
+    let hybrid_annotator = fixture.svm_annotator(true, false);
     let mut hits = 0usize;
     let h = measure(fixture, 100, || {
-        let (_, stats) = annotate_hybrid(&mut hybrid_annotator, &table100.table, &fixture.catalogue);
+        let (_, stats) = annotate_hybrid(&hybrid_annotator, &table100.table, &fixture.catalogue);
         hits = stats.catalogue_hits;
     });
+
+    // Memoized re-annotation: the batch engine's query cache pays for
+    // itself the moment a corpus repeats a cell (here: the same table
+    // annotated again — a refresh of an already-served corpus).
+    let batch = fixture.svm_annotator(true, false).into_batch();
+    batch.annotate_table(&table100.table); // warm pass fills the cache
+    let warm_hits = batch.cache_stats().hits;
+    let rerun = measure(fixture, 100, || {
+        batch.annotate_table(&table100.table);
+    });
+    let cache_hits_on_rerun = batch.cache_stats().hits - warm_hits;
 
     Efficiency {
         series,
@@ -95,6 +111,8 @@ pub fn run(fixture: &Fixture) -> Efficiency {
         pure_web_virtual_s: p.virtual_s_per_row * 100.0,
         hybrid_virtual_s: h.virtual_s_per_row * 100.0,
         hybrid_catalogue_hits: hits,
+        cache_hits_on_rerun,
+        cached_rerun_virtual_s: rerun.virtual_s_per_row * 100.0,
     }
 }
 
@@ -135,17 +153,17 @@ pub fn render(e: &Efficiency) -> String {
         "Hybrid vs pure web (100 rows): {:.1}s vs {:.1}s virtual ({} catalogue hits)\n",
         e.hybrid_virtual_s, e.pure_web_virtual_s, e.hybrid_catalogue_hits,
     ));
+    out.push_str(&format!(
+        "Memoized re-annotation (100 rows, batch engine): {:.1}s virtual, {} cache hits\n",
+        e.cached_rerun_virtual_s, e.cache_hits_on_rerun,
+    ));
     out.push_str("(paper: ~0.5 s per row on average; tables up to 500 rows practical)\n");
     out
 }
 
 /// The paper's headline number: mean virtual seconds/row across the series.
 pub fn mean_s_per_row(e: &Efficiency) -> f64 {
-    e.series
-        .iter()
-        .map(|p| p.virtual_s_per_row)
-        .sum::<f64>()
-        / e.series.len() as f64
+    e.series.iter().map(|p| p.virtual_s_per_row).sum::<f64>() / e.series.len() as f64
 }
 
 /// Convenience: duration of the whole series in virtual time.
@@ -188,6 +206,14 @@ mod tests {
         }
         // Real CPU time is orders of magnitude below virtual latency.
         assert!(e.series[0].real_ms_per_row < 1000.0);
+        // The memoized re-run answers every query from the cache: zero
+        // virtual latency, one hit per previously-searched cell.
+        assert!(e.cache_hits_on_rerun > 0, "re-run must hit the cache");
+        assert_eq!(
+            e.cached_rerun_virtual_s, 0.0,
+            "cache hits charge no latency"
+        );
+        assert!(render(&e).contains("cache hits"));
         assert!(render(&e).contains("virtual s/row"));
     }
 }

@@ -33,7 +33,10 @@ pub fn run() -> Fig7 {
         (CellId::new(11, 0), streets("Pennsylvania Avenue")),
         (
             CellId::new(11, 1),
-            vec![find_city("Washington", "D.C."), find_city("Washington", "GA")],
+            vec![
+                find_city("Washington", "D.C."),
+                find_city("Washington", "GA"),
+            ],
         ),
         (CellId::new(12, 0), streets("Wofford Lane")),
         (
@@ -75,7 +78,11 @@ pub fn render(f: &Fig7) -> String {
                 cell.to_string(),
                 f.gazetteer.full_name(c),
                 f3(score),
-                if chosen == Some(c) { "*".into() } else { "".into() },
+                if chosen == Some(c) {
+                    "*".into()
+                } else {
+                    "".into()
+                },
             ]);
         }
         tbl.separator();

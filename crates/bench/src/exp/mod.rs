@@ -9,3 +9,4 @@ pub mod preprocess_stats;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod throughput;

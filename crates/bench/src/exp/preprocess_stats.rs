@@ -82,7 +82,10 @@ pub fn render(s: &PreprocessStats) -> String {
         tbl.row(vec![reason.clone(), n.to_string()]);
     }
     tbl.separator();
-    tbl.row(vec!["(candidates — queried)".into(), s.candidates.to_string()]);
+    tbl.row(vec![
+        "(candidates — queried)".into(),
+        s.candidates.to_string(),
+    ]);
     out.push_str(&tbl.render());
     out.push_str(&format!(
         "\n{} of {} cells ruled out: {:.0}% of search queries saved\n",
@@ -108,7 +111,12 @@ mod tests {
             s.saving()
         );
         // the headline rules all fire somewhere in the benchmark
-        for needle in ["GFT column type", "pattern: phone", "pattern: URL", "verbose"] {
+        for needle in [
+            "GFT column type",
+            "pattern: phone",
+            "pattern: URL",
+            "verbose",
+        ] {
             assert!(
                 s.by_reason.keys().any(|k| k.contains(needle)),
                 "no cells skipped by {needle}: {:?}",

@@ -36,10 +36,10 @@ pub fn run(fixture: &Fixture) -> Table1 {
     let tables = &fixture.benchmark.tables;
     let config = AnnotatorConfig::default();
 
-    let mut svm = fixture.svm_annotator(true, false);
+    let svm = fixture.svm_annotator(true, false);
     let svm_out = run_method(tables, |t| svm.annotate_table(&t.table).cells);
 
-    let mut bayes = fixture.bayes_annotator(true);
+    let bayes = fixture.bayes_annotator(true);
     let bayes_out = run_method(tables, |t| bayes.annotate_table(&t.table).cells);
 
     let tin_out = run_method(tables, |t| {
@@ -62,12 +62,7 @@ pub fn run(fixture: &Fixture) -> Table1 {
     assemble(&svm_out, &bayes_out, &tin_out, &tis_out)
 }
 
-fn assemble(
-    svm: &RunOutput,
-    bayes: &RunOutput,
-    tin: &RunOutput,
-    tis: &RunOutput,
-) -> Table1 {
+fn assemble(svm: &RunOutput, bayes: &RunOutput, tin: &RunOutput, tis: &RunOutput) -> Table1 {
     let rows: Vec<Table1Row> = EntityType::TARGETS
         .iter()
         .map(|&etype| Table1Row {
@@ -78,30 +73,34 @@ fn assemble(
             tis: tis.prf(etype),
         })
         .collect();
-    let averages = [TypeCategory::Poi, TypeCategory::People, TypeCategory::Cinema]
-        .into_iter()
-        .map(|cat| {
-            let of = |sel: fn(&Table1Row) -> Prf| {
-                Prf::mean(
-                    &rows
-                        .iter()
-                        .filter(|r| r.etype.category() == cat)
-                        .map(sel)
-                        .collect::<Vec<_>>(),
-                )
-            };
-            (
-                cat,
-                Table1Row {
-                    etype: EntityType::Restaurant, // placeholder, unused for averages
-                    svm: of(|r| r.svm),
-                    bayes: of(|r| r.bayes),
-                    tin: of(|r| r.tin),
-                    tis: of(|r| r.tis),
-                },
+    let averages = [
+        TypeCategory::Poi,
+        TypeCategory::People,
+        TypeCategory::Cinema,
+    ]
+    .into_iter()
+    .map(|cat| {
+        let of = |sel: fn(&Table1Row) -> Prf| {
+            Prf::mean(
+                &rows
+                    .iter()
+                    .filter(|r| r.etype.category() == cat)
+                    .map(sel)
+                    .collect::<Vec<_>>(),
             )
-        })
-        .collect();
+        };
+        (
+            cat,
+            Table1Row {
+                etype: EntityType::Restaurant, // placeholder, unused for averages
+                svm: of(|r| r.svm),
+                bayes: of(|r| r.bayes),
+                tin: of(|r| r.tin),
+                tis: of(|r| r.tis),
+            },
+        )
+    })
+    .collect();
     Table1 { rows, averages }
 }
 
@@ -133,11 +132,7 @@ pub fn render(t: &Table1) -> String {
     for row in &t.rows {
         let cat = row.etype.category();
         if last_cat.is_some() && last_cat != Some(cat) {
-            if let Some((_, avg)) = t
-                .averages
-                .iter()
-                .find(|(c, _)| Some(*c) == last_cat)
-            {
+            if let Some((_, avg)) = t.averages.iter().find(|(c, _)| Some(*c) == last_cat) {
                 push("AVERAGE".into(), avg, &mut tbl);
                 tbl.separator();
             }

@@ -30,13 +30,13 @@ pub struct Table3 {
 pub fn run(fixture: &Fixture) -> Table3 {
     let tables = &fixture.benchmark.tables;
 
-    let mut plain = fixture.svm_annotator(false, false);
+    let plain = fixture.svm_annotator(false, false);
     let plain_out = run_method(tables, |t| plain.annotate_table(&t.table).cells);
 
-    let mut post = fixture.svm_annotator(true, false);
+    let post = fixture.svm_annotator(true, false);
     let post_out = run_method(tables, |t| post.annotate_table(&t.table).cells);
 
-    let mut disambig = fixture.svm_annotator(true, true);
+    let disambig = fixture.svm_annotator(true, true);
     let disambig_out = run_method(tables, |t| disambig.annotate_table(&t.table).cells);
 
     let rows = EntityType::TARGETS
@@ -45,9 +45,7 @@ pub fn run(fixture: &Fixture) -> Table3 {
             etype,
             svm_only: plain_out.prf(etype).f1,
             svm_post: post_out.prf(etype).f1,
-            svm_post_disambig: etype
-                .has_spatial_info()
-                .then(|| disambig_out.prf(etype).f1),
+            svm_post_disambig: etype.has_spatial_info().then(|| disambig_out.prf(etype).f1),
         })
         .collect();
     Table3 { rows }

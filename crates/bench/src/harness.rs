@@ -128,8 +128,7 @@ impl Fixture {
 
     /// An annotator over the fixture's engine with the given classifier.
     pub fn annotator(&self, classifier: SnippetClassifier, config: AnnotatorConfig) -> Annotator {
-        Annotator::new(self.engine.clone(), classifier, config)
-            .with_geocoder(self.geocoder.clone())
+        Annotator::new(self.engine.clone(), classifier, config).with_geocoder(self.geocoder.clone())
     }
 
     /// The paper's main configuration: SVM + post-processing.
@@ -158,11 +157,7 @@ impl Fixture {
 
 /// The gold standard of a table as `(cell, type)` pairs.
 pub fn gold_pairs(table: &GoldTable) -> Vec<(CellId, EntityType)> {
-    table
-        .entries
-        .iter()
-        .map(|e| (e.cell, e.etype))
-        .collect()
+    table.entries.iter().map(|e| (e.cell, e.etype)).collect()
 }
 
 /// One method's outputs over a table set, ready for evaluation.
@@ -241,8 +236,8 @@ mod tests {
 
     #[test]
     fn run_output_math() {
-        use teda_kb::EntityId;
         use teda_corpus::gold::GoldEntry;
+        use teda_kb::EntityId;
         use teda_tabular::Table;
 
         let table = Table::builder(1)

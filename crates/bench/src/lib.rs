@@ -11,6 +11,7 @@
 //! | `exp_efficiency` | §6.4 — seconds/row, scaling, hybrid speed-up        |
 //! | `exp_coverage`   | §1  — 22% catalogue coverage statistic              |
 //! | `exp_fig7`       | Figure 7 — toponym disambiguation worked example    |
+//! | `exp_throughput` | batch engine — tables/sec, cache hits, par speedup  |
 //! | `run_all`        | everything, in order                                |
 //!
 //! All experiments share one seeded [`harness::Fixture`]: world → Web →

@@ -27,7 +27,11 @@ impl Dataset {
     /// Adds an example. Panics if the label is out of range — labels come
     /// from a fixed type set, so this is a programming error, not data.
     pub fn push(&mut self, x: SparseVector, y: usize) {
-        assert!(y < self.n_classes, "label {y} >= n_classes {}", self.n_classes);
+        assert!(
+            y < self.n_classes,
+            "label {y} >= n_classes {}",
+            self.n_classes
+        );
         self.x.push(x);
         self.y.push(y);
     }

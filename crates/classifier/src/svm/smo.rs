@@ -323,7 +323,11 @@ mod tests {
             },
         );
         for (x, y) in xs.iter().zip(&ys) {
-            assert_eq!(f64::from(svm.predict_sign(x)), *y, "xor point misclassified");
+            assert_eq!(
+                f64::from(svm.predict_sign(x)),
+                *y,
+                "xor point misclassified"
+            );
         }
     }
 

@@ -1,0 +1,173 @@
+//! In-workspace stand-in for `criterion`.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal timing harness behind the criterion API subset the benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark warms up briefly, then runs
+//! timed batches for ~300 ms and reports the median batch's ns/iteration.
+//! No statistics beyond that — this harness exists so `cargo bench`
+//! compiles and produces comparable numbers offline, not to replace
+//! criterion's analysis.
+
+use std::time::{Duration, Instant};
+
+/// An opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    group: Option<String>,
+}
+
+impl Criterion {
+    /// Upstream-compat no-op (CLI filtering is not implemented).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = match &self.group {
+            Some(g) => format!("{g}/{name}"),
+            None => name.to_owned(),
+        };
+        let mut b = Bencher::default();
+        f(&mut b);
+        match b.best_ns_per_iter {
+            Some(ns) if ns >= 1000.0 => println!("bench {label:<48} {:>12.3} µs/iter", ns / 1000.0),
+            Some(ns) => println!("bench {label:<48} {ns:>12.1} ns/iter"),
+            None => println!("bench {label:<48}      (no iterations)"),
+        }
+        self
+    }
+
+    /// Opens a named group; benchmarks in it are printed as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A benchmark group (prefix for labels).
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let prev = self.c.group.replace(self.name.clone());
+        self.c.bench_function(name, f);
+        self.c.group = prev;
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` times the workload.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    best_ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median batch's ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: find an iteration count that takes
+        // ≥ ~30 ms per batch (min 1), so timer resolution is irrelevant.
+        let mut n: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(30) || n >= 1 << 24 {
+                break;
+            }
+            n = if elapsed.is_zero() {
+                n * 16
+            } else {
+                // Aim at ~50 ms, growing at most 16× per step.
+                let target = Duration::from_millis(50).as_nanos() as f64;
+                let scale = (target / elapsed.as_nanos() as f64).clamp(2.0, 16.0);
+                ((n as f64 * scale) as u64).max(n + 1)
+            };
+        }
+        // Timed batches: five batches of n, report the median.
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..n {
+                    black_box(routine());
+                }
+                t0.elapsed().as_nanos() as f64 / n as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.best_ns_per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Mirrors criterion's `criterion_group!`: defines a function running each
+/// benchmark function against a shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors criterion's `criterion_main!`: a `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_a_timing() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

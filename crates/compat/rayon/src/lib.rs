@@ -1,0 +1,178 @@
+//! In-workspace stand-in for `rayon`.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the small slice of rayon's API the batch annotation engine uses:
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` (order-preserving) and
+//! [`current_num_threads`]. Parallelism is plain fork/join over
+//! `std::thread::scope` with one contiguous chunk per worker — no work
+//! stealing, which is fine for the coarse, similarly-sized tasks (one cell
+//! or one table each) this workspace fans out.
+//!
+//! Thread count honours the `RAYON_NUM_THREADS` environment variable, as
+//! upstream rayon does, falling back to the machine's available
+//! parallelism.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! Glob-import target mirroring `rayon::prelude`.
+    pub use crate::{FromParMap, IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Entry point: `.par_iter()` on slices and `Vec`s.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+
+    /// A parallel iterator borrowing the elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element through `f` in parallel; output order matches
+    /// input order exactly (rayon's indexed guarantee).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`], awaiting a `collect`.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map and collects the results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromParMap<R>,
+    {
+        C::from_ordered(par_map_ordered(self.items, &self.f))
+    }
+}
+
+/// Collection types `ParMap::collect` can build (only `Vec` is needed).
+pub trait FromParMap<R> {
+    fn from_ordered(items: Vec<R>) -> Self;
+}
+
+impl<R> FromParMap<R> for Vec<R> {
+    fn from_ordered(items: Vec<R>) -> Self {
+        items
+    }
+}
+
+/// Order-preserving parallel map: contiguous chunks, one scoped thread per
+/// worker, results stitched back in chunk order.
+fn par_map_ordered<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let workers = current_num_threads().min(items.len()).max(1);
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut out: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        out = handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-compat worker panicked"))
+            .collect();
+    });
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = Vec::new();
+        let out: Vec<u32> = none.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let xs: Vec<u32> = (0..256).collect();
+        let _: Vec<()> = xs
+            .par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        if super::current_num_threads() > 1 {
+            assert!(seen.lock().unwrap().len() > 1, "expected >1 worker thread");
+        }
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -4,12 +4,22 @@
 //! classifies each one, and "the type t_max such that s_t_max > s_t, for
 //! all t ∈ Γ, is selected as the type of the entity in T(i,j) provided
 //! that s_t_max > k/2". The annotation score is Eq. 1: `S_ij = s_t / k`.
+//!
+//! Cells are independent of each other, so the step comes in two shapes:
+//! [`annotate_cells`] (sequential) and [`annotate_cells_par`], which fans
+//! the candidate list out across threads against a *shared* classifier
+//! (inference is `&self` — the vocabulary is frozen) and a `Sync` engine.
+//! Both produce identical output for the same inputs: the per-cell
+//! computation is pure given the engine's response, and the parallel
+//! collect preserves candidate order.
 
 use std::collections::HashMap;
 
+use rayon::prelude::*;
+
 use teda_kb::EntityType;
 use teda_tabular::{CellId, Table};
-use teda_websim::SearchEngine;
+use teda_websim::{SearchEngine, SearchResult};
 
 use crate::config::AnnotatorConfig;
 use crate::model::SnippetClassifier;
@@ -28,6 +38,51 @@ pub struct CellAnnotation {
     pub votes: usize,
 }
 
+/// Builds the search query for one cell: the raw content, suffixed with
+/// the row's disambiguated city when spatial context is available
+/// (§5.2.2).
+pub fn build_cell_query(table: &Table, cell: CellId, spatial: Option<&SpatialContext>) -> String {
+    match spatial {
+        Some(ctx) => ctx.build_query(table, cell),
+        None => table.cell_at(cell).to_owned(),
+    }
+}
+
+/// Annotates one candidate cell: query → top-k snippets → vote.
+pub fn annotate_cell<E: SearchEngine + ?Sized>(
+    table: &Table,
+    cell: CellId,
+    engine: &E,
+    classifier: &SnippetClassifier,
+    spatial: Option<&SpatialContext>,
+    config: &AnnotatorConfig,
+) -> Option<CellAnnotation> {
+    let query = build_cell_query(table, cell, spatial);
+    if query.trim().is_empty() {
+        return None;
+    }
+    let results = engine.search(&query, config.top_k);
+    annotate_from_results(&results, cell, classifier, config)
+}
+
+/// Runs the voting rule over an already-retrieved result list (the batch
+/// engine calls this directly with memoized results, skipping the search).
+pub fn annotate_from_results(
+    results: &[SearchResult],
+    cell: CellId,
+    classifier: &SnippetClassifier,
+    config: &AnnotatorConfig,
+) -> Option<CellAnnotation> {
+    if results.is_empty() {
+        return None;
+    }
+    if config.use_clustering {
+        vote_clustered(results, cell, classifier, config)
+    } else {
+        vote_plain(results, cell, classifier, config)
+    }
+}
+
 /// Annotates the candidate cells of `table`.
 ///
 /// `spatial` augments queries with row cities when provided (§5.2.2).
@@ -36,38 +91,42 @@ pub fn annotate_cells<E: SearchEngine + ?Sized>(
     table: &Table,
     candidates: &[CellId],
     engine: &E,
-    classifier: &mut SnippetClassifier,
+    classifier: &SnippetClassifier,
     spatial: Option<&SpatialContext>,
     config: &AnnotatorConfig,
 ) -> Vec<CellAnnotation> {
-    let mut out = Vec::new();
-    for &cell in candidates {
-        let query = match spatial {
-            Some(ctx) => ctx.build_query(table, cell),
-            None => table.cell_at(cell).to_owned(),
-        };
-        if query.trim().is_empty() {
-            continue;
-        }
-        let results = engine.search(&query, config.top_k);
-        if results.is_empty() {
-            continue;
-        }
-        let annotation = if config.use_clustering {
-            vote_clustered(&results, cell, classifier, config)
-        } else {
-            vote_plain(&results, cell, classifier, config)
-        };
-        out.extend(annotation);
-    }
-    out
+    candidates
+        .iter()
+        .filter_map(|&cell| annotate_cell(table, cell, engine, classifier, spatial, config))
+        .collect()
+}
+
+/// Parallel [`annotate_cells`]: candidate cells are annotated across
+/// threads against the shared classifier and engine.
+///
+/// Output is bit-identical to the sequential path: each cell's annotation
+/// depends only on its own query's results, and the collect preserves
+/// candidate order.
+pub fn annotate_cells_par<E: SearchEngine + Sync + ?Sized>(
+    table: &Table,
+    candidates: &[CellId],
+    engine: &E,
+    classifier: &SnippetClassifier,
+    spatial: Option<&SpatialContext>,
+    config: &AnnotatorConfig,
+) -> Vec<CellAnnotation> {
+    let per_cell: Vec<Option<CellAnnotation>> = candidates
+        .par_iter()
+        .map(|&cell| annotate_cell(table, cell, engine, classifier, spatial, config))
+        .collect();
+    per_cell.into_iter().flatten().collect()
 }
 
 /// The §5.2.1 majority rule: `t_max` wins when `s_t_max > k/2`.
 fn vote_plain(
-    results: &[teda_websim::SearchResult],
+    results: &[SearchResult],
     cell: CellId,
-    classifier: &mut SnippetClassifier,
+    classifier: &SnippetClassifier,
     config: &AnnotatorConfig,
 ) -> Option<CellAnnotation> {
     let mut votes: HashMap<EntityType, usize> = HashMap::new();
@@ -95,21 +154,24 @@ fn vote_plain(
 /// snippets, classify each, and annotate from the best single-sense
 /// cluster — a relaxed threshold applies because an ambiguous name's
 /// senses split the result list.
+///
+/// Each snippet is featurized exactly once: the vector feeds both the
+/// clustering distance computation and the classifier's decision rule.
 fn vote_clustered(
-    results: &[teda_websim::SearchResult],
+    results: &[SearchResult],
     cell: CellId,
-    classifier: &mut SnippetClassifier,
+    classifier: &SnippetClassifier,
     config: &AnnotatorConfig,
 ) -> Option<CellAnnotation> {
     let vectors: Vec<teda_text::SparseVector> = results
         .iter()
         .map(|r| classifier.vectorize(&r.snippet))
         .collect();
-    let types: Vec<Option<EntityType>> = results
+    let types: Vec<Option<EntityType>> = vectors
         .iter()
-        .map(|r| {
+        .map(|x| {
             classifier
-                .classify(&r.snippet)
+                .classify_vector(x)
                 .filter(|t| config.targets.contains(t))
         })
         .collect();
@@ -236,10 +298,10 @@ mod tests {
                 ),
             ],
         };
-        let mut clf = classifier();
+        let clf = classifier();
         let t = table();
         let candidates: Vec<CellId> = t.cell_ids().collect();
-        let anns = annotate_cells(&t, &candidates, &engine, &mut clf, None, &config());
+        let anns = annotate_cells(&t, &candidates, &engine, &clf, None, &config());
         assert_eq!(anns.len(), 2);
         assert_eq!(anns[0].etype, EntityType::Restaurant);
         assert_eq!(anns[0].votes, 7);
@@ -268,16 +330,9 @@ mod tests {
                 ],
             )],
         };
-        let mut clf = classifier();
+        let clf = classifier();
         let t = table();
-        let anns = annotate_cells(
-            &t,
-            &[CellId::new(0, 0)],
-            &engine,
-            &mut clf,
-            None,
-            &config(),
-        );
+        let anns = annotate_cells(&t, &[CellId::new(0, 0)], &engine, &clf, None, &config());
         assert!(anns.is_empty(), "5/10 must not annotate: {anns:?}");
     }
 
@@ -305,30 +360,16 @@ mod tests {
         };
         let t = table();
         let plain_cfg = config();
-        let mut clf = classifier();
-        let plain = annotate_cells(
-            &t,
-            &[CellId::new(0, 0)],
-            &engine,
-            &mut clf,
-            None,
-            &plain_cfg,
-        );
+        let clf = classifier();
+        let plain = annotate_cells(&t, &[CellId::new(0, 0)], &engine, &clf, None, &plain_cfg);
         assert!(plain.is_empty(), "plain rule must abstain on 5/10");
 
         let cluster_cfg = AnnotatorConfig {
             use_clustering: true,
             ..config()
         };
-        let mut clf = classifier();
-        let clustered = annotate_cells(
-            &t,
-            &[CellId::new(0, 0)],
-            &engine,
-            &mut clf,
-            None,
-            &cluster_cfg,
-        );
+        let clf = classifier();
+        let clustered = annotate_cells(&t, &[CellId::new(0, 0)], &engine, &clf, None, &cluster_cfg);
         assert_eq!(clustered.len(), 1, "clustered rule recovers the sense");
         assert_eq!(clustered[0].etype, EntityType::Restaurant);
         assert_eq!(clustered[0].votes, 5);
@@ -337,16 +378,9 @@ mod tests {
     #[test]
     fn no_results_abstains() {
         let engine = Scripted { rules: vec![] };
-        let mut clf = classifier();
+        let clf = classifier();
         let t = table();
-        let anns = annotate_cells(
-            &t,
-            &[CellId::new(2, 0)],
-            &engine,
-            &mut clf,
-            None,
-            &config(),
-        );
+        let anns = annotate_cells(&t, &[CellId::new(2, 0)], &engine, &clf, None, &config());
         assert!(anns.is_empty());
     }
 
@@ -370,13 +404,13 @@ mod tests {
                 ],
             )],
         };
-        let mut clf = classifier();
+        let clf = classifier();
         let t = table();
         let cfg = AnnotatorConfig {
             targets: vec![EntityType::Restaurant],
             ..config()
         };
-        let anns = annotate_cells(&t, &[CellId::new(1, 0)], &engine, &mut clf, None, &cfg);
+        let anns = annotate_cells(&t, &[CellId::new(1, 0)], &engine, &clf, None, &cfg);
         assert!(anns.is_empty(), "museum votes are outside Γ");
     }
 }

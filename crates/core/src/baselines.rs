@@ -130,7 +130,11 @@ mod tests {
         let anns = tin_annotate(
             &t,
             &candidates,
-            &[EntityType::Museum, EntityType::School, EntityType::Restaurant],
+            &[
+                EntityType::Museum,
+                EntityType::School,
+                EntityType::Restaurant,
+            ],
         );
         assert_eq!(anns.len(), 2);
         assert_eq!(anns[0].etype, EntityType::Museum);

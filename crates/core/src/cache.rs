@@ -1,0 +1,506 @@
+//! Query memoization for the batch annotation engine.
+//!
+//! "Querying a Web search engine is a costly operation" (§5) — the
+//! paper's pre-processing step exists to cut query volume, and real
+//! tables amplify the concern: duplicate cell contents (repeated category
+//! words, shared names across tables of a corpus) would re-issue the same
+//! query over and over. [`QueryCache`] memoizes `(query, k) → results`
+//! behind a sharded lock so concurrent annotation workers share one
+//! result set per distinct query.
+//!
+//! Misses are *single-flight per key*: the first worker to miss a
+//! `(query, k)` installs an in-flight marker, releases the shard lock,
+//! and searches; workers racing on the *same* key block on that flight
+//! (not on the shard), while workers on *different* keys of the same
+//! shard proceed immediately. One search per distinct key, identical
+//! results for every caller, and the engine's query counter (the
+//! paper's daily-allowance concern) stays deterministic — without
+//! serializing unrelated queries behind a slow engine call. Shard count
+//! remains a perf knob for the map-access critical sections, which are
+//! now all short.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use teda_websim::{SearchEngine, SearchResult};
+
+/// Hit/miss accounting of a [`QueryCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache (searches saved).
+    pub hits: u64,
+    /// Queries that went to the engine.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One memo slot: a finished result, or a search currently in flight.
+#[derive(Debug, Clone)]
+enum Slot {
+    Ready(Arc<[SearchResult]>),
+    Pending(Arc<Flight>),
+}
+
+/// Rendezvous for workers waiting on another worker's in-flight search.
+#[derive(Debug)]
+struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+#[derive(Debug, Clone)]
+enum FlightState {
+    Searching,
+    Done(Arc<[SearchResult]>),
+    /// The searching worker unwound (engine panic); waiters retry.
+    Abandoned,
+}
+
+impl Flight {
+    fn new() -> Arc<Self> {
+        Arc::new(Flight {
+            state: Mutex::new(FlightState::Searching),
+            done: Condvar::new(),
+        })
+    }
+
+    fn finish(&self, state: FlightState) {
+        *self.state.lock().expect("flight state poisoned") = state;
+        self.done.notify_all();
+    }
+
+    /// Blocks until the flight resolves; `None` means abandoned (retry).
+    fn wait(&self) -> Option<Arc<[SearchResult]>> {
+        let mut state = self.state.lock().expect("flight state poisoned");
+        loop {
+            match &*state {
+                FlightState::Searching => {
+                    state = self.done.wait(state).expect("flight state poisoned");
+                }
+                FlightState::Done(results) => return Some(Arc::clone(results)),
+                FlightState::Abandoned => return None,
+            }
+        }
+    }
+}
+
+/// One shard: query text → per-k slots.
+///
+/// Keyed by the query string alone so a hit needs no key allocation;
+/// `k` rarely takes more than one value per run, so the inner list is a
+/// linear scan over one or two entries.
+type Shard = HashMap<String, Vec<(usize, Slot)>>;
+
+/// A sharded, thread-safe memo of search-engine responses.
+#[derive(Debug)]
+pub struct QueryCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for QueryCache {
+    fn default() -> Self {
+        QueryCache::new(64)
+    }
+}
+
+impl QueryCache {
+    /// Creates a cache with `shards` lock shards (rounded up to 1).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1);
+        QueryCache {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Stable FNV-1a shard selection (independent of the process's hash
+    /// seed, so shard assignment — and therefore lock interleaving — is
+    /// reproducible across runs).
+    fn shard_of(&self, query: &str) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in query.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % self.shards.len() as u64) as usize
+    }
+
+    /// Returns the memoized results for `(query, k)`, consulting `engine`
+    /// exactly once per distinct key across all threads: racing callers
+    /// of the same key wait for the first caller's flight; distinct keys
+    /// never wait on each other's engine calls.
+    pub fn get_or_search<E: SearchEngine + ?Sized>(
+        &self,
+        engine: &E,
+        query: &str,
+        k: usize,
+    ) -> Arc<[SearchResult]> {
+        loop {
+            let flight = {
+                let shard = &self.shards[self.shard_of(query)];
+                let mut map = shard.lock().expect("query cache shard poisoned");
+                match map
+                    .get(query)
+                    .and_then(|entries| entries.iter().find(|(ek, _)| *ek == k))
+                {
+                    Some((_, Slot::Ready(results))) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Arc::clone(results);
+                    }
+                    Some((_, Slot::Pending(flight))) => Arc::clone(flight),
+                    None => {
+                        // First caller: install the flight, then search
+                        // outside the shard lock.
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        let flight = Flight::new();
+                        map.entry(query.to_owned())
+                            .or_default()
+                            .push((k, Slot::Pending(Arc::clone(&flight))));
+                        drop(map);
+                        return self.search_as_leader(engine, query, k, &flight);
+                    }
+                }
+            };
+            // Follower: wait for the leader's result (a hit — the memo
+            // saved this engine call). `None` means the leader unwound;
+            // loop and race to become the new leader.
+            if let Some(results) = flight.wait() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return results;
+            }
+        }
+    }
+
+    /// Runs the engine call for an installed flight and publishes the
+    /// outcome; if the engine panics, the flight is abandoned and its
+    /// slot removed so followers can retry instead of hanging.
+    fn search_as_leader<E: SearchEngine + ?Sized>(
+        &self,
+        engine: &E,
+        query: &str,
+        k: usize,
+        flight: &Arc<Flight>,
+    ) -> Arc<[SearchResult]> {
+        struct Abort<'a> {
+            cache: &'a QueryCache,
+            flight: &'a Arc<Flight>,
+            query: &'a str,
+            k: usize,
+            armed: bool,
+        }
+        impl Drop for Abort<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    self.cache
+                        .resolve_slot(self.query, self.k, self.flight, None);
+                }
+            }
+        }
+        let mut guard = Abort {
+            cache: self,
+            flight,
+            query,
+            k,
+            armed: true,
+        };
+        let results: Arc<[SearchResult]> = engine.search(query, k).into();
+        guard.armed = false;
+        self.resolve_slot(query, k, flight, Some(Arc::clone(&results)));
+        results
+    }
+
+    /// Publishes a flight's outcome: `Some` marks the slot ready,
+    /// `None` (abandon) removes it. Only touches the slot if it still
+    /// holds this very flight (a concurrent `clear` may have dropped it).
+    fn resolve_slot(
+        &self,
+        query: &str,
+        k: usize,
+        flight: &Arc<Flight>,
+        results: Option<Arc<[SearchResult]>>,
+    ) {
+        let shard = &self.shards[self.shard_of(query)];
+        let mut map = shard.lock().expect("query cache shard poisoned");
+        if let Some(entries) = map.get_mut(query) {
+            if let Some(pos) = entries.iter().position(|(ek, slot)| {
+                *ek == k && matches!(slot, Slot::Pending(f) if Arc::ptr_eq(f, flight))
+            }) {
+                match &results {
+                    Some(r) => entries[pos].1 = Slot::Ready(Arc::clone(r)),
+                    None => {
+                        entries.remove(pos);
+                        if entries.is_empty() {
+                            map.remove(query);
+                        }
+                    }
+                }
+            }
+        }
+        drop(map);
+        flight.finish(match results {
+            Some(r) => FlightState::Done(r),
+            None => FlightState::Abandoned,
+        });
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of memoized `(query, k)` entries (in-flight searches not
+    /// yet counted).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("query cache shard poisoned")
+                    .values()
+                    .flatten()
+                    .filter(|(_, slot)| matches!(slot, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Whether nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries and zeroes the counters.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("query cache shard poisoned").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A [`SearchEngine`] that answers through a [`QueryCache`] — drop-in
+/// memoization for code that talks to the trait (the single-table
+/// [`Annotator`](crate::pipeline::Annotator) path, baselines, hybrid).
+///
+/// The batch engine bypasses this adapter and calls
+/// [`QueryCache::get_or_search`] directly to avoid cloning result lists;
+/// this wrapper clones on every call to satisfy the trait's owned return.
+pub struct CachedEngine {
+    inner: Arc<dyn SearchEngine + Send + Sync>,
+    cache: Arc<QueryCache>,
+}
+
+impl CachedEngine {
+    /// Wraps `inner` with `cache`.
+    pub fn new(inner: Arc<dyn SearchEngine + Send + Sync>, cache: Arc<QueryCache>) -> Self {
+        CachedEngine { inner, cache }
+    }
+
+    /// The shared cache.
+    pub fn cache(&self) -> &QueryCache {
+        &self.cache
+    }
+}
+
+impl SearchEngine for CachedEngine {
+    fn search(&self, query: &str, k: usize) -> Vec<SearchResult> {
+        self.cache
+            .get_or_search(self.inner.as_ref(), query, k)
+            .to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Engine that counts calls and answers `k` canned results.
+    struct Counting(AtomicUsize);
+
+    impl SearchEngine for Counting {
+        fn search(&self, query: &str, k: usize) -> Vec<SearchResult> {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            (0..k)
+                .map(|i| SearchResult {
+                    url: format!("http://c/{query}/{i}"),
+                    title: format!("t{i}"),
+                    snippet: format!("{query} snippet {i}"),
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let cache = QueryCache::new(8);
+        let engine = Counting(AtomicUsize::new(0));
+        let a = cache.get_or_search(&engine, "melisse", 10);
+        let b = cache.get_or_search(&engine, "melisse", 10);
+        let c = cache.get_or_search(&engine, "louvre", 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(engine.0.load(Ordering::Relaxed), 2, "one search per key");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 2 });
+        assert!((cache.stats().hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn distinct_k_is_a_distinct_key() {
+        let cache = QueryCache::default();
+        let engine = Counting(AtomicUsize::new(0));
+        let ten = cache.get_or_search(&engine, "melisse", 10);
+        let three = cache.get_or_search(&engine, "melisse", 3);
+        assert_eq!(ten.len(), 10);
+        assert_eq!(three.len(), 3);
+        assert_eq!(cache.stats().misses, 2);
+        // both stay independently cached
+        assert_eq!(cache.get_or_search(&engine, "melisse", 10).len(), 10);
+        assert_eq!(cache.get_or_search(&engine, "melisse", 3).len(), 3);
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = QueryCache::new(4);
+        let engine = Counting(AtomicUsize::new(0));
+        cache.get_or_search(&engine, "a", 5);
+        cache.get_or_search(&engine, "a", 5);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+        cache.get_or_search(&engine, "a", 5);
+        assert_eq!(
+            engine.0.load(Ordering::Relaxed),
+            2,
+            "re-searched after clear"
+        );
+    }
+
+    #[test]
+    fn concurrent_duplicate_queries_search_once() {
+        let cache = Arc::new(QueryCache::new(16));
+        let engine = Arc::new(Counting(AtomicUsize::new(0)));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let engine = Arc::clone(&engine);
+                s.spawn(move || {
+                    for q in ["melisse", "louvre", "bayona"] {
+                        let r = cache.get_or_search(engine.as_ref(), q, 10);
+                        assert_eq!(r.len(), 10);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            engine.0.load(Ordering::Relaxed),
+            3,
+            "single flight per distinct query"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 21);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_serialize_behind_a_slow_search() {
+        use std::time::{Duration, Instant};
+
+        /// Engine whose every search takes a fixed wall-clock time.
+        struct Slow;
+        impl SearchEngine for Slow {
+            fn search(&self, query: &str, k: usize) -> Vec<SearchResult> {
+                std::thread::sleep(Duration::from_millis(120));
+                (0..k)
+                    .map(|i| SearchResult {
+                        url: format!("http://s/{query}/{i}"),
+                        title: "t".into(),
+                        snippet: "s".into(),
+                    })
+                    .collect()
+            }
+        }
+
+        // One shard: both keys *must* share it. Misses still overlap
+        // because the engine call runs outside the shard lock.
+        let cache = Arc::new(QueryCache::new(1));
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for q in ["alpha", "beta"] {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    assert_eq!(cache.get_or_search(&Slow, q, 2).len(), 2);
+                });
+            }
+        });
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(220),
+            "two distinct slow searches serialized: {elapsed:?}"
+        );
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn abandoned_flight_lets_the_next_caller_retry() {
+        /// Engine that panics on its first call only.
+        struct PanicsOnce(AtomicUsize);
+        impl SearchEngine for PanicsOnce {
+            fn search(&self, query: &str, k: usize) -> Vec<SearchResult> {
+                if self.0.fetch_add(1, Ordering::Relaxed) == 0 {
+                    panic!("engine exploded");
+                }
+                (0..k)
+                    .map(|i| SearchResult {
+                        url: format!("http://p/{query}/{i}"),
+                        title: "t".into(),
+                        snippet: "s".into(),
+                    })
+                    .collect()
+            }
+        }
+
+        let cache = QueryCache::new(4);
+        let engine = PanicsOnce(AtomicUsize::new(0));
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_search(&engine, "boom", 3)
+        }));
+        assert!(unwound.is_err(), "first call must propagate the panic");
+        // The abandoned flight's slot was removed — the retry searches
+        // again instead of hanging on a dead Pending marker.
+        assert_eq!(cache.get_or_search(&engine, "boom", 3).len(), 3);
+        assert_eq!(cache.stats().misses, 2, "both attempts were misses");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cached_engine_is_a_drop_in_search_engine() {
+        let cache = Arc::new(QueryCache::default());
+        let engine = CachedEngine::new(Arc::new(Counting(AtomicUsize::new(0))), Arc::clone(&cache));
+        let a = engine.search("melisse", 4);
+        let b = engine.search("melisse", 4);
+        assert_eq!(a, b);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+}

@@ -22,7 +22,9 @@ pub fn catalogue_annotate(
     let mut out = Vec::new();
     for &cell in candidates {
         let content = table.cell_at(cell);
-        let hits = catalogue.lookup(content);
+        // Normalize once per cell; already-clean content allocates nothing.
+        let normalized = teda_text::similarity::normalize_name_cow(content);
+        let hits = catalogue.lookup_normalized(normalized.as_ref());
         if hits.is_empty() {
             continue;
         }
@@ -84,7 +86,11 @@ mod tests {
             &t,
             &candidates,
             &catalogue(),
-            &[EntityType::Restaurant, EntityType::Museum, EntityType::Hotel],
+            &[
+                EntityType::Restaurant,
+                EntityType::Museum,
+                EntityType::Hotel,
+            ],
         );
         assert_eq!(anns.len(), 2);
         assert_eq!(anns[0].etype, EntityType::Restaurant);

@@ -91,9 +91,7 @@ pub fn cluster_snippets(vectors: &[SparseVector], config: ClusterConfig) -> Vec<
         let mut best: Option<(usize, f64)> = None;
         for (ci, c) in clusters.iter().enumerate() {
             let sim = cosine(&c.centroid(), v);
-            if sim >= config.similarity_threshold
-                && best.is_none_or(|(_, b)| sim > b)
-            {
+            if sim >= config.similarity_threshold && best.is_none_or(|(_, b)| sim > b) {
                 best = Some((ci, sim));
             }
         }
@@ -127,9 +125,7 @@ pub fn best_cluster_vote(
             if votes * 2 <= c.members.len() {
                 continue;
             }
-            if best.is_none_or(|(bt, bv)| {
-                votes > bv || (votes == bv && t < bt)
-            }) {
+            if best.is_none_or(|(bt, bv)| votes > bv || (votes == bv && t < bt)) {
                 best = Some((t, votes));
             }
         }

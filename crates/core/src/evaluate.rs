@@ -101,7 +101,14 @@ mod tests {
         ];
         let pred = vec![ann(0, 0, EntityType::Museum), ann(1, 0, EntityType::Museum)];
         let c = count_type(&gold, &pred, EntityType::Museum);
-        assert_eq!(c, TypeCounts { tp: 2, fp: 0, fn_: 0 });
+        assert_eq!(
+            c,
+            TypeCounts {
+                tp: 2,
+                fp: 0,
+                fn_: 0
+            }
+        );
         let prf = c.prf();
         assert_eq!(prf.precision, 1.0);
         assert_eq!(prf.recall, 1.0);
@@ -114,9 +121,23 @@ mod tests {
         let gold = vec![(CellId::new(0, 0), EntityType::Museum)];
         let pred = vec![ann(0, 0, EntityType::Restaurant)];
         let m = count_type(&gold, &pred, EntityType::Museum);
-        assert_eq!(m, TypeCounts { tp: 0, fp: 0, fn_: 1 });
+        assert_eq!(
+            m,
+            TypeCounts {
+                tp: 0,
+                fp: 0,
+                fn_: 1
+            }
+        );
         let r = count_type(&gold, &pred, EntityType::Restaurant);
-        assert_eq!(r, TypeCounts { tp: 0, fp: 1, fn_: 0 });
+        assert_eq!(
+            r,
+            TypeCounts {
+                tp: 0,
+                fp: 1,
+                fn_: 0
+            }
+        );
     }
 
     #[test]
@@ -127,7 +148,14 @@ mod tests {
             ann(5, 1, EntityType::Museum), // spurious
         ];
         let c = count_type(&gold, &pred, EntityType::Museum);
-        assert_eq!(c, TypeCounts { tp: 1, fp: 1, fn_: 0 });
+        assert_eq!(
+            c,
+            TypeCounts {
+                tp: 1,
+                fp: 1,
+                fn_: 0
+            }
+        );
         let prf = c.prf();
         assert!((prf.precision - 0.5).abs() < 1e-12);
         assert_eq!(prf.recall, 1.0);

@@ -18,7 +18,6 @@ use crate::catalogue_annotator::catalogue_annotate;
 use crate::pipeline::{Annotator, TableAnnotations};
 use crate::postprocess::eliminate_spurious;
 use crate::preprocess::preprocess;
-use crate::query::build_spatial_context;
 
 /// Cost accounting for a hybrid run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -32,13 +31,11 @@ pub struct HybridStats {
 /// Annotates `table` with the catalogue-first strategy, using the
 /// annotator's engine only for cells the catalogue cannot resolve.
 pub fn annotate_hybrid(
-    annotator: &mut Annotator,
+    annotator: &Annotator,
     table: &Table,
     catalogue: &Catalogue,
 ) -> (TableAnnotations, HybridStats) {
-    let table: Cow<'_, Table> = if table
-        .column_types().contains(&ColumnType::Unknown)
-    {
+    let table: Cow<'_, Table> = if table.column_types().contains(&ColumnType::Unknown) {
         let mut owned = table.clone();
         infer_column_types(&mut owned);
         Cow::Owned(owned)
@@ -61,19 +58,13 @@ pub fn annotate_hybrid(
         .copied()
         .filter(|c| !known_cells.contains(c))
         .collect();
-    let spatial = if config.use_disambiguation {
-        annotator
-            .geocoder
-            .as_ref()
-            .map(|g| build_spatial_context(table, g, &config))
-    } else {
-        None
-    };
+    let spatial =
+        crate::pipeline::spatial_context_for(table, annotator.geocoder.as_deref(), &config);
     let mut annotations = annotate_cells(
         table,
         &remaining,
         annotator.engine.as_ref(),
-        &mut annotator.classifier,
+        &annotator.classifier,
         spatial.as_ref(),
         &config,
     );
@@ -149,7 +140,7 @@ mod tests {
     #[test]
     fn catalogue_hits_skip_the_engine() {
         let engine = Arc::new(Counting(std::sync::atomic::AtomicUsize::new(0)));
-        let mut annotator = Annotator::new(
+        let annotator = Annotator::new(
             engine.clone(),
             classifier(),
             AnnotatorConfig {
@@ -168,7 +159,7 @@ mod tests {
             .build()
             .unwrap();
 
-        let (result, stats) = annotate_hybrid(&mut annotator, &table, &catalogue);
+        let (result, stats) = annotate_hybrid(&annotator, &table, &catalogue);
         assert_eq!(stats.catalogue_hits, 1);
         assert_eq!(stats.web_cells, 1);
         assert_eq!(
@@ -187,7 +178,7 @@ mod tests {
     #[test]
     fn empty_catalogue_degenerates_to_pure_web() {
         let engine = Arc::new(Counting(std::sync::atomic::AtomicUsize::new(0)));
-        let mut annotator = Annotator::new(
+        let annotator = Annotator::new(
             engine.clone(),
             classifier(),
             AnnotatorConfig {
@@ -200,7 +191,7 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        let (_, stats) = annotate_hybrid(&mut annotator, &table, &Catalogue::default());
+        let (_, stats) = annotate_hybrid(&annotator, &table, &Catalogue::default());
         assert_eq!(stats.catalogue_hits, 0);
         assert_eq!(stats.web_cells, 1);
     }

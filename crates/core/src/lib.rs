@@ -28,6 +28,7 @@
 
 pub mod annotate;
 pub mod baselines;
+pub mod cache;
 pub mod catalogue_annotator;
 pub mod cluster;
 pub mod config;
@@ -41,8 +42,9 @@ pub mod query;
 pub mod report;
 pub mod trainer;
 
-pub use annotate::CellAnnotation;
+pub use annotate::{annotate_cells, annotate_cells_par, CellAnnotation};
+pub use cache::{CacheStats, CachedEngine, QueryCache};
 pub use config::AnnotatorConfig;
 pub use evaluate::evaluate_type;
 pub use model::{SnippetClassifier, TypeLabels};
-pub use pipeline::{Annotator, TableAnnotations};
+pub use pipeline::{Annotator, BatchAnnotator, TableAnnotations};

@@ -131,12 +131,24 @@ impl SnippetClassifier {
     /// comparable) and therefore always commits, which is the mechanism
     /// behind its poor Table 1 precision despite excellent Table 2 test
     /// accuracy.
-    pub fn classify(&mut self, snippet: &str) -> Option<EntityType> {
+    ///
+    /// Takes `&self`: the vocabulary is frozen at inference time, so one
+    /// classifier can serve many threads concurrently (the batch
+    /// annotation engine shares a single instance across its workers).
+    pub fn classify(&self, snippet: &str) -> Option<EntityType> {
         let x = self.extractor.transform(snippet);
+        self.classify_vector(&x)
+    }
+
+    /// Classifies an already-featurized snippet (same decision rule as
+    /// [`classify`](Self::classify)). Lets callers that need both the
+    /// vector and the label — e.g. the clustered voting mode — featurize
+    /// exactly once.
+    pub fn classify_vector(&self, x: &teda_text::SparseVector) -> Option<EntityType> {
         if x.is_empty() {
             return None;
         }
-        let scores = self.model.scores(&x);
+        let scores = self.model.scores(x);
         let (best, best_score) = scores
             .iter()
             .copied()
@@ -152,7 +164,7 @@ impl SnippetClassifier {
     /// Extracts the feature vector of a snippet against the frozen
     /// training vocabulary (used by the clustering annotation mode to
     /// measure snippet similarity in the same space the model sees).
-    pub fn vectorize(&mut self, snippet: &str) -> teda_text::SparseVector {
+    pub fn vectorize(&self, snippet: &str) -> teda_text::SparseVector {
         self.extractor.transform(snippet)
     }
 
@@ -198,7 +210,7 @@ mod tests {
         }
         let nb = NaiveBayes::train(&data, NaiveBayesConfig::default());
         let labels = TypeLabels::with_other(vec![EntityType::Restaurant]);
-        let mut clf = SnippetClassifier::new(fx, AnyModel::Bayes(nb), labels);
+        let clf = SnippetClassifier::new(fx, AnyModel::Bayes(nb), labels);
         assert_eq!(
             clf.classify("menu cuisine tonight"),
             Some(EntityType::Restaurant)

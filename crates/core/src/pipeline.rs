@@ -1,20 +1,42 @@
 //! The end-to-end annotator (Figure 5): pre-processing → annotation →
-//! post-processing.
+//! post-processing — and the batch engine that runs it at corpus scale.
+//!
+//! Two drivers share the same pipeline steps:
+//!
+//! * [`Annotator`] — one table at a time, querying the engine directly;
+//!   the faithful single-table reproduction of the paper.
+//! * [`BatchAnnotator`] — a corpus at a time: fans tables (or the cells
+//!   of one table) out across threads, and memoizes `(query, k)` through
+//!   a sharded [`QueryCache`] so duplicate cell contents — pervasive in
+//!   real table corpora — are searched and classified once.
+//!
+//! Determinism is a hard invariant: for the same inputs the parallel
+//! paths produce bit-identical annotations to the sequential ones. Cells
+//! are independent, inference is `&self` over a frozen vocabulary, the
+//! cache is single-flight, and every parallel collect preserves input
+//! order.
+//!
+//! Perf knobs: worker count (`RAYON_NUM_THREADS`), cache shard count
+//! ([`BatchAnnotator::with_cache_shards`]), snippets per query
+//! (`AnnotatorConfig::top_k`).
 
 use std::borrow::Cow;
 use std::sync::Arc;
+
+use rayon::prelude::*;
 
 use teda_geo::SimGeocoder;
 use teda_kb::EntityType;
 use teda_tabular::{infer::infer_column_types, CellId, ColumnType, Table};
 use teda_websim::SearchEngine;
 
-use crate::annotate::{annotate_cells, CellAnnotation};
+use crate::annotate::{annotate_cells, annotate_from_results, build_cell_query, CellAnnotation};
+use crate::cache::{CacheStats, QueryCache};
 use crate::config::AnnotatorConfig;
 use crate::model::SnippetClassifier;
 use crate::postprocess::eliminate_spurious;
 use crate::preprocess::preprocess;
-use crate::query::build_spatial_context;
+use crate::query::{build_spatial_context, SpatialContext};
 
 /// One annotated row: the paper's final output shape ("identifies the rows
 /// that contain information on entities of a specific type … and
@@ -32,7 +54,7 @@ pub struct RowAnnotation {
 }
 
 /// The full annotation result for one table.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TableAnnotations {
     /// Per-cell annotations (after post-processing, when enabled).
     pub cells: Vec<CellAnnotation>,
@@ -104,49 +126,27 @@ impl Annotator {
     }
 
     /// Annotates one table end-to-end.
-    pub fn annotate_table(&mut self, table: &Table) -> TableAnnotations {
-        // Untyped Web tables get their columns inferred first (§6.3 set).
-        let table: Cow<'_, Table> = if table
-            .column_types().contains(&ColumnType::Unknown)
-        {
-            let mut owned = table.clone();
-            infer_column_types(&mut owned);
-            Cow::Owned(owned)
-        } else {
-            Cow::Borrowed(table)
-        };
+    ///
+    /// `&self`: inference is read-only, so one annotator can serve
+    /// several tables concurrently (though [`BatchAnnotator`] is the
+    /// purpose-built driver for that).
+    pub fn annotate_table(&self, table: &Table) -> TableAnnotations {
+        let table = prepared_table(table);
         let table = table.as_ref();
 
         let pre = preprocess(table, &self.config);
-
-        let spatial = if self.config.use_disambiguation {
-            self.geocoder
-                .as_ref()
-                .map(|g| build_spatial_context(table, g, &self.config))
-        } else {
-            None
-        };
+        let spatial = spatial_context_for(table, self.geocoder.as_deref(), &self.config);
 
         let annotations = annotate_cells(
             table,
             &pre.candidates,
             self.engine.as_ref(),
-            &mut self.classifier,
+            &self.classifier,
             spatial.as_ref(),
             &self.config,
         );
 
-        let cells = if self.config.use_postprocessing {
-            eliminate_spurious(table, annotations)
-        } else {
-            annotations
-        };
-
-        TableAnnotations {
-            cells,
-            skipped_cells: pre.skipped.len(),
-            queried_cells: pre.candidates.len(),
-        }
+        finish_table(table, annotations, &pre, &self.config)
     }
 
     /// Splits the annotator back into its parts (used by the hybrid
@@ -160,7 +160,208 @@ impl Annotator {
     ) {
         (self.engine, self.classifier, self.config)
     }
+
+    /// Upgrades this annotator into a [`BatchAnnotator`] with a fresh
+    /// query cache, preserving engine, classifier, geocoder and config.
+    pub fn into_batch(self) -> BatchAnnotator {
+        let mut batch = BatchAnnotator::new(self.engine, self.classifier, self.config);
+        batch.geocoder = self.geocoder;
+        batch
+    }
 }
+
+/// Column inference for untyped Web tables (§6.3 set), shared by every
+/// pipeline driver.
+fn prepared_table(table: &Table) -> Cow<'_, Table> {
+    if table.column_types().contains(&ColumnType::Unknown) {
+        let mut owned = table.clone();
+        infer_column_types(&mut owned);
+        Cow::Owned(owned)
+    } else {
+        Cow::Borrowed(table)
+    }
+}
+
+/// Spatial-context construction (§5.2.2), shared by every pipeline
+/// driver: only built when disambiguation is on and a geocoder is
+/// attached.
+pub(crate) fn spatial_context_for(
+    table: &Table,
+    geocoder: Option<&SimGeocoder>,
+    config: &AnnotatorConfig,
+) -> Option<SpatialContext> {
+    if config.use_disambiguation {
+        geocoder.map(|g| build_spatial_context(table, g, config))
+    } else {
+        None
+    }
+}
+
+/// The pipeline tail shared by every driver: §5.3 post-processing (when
+/// enabled) and the result accounting.
+fn finish_table(
+    table: &Table,
+    annotations: Vec<CellAnnotation>,
+    pre: &crate::preprocess::Preprocessed,
+    config: &AnnotatorConfig,
+) -> TableAnnotations {
+    let cells = if config.use_postprocessing {
+        eliminate_spurious(table, annotations)
+    } else {
+        annotations
+    };
+    TableAnnotations {
+        cells,
+        skipped_cells: pre.skipped.len(),
+        queried_cells: pre.candidates.len(),
+    }
+}
+
+/// The corpus-scale annotation engine: parallel fan-out plus query
+/// memoization.
+///
+/// Shape of the fan-out:
+///
+/// * [`annotate_corpus_par`](Self::annotate_corpus_par) — one task per
+///   table (cells within a table stay sequential); the right choice for
+///   many-table workloads, and what the throughput experiment measures.
+/// * [`annotate_table_par`](Self::annotate_table_par) — one task per
+///   cell; the right choice for a single very wide/long table.
+///
+/// Nesting the two is deliberately avoided: the thread pool is sized to
+/// the machine, and tables are already coarse enough to saturate it.
+///
+/// All paths — sequential or parallel, cached hit or miss — produce
+/// bit-identical [`CellAnnotation`]s for the same inputs and seed.
+pub struct BatchAnnotator {
+    engine: Arc<dyn SearchEngine + Send + Sync>,
+    classifier: SnippetClassifier,
+    geocoder: Option<Arc<SimGeocoder>>,
+    config: AnnotatorConfig,
+    cache: QueryCache,
+}
+
+impl BatchAnnotator {
+    /// Creates a batch annotator with the default cache sharding.
+    pub fn new(
+        engine: Arc<dyn SearchEngine + Send + Sync>,
+        classifier: SnippetClassifier,
+        config: AnnotatorConfig,
+    ) -> Self {
+        BatchAnnotator {
+            engine,
+            classifier,
+            geocoder: None,
+            config,
+            cache: QueryCache::default(),
+        }
+    }
+
+    /// Attaches a geocoder, enabling `use_disambiguation`.
+    pub fn with_geocoder(mut self, geocoder: Arc<SimGeocoder>) -> Self {
+        self.geocoder = Some(geocoder);
+        self
+    }
+
+    /// Replaces the cache with one of `shards` shards (perf knob: more
+    /// shards, less lock contention between workers).
+    pub fn with_cache_shards(mut self, shards: usize) -> Self {
+        self.cache = QueryCache::new(shards);
+        self
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &AnnotatorConfig {
+        &self.config
+    }
+
+    /// Mutable configuration access.
+    pub fn config_mut(&mut self) -> &mut AnnotatorConfig {
+        &mut self.config
+    }
+
+    /// The query cache (hit/miss accounting, clearing between runs).
+    pub fn cache(&self) -> &QueryCache {
+        &self.cache
+    }
+
+    /// Cache accounting so far — `hits` is the number of search queries
+    /// the memo saved.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Annotates one cell through the cache.
+    fn annotate_cell_cached(
+        &self,
+        table: &Table,
+        cell: CellId,
+        spatial: Option<&SpatialContext>,
+    ) -> Option<CellAnnotation> {
+        let query = build_cell_query(table, cell, spatial);
+        if query.trim().is_empty() {
+            return None;
+        }
+        let results = self
+            .cache
+            .get_or_search(self.engine.as_ref(), &query, self.config.top_k);
+        annotate_from_results(&results, cell, &self.classifier, &self.config)
+    }
+
+    /// The shared per-table pipeline; `parallel_cells` picks the cell
+    /// fan-out.
+    fn annotate_table_inner(&self, table: &Table, parallel_cells: bool) -> TableAnnotations {
+        let table = prepared_table(table);
+        let table = table.as_ref();
+
+        let pre = preprocess(table, &self.config);
+        let spatial = spatial_context_for(table, self.geocoder.as_deref(), &self.config);
+
+        let annotations: Vec<CellAnnotation> = if parallel_cells {
+            let per_cell: Vec<Option<CellAnnotation>> = pre
+                .candidates
+                .par_iter()
+                .map(|&cell| self.annotate_cell_cached(table, cell, spatial.as_ref()))
+                .collect();
+            per_cell.into_iter().flatten().collect()
+        } else {
+            pre.candidates
+                .iter()
+                .filter_map(|&cell| self.annotate_cell_cached(table, cell, spatial.as_ref()))
+                .collect()
+        };
+
+        finish_table(table, annotations, &pre, &self.config)
+    }
+
+    /// Annotates one table, cells sequential, queries memoized.
+    pub fn annotate_table(&self, table: &Table) -> TableAnnotations {
+        self.annotate_table_inner(table, false)
+    }
+
+    /// Annotates one table with the cells fanned out across threads.
+    pub fn annotate_table_par(&self, table: &Table) -> TableAnnotations {
+        self.annotate_table_inner(table, true)
+    }
+
+    /// Annotates a corpus sequentially (the memo still deduplicates
+    /// queries across tables). Results are in table order.
+    pub fn annotate_corpus(&self, tables: &[Table]) -> Vec<TableAnnotations> {
+        tables.iter().map(|t| self.annotate_table(t)).collect()
+    }
+
+    /// Annotates a corpus with one worker task per table. Results are in
+    /// table order and bit-identical to [`annotate_corpus`](Self::annotate_corpus).
+    pub fn annotate_corpus_par(&self, tables: &[Table]) -> Vec<TableAnnotations> {
+        tables.par_iter().map(|t| self.annotate_table(t)).collect()
+    }
+}
+
+// Compile-time proof the batch engine is shareable across worker threads.
+const _: fn() = || {
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<BatchAnnotator>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -237,7 +438,7 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        let mut a = annotator(true);
+        let a = annotator(true);
         let result = a.annotate_table(&t);
         assert_eq!(result.cells.len(), 2);
         assert!(result
@@ -265,12 +466,12 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        let mut raw = annotator(false);
+        let raw = annotator(false);
         let without = raw.annotate_table(&t);
         let museum_hits = without.of_type(EntityType::Museum).count();
         assert_eq!(museum_hits, 2, "repeated Museum cells get misannotated");
 
-        let mut post = annotator(true);
+        let post = annotator(true);
         let with = post.annotate_table(&t);
         // Restaurant annotations in column 0 survive; the Museum-typed
         // annotations survive too (their own column argmax), but the point
@@ -289,7 +490,7 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        let mut a = annotator(true);
+        let a = annotator(true);
         let result = a.annotate_table(&t);
         // numeric column inferred → skipped; names annotated
         assert_eq!(result.queried_cells, 2);
@@ -299,7 +500,7 @@ mod tests {
     #[test]
     fn empty_table_yields_empty_result() {
         let t = Table::builder(2).build().unwrap();
-        let mut a = annotator(true);
+        let a = annotator(true);
         let r = a.annotate_table(&t);
         assert!(r.cells.is_empty());
         assert_eq!(r.queried_cells, 0);

@@ -99,7 +99,12 @@ mod tests {
     /// "Museum" in column 1.
     fn fig8_table() -> Table {
         let mut b = Table::builder(2);
-        for name in ["Aurora Gallery", "Vesper Collection", "Stone Museum", "Onyx Gallery"] {
+        for name in [
+            "Aurora Gallery",
+            "Vesper Collection",
+            "Stone Museum",
+            "Onyx Gallery",
+        ] {
             b.push_row(vec![name, "Museum"]).unwrap();
         }
         b.build().unwrap()

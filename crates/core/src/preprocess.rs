@@ -183,7 +183,9 @@ mod tests {
     #[test]
     fn long_values_are_ruled_out() {
         let t = Table::builder(1)
-            .row(vec!["a verbose description with clearly more than ten different words in this cell"])
+            .row(vec![
+                "a verbose description with clearly more than ten different words in this cell",
+            ])
             .unwrap()
             .row(vec!["Short Name"])
             .unwrap()
@@ -221,10 +223,7 @@ mod tests {
             .unwrap();
         let p = preprocess(&t, &config());
         assert_eq!(p.candidates, vec![CellId::new(0, 0)]);
-        assert_eq!(
-            p.skipped[0].1,
-            SkipReason::Pattern(ValueKind::Coordinates)
-        );
+        assert_eq!(p.skipped[0].1, SkipReason::Pattern(ValueKind::Coordinates));
     }
 
     #[test]

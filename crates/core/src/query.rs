@@ -146,7 +146,10 @@ mod tests {
         // unambiguous "Washington" mention in another row's city cell.
         let t = Table::builder(2)
             .column_type(1, ColumnType::Location)
-            .row(vec!["White House Grill", "1600 Pennsylvania Avenue, Washington"])
+            .row(vec![
+                "White House Grill",
+                "1600 Pennsylvania Avenue, Washington",
+            ])
             .unwrap()
             .row(vec!["Harbour Cafe", "Clarksville Street, TX"])
             .unwrap()

@@ -82,11 +82,7 @@ pub struct TrainingCorpus {
 
 /// The §5.2.1 positive-entity selection: category traversal from ρ plus
 /// the category-name filtering heuristic.
-pub fn positive_entities(
-    net: &CategoryNetwork,
-    world: &World,
-    etype: EntityType,
-) -> Vec<EntityId> {
+pub fn positive_entities(net: &CategoryNetwork, world: &World, etype: EntityType) -> Vec<EntityId> {
     let Some(root) = net.root_for(etype) else {
         return Vec::new();
     };
@@ -141,9 +137,7 @@ pub fn auto_select_root(net: &CategoryNetwork, etype: EntityType) -> Option<Cate
         }
         let better = match best {
             None => true,
-            Some((_, breach, blen)) => {
-                reach > breach || (reach == breach && name.len() < blen)
-            }
+            Some((_, breach, blen)) => reach > breach || (reach == breach && name.len() < blen),
         };
         if better {
             best = Some((cat, reach, name.len()));
@@ -172,10 +166,10 @@ pub fn harvest<E: SearchEngine + ?Sized>(
     let mut entities_per_class: Vec<usize> = vec![0; labels.n_classes()];
 
     let collect = |snippets: &mut Vec<(String, usize)>,
-                       rng: &mut rand::rngs::StdRng,
-                       ids: &[EntityId],
-                       class: usize,
-                       phrase: &str| {
+                   rng: &mut rand::rngs::StdRng,
+                   ids: &[EntityId],
+                   class: usize,
+                   phrase: &str| {
         let mut ids = ids.to_vec();
         ids.shuffle(rng);
         if let Some(cap) = config.max_entities_per_type {
@@ -449,11 +443,7 @@ mod tests {
         for (name, model) in [("nb", nb.model()), ("svm", svm.model())] {
             let prfs = test_prf(&corpus, model);
             for (etype, prf) in prfs {
-                assert!(
-                    prf.f1 > 0.6,
-                    "{name} {etype}: test F {:.2} too low",
-                    prf.f1
-                );
+                assert!(prf.f1 > 0.6, "{name} {etype}: test F {:.2} too low", prf.f1);
             }
         }
     }

@@ -61,7 +61,9 @@ fn column_type_from(s: &str) -> Result<ColumnType, ExportError> {
         "Location" => Ok(ColumnType::Location),
         "Date" => Ok(ColumnType::Date),
         "Unknown" => Ok(ColumnType::Unknown),
-        other => Err(ExportError::Malformed(format!("unknown column type {other:?}"))),
+        other => Err(ExportError::Malformed(format!(
+            "unknown column type {other:?}"
+        ))),
     }
 }
 
@@ -136,7 +138,9 @@ pub fn from_csv(table_csv: &str, gold_csv: &str, name: &str) -> Result<GoldTable
         .column_types(types)
         .map_err(|e| ExportError::Csv(e.into()))?;
     for r in records {
-        builder.push_row(r).map_err(|e| ExportError::Csv(e.into()))?;
+        builder
+            .push_row(r)
+            .map_err(|e| ExportError::Csv(e.into()))?;
     }
     let table = builder.build().map_err(|e| ExportError::Csv(e.into()))?;
 
@@ -154,9 +158,9 @@ pub fn from_csv(table_csv: &str, gold_csv: &str, name: &str) -> Result<GoldTable
             cell: CellId::new(parse_usize(row, "row")?, parse_usize(col, "col")?),
             etype: type_from_token(etype)?,
             entity: EntityId(
-                entity
-                    .parse::<u32>()
-                    .map_err(|_| ExportError::Malformed(format!("gold record {idx}: bad entity")))?,
+                entity.parse::<u32>().map_err(|_| {
+                    ExportError::Malformed(format!("gold record {idx}: bad entity"))
+                })?,
             ),
         });
     }
@@ -173,7 +177,14 @@ mod tests {
     fn sample() -> GoldTable {
         let world = World::generate(WorldSpec::tiny(), 42);
         let mut rng = rng_from_seed(1);
-        poi_table(&world, EntityType::Restaurant, 8, 0, "export_test", &mut rng)
+        poi_table(
+            &world,
+            EntityType::Restaurant,
+            8,
+            0,
+            "export_test",
+            &mut rng,
+        )
     }
 
     #[test]
@@ -207,10 +218,10 @@ mod tests {
         let gold = sample();
         let t_csv = table_to_csv(&gold);
         for bad in [
-            "row,col,type,entity\n0,0,restaurant\n",          // width
-            "row,col,type,entity\nx,0,restaurant,5\n",        // row
-            "row,col,type,entity\n0,0,starship,5\n",          // type
-            "row,col,type,entity\n0,0,restaurant,notanum\n",  // entity
+            "row,col,type,entity\n0,0,restaurant\n",         // width
+            "row,col,type,entity\nx,0,restaurant,5\n",       // row
+            "row,col,type,entity\n0,0,starship,5\n",         // type
+            "row,col,type,entity\n0,0,restaurant,notanum\n", // entity
         ] {
             assert!(from_csv(&t_csv, bad, "x").is_err(), "{bad:?} accepted");
         }

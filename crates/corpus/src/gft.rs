@@ -17,7 +17,12 @@ use crate::gold::{GoldEntry, GoldTable};
 /// Samples `n` entities of `etype`, cycling (reshuffled) when the world
 /// holds fewer than `n` — the paper counts *references*, and real tables
 /// repeat popular entities across tables.
-pub fn sample_entities(world: &World, etype: EntityType, n: usize, rng: &mut StdRng) -> Vec<EntityId> {
+pub fn sample_entities(
+    world: &World,
+    etype: EntityType,
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<EntityId> {
     let pool = world.entities_of(etype);
     assert!(!pool.is_empty(), "world has no {etype}");
     let mut out = Vec::with_capacity(n);
@@ -152,9 +157,9 @@ pub fn poi_table(
                 address_or_default(world, id),
                 city_or_default(world, id),
                 phone_or_default(world, id),
-                e.rating.map(|r| format!("{r:.1}")).unwrap_or_else(|| {
-                    format!("{:.1}", rng.gen_range(20..50) as f32 / 10.0)
-                }),
+                e.rating
+                    .map(|r| format!("{r:.1}"))
+                    .unwrap_or_else(|| format!("{:.1}", rng.gen_range(20..50) as f32 / 10.0)),
             ],
             1 => vec![
                 e.name.clone(),
@@ -262,11 +267,7 @@ pub fn cinema_table(
             // Director names are fresh people, unknown to the world — the
             // annotator should leave them unannotated (abstention path).
             let director = teda_kb::names::generate_name(rng, EntityType::Scientist, false);
-            vec![
-                e.name.clone(),
-                e.year.unwrap_or(2000).to_string(),
-                director,
-            ]
+            vec![e.name.clone(), e.year.unwrap_or(2000).to_string(), director]
         } else {
             let season = rng.gen_range(1..24u32);
             let aired = format!(
@@ -394,7 +395,11 @@ pub fn category_column_table(
         .name(name)
         .headers(vec!["Name", "Category", "City"])
         .unwrap()
-        .column_types(vec![ColumnType::Text, ColumnType::Text, ColumnType::Location])
+        .column_types(vec![
+            ColumnType::Text,
+            ColumnType::Text,
+            ColumnType::Location,
+        ])
         .unwrap();
     let mut entries = Vec::with_capacity(ids.len());
     for (i, &id) in ids.iter().enumerate() {
@@ -431,7 +436,11 @@ pub fn distractor_table(
         .name(name)
         .headers(vec!["Name", "Location", "Details"])
         .unwrap()
-        .column_types(vec![ColumnType::Text, ColumnType::Location, ColumnType::Text])
+        .column_types(vec![
+            ColumnType::Text,
+            ColumnType::Location,
+            ColumnType::Text,
+        ])
         .unwrap();
     for &id in &ids {
         let e = world.entity(id);

@@ -102,11 +102,7 @@ pub fn wiki_table(
 
 /// Fraction of gold mentions across `tables` whose entity is catalogued —
 /// the §6.3 "known entities" statistic.
-pub fn known_mention_fraction(
-    tables: &[GoldTable],
-    world: &World,
-    catalogue: &Catalogue,
-) -> f64 {
+pub fn known_mention_fraction(tables: &[GoldTable], world: &World, catalogue: &Catalogue) -> f64 {
     let mut known = 0usize;
     let mut total = 0usize;
     for t in tables {

@@ -38,20 +38,43 @@ impl ParsedAddress {
 }
 
 const STREET_MARKERS: [&str; 20] = [
-    "street", "st", "avenue", "ave", "road", "rd", "boulevard", "blvd", "lane", "ln", "drive",
-    "dr", "way", "court", "ct", "place", "pl", "highway", "hwy", "square",
+    "street",
+    "st",
+    "avenue",
+    "ave",
+    "road",
+    "rd",
+    "boulevard",
+    "blvd",
+    "lane",
+    "ln",
+    "drive",
+    "dr",
+    "way",
+    "court",
+    "ct",
+    "place",
+    "pl",
+    "highway",
+    "hwy",
+    "square",
 ];
 
 fn looks_like_street(segment: &str) -> bool {
     segment
         .split_whitespace()
-        .map(|t| t.trim_matches(|c: char| c.is_ascii_punctuation()).to_lowercase())
+        .map(|t| {
+            t.trim_matches(|c: char| c.is_ascii_punctuation())
+                .to_lowercase()
+        })
         .any(|t| STREET_MARKERS.contains(&t.as_str()))
 }
 
 fn looks_like_zip(tok: &str) -> bool {
     let digits: Vec<&str> = tok.split('-').collect();
-    digits.iter().all(|d| !d.is_empty() && d.chars().all(|c| c.is_ascii_digit()))
+    digits
+        .iter()
+        .all(|d| !d.is_empty() && d.chars().all(|c| c.is_ascii_digit()))
         && (4..=6).contains(&digits[0].len())
 }
 
@@ -59,10 +82,12 @@ fn looks_like_state(tok: &str) -> bool {
     // Two-to-four uppercase letters ("MD", "D.C." stripped of dots), or a
     // known long-form region is accepted via the city fallback anyway.
     let stripped: String = tok.chars().filter(|c| c.is_ascii_alphabetic()).collect();
-    !stripped.is_empty() && stripped.len() <= 4 && tok
-        .chars()
-        .filter(|c| c.is_ascii_alphabetic())
-        .all(|c| c.is_ascii_uppercase())
+    !stripped.is_empty()
+        && stripped.len() <= 4
+        && tok
+            .chars()
+            .filter(|c| c.is_ascii_alphabetic())
+            .all(|c| c.is_ascii_uppercase())
 }
 
 /// Parses `raw` into components. Never fails; unrecognized inputs yield a

@@ -251,7 +251,10 @@ mod tests {
             (CellId::new(11, 0), streets("Pennsylvania Avenue")),
             (
                 CellId::new(11, 1),
-                vec![find_city("Washington", "D.C."), find_city("Washington", "GA")],
+                vec![
+                    find_city("Washington", "D.C."),
+                    find_city("Washington", "GA"),
+                ],
             ),
             (CellId::new(12, 0), streets("Wofford Lane")),
             (
@@ -281,7 +284,11 @@ mod tests {
         assert!(res.converged, "figure 7 graph must converge");
 
         let full = |cell: CellId| g.full_name(res.interpretation(cell).unwrap());
-        assert!(full(CellId::new(11, 0)).contains("D.C."), "{}", full(CellId::new(11, 0)));
+        assert!(
+            full(CellId::new(11, 0)).contains("D.C."),
+            "{}",
+            full(CellId::new(11, 0))
+        );
         assert!(full(CellId::new(11, 1)).contains("D.C."));
         assert!(full(CellId::new(12, 0)).contains("College Park, MD"));
         assert!(full(CellId::new(12, 1)).contains("MD"));
@@ -367,7 +374,10 @@ mod tests {
         let cells = vec![
             (
                 CellId::new(0, 0),
-                vec![find_city("Washington", "D.C."), find_city("Washington", "GA")],
+                vec![
+                    find_city("Washington", "D.C."),
+                    find_city("Washington", "GA"),
+                ],
             ),
             (
                 CellId::new(1, 0),

@@ -57,7 +57,10 @@ impl Gazetteer {
 
     /// Adds a state inside `country`.
     pub fn add_state(&mut self, name: &str, country: LocationId) -> LocationId {
-        debug_assert_eq!(self.locations[country.0 as usize].kind, LocationKind::Country);
+        debug_assert_eq!(
+            self.locations[country.0 as usize].kind,
+            LocationKind::Country
+        );
         self.add(name, LocationKind::State, Some(country))
     }
 
@@ -283,7 +286,10 @@ mod tests {
         let g = Gazetteer::figure7();
         let washington: Vec<LocationId> = g.lookup_kind("Washington", LocationKind::City);
         let names: Vec<String> = washington.iter().map(|&id| g.full_name(id)).collect();
-        assert!(names.contains(&"Washington, D.C., USA".to_owned()), "{names:?}");
+        assert!(
+            names.contains(&"Washington, D.C., USA".to_owned()),
+            "{names:?}"
+        );
         assert!(names.contains(&"Washington, GA, USA".to_owned()));
     }
 

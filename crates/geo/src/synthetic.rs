@@ -46,11 +46,10 @@ impl Default for GazetteerSpec {
 }
 
 const CITY_STEMS: [&str; 40] = [
-    "Spring", "Clar", "Green", "Fair", "Mill", "River", "Oak", "George", "Frank", "Madi",
-    "Jack", "Harri", "Lex", "Bright", "Ash", "Wood", "Stone", "Maple", "Cedar", "Hill",
-    "Lake", "North", "West", "East", "Glen", "Brook", "Kings", "Queens", "Salem", "Dover",
-    "Milan", "Paris", "Troy", "Rome", "Vernon", "Marion", "Newport", "Auburn", "Camden",
-    "Bristol",
+    "Spring", "Clar", "Green", "Fair", "Mill", "River", "Oak", "George", "Frank", "Madi", "Jack",
+    "Harri", "Lex", "Bright", "Ash", "Wood", "Stone", "Maple", "Cedar", "Hill", "Lake", "North",
+    "West", "East", "Glen", "Brook", "Kings", "Queens", "Salem", "Dover", "Milan", "Paris", "Troy",
+    "Rome", "Vernon", "Marion", "Newport", "Auburn", "Camden", "Bristol",
 ];
 
 const CITY_SUFFIXES: [&str; 10] = [
@@ -58,16 +57,37 @@ const CITY_SUFFIXES: [&str; 10] = [
 ];
 
 const STREET_NAMES: [&str; 24] = [
-    "Main", "Oak", "Pine", "Maple", "Cedar", "Elm", "Washington", "Lake", "Hill", "Park",
-    "Church", "Mill", "Spring", "River", "Franklin", "Highland", "Union", "Center", "Prospect",
-    "Pennsylvania", "Jefferson", "Madison", "Walnut", "Chestnut",
+    "Main",
+    "Oak",
+    "Pine",
+    "Maple",
+    "Cedar",
+    "Elm",
+    "Washington",
+    "Lake",
+    "Hill",
+    "Park",
+    "Church",
+    "Mill",
+    "Spring",
+    "River",
+    "Franklin",
+    "Highland",
+    "Union",
+    "Center",
+    "Prospect",
+    "Pennsylvania",
+    "Jefferson",
+    "Madison",
+    "Walnut",
+    "Chestnut",
 ];
 
 const STREET_SUFFIXES: [&str; 6] = ["Street", "Avenue", "Road", "Boulevard", "Lane", "Drive"];
 
 const STATE_CODES: [&str; 24] = [
-    "AL", "AR", "CA", "CO", "FL", "GA", "IL", "KS", "KY", "LA", "MD", "MI", "MN", "MO", "NC",
-    "NY", "OH", "OK", "OR", "PA", "TN", "TX", "VA", "WA",
+    "AL", "AR", "CA", "CO", "FL", "GA", "IL", "KS", "KY", "LA", "MD", "MI", "MN", "MO", "NC", "NY",
+    "OH", "OK", "OR", "PA", "TN", "TX", "VA", "WA",
 ];
 
 const COUNTRY_NAMES: [&str; 6] = ["USA", "France", "Italy", "Germany", "Spain", "Australia"];
@@ -82,7 +102,10 @@ fn city_name_pool(rng: &mut StdRng, size: usize) -> Vec<String> {
         let name = if rng.gen_bool(0.25) {
             stem.to_owned()
         } else {
-            format!("{stem}{}", CITY_SUFFIXES[rng.gen_range(0..CITY_SUFFIXES.len())])
+            format!(
+                "{stem}{}",
+                CITY_SUFFIXES[rng.gen_range(0..CITY_SUFFIXES.len())]
+            )
         };
         if seen.insert(name.clone()) {
             pool.push(name);
@@ -271,10 +294,7 @@ mod tests {
             parsed.street_name.as_deref(),
             Some(g.location(street).name.as_str())
         );
-        assert_eq!(
-            parsed.city.as_deref(),
-            Some(g.location(city).name.as_str())
-        );
+        assert_eq!(parsed.city.as_deref(), Some(g.location(city).name.as_str()));
     }
 
     #[test]

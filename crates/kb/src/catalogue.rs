@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use rand::seq::SliceRandom;
 
 use teda_simkit::{derive_seed, rng_from_seed};
-use teda_text::similarity::normalize_name;
+use teda_text::similarity::{normalize_name, normalize_name_cow};
 
 use crate::entity::EntityId;
 use crate::types::EntityType;
@@ -56,10 +56,19 @@ impl Catalogue {
     }
 
     /// Looks up a name (normalized); returns all known entities bearing it.
+    ///
+    /// Already-normalized names take a zero-allocation path; callers that
+    /// look the same cell content up repeatedly should normalize once and
+    /// use [`lookup_normalized`](Self::lookup_normalized).
     pub fn lookup(&self, name: &str) -> &[(EntityId, EntityType)] {
-        self.entries
-            .get(&normalize_name(name))
-            .map_or(&[], Vec::as_slice)
+        self.lookup_normalized(normalize_name_cow(name).as_ref())
+    }
+
+    /// Looks up a pre-normalized name (as produced by
+    /// [`normalize_name`](teda_text::similarity::normalize_name)) without
+    /// re-normalizing — the annotators' hot path.
+    pub fn lookup_normalized(&self, normalized: &str) -> &[(EntityId, EntityType)] {
+        self.entries.get(normalized).map_or(&[], Vec::as_slice)
     }
 
     /// Whether any entity with this name is catalogued.
@@ -112,7 +121,11 @@ mod tests {
     fn coverage_is_respected() {
         let w = World::generate(WorldSpec::tiny(), 42);
         let cat = Catalogue::sample(&w, 0.22, 42);
-        for t in [EntityType::Restaurant, EntityType::Museum, EntityType::Actor] {
+        for t in [
+            EntityType::Restaurant,
+            EntityType::Museum,
+            EntityType::Actor,
+        ] {
             let cov = cat.coverage_of(&w, t);
             assert!(
                 (cov - 0.22).abs() < 0.08,
@@ -158,6 +171,21 @@ mod tests {
         cat.insert("Melisse", EntityId(1), EntityType::JazzLabel);
         assert_eq!(cat.unambiguous_type("melisse"), None);
         assert_eq!(cat.unambiguous_type("unknown"), None);
+    }
+
+    #[test]
+    fn normalized_lookup_is_equivalent() {
+        let mut cat = Catalogue::default();
+        cat.insert("Musée du  Louvre", EntityId(0), EntityType::Museum);
+        assert_eq!(cat.lookup("musée du louvre").len(), 1);
+        assert_eq!(cat.lookup_normalized("musée du louvre").len(), 1);
+        assert!(
+            cat.lookup_normalized("Musée du  Louvre").is_empty(),
+            "lookup_normalized must not normalize"
+        );
+        // the allocation-free path answers already-normal ASCII names
+        cat.insert("Melisse", EntityId(1), EntityType::Restaurant);
+        assert_eq!(cat.lookup("melisse"), cat.lookup_normalized("melisse"));
     }
 
     #[test]

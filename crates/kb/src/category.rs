@@ -342,10 +342,7 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for i in 0..a.len() as u32 {
             assert_eq!(a.name(CategoryId(i)), b.name(CategoryId(i)));
-            assert_eq!(
-                a.entities_in(CategoryId(i)),
-                b.entities_in(CategoryId(i))
-            );
+            assert_eq!(a.entities_in(CategoryId(i)), b.entities_in(CategoryId(i)));
         }
     }
 }

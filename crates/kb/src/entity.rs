@@ -44,9 +44,7 @@ impl Entity {
     /// `gazetteer` resolves the street name.
     pub fn street_address(&self, gazetteer: &teda_geo::Gazetteer) -> Option<String> {
         match (self.street, self.street_number) {
-            (Some(street), Some(n)) => {
-                Some(format!("{} {}", n, gazetteer.location(street).name))
-            }
+            (Some(street), Some(n)) => Some(format!("{} {}", n, gazetteer.location(street).name)),
             _ => None,
         }
     }

@@ -18,30 +18,103 @@ use rand::Rng;
 use crate::types::EntityType;
 
 const FIRST_NAMES: [&str; 32] = [
-    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
-    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
-    "Sarah", "Charles", "Karen", "Marie", "Pierre", "Sofia", "Luca", "Elena", "Hans", "Ingrid",
-    "Akira", "Yuki", "Carlos", "Lucia", "Omar",
+    "James",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "John",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Charles",
+    "Karen",
+    "Marie",
+    "Pierre",
+    "Sofia",
+    "Luca",
+    "Elena",
+    "Hans",
+    "Ingrid",
+    "Akira",
+    "Yuki",
+    "Carlos",
+    "Lucia",
+    "Omar",
 ];
 
 const LAST_NAMES: [&str; 32] = [
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
-    "Moore", "Martin", "Lee", "Dubois", "Rossi", "Ferrari", "Schmidt", "Keller", "Tanaka",
-    "Sato", "Silva", "Santos", "Novak", "Petrov", "Haddad",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Martin",
+    "Lee",
+    "Dubois",
+    "Rossi",
+    "Ferrari",
+    "Schmidt",
+    "Keller",
+    "Tanaka",
+    "Sato",
+    "Silva",
+    "Santos",
+    "Novak",
+    "Petrov",
+    "Haddad",
 ];
 
 const FANCY_WORDS: [&str; 28] = [
-    "Melisse", "Aurora", "Verona", "Lumiere", "Saffron", "Juniper", "Marlowe", "Basil",
-    "Cascade", "Ember", "Solstice", "Meridian", "Harbor", "Willow", "Crimson", "Atlas",
-    "Zephyr", "Orchid", "Larkspur", "Onyx", "Celadon", "Tamarind", "Vesper", "Quill",
-    "Sable", "Fable", "Isola", "Mirabel",
+    "Melisse", "Aurora", "Verona", "Lumiere", "Saffron", "Juniper", "Marlowe", "Basil", "Cascade",
+    "Ember", "Solstice", "Meridian", "Harbor", "Willow", "Crimson", "Atlas", "Zephyr", "Orchid",
+    "Larkspur", "Onyx", "Celadon", "Tamarind", "Vesper", "Quill", "Sable", "Fable", "Isola",
+    "Mirabel",
 ];
 
 const PLACE_WORDS: [&str; 20] = [
-    "Riverside", "Hillcrest", "Lakeside", "Northgate", "Westwood", "Eastbrook", "Southport",
-    "Oakdale", "Maplewood", "Stonebridge", "Fairview", "Glenwood", "Brookfield", "Kingsway",
-    "Harborview", "Pinehurst", "Cedarvale", "Elmwood", "Ashford", "Granite",
+    "Riverside",
+    "Hillcrest",
+    "Lakeside",
+    "Northgate",
+    "Westwood",
+    "Eastbrook",
+    "Southport",
+    "Oakdale",
+    "Maplewood",
+    "Stonebridge",
+    "Fairview",
+    "Glenwood",
+    "Brookfield",
+    "Kingsway",
+    "Harborview",
+    "Pinehurst",
+    "Cedarvale",
+    "Elmwood",
+    "Ashford",
+    "Granite",
 ];
 
 const NOUNS: [&str; 24] = [
@@ -51,9 +124,26 @@ const NOUNS: [&str; 24] = [
 ];
 
 const ADJECTIVES: [&str; 20] = [
-    "Silent", "Golden", "Hidden", "Broken", "Endless", "Scarlet", "Midnight", "Forgotten",
-    "Electric", "Savage", "Gentle", "Distant", "Burning", "Frozen", "Wandering", "Secret",
-    "Final", "Lost", "Rising", "Silver",
+    "Silent",
+    "Golden",
+    "Hidden",
+    "Broken",
+    "Endless",
+    "Scarlet",
+    "Midnight",
+    "Forgotten",
+    "Electric",
+    "Savage",
+    "Gentle",
+    "Distant",
+    "Burning",
+    "Frozen",
+    "Wandering",
+    "Secret",
+    "Final",
+    "Lost",
+    "Rising",
+    "Silver",
 ];
 
 fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {

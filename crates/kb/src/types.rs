@@ -114,9 +114,7 @@ impl EntityType {
     pub fn category(self) -> TypeCategory {
         use EntityType::*;
         match self {
-            Restaurant | Museum | Theatre | Hotel | School | University | Mine => {
-                TypeCategory::Poi
-            }
+            Restaurant | Museum | Theatre | Hotel | School | University | Mine => TypeCategory::Poi,
             Actor | Singer | Scientist => TypeCategory::People,
             Film | SimpsonsEpisode => TypeCategory::Cinema,
             Temple | JazzLabel | Park | Company => TypeCategory::Distractor,
@@ -249,68 +247,196 @@ impl EntityType {
         use EntityType::*;
         match self {
             Restaurant => &[
-                "menu", "cuisine", "chef", "dining", "dishes", "reservations", "tasting",
-                "wine", "dinner", "culinary",
+                "menu",
+                "cuisine",
+                "chef",
+                "dining",
+                "dishes",
+                "reservations",
+                "tasting",
+                "wine",
+                "dinner",
+                "culinary",
             ],
             Museum => &[
-                "exhibition", "collection", "gallery", "exhibits", "artifacts", "curated",
-                "paintings", "heritage", "admission", "galleries",
+                "exhibition",
+                "collection",
+                "gallery",
+                "exhibits",
+                "artifacts",
+                "curated",
+                "paintings",
+                "heritage",
+                "admission",
+                "galleries",
             ],
             Theatre => &[
-                "stage", "performance", "plays", "tickets", "drama", "audience", "premiere",
-                "playhouse", "ballet", "opera",
+                "stage",
+                "performance",
+                "plays",
+                "tickets",
+                "drama",
+                "audience",
+                "premiere",
+                "playhouse",
+                "ballet",
+                "opera",
             ],
             Hotel => &[
-                "rooms", "suites", "guests", "amenities", "booking", "nightly", "concierge",
-                "lobby", "accommodation", "checkout",
+                "rooms",
+                "suites",
+                "guests",
+                "amenities",
+                "booking",
+                "nightly",
+                "concierge",
+                "lobby",
+                "accommodation",
+                "checkout",
             ],
             School => &[
-                "students", "grade", "teachers", "pupils", "classroom", "curriculum",
-                "enrollment", "elementary", "district", "tuition",
+                "students",
+                "grade",
+                "teachers",
+                "pupils",
+                "classroom",
+                "curriculum",
+                "enrollment",
+                "elementary",
+                "district",
+                "tuition",
             ],
             University => &[
-                "campus", "faculty", "research", "undergraduate", "degree", "professors",
-                "graduate", "lectures", "admissions", "doctoral",
+                "campus",
+                "faculty",
+                "research",
+                "undergraduate",
+                "degree",
+                "professors",
+                "graduate",
+                "lectures",
+                "admissions",
+                "doctoral",
             ],
             Mine => &[
-                "mining", "ore", "copper", "gold", "extraction", "deposit", "shaft",
-                "quarry", "geology", "tonnes",
+                "mining",
+                "ore",
+                "copper",
+                "gold",
+                "extraction",
+                "deposit",
+                "shaft",
+                "quarry",
+                "geology",
+                "tonnes",
             ],
             Actor => &[
-                "starred", "role", "cast", "screen", "hollywood", "drama", "awarded",
-                "portrayed", "celebrity", "filmography",
+                "starred",
+                "role",
+                "cast",
+                "screen",
+                "hollywood",
+                "drama",
+                "awarded",
+                "portrayed",
+                "celebrity",
+                "filmography",
             ],
             Singer => &[
-                "album", "band", "vocals", "tour", "songs", "chart", "recorded", "concert",
-                "billboard", "acoustic",
+                "album",
+                "band",
+                "vocals",
+                "tour",
+                "songs",
+                "chart",
+                "recorded",
+                "concert",
+                "billboard",
+                "acoustic",
             ],
             Scientist => &[
-                "research", "professor", "physics", "theory", "published", "laboratory",
-                "discovery", "nobel", "journal", "experiments",
+                "research",
+                "professor",
+                "physics",
+                "theory",
+                "published",
+                "laboratory",
+                "discovery",
+                "nobel",
+                "journal",
+                "experiments",
             ],
             Film => &[
-                "movie", "directed", "starring", "plot", "cinema", "box", "office",
-                "screenplay", "soundtrack", "premiered",
+                "movie",
+                "directed",
+                "starring",
+                "plot",
+                "cinema",
+                "box",
+                "office",
+                "screenplay",
+                "soundtrack",
+                "premiered",
             ],
             SimpsonsEpisode => &[
-                "simpsons", "homer", "bart", "springfield", "season", "aired", "marge",
-                "lisa", "animated", "couch",
+                "simpsons",
+                "homer",
+                "bart",
+                "springfield",
+                "season",
+                "aired",
+                "marge",
+                "lisa",
+                "animated",
+                "couch",
             ],
             Temple => &[
-                "shrine", "worship", "sacred", "monks", "pilgrimage", "deity", "pagoda",
-                "buddhist", "prayer", "ancient",
+                "shrine",
+                "worship",
+                "sacred",
+                "monks",
+                "pilgrimage",
+                "deity",
+                "pagoda",
+                "buddhist",
+                "prayer",
+                "ancient",
             ],
             JazzLabel => &[
-                "jazz", "records", "recordings", "musicians", "releases", "saxophone",
-                "quartet", "vinyl", "sessions", "catalog",
+                "jazz",
+                "records",
+                "recordings",
+                "musicians",
+                "releases",
+                "saxophone",
+                "quartet",
+                "vinyl",
+                "sessions",
+                "catalog",
             ],
             Park => &[
-                "trails", "picnic", "acres", "playground", "wildlife", "gardens", "lawn",
-                "recreation", "benches", "fountain",
+                "trails",
+                "picnic",
+                "acres",
+                "playground",
+                "wildlife",
+                "gardens",
+                "lawn",
+                "recreation",
+                "benches",
+                "fountain",
             ],
             Company => &[
-                "products", "industry", "headquarters", "revenue", "employees", "founded",
-                "services", "brand", "manufacturing", "corporate",
+                "products",
+                "industry",
+                "headquarters",
+                "revenue",
+                "employees",
+                "founded",
+                "services",
+                "brand",
+                "manufacturing",
+                "corporate",
             ],
         }
     }
@@ -326,12 +452,28 @@ impl EntityType {
                 "tour", "local",
             ],
             TypeCategory::People => &[
-                "born", "career", "known", "life", "family", "biography", "famous", "early",
-                "years", "worked",
+                "born",
+                "career",
+                "known",
+                "life",
+                "family",
+                "biography",
+                "famous",
+                "early",
+                "years",
+                "worked",
             ],
             TypeCategory::Cinema => &[
-                "released", "review", "rating", "watch", "story", "scenes", "series",
-                "production", "audience", "critics",
+                "released",
+                "review",
+                "rating",
+                "watch",
+                "story",
+                "scenes",
+                "series",
+                "production",
+                "audience",
+                "critics",
             ],
         }
     }
@@ -425,7 +567,10 @@ mod tests {
     #[test]
     fn query_phrases() {
         assert_eq!(EntityType::Restaurant.query_phrase(), "restaurant");
-        assert_eq!(EntityType::SimpsonsEpisode.query_phrase(), "simpsons episode");
+        assert_eq!(
+            EntityType::SimpsonsEpisode.query_phrase(),
+            "simpsons episode"
+        );
     }
 
     #[test]

@@ -186,7 +186,14 @@ impl World {
                 .filter(|c| c.is_ascii_alphanumeric())
                 .collect::<String>()
                 .to_lowercase();
-            format!("www.{}.example.com", if slug.is_empty() { "entity".into() } else { slug })
+            format!(
+                "www.{}.example.com",
+                if slug.is_empty() {
+                    "entity".into()
+                } else {
+                    slug
+                }
+            )
         });
 
         let entity = Entity {

@@ -270,9 +270,6 @@ mod tests {
     #[test]
     fn unknown_types_assigned() {
         let t = parse_table("a,b\n1,2\n", "t", true).unwrap();
-        assert!(t
-            .column_types()
-            .iter()
-            .all(|&ty| ty == ColumnType::Unknown));
+        assert!(t.column_types().iter().all(|&ty| ty == ColumnType::Unknown));
     }
 }

@@ -81,10 +81,7 @@ pub fn word_count(value: &str) -> usize {
 /// (`$`, `€`, `£`), `,` thousand separators and a trailing `%`.
 pub fn is_number(v: &str) -> bool {
     let v = v.trim();
-    let v = v
-        .strip_prefix(['$', '€', '£'])
-        .unwrap_or(v)
-        .trim_start();
+    let v = v.strip_prefix(['$', '€', '£']).unwrap_or(v).trim_start();
     let v = v.strip_suffix('%').unwrap_or(v).trim_end();
     let v = v.strip_prefix(['+', '-']).unwrap_or(v);
     if v.is_empty() {
@@ -279,8 +276,24 @@ fn is_slash_date(v: &str) -> bool {
 }
 
 const STREET_SUFFIXES: [&str; 18] = [
-    "street", "st", "avenue", "ave", "road", "rd", "boulevard", "blvd", "lane", "ln", "drive",
-    "dr", "way", "court", "ct", "place", "pl", "highway",
+    "street",
+    "st",
+    "avenue",
+    "ave",
+    "road",
+    "rd",
+    "boulevard",
+    "blvd",
+    "lane",
+    "ln",
+    "drive",
+    "dr",
+    "way",
+    "court",
+    "ct",
+    "place",
+    "pl",
+    "highway",
 ];
 
 /// A postal-address-shaped value: starts with a street number followed by
@@ -334,7 +347,9 @@ mod tests {
             "https://lri.fr/page",
             "www.louvre.fr",
             "example.com/menu",
-            "digitaleveredelung.lolodata.org:8080/DigitalCities".replace(".org:8080", ".org").as_str(),
+            "digitaleveredelung.lolodata.org:8080/DigitalCities"
+                .replace(".org:8080", ".org")
+                .as_str(),
         ] {
             assert!(is_url(v), "{v} should be a URL");
         }

@@ -390,7 +390,13 @@ mod tests {
     fn ragged_row_rejected() {
         let mut b = Table::builder(2);
         let err = b.push_row(vec!["only one"]).unwrap_err();
-        assert_eq!(err, TableError::RaggedRow { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            TableError::RaggedRow {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]
@@ -407,7 +413,10 @@ mod tests {
 
     #[test]
     fn zero_column_table_rejected() {
-        assert_eq!(Table::builder(0).build().unwrap_err(), TableError::NoColumns);
+        assert_eq!(
+            Table::builder(0).build().unwrap_err(),
+            TableError::NoColumns
+        );
     }
 
     #[test]

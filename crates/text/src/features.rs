@@ -9,6 +9,7 @@
 //! stop-word removal (so weights of a snippet always sum to 1 when at
 //! least one token survives) — the convention LingPipe-era pipelines used.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use crate::porter::Stemmer;
@@ -68,11 +69,7 @@ impl SparseVector {
 
     /// Euclidean norm.
     pub fn norm(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|&(_, w)| w * w)
-            .sum::<f64>()
-            .sqrt()
+        self.entries.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt()
     }
 
     /// Dot product with another sparse vector (merge join).
@@ -127,10 +124,23 @@ impl SparseVector {
 /// During training, call [`fit_transform`](FeatureExtractor::fit_transform)
 /// so new tokens extend the vocabulary; at prediction time call
 /// [`transform`](FeatureExtractor::transform), which skips unseen tokens.
+///
+/// `transform` is the extractor's *frozen* mode: it takes `&self`, never
+/// touches the vocabulary, and keeps its stemming scratch in thread-local
+/// storage — so one extractor can featurize snippets from many threads
+/// concurrently (the batch annotation engine classifies cells in
+/// parallel against a single shared extractor).
 #[derive(Debug, Clone, Default)]
 pub struct FeatureExtractor {
     vocab: Vocabulary,
     stemmer: Stemmer,
+}
+
+thread_local! {
+    /// Per-thread stemming scratch for the frozen (`&self`) path; the
+    /// stemmer's reusable buffer is an allocation optimisation, not
+    /// state, so a per-thread instance preserves pure-function semantics.
+    static FROZEN_STEMMER: RefCell<Stemmer> = RefCell::new(Stemmer::new());
 }
 
 impl FeatureExtractor {
@@ -168,20 +178,26 @@ impl FeatureExtractor {
     /// Extracts features against the frozen vocabulary (prediction mode);
     /// unseen tokens are skipped but still count toward the snippet length,
     /// as they would for a classifier that has never seen the word.
-    pub fn transform(&mut self, text: &str) -> SparseVector {
-        let mut counts: HashMap<u32, u32> = HashMap::new();
-        let mut total = 0u32;
-        for tok in tokenize(text) {
-            if is_stopword(&tok) {
-                continue;
+    ///
+    /// Takes `&self`: the vocabulary is read-only here and the stemmer
+    /// scratch is thread-local, so concurrent inference needs no locking.
+    pub fn transform(&self, text: &str) -> SparseVector {
+        FROZEN_STEMMER.with(|scratch| {
+            let stemmer = &mut *scratch.borrow_mut();
+            let mut counts: HashMap<u32, u32> = HashMap::new();
+            let mut total = 0u32;
+            for tok in tokenize(text) {
+                if is_stopword(&tok) {
+                    continue;
+                }
+                let stem = stemmer.stem(&tok);
+                total += 1;
+                if let Some(id) = self.vocab.get(stem) {
+                    *counts.entry(id).or_insert(0) += 1;
+                }
             }
-            let stem = self.stemmer.stem(&tok);
-            total += 1;
-            if let Some(id) = self.vocab.get(stem) {
-                *counts.entry(id).or_insert(0) += 1;
-            }
-        }
-        Self::normalize(counts, total)
+            Self::normalize(counts, total)
+        })
     }
 
     fn normalize(counts: HashMap<u32, u32>, total: u32) -> SparseVector {

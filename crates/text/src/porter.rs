@@ -350,10 +350,7 @@ impl Stemmer {
             b'i' => self.ends(b"ic"),
             b'l' => self.ends(b"able") || self.ends(b"ible"),
             b'n' => {
-                self.ends(b"ant")
-                    || self.ends(b"ement")
-                    || self.ends(b"ment")
-                    || self.ends(b"ent")
+                self.ends(b"ant") || self.ends(b"ement") || self.ends(b"ment") || self.ends(b"ent")
             }
             b'o' => {
                 (self.ends(b"ion") && self.j > 0 && matches!(self.b[self.j], b's' | b't'))
@@ -377,13 +374,15 @@ impl Stemmer {
         self.j = self.k;
         if self.b[self.k] == b'e' {
             let a = self.m();
-            if a > 1 || (a == 1 && {
-                // need cvc(k-1) on the stem without the final e
-                self.j = self.k - 1;
-                let c = self.cvc(self.k - 1);
-                self.j = self.k;
-                !c
-            }) {
+            if a > 1
+                || (a == 1 && {
+                    // need cvc(k-1) on the stem without the final e
+                    self.j = self.k - 1;
+                    let c = self.cvc(self.k - 1);
+                    self.j = self.k;
+                    !c
+                })
+            {
                 self.k -= 1;
                 self.b.truncate(self.k + 1);
             }
@@ -574,8 +573,17 @@ mod tests {
         // already-stemmed lexicon terms.
         let mut s = Stemmer::new();
         for w in [
-            "museum", "restaur", "theatr", "hotel", "school", "mine", "actor", "singer",
-            "scientist", "film", "episod",
+            "museum",
+            "restaur",
+            "theatr",
+            "hotel",
+            "school",
+            "mine",
+            "actor",
+            "singer",
+            "scientist",
+            "film",
+            "episod",
         ] {
             let once = s.stem(w).to_owned();
             let twice = s.stem(&once).to_owned();

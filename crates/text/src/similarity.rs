@@ -4,6 +4,7 @@
 //! §6.3): catalogue lookup matches cell content against known entity names
 //! exactly and, failing that, by normalized edit distance / token overlap.
 
+use std::borrow::Cow;
 use std::collections::HashSet;
 
 use crate::features::SparseVector;
@@ -19,7 +20,10 @@ pub fn cosine(a: &SparseVector, b: &SparseVector) -> f64 {
 }
 
 /// Jaccard similarity of two token sets; 1.0 when both are empty.
-pub fn jaccard<'a>(a: impl IntoIterator<Item = &'a str>, b: impl IntoIterator<Item = &'a str>) -> f64 {
+pub fn jaccard<'a>(
+    a: impl IntoIterator<Item = &'a str>,
+    b: impl IntoIterator<Item = &'a str>,
+) -> f64 {
     let sa: HashSet<&str> = a.into_iter().collect();
     let sb: HashSet<&str> = b.into_iter().collect();
     if sa.is_empty() && sb.is_empty() {
@@ -30,29 +34,62 @@ pub fn jaccard<'a>(a: impl IntoIterator<Item = &'a str>, b: impl IntoIterator<It
     inter as f64 / union as f64
 }
 
-/// Levenshtein edit distance (insert/delete/substitute, unit costs),
-/// computed over `char`s with a rolling single-row DP.
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+///
+/// Hot-path friendly: a shared prefix/suffix never contributes edits, so
+/// it is trimmed before the DP (catalogue lookups compare near-identical
+/// names constantly — "Melisse" vs "Melise" runs the DP over 2×1 cells
+/// instead of 7×6). ASCII inputs run over the raw byte slices with zero
+/// allocation; anything else falls back to a `char` vector so multi-byte
+/// characters still count as single edits.
 pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a == b {
+        return 0;
+    }
+    if a.is_ascii() && b.is_ascii() {
+        return levenshtein_units(a.as_bytes(), b.as_bytes());
+    }
     let a_chars: Vec<char> = a.chars().collect();
     let b_chars: Vec<char> = b.chars().collect();
-    if a_chars.is_empty() {
-        return b_chars.len();
+    levenshtein_units(&a_chars, &b_chars)
+}
+
+/// The trimmed single-row DP over any comparable unit slice.
+fn levenshtein_units<T: PartialEq + Copy>(mut a: &[T], mut b: &[T]) -> usize {
+    // Trim the common prefix and suffix: edits can always be aligned to
+    // leave equal flanks untouched.
+    while let (Some(x), Some(y)) = (a.first(), b.first()) {
+        if x != y {
+            break;
+        }
+        a = &a[1..];
+        b = &b[1..];
     }
-    if b_chars.is_empty() {
-        return a_chars.len();
+    while let (Some(x), Some(y)) = (a.last(), b.last()) {
+        if x != y {
+            break;
+        }
+        a = &a[..a.len() - 1];
+        b = &b[..b.len() - 1];
     }
-    let mut row: Vec<usize> = (0..=b_chars.len()).collect();
-    for (i, &ca) in a_chars.iter().enumerate() {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
         let mut prev_diag = row[0];
         row[0] = i + 1;
-        for (j, &cb) in b_chars.iter().enumerate() {
+        for (j, &cb) in b.iter().enumerate() {
             let cost = usize::from(ca != cb);
             let val = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
             prev_diag = row[j + 1];
             row[j + 1] = val;
         }
     }
-    row[b_chars.len()]
+    row[b.len()]
 }
 
 /// Normalized edit similarity in `[0, 1]`: `1 − dist / max_len`.
@@ -69,6 +106,59 @@ pub fn edit_similarity(a: &str, b: &str) -> f64 {
 /// hits: collapses runs of whitespace and compares lowercase.
 pub fn names_equal(a: &str, b: &str) -> bool {
     normalize_name(a) == normalize_name(b)
+}
+
+/// The ASCII bytes [`normalize_name`]'s `char::is_whitespace` treats as
+/// whitespace: space plus the 0x09–0x0D control range (tab, LF, VT, FF,
+/// CR). Must match `char::is_whitespace` over ASCII exactly, or the
+/// fast path diverges from the allocating normalizer.
+fn is_normalizable_ws(b: u8) -> bool {
+    b == b' ' || (0x09..=0x0d).contains(&b)
+}
+
+/// Whether `name` is already in normalized form, so
+/// [`normalize_name_cow`] can skip the allocation. Conservative: only
+/// ASCII inputs qualify for the fast answer.
+fn is_normalized_name(name: &str) -> bool {
+    if !name.is_ascii() {
+        return false;
+    }
+    let bytes = name.as_bytes();
+    if let (Some(&first), Some(&last)) = (bytes.first(), bytes.last()) {
+        if first.is_ascii_punctuation()
+            || is_normalizable_ws(first)
+            || last.is_ascii_punctuation()
+            || is_normalizable_ws(last)
+        {
+            return false;
+        }
+    }
+    let mut prev_space = false;
+    for &b in bytes {
+        if b.is_ascii_uppercase() {
+            return false;
+        }
+        if is_normalizable_ws(b) {
+            if b != b' ' || prev_space {
+                return false;
+            }
+            prev_space = true;
+        } else {
+            prev_space = false;
+        }
+    }
+    true
+}
+
+/// [`normalize_name`] without the allocation when `name` is already
+/// normalized — the common case on lookup paths that receive catalogue
+/// keys or pre-cleaned cell content.
+pub fn normalize_name_cow(name: &str) -> Cow<'_, str> {
+    if is_normalized_name(name) {
+        Cow::Borrowed(name)
+    } else {
+        Cow::Owned(normalize_name(name))
+    }
 }
 
 /// Normalizes an entity name for comparison: lowercase, collapsed
@@ -144,5 +234,46 @@ mod tests {
         assert!(names_equal("Melisse.", "melisse"));
         assert!(!names_equal("Melisse", "Melissa"));
         assert_eq!(normalize_name("THE  LOUVRE"), "the louvre");
+    }
+
+    #[test]
+    fn normalize_cow_borrows_when_already_normal() {
+        assert!(matches!(normalize_name_cow("melisse"), Cow::Borrowed(_)));
+        assert!(matches!(normalize_name_cow("the louvre"), Cow::Borrowed(_)));
+        assert!(matches!(normalize_name_cow(""), Cow::Borrowed(_)));
+        // \x0b (vertical tab) is char-whitespace but not ascii-whitespace:
+        // the fast path must reject it like the full normalizer collapses it.
+        for raw in [
+            "Melisse", " melisse", "melisse ", "a  b", "a\tb", "a\x0bb", "\x0ba", "musée", "m.",
+        ] {
+            let cow = normalize_name_cow(raw);
+            assert!(matches!(cow, Cow::Owned(_)), "{raw:?} should re-normalize");
+            assert_eq!(cow.as_ref(), normalize_name(raw), "{raw:?}");
+        }
+        // fast path agrees with the full normalizer on already-normal input
+        for ok in ["melisse", "the louvre", "a b c", "x"] {
+            assert_eq!(normalize_name_cow(ok).as_ref(), normalize_name(ok));
+        }
+    }
+
+    #[test]
+    fn levenshtein_trimmed_paths_agree_with_dp() {
+        // prefix/suffix trims and ASCII byte path must not change results
+        let cases = [
+            ("prefix_kitten_suffix", "prefix_sitting_suffix", 3),
+            ("aaaa", "aaaa", 0),
+            ("aaaab", "aaaac", 1),
+            ("baaaa", "caaaa", 1),
+            ("abcdef", "abXdef", 1),
+            ("", "", 0),
+            ("x", "", 1),
+        ];
+        for (a, b, want) in cases {
+            assert_eq!(levenshtein(a, b), want, "{a} vs {b}");
+            assert_eq!(levenshtein(b, a), want, "symmetry {a} vs {b}");
+        }
+        // unicode path still counts chars, not bytes, after trimming
+        assert_eq!(levenshtein("musée du louvre", "musee du louvre"), 1);
+        assert_eq!(levenshtein("ééé", "éxé"), 1);
     }
 }

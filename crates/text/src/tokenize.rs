@@ -94,12 +94,18 @@ mod tests {
 
     #[test]
     fn possessives_drop_single_letters() {
-        assert_eq!(tokenize_vec("Simpson's episodes"), vec!["simpson", "episodes"]);
+        assert_eq!(
+            tokenize_vec("Simpson's episodes"),
+            vec!["simpson", "episodes"]
+        );
     }
 
     #[test]
     fn unicode_letters_kept() {
-        assert_eq!(tokenize_vec("Musée du Louvre"), vec!["musée", "du", "louvre"]);
+        assert_eq!(
+            tokenize_vec("Musée du Louvre"),
+            vec!["musée", "du", "louvre"]
+        );
     }
 
     #[test]
@@ -118,9 +124,6 @@ mod tests {
     fn urls_shatter_into_words() {
         // Tokenizer is intentionally naive about URLs: pre-processing
         // filters URL cells before tokenization ever sees them.
-        assert_eq!(
-            tokenize_vec("www.louvre.fr"),
-            vec!["www", "louvre", "fr"]
-        );
+        assert_eq!(tokenize_vec("www.louvre.fr"), vec!["www", "louvre", "fr"]);
     }
 }

@@ -30,12 +30,36 @@ pub struct SearchResult {
 }
 
 /// A Web search engine.
+///
+/// `search` takes `&self` so one engine instance can serve concurrent
+/// annotation workers; implementations that need interior state (latency
+/// RNG, counters) synchronize it themselves, as [`BingSim`] does.
 pub trait SearchEngine {
     /// Returns the top-`k` results for `query` (possibly fewer).
     fn search(&self, query: &str, k: usize) -> Vec<SearchResult>;
 }
 
+impl<E: SearchEngine + ?Sized> SearchEngine for &E {
+    fn search(&self, query: &str, k: usize) -> Vec<SearchResult> {
+        (**self).search(query, k)
+    }
+}
+
+impl<E: SearchEngine + ?Sized> SearchEngine for Arc<E> {
+    fn search(&self, query: &str, k: usize) -> Vec<SearchResult> {
+        (**self).search(query, k)
+    }
+}
+
 /// The simulated Bing API over a [`WebCorpus`].
+///
+/// Cheaply shareable across threads: the corpus and its index are behind
+/// an `Arc` and read-only after construction, the query counter is
+/// atomic, and the only mutable state — the latency RNG — sits behind a
+/// mutex held just long enough to draw one sample. Results are a pure
+/// function of `(query, k)`; concurrent callers only interleave *which*
+/// latency sample each query draws, and the virtual clock accumulates
+/// the same total either way.
 pub struct BingSim {
     corpus: Arc<WebCorpus>,
     clock: VirtualClock,
@@ -101,6 +125,12 @@ impl SearchEngine for BingSim {
             .collect()
     }
 }
+
+// Compile-time proof that the engine is shareable across threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<BingSim>();
+};
 
 #[cfg(test)]
 mod tests {

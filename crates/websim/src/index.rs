@@ -4,8 +4,18 @@
 //! titles (title terms counted twice — titles matter in real engines).
 //! Tokens are the lowercase word tokens of `teda-text`, unstemmed: entity
 //! names must match near-exactly, as they do in a real search engine.
+//!
+//! Layout: terms are interned to dense `u32` ids over a shared vocabulary
+//! and every posting lives in one flat arena (`postings`), with a term's
+//! slice addressed by an offset table — one allocation for the whole
+//! collection instead of one `Vec` per term, and postings of a term are
+//! contiguous for the scoring scan. Ranking selects the top k through a
+//! bounded binary heap (`O(n log k)`) instead of sorting every scored
+//! page; ties break exactly as the historical full sort did — by
+//! ascending page id at equal score.
 
-use std::collections::HashMap;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
 
 use teda_text::tokenize;
 
@@ -15,49 +25,109 @@ const K1: f64 = 1.2;
 const B: f64 = 0.75;
 
 /// A posting: page and term frequency.
+///
+/// `tf` is a small integer count (+2 per title occurrence), exactly
+/// representable in `f32`; scoring widens to `f64`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Posting {
     page: PageId,
-    tf: f64,
+    tf: f32,
 }
 
 /// The inverted index over a page collection.
 #[derive(Debug, Clone, Default)]
 pub struct InvertedIndex {
-    postings: HashMap<String, Vec<Posting>>,
+    /// Token → dense term id, interned at build time.
+    term_ids: HashMap<String, u32>,
+    /// Term `t` owns `postings[offsets[t] .. offsets[t + 1]]`, pages
+    /// ascending within the slice.
+    offsets: Vec<u32>,
+    postings: Vec<Posting>,
     doc_len: Vec<f64>,
     avg_len: f64,
     n_docs: usize,
 }
 
+/// Heap entry ordered so that `a > b` means "a ranks better": higher
+/// score first, lower page id on ties — the exact order of a full
+/// descending sort with id tie-breaks.
+#[derive(Debug, Clone, Copy)]
+struct Ranked {
+    score: f64,
+    page: PageId,
+}
+
+impl PartialEq for Ranked {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.page == other.page
+    }
+}
+
+impl Eq for Ranked {}
+
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .partial_cmp(&other.score)
+            .expect("BM25 scores are finite")
+            .then_with(|| other.page.cmp(&self.page))
+    }
+}
+
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 impl InvertedIndex {
     /// Builds the index over `pages` (ids are positional).
     pub fn build(pages: &[WebPage]) -> Self {
-        let mut postings: HashMap<String, Vec<Posting>> = HashMap::new();
+        let mut term_ids: HashMap<String, u32> = HashMap::new();
+        // Per-term posting accumulators, indexed by term id. Documents
+        // are processed in id order, so pages are ascending per term.
+        let mut acc: Vec<Vec<Posting>> = Vec::new();
         let mut doc_len = Vec::with_capacity(pages.len());
         let mut total_len = 0.0f64;
 
+        let mut counts: HashMap<u32, f32> = HashMap::new();
         for (i, page) in pages.iter().enumerate() {
             let id = PageId(i as u32);
-            let mut counts: HashMap<String, f64> = HashMap::new();
+            counts.clear();
             for tok in tokenize(&page.body) {
-                *counts.entry(tok).or_insert(0.0) += 1.0;
+                let tid = intern(&mut term_ids, &mut acc, tok);
+                *counts.entry(tid).or_insert(0.0) += 1.0;
             }
             for tok in tokenize(&page.title) {
-                *counts.entry(tok).or_insert(0.0) += 2.0;
+                let tid = intern(&mut term_ids, &mut acc, tok);
+                *counts.entry(tid).or_insert(0.0) += 2.0;
             }
-            let len: f64 = counts.values().sum();
+            let len: f64 = counts.values().map(|&c| f64::from(c)).sum();
             doc_len.push(len);
             total_len += len;
-            for (tok, tf) in counts {
-                postings
-                    .entry(tok)
-                    .or_default()
-                    .push(Posting { page: id, tf });
+            for (&tid, &tf) in &counts {
+                acc[tid as usize].push(Posting { page: id, tf });
             }
         }
+
+        // Flatten the accumulators into one arena, offsets in id order.
+        let total_postings: usize = acc.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(acc.len() + 1);
+        let mut postings = Vec::with_capacity(total_postings);
+        offsets.push(0u32);
+        for mut term_postings in acc {
+            // HashMap iteration put pages in arbitrary per-doc order only
+            // *across* terms; within a term they arrive in doc order
+            // already, but sort defensively to keep the invariant local.
+            term_postings.sort_unstable_by_key(|p| p.page.0);
+            postings.extend_from_slice(&term_postings);
+            offsets.push(u32::try_from(postings.len()).expect("posting arena fits u32"));
+        }
+
         let n_docs = pages.len();
         InvertedIndex {
+            term_ids,
+            offsets,
             postings,
             doc_len,
             avg_len: if n_docs == 0 {
@@ -76,32 +146,70 @@ impl InvertedIndex {
 
     /// Number of distinct terms.
     pub fn n_terms(&self) -> usize {
+        self.term_ids.len()
+    }
+
+    /// Total postings across all terms.
+    pub fn n_postings(&self) -> usize {
         self.postings.len()
     }
 
+    /// The interned id of a token, if indexed.
+    pub fn term_id(&self, token: &str) -> Option<u32> {
+        self.term_ids.get(token).copied()
+    }
+
+    /// The posting slice of a term id.
+    fn postings_of(&self, tid: u32) -> &[Posting] {
+        let lo = self.offsets[tid as usize] as usize;
+        let hi = self.offsets[tid as usize + 1] as usize;
+        &self.postings[lo..hi]
+    }
+
     /// BM25 IDF with the standard +1 floor against negative values.
-    fn idf(&self, term: &str) -> f64 {
-        let df = self.postings.get(term).map_or(0, Vec::len) as f64;
+    fn idf_of(&self, df: usize) -> f64 {
+        let df = df as f64;
         (((self.n_docs as f64 - df + 0.5) / (df + 0.5)) + 1.0).ln()
     }
 
     /// Scores `query` against the collection, returning up to `k` pages by
     /// descending BM25 score. Ties break by page id (stable, deterministic).
     pub fn search(&self, query: &str, k: usize) -> Vec<(PageId, f64)> {
-        let mut scores: HashMap<PageId, f64> = HashMap::new();
-        for term in tokenize(query) {
-            let Some(posts) = self.postings.get(&term) else {
-                continue;
+        if k == 0 || self.n_docs == 0 {
+            return Vec::new();
+        }
+        let (scores, touched) = self.score_query(query);
+        // Bounded min-heap of the k best (the heap's minimum is the
+        // current k-th entry; anything better evicts it).
+        let mut heap: BinaryHeap<std::cmp::Reverse<Ranked>> = BinaryHeap::with_capacity(k + 1);
+        for &page in &touched {
+            let entry = Ranked {
+                score: scores[page as usize],
+                page: PageId(page),
             };
-            let idf = self.idf(&term);
-            for p in posts {
-                let dl = self.doc_len[p.page.0 as usize];
-                let norm = K1 * (1.0 - B + B * dl / self.avg_len.max(1e-9));
-                let contrib = idf * (p.tf * (K1 + 1.0)) / (p.tf + norm);
-                *scores.entry(p.page).or_insert(0.0) += contrib;
+            if heap.len() < k {
+                heap.push(std::cmp::Reverse(entry));
+            } else if entry > heap.peek().expect("non-empty heap").0 {
+                heap.pop();
+                heap.push(std::cmp::Reverse(entry));
             }
         }
-        let mut ranked: Vec<(PageId, f64)> = scores.into_iter().collect();
+        heap.into_sorted_vec()
+            .into_iter()
+            .map(|std::cmp::Reverse(r)| (r.page, r.score))
+            .collect()
+    }
+
+    /// The historical ranking path — score everything, sort everything —
+    /// kept as the reference the bounded-heap path must match exactly
+    /// (tie order included) and as the baseline for microbenchmarks.
+    #[doc(hidden)]
+    pub fn search_full_sort(&self, query: &str, k: usize) -> Vec<(PageId, f64)> {
+        let (scores, touched) = self.score_query(query);
+        let mut ranked: Vec<(PageId, f64)> = touched
+            .into_iter()
+            .map(|p| (PageId(p), scores[p as usize]))
+            .collect();
         ranked.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .expect("BM25 scores are finite")
@@ -110,6 +218,44 @@ impl InvertedIndex {
         ranked.truncate(k);
         ranked
     }
+
+    /// Accumulates BM25 contributions per page: dense score array plus
+    /// the list of touched pages (in first-touch order, which is
+    /// deterministic: query-term order, then posting order).
+    fn score_query(&self, query: &str) -> (Vec<f64>, Vec<u32>) {
+        let mut scores = vec![0.0f64; self.n_docs];
+        let mut touched: Vec<u32> = Vec::new();
+        for term in tokenize(query) {
+            let Some(tid) = self.term_id(&term) else {
+                continue;
+            };
+            let posts = self.postings_of(tid);
+            let idf = self.idf_of(posts.len());
+            for p in posts {
+                let i = p.page.0 as usize;
+                let dl = self.doc_len[i];
+                let norm = K1 * (1.0 - B + B * dl / self.avg_len.max(1e-9));
+                let tf = f64::from(p.tf);
+                let contrib = idf * (tf * (K1 + 1.0)) / (tf + norm);
+                if scores[i] == 0.0 {
+                    touched.push(p.page.0);
+                }
+                scores[i] += contrib;
+            }
+        }
+        (scores, touched)
+    }
+}
+
+/// Interns `token`, growing the accumulator table for new terms.
+fn intern(term_ids: &mut HashMap<String, u32>, acc: &mut Vec<Vec<Posting>>, token: String) -> u32 {
+    if let Some(&id) = term_ids.get(&token) {
+        return id;
+    }
+    let id = u32::try_from(acc.len()).expect("term vocabulary fits u32");
+    term_ids.insert(token, id);
+    acc.push(Vec::new());
+    id
 }
 
 #[cfg(test)]
@@ -181,6 +327,7 @@ mod tests {
     fn k_truncates() {
         let idx = InvertedIndex::build(&collection());
         assert_eq!(idx.search("melisse restaurant jazz", 1).len(), 1);
+        assert!(idx.search("melisse", 0).is_empty());
     }
 
     #[test]
@@ -210,5 +357,52 @@ mod tests {
     fn scores_are_deterministic() {
         let idx = InvertedIndex::build(&collection());
         assert_eq!(idx.search("melisse", 10), idx.search("melisse", 10));
+    }
+
+    #[test]
+    fn terms_are_interned_and_postings_flat() {
+        let idx = InvertedIndex::build(&collection());
+        assert!(idx.term_id("melisse").is_some());
+        assert!(idx.term_id("zanzibar").is_none());
+        assert_eq!(idx.offsets.len(), idx.n_terms() + 1);
+        assert_eq!(idx.n_postings(), *idx.offsets.last().unwrap() as usize);
+        // every term id round-trips to a non-empty contiguous slice
+        for tid in 0..idx.n_terms() as u32 {
+            assert!(!idx.postings_of(tid).is_empty());
+        }
+    }
+
+    #[test]
+    fn heap_topk_matches_full_sort_everywhere() {
+        let idx = InvertedIndex::build(&collection());
+        for q in [
+            "melisse",
+            "restaurant",
+            "melisse restaurant jazz",
+            "menu city records",
+        ] {
+            for k in [1, 2, 3, 10] {
+                assert_eq!(
+                    idx.search(q, k),
+                    idx.search_full_sort(q, k),
+                    "query {q:?} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heap_topk_breaks_ties_by_page_id_like_the_full_sort() {
+        // Identical pages → identical BM25 scores → ranked by page id.
+        let pages: Vec<WebPage> = (0..8)
+            .map(|i| page(&format!("u{i}"), "tie", "melisse restaurant"))
+            .collect();
+        let idx = InvertedIndex::build(&pages);
+        let hits = idx.search("melisse", 5);
+        assert_eq!(hits.len(), 5);
+        let ids: Vec<u32> = hits.iter().map(|(p, _)| p.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4], "ties rank by ascending page id");
+        assert!(hits.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert_eq!(hits, idx.search_full_sort("melisse", 5));
     }
 }

@@ -49,7 +49,7 @@ fn main() {
         },
     );
     let classifier = train_svm_linear(&corpus, PegasosConfig::default());
-    let mut annotator = Annotator::new(engine, classifier, AnnotatorConfig::default());
+    let annotator = Annotator::new(engine, classifier, AnnotatorConfig::default());
 
     let mut rng = rng_from_seed(99);
     let gold = people_table(&world, EntityType::Singer, 20, "singers", &mut rng);

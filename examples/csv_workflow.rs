@@ -62,7 +62,11 @@ fn main() {
     infer_column_types(&mut table);
     println!(
         "inferred column types: {:?}\n",
-        table.column_types().iter().map(ToString::to_string).collect::<Vec<_>>()
+        table
+            .column_types()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
     );
 
     // The §5.1 direct path: pattern types need no search engine.
@@ -70,7 +74,7 @@ fn main() {
     println!("phones found without any query: {}", phones.len());
 
     // Annotate and export.
-    let mut annotator = Annotator::new(engine, classifier, AnnotatorConfig::default());
+    let annotator = Annotator::new(engine, classifier, AnnotatorConfig::default());
     let result = annotator.annotate_table(&table);
     println!("\n{}", report::summary(&table, &result));
     println!("{}", report::row_listing(&table, &result));

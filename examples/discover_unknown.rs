@@ -49,30 +49,34 @@ fn main() {
     let classifier = train_svm_linear(&corpus, PegasosConfig::default());
 
     let mut rng = rng_from_seed(5);
-    let gold = poi_table(&world, EntityType::Restaurant, 30, 0, "restaurants", &mut rng);
+    let gold = poi_table(
+        &world,
+        EntityType::Restaurant,
+        30,
+        0,
+        "restaurants",
+        &mut rng,
+    );
     let config = AnnotatorConfig::default();
 
     // 1. Catalogue-only (the Limaye-style comparator).
     let pre = preprocess(&gold.table, &config);
-    let catalogue_anns = catalogue_annotate(&gold.table, &pre.candidates, &catalogue, &config.targets);
+    let catalogue_anns =
+        catalogue_annotate(&gold.table, &pre.candidates, &catalogue, &config.targets);
 
     // 2. Web-only (the paper's algorithm).
-    let mut annotator = Annotator::new(engine.clone(), classifier, config);
+    let annotator = Annotator::new(engine.clone(), classifier, config);
     let q0 = engine.query_count();
     let web_result = annotator.annotate_table(&gold.table);
     let web_queries = engine.query_count() - q0;
 
     // 3. Hybrid: catalogue first, Web for the unknown remainder.
     let q1 = engine.query_count();
-    let (hybrid_result, stats) = annotate_hybrid(&mut annotator, &gold.table, &catalogue);
+    let (hybrid_result, stats) = annotate_hybrid(&annotator, &gold.table, &catalogue);
     let hybrid_queries = engine.query_count() - q1;
 
     println!("\nmethod          annotated  search-queries");
-    println!(
-        "catalogue-only  {:>9}  {:>14}",
-        catalogue_anns.len(),
-        0
-    );
+    println!("catalogue-only  {:>9}  {:>14}", catalogue_anns.len(), 0);
     println!(
         "web-only        {:>9}  {:>14}",
         web_result.cells.len(),

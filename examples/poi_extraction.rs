@@ -57,7 +57,7 @@ fn main() {
         .copied()
         .filter(|t| t.category() == TypeCategory::Poi)
         .collect();
-    let mut annotator = Annotator::new(
+    let annotator = Annotator::new(
         engine,
         classifier,
         AnnotatorConfig {
@@ -79,9 +79,7 @@ fn main() {
             // The city context: take the Location column of the same row
             // when present (the repository is city-keyed).
             let city = (0..gold.table.n_cols())
-                .filter(|&j| {
-                    gold.table.column_type(j) == teda::tabular::ColumnType::Location
-                })
+                .filter(|&j| gold.table.column_type(j) == teda::tabular::ColumnType::Location)
                 .map(|j| gold.table.cell(ann.cell.row, j))
                 .find(|v| !v.trim().is_empty() && !v.chars().any(|c| c.is_ascii_digit()))
                 .unwrap_or("(unknown city)")
@@ -101,7 +99,10 @@ fn main() {
         println!("city: {city}");
         for (name, etype) in pois.iter().take(4) {
             // the RDF-ish triple the faceted browser would ingest
-            println!("  <{name}> rdf:type poi:{} ; poi:locatedIn <{city}> .", etype.type_word());
+            println!(
+                "  <{name}> rdf:type poi:{} ; poi:locatedIn <{city}> .",
+                etype.type_word()
+            );
         }
         if pois.len() > 4 {
             println!("  … and {} more", pois.len() - 4);

@@ -58,7 +58,11 @@ fn main() {
         .name("my_pois")
         .headers(vec!["Name", "Address", "Phone"])
         .unwrap()
-        .column_types(vec![ColumnType::Text, ColumnType::Location, ColumnType::Text])
+        .column_types(vec![
+            ColumnType::Text,
+            ColumnType::Location,
+            ColumnType::Text,
+        ])
         .unwrap()
         .row(vec![
             a.name.clone(),
@@ -82,7 +86,7 @@ fn main() {
         .unwrap();
 
     // 4. Annotate (pre-process → search+classify+vote → post-process).
-    let mut annotator = Annotator::new(engine, classifier, AnnotatorConfig::default());
+    let annotator = Annotator::new(engine, classifier, AnnotatorConfig::default());
     let result = annotator.annotate_table(&table);
     println!(
         "\n{} cells skipped by pre-processing, {} queried",

@@ -54,9 +54,7 @@ fn tin_never_annotates_people_or_films() {
     let config = AnnotatorConfig::default();
     for etype in [EntityType::Actor, EntityType::Singer, EntityType::Film] {
         let gold = match etype {
-            EntityType::Film => teda::corpus::gft::cinema_table(
-                &f.world, etype, 10, "t", &mut rng,
-            ),
+            EntityType::Film => teda::corpus::gft::cinema_table(&f.world, etype, 10, "t", &mut rng),
             _ => teda::corpus::gft::people_table(&f.world, etype, 10, "t", &mut rng),
         };
         let pre = preprocess(&gold.table, &config);
@@ -97,21 +95,24 @@ fn hybrid_with_empty_catalogue_equals_pure_web() {
     let mut rng = rng_from_seed(12);
     let gold = poi_table(&f.world, EntityType::Restaurant, 12, 0, "rests", &mut rng);
 
-    let mut web_annotator = Annotator::new(
+    let web_annotator = Annotator::new(
         f.engine.clone(),
         f.classifier.clone(),
         AnnotatorConfig::default(),
     );
     let web = web_annotator.annotate_table(&gold.table);
 
-    let mut hybrid_annotator = Annotator::new(
+    let hybrid_annotator = Annotator::new(
         f.engine.clone(),
         f.classifier.clone(),
         AnnotatorConfig::default(),
     );
-    let (hybrid, stats) = annotate_hybrid(&mut hybrid_annotator, &gold.table, &Catalogue::default());
+    let (hybrid, stats) = annotate_hybrid(&hybrid_annotator, &gold.table, &Catalogue::default());
     assert_eq!(stats.catalogue_hits, 0);
-    assert_eq!(web.cells, hybrid.cells, "empty catalogue must not change output");
+    assert_eq!(
+        web.cells, hybrid.cells,
+        "empty catalogue must not change output"
+    );
 }
 
 #[test]
@@ -126,14 +127,18 @@ fn hybrid_annotations_superset_catalogue_hits() {
 
     let config = AnnotatorConfig::default();
     let pre = preprocess(&gold.table, &config);
-    let catalogue_only = catalogue_annotate(&gold.table, &pre.candidates, &catalogue, &config.targets);
+    let catalogue_only =
+        catalogue_annotate(&gold.table, &pre.candidates, &catalogue, &config.targets);
 
-    let mut annotator = Annotator::new(f.engine.clone(), f.classifier.clone(), config);
-    let (hybrid, stats) = annotate_hybrid(&mut annotator, &gold.table, &catalogue);
+    let annotator = Annotator::new(f.engine.clone(), f.classifier.clone(), config);
+    let (hybrid, stats) = annotate_hybrid(&annotator, &gold.table, &catalogue);
     assert_eq!(stats.catalogue_hits, catalogue_only.len());
     for hit in &catalogue_only {
         assert!(
-            hybrid.cells.iter().any(|a| a.cell == hit.cell && a.etype == hit.etype),
+            hybrid
+                .cells
+                .iter()
+                .any(|a| a.cell == hit.cell && a.etype == hit.etype),
             "catalogue hit {hit:?} lost in hybrid output"
         );
     }
@@ -147,7 +152,7 @@ fn hybrid_spends_fewer_queries_than_pure_web() {
     let catalogue = Catalogue::sample(&f.world, 0.5, 42);
 
     let q0 = f.engine.query_count();
-    let mut web_annotator = Annotator::new(
+    let web_annotator = Annotator::new(
         f.engine.clone(),
         f.classifier.clone(),
         AnnotatorConfig::default(),
@@ -156,12 +161,12 @@ fn hybrid_spends_fewer_queries_than_pure_web() {
     let web_queries = f.engine.query_count() - q0;
 
     let q1 = f.engine.query_count();
-    let mut hybrid_annotator = Annotator::new(
+    let hybrid_annotator = Annotator::new(
         f.engine.clone(),
         f.classifier.clone(),
         AnnotatorConfig::default(),
     );
-    let (_, stats) = annotate_hybrid(&mut hybrid_annotator, &gold.table, &catalogue);
+    let (_, stats) = annotate_hybrid(&hybrid_annotator, &gold.table, &catalogue);
     let hybrid_queries = f.engine.query_count() - q1;
 
     assert!(stats.catalogue_hits > 0, "fixture should have known hotels");

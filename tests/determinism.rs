@@ -28,7 +28,7 @@ fn run_pipeline(seed: u64) -> Vec<(usize, usize, String, f64)> {
         },
     );
     let classifier = train_svm_linear(&corpus, PegasosConfig::default());
-    let mut annotator = Annotator::new(engine, classifier, AnnotatorConfig::default());
+    let annotator = Annotator::new(engine, classifier, AnnotatorConfig::default());
 
     let benchmark = gft_benchmark(&world, seed);
     let mut out = Vec::new();

@@ -34,8 +34,12 @@ fn fixture() -> (World, Arc<BingSim>, SnippetClassifier) {
     (world, engine, classifier)
 }
 
-fn annotate(gold: &GoldTable, engine: Arc<BingSim>, classifier: SnippetClassifier) -> Vec<teda::core::annotate::CellAnnotation> {
-    let mut annotator = Annotator::new(engine, classifier, AnnotatorConfig::default());
+fn annotate(
+    gold: &GoldTable,
+    engine: Arc<BingSim>,
+    classifier: SnippetClassifier,
+) -> Vec<teda::core::annotate::CellAnnotation> {
+    let annotator = Annotator::new(engine, classifier, AnnotatorConfig::default());
     annotator.annotate_table(&gold.table).cells
 }
 
@@ -74,11 +78,18 @@ fn figure2_mixed_table_separates_types_per_row() {
         let counts = count_type(&pairs, &anns, etype);
         assert!(counts.tp > 0, "{etype}: no true positives");
         let prf = counts.prf();
-        assert!(prf.precision > 0.6, "{etype}: precision {:.2}", prf.precision);
+        assert!(
+            prf.precision > 0.6,
+            "{etype}: precision {:.2}",
+            prf.precision
+        );
     }
     // Temple rows (not targets) must not be annotated with target types.
     let temple_rows: Vec<usize> = (0..gold.table.n_rows())
-        .filter(|&i| gold.gold_type_at(teda::tabular::CellId::new(i, 0)).is_none())
+        .filter(|&i| {
+            gold.gold_type_at(teda::tabular::CellId::new(i, 0))
+                .is_none()
+        })
         .collect();
     let temple_fps = anns
         .iter()
@@ -100,7 +111,7 @@ fn figure8_category_column_cleaned_by_postprocessing() {
     // Without post-processing the repeated "Museum" cells may be
     // annotated; with it, every museum annotation must sit in the name
     // column (column 0).
-    let mut annotator = Annotator::new(
+    let annotator = Annotator::new(
         engine,
         classifier,
         AnnotatorConfig {

@@ -38,7 +38,7 @@ fn annotator_over(world: &World, seed: u64) -> (Arc<BingSim>, Annotator) {
 #[test]
 fn figure4_limited_context_is_enough() {
     let world = World::generate(WorldSpec::tiny(), 42);
-    let (_, mut annotator) = annotator_over(&world, 42);
+    let (_, annotator) = annotator_over(&world, 42);
     let mut rng = rng_from_seed(44);
     let gold = limited_context_table(&world, EntityType::Restaurant, 12, "fig4", &mut rng);
     assert_eq!(gold.table.headers().unwrap(), &["Name", "Address"]);
@@ -84,7 +84,7 @@ fn figure1_column_homogeneity_in_generated_tables() {
 #[test]
 fn figure5_pipeline_accounting() {
     let world = World::generate(WorldSpec::tiny(), 42);
-    let (engine, mut annotator) = annotator_over(&world, 42);
+    let (engine, annotator) = annotator_over(&world, 42);
     let mut rng = rng_from_seed(55);
     let gold = teda::corpus::gft::poi_table(&world, EntityType::School, 9, 0, "t", &mut rng);
 
