@@ -12,6 +12,7 @@
 //! | `exp_coverage`   | §1  — 22% catalogue coverage statistic              |
 //! | `exp_fig7`       | Figure 7 — toponym disambiguation worked example    |
 //! | `exp_throughput` | batch engine — tables/sec, cache hits, par speedup  |
+//! | `exp_service`    | annotation service — req/s, p50/p99, shed rate      |
 //! | `run_all`        | everything, in order                                |
 //!
 //! All experiments share one seeded [`harness::Fixture`]: world → Web →

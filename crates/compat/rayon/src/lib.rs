@@ -3,16 +3,21 @@
 //! The build environment has no network access, so the workspace vendors
 //! the small slice of rayon's API the batch annotation engine uses:
 //! `slice.par_iter().map(f).collect::<Vec<_>>()` (order-preserving) and
-//! [`current_num_threads`]. Parallelism is plain fork/join over
-//! `std::thread::scope` with one contiguous chunk per worker — no work
-//! stealing, which is fine for the coarse, similarly-sized tasks (one cell
-//! or one table each) this workspace fans out.
+//! [`current_num_threads`]. Parallelism is fork/join over
+//! `std::thread::scope` with **chunked dynamic scheduling**: the input is
+//! split into several chunks per worker and idle workers pull the next
+//! chunk off a shared atomic counter. That is not full work stealing,
+//! but it removes the tail latency the old one-contiguous-chunk-per-
+//! worker split left on skewed inputs (one worker stuck with all the
+//! expensive tables while the rest sat idle); a straggler now strands at
+//! most one chunk, not a whole 1/N share.
 //!
 //! Thread count honours the `RAYON_NUM_THREADS` environment variable, as
 //! upstream rayon does, falling back to the machine's available
 //! parallelism.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod prelude {
     //! Glob-import target mirroring `rayon::prelude`.
@@ -106,8 +111,18 @@ impl<R> FromParMap<R> for Vec<R> {
     }
 }
 
-/// Order-preserving parallel map: contiguous chunks, one scoped thread per
-/// worker, results stitched back in chunk order.
+/// Chunks handed out per worker. More chunks, better balance on skewed
+/// inputs; fewer chunks, less claiming overhead. 4 keeps the worst-case
+/// straggler tail at ~1/(4·workers) of the input while the atomic
+/// counter stays ice-cold next to the per-item work this workspace
+/// fans out (search + classify per cell or table).
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Order-preserving parallel map with chunked dynamic scheduling: the
+/// input is split into `CHUNKS_PER_WORKER × workers` chunks, workers
+/// claim the next chunk off a shared atomic counter, and the results
+/// are stitched back in chunk order — output order matches input order
+/// exactly, whatever the claim interleaving was.
 fn par_map_ordered<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
 where
     T: Sync,
@@ -118,19 +133,34 @@ where
     if workers == 1 {
         return items.iter().map(f).collect();
     }
-    let chunk = items.len().div_ceil(workers);
-    let mut out: Vec<Vec<R>> = Vec::new();
+    let n_chunks = (workers * CHUNKS_PER_WORKER).min(items.len());
+    let chunk = items.len().div_ceil(n_chunks);
+    let parts: Vec<&'a [T]> = items.chunks(chunk).collect();
+    let next = AtomicUsize::new(0);
+
+    let mut claimed: Vec<(usize, Vec<R>)> = Vec::with_capacity(parts.len());
     std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+        let parts = &parts;
+        let next = &next;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut mine: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(part) = parts.get(i) else { break };
+                        mine.push((i, part.iter().map(f).collect()));
+                    }
+                    mine
+                })
+            })
             .collect();
-        out = handles
-            .into_iter()
-            .map(|h| h.join().expect("rayon-compat worker panicked"))
-            .collect();
+        for h in handles {
+            claimed.extend(h.join().expect("rayon-compat worker panicked"));
+        }
     });
-    out.into_iter().flatten().collect()
+    claimed.sort_unstable_by_key(|(i, _)| *i);
+    claimed.into_iter().flat_map(|(_, part)| part).collect()
 }
 
 #[cfg(test)]
@@ -174,5 +204,58 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn skewed_workloads_preserve_order() {
+        use std::time::Duration;
+        // Heavily skewed per-item cost (front-loaded): dynamic chunk
+        // claiming must still stitch results back in input order.
+        let xs: Vec<u64> = (0..64).collect();
+        let out: Vec<u64> = xs
+            .par_iter()
+            .map(|&x| {
+                if x < 4 {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                x * 3
+            })
+            .collect();
+        assert_eq!(out, (0..64).map(|x| x * 3).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn every_item_is_mapped_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // The shared-counter claim loop must cover all chunks exactly
+        // once — no item dropped, none mapped twice.
+        let calls = AtomicUsize::new(0);
+        let xs: Vec<u32> = (0..1023).collect();
+        let out: Vec<u32> = xs
+            .par_iter()
+            .map(|&x| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+            .collect();
+        assert_eq!(out, xs);
+        assert_eq!(calls.load(Ordering::Relaxed), 1023);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            let xs: Vec<u32> = (0..128).collect();
+            let _: Vec<u32> = xs
+                .par_iter()
+                .map(|&x| {
+                    if x == 77 {
+                        panic!("boom");
+                    }
+                    x
+                })
+                .collect();
+        });
+        assert!(caught.is_err(), "a worker panic must reach the caller");
     }
 }

@@ -1,4 +1,4 @@
-//! Query memoization for the batch annotation engine.
+//! Query memoization for the batch annotation engine and service.
 //!
 //! "Querying a Web search engine is a costly operation" (§5) — the
 //! paper's pre-processing step exists to cut query volume, and real
@@ -15,23 +15,47 @@
 //! shard proceed immediately. One search per distinct key, identical
 //! results for every caller, and the engine's query counter (the
 //! paper's daily-allowance concern) stays deterministic — without
-//! serializing unrelated queries behind a slow engine call. Shard count
-//! remains a perf knob for the map-access critical sections, which are
-//! now all short.
+//! serializing unrelated queries behind a slow engine call.
+//!
+//! # Boundedness
+//!
+//! A long-running annotation *service* cannot let the memo grow without
+//! bound the way an offline corpus run can. [`CacheConfig`] adds two
+//! knobs:
+//!
+//! * **capacity** — a cap on memoized entries, split evenly across the
+//!   shards and enforced per shard with exact LRU eviction (shards are
+//!   small — `capacity / shards` entries — so the eviction scan is a
+//!   short, bounded critical section; an intrusive LRU list would buy
+//!   nothing at this size);
+//! * **TTL** — entries older than the deadline answer as misses and are
+//!   re-searched, so a service that runs for days does not serve
+//!   arbitrarily stale results.
+//!
+//! **Determinism invariant (hard):** search results are a pure function
+//! of `(query, k)`, so an eviction or expiry can only change the *cost*
+//! of a lookup (one extra engine call), never its result. Bounded and
+//! unbounded caches produce bit-identical annotations.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use teda_websim::{SearchEngine, SearchResult};
 
-/// Hit/miss accounting of a [`QueryCache`].
+/// Hit/miss/eviction accounting of a [`QueryCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Queries answered from the cache (searches saved).
     pub hits: u64,
     /// Queries that went to the engine.
     pub misses: u64,
+    /// Entries evicted to honour the capacity bound.
+    pub evictions: u64,
+    /// Lookups that found an entry past its TTL (counted in `misses` too:
+    /// the expired entry is dropped and the query re-searched).
+    pub expired: u64,
 }
 
 impl CacheStats {
@@ -42,6 +66,31 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Capacity/TTL/sharding knobs of a [`QueryCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Lock shards (rounded up to 1). More shards, less contention.
+    pub shards: usize,
+    /// Total memoized-entry bound, split evenly across shards (each shard
+    /// holds at most `ceil(capacity / shards)`, minimum 1). `None` is
+    /// unbounded — the right choice for one-shot corpus runs, not for a
+    /// long-running service.
+    pub capacity: Option<usize>,
+    /// Entries older than this answer as misses and are re-searched.
+    /// `None` never expires.
+    pub ttl: Option<Duration>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 64,
+            capacity: None,
+            ttl: None,
         }
     }
 }
@@ -96,35 +145,93 @@ impl Flight {
     }
 }
 
-/// One shard: query text → per-k slots.
+/// One memo entry under a query key.
+#[derive(Debug)]
+struct Entry {
+    k: usize,
+    slot: Slot,
+    /// Shard tick at the last hit (LRU recency). Pending entries carry
+    /// their install tick but are never eviction victims.
+    last_used: u64,
+    /// Publish time, read only when a TTL is configured.
+    inserted: Instant,
+}
+
+/// One shard: query text → per-k entries, plus the shard-local LRU tick
+/// and the count of `Ready` entries the capacity bound applies to.
 ///
 /// Keyed by the query string alone so a hit needs no key allocation;
 /// `k` rarely takes more than one value per run, so the inner list is a
 /// linear scan over one or two entries.
-type Shard = HashMap<String, Vec<(usize, Slot)>>;
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<String, Vec<Entry>>,
+    tick: u64,
+    ready: usize,
+}
 
-/// A sharded, thread-safe memo of search-engine responses.
+/// A sharded, thread-safe, optionally bounded memo of search-engine
+/// responses.
 #[derive(Debug)]
 pub struct QueryCache {
     shards: Vec<Mutex<Shard>>,
+    /// `Ready` entries allowed per shard; `usize::MAX` when unbounded.
+    per_shard_capacity: usize,
+    ttl: Option<Duration>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    expired: AtomicU64,
 }
 
 impl Default for QueryCache {
     fn default() -> Self {
-        QueryCache::new(64)
+        QueryCache::with_config(CacheConfig::default())
     }
 }
 
 impl QueryCache {
-    /// Creates a cache with `shards` lock shards (rounded up to 1).
+    /// Creates an unbounded cache with `shards` lock shards (rounded up
+    /// to 1) — the PR-1 constructor, kept for offline corpus runs.
     pub fn new(shards: usize) -> Self {
-        let n = shards.max(1);
+        QueryCache::with_config(CacheConfig {
+            shards,
+            ..CacheConfig::default()
+        })
+    }
+
+    /// Creates a cache from the full knob set. When a capacity is set,
+    /// the shard count is clamped to it so the per-shard split never
+    /// inflates the bound (`capacity: 8` with 64 shards would otherwise
+    /// round up to one entry *per shard* — 64 entries).
+    pub fn with_config(config: CacheConfig) -> Self {
+        let n = match config.capacity {
+            Some(cap) => config.shards.clamp(1, cap.max(1)),
+            None => config.shards.max(1),
+        };
+        let per_shard_capacity = match config.capacity {
+            Some(cap) => cap.div_ceil(n).max(1),
+            None => usize::MAX,
+        };
         QueryCache {
-            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity,
+            ttl: config.ttl,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+        }
+    }
+
+    /// The effective total capacity (`None` when unbounded). Rounded up
+    /// from the configured value to a multiple of the shard count, since
+    /// the bound is enforced per shard.
+    pub fn capacity(&self) -> Option<usize> {
+        if self.per_shard_capacity == usize::MAX {
+            None
+        } else {
+            Some(self.per_shard_capacity * self.shards.len())
         }
     }
 
@@ -141,37 +248,64 @@ impl QueryCache {
     }
 
     /// Returns the memoized results for `(query, k)`, consulting `engine`
-    /// exactly once per distinct key across all threads: racing callers
-    /// of the same key wait for the first caller's flight; distinct keys
-    /// never wait on each other's engine calls.
+    /// once per distinct *live* key across all threads: racing callers of
+    /// the same key wait for the first caller's flight; distinct keys
+    /// never wait on each other's engine calls; evicted or expired keys
+    /// are simply re-searched (same results, one more engine call).
     pub fn get_or_search<E: SearchEngine + ?Sized>(
         &self,
         engine: &E,
         query: &str,
         k: usize,
     ) -> Arc<[SearchResult]> {
+        /// What the shard held for the key, borrow-free.
+        enum Found {
+            Hit(Arc<[SearchResult]>),
+            Stale,
+            InFlight(Arc<Flight>),
+            Missing,
+        }
         loop {
             let flight = {
                 let shard = &self.shards[self.shard_of(query)];
-                let mut map = shard.lock().expect("query cache shard poisoned");
-                match map
-                    .get(query)
-                    .and_then(|entries| entries.iter().find(|(ek, _)| *ek == k))
+                let mut shard = shard.lock().expect("query cache shard poisoned");
+                shard.tick += 1;
+                let tick = shard.tick;
+                let found = match shard
+                    .map
+                    .get_mut(query)
+                    .and_then(|entries| entries.iter_mut().find(|e| e.k == k))
                 {
-                    Some((_, Slot::Ready(results))) => {
+                    Some(entry) => match &entry.slot {
+                        Slot::Ready(results) => {
+                            if self.ttl.is_some_and(|ttl| entry.inserted.elapsed() >= ttl) {
+                                Found::Stale
+                            } else {
+                                let results = Arc::clone(results);
+                                entry.last_used = tick;
+                                Found::Hit(results)
+                            }
+                        }
+                        Slot::Pending(flight) => Found::InFlight(Arc::clone(flight)),
+                    },
+                    None => Found::Missing,
+                };
+                match found {
+                    Found::Hit(results) => {
                         self.hits.fetch_add(1, Ordering::Relaxed);
-                        return Arc::clone(results);
+                        return results;
                     }
-                    Some((_, Slot::Pending(flight))) => Arc::clone(flight),
-                    None => {
-                        // First caller: install the flight, then search
-                        // outside the shard lock.
+                    Found::InFlight(flight) => flight,
+                    stale_or_missing => {
+                        // First caller (or the entry aged out): install
+                        // the flight, then search outside the shard lock.
+                        if matches!(stale_or_missing, Found::Stale) {
+                            self.expired.fetch_add(1, Ordering::Relaxed);
+                            remove_entry(&mut shard, query, k);
+                        }
                         self.misses.fetch_add(1, Ordering::Relaxed);
-                        let flight = Flight::new();
-                        map.entry(query.to_owned())
-                            .or_default()
-                            .push((k, Slot::Pending(Arc::clone(&flight))));
-                        drop(map);
+                        let flight = install_flight(&mut shard, query, k, tick);
+                        drop(shard);
                         return self.search_as_leader(engine, query, k, &flight);
                     }
                 }
@@ -224,9 +358,10 @@ impl QueryCache {
         results
     }
 
-    /// Publishes a flight's outcome: `Some` marks the slot ready,
-    /// `None` (abandon) removes it. Only touches the slot if it still
-    /// holds this very flight (a concurrent `clear` may have dropped it).
+    /// Publishes a flight's outcome: `Some` marks the slot ready (and
+    /// enforces the capacity bound), `None` (abandon) removes it. Only
+    /// touches the slot if it still holds this very flight (a concurrent
+    /// `clear` may have dropped it).
     fn resolve_slot(
         &self,
         query: &str,
@@ -235,34 +370,45 @@ impl QueryCache {
         results: Option<Arc<[SearchResult]>>,
     ) {
         let shard = &self.shards[self.shard_of(query)];
-        let mut map = shard.lock().expect("query cache shard poisoned");
-        if let Some(entries) = map.get_mut(query) {
-            if let Some(pos) = entries.iter().position(|(ek, slot)| {
-                *ek == k && matches!(slot, Slot::Pending(f) if Arc::ptr_eq(f, flight))
-            }) {
-                match &results {
-                    Some(r) => entries[pos].1 = Slot::Ready(Arc::clone(r)),
-                    None => {
-                        entries.remove(pos);
-                        if entries.is_empty() {
-                            map.remove(query);
+        let mut shard = shard.lock().expect("query cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        let held = shard.map.get_mut(query).and_then(|entries| {
+            entries
+                .iter_mut()
+                .find(|e| e.k == k && matches!(&e.slot, Slot::Pending(f) if Arc::ptr_eq(f, flight)))
+        });
+        if let Some(entry) = held {
+            match &results {
+                Some(r) => {
+                    entry.slot = Slot::Ready(Arc::clone(r));
+                    entry.last_used = tick;
+                    entry.inserted = Instant::now();
+                    shard.ready += 1;
+                    while shard.ready > self.per_shard_capacity {
+                        if !evict_lru(&mut shard) {
+                            break;
                         }
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
                     }
                 }
+                None => remove_entry(&mut shard, query, k),
             }
         }
-        drop(map);
+        drop(shard);
         flight.finish(match results {
             Some(r) => FlightState::Done(r),
             None => FlightState::Abandoned,
         });
     }
 
-    /// Hit/miss counters so far.
+    /// Hit/miss/eviction counters so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
         }
     }
 
@@ -271,14 +417,7 @@ impl QueryCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| {
-                s.lock()
-                    .expect("query cache shard poisoned")
-                    .values()
-                    .flatten()
-                    .filter(|(_, slot)| matches!(slot, Slot::Ready(_)))
-                    .count()
-            })
+            .map(|s| s.lock().expect("query cache shard poisoned").ready)
             .sum()
     }
 
@@ -290,11 +429,65 @@ impl QueryCache {
     /// Drops all entries and zeroes the counters.
     pub fn clear(&self) {
         for s in &self.shards {
-            s.lock().expect("query cache shard poisoned").clear();
+            let mut shard = s.lock().expect("query cache shard poisoned");
+            shard.map.clear();
+            shard.ready = 0;
+            shard.tick = 0;
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.expired.store(0, Ordering::Relaxed);
     }
+}
+
+/// Installs a fresh `Pending` entry for `(query, k)` and returns its
+/// flight. Caller must have verified the key is absent.
+fn install_flight(shard: &mut Shard, query: &str, k: usize, tick: u64) -> Arc<Flight> {
+    let flight = Flight::new();
+    shard.map.entry(query.to_owned()).or_default().push(Entry {
+        k,
+        slot: Slot::Pending(Arc::clone(&flight)),
+        last_used: tick,
+        inserted: Instant::now(),
+    });
+    flight
+}
+
+/// Removes the `(query, k)` entry if present, maintaining the ready count
+/// and dropping emptied key lists.
+fn remove_entry(shard: &mut Shard, query: &str, k: usize) {
+    if let Some(entries) = shard.map.get_mut(query) {
+        if let Some(pos) = entries.iter().position(|e| e.k == k) {
+            if matches!(entries[pos].slot, Slot::Ready(_)) {
+                shard.ready -= 1;
+            }
+            entries.remove(pos);
+            if entries.is_empty() {
+                shard.map.remove(query);
+            }
+        }
+    }
+}
+
+/// Evicts the least-recently-used `Ready` entry of the shard. Returns
+/// `false` when no `Ready` entry exists (all Pending — nothing evictable).
+fn evict_lru(shard: &mut Shard) -> bool {
+    let mut victim: Option<(&String, usize, u64)> = None;
+    for (q, entries) in shard.map.iter() {
+        for e in entries {
+            if matches!(e.slot, Slot::Ready(_))
+                && victim.is_none_or(|(_, _, used)| e.last_used < used)
+            {
+                victim = Some((q, e.k, e.last_used));
+            }
+        }
+    }
+    let Some((q, k, _)) = victim.map(|(q, k, u)| (q.clone(), k, u)) else {
+        return false;
+    };
+    remove_entry(shard, &q, k);
+    true
 }
 
 /// A [`SearchEngine`] that answers through a [`QueryCache`] — drop-in
@@ -360,9 +553,17 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(engine.0.load(Ordering::Relaxed), 2, "one search per key");
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 2 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                ..CacheStats::default()
+            }
+        );
         assert!((cache.stats().hit_rate() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.capacity(), None, "new() stays unbounded");
     }
 
     #[test]
@@ -501,6 +702,129 @@ mod tests {
         let a = engine.search("melisse", 4);
         let b = engine.search("melisse", 4);
         assert_eq!(a, b);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                ..CacheStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_lru_eviction() {
+        let cache = QueryCache::with_config(CacheConfig {
+            shards: 1,
+            capacity: Some(2),
+            ttl: None,
+        });
+        assert_eq!(cache.capacity(), Some(2));
+        let engine = Counting(AtomicUsize::new(0));
+        cache.get_or_search(&engine, "a", 1);
+        cache.get_or_search(&engine, "b", 1);
+        // Touch "a" so "b" is now the LRU entry.
+        cache.get_or_search(&engine, "a", 1);
+        cache.get_or_search(&engine, "c", 1); // evicts "b"
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // "a" and "c" still hit; "b" re-searches.
+        let calls = engine.0.load(Ordering::Relaxed);
+        cache.get_or_search(&engine, "a", 1);
+        cache.get_or_search(&engine, "c", 1);
+        assert_eq!(engine.0.load(Ordering::Relaxed), calls, "a and c cached");
+        cache.get_or_search(&engine, "b", 1);
+        assert_eq!(engine.0.load(Ordering::Relaxed), calls + 1, "b re-searched");
+    }
+
+    #[test]
+    fn eviction_never_changes_results() {
+        let cache = QueryCache::with_config(CacheConfig {
+            shards: 1,
+            capacity: Some(1),
+            ttl: None,
+        });
+        let engine = Counting(AtomicUsize::new(0));
+        let first = cache.get_or_search(&engine, "melisse", 5);
+        cache.get_or_search(&engine, "louvre", 5); // evicts "melisse"
+        let again = cache.get_or_search(&engine, "melisse", 5);
+        assert_eq!(first, again, "evict-then-rehit must be bit-identical");
+        assert!(cache.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let cache = QueryCache::with_config(CacheConfig {
+            shards: 4,
+            capacity: None,
+            ttl: Some(Duration::from_millis(40)),
+        });
+        let engine = Counting(AtomicUsize::new(0));
+        let fresh = cache.get_or_search(&engine, "melisse", 3);
+        assert_eq!(
+            cache.get_or_search(&engine, "melisse", 3),
+            fresh,
+            "within TTL: a hit"
+        );
+        assert_eq!(engine.0.load(Ordering::Relaxed), 1);
+        std::thread::sleep(Duration::from_millis(120));
+        let stale_rehit = cache.get_or_search(&engine, "melisse", 3);
+        assert_eq!(engine.0.load(Ordering::Relaxed), 2, "expired → re-search");
+        assert_eq!(stale_rehit, fresh, "expiry never changes the result");
+        let stats = cache.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn pending_flights_are_never_evicted() {
+        use std::sync::mpsc;
+
+        /// Engine whose first search blocks until released.
+        struct Gated {
+            release: Mutex<Option<mpsc::Receiver<()>>>,
+        }
+        impl SearchEngine for Gated {
+            fn search(&self, query: &str, k: usize) -> Vec<SearchResult> {
+                if query == "slow" {
+                    if let Some(rx) = self.release.lock().unwrap().take() {
+                        rx.recv().unwrap();
+                    }
+                }
+                (0..k)
+                    .map(|i| SearchResult {
+                        url: format!("http://g/{query}/{i}"),
+                        title: "t".into(),
+                        snippet: "s".into(),
+                    })
+                    .collect()
+            }
+        }
+
+        let (tx, rx) = mpsc::channel();
+        let engine = Arc::new(Gated {
+            release: Mutex::new(Some(rx)),
+        });
+        let cache = Arc::new(QueryCache::with_config(CacheConfig {
+            shards: 1,
+            capacity: Some(1),
+            ttl: None,
+        }));
+        std::thread::scope(|s| {
+            let c = Arc::clone(&cache);
+            let e = Arc::clone(&engine);
+            let slow = s.spawn(move || c.get_or_search(e.as_ref(), "slow", 2));
+            // While "slow" is in flight, fill the shard past capacity.
+            std::thread::sleep(Duration::from_millis(30));
+            for q in ["a", "b", "c"] {
+                cache.get_or_search(engine.as_ref(), q, 2);
+            }
+            tx.send(()).unwrap();
+            let r = slow.join().expect("slow search panicked");
+            assert_eq!(r.len(), 2, "in-flight search survived eviction pressure");
+        });
+        assert!(cache.len() <= 1 + 1, "capacity still honoured after flight");
+        assert!(cache.stats().evictions >= 2);
     }
 }

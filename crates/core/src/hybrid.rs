@@ -59,7 +59,7 @@ pub fn annotate_hybrid(
         .filter(|c| !known_cells.contains(c))
         .collect();
     let spatial =
-        crate::pipeline::spatial_context_for(table, annotator.geocoder.as_deref(), &config);
+        crate::pipeline::spatial_context_for(table, annotator.geocoder.as_deref(), None, &config);
     let mut annotations = annotate_cells(
         table,
         &remaining,

@@ -25,18 +25,18 @@ use std::sync::Arc;
 
 use rayon::prelude::*;
 
-use teda_geo::SimGeocoder;
+use teda_geo::{GeocodeCache, GeocodeStats, SimGeocoder};
 use teda_kb::EntityType;
 use teda_tabular::{infer::infer_column_types, CellId, ColumnType, Table};
 use teda_websim::SearchEngine;
 
 use crate::annotate::{annotate_cells, annotate_from_results, build_cell_query, CellAnnotation};
-use crate::cache::{CacheStats, QueryCache};
+use crate::cache::{CacheConfig, CacheStats, QueryCache};
 use crate::config::AnnotatorConfig;
 use crate::model::SnippetClassifier;
 use crate::postprocess::eliminate_spurious;
 use crate::preprocess::preprocess;
-use crate::query::{build_spatial_context, SpatialContext};
+use crate::query::{build_spatial_context_cached, SpatialContext};
 
 /// One annotated row: the paper's final output shape ("identifies the rows
 /// that contain information on entities of a specific type … and
@@ -135,7 +135,7 @@ impl Annotator {
         let table = table.as_ref();
 
         let pre = preprocess(table, &self.config);
-        let spatial = spatial_context_for(table, self.geocoder.as_deref(), &self.config);
+        let spatial = spatial_context_for(table, self.geocoder.as_deref(), None, &self.config);
 
         let annotations = annotate_cells(
             table,
@@ -184,14 +184,16 @@ fn prepared_table(table: &Table) -> Cow<'_, Table> {
 
 /// Spatial-context construction (§5.2.2), shared by every pipeline
 /// driver: only built when disambiguation is on and a geocoder is
-/// attached.
+/// attached. `geo_memo` (the batch path) deduplicates geocoder calls
+/// across the corpus without changing any candidate set.
 pub(crate) fn spatial_context_for(
     table: &Table,
     geocoder: Option<&SimGeocoder>,
+    geo_memo: Option<&GeocodeCache>,
     config: &AnnotatorConfig,
 ) -> Option<SpatialContext> {
     if config.use_disambiguation {
-        geocoder.map(|g| build_spatial_context(table, g, config))
+        geocoder.map(|g| build_spatial_context_cached(table, g, geo_memo, config))
     } else {
         None
     }
@@ -239,6 +241,9 @@ pub struct BatchAnnotator {
     geocoder: Option<Arc<SimGeocoder>>,
     config: AnnotatorConfig,
     cache: QueryCache,
+    /// Distinct-address geocoding memo: across the whole corpus, each
+    /// address string hits the geocoder once (§6.4 round-trip cost).
+    geo_memo: GeocodeCache,
 }
 
 impl BatchAnnotator {
@@ -254,6 +259,7 @@ impl BatchAnnotator {
             geocoder: None,
             config,
             cache: QueryCache::default(),
+            geo_memo: GeocodeCache::default(),
         }
     }
 
@@ -267,6 +273,25 @@ impl BatchAnnotator {
     /// shards, less lock contention between workers).
     pub fn with_cache_shards(mut self, shards: usize) -> Self {
         self.cache = QueryCache::new(shards);
+        self
+    }
+
+    /// Replaces the cache with one built from the full knob set —
+    /// capacity bound, TTL, shard count. The service layer uses this to
+    /// keep long-running processes memory-bounded; results are identical
+    /// to the unbounded cache (evictions only cost an extra search).
+    pub fn with_cache_config(mut self, config: CacheConfig) -> Self {
+        self.cache = QueryCache::with_config(config);
+        self
+    }
+
+    /// Bounds the distinct-address geocoding memo to ~`capacity`
+    /// addresses (the service-layer companion to
+    /// [`with_cache_config`](Self::with_cache_config); the default memo
+    /// is unbounded, sized for one corpus run). Flushes only cost extra
+    /// geocoder calls — candidates never change.
+    pub fn with_geo_memo_capacity(mut self, capacity: usize) -> Self {
+        self.geo_memo = GeocodeCache::bounded(16, capacity);
         self
     }
 
@@ -289,6 +314,17 @@ impl BatchAnnotator {
     /// the memo saved.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The distinct-address geocoding memo (accounting, clearing).
+    pub fn geo_memo(&self) -> &GeocodeCache {
+        &self.geo_memo
+    }
+
+    /// Geocoding-memo accounting so far — `hits` is the number of
+    /// geocoder round-trips the memo saved across the corpus.
+    pub fn geo_stats(&self) -> GeocodeStats {
+        self.geo_memo.stats()
     }
 
     /// Annotates one cell through the cache.
@@ -315,7 +351,12 @@ impl BatchAnnotator {
         let table = table.as_ref();
 
         let pre = preprocess(table, &self.config);
-        let spatial = spatial_context_for(table, self.geocoder.as_deref(), &self.config);
+        let spatial = spatial_context_for(
+            table,
+            self.geocoder.as_deref(),
+            Some(&self.geo_memo),
+            &self.config,
+        );
 
         let annotations: Vec<CellAnnotation> = if parallel_cells {
             let per_cell: Vec<Option<CellAnnotation>> = pre

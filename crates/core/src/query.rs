@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 
 use teda_geo::disambiguate::{disambiguate, DisambiguationConfig};
-use teda_geo::{Geocoder, SimGeocoder};
+use teda_geo::{GeocodeCache, Geocoder, SimGeocoder};
 use teda_tabular::detect::{detect, ValueKind};
 use teda_tabular::{CellId, ColumnType, Table};
 
@@ -61,6 +61,20 @@ pub fn build_spatial_context(
     geocoder: &SimGeocoder,
     config: &AnnotatorConfig,
 ) -> SpatialContext {
+    build_spatial_context_cached(table, geocoder, None, config)
+}
+
+/// [`build_spatial_context`] with an optional address memo: when `memo`
+/// is given, each distinct address string is geocoded once per memo
+/// lifetime (one geocoder round-trip per distinct address per corpus).
+/// The candidate sets — and therefore the disambiguation and the final
+/// context — are identical with or without the memo.
+pub fn build_spatial_context_cached(
+    table: &Table,
+    geocoder: &SimGeocoder,
+    memo: Option<&GeocodeCache>,
+    config: &AnnotatorConfig,
+) -> SpatialContext {
     // 1. Collect spatial cells: GFT Location columns, plus address /
     //    coordinate-shaped cells in untyped columns (the paper defers
     //    general spatial-column detection to Borges et al.; the syntactic
@@ -86,10 +100,18 @@ pub fn build_spatial_context(
         return SpatialContext::default();
     }
 
-    // 2. Geocode each spatial cell into its candidate set L_{i,j}.
+    // 2. Geocode each spatial cell into its candidate set L_{i,j},
+    //    through the distinct-address memo when one is attached.
     let cells: Vec<(CellId, Vec<teda_geo::LocationId>)> = spatial_cells
         .iter()
-        .map(|&id| (id, geocoder.geocode(table.cell_at(id))))
+        .map(|&id| {
+            let address = table.cell_at(id);
+            let cands = match memo {
+                Some(memo) => memo.get_or_geocode(geocoder, address).to_vec(),
+                None => geocoder.geocode(address),
+            };
+            (id, cands)
+        })
         .filter(|(_, cands)| !cands.is_empty())
         .collect();
     if cells.is_empty() {

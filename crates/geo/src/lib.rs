@@ -22,15 +22,20 @@
 //!   the norm in GFT tables, as the paper observes);
 //! * [`geocoder`] — the [`geocoder::Geocoder`] trait and the simulated
 //!   Google-Geocoding implementation charging virtual latency;
-//! * [`mod@disambiguate`] — the §5.2.2 voting-graph algorithm.
+//! * [`mod@disambiguate`] — the §5.2.2 voting-graph algorithm;
+//! * [`memo`] — batch-aware geocoding: a sharded single-flight memo so a
+//!   corpus geocodes each distinct address once (the `QueryCache` trick
+//!   applied to the geocoder).
 
 pub mod address;
 pub mod disambiguate;
 pub mod gazetteer;
 pub mod geocoder;
+pub mod memo;
 pub mod synthetic;
 
 pub use address::ParsedAddress;
 pub use disambiguate::{disambiguate, DisambiguationConfig, DisambiguationResult};
 pub use gazetteer::{Gazetteer, Location, LocationId, LocationKind};
 pub use geocoder::{Geocoder, SimGeocoder};
+pub use memo::{GeocodeCache, GeocodeStats};

@@ -1,0 +1,405 @@
+//! Batch-aware geocoding: a sharded, single-flight memo of
+//! `address → candidate locations`.
+//!
+//! Spatial disambiguation (§5.2.2) geocodes every address cell, and a
+//! table corpus repeats addresses the same way it repeats entity names —
+//! the same street across listings, the same city column value down a
+//! table. [`GeocodeCache`] is the `QueryCache` trick applied to the
+//! geocoder: distinct addresses are geocoded once per corpus, duplicate
+//! addresses are answered from the memo, and concurrent workers racing
+//! on the *same* address share one geocoder call (single flight) while
+//! distinct addresses never wait on each other.
+//!
+//! Determinism: the simulated geocoder is a pure function of the address
+//! string (latency aside), so memoization changes the number of geocoder
+//! round-trips — the §6.4 cost — never a candidate set.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::gazetteer::LocationId;
+use crate::geocoder::Geocoder;
+
+/// Hit/miss accounting of a [`GeocodeCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GeocodeStats {
+    /// Addresses answered from the memo (geocoder calls saved).
+    pub hits: u64,
+    /// Addresses that went to the geocoder.
+    pub misses: u64,
+    /// Entries dropped by shard flushes of a bounded memo.
+    pub evictions: u64,
+}
+
+impl GeocodeStats {
+    /// Hit fraction in `[0, 1]`; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One memo slot: a finished candidate set, or a geocode in flight.
+#[derive(Debug, Clone)]
+enum Slot {
+    Ready(Arc<[LocationId]>),
+    Pending(Arc<Flight>),
+}
+
+/// Rendezvous for workers waiting on another worker's in-flight geocode.
+#[derive(Debug)]
+struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+#[derive(Debug, Clone)]
+enum FlightState {
+    Geocoding,
+    Done(Arc<[LocationId]>),
+    /// The geocoding worker unwound; waiters retry.
+    Abandoned,
+}
+
+impl Flight {
+    fn new() -> Arc<Self> {
+        Arc::new(Flight {
+            state: Mutex::new(FlightState::Geocoding),
+            done: Condvar::new(),
+        })
+    }
+
+    fn finish(&self, state: FlightState) {
+        *self.state.lock().expect("geocode flight poisoned") = state;
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Option<Arc<[LocationId]>> {
+        let mut state = self.state.lock().expect("geocode flight poisoned");
+        loop {
+            match &*state {
+                FlightState::Geocoding => {
+                    state = self.done.wait(state).expect("geocode flight poisoned");
+                }
+                FlightState::Done(cands) => return Some(Arc::clone(cands)),
+                FlightState::Abandoned => return None,
+            }
+        }
+    }
+}
+
+/// A sharded, thread-safe memo of geocoder responses, keyed by the raw
+/// address string.
+///
+/// [`new`](Self::new) is unbounded — right for a one-shot corpus run,
+/// which holds at most one entry per *distinct* address and then drops
+/// the whole memo. A long-running service should use
+/// [`bounded`](Self::bounded): when a shard fills, it is flushed
+/// (cheap wholesale reset — addresses are cheap to re-geocode and the
+/// memo's value is within-burst deduplication, so LRU bookkeeping buys
+/// little here). Flushing only ever costs extra geocoder calls; the
+/// geocoder is a pure function of the address, so candidates never
+/// change.
+#[derive(Debug)]
+pub struct GeocodeCache {
+    shards: Vec<Mutex<HashMap<String, Slot>>>,
+    /// `Ready` entries allowed per shard before it is flushed;
+    /// `usize::MAX` when unbounded.
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for GeocodeCache {
+    fn default() -> Self {
+        GeocodeCache::new(16)
+    }
+}
+
+impl GeocodeCache {
+    /// Creates an unbounded cache with `shards` lock shards (rounded up
+    /// to 1).
+    pub fn new(shards: usize) -> Self {
+        GeocodeCache::with_capacity(shards, usize::MAX)
+    }
+
+    /// Creates a cache bounded to ~`capacity` memoized addresses, split
+    /// across `shards` (clamped so the split cannot inflate the bound).
+    pub fn bounded(shards: usize, capacity: usize) -> Self {
+        let n = shards.clamp(1, capacity.max(1));
+        GeocodeCache::with_capacity(n, capacity.div_ceil(n).max(1))
+    }
+
+    fn with_capacity(shards: usize, per_shard_capacity: usize) -> Self {
+        let n = shards.max(1);
+        GeocodeCache {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The effective total capacity (`None` when unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        if self.per_shard_capacity == usize::MAX {
+            None
+        } else {
+            Some(self.per_shard_capacity * self.shards.len())
+        }
+    }
+
+    /// Stable FNV-1a shard selection (same scheme as the query cache).
+    fn shard_of(&self, address: &str) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in address.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % self.shards.len() as u64) as usize
+    }
+
+    /// Returns the memoized candidate set for `address`, consulting
+    /// `geocoder` exactly once per distinct address across all threads.
+    pub fn get_or_geocode<G: Geocoder + ?Sized>(
+        &self,
+        geocoder: &G,
+        address: &str,
+    ) -> Arc<[LocationId]> {
+        loop {
+            let flight = {
+                let shard = &self.shards[self.shard_of(address)];
+                let mut map = shard.lock().expect("geocode cache shard poisoned");
+                match map.get(address) {
+                    Some(Slot::Ready(cands)) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Arc::clone(cands);
+                    }
+                    Some(Slot::Pending(flight)) => Arc::clone(flight),
+                    None => {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        let flight = Flight::new();
+                        map.insert(address.to_owned(), Slot::Pending(Arc::clone(&flight)));
+                        drop(map);
+                        return self.geocode_as_leader(geocoder, address, &flight);
+                    }
+                }
+            };
+            if let Some(cands) = flight.wait() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return cands;
+            }
+        }
+    }
+
+    /// Runs the geocoder call for an installed flight and publishes the
+    /// outcome; on unwind the slot is removed so followers retry.
+    fn geocode_as_leader<G: Geocoder + ?Sized>(
+        &self,
+        geocoder: &G,
+        address: &str,
+        flight: &Arc<Flight>,
+    ) -> Arc<[LocationId]> {
+        struct Abort<'a> {
+            cache: &'a GeocodeCache,
+            flight: &'a Arc<Flight>,
+            address: &'a str,
+            armed: bool,
+        }
+        impl Drop for Abort<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    self.cache.resolve(self.address, self.flight, None);
+                }
+            }
+        }
+        let mut guard = Abort {
+            cache: self,
+            flight,
+            address,
+            armed: true,
+        };
+        let cands: Arc<[LocationId]> = geocoder.geocode(address).into();
+        guard.armed = false;
+        self.resolve(address, flight, Some(Arc::clone(&cands)));
+        cands
+    }
+
+    /// Publishes a flight's outcome if the slot still holds this flight,
+    /// flushing the shard first when the capacity bound is reached
+    /// (in-flight entries survive the flush).
+    fn resolve(&self, address: &str, flight: &Arc<Flight>, cands: Option<Arc<[LocationId]>>) {
+        let shard = &self.shards[self.shard_of(address)];
+        let mut map = shard.lock().expect("geocode cache shard poisoned");
+        let held = matches!(
+            map.get(address),
+            Some(Slot::Pending(f)) if Arc::ptr_eq(f, flight)
+        );
+        if held {
+            match &cands {
+                Some(c) => {
+                    let ready = map.values().filter(|s| matches!(s, Slot::Ready(_))).count();
+                    if ready >= self.per_shard_capacity {
+                        map.retain(|_, slot| matches!(slot, Slot::Pending(_)));
+                        self.evictions.fetch_add(ready as u64, Ordering::Relaxed);
+                    }
+                    map.insert(address.to_owned(), Slot::Ready(Arc::clone(c)));
+                }
+                None => {
+                    map.remove(address);
+                }
+            }
+        }
+        drop(map);
+        flight.finish(match cands {
+            Some(c) => FlightState::Done(c),
+            None => FlightState::Abandoned,
+        });
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> GeocodeStats {
+        GeocodeStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of memoized addresses.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("geocode cache shard poisoned")
+                    .values()
+                    .filter(|slot| matches!(slot, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Whether nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries and zeroes the counters.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("geocode cache shard poisoned").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gazetteer::Gazetteer;
+    use crate::geocoder::SimGeocoder;
+
+    fn geocoder() -> SimGeocoder {
+        SimGeocoder::instant(Arc::new(Gazetteer::figure7()))
+    }
+
+    #[test]
+    fn distinct_addresses_geocode_once() {
+        let gc = geocoder();
+        let cache = GeocodeCache::default();
+        let a = cache.get_or_geocode(&gc, "Paris");
+        let b = cache.get_or_geocode(&gc, "Paris");
+        let c = cache.get_or_geocode(&gc, "Washington");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(gc.query_count(), 2, "one geocoder call per address");
+        assert_eq!(
+            cache.stats(),
+            GeocodeStats {
+                hits: 1,
+                misses: 2,
+                ..GeocodeStats::default()
+            }
+        );
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.capacity(), None, "new() stays unbounded");
+    }
+
+    #[test]
+    fn bounded_memo_flushes_but_never_changes_candidates() {
+        let gc = geocoder();
+        let cache = GeocodeCache::bounded(1, 2);
+        assert_eq!(cache.capacity(), Some(2));
+        let addresses = ["Paris", "Washington", "College Park, GA", "Paris"];
+        for addr in addresses {
+            let direct = gc.geocode(addr);
+            assert_eq!(
+                &*cache.get_or_geocode(&gc, addr),
+                &direct[..],
+                "flush changed candidates: {addr}"
+            );
+        }
+        assert!(cache.stats().evictions > 0, "capacity 2 must flush");
+        assert!(cache.len() <= 2, "bound exceeded: {}", cache.len());
+    }
+
+    #[test]
+    fn memoized_candidates_match_direct_geocoding() {
+        let gc = geocoder();
+        let cache = GeocodeCache::new(4);
+        for addr in [
+            "1600 Pennsylvania Avenue",
+            "Paris",
+            "College Park, GA",
+            "nowhere at all",
+        ] {
+            let direct = gc.geocode(addr);
+            let memod = cache.get_or_geocode(&gc, addr);
+            assert_eq!(&*memod, &direct[..], "memo changed candidates: {addr}");
+            // and the memoized re-read is identical too
+            assert_eq!(&*cache.get_or_geocode(&gc, addr), &direct[..]);
+        }
+    }
+
+    #[test]
+    fn concurrent_duplicate_addresses_single_flight() {
+        let gc = Arc::new(geocoder());
+        let cache = Arc::new(GeocodeCache::new(8));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let gc = Arc::clone(&gc);
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for addr in ["Paris", "Washington", "College Park, GA"] {
+                        cache.get_or_geocode(gc.as_ref(), addr);
+                    }
+                });
+            }
+        });
+        assert_eq!(gc.query_count(), 3, "single flight per distinct address");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 21);
+    }
+
+    #[test]
+    fn clear_forces_regeocoding() {
+        let gc = geocoder();
+        let cache = GeocodeCache::default();
+        cache.get_or_geocode(&gc, "Paris");
+        cache.clear();
+        assert!(cache.is_empty());
+        cache.get_or_geocode(&gc, "Paris");
+        assert_eq!(gc.query_count(), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! `teda-service` — the long-running annotation service.
+//!
+//! The paper frames annotation as search-engine-bounded work: "querying
+//! a Web search engine is a costly operation" (§5), and real engines
+//! meter a daily query allowance. PR 1's [`BatchAnnotator`] treats that
+//! concern offline — whole corpus in, whole corpus out. This crate turns
+//! the engine into an *online service*: callers submit one table at a
+//! time, a scheduler fans requests out over a worker pool, and admission
+//! control sheds load when the queue or the query budget is exhausted,
+//! instead of letting latency and memory grow without bound.
+//!
+//! Three pieces (std threads + channels only — the offline-build
+//! constraint rules out an async runtime, and annotation work is
+//! CPU/latency-bound anyway, so a thread per worker is the right shape):
+//!
+//! * [`ServiceConfig`] — the knobs: worker count, submission-queue
+//!   depth, per-request and pooled query budgets, and the bounded
+//!   query-cache configuration ([`teda_core::cache::CacheConfig`])
+//!   applied to the underlying engine.
+//! * [`AnnotationService`] — the scheduler: a bounded submission queue
+//!   feeding a worker pool that drives
+//!   [`BatchAnnotator::annotate_table`]; [`submit`](AnnotationService::submit)
+//!   never blocks — a full queue or an empty budget sheds the request
+//!   with a typed [`Rejection`].
+//! * [`ServiceStats`] — the report: accepted/shed accounting, p50/p99
+//!   latency, shed rate, and the cache hit rates of both memo layers.
+//!
+//! Determinism note: the service inherits the batch engine's invariant —
+//! annotations are a pure function of the table (plus config/seed), so
+//! scheduling order, cache evictions and worker interleaving change
+//! *when* a result arrives and how many engine calls it costs, never the
+//! result itself.
+
+mod scheduler;
+mod stats;
+
+pub use scheduler::{
+    AnnotationService, Rejection, RequestFailed, RequestHandle, RequestOutcome, ServiceConfig,
+};
+pub use stats::{LatencySummary, ServiceStats};

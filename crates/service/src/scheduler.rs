@@ -1,0 +1,656 @@
+//! The request scheduler: bounded queue, worker pool, admission control.
+//!
+//! Shape: [`AnnotationService::submit`] runs on the caller's thread and
+//! never blocks — it either enqueues a job on a bounded
+//! `std::sync::mpsc::sync_channel` or sheds it with a typed
+//! [`Rejection`]. Worker threads pull jobs off the shared receiver and
+//! drive [`BatchAnnotator::annotate_table`]; each job carries a one-slot
+//! reply channel its [`RequestHandle`] waits on.
+//!
+//! Admission control mirrors the paper's query-allowance concern (§5):
+//! a request's worst-case query need is its cell count (pre-processing
+//! and the memo only ever lower real engine traffic), so the scheduler
+//! can reject oversized requests up front and meter a shared query pool
+//! without ever running them. The pool reservation is returned once the
+//! request completes and its true candidate count is known.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use teda_core::cache::CacheConfig;
+use teda_core::pipeline::{BatchAnnotator, TableAnnotations};
+use teda_tabular::Table;
+
+use crate::stats::{LatencySummary, ServiceStats};
+
+/// Scheduler and budget knobs of an [`AnnotationService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads. `0` uses the machine's available parallelism.
+    pub workers: usize,
+    /// Bounded submission-queue depth; a full queue sheds new requests.
+    pub queue_depth: usize,
+    /// Per-request admission bound: requests whose worst-case query need
+    /// (cell count) exceeds this are rejected outright.
+    pub max_queries_per_request: Option<u64>,
+    /// Shared query pool (the paper's daily allowance): submissions
+    /// reserve their worst-case need and are shed when the pool runs
+    /// dry; unused reservation is returned on completion.
+    pub query_pool: Option<u64>,
+    /// Bounded-cache configuration applied to the annotator's query
+    /// cache (capacity / TTL / shards). `None` keeps the annotator's
+    /// existing cache.
+    pub cache: Option<CacheConfig>,
+    /// Bound on the distinct-address geocoding memo. The default caps it
+    /// at 65,536 addresses so a service running for days cannot grow the
+    /// memo without limit; `None` leaves it unbounded (corpus-run
+    /// behaviour). Flushes only cost extra geocoder calls.
+    pub geo_memo_capacity: Option<usize>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            queue_depth: 64,
+            max_queries_per_request: None,
+            query_pool: None,
+            cache: None,
+            geo_memo_capacity: Some(65_536),
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// The bounded submission queue is full — shed, try again later.
+    QueueFull,
+    /// The shared query pool cannot cover the request's worst case.
+    BudgetExhausted,
+    /// The request alone exceeds the per-request query budget.
+    RequestTooLarge {
+        /// Worst-case queries the table may need (its cell count).
+        need: u64,
+        /// The configured per-request bound.
+        budget: u64,
+    },
+    /// The service is shutting down; no new work is accepted.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::QueueFull => write!(f, "submission queue full"),
+            Rejection::BudgetExhausted => write!(f, "query pool exhausted"),
+            Rejection::RequestTooLarge { need, budget } => {
+                write!(f, "request needs up to {need} queries, budget is {budget}")
+            }
+            Rejection::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+/// The completed annotation of one submitted table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestOutcome {
+    /// The annotations, bit-identical to a direct
+    /// [`BatchAnnotator::annotate_table`] call on the same table.
+    pub annotations: TableAnnotations,
+    /// Submit-to-completion latency (queue wait included).
+    pub latency: Duration,
+    /// Time spent queued before a worker picked the job up.
+    pub queue_wait: Duration,
+}
+
+/// The request's worker unwound (engine panic) or the service dropped
+/// the job during shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestFailed;
+
+/// A ticket for one accepted submission.
+#[derive(Debug)]
+pub struct RequestHandle {
+    reply: Receiver<Result<RequestOutcome, RequestFailed>>,
+}
+
+impl RequestHandle {
+    /// Blocks until the request completes.
+    pub fn wait(self) -> Result<RequestOutcome, RequestFailed> {
+        self.reply.recv().unwrap_or(Err(RequestFailed))
+    }
+
+    /// Non-blocking poll; `None` while the request is still queued or
+    /// running.
+    pub fn try_wait(&self) -> Option<Result<RequestOutcome, RequestFailed>> {
+        self.reply.try_recv().ok()
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    table: Arc<Table>,
+    enqueued: Instant,
+    reserved: u64,
+    reply: SyncSender<Result<RequestOutcome, RequestFailed>>,
+}
+
+/// Completed-request latencies kept for the percentile report. A
+/// long-running service must not remember every request forever, so the
+/// window is a fixed-size ring: p50/p99 describe the most recent
+/// [`LATENCY_WINDOW`] completions, which is also what an operator wants
+/// from a live service (current behaviour, not day-one history).
+const LATENCY_WINDOW: usize = 4096;
+
+/// Fixed-size ring of recent latencies.
+#[derive(Debug, Default)]
+struct LatencyRing {
+    buf: Vec<Duration>,
+    next: usize,
+}
+
+impl LatencyRing {
+    fn push(&mut self, d: Duration) {
+        if self.buf.len() < LATENCY_WINDOW {
+            self.buf.push(d);
+        } else {
+            self.buf[self.next] = d;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+    }
+}
+
+/// State shared between the submit path and the workers.
+struct Shared {
+    annotator: BatchAnnotator,
+    /// Remaining shared query pool; `None` when unmetered.
+    pool: Option<AtomicU64>,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    shed_queue: AtomicU64,
+    shed_budget: AtomicU64,
+    rejected_oversize: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+/// The long-running annotation service: a bounded submission queue in
+/// front of a worker pool driving one shared [`BatchAnnotator`].
+pub struct AnnotationService {
+    shared: Arc<Shared>,
+    /// `None` after shutdown began (closes the queue).
+    tx: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    config: ServiceConfig,
+}
+
+impl AnnotationService {
+    /// Starts the worker pool over `annotator`. When `config.cache` is
+    /// set, the annotator's query cache is replaced with the bounded
+    /// configuration first; likewise `config.geo_memo_capacity` bounds
+    /// the address memo.
+    pub fn start(annotator: BatchAnnotator, mut config: ServiceConfig) -> Self {
+        let annotator = match config.cache {
+            Some(cache) => annotator.with_cache_config(cache),
+            None => annotator,
+        };
+        let annotator = match config.geo_memo_capacity {
+            Some(capacity) => annotator.with_geo_memo_capacity(capacity),
+            None => annotator,
+        };
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        // Write the resolution back so `config()` reports the true pool
+        // size rather than the `0 = auto` sentinel.
+        config.workers = workers;
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(Shared {
+            annotator,
+            pool: config.query_pool.map(AtomicU64::new),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            shed_queue: AtomicU64::new(0),
+            shed_budget: AtomicU64::new(0),
+            rejected_oversize: AtomicU64::new(0),
+            latencies: Mutex::new(LatencyRing::default()),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("teda-service-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        AnnotationService {
+            shared,
+            tx: Some(tx),
+            workers: handles,
+            config,
+        }
+    }
+
+    /// The effective configuration (workers resolved at start).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The underlying batch annotator (cache inspection, configuration).
+    pub fn annotator(&self) -> &BatchAnnotator {
+        &self.shared.annotator
+    }
+
+    /// Submits one table for annotation. Never blocks: the job is
+    /// either queued (returning a [`RequestHandle`]) or shed with the
+    /// reason. The table rides behind an `Arc`, so shedding costs
+    /// nothing and callers keep their copy.
+    pub fn submit(&self, table: Arc<Table>) -> Result<RequestHandle, Rejection> {
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        let need = (table.n_rows() * table.n_cols()) as u64;
+
+        if let Some(budget) = self.config.max_queries_per_request {
+            if need > budget {
+                self.shared
+                    .rejected_oversize
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(Rejection::RequestTooLarge { need, budget });
+            }
+        }
+        if let Some(pool) = &self.shared.pool {
+            let reserved = pool
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                    cur.checked_sub(need)
+                })
+                .is_ok();
+            if !reserved {
+                self.shared.shed_budget.fetch_add(1, Ordering::Relaxed);
+                return Err(Rejection::BudgetExhausted);
+            }
+        }
+
+        let Some(tx) = &self.tx else {
+            self.refund(need);
+            return Err(Rejection::ShuttingDown);
+        };
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let job = Job {
+            table,
+            enqueued: Instant::now(),
+            reserved: need,
+            reply: reply_tx,
+        };
+        match tx.try_send(job) {
+            Ok(()) => Ok(RequestHandle { reply: reply_rx }),
+            Err(TrySendError::Full(_)) => {
+                self.refund(need);
+                self.shared.shed_queue.fetch_add(1, Ordering::Relaxed);
+                Err(Rejection::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.refund(need);
+                Err(Rejection::ShuttingDown)
+            }
+        }
+    }
+
+    /// Returns `n` reserved queries to the pool (no-op when unmetered).
+    fn refund(&self, n: u64) {
+        if let Some(pool) = &self.shared.pool {
+            pool.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Tops the query pool up by `n` (the daily-allowance refill). No-op
+    /// when the service runs unmetered.
+    pub fn add_budget(&self, n: u64) {
+        self.refund(n);
+    }
+
+    /// Queries currently available in the pool, if metered.
+    pub fn remaining_budget(&self) -> Option<u64> {
+        self.shared.pool.as_ref().map(|p| p.load(Ordering::Relaxed))
+    }
+
+    /// A point-in-time report of the service counters. Latency
+    /// percentiles cover the most recent `LATENCY_WINDOW` completions.
+    pub fn stats(&self) -> ServiceStats {
+        // Copy the window out, then sort outside the lock so stats
+        // polling never stalls the workers' completion path.
+        let latencies = self
+            .shared
+            .latencies
+            .lock()
+            .expect("service latencies poisoned")
+            .buf
+            .clone();
+        ServiceStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+            shed_queue: self.shared.shed_queue.load(Ordering::Relaxed),
+            shed_budget: self.shared.shed_budget.load(Ordering::Relaxed),
+            rejected_oversize: self.shared.rejected_oversize.load(Ordering::Relaxed),
+            latency: LatencySummary::from_latencies(&latencies),
+            cache: self.shared.annotator.cache_stats(),
+            geocode: self.shared.annotator.geo_stats(),
+        }
+    }
+
+    /// Stops accepting work, drains the queue, joins the workers and
+    /// returns the final report.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.tx = None; // closes the queue; workers exit after draining
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for AnnotationService {
+    fn drop(&mut self) {
+        self.tx = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker: pull jobs until the queue closes.
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the receiver lock only for the handoff; annotation runs
+        // unlocked so workers process jobs concurrently.
+        let job = {
+            let rx = rx.lock().expect("service queue poisoned");
+            rx.recv()
+        };
+        let Ok(job) = job else { break };
+        let queue_wait = job.enqueued.elapsed();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            shared.annotator.annotate_table(&job.table)
+        }));
+        match outcome {
+            Ok(annotations) => {
+                // Return the unused share of the worst-case reservation:
+                // the true query need is the candidate-cell count.
+                if let Some(pool) = &shared.pool {
+                    let refund = job
+                        .reserved
+                        .saturating_sub(annotations.queried_cells as u64);
+                    pool.fetch_add(refund, Ordering::Relaxed);
+                }
+                let latency = job.enqueued.elapsed();
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .latencies
+                    .lock()
+                    .expect("service latencies poisoned")
+                    .push(latency);
+                let _ = job.reply.try_send(Ok(RequestOutcome {
+                    annotations,
+                    latency,
+                    queue_wait,
+                }));
+            }
+            Err(_) => {
+                // The engine unwound mid-request: the reservation is not
+                // refunded (true usage unknown), the caller is told.
+                shared.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.try_send(Err(RequestFailed));
+            }
+        }
+    }
+}
+
+// Compile-time proof the service handle can be shared across submitter
+// threads (open-loop load generators).
+const _: fn() = || {
+    fn assert_sync<T: Sync + Send>() {}
+    assert_sync::<AnnotationService>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teda_classifier::naive_bayes::NaiveBayesConfig;
+    use teda_classifier::{Dataset, NaiveBayes};
+    use teda_core::config::AnnotatorConfig;
+    use teda_core::model::{AnyModel, SnippetClassifier, TypeLabels};
+    use teda_kb::EntityType;
+    use teda_tabular::ColumnType;
+    use teda_text::FeatureExtractor;
+    use teda_websim::{SearchEngine, SearchResult};
+
+    /// Engine: restaurant snippets for known names; optionally slow.
+    struct Scripted {
+        delay: Duration,
+    }
+
+    impl SearchEngine for Scripted {
+        fn search(&self, query: &str, k: usize) -> Vec<SearchResult> {
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            let q = query.to_lowercase();
+            if !(q.contains("melisse") || q.contains("bayona")) {
+                return Vec::new();
+            }
+            (0..k)
+                .map(|i| SearchResult {
+                    url: format!("http://scripted/{i}"),
+                    title: "t".into(),
+                    snippet: "menu cuisine dining chef tasting".into(),
+                })
+                .collect()
+        }
+    }
+
+    fn classifier() -> SnippetClassifier {
+        let mut fx = FeatureExtractor::new();
+        let rest = fx.fit_transform("menu cuisine dining chef tasting");
+        let other = fx.fit_transform("random generic website words");
+        let mut data = Dataset::new(2, fx.dim());
+        for _ in 0..8 {
+            data.push(rest.clone(), 0);
+            data.push(other.clone(), 1);
+        }
+        let nb = NaiveBayes::train(&data, NaiveBayesConfig::default());
+        SnippetClassifier::new(
+            fx,
+            AnyModel::Bayes(nb),
+            TypeLabels::with_other(vec![EntityType::Restaurant]),
+        )
+    }
+
+    fn annotator(delay: Duration) -> BatchAnnotator {
+        BatchAnnotator::new(
+            Arc::new(Scripted { delay }),
+            classifier(),
+            AnnotatorConfig {
+                targets: vec![EntityType::Restaurant],
+                ..AnnotatorConfig::default()
+            },
+        )
+    }
+
+    fn restaurant_table(tag: &str) -> Arc<Table> {
+        Arc::new(
+            Table::builder(2)
+                .column_type(1, ColumnType::Location)
+                .row(vec!["Melisse", &format!("1104 Wilshire Blvd {tag}")])
+                .unwrap()
+                .row(vec!["Bayona", "430 Dauphine St"])
+                .unwrap()
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn service_results_match_direct_annotation() {
+        let direct = annotator(Duration::ZERO);
+        let table = restaurant_table("a");
+        let reference = direct.annotate_table(&table);
+
+        let service = AnnotationService::start(
+            annotator(Duration::ZERO),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let outcome = service
+            .submit(Arc::clone(&table))
+            .expect("queue has room")
+            .wait()
+            .expect("request completes");
+        assert_eq!(outcome.annotations, reference, "service changed a result");
+        assert!(outcome.latency >= outcome.queue_wait);
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.shed(), 0);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_queue_full() {
+        // One slow worker, queue depth 1: a burst must shed.
+        let service = AnnotationService::start(
+            annotator(Duration::from_millis(60)),
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let mut accepted = Vec::new();
+        let mut shed = 0u64;
+        for i in 0..12 {
+            match service.submit(restaurant_table(&i.to_string())) {
+                Ok(handle) => accepted.push(handle),
+                Err(Rejection::QueueFull) => shed += 1,
+                Err(other) => panic!("unexpected rejection: {other}"),
+            }
+        }
+        assert!(shed > 0, "burst into a depth-1 queue must shed");
+        for handle in accepted {
+            handle.wait().expect("accepted requests complete");
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.shed_queue, shed);
+        assert_eq!(stats.completed + stats.shed_queue, 12);
+        assert!(stats.shed_rate() > 0.0);
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_up_front() {
+        let service = AnnotationService::start(
+            annotator(Duration::ZERO),
+            ServiceConfig {
+                workers: 1,
+                max_queries_per_request: Some(3),
+                ..ServiceConfig::default()
+            },
+        );
+        // 2×2 table: worst case 4 queries > budget 3.
+        let err = service.submit(restaurant_table("big")).unwrap_err();
+        assert_eq!(
+            err,
+            Rejection::RequestTooLarge { need: 4, budget: 3 },
+            "{err}"
+        );
+        let stats = service.shutdown();
+        assert_eq!(stats.rejected_oversize, 1);
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn query_pool_sheds_and_refunds() {
+        let service = AnnotationService::start(
+            annotator(Duration::ZERO),
+            ServiceConfig {
+                workers: 1,
+                query_pool: Some(5),
+                ..ServiceConfig::default()
+            },
+        );
+        // 4 cells reserved from a pool of 5 — a second concurrent
+        // submission cannot fit.
+        let first = service.submit(restaurant_table("a")).expect("fits");
+        let second = service.submit(restaurant_table("b"));
+        let outcome = first.wait().expect("completes");
+        match second {
+            Ok(handle) => {
+                // The first request may already have completed (and
+                // refunded) before the second submission — then it fits.
+                handle.wait().expect("completes");
+            }
+            Err(rej) => assert_eq!(rej, Rejection::BudgetExhausted),
+        }
+        // After completion the unused reservation came back: 2 of the 4
+        // cells are Location-column cells that never query.
+        assert_eq!(outcome.annotations.queried_cells, 2);
+        let remaining = service.remaining_budget().expect("metered");
+        assert!(
+            remaining >= 1,
+            "unused worst-case reservation must be refunded, got {remaining}"
+        );
+        service.add_budget(10);
+        assert!(service.remaining_budget().unwrap() >= 11);
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_work() {
+        let service = AnnotationService::start(
+            annotator(Duration::from_millis(20)),
+            ServiceConfig {
+                workers: 2,
+                queue_depth: 16,
+                ..ServiceConfig::default()
+            },
+        );
+        let handles: Vec<RequestHandle> = (0..6)
+            .map(|i| service.submit(restaurant_table(&i.to_string())).unwrap())
+            .collect();
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 6, "queued work drains before exit");
+        for handle in handles {
+            handle.wait().expect("drained requests still answer");
+        }
+        assert!(stats.latency.p99 >= stats.latency.p50);
+    }
+
+    #[test]
+    fn bounded_cache_config_is_applied() {
+        let service = AnnotationService::start(
+            annotator(Duration::ZERO),
+            ServiceConfig {
+                workers: 1,
+                cache: Some(CacheConfig {
+                    shards: 4,
+                    capacity: Some(8),
+                    ttl: None,
+                }),
+                ..ServiceConfig::default()
+            },
+        );
+        assert_eq!(service.annotator().cache().capacity(), Some(8));
+        service.shutdown();
+    }
+}

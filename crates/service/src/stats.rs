@@ -1,0 +1,128 @@
+//! Service accounting: latency percentiles, shed rates, cache hit rates.
+
+use std::time::Duration;
+
+use teda_core::cache::CacheStats;
+use teda_geo::GeocodeStats;
+
+/// Latency percentiles over the completed requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Median submit-to-completion latency.
+    pub p50: Duration,
+    /// 99th-percentile submit-to-completion latency.
+    pub p99: Duration,
+    /// Worst observed latency.
+    pub max: Duration,
+}
+
+impl LatencySummary {
+    /// Computes the summary from raw per-request latencies (unsorted).
+    /// Percentiles use the nearest-rank method; empty input is all-zero.
+    pub fn from_latencies(latencies: &[Duration]) -> Self {
+        if latencies.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        let rank = |p: f64| {
+            // Nearest-rank: ceil(p · n) clamped to [1, n], 1-based.
+            let n = sorted.len() as f64;
+            let r = (p * n).ceil().max(1.0) as usize;
+            sorted[r.min(sorted.len()) - 1]
+        };
+        LatencySummary {
+            p50: rank(0.50),
+            p99: rank(0.99),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// A point-in-time report of the service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Submission attempts, accepted or not.
+    pub submitted: u64,
+    /// Requests that ran to completion.
+    pub completed: u64,
+    /// Requests whose worker panicked (completed with an error outcome).
+    pub failed: u64,
+    /// Requests shed because the submission queue was full.
+    pub shed_queue: u64,
+    /// Requests shed because the pooled query budget was exhausted.
+    pub shed_budget: u64,
+    /// Requests rejected because their worst-case query need exceeded
+    /// the per-request budget.
+    pub rejected_oversize: u64,
+    /// Submit-to-completion latency percentiles (over the scheduler's
+    /// recent-completions window, not all-time history).
+    pub latency: LatencySummary,
+    /// Query-cache accounting of the underlying batch engine.
+    pub cache: CacheStats,
+    /// Geocoding-memo accounting of the underlying batch engine.
+    pub geocode: GeocodeStats,
+}
+
+impl ServiceStats {
+    /// Shed + rejected requests.
+    pub fn shed(&self) -> u64 {
+        self.shed_queue + self.shed_budget + self.rejected_oversize
+    }
+
+    /// Fraction of submission attempts that were shed, in `[0, 1]`.
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.shed() as f64 / self.submitted as f64
+        }
+    }
+
+    /// Query-cache hit rate of the underlying engine, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_latencies_are_zero() {
+        let s = LatencySummary::from_latencies(&[]);
+        assert_eq!(s, LatencySummary::default());
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let s = LatencySummary::from_latencies(&ms);
+        assert_eq!(s.p50, Duration::from_millis(50));
+        assert_eq!(s.p99, Duration::from_millis(99));
+        assert_eq!(s.max, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = LatencySummary::from_latencies(&[Duration::from_millis(7)]);
+        assert_eq!(s.p50, Duration::from_millis(7));
+        assert_eq!(s.p99, Duration::from_millis(7));
+        assert_eq!(s.max, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn shed_rate_math() {
+        let stats = ServiceStats {
+            submitted: 10,
+            completed: 7,
+            shed_queue: 2,
+            shed_budget: 1,
+            ..ServiceStats::default()
+        };
+        assert_eq!(stats.shed(), 3);
+        assert!((stats.shed_rate() - 0.3).abs() < 1e-12);
+        assert_eq!(ServiceStats::default().shed_rate(), 0.0);
+    }
+}

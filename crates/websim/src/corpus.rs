@@ -103,7 +103,9 @@ impl WebCorpus {
             pages.push(noise_page(&mut rng, serial as u32));
         }
 
-        let index = InvertedIndex::build(&pages);
+        // Sharded parallel construction — byte-identical to the
+        // sequential build (see index.rs), just faster on big corpora.
+        let index = InvertedIndex::build_parallel(&pages);
         WebCorpus { pages, index }
     }
 

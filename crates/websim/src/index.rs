@@ -13,9 +13,20 @@
 //! bounded binary heap (`O(n log k)`) instead of sorting every scored
 //! page; ties break exactly as the historical full sort did — by
 //! ascending page id at equal score.
+//!
+//! Construction comes in two flavours with one output:
+//! [`InvertedIndex::build`] walks the collection sequentially (the
+//! reference), while [`InvertedIndex::build_sharded`] splits the
+//! collection into contiguous document ranges, accumulates per-shard
+//! vocabularies and postings in parallel, and merges deterministically —
+//! producing a **byte-identical** index (same term ids, same posting
+//! arena, same offsets) for any shard count. See `README.md` next to
+//! this file for why the merge preserves the sequential interning order.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+
+use rayon::prelude::*;
 
 use teda_text::tokenize;
 
@@ -35,7 +46,10 @@ struct Posting {
 }
 
 /// The inverted index over a page collection.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares every field — the sharded-build determinism tests
+/// rely on it to assert byte-identical construction.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct InvertedIndex {
     /// Token → dense term id, interned at build time.
     term_ids: HashMap<String, u32>,
@@ -80,33 +94,122 @@ impl PartialOrd for Ranked {
     }
 }
 
+/// One shard's accumulation: a local vocabulary (interned in
+/// first-occurrence order over the shard's contiguous document range)
+/// and local posting lists holding *absolute* page ids.
+struct ShardAccum {
+    /// Local term id → token, in local interning order.
+    terms: Vec<String>,
+    /// Local id → postings, pages ascending (docs visited in id order).
+    acc: Vec<Vec<Posting>>,
+    /// Per-document lengths for the shard's range, in document order.
+    doc_len: Vec<f64>,
+}
+
+/// Tokenizes and counts one shard of documents. `base` is the absolute
+/// id of the shard's first document.
+fn accumulate_shard(pages: &[WebPage], base: u32) -> ShardAccum {
+    let mut term_ids: HashMap<String, u32> = HashMap::new();
+    let mut terms: Vec<String> = Vec::new();
+    let mut acc: Vec<Vec<Posting>> = Vec::new();
+    let mut doc_len = Vec::with_capacity(pages.len());
+
+    let mut counts: HashMap<u32, f32> = HashMap::new();
+    for (i, page) in pages.iter().enumerate() {
+        let id = PageId(base + i as u32);
+        counts.clear();
+        for tok in tokenize(&page.body) {
+            let tid = intern(&mut term_ids, &mut terms, &mut acc, tok);
+            *counts.entry(tid).or_insert(0.0) += 1.0;
+        }
+        for tok in tokenize(&page.title) {
+            let tid = intern(&mut term_ids, &mut terms, &mut acc, tok);
+            *counts.entry(tid).or_insert(0.0) += 2.0;
+        }
+        let len: f64 = counts.values().map(|&c| f64::from(c)).sum();
+        doc_len.push(len);
+        for (&tid, &tf) in &counts {
+            acc[tid as usize].push(Posting { page: id, tf });
+        }
+    }
+    ShardAccum {
+        terms,
+        acc,
+        doc_len,
+    }
+}
+
 impl InvertedIndex {
-    /// Builds the index over `pages` (ids are positional).
+    /// Builds the index over `pages` (ids are positional), walking the
+    /// collection sequentially. This is the reference construction the
+    /// sharded build must reproduce byte for byte.
     pub fn build(pages: &[WebPage]) -> Self {
+        let shard = accumulate_shard(pages, 0);
+        Self::merge(vec![shard], pages.len())
+    }
+
+    /// Builds the index with the collection split into
+    /// `rayon::current_num_threads() × 2` shards accumulated in parallel.
+    /// Byte-identical to [`build`](Self::build) — safe to use anywhere.
+    pub fn build_parallel(pages: &[WebPage]) -> Self {
+        Self::build_sharded(pages, rayon::current_num_threads() * 2)
+    }
+
+    /// Builds the index over `n_shards` contiguous document ranges
+    /// accumulated in parallel and merged deterministically.
+    ///
+    /// **Determinism guarantee:** the result is byte-identical to the
+    /// sequential [`build`](Self::build) for *any* shard count. Shards
+    /// are merged in document order, and a shard's local vocabulary is
+    /// interned in first-occurrence order, so walking shard vocabularies
+    /// in shard-then-local order assigns every term the same global id
+    /// the sequential first-occurrence walk would; per-term postings are
+    /// concatenated in shard order, which is ascending-page order.
+    pub fn build_sharded(pages: &[WebPage], n_shards: usize) -> Self {
+        let n = n_shards.clamp(1, pages.len().max(1));
+        let chunk = pages.len().div_ceil(n).max(1);
+        let ranges: Vec<(usize, usize)> = (0..pages.len())
+            .step_by(chunk)
+            .map(|lo| (lo, (lo + chunk).min(pages.len())))
+            .collect();
+        let shards: Vec<ShardAccum> = ranges
+            .par_iter()
+            .map(|&(lo, hi)| accumulate_shard(&pages[lo..hi], lo as u32))
+            .collect();
+        Self::merge(shards, pages.len())
+    }
+
+    /// Merges shard accumulations (in document order) into the final
+    /// index: global interning in shard-then-local order, per-term
+    /// posting concatenation, then the flat-arena flatten.
+    fn merge(shards: Vec<ShardAccum>, n_docs: usize) -> Self {
         let mut term_ids: HashMap<String, u32> = HashMap::new();
-        // Per-term posting accumulators, indexed by term id. Documents
-        // are processed in id order, so pages are ascending per term.
         let mut acc: Vec<Vec<Posting>> = Vec::new();
-        let mut doc_len = Vec::with_capacity(pages.len());
+        let mut doc_len = Vec::with_capacity(n_docs);
         let mut total_len = 0.0f64;
 
-        let mut counts: HashMap<u32, f32> = HashMap::new();
-        for (i, page) in pages.iter().enumerate() {
-            let id = PageId(i as u32);
-            counts.clear();
-            for tok in tokenize(&page.body) {
-                let tid = intern(&mut term_ids, &mut acc, tok);
-                *counts.entry(tid).or_insert(0.0) += 1.0;
+        for shard in shards {
+            // Local → global id translation, preserving first-occurrence
+            // order across the whole collection.
+            let to_global: Vec<u32> = shard
+                .terms
+                .into_iter()
+                .map(|tok| match term_ids.get(&tok) {
+                    Some(&gid) => gid,
+                    None => {
+                        let gid = u32::try_from(acc.len()).expect("term vocabulary fits u32");
+                        term_ids.insert(tok, gid);
+                        acc.push(Vec::new());
+                        gid
+                    }
+                })
+                .collect();
+            for (local, posts) in shard.acc.into_iter().enumerate() {
+                acc[to_global[local] as usize].extend_from_slice(&posts);
             }
-            for tok in tokenize(&page.title) {
-                let tid = intern(&mut term_ids, &mut acc, tok);
-                *counts.entry(tid).or_insert(0.0) += 2.0;
-            }
-            let len: f64 = counts.values().map(|&c| f64::from(c)).sum();
-            doc_len.push(len);
-            total_len += len;
-            for (&tid, &tf) in &counts {
-                acc[tid as usize].push(Posting { page: id, tf });
+            for len in shard.doc_len {
+                doc_len.push(len);
+                total_len += len;
             }
         }
 
@@ -116,15 +219,14 @@ impl InvertedIndex {
         let mut postings = Vec::with_capacity(total_postings);
         offsets.push(0u32);
         for mut term_postings in acc {
-            // HashMap iteration put pages in arbitrary per-doc order only
-            // *across* terms; within a term they arrive in doc order
-            // already, but sort defensively to keep the invariant local.
+            // Pages arrive ascending per term (docs visited in id order,
+            // shards merged in range order), but sort defensively to keep
+            // the invariant local.
             term_postings.sort_unstable_by_key(|p| p.page.0);
             postings.extend_from_slice(&term_postings);
             offsets.push(u32::try_from(postings.len()).expect("posting arena fits u32"));
         }
 
-        let n_docs = pages.len();
         InvertedIndex {
             term_ids,
             offsets,
@@ -247,12 +349,19 @@ impl InvertedIndex {
     }
 }
 
-/// Interns `token`, growing the accumulator table for new terms.
-fn intern(term_ids: &mut HashMap<String, u32>, acc: &mut Vec<Vec<Posting>>, token: String) -> u32 {
+/// Interns `token`, growing the accumulator table (and the id → token
+/// table the shard merge translates through) for new terms.
+fn intern(
+    term_ids: &mut HashMap<String, u32>,
+    terms: &mut Vec<String>,
+    acc: &mut Vec<Vec<Posting>>,
+    token: String,
+) -> u32 {
     if let Some(&id) = term_ids.get(&token) {
         return id;
     }
     let id = u32::try_from(acc.len()).expect("term vocabulary fits u32");
+    terms.push(token.clone());
     term_ids.insert(token, id);
     acc.push(Vec::new());
     id
@@ -388,6 +497,57 @@ mod tests {
                     "query {q:?} k {k}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn sharded_build_is_byte_identical_to_sequential() {
+        let pages = collection();
+        let reference = InvertedIndex::build(&pages);
+        for n_shards in [1, 2, 3, 4, 7, 16] {
+            let sharded = InvertedIndex::build_sharded(&pages, n_shards);
+            assert_eq!(
+                sharded, reference,
+                "sharded build diverged at {n_shards} shards"
+            );
+        }
+        assert_eq!(InvertedIndex::build_parallel(&pages), reference);
+    }
+
+    #[test]
+    fn sharded_build_handles_degenerate_shapes() {
+        // Empty collection, single page, more shards than pages.
+        assert_eq!(
+            InvertedIndex::build_sharded(&[], 8),
+            InvertedIndex::build(&[])
+        );
+        let one = vec![page("u", "solo", "melisse restaurant")];
+        assert_eq!(
+            InvertedIndex::build_sharded(&one, 8),
+            InvertedIndex::build(&one)
+        );
+    }
+
+    #[test]
+    fn sharded_build_on_a_larger_synthetic_collection() {
+        // Vocabulary overlap across shard boundaries: shared terms,
+        // shard-local terms, and title terms that double-count.
+        let pages: Vec<WebPage> = (0..57)
+            .map(|i| {
+                page(
+                    &format!("u{i}"),
+                    &format!("title{} shared", i % 5),
+                    &format!("shared term{} word{} melisse common{}", i, i % 7, i % 3),
+                )
+            })
+            .collect();
+        let reference = InvertedIndex::build(&pages);
+        for n_shards in [2, 5, 8, 57, 100] {
+            assert_eq!(
+                InvertedIndex::build_sharded(&pages, n_shards),
+                reference,
+                "{n_shards} shards"
+            );
         }
     }
 

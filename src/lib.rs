@@ -15,6 +15,8 @@
 //! * [`corpus`] — benchmark table generators and gold standards.
 //! * [`core`] — the annotation pipeline itself (pre-processing, snippet
 //!   classification, post-processing, baselines, evaluation).
+//! * [`service`] — the long-running annotation service: request
+//!   scheduler, admission control, bounded caching over the batch engine.
 //! * [`simkit`] — virtual clock, seeded RNG, reporting helpers.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough, and
@@ -25,6 +27,7 @@ pub use teda_core as core;
 pub use teda_corpus as corpus;
 pub use teda_geo as geo;
 pub use teda_kb as kb;
+pub use teda_service as service;
 pub use teda_simkit as simkit;
 pub use teda_tabular as tabular;
 pub use teda_text as text;

@@ -1,0 +1,339 @@
+//! Service-layer integration: the bounded query cache must never change
+//! an annotation (only its cost), capacity and TTL must be honoured
+//! under real corpus load, single-flight must survive eviction pressure,
+//! the geocoding memo must deduplicate addresses corpus-wide, and the
+//! request scheduler must match the offline batch path bit for bit while
+//! shedding what it cannot queue.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use teda::classifier::svm::pegasos::PegasosConfig;
+use teda::core::cache::CacheConfig;
+use teda::core::config::AnnotatorConfig;
+use teda::core::model::SnippetClassifier;
+use teda::core::pipeline::{BatchAnnotator, TableAnnotations};
+use teda::core::trainer::{harvest, train_svm_linear, TrainerConfig};
+use teda::core::QueryCache;
+use teda::corpus::gft::poi_table;
+use teda::geo::SimGeocoder;
+use teda::kb::{CategoryNetwork, EntityType, World, WorldSpec};
+use teda::service::{AnnotationService, Rejection, ServiceConfig};
+use teda::simkit::rng_from_seed;
+use teda::tabular::Table;
+use teda::websim::{BingSim, SearchEngine, WebCorpus, WebCorpusSpec};
+
+fn fixture() -> (World, Arc<BingSim>, SnippetClassifier) {
+    let world = World::generate(WorldSpec::tiny(), 42);
+    let net = CategoryNetwork::build(&world, 42);
+    let web = Arc::new(WebCorpus::build(&world, WebCorpusSpec::tiny(), 42));
+    let engine = Arc::new(BingSim::instant(web));
+    let corpus = harvest(
+        &world,
+        &net,
+        engine.as_ref(),
+        &EntityType::TARGETS,
+        TrainerConfig {
+            max_entities_per_type: Some(12),
+            ..TrainerConfig::default()
+        },
+    );
+    let classifier = train_svm_linear(&corpus, PegasosConfig::default());
+    (world, engine, classifier)
+}
+
+fn seeded_corpus(world: &World, n_tables: usize, rows: usize) -> Vec<Table> {
+    let mut rng = rng_from_seed(7);
+    let types = [
+        EntityType::Restaurant,
+        EntityType::Museum,
+        EntityType::Hotel,
+    ];
+    (0..n_tables)
+        .map(|i| {
+            poi_table(
+                world,
+                types[i % types.len()],
+                rows,
+                (i % 3) as u8,
+                &format!("svc_{i}"),
+                &mut rng,
+            )
+            .table
+        })
+        .collect()
+}
+
+fn batch(engine: Arc<BingSim>, classifier: SnippetClassifier) -> BatchAnnotator {
+    BatchAnnotator::new(engine, classifier, AnnotatorConfig::default())
+}
+
+#[test]
+fn bounded_cache_annotations_are_bit_identical_to_unbounded() {
+    let (world, engine, classifier) = fixture();
+    let tables = seeded_corpus(&world, 8, 12);
+
+    let unbounded = batch(engine.clone(), classifier.clone());
+    let reference: Vec<TableAnnotations> = unbounded.annotate_corpus(&tables);
+
+    // A cache far too small for the corpus: constant eviction churn.
+    let bounded = batch(engine, classifier).with_cache_config(CacheConfig {
+        shards: 2,
+        capacity: Some(8),
+        ttl: None,
+    });
+    let out: Vec<TableAnnotations> = bounded.annotate_corpus_par(&tables);
+    assert_eq!(out, reference, "eviction changed an annotation");
+    let stats = bounded.cache_stats();
+    assert!(
+        stats.evictions > 0,
+        "a capacity-8 cache over this corpus must evict (misses: {})",
+        stats.misses
+    );
+    // Evict-then-rehit: the same corpus again is still bit-identical.
+    let again: Vec<TableAnnotations> = bounded.annotate_corpus(&tables);
+    assert_eq!(again, reference, "evict-then-rehit diverged");
+}
+
+#[test]
+fn cache_capacity_is_respected_under_load() {
+    let (world, engine, classifier) = fixture();
+    let tables = seeded_corpus(&world, 8, 14);
+    for capacity in [4, 16, 64] {
+        let annotator = batch(engine.clone(), classifier.clone()).with_cache_config(CacheConfig {
+            shards: 4,
+            capacity: Some(capacity),
+            ttl: None,
+        });
+        annotator.annotate_corpus_par(&tables);
+        let cap = annotator
+            .cache()
+            .capacity()
+            .expect("bounded cache reports its capacity");
+        assert!(
+            annotator.cache().len() <= cap,
+            "cache holds {} entries over its capacity {cap}",
+            annotator.cache().len(),
+        );
+    }
+}
+
+#[test]
+fn zero_ttl_expires_everything_but_changes_nothing() {
+    let (world, engine, classifier) = fixture();
+    let tables = seeded_corpus(&world, 3, 10);
+
+    let reference = batch(engine.clone(), classifier.clone()).annotate_corpus(&tables);
+
+    let expiring = batch(engine, classifier).with_cache_config(CacheConfig {
+        ttl: Some(Duration::ZERO),
+        ..CacheConfig::default()
+    });
+    let out = expiring.annotate_corpus(&tables);
+    assert_eq!(out, reference, "TTL expiry changed an annotation");
+    let cold = expiring.cache_stats();
+    // A second pass revisits every key: with a zero TTL each revisit
+    // finds an aged-out entry and re-searches instead of hitting.
+    let rerun = expiring.annotate_corpus(&tables);
+    assert_eq!(rerun, reference, "expire-then-rehit diverged");
+    let stats = expiring.cache_stats();
+    assert_eq!(
+        stats.hits, 0,
+        "a zero TTL must never serve a (sequential) hit"
+    );
+    assert_eq!(
+        stats.expired, cold.misses,
+        "the warm pass must age out every distinct key"
+    );
+    assert_eq!(
+        stats.misses,
+        2 * cold.misses,
+        "the warm pass re-searches everything"
+    );
+}
+
+#[test]
+fn single_flight_holds_under_eviction_pressure() {
+    let (_, engine, _) = fixture();
+
+    // One shard, capacity 1: every publish evicts the previous entry
+    // while concurrent workers race on a handful of keys.
+    let cache = Arc::new(QueryCache::with_config(CacheConfig {
+        shards: 1,
+        capacity: Some(1),
+        ttl: None,
+    }));
+    let queries = ["melisse a", "louvre b", "bayona c", "orsay d"];
+    let reference: Vec<_> = queries.iter().map(|q| engine.search(q, 5)).collect();
+
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let engine = Arc::clone(&engine);
+            let reference = &reference;
+            s.spawn(move || {
+                for _ in 0..20 {
+                    for (i, q) in queries.iter().enumerate() {
+                        let got = cache.get_or_search(engine.as_ref(), q, 5);
+                        assert_eq!(
+                            &*got,
+                            &reference[i][..],
+                            "eviction pressure corrupted a result"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    let stats = cache.stats();
+    assert!(stats.evictions > 0, "capacity 1 must evict constantly");
+    assert!(
+        cache.len() <= 1,
+        "capacity 1 exceeded: {} entries",
+        cache.len()
+    );
+    // Single-flight + memo still save traffic even while churning:
+    // every lookup either hit, or was one engine call.
+    assert_eq!(stats.hits + stats.misses, 8 * 20 * 4);
+}
+
+#[test]
+fn distinct_addresses_geocode_once_per_corpus() {
+    let (world, engine, classifier) = fixture();
+    // Spatial tables repeated twice: every address occurs in ≥2 tables.
+    let mut tables = seeded_corpus(&world, 4, 10);
+    tables.extend(tables.clone());
+
+    let geocoder = Arc::new(SimGeocoder::instant(world.gazetteer().clone()));
+    let annotator = BatchAnnotator::new(
+        engine,
+        classifier,
+        AnnotatorConfig {
+            use_disambiguation: true,
+            ..AnnotatorConfig::default()
+        },
+    )
+    .with_geocoder(geocoder.clone());
+
+    annotator.annotate_corpus(&tables);
+    let stats = annotator.geo_stats();
+    assert_eq!(
+        geocoder.query_count(),
+        stats.misses,
+        "every geocoder round-trip is a memo miss"
+    );
+    assert!(
+        stats.hits > 0,
+        "duplicate addresses across tables must hit the memo"
+    );
+
+    // Re-annotating the same corpus issues zero further geocoder calls.
+    let q0 = geocoder.query_count();
+    annotator.annotate_corpus(&tables);
+    assert_eq!(geocoder.query_count(), q0, "warm memo must not re-geocode");
+}
+
+#[test]
+fn geocode_memo_does_not_change_annotations() {
+    let (world, engine, classifier) = fixture();
+    let tables = seeded_corpus(&world, 4, 10);
+    let geocoder = Arc::new(SimGeocoder::instant(world.gazetteer().clone()));
+    let config = AnnotatorConfig {
+        use_disambiguation: true,
+        ..AnnotatorConfig::default()
+    };
+
+    // The single-table Annotator geocodes directly (no memo).
+    let direct =
+        teda::core::pipeline::Annotator::new(engine.clone(), classifier.clone(), config.clone())
+            .with_geocoder(geocoder.clone());
+    let memoized = BatchAnnotator::new(engine, classifier, config).with_geocoder(geocoder);
+
+    for table in &tables {
+        assert_eq!(
+            memoized.annotate_table(table),
+            direct.annotate_table(table),
+            "the address memo changed an annotation"
+        );
+    }
+}
+
+#[test]
+fn service_matches_offline_batch_bit_for_bit() {
+    let (world, engine, classifier) = fixture();
+    let tables: Vec<Arc<Table>> = seeded_corpus(&world, 9, 12)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+
+    let reference: Vec<TableAnnotations> = {
+        let offline = batch(engine.clone(), classifier.clone());
+        tables.iter().map(|t| offline.annotate_table(t)).collect()
+    };
+
+    let service = AnnotationService::start(
+        batch(engine, classifier),
+        ServiceConfig {
+            workers: 4,
+            queue_depth: tables.len() * 2,
+            cache: Some(CacheConfig {
+                capacity: Some(64),
+                ..CacheConfig::default()
+            }),
+            ..ServiceConfig::default()
+        },
+    );
+    let handles: Vec<_> = tables
+        .iter()
+        .map(|t| service.submit(Arc::clone(t)).expect("queue has room"))
+        .collect();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let outcome = handle.wait().expect("request completes");
+        assert_eq!(
+            outcome.annotations, reference[i],
+            "service diverged from offline batch on table {i}"
+        );
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, tables.len() as u64);
+    assert_eq!(stats.shed(), 0);
+    assert!(stats.cache.hits > 0, "duplicate corpus must hit the cache");
+}
+
+#[test]
+fn service_sheds_when_the_queue_bound_is_hit() {
+    let (world, engine, classifier) = fixture();
+    let tables: Vec<Arc<Table>> = seeded_corpus(&world, 16, 12)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+
+    let service = AnnotationService::start(
+        batch(engine, classifier),
+        ServiceConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let mut accepted = Vec::new();
+    let mut shed = 0u64;
+    for table in &tables {
+        match service.submit(Arc::clone(table)) {
+            Ok(h) => accepted.push(h),
+            Err(Rejection::QueueFull) => shed += 1,
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+    }
+    assert!(
+        shed > 0,
+        "a 16-table burst into a depth-1 queue with one worker must shed"
+    );
+    for h in accepted {
+        h.wait().expect("accepted work completes");
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.shed_queue, shed);
+    assert_eq!(stats.completed + shed, tables.len() as u64);
+    assert!(stats.shed_rate() > 0.0);
+}
