@@ -2,8 +2,8 @@
 //! full report (the source of EXPERIMENTS.md's measured numbers).
 
 use teda_bench::exp::{
-    ablation, comparison, coverage, efficiency, fig7, preprocess_stats, service, table1, table2,
-    table3, throughput,
+    ablation, comparison, coverage, efficiency, fig7, preprocess_stats, service, stream, table1,
+    table2, table3, throughput,
 };
 use teda_bench::harness::{Fixture, Scale};
 
@@ -31,6 +31,7 @@ fn main() {
     println!("{}", efficiency::render(&efficiency::run(&fixture)));
     println!("{}", throughput::render(&throughput::run(&fixture)));
     println!("{}", service::render(&service::run(&fixture)));
+    println!("{}", stream::render(&stream::run(&fixture)));
     println!("{}", fig7::render(&fig7::run()));
     println!("{}", ablation::render(&ablation::run(&fixture)));
 }

@@ -13,6 +13,7 @@
 //! | `exp_fig7`       | Figure 7 — toponym disambiguation worked example    |
 //! | `exp_throughput` | batch engine — tables/sec, cache hits, par speedup  |
 //! | `exp_service`    | annotation service — req/s, p50/p99, shed rate      |
+//! | `exp_stream`     | streaming driver — tables/sec, peak window, identity|
 //! | `run_all`        | everything, in order                                |
 //!
 //! All experiments share one seeded [`harness::Fixture`]: world → Web →

@@ -36,12 +36,19 @@
 //! of `(query, k)`, so an eviction or expiry can only change the *cost*
 //! of a lookup (one extra engine call), never its result. Bounded and
 //! unbounded caches produce bit-identical annotations.
+//!
+//! The single-flight machinery itself — [`Flight`](teda_memo::Flight),
+//! [`Slot`](teda_memo::Slot), shard routing, leader execution — lives in
+//! [`teda_memo`], shared with `teda-geo`'s geocoding memo; this module
+//! keeps only what is specific to the query cache: the per-`k` entry
+//! layout, the LRU + TTL eviction policy, and the [`SearchEngine`]
+//! integration.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use teda_memo::{lead, Counters, Flight, Shards, Slot};
 use teda_websim::{SearchEngine, SearchResult};
 
 /// Hit/miss/eviction accounting of a [`QueryCache`].
@@ -95,61 +102,14 @@ impl Default for CacheConfig {
     }
 }
 
-/// One memo slot: a finished result, or a search currently in flight.
-#[derive(Debug, Clone)]
-enum Slot {
-    Ready(Arc<[SearchResult]>),
-    Pending(Arc<Flight>),
-}
-
-/// Rendezvous for workers waiting on another worker's in-flight search.
-#[derive(Debug)]
-struct Flight {
-    state: Mutex<FlightState>,
-    done: Condvar,
-}
-
-#[derive(Debug, Clone)]
-enum FlightState {
-    Searching,
-    Done(Arc<[SearchResult]>),
-    /// The searching worker unwound (engine panic); waiters retry.
-    Abandoned,
-}
-
-impl Flight {
-    fn new() -> Arc<Self> {
-        Arc::new(Flight {
-            state: Mutex::new(FlightState::Searching),
-            done: Condvar::new(),
-        })
-    }
-
-    fn finish(&self, state: FlightState) {
-        *self.state.lock().expect("flight state poisoned") = state;
-        self.done.notify_all();
-    }
-
-    /// Blocks until the flight resolves; `None` means abandoned (retry).
-    fn wait(&self) -> Option<Arc<[SearchResult]>> {
-        let mut state = self.state.lock().expect("flight state poisoned");
-        loop {
-            match &*state {
-                FlightState::Searching => {
-                    state = self.done.wait(state).expect("flight state poisoned");
-                }
-                FlightState::Done(results) => return Some(Arc::clone(results)),
-                FlightState::Abandoned => return None,
-            }
-        }
-    }
-}
+/// The memoized value: one shared result list per `(query, k)`.
+type Results = Arc<[SearchResult]>;
 
 /// One memo entry under a query key.
 #[derive(Debug)]
 struct Entry {
     k: usize,
-    slot: Slot,
+    slot: Slot<Results>,
     /// Shard tick at the last hit (LRU recency). Pending entries carry
     /// their install tick but are never eviction victims.
     last_used: u64,
@@ -174,14 +134,11 @@ struct Shard {
 /// responses.
 #[derive(Debug)]
 pub struct QueryCache {
-    shards: Vec<Mutex<Shard>>,
+    shards: Shards<Shard>,
     /// `Ready` entries allowed per shard; `usize::MAX` when unbounded.
     per_shard_capacity: usize,
     ttl: Option<Duration>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    expired: AtomicU64,
+    counters: Counters,
 }
 
 impl Default for QueryCache {
@@ -214,13 +171,10 @@ impl QueryCache {
             None => usize::MAX,
         };
         QueryCache {
-            shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
+            shards: Shards::new(n),
             per_shard_capacity,
             ttl: config.ttl,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            expired: AtomicU64::new(0),
+            counters: Counters::default(),
         }
     }
 
@@ -233,18 +187,6 @@ impl QueryCache {
         } else {
             Some(self.per_shard_capacity * self.shards.len())
         }
-    }
-
-    /// Stable FNV-1a shard selection (independent of the process's hash
-    /// seed, so shard assignment — and therefore lock interleaving — is
-    /// reproducible across runs).
-    fn shard_of(&self, query: &str) -> usize {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in query.as_bytes() {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        (h % self.shards.len() as u64) as usize
     }
 
     /// Returns the memoized results for `(query, k)`, consulting `engine`
@@ -262,13 +204,12 @@ impl QueryCache {
         enum Found {
             Hit(Arc<[SearchResult]>),
             Stale,
-            InFlight(Arc<Flight>),
+            InFlight(Arc<Flight<Results>>),
             Missing,
         }
         loop {
             let flight = {
-                let shard = &self.shards[self.shard_of(query)];
-                let mut shard = shard.lock().expect("query cache shard poisoned");
+                let mut shard = self.shards.lock(query.as_bytes());
                 shard.tick += 1;
                 let tick = shard.tick;
                 let found = match shard
@@ -292,7 +233,7 @@ impl QueryCache {
                 };
                 match found {
                     Found::Hit(results) => {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.counters.hit();
                         return results;
                     }
                     Found::InFlight(flight) => flight,
@@ -300,13 +241,19 @@ impl QueryCache {
                         // First caller (or the entry aged out): install
                         // the flight, then search outside the shard lock.
                         if matches!(stale_or_missing, Found::Stale) {
-                            self.expired.fetch_add(1, Ordering::Relaxed);
+                            self.counters.expire();
                             remove_entry(&mut shard, query, k);
                         }
-                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        self.counters.miss();
                         let flight = install_flight(&mut shard, query, k, tick);
                         drop(shard);
-                        return self.search_as_leader(engine, query, k, &flight);
+                        // Leader: run the engine call outside the shard
+                        // lock; on unwind the slot is removed so
+                        // followers retry instead of hanging.
+                        return lead(
+                            || engine.search(query, k).into(),
+                            |results| self.resolve_slot(query, k, &flight, results),
+                        );
                     }
                 }
             };
@@ -314,48 +261,10 @@ impl QueryCache {
             // saved this engine call). `None` means the leader unwound;
             // loop and race to become the new leader.
             if let Some(results) = flight.wait() {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.counters.hit();
                 return results;
             }
         }
-    }
-
-    /// Runs the engine call for an installed flight and publishes the
-    /// outcome; if the engine panics, the flight is abandoned and its
-    /// slot removed so followers can retry instead of hanging.
-    fn search_as_leader<E: SearchEngine + ?Sized>(
-        &self,
-        engine: &E,
-        query: &str,
-        k: usize,
-        flight: &Arc<Flight>,
-    ) -> Arc<[SearchResult]> {
-        struct Abort<'a> {
-            cache: &'a QueryCache,
-            flight: &'a Arc<Flight>,
-            query: &'a str,
-            k: usize,
-            armed: bool,
-        }
-        impl Drop for Abort<'_> {
-            fn drop(&mut self) {
-                if self.armed {
-                    self.cache
-                        .resolve_slot(self.query, self.k, self.flight, None);
-                }
-            }
-        }
-        let mut guard = Abort {
-            cache: self,
-            flight,
-            query,
-            k,
-            armed: true,
-        };
-        let results: Arc<[SearchResult]> = engine.search(query, k).into();
-        guard.armed = false;
-        self.resolve_slot(query, k, flight, Some(Arc::clone(&results)));
-        results
     }
 
     /// Publishes a flight's outcome: `Some` marks the slot ready (and
@@ -366,20 +275,19 @@ impl QueryCache {
         &self,
         query: &str,
         k: usize,
-        flight: &Arc<Flight>,
-        results: Option<Arc<[SearchResult]>>,
+        flight: &Arc<Flight<Results>>,
+        results: Option<&Results>,
     ) {
-        let shard = &self.shards[self.shard_of(query)];
-        let mut shard = shard.lock().expect("query cache shard poisoned");
+        let mut shard = self.shards.lock(query.as_bytes());
         shard.tick += 1;
         let tick = shard.tick;
         let held = shard.map.get_mut(query).and_then(|entries| {
             entries
                 .iter_mut()
-                .find(|e| e.k == k && matches!(&e.slot, Slot::Pending(f) if Arc::ptr_eq(f, flight)))
+                .find(|e| e.k == k && e.slot.holds(flight))
         });
         if let Some(entry) = held {
-            match &results {
+            match results {
                 Some(r) => {
                     entry.slot = Slot::Ready(Arc::clone(r));
                     entry.last_used = tick;
@@ -389,36 +297,33 @@ impl QueryCache {
                         if !evict_lru(&mut shard) {
                             break;
                         }
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        self.counters.evicted(1);
                     }
                 }
                 None => remove_entry(&mut shard, query, k),
             }
         }
         drop(shard);
-        flight.finish(match results {
-            Some(r) => FlightState::Done(r),
-            None => FlightState::Abandoned,
-        });
+        flight.finish(results.map(Arc::clone));
     }
 
     /// Hit/miss/eviction counters so far.
     pub fn stats(&self) -> CacheStats {
+        let snap = self.counters.snapshot();
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            expired: self.expired.load(Ordering::Relaxed),
+            hits: snap.hits,
+            misses: snap.misses,
+            evictions: snap.evictions,
+            expired: snap.expired,
         }
     }
 
     /// Number of memoized `(query, k)` entries (in-flight searches not
     /// yet counted).
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("query cache shard poisoned").ready)
-            .sum()
+        let mut total = 0;
+        self.shards.for_each(|s| total += s.ready);
+        total
     }
 
     /// Whether nothing is memoized yet.
@@ -428,22 +333,18 @@ impl QueryCache {
 
     /// Drops all entries and zeroes the counters.
     pub fn clear(&self) {
-        for s in &self.shards {
-            let mut shard = s.lock().expect("query cache shard poisoned");
+        self.shards.for_each(|shard| {
             shard.map.clear();
             shard.ready = 0;
             shard.tick = 0;
-        }
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.evictions.store(0, Ordering::Relaxed);
-        self.expired.store(0, Ordering::Relaxed);
+        });
+        self.counters.reset();
     }
 }
 
 /// Installs a fresh `Pending` entry for `(query, k)` and returns its
 /// flight. Caller must have verified the key is absent.
-fn install_flight(shard: &mut Shard, query: &str, k: usize, tick: u64) -> Arc<Flight> {
+fn install_flight(shard: &mut Shard, query: &str, k: usize, tick: u64) -> Arc<Flight<Results>> {
     let flight = Flight::new();
     shard.map.entry(query.to_owned()).or_default().push(Entry {
         k,
@@ -525,7 +426,8 @@ impl SearchEngine for CachedEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     /// Engine that counts calls and answers `k` canned results.
     struct Counting(AtomicUsize);

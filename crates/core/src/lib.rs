@@ -40,6 +40,7 @@ pub mod postprocess;
 pub mod preprocess;
 pub mod query;
 pub mod report;
+pub mod stream;
 pub mod trainer;
 
 pub use annotate::{annotate_cells, annotate_cells_par, CellAnnotation};
@@ -48,3 +49,8 @@ pub use config::AnnotatorConfig;
 pub use evaluate::evaluate_type;
 pub use model::{SnippetClassifier, TypeLabels};
 pub use pipeline::{Annotator, BatchAnnotator, TableAnnotations};
+pub use stream::{
+    default_max_in_flight, table_channel, AnnotatedTable, AnnotationSink, ChannelSource, Collect,
+    FeedClosed, IntoArcTable, IterSource, SliceSource, SourceError, StreamSummary, TableFeed,
+    TableSource, VecSource,
+};

@@ -10,17 +10,30 @@
 //!   a sharded [`QueryCache`] so duplicate cell contents — pervasive in
 //!   real table corpora — are searched and classified once.
 //!
-//! Determinism is a hard invariant: for the same inputs the parallel
-//! paths produce bit-identical annotations to the sequential ones. Cells
-//! are independent, inference is `&self` over a frozen vocabulary, the
-//! cache is single-flight, and every parallel collect preserves input
-//! order.
+//! The corpus-scale entry point is the streaming driver
+//! [`BatchAnnotator::annotate_stream`]: a [`TableSource`] is pulled
+//! through a bounded in-flight window into an [`AnnotationSink`], so
+//! memory is O(window) whatever the corpus size, and sources backed by
+//! parsers or live feeds are throttled to the annotation rate
+//! (backpressure). The classic `Vec<Table>`-era methods
+//! ([`annotate_corpus`](BatchAnnotator::annotate_corpus),
+//! [`annotate_corpus_par`](BatchAnnotator::annotate_corpus_par)) are
+//! thin shims over it.
 //!
-//! Perf knobs: worker count (`RAYON_NUM_THREADS`), cache shard count
+//! Determinism is a hard invariant: for the same inputs the parallel
+//! and streaming paths produce bit-identical annotations to the
+//! sequential ones, at every window size. Cells are independent,
+//! inference is `&self` over a frozen vocabulary, the cache is
+//! single-flight, and every parallel collect — including the streaming
+//! window's reorder buffer — preserves input order (the argument is
+//! written out in `crates/core/src/README.md`).
+//!
+//! Perf knobs: worker count (`RAYON_NUM_THREADS`), in-flight window
+//! (`annotate_stream`'s `max_in_flight`), cache shard count
 //! ([`BatchAnnotator::with_cache_shards`]), snippets per query
 //! (`AnnotatorConfig::top_k`).
 
-use std::borrow::Cow;
+use std::borrow::{Borrow, Cow};
 use std::sync::Arc;
 
 use rayon::prelude::*;
@@ -37,6 +50,10 @@ use crate::model::SnippetClassifier;
 use crate::postprocess::eliminate_spurious;
 use crate::preprocess::preprocess;
 use crate::query::{build_spatial_context_cached, SpatialContext};
+use crate::stream::{
+    default_max_in_flight, AnnotatedTable, AnnotationSink, Collect, SliceSource, StreamSummary,
+    TableSource,
+};
 
 /// One annotated row: the paper's final output shape ("identifies the rows
 /// that contain information on entities of a specific type … and
@@ -385,16 +402,129 @@ impl BatchAnnotator {
         self.annotate_table_inner(table, true)
     }
 
+    /// Streams tables from `source` through the annotator into `sink`
+    /// with at most `max_in_flight` tables live at once — the corpus
+    /// driver for inputs that should not (or cannot) be materialized as
+    /// a `Vec<Table>`.
+    ///
+    /// Semantics:
+    ///
+    /// * **Bounded memory.** The driver holds at most `max_in_flight`
+    ///   tables' worth of annotation state (queued for a worker, being
+    ///   annotated, or parked awaiting an earlier straggler); memory is
+    ///   O(window), not O(corpus). The observed high-water mark is
+    ///   returned in [`StreamSummary::peak_in_flight`].
+    /// * **Order-preserving.** The sink receives results in exactly the
+    ///   order the source yielded them, whatever the worker
+    ///   interleaving (see `crates/core/src/README.md`).
+    /// * **Bit-identical.** Each table's annotations equal a direct
+    ///   [`annotate_table`](Self::annotate_table) call — the window size
+    ///   and worker count change throughput and footprint, never a
+    ///   result.
+    /// * **Error isolation.** A source error occupies one stream
+    ///   position and reaches the sink as
+    ///   [`on_error`](AnnotationSink::on_error); the stream continues.
+    ///
+    /// `max_in_flight == 1` degrades to a strictly sequential pull →
+    /// annotate → deliver loop ([`annotate_corpus`](Self::annotate_corpus)
+    /// is exactly that); [`crate::stream::default_max_in_flight`] is the
+    /// throughput-oriented default of the parallel shims.
+    pub fn annotate_stream<S, K>(
+        &self,
+        mut source: S,
+        sink: &mut K,
+        max_in_flight: usize,
+    ) -> StreamSummary
+    where
+        S: TableSource,
+        K: AnnotationSink<S::Item>,
+    {
+        use std::cell::Cell;
+
+        // produce and consume both run on the driver thread, so plain
+        // Cell counters observe the true pulled-minus-emitted gap.
+        let issued = Cell::new(0usize);
+        let emitted = Cell::new(0usize);
+        let peak = Cell::new(0usize);
+        let annotated = Cell::new(0usize);
+        let errors = Cell::new(0usize);
+
+        rayon::par_map_windowed(
+            max_in_flight.max(1),
+            || {
+                let next = source.next_table();
+                if next.is_some() {
+                    issued.set(issued.get() + 1);
+                    peak.set(peak.get().max(issued.get() - emitted.get()));
+                }
+                next
+            },
+            |item: &Result<S::Item, crate::stream::SourceError>| {
+                item.as_ref()
+                    .ok()
+                    .map(|table| self.annotate_table(table.borrow()))
+            },
+            |index, item, result| {
+                emitted.set(emitted.get() + 1);
+                match (item, result) {
+                    (Ok(table), Some(annotations)) => {
+                        annotated.set(annotated.get() + 1);
+                        sink.on_annotated(AnnotatedTable {
+                            index,
+                            table,
+                            annotations,
+                        });
+                    }
+                    (Err(error), _) => {
+                        errors.set(errors.get() + 1);
+                        sink.on_error(index, error);
+                    }
+                    (Ok(_), None) => unreachable!("ok items are always annotated"),
+                }
+            },
+        );
+
+        StreamSummary {
+            annotated: annotated.get(),
+            errors: errors.get(),
+            peak_in_flight: peak.get(),
+        }
+    }
+
     /// Annotates a corpus sequentially (the memo still deduplicates
     /// queries across tables). Results are in table order.
+    ///
+    /// **Migration note.** This is the pre-streaming (`Vec<Table>`-era)
+    /// entry point, kept as a thin shim over
+    /// [`annotate_stream`](Self::annotate_stream) with a window of 1 —
+    /// zero behavior change, bit-identical results. New code that reads
+    /// tables incrementally (files, sockets, generators) should call
+    /// `annotate_stream` with a [`TableSource`] directly and keep memory
+    /// O(window) instead of materializing the corpus.
     pub fn annotate_corpus(&self, tables: &[Table]) -> Vec<TableAnnotations> {
-        tables.iter().map(|t| self.annotate_table(t)).collect()
+        self.drain_slice(tables, 1)
     }
 
     /// Annotates a corpus with one worker task per table. Results are in
     /// table order and bit-identical to [`annotate_corpus`](Self::annotate_corpus).
+    ///
+    /// **Migration note.** Pre-streaming shim over
+    /// [`annotate_stream`](Self::annotate_stream) at the default
+    /// in-flight window ([`crate::stream::default_max_in_flight`]);
+    /// results are unchanged. Prefer `annotate_stream` with a
+    /// [`TableSource`] when the corpus does not already live in memory.
     pub fn annotate_corpus_par(&self, tables: &[Table]) -> Vec<TableAnnotations> {
-        tables.par_iter().map(|t| self.annotate_table(t)).collect()
+        self.drain_slice(tables, default_max_in_flight())
+    }
+
+    /// The shared shim body: stream a slice, collect, unwrap (slice
+    /// sources are infallible).
+    fn drain_slice(&self, tables: &[Table], max_in_flight: usize) -> Vec<TableAnnotations> {
+        let mut sink = Collect::new();
+        let summary = self.annotate_stream(SliceSource::new(tables), &mut sink, max_in_flight);
+        debug_assert!(summary.peak_in_flight <= max_in_flight.max(1));
+        sink.into_annotations()
+            .expect("slice sources never yield errors")
     }
 }
 
@@ -545,5 +675,79 @@ mod tests {
         let r = a.annotate_table(&t);
         assert!(r.cells.is_empty());
         assert_eq!(r.queried_cells, 0);
+    }
+
+    fn small_corpus() -> Vec<Table> {
+        (0..6)
+            .map(|i| {
+                Table::builder(2)
+                    .name(format!("stream_{i}"))
+                    .column_type(1, ColumnType::Location)
+                    .row(vec!["Melisse", "1104 Wilshire Blvd"])
+                    .unwrap()
+                    .row(vec![if i % 2 == 0 { "Bayona" } else { "Museum" }, "x"])
+                    .unwrap()
+                    .build()
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_matches_the_batch_path_at_every_window() {
+        let tables = small_corpus();
+        let reference = annotator(true).into_batch().annotate_corpus(&tables);
+        for window in [1, 2, 3, 64] {
+            let batch = annotator(true).into_batch();
+            let mut sink = crate::stream::Collect::new();
+            let summary =
+                batch.annotate_stream(crate::stream::SliceSource::new(&tables), &mut sink, window);
+            assert_eq!(summary.annotated, tables.len());
+            assert_eq!(summary.errors, 0);
+            assert!(
+                summary.peak_in_flight <= window,
+                "window {window} held {} tables",
+                summary.peak_in_flight
+            );
+            assert_eq!(
+                sink.into_annotations().unwrap(),
+                reference,
+                "window {window} diverged from the batch path"
+            );
+        }
+    }
+
+    #[test]
+    fn mid_stream_errors_occupy_their_position_and_do_not_sink_the_stream() {
+        use crate::stream::{IterSource, SourceError};
+        let tables = small_corpus();
+        let batch = annotator(true).into_batch();
+        let reference = batch.annotate_corpus(&tables);
+
+        let items: Vec<Result<Table, SourceError>> = {
+            let mut v: Vec<Result<Table, SourceError>> = tables.iter().cloned().map(Ok).collect();
+            v.insert(2, Err(SourceError::msg("ragged csv")));
+            v
+        };
+        let mut sink = crate::stream::Collect::new();
+        let summary = batch.annotate_stream(IterSource::new(items.into_iter()), &mut sink, 3);
+        assert_eq!(summary.annotated, tables.len());
+        assert_eq!(summary.errors, 1);
+        let results = sink.into_results();
+        assert_eq!(results.len(), tables.len() + 1);
+        assert_eq!(results[2].as_ref().unwrap_err().message(), "ragged csv");
+        for (i, want) in reference.iter().enumerate() {
+            let slot = if i < 2 { i } else { i + 1 };
+            assert_eq!(results[slot].as_ref().unwrap(), want, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn corpus_shims_are_bit_identical_to_each_other() {
+        let tables = small_corpus();
+        let seq = annotator(true).into_batch().annotate_corpus(&tables);
+        let par = annotator(true).into_batch().annotate_corpus_par(&tables);
+        assert_eq!(seq, par, "shims over the streaming driver diverged");
+        assert_eq!(seq.len(), tables.len());
     }
 }

@@ -23,13 +23,20 @@
 //! [`wiki::wiki_manual`] generates the 36-table "Wiki Manual"-like set of
 //! §6.3: untyped Web-table columns, entities mostly present in the
 //! pre-compiled catalogue — the home turf of the Limaye-style comparator.
+//!
+//! [`stream`] holds the streaming readers — [`CsvDirSource`] (lazy CSV
+//! directories) and [`GeneratedPoiSource`] (seeded lazy generation) —
+//! that feed the `teda-core` streaming annotation driver one table at a
+//! time instead of materializing a corpus.
 
 pub mod datasets;
 pub mod export;
 pub mod gft;
 pub mod gold;
+pub mod stream;
 pub mod wiki;
 
 pub use datasets::{gft_benchmark, BenchmarkSet};
 pub use gold::{GoldEntry, GoldTable};
+pub use stream::{table_from_csv, CsvDirSource, GeneratedPoiSource};
 pub use wiki::wiki_manual;

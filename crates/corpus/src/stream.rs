@@ -1,0 +1,315 @@
+//! Streaming corpus readers: [`TableSource`]s that produce tables one
+//! at a time instead of materializing a `Vec<Table>`.
+//!
+//! Two shapes cover the workloads the streaming annotation driver
+//! serves:
+//!
+//! * [`CsvDirSource`] — a directory of CSV files (the format
+//!   [`crate::export`] writes, or plain header-row CSV), read and
+//!   parsed **lazily**: each file is opened only when the driver pulls
+//!   it, so a directory of a million tables costs one table of memory.
+//!   Parse and I/O failures are yielded in-band as per-table
+//!   [`SourceError`]s — one ragged file does not sink the stream.
+//! * [`GeneratedPoiSource`] — a seeded lazy generator over a
+//!   [`World`]: table `i` is built when pulled, never before. This is
+//!   the benchmark's stand-in for an unbounded live feed (and what
+//!   `exp_stream` uses to demonstrate that resident tables track the
+//!   in-flight window, not the corpus size).
+
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+
+use teda_core::stream::{SourceError, TableSource};
+use teda_kb::{EntityType, World};
+use teda_simkit::{derive_seed, rng_from_seed};
+use teda_tabular::csv::parse_table;
+use teda_tabular::{ColumnType, Table};
+
+use crate::gft::poi_table;
+
+/// Streams the `.csv` files of a directory as tables, in sorted
+/// file-name order (deterministic across platforms and runs).
+///
+/// Files are discovered up front (names only — cheap) but read and
+/// parsed one at a time as the driver pulls. Gold-standard sidecars
+/// (`*.gold.csv`) are skipped; a leading `#types` row (the
+/// [`crate::export`] format) is honoured, otherwise every column is
+/// `Unknown` and downstream inference applies.
+pub struct CsvDirSource {
+    files: std::vec::IntoIter<Result<PathBuf, SourceError>>,
+}
+
+impl CsvDirSource {
+    /// Lists `dir` and prepares the stream. Opening the directory fails
+    /// fast (there is no stream without one); everything after that —
+    /// unreadable entries, unreadable files, parse failures — arrives
+    /// in-band so one bad entry never hides the rest.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, SourceError> {
+        let dir = dir.as_ref();
+        let entries = std::fs::read_dir(dir).map_err(SourceError::new)?;
+        let mut failed: Vec<Result<PathBuf, SourceError>> = Vec::new();
+        let mut files: Vec<PathBuf> = entries
+            .filter_map(|entry| match entry {
+                Ok(e) => Some(e.path()),
+                // An unlistable entry still occupies a stream position:
+                // dropping it silently would under-report the corpus.
+                Err(e) => {
+                    failed.push(Err(SourceError::new(e)));
+                    None
+                }
+            })
+            .filter(|p| {
+                p.extension().is_some_and(|ext| ext == "csv")
+                    && !p
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.ends_with(".gold.csv"))
+            })
+            .collect();
+        files.sort();
+        failed.extend(files.into_iter().map(Ok));
+        Ok(CsvDirSource {
+            files: failed.into_iter(),
+        })
+    }
+
+    /// Parses one file into a table.
+    fn load(path: &Path) -> Result<Table, SourceError> {
+        let raw = std::fs::read_to_string(path).map_err(SourceError::new)?;
+        let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("table");
+        table_from_csv(&raw, name)
+    }
+}
+
+impl TableSource for CsvDirSource {
+    type Item = Table;
+
+    fn next_table(&mut self) -> Option<Result<Table, SourceError>> {
+        self.files
+            .next()
+            .map(|entry| entry.and_then(|path| Self::load(&path)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.files.size_hint()
+    }
+}
+
+/// Parses one CSV document into a [`Table`], honouring an optional
+/// leading `#types` row (the [`crate::export`] table format).
+pub fn table_from_csv(raw: &str, name: &str) -> Result<Table, SourceError> {
+    let typed = raw.starts_with("#types");
+    if !typed {
+        return parse_table(raw, name, true).map_err(SourceError::new);
+    }
+    let (type_row, rest) = raw
+        .split_once('\n')
+        .ok_or_else(|| SourceError::msg(format!("{name}: #types row without table body")))?;
+    let types: Vec<ColumnType> = type_row
+        .split(',')
+        .skip(1)
+        .map(|s| match s.trim_end_matches('\r') {
+            "Text" => Ok(ColumnType::Text),
+            "Number" => Ok(ColumnType::Number),
+            "Location" => Ok(ColumnType::Location),
+            "Date" => Ok(ColumnType::Date),
+            "Unknown" => Ok(ColumnType::Unknown),
+            other => Err(SourceError::msg(format!(
+                "{name}: unknown column type {other:?}"
+            ))),
+        })
+        .collect::<Result<_, _>>()?;
+    let parsed = parse_table(rest, name, true).map_err(SourceError::new)?;
+    if parsed.n_cols() != types.len() {
+        return Err(SourceError::msg(format!(
+            "{name}: {} types for {} columns",
+            types.len(),
+            parsed.n_cols()
+        )));
+    }
+    let mut builder = Table::builder(types.len()).name(name);
+    if let Some(headers) = parsed.headers() {
+        builder = builder
+            .headers(headers.to_vec())
+            .map_err(SourceError::new)?;
+    }
+    let mut builder = builder.column_types(types).map_err(SourceError::new)?;
+    for i in 0..parsed.n_rows() {
+        builder
+            .push_row(parsed.row(i).map(str::to_owned).collect::<Vec<_>>())
+            .map_err(SourceError::new)?;
+    }
+    builder.build().map_err(SourceError::new)
+}
+
+/// A seeded lazy generator of POI tables over a [`World`] — table `i`
+/// is materialized only when the driver pulls it.
+///
+/// Entity sampling cycles the per-type pools exactly like the batch
+/// benchmark corpora, so duplicate cell contents (and therefore cache
+/// hits) are guaranteed; generation is deterministic per seed, so two
+/// passes over the same configuration yield bit-identical tables.
+pub struct GeneratedPoiSource<'w> {
+    world: &'w World,
+    types: Vec<EntityType>,
+    rows_per_table: usize,
+    remaining: usize,
+    produced: usize,
+    rng: StdRng,
+}
+
+impl<'w> GeneratedPoiSource<'w> {
+    /// A stream of `n_tables` tables of `rows_per_table` rows, cycling
+    /// `types`. Deterministic per `seed`.
+    pub fn new(
+        world: &'w World,
+        types: Vec<EntityType>,
+        rows_per_table: usize,
+        n_tables: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!types.is_empty(), "at least one entity type to generate");
+        GeneratedPoiSource {
+            world,
+            types,
+            rows_per_table,
+            remaining: n_tables,
+            produced: 0,
+            rng: rng_from_seed(derive_seed(seed, "generated-poi-stream")),
+        }
+    }
+
+    /// Tables materialized so far (the lazy-generation observable
+    /// `exp_stream` reports against the in-flight window).
+    pub fn produced(&self) -> usize {
+        self.produced
+    }
+}
+
+impl TableSource for GeneratedPoiSource<'_> {
+    type Item = Table;
+
+    fn next_table(&mut self) -> Option<Result<Table, SourceError>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let i = self.produced;
+        self.produced += 1;
+        let etype = self.types[i % self.types.len()];
+        let gold = poi_table(
+            self.world,
+            etype,
+            self.rows_per_table,
+            (i % 3) as u8,
+            &format!("stream_{i}"),
+            &mut self.rng,
+        );
+        Some(Ok(gold.table))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::table_to_csv;
+    use crate::gold::GoldTable;
+    use teda_kb::WorldSpec;
+
+    fn world() -> World {
+        World::generate(WorldSpec::tiny(), 42)
+    }
+
+    fn sample_gold(world: &World, name: &str) -> GoldTable {
+        let mut rng = rng_from_seed(1);
+        poi_table(world, EntityType::Restaurant, 6, 0, name, &mut rng)
+    }
+
+    #[test]
+    fn csv_dir_streams_files_in_sorted_order() {
+        let world = world();
+        let dir = std::env::temp_dir().join(format!("teda_csv_dir_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["b_second", "a_first", "c_third"] {
+            let gold = sample_gold(&world, name);
+            std::fs::write(dir.join(format!("{name}.csv")), table_to_csv(&gold)).unwrap();
+        }
+        // a sidecar and a non-csv file must both be ignored
+        std::fs::write(dir.join("a_first.gold.csv"), "row,col,type,entity\n").unwrap();
+        std::fs::write(dir.join("notes.txt"), "not a table").unwrap();
+
+        let mut source = CsvDirSource::open(&dir).unwrap();
+        assert_eq!(source.size_hint(), (3, Some(3)));
+        let names: Vec<String> = std::iter::from_fn(|| source.next_table())
+            .map(|r| r.unwrap().name().to_owned())
+            .collect();
+        assert_eq!(names, ["a_first", "b_second", "c_third"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn exported_types_row_round_trips_through_the_source() {
+        let world = world();
+        let gold = sample_gold(&world, "typed");
+        let table = table_from_csv(&table_to_csv(&gold), "typed").unwrap();
+        assert_eq!(table, gold.table, "streamed parse diverged from export");
+    }
+
+    #[test]
+    fn plain_csv_gets_unknown_columns() {
+        let table = table_from_csv("name,rating\nMelisse,4.5\n", "plain").unwrap();
+        assert!(table
+            .column_types()
+            .iter()
+            .all(|&t| t == ColumnType::Unknown));
+        assert_eq!(table.n_rows(), 1);
+    }
+
+    #[test]
+    fn a_bad_file_is_one_in_band_error_not_a_dead_stream() {
+        let world = world();
+        let dir = std::env::temp_dir().join(format!("teda_csv_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let gold = sample_gold(&world, "good");
+        std::fs::write(dir.join("1_good.csv"), table_to_csv(&gold)).unwrap();
+        std::fs::write(dir.join("2_bad.csv"), "a,b\nonly-one-field\n").unwrap();
+        std::fs::write(dir.join("3_good.csv"), table_to_csv(&gold)).unwrap();
+
+        let mut source = CsvDirSource::open(&dir).unwrap();
+        assert!(source.next_table().unwrap().is_ok());
+        assert!(source.next_table().unwrap().is_err(), "ragged file errs");
+        assert!(source.next_table().unwrap().is_ok(), "stream continues");
+        assert!(source.next_table().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_fails_fast() {
+        assert!(CsvDirSource::open("/definitely/not/a/dir").is_err());
+    }
+
+    #[test]
+    fn generated_source_is_lazy_and_deterministic() {
+        let world = world();
+        let types = vec![EntityType::Restaurant, EntityType::Museum];
+        let mut a = GeneratedPoiSource::new(&world, types.clone(), 8, 5, 7);
+        assert_eq!(a.produced(), 0, "nothing materialized before the pull");
+        assert_eq!(a.size_hint(), (5, Some(5)));
+        let first: Vec<Table> = std::iter::from_fn(|| a.next_table())
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(first.len(), 5);
+        assert_eq!(a.produced(), 5);
+
+        let mut b = GeneratedPoiSource::new(&world, types, 8, 5, 7);
+        let second: Vec<Table> = std::iter::from_fn(|| b.next_table())
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(first, second, "same seed must regenerate identically");
+    }
+}

@@ -13,10 +13,17 @@
 //! Determinism: the simulated geocoder is a pure function of the address
 //! string (latency aside), so memoization changes the number of geocoder
 //! round-trips — the §6.4 cost — never a candidate set.
+//!
+//! The single-flight machinery — [`Flight`](teda_memo::Flight),
+//! [`Slot`](teda_memo::Slot), shard routing, leader execution — lives in
+//! [`teda_memo`], shared with `teda-core`'s query cache; this module
+//! keeps only the geocoding-specific parts: the flat address map and the
+//! flush-the-shard eviction policy.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
+
+use teda_memo::{lead, Counters, Flight, Shards, Slot};
 
 use crate::gazetteer::LocationId;
 use crate::geocoder::Geocoder;
@@ -44,54 +51,8 @@ impl GeocodeStats {
     }
 }
 
-/// One memo slot: a finished candidate set, or a geocode in flight.
-#[derive(Debug, Clone)]
-enum Slot {
-    Ready(Arc<[LocationId]>),
-    Pending(Arc<Flight>),
-}
-
-/// Rendezvous for workers waiting on another worker's in-flight geocode.
-#[derive(Debug)]
-struct Flight {
-    state: Mutex<FlightState>,
-    done: Condvar,
-}
-
-#[derive(Debug, Clone)]
-enum FlightState {
-    Geocoding,
-    Done(Arc<[LocationId]>),
-    /// The geocoding worker unwound; waiters retry.
-    Abandoned,
-}
-
-impl Flight {
-    fn new() -> Arc<Self> {
-        Arc::new(Flight {
-            state: Mutex::new(FlightState::Geocoding),
-            done: Condvar::new(),
-        })
-    }
-
-    fn finish(&self, state: FlightState) {
-        *self.state.lock().expect("geocode flight poisoned") = state;
-        self.done.notify_all();
-    }
-
-    fn wait(&self) -> Option<Arc<[LocationId]>> {
-        let mut state = self.state.lock().expect("geocode flight poisoned");
-        loop {
-            match &*state {
-                FlightState::Geocoding => {
-                    state = self.done.wait(state).expect("geocode flight poisoned");
-                }
-                FlightState::Done(cands) => return Some(Arc::clone(cands)),
-                FlightState::Abandoned => return None,
-            }
-        }
-    }
-}
+/// The memoized value: one shared candidate set per address.
+type Candidates = Arc<[LocationId]>;
 
 /// A sharded, thread-safe memo of geocoder responses, keyed by the raw
 /// address string.
@@ -107,13 +68,11 @@ impl Flight {
 /// change.
 #[derive(Debug)]
 pub struct GeocodeCache {
-    shards: Vec<Mutex<HashMap<String, Slot>>>,
+    shards: Shards<HashMap<String, Slot<Candidates>>>,
     /// `Ready` entries allowed per shard before it is flushed;
     /// `usize::MAX` when unbounded.
     per_shard_capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    counters: Counters,
 }
 
 impl Default for GeocodeCache {
@@ -137,13 +96,10 @@ impl GeocodeCache {
     }
 
     fn with_capacity(shards: usize, per_shard_capacity: usize) -> Self {
-        let n = shards.max(1);
         GeocodeCache {
-            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: Shards::new(shards),
             per_shard_capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            counters: Counters::default(),
         }
     }
 
@@ -156,16 +112,6 @@ impl GeocodeCache {
         }
     }
 
-    /// Stable FNV-1a shard selection (same scheme as the query cache).
-    fn shard_of(&self, address: &str) -> usize {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in address.as_bytes() {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        (h % self.shards.len() as u64) as usize
-    }
-
     /// Returns the memoized candidate set for `address`, consulting
     /// `geocoder` exactly once per distinct address across all threads.
     pub fn get_or_geocode<G: Geocoder + ?Sized>(
@@ -175,80 +121,47 @@ impl GeocodeCache {
     ) -> Arc<[LocationId]> {
         loop {
             let flight = {
-                let shard = &self.shards[self.shard_of(address)];
-                let mut map = shard.lock().expect("geocode cache shard poisoned");
+                let mut map = self.shards.lock(address.as_bytes());
                 match map.get(address) {
                     Some(Slot::Ready(cands)) => {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.counters.hit();
                         return Arc::clone(cands);
                     }
                     Some(Slot::Pending(flight)) => Arc::clone(flight),
                     None => {
-                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        self.counters.miss();
                         let flight = Flight::new();
                         map.insert(address.to_owned(), Slot::Pending(Arc::clone(&flight)));
                         drop(map);
-                        return self.geocode_as_leader(geocoder, address, &flight);
+                        // Leader: geocode outside the shard lock; on
+                        // unwind the slot is removed so followers retry.
+                        return lead(
+                            || geocoder.geocode(address).into(),
+                            |cands| self.resolve(address, &flight, cands),
+                        );
                     }
                 }
             };
             if let Some(cands) = flight.wait() {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.counters.hit();
                 return cands;
             }
         }
     }
 
-    /// Runs the geocoder call for an installed flight and publishes the
-    /// outcome; on unwind the slot is removed so followers retry.
-    fn geocode_as_leader<G: Geocoder + ?Sized>(
-        &self,
-        geocoder: &G,
-        address: &str,
-        flight: &Arc<Flight>,
-    ) -> Arc<[LocationId]> {
-        struct Abort<'a> {
-            cache: &'a GeocodeCache,
-            flight: &'a Arc<Flight>,
-            address: &'a str,
-            armed: bool,
-        }
-        impl Drop for Abort<'_> {
-            fn drop(&mut self) {
-                if self.armed {
-                    self.cache.resolve(self.address, self.flight, None);
-                }
-            }
-        }
-        let mut guard = Abort {
-            cache: self,
-            flight,
-            address,
-            armed: true,
-        };
-        let cands: Arc<[LocationId]> = geocoder.geocode(address).into();
-        guard.armed = false;
-        self.resolve(address, flight, Some(Arc::clone(&cands)));
-        cands
-    }
-
     /// Publishes a flight's outcome if the slot still holds this flight,
     /// flushing the shard first when the capacity bound is reached
     /// (in-flight entries survive the flush).
-    fn resolve(&self, address: &str, flight: &Arc<Flight>, cands: Option<Arc<[LocationId]>>) {
-        let shard = &self.shards[self.shard_of(address)];
-        let mut map = shard.lock().expect("geocode cache shard poisoned");
-        let held = matches!(
-            map.get(address),
-            Some(Slot::Pending(f)) if Arc::ptr_eq(f, flight)
-        );
+    fn resolve(&self, address: &str, flight: &Arc<Flight<Candidates>>, cands: Option<&Candidates>) {
+        let mut map = self.shards.lock(address.as_bytes());
+        let held = map.get(address).is_some_and(|slot| slot.holds(flight));
         if held {
-            match &cands {
+            match cands {
                 Some(c) => {
-                    let ready = map.values().filter(|s| matches!(s, Slot::Ready(_))).count();
+                    let ready = map.values().filter(|s| s.is_ready()).count();
                     if ready >= self.per_shard_capacity {
-                        map.retain(|_, slot| matches!(slot, Slot::Pending(_)));
-                        self.evictions.fetch_add(ready as u64, Ordering::Relaxed);
+                        map.retain(|_, slot| !slot.is_ready());
+                        self.counters.evicted(ready as u64);
                     }
                     map.insert(address.to_owned(), Slot::Ready(Arc::clone(c)));
                 }
@@ -258,33 +171,25 @@ impl GeocodeCache {
             }
         }
         drop(map);
-        flight.finish(match cands {
-            Some(c) => FlightState::Done(c),
-            None => FlightState::Abandoned,
-        });
+        flight.finish(cands.map(Arc::clone));
     }
 
     /// Hit/miss counters so far.
     pub fn stats(&self) -> GeocodeStats {
+        let snap = self.counters.snapshot();
         GeocodeStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: snap.hits,
+            misses: snap.misses,
+            evictions: snap.evictions,
         }
     }
 
     /// Number of memoized addresses.
     pub fn len(&self) -> usize {
+        let mut total = 0;
         self.shards
-            .iter()
-            .map(|s| {
-                s.lock()
-                    .expect("geocode cache shard poisoned")
-                    .values()
-                    .filter(|slot| matches!(slot, Slot::Ready(_)))
-                    .count()
-            })
-            .sum()
+            .for_each(|map| total += map.values().filter(|slot| slot.is_ready()).count());
+        total
     }
 
     /// Whether nothing is memoized yet.
@@ -294,12 +199,8 @@ impl GeocodeCache {
 
     /// Drops all entries and zeroes the counters.
     pub fn clear(&self) {
-        for s in &self.shards {
-            s.lock().expect("geocode cache shard poisoned").clear();
-        }
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.evictions.store(0, Ordering::Relaxed);
+        self.shards.for_each(|map| map.clear());
+        self.counters.reset();
     }
 }
 

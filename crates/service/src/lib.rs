@@ -25,6 +25,20 @@
 //! * [`ServiceStats`] — the report: accepted/shed accounting, p50/p99
 //!   latency, shed rate, and the cache hit rates of both memo layers.
 //!
+//! Two admission modes front the same scheduler:
+//!
+//! * **request/response** — [`submit`](AnnotationService::submit), the
+//!   open-loop path above: never blocks, sheds under pressure. Right
+//!   for interactive callers who can retry.
+//! * **streaming** — [`submit_stream`](AnnotationService::submit_stream)
+//!   annotates a whole [`teda_core::stream::TableSource`] with a
+//!   bounded in-flight window, metering admission per table *as the
+//!   source yields*: a full queue or a dry query pool pauses the pull
+//!   (backpressure into the parser or feed) instead of shedding, and
+//!   results reach the [`teda_core::stream::AnnotationSink`] in stream
+//!   order, bit-identical to the offline batch path. Right for corpus
+//!   ingestion, where dropping tables is data loss.
+//!
 //! Determinism note: the service inherits the batch engine's invariant —
 //! annotations are a pure function of the table (plus config/seed), so
 //! scheduling order, cache evictions and worker interleaving change

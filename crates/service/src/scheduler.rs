@@ -14,15 +14,19 @@
 //! without ever running them. The pool reservation is returned once the
 //! request completes and its true candidate count is known.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use teda_core::cache::CacheConfig;
 use teda_core::pipeline::{BatchAnnotator, TableAnnotations};
+use teda_core::stream::{
+    AnnotatedTable, AnnotationSink, IntoArcTable, SourceError, StreamSummary, TableSource,
+};
 use teda_tabular::Table;
 
 use crate::stats::{LatencySummary, ServiceStats};
@@ -170,13 +174,31 @@ struct Shared {
     annotator: BatchAnnotator,
     /// Remaining shared query pool; `None` when unmetered.
     pool: Option<AtomicU64>,
+    /// Rendezvous for streaming submitters blocked on an empty pool:
+    /// refunds notify, waiters re-check. The gate mutex guards nothing —
+    /// it exists only so the condvar has something to wait on.
+    pool_gate: Mutex<()>,
+    pool_refund: Condvar,
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
     shed_queue: AtomicU64,
     shed_budget: AtomicU64,
     rejected_oversize: AtomicU64,
+    stream_tables: AtomicU64,
+    backpressure_waits: AtomicU64,
     latencies: Mutex<LatencyRing>,
+}
+
+impl Shared {
+    /// Returns `n` reserved queries to the pool and wakes blocked
+    /// streaming submitters (no-op when unmetered).
+    fn refund(&self, n: u64) {
+        if let Some(pool) = &self.pool {
+            pool.fetch_add(n, Ordering::Relaxed);
+            self.pool_refund.notify_all();
+        }
+    }
 }
 
 /// The long-running annotation service: a bounded submission queue in
@@ -218,12 +240,16 @@ impl AnnotationService {
         let shared = Arc::new(Shared {
             annotator,
             pool: config.query_pool.map(AtomicU64::new),
+            pool_gate: Mutex::new(()),
+            pool_refund: Condvar::new(),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             shed_queue: AtomicU64::new(0),
             shed_budget: AtomicU64::new(0),
             rejected_oversize: AtomicU64::new(0),
+            stream_tables: AtomicU64::new(0),
+            backpressure_waits: AtomicU64::new(0),
             latencies: Mutex::new(LatencyRing::default()),
         });
         let handles = (0..workers)
@@ -307,11 +333,190 @@ impl AnnotationService {
         }
     }
 
+    /// Submits one table, **blocking** instead of shedding: a full queue
+    /// or an exhausted pool stalls the caller until capacity frees up —
+    /// the admission mode of [`submit_stream`](Self::submit_stream),
+    /// where backpressure into the producer beats dropping tables.
+    ///
+    /// Only the unrecoverable rejections remain: a table whose
+    /// worst-case need exceeds `max_queries_per_request` can never be
+    /// admitted, and a shutting-down service accepts nothing.
+    ///
+    /// A dry query pool blocks until completions refund their unused
+    /// reservation or [`add_budget`](Self::add_budget) refills the
+    /// allowance — on a permanently dry pool this waits indefinitely,
+    /// exactly like a stream paused until the next daily quota.
+    pub fn submit_blocking(&self, table: Arc<Table>) -> Result<RequestHandle, Rejection> {
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        let need = (table.n_rows() * table.n_cols()) as u64;
+
+        if let Some(budget) = self.config.max_queries_per_request {
+            if need > budget {
+                self.shared
+                    .rejected_oversize
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(Rejection::RequestTooLarge { need, budget });
+            }
+        }
+        // Reserve from the pool, waiting for completions to refund it.
+        if let Some(pool) = &self.shared.pool {
+            let mut stalled = false;
+            loop {
+                let reserved = pool
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                        cur.checked_sub(need)
+                    })
+                    .is_ok();
+                if reserved {
+                    break;
+                }
+                if !stalled {
+                    stalled = true;
+                    self.shared
+                        .backpressure_waits
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                // Refunds notify; the timeout is the backstop for the
+                // unavoidable check-then-wait race window.
+                let gate = self.shared.pool_gate.lock().expect("pool gate poisoned");
+                let _ = self
+                    .shared
+                    .pool_refund
+                    .wait_timeout(gate, Duration::from_millis(5))
+                    .expect("pool gate poisoned");
+            }
+        }
+
+        let Some(tx) = &self.tx else {
+            self.refund(need);
+            return Err(Rejection::ShuttingDown);
+        };
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let job = Job {
+            table,
+            enqueued: Instant::now(),
+            reserved: need,
+            reply: reply_tx,
+        };
+        match tx.try_send(job) {
+            Ok(()) => Ok(RequestHandle { reply: reply_rx }),
+            Err(TrySendError::Full(job)) => {
+                // Queue full: block until a worker frees a slot. The
+                // stall is what throttles a streaming source.
+                self.shared
+                    .backpressure_waits
+                    .fetch_add(1, Ordering::Relaxed);
+                match tx.send(job) {
+                    Ok(()) => Ok(RequestHandle { reply: reply_rx }),
+                    Err(_) => {
+                        self.refund(need);
+                        Err(Rejection::ShuttingDown)
+                    }
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.refund(need);
+                Err(Rejection::ShuttingDown)
+            }
+        }
+    }
+
+    /// Annotates an entire [`TableSource`] through the service: tables
+    /// are admitted one at a time as the source yields them (per-table
+    /// metering, same budgets as [`submit`](Self::submit)), at most
+    /// `max_in_flight` requests are outstanding, and results reach the
+    /// sink **in stream order**, bit-identical to the offline batch
+    /// path.
+    ///
+    /// Admission uses [`submit_blocking`](Self::submit_blocking): when
+    /// the queue or the pool is full the *source stops being pulled* —
+    /// backpressure propagates into the parser or feed — instead of
+    /// shedding whole corpora the way a naive `submit` loop would.
+    /// Per-table failures (source errors, oversized tables, worker
+    /// panics) occupy their stream position as sink errors; the stream
+    /// continues.
+    pub fn submit_stream<S, K>(
+        &self,
+        mut source: S,
+        sink: &mut K,
+        max_in_flight: usize,
+    ) -> StreamSummary
+    where
+        S: TableSource,
+        S::Item: IntoArcTable,
+        K: AnnotationSink<Arc<Table>>,
+    {
+        let window = max_in_flight.max(1);
+        let mut pending: VecDeque<PendingStream> = VecDeque::with_capacity(window);
+        let mut emitted = 0usize;
+        let mut summary = StreamSummary::default();
+
+        loop {
+            // The window is full: settle the oldest request before
+            // pulling (and admitting) anything more.
+            while pending.len() >= window {
+                let next = pending.pop_front().expect("window non-empty");
+                deliver_stream(sink, emitted, next, &mut summary);
+                emitted += 1;
+            }
+            // Before (potentially) blocking on the source again, flush
+            // every front entry that is already resolved — a slow or
+            // idle source must not withhold finished results from the
+            // sink.
+            loop {
+                // Poll the front without popping: try_wait consumes the
+                // reply, so a ready outcome must be delivered now.
+                let ready = match pending.front() {
+                    None => break,
+                    Some(PendingStream::Failed(_)) => None,
+                    Some(PendingStream::Running(_, handle)) => match handle.try_wait() {
+                        Some(outcome) => Some(outcome),
+                        None => break, // oldest still running: stop here
+                    },
+                };
+                let entry = pending.pop_front().expect("front checked above");
+                match (entry, ready) {
+                    (PendingStream::Running(table, _), Some(outcome)) => {
+                        deliver_outcome(sink, emitted, table, outcome, &mut summary);
+                    }
+                    (entry @ PendingStream::Failed(_), _) => {
+                        deliver_stream(sink, emitted, entry, &mut summary);
+                    }
+                    (PendingStream::Running(..), None) => unreachable!("broke above"),
+                }
+                emitted += 1;
+            }
+            let Some(item) = source.next_table() else {
+                break;
+            };
+            let entry = match item {
+                Ok(item) => {
+                    let table = item.into_arc_table();
+                    match self.submit_blocking(Arc::clone(&table)) {
+                        Ok(handle) => {
+                            self.shared.stream_tables.fetch_add(1, Ordering::Relaxed);
+                            PendingStream::Running(table, handle)
+                        }
+                        Err(rejection) => PendingStream::Failed(SourceError::msg(format!(
+                            "table rejected: {rejection}"
+                        ))),
+                    }
+                }
+                Err(error) => PendingStream::Failed(error),
+            };
+            pending.push_back(entry);
+            summary.peak_in_flight = summary.peak_in_flight.max(pending.len());
+        }
+        while let Some(next) = pending.pop_front() {
+            deliver_stream(sink, emitted, next, &mut summary);
+            emitted += 1;
+        }
+        summary
+    }
+
     /// Returns `n` reserved queries to the pool (no-op when unmetered).
     fn refund(&self, n: u64) {
-        if let Some(pool) = &self.shared.pool {
-            pool.fetch_add(n, Ordering::Relaxed);
-        }
+        self.shared.refund(n);
     }
 
     /// Tops the query pool up by `n` (the daily-allowance refill). No-op
@@ -344,6 +549,8 @@ impl AnnotationService {
             shed_queue: self.shared.shed_queue.load(Ordering::Relaxed),
             shed_budget: self.shared.shed_budget.load(Ordering::Relaxed),
             rejected_oversize: self.shared.rejected_oversize.load(Ordering::Relaxed),
+            stream_tables: self.shared.stream_tables.load(Ordering::Relaxed),
+            backpressure_waits: self.shared.backpressure_waits.load(Ordering::Relaxed),
             latency: LatencySummary::from_latencies(&latencies),
             cache: self.shared.annotator.cache_stats(),
             geocode: self.shared.annotator.geo_stats(),
@@ -370,6 +577,60 @@ impl Drop for AnnotationService {
     }
 }
 
+/// One outstanding stream position: an admitted request (plus the table
+/// for the sink) or an already-known failure holding the slot.
+enum PendingStream {
+    Running(Arc<Table>, RequestHandle),
+    Failed(SourceError),
+}
+
+/// Settles one stream position into the sink, waiting if the request is
+/// still running.
+fn deliver_stream<K: AnnotationSink<Arc<Table>>>(
+    sink: &mut K,
+    index: usize,
+    entry: PendingStream,
+    summary: &mut StreamSummary,
+) {
+    match entry {
+        PendingStream::Running(table, handle) => {
+            let outcome = handle.wait();
+            deliver_outcome(sink, index, table, outcome, summary);
+        }
+        PendingStream::Failed(error) => {
+            summary.errors += 1;
+            sink.on_error(index, error);
+        }
+    }
+}
+
+/// Settles an already-resolved request outcome into the sink.
+fn deliver_outcome<K: AnnotationSink<Arc<Table>>>(
+    sink: &mut K,
+    index: usize,
+    table: Arc<Table>,
+    outcome: Result<RequestOutcome, RequestFailed>,
+    summary: &mut StreamSummary,
+) {
+    match outcome {
+        Ok(outcome) => {
+            summary.annotated += 1;
+            sink.on_annotated(AnnotatedTable {
+                index,
+                table,
+                annotations: outcome.annotations,
+            });
+        }
+        Err(RequestFailed) => {
+            summary.errors += 1;
+            sink.on_error(
+                index,
+                SourceError::msg("annotation worker failed (engine panic)"),
+            );
+        }
+    }
+}
+
 /// One worker: pull jobs until the queue closes.
 fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
     loop {
@@ -388,12 +649,10 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
             Ok(annotations) => {
                 // Return the unused share of the worst-case reservation:
                 // the true query need is the candidate-cell count.
-                if let Some(pool) = &shared.pool {
-                    let refund = job
-                        .reserved
-                        .saturating_sub(annotations.queried_cells as u64);
-                    pool.fetch_add(refund, Ordering::Relaxed);
-                }
+                shared.refund(
+                    job.reserved
+                        .saturating_sub(annotations.queried_cells as u64),
+                );
                 let latency = job.enqueued.elapsed();
                 shared.completed.fetch_add(1, Ordering::Relaxed);
                 shared
@@ -634,6 +893,148 @@ mod tests {
             handle.wait().expect("drained requests still answer");
         }
         assert!(stats.latency.p99 >= stats.latency.p50);
+    }
+
+    #[test]
+    fn submit_stream_matches_offline_and_preserves_order() {
+        use teda_core::stream::VecSource;
+
+        let tables: Vec<Table> = (0..8)
+            .map(|i| Arc::try_unwrap(restaurant_table(&i.to_string())).unwrap())
+            .collect();
+        let reference: Vec<TableAnnotations> = annotator(Duration::ZERO).annotate_corpus(&tables);
+
+        let service = AnnotationService::start(
+            annotator(Duration::ZERO),
+            ServiceConfig {
+                workers: 3,
+                ..ServiceConfig::default()
+            },
+        );
+        let mut sink = teda_core::stream::Collect::new();
+        let summary = service.submit_stream(VecSource::new(tables), &mut sink, 3);
+        assert_eq!(summary.annotated, 8);
+        assert_eq!(summary.errors, 0);
+        assert!(summary.peak_in_flight <= 3);
+        let results = sink.into_annotations().expect("no errors");
+        assert_eq!(results, reference, "streamed service diverged from batch");
+        let stats = service.shutdown();
+        assert_eq!(stats.stream_tables, 8);
+        assert_eq!(stats.shed(), 0, "streaming must not shed");
+    }
+
+    #[test]
+    fn submit_stream_applies_backpressure_instead_of_shedding() {
+        use teda_core::stream::VecSource;
+
+        // Depth-1 queue, one slow worker: a 10-table stream overwhelms
+        // the queue immediately. submit() would shed most of the burst;
+        // submit_stream must block the source and complete everything.
+        let service = AnnotationService::start(
+            annotator(Duration::from_millis(15)),
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let tables: Vec<Table> = (0..10)
+            .map(|i| Arc::try_unwrap(restaurant_table(&i.to_string())).unwrap())
+            .collect();
+        let mut sink = teda_core::stream::Collect::new();
+        let summary = service.submit_stream(VecSource::new(tables), &mut sink, 4);
+        assert_eq!(summary.annotated, 10, "backpressure must not drop tables");
+        assert_eq!(summary.errors, 0);
+        let stats = service.shutdown();
+        assert_eq!(stats.shed(), 0, "blocking admission never sheds");
+        assert_eq!(stats.completed, 10);
+        assert!(
+            stats.backpressure_waits > 0,
+            "a depth-1 queue under a 10-table stream must stall the source"
+        );
+    }
+
+    #[test]
+    fn submit_stream_waits_out_an_exhausted_pool() {
+        use std::sync::atomic::AtomicBool;
+        use teda_core::stream::VecSource;
+
+        // Pool covers exactly one 4-cell table at a time; each completed
+        // table permanently consumes its queried cells, so a long stream
+        // outlives the initial allowance and must pause until the
+        // periodic refill (the paper's daily allowance) tops it up —
+        // pause, not shed.
+        let service = AnnotationService::start(
+            annotator(Duration::ZERO),
+            ServiceConfig {
+                workers: 1,
+                query_pool: Some(4),
+                ..ServiceConfig::default()
+            },
+        );
+        let tables: Vec<Table> = (0..5)
+            .map(|i| Arc::try_unwrap(restaurant_table(&i.to_string())).unwrap())
+            .collect();
+        let done = AtomicBool::new(false);
+        let summary = std::thread::scope(|s| {
+            s.spawn(|| {
+                // The refill loop standing in for the daily allowance.
+                while !done.load(Ordering::Relaxed) {
+                    service.add_budget(2);
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            });
+            let mut sink = teda_core::stream::Collect::new();
+            let summary = service.submit_stream(VecSource::new(tables), &mut sink, 2);
+            done.store(true, Ordering::Relaxed);
+            assert_eq!(sink.into_annotations().unwrap().len(), 5);
+            summary
+        });
+        assert_eq!(summary.annotated, 5, "refills must admit the stream");
+        let stats = service.shutdown();
+        assert_eq!(stats.shed_budget, 0, "budget pauses, never sheds, here");
+    }
+
+    #[test]
+    fn oversized_stream_tables_fail_in_place_without_sinking_the_stream() {
+        use teda_core::stream::VecSource;
+
+        let service = AnnotationService::start(
+            annotator(Duration::ZERO),
+            ServiceConfig {
+                workers: 1,
+                max_queries_per_request: Some(4),
+                ..ServiceConfig::default()
+            },
+        );
+        let big = Table::builder(2)
+            .column_type(1, ColumnType::Location)
+            .row(vec!["Melisse", "a"])
+            .unwrap()
+            .row(vec!["Bayona", "b"])
+            .unwrap()
+            .row(vec!["Melisse", "c"])
+            .unwrap()
+            .build()
+            .unwrap();
+        let ok = Arc::try_unwrap(restaurant_table("fits")).unwrap();
+        let mut sink = teda_core::stream::Collect::new();
+        let summary =
+            service.submit_stream(VecSource::new(vec![ok.clone(), big, ok]), &mut sink, 2);
+        assert_eq!(summary.annotated, 2);
+        assert_eq!(summary.errors, 1);
+        let results = sink.into_results();
+        assert!(results[0].is_ok());
+        assert!(
+            results[1]
+                .as_ref()
+                .unwrap_err()
+                .message()
+                .contains("rejected"),
+            "oversize rejection surfaces at its stream position"
+        );
+        assert!(results[2].is_ok(), "stream continues past the rejection");
+        service.shutdown();
     }
 
     #[test]

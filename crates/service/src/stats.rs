@@ -55,6 +55,13 @@ pub struct ServiceStats {
     /// Requests rejected because their worst-case query need exceeded
     /// the per-request budget.
     pub rejected_oversize: u64,
+    /// Tables admitted through the streaming front-end
+    /// (`AnnotationService::submit_stream`).
+    pub stream_tables: u64,
+    /// Times a blocking submission stalled on a full queue or an empty
+    /// query pool — each one is backpressure applied to a source
+    /// instead of a shed table.
+    pub backpressure_waits: u64,
     /// Submit-to-completion latency percentiles (over the scheduler's
     /// recent-completions window, not all-time history).
     pub latency: LatencySummary,
