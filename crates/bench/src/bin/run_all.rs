@@ -3,7 +3,7 @@
 
 use teda_bench::exp::{
     ablation, comparison, coverage, efficiency, fig7, preprocess_stats, service, stream, table1,
-    table2, table3, throughput,
+    table2, table3, throughput, wire,
 };
 use teda_bench::harness::{Fixture, Scale};
 
@@ -32,6 +32,7 @@ fn main() {
     println!("{}", throughput::render(&throughput::run(&fixture)));
     println!("{}", service::render(&service::run(&fixture)));
     println!("{}", stream::render(&stream::run(&fixture)));
+    println!("{}", wire::render(&wire::run(&fixture)));
     println!("{}", fig7::render(&fig7::run()));
     println!("{}", ablation::render(&ablation::run(&fixture)));
 }

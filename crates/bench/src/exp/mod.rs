@@ -12,3 +12,4 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod throughput;
+pub mod wire;

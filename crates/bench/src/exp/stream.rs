@@ -10,8 +10,9 @@
 //!   `BatchAnnotator::annotate_stream` at several `max_in_flight`
 //!   values. Per window: wall seconds, tables/sec, the independently
 //!   metered peak of live tables (produced − consumed, measured outside
-//!   the driver), and bit-identity against `annotate_corpus_par` over
-//!   the materialized corpus. Peak ≤ window is asserted on every run.
+//!   the driver), and bit-identity against a sequential
+//!   `annotate_stream` pass (window 1) over the materialized corpus.
+//!   Peak ≤ window is asserted on every run.
 //! * **service streaming** — the same stream through
 //!   `AnnotationService::submit_stream` against a deliberately tiny
 //!   queue: admission must *pause the source* (backpressure waits > 0)
@@ -22,7 +23,9 @@ use std::rc::Rc;
 use std::time::Instant;
 
 use teda_core::pipeline::TableAnnotations;
-use teda_core::stream::{AnnotatedTable, AnnotationSink, Collect, SourceError, TableSource};
+use teda_core::stream::{
+    AnnotatedTable, AnnotationSink, Collect, SliceSource, SourceError, TableSource,
+};
 use teda_corpus::GeneratedPoiSource;
 use teda_kb::EntityType;
 use teda_service::{AnnotationService, ServiceConfig, ServiceStats};
@@ -58,8 +61,8 @@ pub struct WindowRun {
     pub peak_live: usize,
     /// The driver's own high-water mark (must agree with `peak_live`).
     pub peak_reported: usize,
-    /// Whether the streamed output was bit-identical to
-    /// `annotate_corpus_par` over the materialized corpus.
+    /// Whether the streamed output was bit-identical to the sequential
+    /// reference pass over the materialized corpus.
     pub identical: bool,
 }
 
@@ -169,10 +172,15 @@ pub fn run(fixture: &Fixture) -> StreamReport {
             .map(|t| t.expect("generated streams are infallible"))
             .collect()
     };
-    let reference: Vec<TableAnnotations> = fixture
-        .svm_annotator(true, false)
-        .into_batch()
-        .annotate_corpus_par(&corpus);
+    let reference: Vec<TableAnnotations> = {
+        // The definitional reference: annotate_stream at window 1 (the
+        // sequential pass every other window must match bit for bit).
+        let batch = fixture.svm_annotator(true, false).into_batch();
+        let mut sink = Collect::new();
+        batch.annotate_stream(SliceSource::new(&corpus), &mut sink, 1);
+        sink.into_annotations()
+            .expect("slice sources never yield errors")
+    };
 
     let threads = rayon::current_num_threads();
     let mut windows = vec![1, 2, 4, teda_core::stream::default_max_in_flight()];

@@ -80,13 +80,20 @@ fn type_from_token(s: &str) -> Result<EntityType, ExportError> {
 
 /// Serializes the table: a `#types` row, then the normal CSV.
 pub fn table_to_csv(gold: &GoldTable) -> String {
+    typed_table_to_csv(&gold.table)
+}
+
+/// Serializes any [`Table`] with its `#types` row — the document format
+/// [`crate::table_from_csv`] (and therefore the wire protocol's
+/// `ANNOTATE` payload) round-trips exactly, column types included.
+pub fn typed_table_to_csv(table: &Table) -> String {
     let mut out = String::from("#types");
-    for j in 0..gold.table.n_cols() {
+    for j in 0..table.n_cols() {
         out.push(',');
-        out.push_str(column_type_name(gold.table.column_type(j)));
+        out.push_str(column_type_name(table.column_type(j)));
     }
     out.push('\n');
-    out.push_str(&write_table(&gold.table));
+    out.push_str(&write_table(table));
     out
 }
 

@@ -37,6 +37,7 @@ pub mod stream;
 pub mod wiki;
 
 pub use datasets::{gft_benchmark, BenchmarkSet};
+pub use export::typed_table_to_csv;
 pub use gold::{GoldEntry, GoldTable};
 pub use stream::{table_from_csv, CsvDirSource, GeneratedPoiSource};
 pub use wiki::wiki_manual;

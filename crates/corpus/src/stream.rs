@@ -293,6 +293,93 @@ mod tests {
         assert!(CsvDirSource::open("/definitely/not/a/dir").is_err());
     }
 
+    /// The wire protocol feeds this parser from untrusted sockets:
+    /// quoted fields with embedded commas *and* newlines (POI
+    /// addresses) must round into cells intact, in both the typed and
+    /// the plain-CSV paths.
+    #[test]
+    fn quoted_commas_and_newlines_parse_into_cells() {
+        let csv = "#types,Text,Location\nname,address\n\
+                   \"Bar, Grill & Co\",\"1104 Wilshire Blvd,\nSanta Monica\"\n";
+        let table = table_from_csv(csv, "quoted").unwrap();
+        assert_eq!(table.n_rows(), 1);
+        assert_eq!(table.cell(0, 0), "Bar, Grill & Co");
+        assert_eq!(table.cell(0, 1), "1104 Wilshire Blvd,\nSanta Monica");
+        assert_eq!(table.column_type(1), ColumnType::Location);
+
+        let plain = table_from_csv("a,b\n\"x,\ny\",z\n", "plain").unwrap();
+        assert_eq!(plain.cell(0, 0), "x,\ny");
+    }
+
+    /// A Windows-written export: CRLF everywhere, the `#types` row
+    /// included. The trailing `\r` must not corrupt the last column
+    /// type or the cells.
+    #[test]
+    fn crlf_types_row_parses_cleanly() {
+        let csv = "#types,Text,Location\r\nname,address\r\nMelisse,1104 Wilshire Blvd\r\n";
+        let table = table_from_csv(csv, "crlf").unwrap();
+        assert_eq!(
+            table.column_types(),
+            &[ColumnType::Text, ColumnType::Location]
+        );
+        assert_eq!(table.n_rows(), 1);
+        assert_eq!(table.cell(0, 1), "1104 Wilshire Blvd");
+        assert_eq!(table.headers().unwrap(), &["name", "address"]);
+    }
+
+    /// An empty file in the directory is one in-band [`SourceError`] —
+    /// never a panic, never a dead stream.
+    #[test]
+    fn empty_file_is_an_in_band_error_not_a_panic() {
+        let world = world();
+        let dir = std::env::temp_dir().join(format!("teda_csv_empty_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let gold = sample_gold(&world, "good");
+        std::fs::write(dir.join("1_good.csv"), table_to_csv(&gold)).unwrap();
+        std::fs::write(dir.join("2_empty.csv"), "").unwrap();
+        std::fs::write(dir.join("3_good.csv"), table_to_csv(&gold)).unwrap();
+
+        let mut source = CsvDirSource::open(&dir).unwrap();
+        assert!(source.next_table().unwrap().is_ok());
+        let err = source
+            .next_table()
+            .expect("the empty file occupies its stream position")
+            .expect_err("an empty file cannot become a table");
+        assert!(err.message().contains("empty"), "{}", err.message());
+        assert!(source.next_table().unwrap().is_ok(), "stream continues");
+        assert!(source.next_table().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        // Direct parse of the degenerate documents, wire-input style.
+        assert!(table_from_csv("", "empty").is_err());
+        assert!(
+            table_from_csv("#types,Text\n", "only-types").is_err(),
+            "a #types row with no body is an error, not a panic"
+        );
+        assert!(table_from_csv("#types,Text", "headerless-types").is_err());
+    }
+
+    /// A `#types` row whose arity disagrees with the table — too few
+    /// or too many column types — is an in-band error naming the
+    /// mismatch.
+    #[test]
+    fn types_row_arity_mismatch_is_reported() {
+        let too_few = table_from_csv("#types,Text\nname,addr\nMelisse,X\n", "narrow")
+            .expect_err("1 type for 2 columns");
+        assert!(too_few.message().contains("1 types for 2 columns"));
+
+        let too_many = table_from_csv(
+            "#types,Text,Location,Number\nname,addr\nMelisse,X\n",
+            "wide",
+        )
+        .expect_err("3 types for 2 columns");
+        assert!(too_many.message().contains("3 types for 2 columns"));
+
+        let unknown = table_from_csv("#types,Text,Widget\nname,addr\nMelisse,X\n", "bogus")
+            .expect_err("unknown column type");
+        assert!(unknown.message().contains("Widget"));
+    }
+
     #[test]
     fn generated_source_is_lazy_and_deterministic() {
         let world = world();

@@ -9,21 +9,33 @@
 //! control sheds load when the queue or the query budget is exhausted,
 //! instead of letting latency and memory grow without bound.
 //!
-//! Three pieces (std threads + channels only — the offline-build
+//! Four pieces (std threads + channels only — the offline-build
 //! constraint rules out an async runtime, and annotation work is
 //! CPU/latency-bound anyway, so a thread per worker is the right shape):
 //!
 //! * [`ServiceConfig`] — the knobs: worker count, submission-queue
-//!   depth, per-request and pooled query budgets, and the bounded
-//!   query-cache configuration ([`teda_core::cache::CacheConfig`])
-//!   applied to the underlying engine.
+//!   depth, per-request and pooled query budgets, the DRR
+//!   `fair_quantum`, and the bounded query-cache configuration
+//!   ([`teda_core::cache::CacheConfig`]) applied to the underlying
+//!   engine.
 //! * [`AnnotationService`] — the scheduler: a bounded submission queue
 //!   feeding a worker pool that drives
 //!   [`BatchAnnotator::annotate_table`]; [`submit`](AnnotationService::submit)
 //!   never blocks — a full queue or an empty budget sheds the request
 //!   with a typed [`Rejection`].
+//! * **Per-client fairness** — every submission runs as a [`ClientId`]
+//!   (`submit_as` / `submit_blocking_as` / `submit_stream_as`; the
+//!   plain entry points use [`ClientId::ANONYMOUS`]). The shared query
+//!   pool feeds per-client token buckets by deficit round-robin: when
+//!   the pool runs dry, refunds and `add_budget` refills are granted to
+//!   *waiting* clients one quantum per rotation, so a bulk ingester
+//!   with unbounded queued demand cannot starve an interactive caller
+//!   — its big reservations simply accumulate across rounds while
+//!   small requests clear in one. Uncontended, the pool behaves exactly
+//!   like the PR 2 global counter.
 //! * [`ServiceStats`] — the report: accepted/shed accounting, p50/p99
-//!   latency, shed rate, and the cache hit rates of both memo layers.
+//!   latency, shed rate, the cache hit rates of both memo layers, and
+//!   per-client counters ([`ClientStats`]).
 //!
 //! Two admission modes front the same scheduler:
 //!
@@ -45,10 +57,12 @@
 //! *when* a result arrives and how many engine calls it costs, never the
 //! result itself.
 
+mod fairness;
 mod scheduler;
 mod stats;
 
+pub use fairness::ClientId;
 pub use scheduler::{
     AnnotationService, Rejection, RequestFailed, RequestHandle, RequestOutcome, ServiceConfig,
 };
-pub use stats::{LatencySummary, ServiceStats};
+pub use stats::{ClientStats, LatencySummary, ServiceStats};

@@ -13,12 +13,19 @@
 //! can reject oversized requests up front and meter a shared query pool
 //! without ever running them. The pool reservation is returned once the
 //! request completes and its true candidate count is known.
+//!
+//! The pool is **client-aware** (see [`crate::fairness`]): every
+//! submission runs as a [`ClientId`] (the plain `submit*` entry points
+//! use [`ClientId::ANONYMOUS`]), reservations draw from per-client token
+//! buckets refilled by deficit round-robin, and [`ServiceStats`] reports
+//! per-client counters — a bulk ingester sharing the pool with an
+//! interactive caller can no longer starve it.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -29,6 +36,7 @@ use teda_core::stream::{
 };
 use teda_tabular::Table;
 
+use crate::fairness::{Admission, Cancelled, ClientId};
 use crate::stats::{LatencySummary, ServiceStats};
 
 /// Scheduler and budget knobs of an [`AnnotationService`].
@@ -54,6 +62,12 @@ pub struct ServiceConfig {
     /// memo without limit; `None` leaves it unbounded (corpus-run
     /// behaviour). Flushes only cost extra geocoder calls.
     pub geo_memo_capacity: Option<usize>,
+    /// Deficit-round-robin quantum of the per-client fairness layer:
+    /// tokens granted to each waiting client per rotation when a dry
+    /// pool is refilled. Smaller values interleave clients more finely;
+    /// the default (64) lets a typical interactive table through in one
+    /// round. Only meaningful when `query_pool` is set.
+    pub fair_quantum: u64,
 }
 
 impl Default for ServiceConfig {
@@ -65,6 +79,7 @@ impl Default for ServiceConfig {
             query_pool: None,
             cache: None,
             geo_memo_capacity: Some(65_536),
+            fair_quantum: 64,
         }
     }
 }
@@ -85,6 +100,10 @@ pub enum Rejection {
     },
     /// The service is shutting down; no new work is accepted.
     ShuttingDown,
+    /// A cancellable blocking submission observed its cancel flag while
+    /// parked on a dry pool (see
+    /// [`AnnotationService::submit_blocking_cancellable`]).
+    Cancelled,
 }
 
 impl std::fmt::Display for Rejection {
@@ -96,6 +115,7 @@ impl std::fmt::Display for Rejection {
                 write!(f, "request needs up to {need} queries, budget is {budget}")
             }
             Rejection::ShuttingDown => write!(f, "service shutting down"),
+            Rejection::Cancelled => write!(f, "submission cancelled"),
         }
     }
 }
@@ -139,6 +159,7 @@ impl RequestHandle {
 /// One queued unit of work.
 struct Job {
     table: Arc<Table>,
+    client: ClientId,
     enqueued: Instant,
     reserved: u64,
     reply: SyncSender<Result<RequestOutcome, RequestFailed>>,
@@ -172,13 +193,10 @@ impl LatencyRing {
 /// State shared between the submit path and the workers.
 struct Shared {
     annotator: BatchAnnotator,
-    /// Remaining shared query pool; `None` when unmetered.
-    pool: Option<AtomicU64>,
-    /// Rendezvous for streaming submitters blocked on an empty pool:
-    /// refunds notify, waiters re-check. The gate mutex guards nothing —
-    /// it exists only so the condvar has something to wait on.
-    pool_gate: Mutex<()>,
-    pool_refund: Condvar,
+    /// Client-aware pool metering: shared allowance + per-client token
+    /// buckets + per-client counters (see [`crate::fairness`]). Parked
+    /// blocking submitters wait on its condvar; refunds wake them.
+    admission: Admission,
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
@@ -191,13 +209,15 @@ struct Shared {
 }
 
 impl Shared {
-    /// Returns `n` reserved queries to the pool and wakes blocked
-    /// streaming submitters (no-op when unmetered).
-    fn refund(&self, n: u64) {
-        if let Some(pool) = &self.pool {
-            pool.fetch_add(n, Ordering::Relaxed);
-            self.pool_refund.notify_all();
-        }
+    /// Pushes one completion latency into the ring. A poisoned ring
+    /// (a thread panicked mid-push) is recovered, not propagated: the
+    /// ring holds plain `Duration`s with no cross-entry invariant, so
+    /// the worst a panic can leave behind is one stale slot.
+    fn record_latency(&self, latency: Duration) {
+        self.latencies
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(latency);
     }
 }
 
@@ -239,9 +259,7 @@ impl AnnotationService {
         let rx = Arc::new(Mutex::new(rx));
         let shared = Arc::new(Shared {
             annotator,
-            pool: config.query_pool.map(AtomicU64::new),
-            pool_gate: Mutex::new(()),
-            pool_refund: Condvar::new(),
+            admission: Admission::new(config.query_pool, config.fair_quantum),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
@@ -280,11 +298,23 @@ impl AnnotationService {
         &self.shared.annotator
     }
 
-    /// Submits one table for annotation. Never blocks: the job is
-    /// either queued (returning a [`RequestHandle`]) or shed with the
-    /// reason. The table rides behind an `Arc`, so shedding costs
-    /// nothing and callers keep their copy.
+    /// Submits one table for annotation as [`ClientId::ANONYMOUS`].
+    /// Never blocks: the job is either queued (returning a
+    /// [`RequestHandle`]) or shed with the reason. The table rides
+    /// behind an `Arc`, so shedding costs nothing and callers keep
+    /// their copy.
     pub fn submit(&self, table: Arc<Table>) -> Result<RequestHandle, Rejection> {
+        self.submit_as(&ClientId::ANONYMOUS, table)
+    }
+
+    /// [`submit`](Self::submit) attributed to `client`: the reservation
+    /// draws from the client's token bucket before the shared pool, and
+    /// the client's counters show up in [`ServiceStats::clients`].
+    pub fn submit_as(
+        &self,
+        client: &ClientId,
+        table: Arc<Table>,
+    ) -> Result<RequestHandle, Rejection> {
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         let need = (table.n_rows() * table.n_cols()) as u64;
 
@@ -293,44 +323,18 @@ impl AnnotationService {
                 self.shared
                     .rejected_oversize
                     .fetch_add(1, Ordering::Relaxed);
+                self.shared.admission.note_rejected(client);
                 return Err(Rejection::RequestTooLarge { need, budget });
             }
         }
-        if let Some(pool) = &self.shared.pool {
-            let reserved = pool
-                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
-                    cur.checked_sub(need)
-                })
-                .is_ok();
-            if !reserved {
-                self.shared.shed_budget.fetch_add(1, Ordering::Relaxed);
-                return Err(Rejection::BudgetExhausted);
-            }
+        // try_reserve counts the attempt (and the shed, on failure)
+        // against the client in the same critical section.
+        if !self.shared.admission.try_reserve(client, need) {
+            self.shared.shed_budget.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejection::BudgetExhausted);
         }
 
-        let Some(tx) = &self.tx else {
-            self.refund(need);
-            return Err(Rejection::ShuttingDown);
-        };
-        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-        let job = Job {
-            table,
-            enqueued: Instant::now(),
-            reserved: need,
-            reply: reply_tx,
-        };
-        match tx.try_send(job) {
-            Ok(()) => Ok(RequestHandle { reply: reply_rx }),
-            Err(TrySendError::Full(_)) => {
-                self.refund(need);
-                self.shared.shed_queue.fetch_add(1, Ordering::Relaxed);
-                Err(Rejection::QueueFull)
-            }
-            Err(TrySendError::Disconnected(_)) => {
-                self.refund(need);
-                Err(Rejection::ShuttingDown)
-            }
-        }
+        self.enqueue(client, table, need, false)
     }
 
     /// Submits one table, **blocking** instead of shedding: a full queue
@@ -342,11 +346,49 @@ impl AnnotationService {
     /// worst-case need exceeds `max_queries_per_request` can never be
     /// admitted, and a shutting-down service accepts nothing.
     ///
-    /// A dry query pool blocks until completions refund their unused
+    /// A dry query pool *parks* the caller (condvar under the admission
+    /// mutex — no polling) until completions refund their unused
     /// reservation or [`add_budget`](Self::add_budget) refills the
     /// allowance — on a permanently dry pool this waits indefinitely,
-    /// exactly like a stream paused until the next daily quota.
+    /// exactly like a stream paused until the next daily quota. Refills
+    /// reach waiting clients by deficit round-robin, so concurrent bulk
+    /// callers cannot starve this one.
     pub fn submit_blocking(&self, table: Arc<Table>) -> Result<RequestHandle, Rejection> {
+        self.submit_blocking_as(&ClientId::ANONYMOUS, table)
+    }
+
+    /// [`submit_blocking`](Self::submit_blocking) attributed to
+    /// `client` — the entry point streaming drivers use.
+    pub fn submit_blocking_as(
+        &self,
+        client: &ClientId,
+        table: Arc<Table>,
+    ) -> Result<RequestHandle, Rejection> {
+        self.submit_blocking_inner(client, table, None)
+    }
+
+    /// [`submit_blocking_as`](Self::submit_blocking_as) with an escape
+    /// hatch: when `cancel` is raised and
+    /// [`wake_blocked_submitters`](Self::wake_blocked_submitters) is
+    /// called, a submission parked on a dry pool deregisters its demand
+    /// and returns [`Rejection::Cancelled`] instead of waiting for the
+    /// next refill — how the wire front-end unparks its connection
+    /// threads on server shutdown without aborting anyone else's waits.
+    pub fn submit_blocking_cancellable(
+        &self,
+        client: &ClientId,
+        table: Arc<Table>,
+        cancel: &std::sync::atomic::AtomicBool,
+    ) -> Result<RequestHandle, Rejection> {
+        self.submit_blocking_inner(client, table, Some(cancel))
+    }
+
+    fn submit_blocking_inner(
+        &self,
+        client: &ClientId,
+        table: Arc<Table>,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
+    ) -> Result<RequestHandle, Rejection> {
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         let need = (table.n_rows() * table.n_cols()) as u64;
 
@@ -355,52 +397,62 @@ impl AnnotationService {
                 self.shared
                     .rejected_oversize
                     .fetch_add(1, Ordering::Relaxed);
+                self.shared.admission.note_rejected(client);
                 return Err(Rejection::RequestTooLarge { need, budget });
             }
         }
-        // Reserve from the pool, waiting for completions to refund it.
-        if let Some(pool) = &self.shared.pool {
-            let mut stalled = false;
-            loop {
-                let reserved = pool
-                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
-                        cur.checked_sub(need)
-                    })
-                    .is_ok();
-                if reserved {
-                    break;
-                }
-                if !stalled {
-                    stalled = true;
-                    self.shared
-                        .backpressure_waits
-                        .fetch_add(1, Ordering::Relaxed);
-                }
-                // Refunds notify; the timeout is the backstop for the
-                // unavoidable check-then-wait race window.
-                let gate = self.shared.pool_gate.lock().expect("pool gate poisoned");
-                let _ = self
-                    .shared
-                    .pool_refund
-                    .wait_timeout(gate, Duration::from_millis(5))
-                    .expect("pool gate poisoned");
+        // Reserve from the pool, parking until refunds/refills cover it
+        // (the attempt, the stall and any cancellation shed are counted
+        // against the client inside the same critical section).
+        match self.shared.admission.reserve_blocking(client, need, cancel) {
+            Ok(true) => {
+                self.shared
+                    .backpressure_waits
+                    .fetch_add(1, Ordering::Relaxed);
             }
+            Ok(false) => {}
+            Err(Cancelled) => return Err(Rejection::Cancelled),
         }
 
+        self.enqueue(client, table, need, true)
+    }
+
+    /// Wakes every submitter parked on a dry pool. Harmless for plain
+    /// [`submit_blocking`](Self::submit_blocking) waiters (a spurious
+    /// wake-up: they re-check the pool and re-park); submissions made
+    /// through
+    /// [`submit_blocking_cancellable`](Self::submit_blocking_cancellable)
+    /// whose cancel flag is raised abort with [`Rejection::Cancelled`].
+    pub fn wake_blocked_submitters(&self) {
+        self.shared.admission.kick();
+    }
+
+    /// The shared tail of both submit paths: hand the reserved job to
+    /// the worker queue, shedding (non-blocking) or stalling (blocking)
+    /// when it is full.
+    fn enqueue(
+        &self,
+        client: &ClientId,
+        table: Arc<Table>,
+        need: u64,
+        blocking: bool,
+    ) -> Result<RequestHandle, Rejection> {
         let Some(tx) = &self.tx else {
             self.refund(need);
+            self.shared.admission.note_shed(client);
             return Err(Rejection::ShuttingDown);
         };
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
         let job = Job {
             table,
+            client: client.clone(),
             enqueued: Instant::now(),
             reserved: need,
             reply: reply_tx,
         };
         match tx.try_send(job) {
             Ok(()) => Ok(RequestHandle { reply: reply_rx }),
-            Err(TrySendError::Full(job)) => {
+            Err(TrySendError::Full(job)) if blocking => {
                 // Queue full: block until a worker frees a slot. The
                 // stall is what throttles a streaming source.
                 self.shared
@@ -410,12 +462,20 @@ impl AnnotationService {
                     Ok(()) => Ok(RequestHandle { reply: reply_rx }),
                     Err(_) => {
                         self.refund(need);
+                        self.shared.admission.note_shed(client);
                         Err(Rejection::ShuttingDown)
                     }
                 }
             }
+            Err(TrySendError::Full(_)) => {
+                self.refund(need);
+                self.shared.shed_queue.fetch_add(1, Ordering::Relaxed);
+                self.shared.admission.note_shed(client);
+                Err(Rejection::QueueFull)
+            }
             Err(TrySendError::Disconnected(_)) => {
                 self.refund(need);
+                self.shared.admission.note_shed(client);
                 Err(Rejection::ShuttingDown)
             }
         }
@@ -437,6 +497,24 @@ impl AnnotationService {
     /// continues.
     pub fn submit_stream<S, K>(
         &self,
+        source: S,
+        sink: &mut K,
+        max_in_flight: usize,
+    ) -> StreamSummary
+    where
+        S: TableSource,
+        S::Item: IntoArcTable,
+        K: AnnotationSink<Arc<Table>>,
+    {
+        self.submit_stream_as(&ClientId::ANONYMOUS, source, sink, max_in_flight)
+    }
+
+    /// [`submit_stream`](Self::submit_stream) attributed to `client`:
+    /// every table of the stream is admitted against the client's token
+    /// bucket, so one corpus ingestion cannot monopolize the pool.
+    pub fn submit_stream_as<S, K>(
+        &self,
+        client: &ClientId,
         mut source: S,
         sink: &mut K,
         max_in_flight: usize,
@@ -492,7 +570,7 @@ impl AnnotationService {
             let entry = match item {
                 Ok(item) => {
                     let table = item.into_arc_table();
-                    match self.submit_blocking(Arc::clone(&table)) {
+                    match self.submit_blocking_as(client, Arc::clone(&table)) {
                         Ok(handle) => {
                             self.shared.stream_tables.fetch_add(1, Ordering::Relaxed);
                             PendingStream::Running(table, handle)
@@ -516,7 +594,7 @@ impl AnnotationService {
 
     /// Returns `n` reserved queries to the pool (no-op when unmetered).
     fn refund(&self, n: u64) {
-        self.shared.refund(n);
+        self.shared.admission.refund(n);
     }
 
     /// Tops the query pool up by `n` (the daily-allowance refill). No-op
@@ -525,21 +603,23 @@ impl AnnotationService {
         self.refund(n);
     }
 
-    /// Queries currently available in the pool, if metered.
+    /// Queries currently reservable, if metered: the shared pool plus
+    /// the tokens parked in client buckets.
     pub fn remaining_budget(&self) -> Option<u64> {
-        self.shared.pool.as_ref().map(|p| p.load(Ordering::Relaxed))
+        self.shared.admission.remaining()
     }
 
     /// A point-in-time report of the service counters. Latency
     /// percentiles cover the most recent `LATENCY_WINDOW` completions.
     pub fn stats(&self) -> ServiceStats {
         // Copy the window out, then sort outside the lock so stats
-        // polling never stalls the workers' completion path.
+        // polling never stalls the workers' completion path. A poisoned
+        // ring (panic mid-push) is recovered: worst case one stale slot.
         let latencies = self
             .shared
             .latencies
             .lock()
-            .expect("service latencies poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .buf
             .clone();
         ServiceStats {
@@ -554,6 +634,7 @@ impl AnnotationService {
             latency: LatencySummary::from_latencies(&latencies),
             cache: self.shared.annotator.cache_stats(),
             geocode: self.shared.annotator.geo_stats(),
+            clients: self.shared.admission.client_stats(),
         }
     }
 
@@ -635,9 +716,11 @@ fn deliver_outcome<K: AnnotationSink<Arc<Table>>>(
 fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
     loop {
         // Hold the receiver lock only for the handoff; annotation runs
-        // unlocked so workers process jobs concurrently.
+        // unlocked so workers process jobs concurrently. A poisoned
+        // receiver lock is recovered: `recv` owns no partial state, so
+        // a sibling's panic must not starve the queue.
         let job = {
-            let rx = rx.lock().expect("service queue poisoned");
+            let rx = rx.lock().unwrap_or_else(PoisonError::into_inner);
             rx.recv()
         };
         let Ok(job) = job else { break };
@@ -649,17 +732,14 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
             Ok(annotations) => {
                 // Return the unused share of the worst-case reservation:
                 // the true query need is the candidate-cell count.
-                shared.refund(
+                shared.admission.on_complete(
+                    &job.client,
                     job.reserved
                         .saturating_sub(annotations.queried_cells as u64),
                 );
                 let latency = job.enqueued.elapsed();
                 shared.completed.fetch_add(1, Ordering::Relaxed);
-                shared
-                    .latencies
-                    .lock()
-                    .expect("service latencies poisoned")
-                    .push(latency);
+                shared.record_latency(latency);
                 let _ = job.reply.try_send(Ok(RequestOutcome {
                     annotations,
                     latency,
@@ -670,6 +750,7 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
                 // The engine unwound mid-request: the reservation is not
                 // refunded (true usage unknown), the caller is told.
                 shared.failed.fetch_add(1, Ordering::Relaxed);
+                shared.admission.on_failed(&job.client);
                 let _ = job.reply.try_send(Err(RequestFailed));
             }
         }
@@ -695,15 +776,23 @@ mod tests {
     use teda_text::FeatureExtractor;
     use teda_websim::{SearchEngine, SearchResult};
 
-    /// Engine: restaurant snippets for known names; optionally slow.
+    /// Engine: restaurant snippets for known names; optionally slow;
+    /// panics on a trigger substring (worker-panic regression tests).
     struct Scripted {
         delay: Duration,
+        panic_on: Option<&'static str>,
     }
 
     impl SearchEngine for Scripted {
         fn search(&self, query: &str, k: usize) -> Vec<SearchResult> {
             if !self.delay.is_zero() {
                 std::thread::sleep(self.delay);
+            }
+            if let Some(trigger) = self.panic_on {
+                assert!(
+                    !query.contains(trigger),
+                    "scripted engine panic on {trigger:?}"
+                );
             }
             let q = query.to_lowercase();
             if !(q.contains("melisse") || q.contains("bayona")) {
@@ -737,8 +826,12 @@ mod tests {
     }
 
     fn annotator(delay: Duration) -> BatchAnnotator {
+        annotator_panicking(delay, None)
+    }
+
+    fn annotator_panicking(delay: Duration, panic_on: Option<&'static str>) -> BatchAnnotator {
         BatchAnnotator::new(
-            Arc::new(Scripted { delay }),
+            Arc::new(Scripted { delay, panic_on }),
             classifier(),
             AnnotatorConfig {
                 targets: vec![EntityType::Restaurant],
@@ -1053,5 +1146,279 @@ mod tests {
         );
         assert_eq!(service.annotator().cache().capacity(), Some(8));
         service.shutdown();
+    }
+
+    /// Regression (lock-poisoning wedge): a worker that panics
+    /// mid-request must not wedge later submissions or stats polls —
+    /// the service keeps accepting, completing, and reporting.
+    #[test]
+    fn service_survives_a_worker_panic_mid_request() {
+        let service = AnnotationService::start(
+            annotator_panicking(Duration::ZERO, Some("boom")),
+            ServiceConfig {
+                workers: 2,
+                query_pool: Some(1_000),
+                ..ServiceConfig::default()
+            },
+        );
+        let bomb = Arc::new(
+            Table::builder(2)
+                .column_type(1, ColumnType::Location)
+                .row(vec!["Melisse boom", "1104 Wilshire Blvd"])
+                .unwrap()
+                .build()
+                .unwrap(),
+        );
+        let failed = service
+            .submit(bomb)
+            .expect("the bomb is admitted — it fails in flight")
+            .wait();
+        assert_eq!(failed, Err(RequestFailed), "panic surfaces to the caller");
+
+        // The pool must still admit, run and answer fresh requests…
+        let outcome = service
+            .submit(restaurant_table("after"))
+            .expect("service still accepts after a worker panic")
+            .wait()
+            .expect("service still completes after a worker panic");
+        assert_eq!(outcome.annotations.queried_cells, 2);
+        // …and the stats path must not be wedged either.
+        let stats = service.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
+        let final_stats = service.shutdown();
+        assert_eq!(final_stats.failed, 1);
+    }
+
+    /// Regression (lock-poisoning wedge, unit level): poisoning the
+    /// latencies ring directly must not break completions or stats.
+    #[test]
+    fn poisoned_latency_ring_is_recovered() {
+        let service = AnnotationService::start(
+            annotator(Duration::ZERO),
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let shared = Arc::clone(&service.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.latencies.lock().unwrap();
+            panic!("poison the latencies ring");
+        })
+        .join();
+        let outcome = service
+            .submit(restaurant_table("poisoned"))
+            .expect("submission still accepted")
+            .wait()
+            .expect("completion path recovers the poisoned ring");
+        assert!(outcome.latency >= outcome.queue_wait);
+        let stats = service.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.latency.max, stats.latency.p99.max(stats.latency.max));
+        service.shutdown();
+    }
+
+    /// Regression (busy-wait): a submitter blocked on a dry pool parks
+    /// on the condvar and `add_budget` genuinely wakes it — promptly,
+    /// with no timeout re-poll needed.
+    #[test]
+    fn dry_pool_waiter_is_woken_by_add_budget() {
+        let service = Arc::new(AnnotationService::start(
+            annotator(Duration::ZERO),
+            ServiceConfig {
+                workers: 1,
+                query_pool: Some(0),
+                ..ServiceConfig::default()
+            },
+        ));
+        let svc = Arc::clone(&service);
+        let (tx, rx) = mpsc::channel();
+        let waiter = std::thread::spawn(move || {
+            let outcome = svc
+                .submit_blocking(restaurant_table("parked"))
+                .expect("admitted once the refill lands")
+                .wait()
+                .expect("completes");
+            tx.send(outcome).unwrap();
+        });
+        // The waiter must still be parked on the bone-dry pool…
+        assert!(
+            rx.recv_timeout(Duration::from_millis(100)).is_err(),
+            "a dry pool must block the submitter"
+        );
+        // …and a single refill must release it.
+        service.add_budget(4);
+        let outcome = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("add_budget must wake the parked submitter");
+        waiter.join().unwrap();
+        assert_eq!(outcome.annotations.queried_cells, 2);
+        let stats = service.stats();
+        assert!(
+            stats.backpressure_waits >= 1,
+            "the stall must be counted as backpressure"
+        );
+        // 4 reserved, 2 actually queried → 2 refunded.
+        assert_eq!(service.remaining_budget(), Some(2));
+        Arc::try_unwrap(service)
+            .map_err(|_| "service still shared")
+            .unwrap()
+            .shutdown();
+    }
+
+    /// Per-client fairness end to end: a hog streaming big requests
+    /// through a refilled pool cannot lock a trickle client out — the
+    /// trickle's request is served from the first refill rounds.
+    #[test]
+    fn trickle_client_is_served_while_a_hog_streams() {
+        let hog = ClientId::new("hog");
+        let trickle = ClientId::new("trickle");
+        let service = Arc::new(AnnotationService::start(
+            annotator(Duration::ZERO),
+            ServiceConfig {
+                workers: 2,
+                query_pool: Some(0),
+                fair_quantum: 4,
+                ..ServiceConfig::default()
+            },
+        ));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        // Hog: back-to-back blocking submissions, each needing 4 tokens.
+        let svc = Arc::clone(&service);
+        let hog_id = hog.clone();
+        let stop_hog = Arc::clone(&stop);
+        let hog_thread = std::thread::spawn(move || {
+            let mut done = 0u64;
+            while !stop_hog.load(Ordering::Relaxed) {
+                let h = svc
+                    .submit_blocking_as(&hog_id, restaurant_table("hog"))
+                    .expect("hog admitted");
+                let _ = h.wait();
+                done += 1;
+            }
+            done
+        });
+        // Refill loop: the daily allowance drip.
+        let svc = Arc::clone(&service);
+        let stop_refill = Arc::clone(&stop);
+        let refill_thread = std::thread::spawn(move || {
+            while !stop_refill.load(Ordering::Relaxed) {
+                svc.add_budget(8);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+
+        std::thread::sleep(Duration::from_millis(20)); // hog saturates
+        let t0 = Instant::now();
+        let outcome = service
+            .submit_blocking_as(&trickle, restaurant_table("trickle"))
+            .expect("trickle admitted")
+            .wait()
+            .expect("trickle completes");
+        let trickle_latency = t0.elapsed();
+        assert_eq!(outcome.annotations.queried_cells, 2);
+        assert!(
+            trickle_latency < Duration::from_secs(2),
+            "DRR must serve the trickle promptly, took {trickle_latency:?}"
+        );
+
+        stop.store(true, Ordering::Relaxed);
+        service.add_budget(64); // release a possibly-parked hog
+        let hog_done = hog_thread.join().unwrap();
+        refill_thread.join().unwrap();
+        assert!(hog_done > 0, "the hog must actually have been streaming");
+
+        let stats = service.stats();
+        let hog_stats = stats.client("hog").expect("hog accounted");
+        let trickle_stats = stats.client("trickle").expect("trickle accounted");
+        assert!(hog_stats.completed >= hog_done);
+        assert_eq!(trickle_stats.submitted, 1);
+        assert_eq!(trickle_stats.completed, 1);
+        assert!(trickle_stats.granted >= 4);
+        Arc::try_unwrap(service)
+            .map_err(|_| "service still shared")
+            .unwrap()
+            .shutdown();
+    }
+
+    /// A cancellable submission parked on a dry pool aborts promptly
+    /// when its flag is raised and the waiters are kicked — the wire
+    /// server's shutdown path.
+    #[test]
+    fn cancel_flag_unparks_a_dry_pool_waiter() {
+        use std::sync::atomic::AtomicBool;
+
+        let service = Arc::new(AnnotationService::start(
+            annotator(Duration::ZERO),
+            ServiceConfig {
+                workers: 1,
+                query_pool: Some(0),
+                ..ServiceConfig::default()
+            },
+        ));
+        let cancel = Arc::new(AtomicBool::new(false));
+        let svc = Arc::clone(&service);
+        let flag = Arc::clone(&cancel);
+        let (tx, rx) = mpsc::channel();
+        let waiter = std::thread::spawn(move || {
+            let outcome = svc.submit_blocking_cancellable(
+                &ClientId::new("conn"),
+                restaurant_table("c"),
+                &flag,
+            );
+            tx.send(outcome.map(|_| ()).unwrap_err()).unwrap();
+        });
+        assert!(
+            rx.recv_timeout(Duration::from_millis(100)).is_err(),
+            "the dry pool must park the submission first"
+        );
+        cancel.store(true, Ordering::Relaxed);
+        service.wake_blocked_submitters();
+        let rejection = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("the kick must unpark the cancelled waiter");
+        waiter.join().unwrap();
+        assert_eq!(rejection, Rejection::Cancelled);
+        let stats = service.stats();
+        let conn = stats.client("conn").expect("accounted");
+        assert_eq!((conn.submitted, conn.shed, conn.waiting), (1, 1, 0));
+        Arc::try_unwrap(service)
+            .map_err(|_| "service still shared")
+            .unwrap()
+            .shutdown();
+    }
+
+    /// Anonymous and named clients are accounted separately.
+    #[test]
+    fn per_client_counters_split_by_identity() {
+        let service = AnnotationService::start(
+            annotator(Duration::ZERO),
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let ui = ClientId::new("ui");
+        service
+            .submit(restaurant_table("anon"))
+            .unwrap()
+            .wait()
+            .unwrap();
+        for i in 0..2 {
+            service
+                .submit_as(&ui, restaurant_table(&format!("ui{i}")))
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.client("anonymous").unwrap().completed, 1);
+        let ui_stats = stats.client("ui").unwrap();
+        assert_eq!(ui_stats.submitted, 2);
+        assert_eq!(ui_stats.completed, 2);
+        assert_eq!(ui_stats.shed, 0);
     }
 }

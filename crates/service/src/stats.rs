@@ -39,8 +39,32 @@ impl LatencySummary {
     }
 }
 
+/// One client's admission-control accounting (see [`crate::ClientId`]
+/// and the fairness layer in `crates/service/src/fairness.rs`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// The client's name (`"anonymous"` for unattributed submissions).
+    pub client: String,
+    /// Submission attempts by this client, accepted or not.
+    pub submitted: u64,
+    /// Requests of this client that ran to completion.
+    pub completed: u64,
+    /// Requests of this client whose worker panicked.
+    pub failed: u64,
+    /// Requests of this client shed or rejected (any reason).
+    pub shed: u64,
+    /// Query tokens this client has drawn from the shared pool —
+    /// direct reservations plus deficit-round-robin grants.
+    pub granted: u64,
+    /// Tokens currently parked in the client's bucket (granted toward
+    /// registered demand but not yet spent).
+    pub bucket: u64,
+    /// Submitters of this client currently parked on a dry pool.
+    pub waiting: u64,
+}
+
 /// A point-in-time report of the service counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServiceStats {
     /// Submission attempts, accepted or not.
     pub submitted: u64,
@@ -69,9 +93,17 @@ pub struct ServiceStats {
     pub cache: CacheStats,
     /// Geocoding-memo accounting of the underlying batch engine.
     pub geocode: GeocodeStats,
+    /// Per-client admission accounting, sorted by client name. Clients
+    /// appear once they have submitted (or registered) at least once.
+    pub clients: Vec<ClientStats>,
 }
 
 impl ServiceStats {
+    /// The counters of one client, if it has been seen.
+    pub fn client(&self, name: &str) -> Option<&ClientStats> {
+        self.clients.iter().find(|c| c.client == name)
+    }
+
     /// Shed + rejected requests.
     pub fn shed(&self) -> u64 {
         self.shed_queue + self.shed_budget + self.rejected_oversize

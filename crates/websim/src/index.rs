@@ -81,9 +81,13 @@ impl Eq for Ranked {}
 
 impl Ord for Ranked {
     fn cmp(&self, other: &Self) -> Ordering {
+        // total_cmp, not partial_cmp().expect(...): BM25 scores are
+        // finite today, but a NaN sneaking in through a future scoring
+        // tweak must degrade (NaN sorts as an ordinary value) rather
+        // than panic inside every query. For finite scores the order is
+        // identical, so top-k ties stay byte-identical.
         self.score
-            .partial_cmp(&other.score)
-            .expect("BM25 scores are finite")
+            .total_cmp(&other.score)
             .then_with(|| other.page.cmp(&self.page))
     }
 }
@@ -312,11 +316,10 @@ impl InvertedIndex {
             .into_iter()
             .map(|p| (PageId(p), scores[p as usize]))
             .collect();
-        ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("BM25 scores are finite")
-                .then(a.0.cmp(&b.0))
-        });
+        // Same NaN-tolerant ordering as `Ranked::cmp` — the two paths
+        // must tie-break identically or the bounded-heap equivalence
+        // tests would diverge on degenerate scores.
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked.truncate(k);
         ranked
     }
@@ -564,5 +567,51 @@ mod tests {
         assert_eq!(ids, vec![0, 1, 2, 3, 4], "ties rank by ascending page id");
         assert!(hits.windows(2).all(|w| w[0].1 >= w[1].1));
         assert_eq!(hits, idx.search_full_sort("melisse", 5));
+    }
+
+    /// Regression: a NaN score (a degenerate idf/length interaction in
+    /// some future scoring tweak) must order deterministically, not
+    /// panic inside every query — and both ranking paths must agree.
+    #[test]
+    fn nan_scores_order_deterministically_instead_of_panicking() {
+        let entries = [
+            Ranked {
+                score: f64::NAN,
+                page: PageId(0),
+            },
+            Ranked {
+                score: 1.5,
+                page: PageId(1),
+            },
+            Ranked {
+                score: f64::NAN,
+                page: PageId(2),
+            },
+            Ranked {
+                score: 0.5,
+                page: PageId(3),
+            },
+        ];
+        let mut heap_order = entries;
+        heap_order.sort(); // would have panicked via partial_cmp
+        let mut full_sort_order: Vec<(PageId, f64)> =
+            entries.iter().map(|r| (r.page, r.score)).collect();
+        full_sort_order.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        // `sort` is ascending "worse first"; the full-sort comparator is
+        // descending "best first" — reversed, they must agree exactly.
+        heap_order.reverse();
+        let from_ranked: Vec<(PageId, f64)> =
+            heap_order.iter().map(|r| (r.page, r.score)).collect();
+        assert_eq!(
+            format!("{from_ranked:?}"),
+            format!("{full_sort_order:?}"),
+            "Ranked::cmp and the full-sort comparator disagree on NaN"
+        );
+        // NaN ranks above every finite score under total_cmp; ties on
+        // NaN still break by ascending page id.
+        assert_eq!(from_ranked[0].0, PageId(0));
+        assert_eq!(from_ranked[1].0, PageId(2));
+        assert_eq!(from_ranked[2].0, PageId(1));
+        assert_eq!(from_ranked[3].0, PageId(3));
     }
 }

@@ -1,0 +1,82 @@
+//! A minimal blocking client for the wire protocol — what the
+//! experiments, tests and examples drive the server with, and a
+//! reference implementation for clients in other languages.
+
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{read_frame, Reply, Request, WireError};
+
+/// One connection to a [`WireServer`](crate::WireServer): strict
+/// request/response, one frame each way.
+pub struct WireClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl WireClient {
+    /// Connects to a running wire server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<WireClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok(); // request/response latency
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(WireClient {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// `CLIENT <name>`: attributes every later submission on this
+    /// connection to `name` for fair admission and per-client stats.
+    pub fn set_client(&mut self, name: &str) -> Result<String, WireError> {
+        self.roundtrip(&Request::Client { name: name.into() })
+    }
+
+    /// `ANNOTATE`: blocking submission — stalls under backpressure,
+    /// returns the deterministic annotation rendering
+    /// ([`crate::protocol::render_annotations`]).
+    pub fn annotate(&mut self, name: &str, csv: &str) -> Result<String, WireError> {
+        self.roundtrip(&Request::Annotate {
+            name: name.into(),
+            csv: csv.into(),
+        })
+    }
+
+    /// `TRY`: non-blocking submission — sheds with a typed error when
+    /// the queue or the budget cannot take the table now.
+    pub fn try_annotate(&mut self, name: &str, csv: &str) -> Result<String, WireError> {
+        self.roundtrip(&Request::Try {
+            name: name.into(),
+            csv: csv.into(),
+        })
+    }
+
+    /// `STATS`: the service counters, rendered
+    /// ([`crate::protocol::render_stats`]).
+    pub fn stats(&mut self) -> Result<String, WireError> {
+        self.roundtrip(&Request::Stats)
+    }
+
+    /// `BUDGET`: `"budget <n>"` or `"budget unmetered"`.
+    pub fn budget(&mut self) -> Result<String, WireError> {
+        self.roundtrip(&Request::Budget)
+    }
+
+    /// `QUIT`: orderly close (the server answers `OK bye` first).
+    pub fn quit(mut self) -> Result<String, WireError> {
+        self.roundtrip(&Request::Quit)
+    }
+
+    /// Sends one request frame and reads one reply frame (through the
+    /// same bounded [`read_frame`] the server uses).
+    fn roundtrip(&mut self, request: &Request) -> Result<String, WireError> {
+        self.writer.write_all(request.encode().as_bytes())?;
+        self.writer.flush()?;
+        let line = read_frame(&mut self.reader)?
+            .ok_or_else(|| WireError::Transport("server closed the connection".into()))?;
+        match Reply::parse(&line)? {
+            Reply::Ok(payload) => Ok(payload),
+            Reply::Err(e) => Err(e),
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! `teda-wire` — a line-protocol TCP front-end over
+//! [`teda_service::AnnotationService`].
+//!
+//! Until now the annotator could only be reached by in-process Rust.
+//! This crate puts a socket in front of it, the deployment setting
+//! web-scale entity-annotation systems assume: many independent
+//! clients — interactive lookups, bulk corpus ingesters — sharing one
+//! scheduler, one bounded cache, and one metered query allowance.
+//!
+//! Three pieces (std TCP + threads only, same offline-build constraint
+//! as the scheduler — and annotation latency dwarfs syscall overhead,
+//! so a thread per connection is the right shape at this scale):
+//!
+//! * [`protocol`] — the grammar. Newline-delimited frames with
+//!   backslash escaping (`\\`, `\n`, `\r`), so CSV payloads with
+//!   quoted embedded newlines are still one frame per request. Verbs:
+//!
+//!   ```text
+//!   CLIENT <name>            set this connection's ClientId
+//!   ANNOTATE <name> <csv>    blocking submit → OK <annotations> | ERR …
+//!   TRY <name> <csv>         non-blocking submit (sheds under pressure)
+//!   STATS                    service counters incl. per-client lines
+//!   BUDGET                   remaining query pool
+//!   QUIT                     orderly close
+//!   ```
+//!
+//!   Errors are typed ([`WireError`]) and mirror
+//!   [`teda_service::Rejection`] one to one: `queue-full`,
+//!   `budget-exhausted`, `too-large <need> <budget>`, `shutting-down`,
+//!   plus `failed` (worker panic) and `bad-request` (framing/parse).
+//! * [`WireServer`] — acceptor thread + one reader thread per
+//!   connection, strict request/response. Submissions run as the
+//!   connection's [`teda_service::ClientId`], so the scheduler's
+//!   deficit-round-robin token buckets meter each wire client
+//!   separately: a bulk streamer saturating `ANNOTATE` cannot starve
+//!   an interactive client sharing the pool.
+//! * [`WireClient`] — the blocking reference client the tests,
+//!   `exp_wire` and the examples use.
+//!
+//! Determinism invariant (hard, inherited): the `OK` payload of
+//! `ANNOTATE`/`TRY` is [`protocol::render_annotations`] of the
+//! scheduler's result, which is bit-identical to
+//! `BatchAnnotator::annotate_table` on the same table — so wire
+//! results compare equal, as strings, to the offline batch path
+//! (enforced by `tests/wire.rs` and `exp_wire` on every run).
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::WireClient;
+pub use protocol::{Reply, Request, WireError};
+pub use server::WireServer;

@@ -1,0 +1,543 @@
+//! The wire grammar: newline-delimited frames, backslash escaping,
+//! typed errors mirroring [`Rejection`].
+//!
+//! Every request and every reply is exactly one `\n`-terminated line.
+//! Payloads that themselves contain newlines (CSV documents, annotation
+//! listings, stats reports) ride inside a frame with `\`-escaping:
+//! `\\` ↔ `\`, `\n` ↔ newline, `\r` ↔ carriage return — so a quoted
+//! POI address spanning lines is still one frame, and framing survives
+//! arbitrary untrusted field content.
+//!
+//! ```text
+//! request  = "CLIENT" SP name LF            ; set this connection's ClientId
+//!          | "ANNOTATE" SP name SP csv LF   ; blocking submit (backpressure)
+//!          | "TRY" SP name SP csv LF        ; non-blocking submit (sheds)
+//!          | "STATS" LF                     ; ServiceStats snapshot
+//!          | "BUDGET" LF                    ; remaining query pool
+//!          | "QUIT" LF                      ; close the connection
+//! name     = 1*VCHAR                        ; no spaces, ≤ 256 bytes
+//! csv      = escaped CSV document, optionally led by a "#types" row
+//!
+//! reply    = "OK" [SP payload] LF
+//!          | "ERR" SP code [SP detail] LF
+//! code     = "queue-full" | "budget-exhausted" | "too-large"
+//!          | "shutting-down" | "failed" | "bad-request"
+//! ```
+//!
+//! `ANNOTATE`/`TRY` payloads parse through
+//! [`teda_corpus::table_from_csv`], i.e. the exact format
+//! `teda_corpus::export` writes; the `OK` payload is
+//! [`render_annotations`] — a deterministic text rendering, so "wire
+//! result bit-identical to the offline batch path" is a string
+//! comparison.
+
+use teda_core::pipeline::TableAnnotations;
+use teda_service::{Rejection, ServiceStats};
+
+/// Hard bound on one frame (request or reply), escape included. A line
+/// longer than this is a `bad-request` and the connection is dropped —
+/// the reader cannot resynchronize inside an oversized frame.
+pub const MAX_FRAME: usize = 4 * 1024 * 1024;
+
+/// Bound on client and table names.
+pub const MAX_NAME: usize = 256;
+
+/// Reads one bounded frame from a buffered stream — the one framing
+/// routine both the server and the client use, so the [`MAX_FRAME`]
+/// bound cannot drift between the two sides. `Ok(None)` is a clean
+/// EOF; an over-long frame is a [`WireError::BadRequest`] and the
+/// caller must drop the connection (there is no way to find the next
+/// frame boundary inside an unterminated line).
+pub fn read_frame<R: std::io::BufRead>(reader: &mut R) -> Result<Option<String>, WireError> {
+    use std::io::{BufRead, Read};
+
+    let mut line = String::new();
+    let n = reader
+        .by_ref()
+        .take(MAX_FRAME as u64 + 1)
+        .read_line(&mut line)
+        .map_err(|e| WireError::Transport(e.to_string()))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if !line.ends_with('\n') && line.len() > MAX_FRAME {
+        return Err(WireError::BadRequest(format!(
+            "frame longer than {MAX_FRAME} bytes"
+        )));
+    }
+    Ok(Some(line))
+}
+
+/// Escapes a payload into single-line form (`\` → `\\`, newline →
+/// `\n`, carriage return → `\r`).
+pub fn escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + raw.len() / 8);
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`]. A dangling `\` or an unknown escape is a
+/// [`WireError::BadRequest`] — untrusted input never panics.
+pub fn unescape(line: &str) -> Result<String, WireError> {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => {
+                return Err(WireError::BadRequest(format!(
+                    "unknown escape \\{other} in payload"
+                )))
+            }
+            None => {
+                return Err(WireError::BadRequest(
+                    "dangling escape at end of payload".into(),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// One parsed request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `CLIENT <name>` — all later submissions on this connection run
+    /// as this [`teda_service::ClientId`].
+    Client { name: String },
+    /// `ANNOTATE <name> <csv>` — blocking admission (a full queue or a
+    /// dry pool stalls this connection, never the others).
+    Annotate { name: String, csv: String },
+    /// `TRY <name> <csv>` — non-blocking admission; sheds with a typed
+    /// error when the queue or the budget cannot take it.
+    Try { name: String, csv: String },
+    /// `STATS` — a [`ServiceStats`] snapshot.
+    Stats,
+    /// `BUDGET` — the remaining query pool.
+    Budget,
+    /// `QUIT` — orderly connection close.
+    Quit,
+}
+
+impl Request {
+    /// Parses one frame (trailing newline already stripped).
+    pub fn parse(line: &str) -> Result<Request, WireError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let (verb, rest) = match line.split_once(' ') {
+            Some((v, r)) => (v, Some(r)),
+            None => (line, None),
+        };
+        match (verb, rest) {
+            ("STATS", None) => Ok(Request::Stats),
+            ("BUDGET", None) => Ok(Request::Budget),
+            ("QUIT", None) => Ok(Request::Quit),
+            ("CLIENT", Some(name)) => Ok(Request::Client {
+                name: valid_name(name)?.to_owned(),
+            }),
+            ("ANNOTATE", Some(rest)) | ("TRY", Some(rest)) => {
+                let (name, payload) = rest.split_once(' ').ok_or_else(|| {
+                    WireError::BadRequest(format!("{verb} needs a name and a payload"))
+                })?;
+                let name = valid_name(name)?.to_owned();
+                let csv = unescape(payload)?;
+                if verb == "ANNOTATE" {
+                    Ok(Request::Annotate { name, csv })
+                } else {
+                    Ok(Request::Try { name, csv })
+                }
+            }
+            ("STATS" | "BUDGET" | "QUIT", Some(_)) => {
+                Err(WireError::BadRequest(format!("{verb} takes no arguments")))
+            }
+            ("CLIENT" | "ANNOTATE" | "TRY", None) => {
+                Err(WireError::BadRequest(format!("{verb} needs arguments")))
+            }
+            ("", _) => Err(WireError::BadRequest("empty request".into())),
+            (other, _) => Err(WireError::BadRequest(format!(
+                "unknown verb {:?}",
+                other.chars().take(32).collect::<String>()
+            ))),
+        }
+    }
+
+    /// Encodes the request as one frame, newline included.
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Client { name } => format!("CLIENT {name}\n"),
+            Request::Annotate { name, csv } => format!("ANNOTATE {name} {}\n", escape(csv)),
+            Request::Try { name, csv } => format!("TRY {name} {}\n", escape(csv)),
+            Request::Stats => "STATS\n".into(),
+            Request::Budget => "BUDGET\n".into(),
+            Request::Quit => "QUIT\n".into(),
+        }
+    }
+}
+
+fn valid_name(name: &str) -> Result<&str, WireError> {
+    if name.is_empty() {
+        return Err(WireError::BadRequest("empty name".into()));
+    }
+    if name.len() > MAX_NAME {
+        return Err(WireError::BadRequest(format!(
+            "name longer than {MAX_NAME} bytes"
+        )));
+    }
+    if name.chars().any(|c| c.is_whitespace() || c.is_control()) {
+        return Err(WireError::BadRequest(
+            "name must not contain whitespace or control characters".into(),
+        ));
+    }
+    Ok(name)
+}
+
+/// A typed wire-level error. The first four variants mirror
+/// [`Rejection`] one to one; `Failed` is a worker panic surfaced to the
+/// caller; `BadRequest` covers framing/parse problems; `Transport` is
+/// client-side I/O and never appears on the wire itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The submission queue was full (`TRY` only — `ANNOTATE` waits).
+    QueueFull,
+    /// The query pool cannot cover the request (`TRY` only).
+    BudgetExhausted,
+    /// The request alone exceeds the per-request budget.
+    TooLarge {
+        /// Worst-case queries the table may need.
+        need: u64,
+        /// The configured per-request bound.
+        budget: u64,
+    },
+    /// The service is shutting down.
+    ShuttingDown,
+    /// The annotation worker failed (engine panic).
+    Failed(String),
+    /// The frame could not be parsed (bad verb, bad escape, bad CSV).
+    BadRequest(String),
+    /// Client-side transport failure (never encoded on the wire).
+    Transport(String),
+}
+
+impl From<Rejection> for WireError {
+    fn from(r: Rejection) -> Self {
+        match r {
+            Rejection::QueueFull => WireError::QueueFull,
+            Rejection::BudgetExhausted => WireError::BudgetExhausted,
+            Rejection::RequestTooLarge { need, budget } => WireError::TooLarge { need, budget },
+            // A cancelled submission only happens when the server is
+            // tearing the connection down — same story on the wire.
+            Rejection::ShuttingDown | Rejection::Cancelled => WireError::ShuttingDown,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Transport(e.to_string())
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::QueueFull => write!(f, "submission queue full"),
+            WireError::BudgetExhausted => write!(f, "query pool exhausted"),
+            WireError::TooLarge { need, budget } => {
+                write!(f, "request needs up to {need} queries, budget is {budget}")
+            }
+            WireError::ShuttingDown => write!(f, "service shutting down"),
+            WireError::Failed(m) => write!(f, "annotation failed: {m}"),
+            WireError::BadRequest(m) => write!(f, "bad request: {m}"),
+            WireError::Transport(m) => write!(f, "transport error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One reply frame: `OK` with a payload, or a typed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Success; the payload is verb-specific (already unescaped).
+    Ok(String),
+    /// Failure with the typed reason.
+    Err(WireError),
+}
+
+impl Reply {
+    /// Encodes the reply as one frame, newline included.
+    pub fn encode(&self) -> String {
+        match self {
+            Reply::Ok(payload) if payload.is_empty() => "OK\n".into(),
+            Reply::Ok(payload) => format!("OK {}\n", escape(payload)),
+            Reply::Err(e) => {
+                let (code, detail) = match e {
+                    WireError::QueueFull => ("queue-full", String::new()),
+                    WireError::BudgetExhausted => ("budget-exhausted", String::new()),
+                    WireError::TooLarge { need, budget } => {
+                        ("too-large", format!("{need} {budget}"))
+                    }
+                    WireError::ShuttingDown => ("shutting-down", String::new()),
+                    WireError::Failed(m) => ("failed", escape(m)),
+                    WireError::BadRequest(m) => ("bad-request", escape(m)),
+                    // Transport errors are local; encode defensively.
+                    WireError::Transport(m) => ("failed", escape(m)),
+                };
+                if detail.is_empty() {
+                    format!("ERR {code}\n")
+                } else {
+                    format!("ERR {code} {detail}\n")
+                }
+            }
+        }
+    }
+
+    /// Parses one reply frame (trailing newline tolerated).
+    pub fn parse(line: &str) -> Result<Reply, WireError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line == "OK" {
+            return Ok(Reply::Ok(String::new()));
+        }
+        if let Some(payload) = line.strip_prefix("OK ") {
+            return Ok(Reply::Ok(unescape(payload)?));
+        }
+        let Some(rest) = line.strip_prefix("ERR ") else {
+            return Err(WireError::BadRequest(format!(
+                "reply is neither OK nor ERR: {:?}",
+                line.chars().take(32).collect::<String>()
+            )));
+        };
+        let (code, detail) = match rest.split_once(' ') {
+            Some((c, d)) => (c, d),
+            None => (rest, ""),
+        };
+        let err = match code {
+            "queue-full" => WireError::QueueFull,
+            "budget-exhausted" => WireError::BudgetExhausted,
+            "shutting-down" => WireError::ShuttingDown,
+            "failed" => WireError::Failed(unescape(detail)?),
+            "bad-request" => WireError::BadRequest(unescape(detail)?),
+            "too-large" => {
+                let (need, budget) = detail
+                    .split_once(' ')
+                    .ok_or_else(|| WireError::BadRequest("too-large needs `need budget`".into()))?;
+                WireError::TooLarge {
+                    need: need
+                        .parse()
+                        .map_err(|_| WireError::BadRequest("bad too-large need".into()))?,
+                    budget: budget
+                        .parse()
+                        .map_err(|_| WireError::BadRequest("bad too-large budget".into()))?,
+                }
+            }
+            other => {
+                return Err(WireError::BadRequest(format!(
+                    "unknown error code {other:?}"
+                )))
+            }
+        };
+        Ok(Reply::Err(err))
+    }
+}
+
+/// Deterministic text rendering of a table's annotations — the
+/// `ANNOTATE`/`TRY` success payload.
+///
+/// One header line, then one `row,col,type,score,votes` line per cell
+/// annotation in pipeline order. `f64` scores print with Rust's
+/// shortest-round-trip formatting, so two [`TableAnnotations`] render
+/// identically iff they are bit-identical — the wire determinism check
+/// is a string comparison against the offline batch path.
+pub fn render_annotations(a: &TableAnnotations) -> String {
+    use std::fmt::Write;
+
+    let mut out = format!(
+        "cells={} skipped={} queried={}\n",
+        a.cells.len(),
+        a.skipped_cells,
+        a.queried_cells
+    );
+    for c in &a.cells {
+        writeln!(
+            out,
+            "{},{},{},{},{}",
+            c.cell.row, c.cell.col, c.etype, c.score, c.votes
+        )
+        .expect("string write");
+    }
+    out
+}
+
+/// Text rendering of a [`ServiceStats`] snapshot — the `STATS` payload.
+/// One `key=value` summary line, then one `client …` line per client in
+/// name order.
+pub fn render_stats(s: &ServiceStats) -> String {
+    use std::fmt::Write;
+
+    let mut out = format!(
+        "submitted={} completed={} failed={} shed_queue={} shed_budget={} \
+         rejected_oversize={} stream_tables={} backpressure_waits={} \
+         p50_us={} p99_us={} max_us={}\n",
+        s.submitted,
+        s.completed,
+        s.failed,
+        s.shed_queue,
+        s.shed_budget,
+        s.rejected_oversize,
+        s.stream_tables,
+        s.backpressure_waits,
+        s.latency.p50.as_micros(),
+        s.latency.p99.as_micros(),
+        s.latency.max.as_micros(),
+    );
+    for c in &s.clients {
+        writeln!(
+            out,
+            "client {} submitted={} completed={} failed={} shed={} granted={} bucket={} waiting={}",
+            c.client, c.submitted, c.completed, c.failed, c.shed, c.granted, c.bucket, c.waiting
+        )
+        .expect("string write");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips_csv_with_quoted_newlines() {
+        let csv = "#types,Text,Location\nname,addr\n\"Bar,\nGrill\",\"1 Main St\r\nSuite 2\"\n";
+        let line = escape(csv);
+        assert!(!line.contains('\n'), "escaped payload must be one line");
+        assert!(!line.contains('\r'));
+        assert_eq!(unescape(&line).unwrap(), csv);
+    }
+
+    #[test]
+    fn bad_escapes_are_errors_not_panics() {
+        assert!(matches!(unescape("a\\"), Err(WireError::BadRequest(_))));
+        assert!(matches!(unescape("a\\x"), Err(WireError::BadRequest(_))));
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Client {
+                name: "bulk".into(),
+            },
+            Request::Annotate {
+                name: "t1".into(),
+                csv: "a,b\n1,\"x\ny\"\n".into(),
+            },
+            Request::Try {
+                name: "t2".into(),
+                csv: "a\n1\n".into(),
+            },
+            Request::Stats,
+            Request::Budget,
+            Request::Quit,
+        ];
+        for req in reqs {
+            let line = req.encode();
+            assert!(line.ends_with('\n'));
+            assert_eq!(line.matches('\n').count(), 1, "one frame per request");
+            assert_eq!(Request::parse(&line).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        for bad in [
+            "",
+            "NOPE",
+            "NOPE x y",
+            "CLIENT",
+            "CLIENT two words",
+            "ANNOTATE onlyname",
+            "STATS extra",
+            "ANNOTATE t a\\qb",
+        ] {
+            assert!(
+                matches!(Request::parse(bad), Err(WireError::BadRequest(_))),
+                "{bad:?} must be a bad-request"
+            );
+        }
+    }
+
+    #[test]
+    fn replies_round_trip_including_typed_errors() {
+        let replies = [
+            Reply::Ok(String::new()),
+            Reply::Ok("cells=1\n0,0,Restaurant,0.75,3\n".into()),
+            Reply::Err(WireError::QueueFull),
+            Reply::Err(WireError::BudgetExhausted),
+            Reply::Err(WireError::TooLarge {
+                need: 20,
+                budget: 10,
+            }),
+            Reply::Err(WireError::ShuttingDown),
+            Reply::Err(WireError::Failed("engine panic".into())),
+            Reply::Err(WireError::BadRequest("unknown verb \"X\"".into())),
+        ];
+        for reply in replies {
+            let line = reply.encode();
+            assert_eq!(line.matches('\n').count(), 1, "one frame per reply");
+            assert_eq!(Reply::parse(&line).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn wire_errors_mirror_rejections() {
+        assert_eq!(WireError::from(Rejection::QueueFull), WireError::QueueFull);
+        assert_eq!(
+            WireError::from(Rejection::BudgetExhausted),
+            WireError::BudgetExhausted
+        );
+        assert_eq!(
+            WireError::from(Rejection::RequestTooLarge { need: 9, budget: 4 }),
+            WireError::TooLarge { need: 9, budget: 4 }
+        );
+        assert_eq!(
+            WireError::from(Rejection::ShuttingDown),
+            WireError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn render_annotations_is_line_per_cell() {
+        use teda_core::annotate::CellAnnotation;
+        use teda_kb::EntityType;
+        use teda_tabular::CellId;
+
+        let a = TableAnnotations {
+            cells: vec![CellAnnotation {
+                cell: CellId::new(2, 1),
+                etype: EntityType::Restaurant,
+                score: 0.625,
+                votes: 5,
+            }],
+            skipped_cells: 3,
+            queried_cells: 4,
+        };
+        let text = render_annotations(&a);
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("cells=1 skipped=3 queried=4"));
+        let cell = lines.next().unwrap();
+        assert!(cell.starts_with("2,1,"));
+        assert!(cell.ends_with(",0.625,5"));
+        assert_eq!(lines.next(), None);
+    }
+}

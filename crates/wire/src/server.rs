@@ -1,0 +1,246 @@
+//! The TCP front-end: a std-thread acceptor plus one reader thread per
+//! connection, each driving the shared [`AnnotationService`].
+//!
+//! Shape: the acceptor blocks in `accept`; every connection gets a
+//! thread that reads one frame at a time, parses it with
+//! [`Request::parse`], and answers with exactly one [`Reply`] frame —
+//! strict request/response, so one connection has at most one request
+//! in flight and a bulk client is naturally rate-limited to its own
+//! round-trips while the fairness layer meters its tokens.
+//!
+//! Identity: a connection starts as [`ClientId::ANONYMOUS`]; a `CLIENT
+//! <name>` frame switches every later submission on that connection to
+//! the named client, which is what the per-client admission buckets and
+//! [`ServiceStats::clients`](teda_service::ServiceStats) key on.
+//!
+//! Shutdown: [`WireServer::shutdown`] (also run on drop) raises a stop
+//! flag, force-closes the registered connection sockets, pokes the
+//! acceptor awake with a loopback connect, and joins every thread. In-
+//! flight requests finish or fail through the service's own drain.
+
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use teda_corpus::table_from_csv;
+use teda_service::{AnnotationService, ClientId, RequestHandle};
+
+use crate::protocol::{read_frame, render_annotations, render_stats, Reply, Request, WireError};
+
+/// Threads and sockets the server must reap on shutdown.
+#[derive(Default)]
+struct Registry {
+    /// One clone of each live connection's stream, for forced close.
+    streams: Vec<TcpStream>,
+    /// Connection reader threads.
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// The line-protocol TCP front-end over one [`AnnotationService`].
+pub struct WireServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    registry: Arc<Mutex<Registry>>,
+    acceptor: Option<JoinHandle<()>>,
+    /// Kept so shutdown can unpark connection threads waiting on a dry
+    /// query pool (`wake_blocked_submitters`).
+    service: Arc<AnnotationService>,
+}
+
+impl WireServer {
+    /// Binds `addr` (use port 0 for an ephemeral port; read it back
+    /// with [`local_addr`](Self::local_addr)) and starts the acceptor.
+    /// The service rides behind an `Arc` so in-process callers can keep
+    /// submitting beside the wire clients.
+    pub fn start(
+        service: Arc<AnnotationService>,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<WireServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let registry = Arc::new(Mutex::new(Registry::default()));
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let registry = Arc::clone(&registry);
+            let service = Arc::clone(&service);
+            std::thread::Builder::new()
+                .name("teda-wire-acceptor".into())
+                .spawn(move || accept_loop(&listener, &service, &stop, &registry))
+                .expect("spawn wire acceptor")
+        };
+        Ok(WireServer {
+            addr,
+            stop,
+            registry,
+            acceptor: Some(acceptor),
+            service,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, closes every connection, joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the blocking accept awake; the connection is refused a
+        // frame because the stop flag is already up.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let (streams, handles) = {
+            let mut reg = self.registry.lock().unwrap_or_else(PoisonError::into_inner);
+            (
+                std::mem::take(&mut reg.streams),
+                std::mem::take(&mut reg.handles),
+            )
+        };
+        for stream in streams {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        // Connection threads parked on a dry query pool are not
+        // unblocked by the socket close — kick the admission condvar so
+        // their cancellable submissions observe the stop flag, or the
+        // joins below would deadlock.
+        self.service.wake_blocked_submitters();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Accepts until the stop flag rises; spawns one reader per connection.
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<AnnotationService>,
+    stop: &Arc<AtomicBool>,
+    registry: &Arc<Mutex<Registry>>,
+) {
+    let mut conn_id = 0usize;
+    loop {
+        let Ok((stream, _peer)) = listener.accept() else {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            // Persistent accept errors (fd exhaustion, ECONNABORTED
+            // storms) must not busy-spin the acceptor at 100% CPU —
+            // back off briefly and retry.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            return; // the shutdown poke (or a late client) — drop it
+        }
+        conn_id += 1;
+        let service = Arc::clone(service);
+        let stop_flag = Arc::clone(stop);
+        let registered = stream.try_clone().ok();
+        let handle = std::thread::Builder::new()
+            .name(format!("teda-wire-conn-{conn_id}"))
+            .spawn(move || handle_connection(&service, stream, &stop_flag))
+            .expect("spawn wire connection thread");
+        let mut reg = registry.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(stream) = registered {
+            reg.streams.push(stream);
+        }
+        reg.handles.push(handle);
+    }
+}
+
+/// One connection: frame in, frame out, until EOF/`QUIT`/shutdown.
+fn handle_connection(service: &AnnotationService, stream: TcpStream, stop: &AtomicBool) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut client = ClientId::ANONYMOUS;
+
+    while !stop.load(Ordering::SeqCst) {
+        let line = match read_frame(&mut reader) {
+            Ok(Some(line)) => line,
+            Ok(None) => return, // orderly EOF
+            Err(e @ WireError::BadRequest(_)) => {
+                // Over-long frame: report, then drop the connection —
+                // there is no way to find the next frame boundary.
+                let _ = writer.write_all(Reply::Err(e).encode().as_bytes());
+                return;
+            }
+            Err(_) => return, // transport error
+        };
+        let reply = match Request::parse(&line) {
+            Err(e) => Reply::Err(e),
+            Ok(Request::Quit) => {
+                let _ = writer.write_all(Reply::Ok("bye".into()).encode().as_bytes());
+                return;
+            }
+            Ok(Request::Client { name }) => {
+                client = ClientId::new(&name);
+                Reply::Ok(format!("client {name}"))
+            }
+            Ok(Request::Stats) => Reply::Ok(render_stats(&service.stats())),
+            Ok(Request::Budget) => Reply::Ok(match service.remaining_budget() {
+                Some(n) => format!("budget {n}"),
+                None => "budget unmetered".into(),
+            }),
+            Ok(Request::Annotate { name, csv }) => {
+                annotate(service, &client, &name, &csv, Some(stop))
+            }
+            Ok(Request::Try { name, csv }) => annotate(service, &client, &name, &csv, None),
+        };
+        if writer.write_all(reply.encode().as_bytes()).is_err() {
+            return;
+        }
+        let _ = writer.flush();
+    }
+}
+
+/// Parses and submits one table, waiting for the outcome. Every failure
+/// mode maps onto a typed wire error; nothing from untrusted input can
+/// unwind this thread. `Some(stop)` selects blocking admission
+/// (`ANNOTATE`), cancellable by server shutdown so a connection parked
+/// on a dry pool cannot deadlock the join; `None` selects the
+/// non-blocking `TRY` path.
+fn annotate(
+    service: &AnnotationService,
+    client: &ClientId,
+    name: &str,
+    csv: &str,
+    blocking: Option<&AtomicBool>,
+) -> Reply {
+    let table = match table_from_csv(csv, name) {
+        Ok(table) => Arc::new(table),
+        Err(e) => return Reply::Err(WireError::BadRequest(e.message().to_owned())),
+    };
+    let submitted: Result<RequestHandle, _> = match blocking {
+        Some(stop) => service.submit_blocking_cancellable(client, Arc::clone(&table), stop),
+        None => service.submit_as(client, Arc::clone(&table)),
+    };
+    let handle = match submitted {
+        Ok(handle) => handle,
+        Err(rejection) => return Reply::Err(rejection.into()),
+    };
+    match handle.wait() {
+        Ok(outcome) => Reply::Ok(render_annotations(&outcome.annotations)),
+        Err(_) => Reply::Err(WireError::Failed(
+            "annotation worker failed (engine panic)".into(),
+        )),
+    }
+}

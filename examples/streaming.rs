@@ -10,8 +10,8 @@
 //! (blocking when the annotator falls behind — backpressure, not
 //! buffering), the [`annotate_stream`] driver keeps at most
 //! `max_in_flight` tables live, and results arrive at the sink in
-//! stream order, bit-identical to what `annotate_corpus` would have
-//! produced.
+//! stream order — bit-identical at every window (the `Vec<Table>`
+//! batch entry points are themselves thin shims over this driver).
 //!
 //! [`table_channel`]: teda::core::stream::table_channel
 //! [`annotate_stream`]: teda::core::pipeline::BatchAnnotator::annotate_stream

@@ -16,7 +16,10 @@
 //! * [`core`] — the annotation pipeline itself (pre-processing, snippet
 //!   classification, post-processing, baselines, evaluation).
 //! * [`service`] — the long-running annotation service: request
-//!   scheduler, admission control, bounded caching over the batch engine.
+//!   scheduler, per-client fair admission control, bounded caching over
+//!   the batch engine.
+//! * [`wire`] — the line-protocol TCP front-end over the service
+//!   (newline-framed requests, typed wire errors, reference client).
 //! * [`simkit`] — virtual clock, seeded RNG, reporting helpers.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough, and
@@ -32,3 +35,4 @@ pub use teda_simkit as simkit;
 pub use teda_tabular as tabular;
 pub use teda_text as text;
 pub use teda_websim as websim;
+pub use teda_wire as wire;

@@ -1,0 +1,337 @@
+//! Wire front-end integration: the TCP line protocol must deliver
+//! annotations bit-identical to the offline batch path, survive
+//! untrusted input (quoted CSV, bad frames) without panicking, mirror
+//! every admission rejection as a typed wire error, and account each
+//! connection's client separately — the loopback smoke gate CI runs on
+//! every push.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use teda::classifier::svm::pegasos::PegasosConfig;
+use teda::core::config::AnnotatorConfig;
+use teda::core::model::SnippetClassifier;
+use teda::core::pipeline::BatchAnnotator;
+use teda::core::trainer::{harvest, train_svm_linear, TrainerConfig};
+use teda::corpus::gft::poi_table;
+use teda::corpus::typed_table_to_csv;
+use teda::kb::{CategoryNetwork, EntityType, World, WorldSpec};
+use teda::service::{AnnotationService, ServiceConfig};
+use teda::simkit::rng_from_seed;
+use teda::tabular::Table;
+use teda::websim::BingSim;
+use teda::websim::{WebCorpus, WebCorpusSpec};
+use teda::wire::protocol::render_annotations;
+use teda::wire::{WireClient, WireError, WireServer};
+
+fn fixture() -> (World, Arc<BingSim>, SnippetClassifier) {
+    let world = World::generate(WorldSpec::tiny(), 42);
+    let net = CategoryNetwork::build(&world, 42);
+    let web = Arc::new(WebCorpus::build(&world, WebCorpusSpec::tiny(), 42));
+    let engine = Arc::new(BingSim::instant(web));
+    let corpus = harvest(
+        &world,
+        &net,
+        engine.as_ref(),
+        &EntityType::TARGETS,
+        TrainerConfig {
+            max_entities_per_type: Some(12),
+            ..TrainerConfig::default()
+        },
+    );
+    let classifier = train_svm_linear(&corpus, PegasosConfig::default());
+    (world, engine, classifier)
+}
+
+fn seeded_tables(world: &World, n: usize, rows: usize) -> Vec<Table> {
+    let mut rng = rng_from_seed(7);
+    let types = [
+        EntityType::Restaurant,
+        EntityType::Museum,
+        EntityType::Hotel,
+    ];
+    (0..n)
+        .map(|i| {
+            poi_table(
+                world,
+                types[i % types.len()],
+                rows,
+                (i % 3) as u8,
+                &format!("wire_{i}"),
+                &mut rng,
+            )
+            .table
+        })
+        .collect()
+}
+
+fn serve(
+    engine: Arc<BingSim>,
+    classifier: SnippetClassifier,
+    config: ServiceConfig,
+) -> (Arc<AnnotationService>, WireServer) {
+    let service = Arc::new(AnnotationService::start(
+        BatchAnnotator::new(engine, classifier, AnnotatorConfig::default()),
+        config,
+    ));
+    let server = WireServer::start(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+    (service, server)
+}
+
+#[test]
+fn wire_results_are_bit_identical_to_the_offline_batch_path() {
+    let (world, engine, classifier) = fixture();
+    let tables = seeded_tables(&world, 6, 10);
+    let offline = BatchAnnotator::new(
+        engine.clone(),
+        classifier.clone(),
+        AnnotatorConfig::default(),
+    );
+
+    let (_service, server) = serve(
+        engine,
+        classifier,
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    for (i, table) in tables.iter().enumerate() {
+        let reference = render_annotations(&offline.annotate_table(table));
+        let payload = client
+            .annotate(&format!("wire_{i}"), &typed_table_to_csv(table))
+            .expect("annotation succeeds over the wire");
+        assert_eq!(
+            payload, reference,
+            "wire result for table {i} diverged from the offline batch path"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn quoted_csv_with_commas_and_newlines_survives_the_wire() {
+    let (_world, engine, classifier) = fixture();
+    let offline = BatchAnnotator::new(
+        engine.clone(),
+        classifier.clone(),
+        AnnotatorConfig::default(),
+    );
+
+    // A POI address with an embedded comma AND an embedded newline: the
+    // frame must stay one line, and the parsed table must match what
+    // table_from_csv sees offline.
+    let csv = "#types,Text,Location\nname,address\n\
+               \"Bar, Grill & Co\",\"1104 Wilshire Blvd,\nSanta Monica\"\n";
+    let reference_table =
+        teda::corpus::table_from_csv(csv, "quoted").expect("the CSV itself is well-formed");
+    let reference = render_annotations(&offline.annotate_table(&reference_table));
+
+    let (_service, server) = serve(engine, classifier, ServiceConfig::default());
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    let payload = client
+        .annotate("quoted", csv)
+        .expect("quoted CSV annotates");
+    assert_eq!(payload, reference);
+    server.shutdown();
+}
+
+#[test]
+fn typed_wire_errors_mirror_rejections() {
+    let (world, engine, classifier) = fixture();
+    let table = &seeded_tables(&world, 1, 8)[0];
+    let need = (table.n_rows() * table.n_cols()) as u64;
+
+    let (_service, server) = serve(
+        engine,
+        classifier,
+        ServiceConfig {
+            workers: 1,
+            max_queries_per_request: Some(need - 1),
+            query_pool: Some(0),
+            ..ServiceConfig::default()
+        },
+    );
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+
+    // Oversize: rejected up front with the need/budget pair intact.
+    let err = client
+        .annotate("big", &typed_table_to_csv(table))
+        .expect_err("oversize table must be rejected");
+    assert_eq!(
+        err,
+        WireError::TooLarge {
+            need,
+            budget: need - 1
+        }
+    );
+
+    // Dry pool + TRY: sheds instead of parking the connection.
+    let small = "#types,Text\nname\nMelisse\n";
+    let err = client
+        .try_annotate("small", small)
+        .expect_err("a dry pool must shed TRY");
+    assert_eq!(err, WireError::BudgetExhausted);
+
+    // Malformed CSV: an in-band bad-request, not a dead connection.
+    let err = client
+        .annotate("ragged", "a,b\nonly-one-field\n")
+        .expect_err("ragged CSV is a bad request");
+    assert!(matches!(err, WireError::BadRequest(_)), "{err}");
+
+    // The connection still works after every error above.
+    let budget = client.budget().expect("BUDGET works after errors");
+    assert_eq!(budget, "budget 0");
+    server.shutdown();
+}
+
+#[test]
+fn raw_socket_bad_frames_get_typed_errors_and_the_connection_survives() {
+    let (_world, engine, classifier) = fixture();
+    let (_service, server) = serve(engine, classifier, ServiceConfig::default());
+
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut reply = String::new();
+
+    writer.write_all(b"BOGUS verb\n").unwrap();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.starts_with("ERR bad-request"), "{reply:?}");
+
+    reply.clear();
+    writer.write_all(b"ANNOTATE t bad\\escape\n").unwrap();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.starts_with("ERR bad-request"), "{reply:?}");
+
+    // Same connection, now a valid frame: the reader resynchronized.
+    reply.clear();
+    writer.write_all(b"BUDGET\n").unwrap();
+    reader.read_line(&mut reply).unwrap();
+    assert_eq!(reply, "OK budget unmetered\n");
+
+    reply.clear();
+    writer.write_all(b"QUIT\n").unwrap();
+    reader.read_line(&mut reply).unwrap();
+    assert_eq!(reply, "OK bye\n");
+    server.shutdown();
+}
+
+#[test]
+fn stats_verb_reports_per_client_counters() {
+    let (world, engine, classifier) = fixture();
+    let tables = seeded_tables(&world, 2, 6);
+    let (_service, server) = serve(engine, classifier, ServiceConfig::default());
+
+    let mut bulk = WireClient::connect(server.local_addr()).expect("connect bulk");
+    bulk.set_client("bulk").expect("CLIENT verb");
+    let mut ui = WireClient::connect(server.local_addr()).expect("connect ui");
+    ui.set_client("ui").expect("CLIENT verb");
+
+    bulk.annotate("t0", &typed_table_to_csv(&tables[0]))
+        .unwrap();
+    bulk.annotate("t1", &typed_table_to_csv(&tables[1]))
+        .unwrap();
+    ui.annotate("t0", &typed_table_to_csv(&tables[0])).unwrap();
+
+    let stats = ui.stats().expect("STATS verb");
+    let bulk_line = stats
+        .lines()
+        .find(|l| l.starts_with("client bulk "))
+        .expect("bulk client accounted");
+    assert!(bulk_line.contains("submitted=2"), "{bulk_line}");
+    assert!(bulk_line.contains("completed=2"), "{bulk_line}");
+    let ui_line = stats
+        .lines()
+        .find(|l| l.starts_with("client ui "))
+        .expect("ui client accounted");
+    assert!(ui_line.contains("submitted=1"), "{ui_line}");
+    assert!(stats.lines().next().unwrap().contains("completed=3"));
+    server.shutdown();
+}
+
+/// Regression: a connection whose `ANNOTATE` is parked on a dry query
+/// pool must not deadlock `WireServer::shutdown` — the shutdown kick
+/// cancels the parked admission and the client sees `shutting-down`
+/// (or a closed socket), never a hang.
+#[test]
+fn shutdown_unparks_a_connection_waiting_on_a_dry_pool() {
+    let (world, engine, classifier) = fixture();
+    let table = &seeded_tables(&world, 1, 4)[0];
+    let (_service, server) = serve(
+        engine,
+        classifier,
+        ServiceConfig {
+            workers: 1,
+            query_pool: Some(0), // bone dry, no refill anywhere
+            ..ServiceConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    let csv = typed_table_to_csv(table);
+    let parked = std::thread::spawn(move || {
+        let mut client = WireClient::connect(addr).expect("connect");
+        client.set_client("parked").expect("CLIENT");
+        client.annotate("t", &csv)
+    });
+    // Give the connection time to park inside admission control…
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    assert!(!parked.is_finished(), "the dry pool must park the request");
+    // …then shutdown must cancel it and return (a hang here IS the bug).
+    server.shutdown();
+    let outcome = parked.join().expect("client thread");
+    match outcome {
+        Err(WireError::ShuttingDown) | Err(WireError::Transport(_)) => {}
+        other => panic!("parked request must fail on shutdown, got {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_connections_are_served_independently() {
+    let (world, engine, classifier) = fixture();
+    let tables = Arc::new(seeded_tables(&world, 4, 8));
+    let offline = BatchAnnotator::new(
+        engine.clone(),
+        classifier.clone(),
+        AnnotatorConfig::default(),
+    );
+    let references: Vec<String> = tables
+        .iter()
+        .map(|t| render_annotations(&offline.annotate_table(t)))
+        .collect();
+
+    let (service, server) = serve(
+        engine,
+        classifier,
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            let tables = Arc::clone(&tables);
+            std::thread::spawn(move || {
+                let mut client = WireClient::connect(addr).expect("connect");
+                client.set_client(&format!("conn{w}")).expect("CLIENT");
+                let table = &tables[w];
+                client
+                    .annotate(&format!("wire_{w}"), &typed_table_to_csv(table))
+                    .expect("annotation over a concurrent connection")
+            })
+        })
+        .collect();
+    for (w, handle) in workers.into_iter().enumerate() {
+        let payload = handle.join().expect("client thread");
+        assert_eq!(payload, references[w], "connection {w} diverged");
+    }
+    let stats = service.stats();
+    for w in 0..4 {
+        let c = stats.client(&format!("conn{w}")).expect("per-conn client");
+        assert_eq!(c.completed, 1);
+    }
+    server.shutdown();
+}
