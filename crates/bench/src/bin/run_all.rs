@@ -2,8 +2,8 @@
 //! full report (the source of EXPERIMENTS.md's measured numbers).
 
 use teda_bench::exp::{
-    ablation, comparison, coverage, efficiency, fig7, preprocess_stats, service, stream, table1,
-    table2, table3, throughput, wire,
+    ablation, comparison, coverage, efficiency, fig7, preprocess_stats, service, store, stream,
+    table1, table2, table3, throughput, wire,
 };
 use teda_bench::harness::{Fixture, Scale};
 
@@ -33,6 +33,7 @@ fn main() {
     println!("{}", service::render(&service::run(&fixture)));
     println!("{}", stream::render(&stream::run(&fixture)));
     println!("{}", wire::render(&wire::run(&fixture)));
+    println!("{}", store::render(&store::run(&fixture)));
     println!("{}", fig7::render(&fig7::run()));
     println!("{}", ablation::render(&ablation::run(&fixture)));
 }

@@ -7,6 +7,7 @@ pub mod efficiency;
 pub mod fig7;
 pub mod preprocess_stats;
 pub mod service;
+pub mod store;
 pub mod stream;
 pub mod table1;
 pub mod table2;

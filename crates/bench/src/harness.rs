@@ -25,6 +25,9 @@ pub struct Fixture {
     pub seed: u64,
     pub world: World,
     pub net: CategoryNetwork,
+    /// The shape the fixture's Web was built with — experiments that
+    /// time a true cold start (`exp_store`) rebuild from this.
+    pub web_spec: WebCorpusSpec,
     pub web: Arc<WebCorpus>,
     pub clock: VirtualClock,
     pub engine: Arc<BingSim>,
@@ -114,6 +117,7 @@ impl Fixture {
             seed,
             world,
             net,
+            web_spec,
             web,
             clock,
             engine,

@@ -14,6 +14,7 @@
 //! | `exp_throughput` | batch engine — tables/sec, cache hits, par speedup  |
 //! | `exp_service`    | annotation service — req/s, p50/p99, shed rate      |
 //! | `exp_stream`     | streaming driver — tables/sec, peak window, identity|
+//! | `exp_store`      | persistence — snapshot vs cold build, warm restart  |
 //! | `run_all`        | everything, in order                                |
 //!
 //! All experiments share one seeded [`harness::Fixture`]: world → Web →

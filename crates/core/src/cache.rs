@@ -105,6 +105,26 @@ impl Default for CacheConfig {
 /// The memoized value: one shared result list per `(query, k)`.
 type Results = Arc<[SearchResult]>;
 
+/// One exported cache entry, as
+/// [`QueryCache::export_entries`]/[`QueryCache::restore_entries`]
+/// exchange them with the persistence layer (`teda-store`).
+///
+/// `age` is the entry's elapsed residency at export time — the portable
+/// form of the TTL clock. An `Instant` cannot cross a process boundary;
+/// an age can, and the restoring cache turns it back into "inserted
+/// `age` ago on *my* clock".
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntrySnapshot {
+    /// The query text.
+    pub query: String,
+    /// The `k` the results were requested with.
+    pub k: usize,
+    /// The memoized result list, shared not copied.
+    pub results: Arc<[SearchResult]>,
+    /// Time since the entry was published, at export time.
+    pub age: Duration,
+}
+
 /// One memo entry under a query key.
 #[derive(Debug)]
 struct Entry {
@@ -329,6 +349,93 @@ impl QueryCache {
     /// Whether nothing is memoized yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Exports every `Ready` entry for persistence (`teda-store`'s
+    /// cache snapshot): in-flight (`Pending`) slots are skipped — a
+    /// search that has not finished has nothing to persist — and
+    /// entries already past the TTL are skipped too. Each entry carries
+    /// its **age** (time since publish), so a restore into another
+    /// process can rebase the TTL clock instead of granting stale
+    /// entries a fresh lease on life.
+    ///
+    /// Entries are sorted by `(query, k)` so snapshots of the same
+    /// cache state are byte-identical regardless of shard iteration
+    /// order.
+    pub fn export_entries(&self) -> Vec<CacheEntrySnapshot> {
+        let mut out = Vec::new();
+        self.shards.for_each(|shard| {
+            for (query, entries) in shard.map.iter() {
+                for e in entries {
+                    let Slot::Ready(results) = &e.slot else {
+                        continue;
+                    };
+                    let age = e.inserted.elapsed();
+                    if self.ttl.is_some_and(|ttl| age >= ttl) {
+                        continue;
+                    }
+                    out.push(CacheEntrySnapshot {
+                        query: query.clone(),
+                        k: e.k,
+                        results: Arc::clone(results),
+                        age,
+                    });
+                }
+            }
+        });
+        out.sort_by(|a, b| a.query.cmp(&b.query).then(a.k.cmp(&b.k)));
+        out
+    }
+
+    /// Restores exported entries into this cache, rebasing each TTL
+    /// clock: an entry restored with age `a` expires `ttl − a` from
+    /// now, exactly as if the process had never restarted. Entries
+    /// whose age already exceeds this cache's TTL are dropped, live
+    /// entries for the same `(query, k)` are never overwritten (the
+    /// running process knows better than the snapshot), and the
+    /// capacity bound is enforced as usual — a snapshot from a larger
+    /// cache evicts down to this cache's limit. Hit/miss counters are
+    /// untouched: restoration is not traffic.
+    ///
+    /// Returns the number of entries actually installed.
+    pub fn restore_entries(&self, entries: impl IntoIterator<Item = CacheEntrySnapshot>) -> usize {
+        let mut installed = 0usize;
+        for entry in entries {
+            if self.ttl.is_some_and(|ttl| entry.age >= ttl) {
+                continue;
+            }
+            // Rebase the publish instant. If the age reaches back past
+            // what `Instant` can represent here, the entry is ancient:
+            // drop it when a TTL could ever expire it, otherwise age is
+            // irrelevant and "now" is as good as any instant.
+            let inserted = match Instant::now().checked_sub(entry.age) {
+                Some(at) => at,
+                None if self.ttl.is_some() => continue,
+                None => Instant::now(),
+            };
+            let mut shard = self.shards.lock(entry.query.as_bytes());
+            shard.tick += 1;
+            let tick = shard.tick;
+            let slots = shard.map.entry(entry.query).or_default();
+            if slots.iter().any(|e| e.k == entry.k) {
+                continue; // live state wins over the snapshot
+            }
+            slots.push(Entry {
+                k: entry.k,
+                slot: Slot::Ready(entry.results),
+                last_used: tick,
+                inserted,
+            });
+            shard.ready += 1;
+            installed += 1;
+            while shard.ready > self.per_shard_capacity {
+                if !evict_lru(&mut shard) {
+                    break;
+                }
+                self.counters.evicted(1);
+            }
+        }
+        installed
     }
 
     /// Drops all entries and zeroes the counters.
@@ -677,6 +784,126 @@ mod tests {
         assert_eq!(stats.expired, 1);
         assert_eq!(stats.misses, 2);
         assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn capacity_smaller_than_shard_count_clamps_the_shards() {
+        // 64 shards over capacity 3 would round the per-shard split up
+        // to one entry per shard — 64 entries. The constructor clamps
+        // the shard count instead, so the bound holds exactly.
+        let cache = QueryCache::with_config(CacheConfig {
+            shards: 64,
+            capacity: Some(3),
+            ttl: None,
+        });
+        assert_eq!(cache.capacity(), Some(3));
+        let engine = Counting(AtomicUsize::new(0));
+        for i in 0..32 {
+            cache.get_or_search(&engine, &format!("q{i}"), 1);
+        }
+        assert!(
+            cache.len() <= 3,
+            "cache holds {} entries over a capacity of 3",
+            cache.len()
+        );
+        assert!(cache.stats().evictions >= 29);
+    }
+
+    #[test]
+    fn zero_ttl_expires_immediately_but_never_changes_results() {
+        let cache = QueryCache::with_config(CacheConfig {
+            shards: 2,
+            capacity: None,
+            ttl: Some(Duration::ZERO),
+        });
+        let engine = Counting(AtomicUsize::new(0));
+        let first = cache.get_or_search(&engine, "melisse", 3);
+        let second = cache.get_or_search(&engine, "melisse", 3);
+        assert_eq!(first, second, "expiry must never change a result");
+        assert_eq!(
+            engine.0.load(Ordering::Relaxed),
+            2,
+            "ttl == 0 answers every lookup as a miss"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.expired, 1, "the re-lookup found and dropped a corpse");
+        // Nothing survives export either: every entry is already stale.
+        assert!(cache.export_entries().is_empty());
+    }
+
+    #[test]
+    fn export_skips_pending_and_restore_serves_hits() {
+        let cache = QueryCache::new(4);
+        let engine = Counting(AtomicUsize::new(0));
+        cache.get_or_search(&engine, "melisse", 3);
+        cache.get_or_search(&engine, "louvre", 2);
+        let exported = cache.export_entries();
+        assert_eq!(exported.len(), 2);
+        assert_eq!(
+            exported
+                .iter()
+                .map(|e| (e.query.as_str(), e.k))
+                .collect::<Vec<_>>(),
+            vec![("louvre", 2), ("melisse", 3)],
+            "export order is sorted (query, k)"
+        );
+
+        let warm = QueryCache::new(4);
+        assert_eq!(warm.restore_entries(exported.clone()), 2);
+        let warm_engine = Counting(AtomicUsize::new(0));
+        let hit = warm.get_or_search(&warm_engine, "melisse", 3);
+        assert_eq!(hit, cache.get_or_search(&engine, "melisse", 3));
+        assert_eq!(
+            warm_engine.0.load(Ordering::Relaxed),
+            0,
+            "restored entries must answer without re-searching"
+        );
+        assert_eq!(warm.stats().hits, 1);
+        assert_eq!(warm.stats().misses, 0, "restoration is not traffic");
+
+        // Live entries win over a snapshot replayed on top of them.
+        assert_eq!(warm.restore_entries(exported), 0);
+    }
+
+    #[test]
+    fn restore_respects_ttl_and_capacity() {
+        let cache = QueryCache::new(2);
+        let engine = Counting(AtomicUsize::new(0));
+        for q in ["a", "b", "c"] {
+            cache.get_or_search(&engine, q, 1);
+        }
+        let mut exported = cache.export_entries();
+        // Pretend "a" sat in the cache for an hour before the export.
+        exported
+            .iter_mut()
+            .find(|e| e.query == "a")
+            .expect("exported")
+            .age = Duration::from_secs(3600);
+
+        // A TTL-bearing cache drops the entry that is already past its
+        // lease; the fresh ones land with their clocks rebased.
+        let ttl_cache = QueryCache::with_config(CacheConfig {
+            shards: 2,
+            capacity: None,
+            ttl: Some(Duration::from_secs(60)),
+        });
+        assert_eq!(ttl_cache.restore_entries(exported.clone()), 2);
+        let counting = Counting(AtomicUsize::new(0));
+        ttl_cache.get_or_search(&counting, "b", 1);
+        ttl_cache.get_or_search(&counting, "c", 1);
+        assert_eq!(counting.0.load(Ordering::Relaxed), 0, "b and c restored");
+        ttl_cache.get_or_search(&counting, "a", 1);
+        assert_eq!(counting.0.load(Ordering::Relaxed), 1, "a was already stale");
+
+        // A smaller cache enforces its own capacity during restore.
+        let small = QueryCache::with_config(CacheConfig {
+            shards: 1,
+            capacity: Some(1),
+            ttl: None,
+        });
+        small.restore_entries(exported);
+        assert!(small.len() <= 1, "restore must respect the capacity bound");
     }
 
     #[test]

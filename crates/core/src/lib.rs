@@ -44,7 +44,7 @@ pub mod stream;
 pub mod trainer;
 
 pub use annotate::{annotate_cells, annotate_cells_par, CellAnnotation};
-pub use cache::{CacheConfig, CacheStats, CachedEngine, QueryCache};
+pub use cache::{CacheConfig, CacheEntrySnapshot, CacheStats, CachedEngine, QueryCache};
 pub use config::AnnotatorConfig;
 pub use evaluate::evaluate_type;
 pub use model::{SnippetClassifier, TypeLabels};

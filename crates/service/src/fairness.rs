@@ -94,6 +94,9 @@ impl From<&str> for ClientId {
 /// surfaced through [`ClientStats`].
 #[derive(Debug, Default)]
 struct ClientState {
+    /// Global activity tick at the client's last touch (LRU recency for
+    /// the registry bound).
+    last_active: u64,
     /// Tokens this client owns (granted but not yet spent).
     bucket: u64,
     /// DRR deficit counter; reset whenever the client has no unmet
@@ -120,22 +123,88 @@ struct AdmissionState {
     /// Round-robin rotation, in client registration order.
     rr: Vec<ClientId>,
     cursor: usize,
+    /// Monotonic activity tick: bumped on every client touch, copied
+    /// into the touched client's `last_active` for LRU eviction.
+    tick: u64,
+    /// Registry bound: registering a client beyond this evicts the
+    /// least-recently-active *idle* one first (see [`evict_idle`]).
+    max_tracked: usize,
+    /// DRR grant per client per rotation (kept with the state so
+    /// eviction can redistribute a victim's reclaimed tokens inside the
+    /// same critical section that freed them).
+    quantum: u64,
+    /// Set when an eviction folded reclaimed tokens back into the pool:
+    /// the public entry points notify the refill condvar on their way
+    /// out so a parked waiter whose bucket just filled re-checks.
+    pending_wake: bool,
 }
 
 impl AdmissionState {
     fn client(&mut self, id: &ClientId) -> &mut ClientState {
+        self.tick += 1;
+        let tick = self.tick;
         if !self.clients.contains_key(id) {
+            if self.clients.len() >= self.max_tracked {
+                self.evict_idle();
+            }
             self.clients.insert(id.clone(), ClientState::default());
             self.rr.push(id.clone());
         }
-        self.clients.get_mut(id).expect("inserted above")
+        let c = self.clients.get_mut(id).expect("inserted above");
+        c.last_active = tick;
+        c
+    }
+
+    /// Evicts the least-recently-active client that is safe to forget:
+    /// no parked submitters (a waiter's registered demand must survive
+    /// until it is granted or cancelled) and no tokens owed toward one.
+    /// Bucket tokens of the victim return to the shared pool — they
+    /// were granted toward demand that no longer exists, and dropping
+    /// them would leak allowance. Counters go with the client: the
+    /// registry bound trades per-client history beyond `max_tracked`
+    /// identities for bounded memory (the aggregate service counters
+    /// are unaffected). When every tracked client is parked, nothing is
+    /// evicted and the registry temporarily exceeds the bound —
+    /// correctness over the limit.
+    fn evict_idle(&mut self) {
+        let victim = self
+            .clients
+            .iter()
+            .filter(|(_, c)| c.waiting == 0 && c.demand == 0)
+            .min_by_key(|(_, c)| c.last_active)
+            .map(|(id, _)| id.clone());
+        let Some(id) = victim else {
+            return;
+        };
+        let evicted = self.clients.remove(&id).expect("victim is tracked");
+        // Drop the victim from the rotation *before* redistributing:
+        // distribute() walks `rr` and every listed id must resolve.
+        if let Some(pos) = self.rr.iter().position(|c| *c == id) {
+            self.rr.remove(pos);
+            if pos < self.cursor {
+                self.cursor -= 1;
+            }
+            if self.cursor >= self.rr.len() {
+                self.cursor = 0;
+            }
+        }
+        if let (Some(avail), true) = (self.available, evicted.bucket > 0) {
+            // The victim's stranded grant returns to the pool and flows
+            // straight to any registered demand: a parked waiter must
+            // not sleep through tokens that could cover it, and with no
+            // further traffic there may never be another refund to
+            // deliver them.
+            self.available = Some(avail.saturating_add(evicted.bucket));
+            self.distribute();
+            self.pending_wake = true;
+        }
     }
 
     /// Moves shared tokens into the buckets of clients with unmet
     /// demand, deficit-round-robin: each visit adds one quantum of
     /// credit and grants `min(deficit, shortfall, available)`. Stops
     /// when the pool is dry or a full rotation found no demand.
-    fn distribute(&mut self, quantum: u64) {
+    fn distribute(&mut self) {
         let Some(mut avail) = self.available else {
             return;
         };
@@ -155,7 +224,7 @@ impl AdmissionState {
                 continue;
             }
             idle = 0;
-            c.deficit = c.deficit.saturating_add(quantum.max(1));
+            c.deficit = c.deficit.saturating_add(self.quantum.max(1));
             let grant = c.deficit.min(shortfall).min(avail);
             c.bucket += grant;
             c.granted = c.granted.saturating_add(grant);
@@ -174,25 +243,31 @@ impl AdmissionState {
 #[derive(Debug)]
 pub(crate) struct Admission {
     state: Mutex<AdmissionState>,
-    /// Signalled whenever tokens enter the system (refunds, top-ups) —
-    /// i.e. whenever a parked reservation may now be coverable.
+    /// Signalled whenever tokens enter the system (refunds, top-ups,
+    /// eviction reclaims) — i.e. whenever a parked reservation may now
+    /// be coverable.
     refill: Condvar,
-    quantum: u64,
 }
 
 impl Admission {
     /// `pool` is the initial shared allowance (`None` = unmetered);
-    /// `quantum` the DRR grant per client per rotation.
-    pub(crate) fn new(pool: Option<u64>, quantum: u64) -> Self {
+    /// `quantum` the DRR grant per client per rotation; `max_tracked`
+    /// bounds the client registry (rounded up to 1) — beyond it, idle
+    /// clients are forgotten LRU-by-last-activity so one-id-per-request
+    /// abuse cannot grow memory without bound.
+    pub(crate) fn new(pool: Option<u64>, quantum: u64, max_tracked: usize) -> Self {
         Admission {
             state: Mutex::new(AdmissionState {
                 available: pool,
                 clients: HashMap::new(),
                 rr: Vec::new(),
                 cursor: 0,
+                tick: 0,
+                max_tracked: max_tracked.max(1),
+                quantum: quantum.max(1),
+                pending_wake: false,
             }),
             refill: Condvar::new(),
-            quantum: quantum.max(1),
         }
     }
 
@@ -203,10 +278,24 @@ impl Admission {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Flushes a wake-up queued by registry eviction: the reclaimed
+    /// bucket tokens were already folded into the pool and distributed
+    /// inside the critical section that evicted, so all that is left is
+    /// notifying the condvar so parked waiters whose buckets just
+    /// filled re-check. Called with the state lock held — waiters
+    /// simply reacquire once the caller releases it.
+    fn flush_eviction_wake(&self, st: &mut AdmissionState) {
+        if std::mem::take(&mut st.pending_wake) {
+            self.refill.notify_all();
+        }
+    }
+
     /// Counts one rejected submission (oversize, or shed after the
     /// reservation already succeeded) against `client`.
     pub(crate) fn note_shed(&self, client: &ClientId) {
-        self.lock().client(client).shed += 1;
+        let mut st = self.lock();
+        st.client(client).shed += 1;
+        self.flush_eviction_wake(&mut st);
     }
 
     /// Counts one submission attempt that is rejected before any
@@ -216,6 +305,7 @@ impl Admission {
         let c = st.client(client);
         c.submitted += 1;
         c.shed += 1;
+        self.flush_eviction_wake(&mut st);
     }
 
     /// Non-blocking reservation (counts the submission attempt):
@@ -225,8 +315,9 @@ impl Admission {
     /// `Rejection::BudgetExhausted`.
     pub(crate) fn try_reserve(&self, client: &ClientId, need: u64) -> bool {
         let mut st = self.lock();
+        st.client(client).submitted += 1;
+        self.flush_eviction_wake(&mut st);
         let c = st.client(client);
-        c.submitted += 1;
         if c.bucket >= need {
             c.bucket -= need;
             return true;
@@ -267,6 +358,7 @@ impl Admission {
     ) -> Result<bool, Cancelled> {
         let mut st = self.lock();
         st.client(client).submitted += 1;
+        self.flush_eviction_wake(&mut st);
         if st.available.is_none() {
             return Ok(false); // unmetered
         }
@@ -308,7 +400,7 @@ impl Admission {
                 c.waiting += 1;
                 registered = true;
                 // Newly-registered demand may claim what little is left.
-                st.distribute(self.quantum);
+                st.distribute();
                 continue;
             }
             stalled = true;
@@ -337,7 +429,7 @@ impl Admission {
             return;
         };
         st.available = Some(avail.saturating_add(n));
-        st.distribute(self.quantum);
+        st.distribute();
         drop(st);
         self.refill.notify_all();
     }
@@ -347,10 +439,11 @@ impl Admission {
     pub(crate) fn on_complete(&self, client: &ClientId, unused: u64) {
         let mut st = self.lock();
         st.client(client).completed += 1;
+        self.flush_eviction_wake(&mut st);
         if unused > 0 {
             if let Some(avail) = st.available {
                 st.available = Some(avail.saturating_add(unused));
-                st.distribute(self.quantum);
+                st.distribute();
                 drop(st);
                 self.refill.notify_all();
             }
@@ -360,7 +453,9 @@ impl Admission {
     /// Failure bookkeeping (worker panic: the reservation is *not*
     /// refunded, true usage unknown).
     pub(crate) fn on_failed(&self, client: &ClientId) {
-        self.lock().client(client).failed += 1;
+        let mut st = self.lock();
+        st.client(client).failed += 1;
+        self.flush_eviction_wake(&mut st);
     }
 
     /// Tokens still reservable: the shared pool plus every bucket.
@@ -414,7 +509,7 @@ mod tests {
 
     #[test]
     fn raised_cancel_flag_plus_kick_unparks_a_waiter() {
-        let adm = Arc::new(Admission::new(Some(0), 8));
+        let adm = Arc::new(Admission::new(Some(0), 8, 1024));
         let cancel = Arc::new(AtomicBool::new(false));
         let (done_tx, done) = mpsc::channel();
         let a = Arc::clone(&adm);
@@ -448,7 +543,7 @@ mod tests {
 
     #[test]
     fn unmetered_admission_always_reserves() {
-        let adm = Admission::new(None, 8);
+        let adm = Admission::new(None, 8, 1024);
         let c = ClientId::new("a");
         assert!(adm.try_reserve(&c, u64::MAX));
         assert_eq!(adm.reserve_blocking(&c, u64::MAX, None), Ok(false));
@@ -457,7 +552,7 @@ mod tests {
 
     #[test]
     fn uncontended_pool_behaves_like_a_global_counter() {
-        let adm = Admission::new(Some(10), 8);
+        let adm = Admission::new(Some(10), 8, 1024);
         let c = ClientId::new("solo");
         assert!(adm.try_reserve(&c, 4));
         assert_eq!(adm.remaining(), Some(6));
@@ -470,7 +565,7 @@ mod tests {
 
     #[test]
     fn drr_serves_the_trickle_before_the_hog_finishes() {
-        let adm = Arc::new(Admission::new(Some(0), 4));
+        let adm = Arc::new(Admission::new(Some(0), 4, 1024));
         let hog = ClientId::new("hog");
         let trickle = ClientId::new("trickle");
 
@@ -532,7 +627,7 @@ mod tests {
 
     #[test]
     fn surplus_after_demand_stays_in_the_pool() {
-        let adm = Arc::new(Admission::new(Some(0), 64));
+        let adm = Arc::new(Admission::new(Some(0), 64, 1024));
         let c = ClientId::new("one");
         let (done_tx, done) = mpsc::channel();
         let a = Arc::clone(&adm);
@@ -550,8 +645,167 @@ mod tests {
     }
 
     #[test]
+    fn registry_is_bounded_under_one_id_per_request_abuse() {
+        // Regression: the round-robin registry used to grow with every
+        // ClientId ever seen — an abuser minting a fresh id per request
+        // grew memory without bound. Now idle clients are evicted LRU.
+        let adm = Admission::new(Some(1_000_000), 8, 16);
+        for i in 0..10_000 {
+            let c = ClientId::new(format!("abuser-{i}"));
+            assert!(adm.try_reserve(&c, 1));
+        }
+        let stats = adm.client_stats();
+        assert!(
+            stats.len() <= 16,
+            "registry holds {} clients over a bound of 16",
+            stats.len()
+        );
+        // The rotation list is bounded too (it drives distribute()).
+        let st = adm.lock();
+        assert!(st.rr.len() <= 16);
+        assert!(st.cursor < st.rr.len().max(1));
+    }
+
+    #[test]
+    fn eviction_is_lru_by_last_activity() {
+        // Capacity 2: "old" and "warm" fill it; touching "warm" again
+        // makes "old" the LRU victim when "new" registers.
+        let adm = Admission::new(Some(10), 8, 2);
+        assert!(adm.try_reserve(&ClientId::new("old"), 1));
+        assert!(adm.try_reserve(&ClientId::new("warm"), 1));
+        assert!(adm.try_reserve(&ClientId::new("warm"), 1));
+        assert!(adm.try_reserve(&ClientId::new("new"), 1));
+        let stats = adm.client_stats();
+        let tracked: Vec<&str> = stats.iter().map(|c| c.client.as_str()).collect();
+        assert_eq!(tracked, vec!["new", "warm"], "LRU victim was \"old\"");
+        // No tokens leaked by the eviction: 10 − 4 spent = 6 left.
+        assert_eq!(adm.remaining(), Some(6));
+    }
+
+    #[test]
+    fn eviction_returns_stranded_bucket_tokens_to_the_pool() {
+        // A waiter that received a partial DRR grant and then cancelled
+        // leaves tokens parked in its bucket with no demand behind
+        // them. Evicting that client must hand the tokens back to the
+        // shared pool, not leak allowance.
+        let adm = Arc::new(Admission::new(Some(0), 2, 1));
+        let cancel = Arc::new(AtomicBool::new(false));
+        let (done_tx, done) = mpsc::channel();
+        let a = Arc::clone(&adm);
+        let flag = Arc::clone(&cancel);
+        let waiter = std::thread::spawn(move || {
+            let c = ClientId::new("stranded");
+            done_tx
+                .send(a.reserve_blocking(&c, 10, Some(&flag)))
+                .unwrap();
+        });
+        assert!(done.recv_timeout(Duration::from_millis(100)).is_err());
+        adm.refund(4); // partial grant: bucket 4, still 6 short
+        cancel.store(true, Ordering::Relaxed);
+        adm.kick();
+        assert_eq!(
+            done.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Err(Cancelled)
+        );
+        waiter.join().unwrap();
+        assert_eq!(
+            adm.remaining(),
+            Some(4),
+            "the partial grant sits in the cancelled client's bucket"
+        );
+        // A fresh identity forces the eviction (capacity 1): the
+        // stranded 4 tokens come home and cover the new reservation.
+        assert!(adm.try_reserve(&ClientId::new("next"), 1));
+        assert_eq!(adm.remaining(), Some(3));
+        assert_eq!(adm.client_stats().len(), 1);
+    }
+
+    /// Regression (liveness): tokens reclaimed by evicting an idle
+    /// client must reach — and *wake* — a parked waiter whose demand
+    /// they cover. In a quiet system there may never be another refund
+    /// to deliver them.
+    #[test]
+    fn eviction_reclaimed_tokens_wake_a_parked_waiter() {
+        let adm = Arc::new(Admission::new(Some(0), 8, 2));
+
+        // Client "stranded": a cancelled partial grant leaves 5 tokens
+        // in its bucket with no demand behind them.
+        let cancel = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel();
+        let a = Arc::clone(&adm);
+        let flag = Arc::clone(&cancel);
+        let stranded = std::thread::spawn(move || {
+            tx.send(a.reserve_blocking(&ClientId::new("stranded"), 10, Some(&flag)))
+                .unwrap();
+        });
+        assert!(rx.recv_timeout(Duration::from_millis(100)).is_err());
+        adm.refund(5);
+        cancel.store(true, Ordering::Relaxed);
+        adm.kick();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Err(Cancelled)
+        );
+        stranded.join().unwrap();
+        assert_eq!(adm.remaining(), Some(5), "5 tokens stranded in the bucket");
+
+        // Client "parked": waits for 4 tokens on the (empty) pool.
+        let (parked_tx, parked_rx) = mpsc::channel();
+        let a = Arc::clone(&adm);
+        let parked = std::thread::spawn(move || {
+            parked_tx
+                .send(a.reserve_blocking(&ClientId::new("parked"), 4, None))
+                .unwrap();
+        });
+        assert!(parked_rx.recv_timeout(Duration::from_millis(100)).is_err());
+
+        // A third identity pushes the registry past its bound of 2:
+        // "stranded" (idle) is evicted, its 5 tokens return to the pool
+        // — and the parked waiter must be granted and woken by THAT,
+        // with no refund ever arriving.
+        assert!(adm.try_reserve(&ClientId::new("fresh"), 1));
+        assert_eq!(
+            parked_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Ok(true),
+            "eviction-reclaimed tokens must wake the parked waiter"
+        );
+        parked.join().unwrap();
+        // 5 reclaimed − 4 granted to the waiter − 1 to "fresh" = 0.
+        assert_eq!(adm.remaining(), Some(0));
+    }
+
+    #[test]
+    fn parked_waiters_are_never_evicted() {
+        let adm = Arc::new(Admission::new(Some(0), 8, 1));
+        let parked = ClientId::new("parked");
+        let (done_tx, done) = mpsc::channel();
+        let a = Arc::clone(&adm);
+        let id = parked.clone();
+        let waiter = std::thread::spawn(move || {
+            done_tx.send(a.reserve_blocking(&id, 5, None)).unwrap();
+        });
+        assert!(
+            done.recv_timeout(Duration::from_millis(100)).is_err(),
+            "the dry pool must park the waiter first"
+        );
+        // A flood of fresh identities wants the single registry slot;
+        // the parked client must survive every round.
+        for i in 0..64 {
+            let _ = adm.try_reserve(&ClientId::new(format!("churn-{i}")), 1);
+        }
+        assert!(
+            adm.client_stats().iter().any(|c| c.client == "parked"),
+            "a parked waiter was evicted from the registry"
+        );
+        // Its registered demand still routes the refill correctly.
+        adm.refund(5);
+        assert_eq!(done.recv_timeout(Duration::from_secs(5)).unwrap(), Ok(true));
+        waiter.join().unwrap();
+    }
+
+    #[test]
     fn poisoned_admission_state_recovers() {
-        let adm = Arc::new(Admission::new(Some(10), 8));
+        let adm = Arc::new(Admission::new(Some(10), 8, 1024));
         let a = Arc::clone(&adm);
         let _ = std::thread::spawn(move || {
             let _guard = a.state.lock().unwrap();

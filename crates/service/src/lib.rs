@@ -66,3 +66,8 @@ pub use scheduler::{
     AnnotationService, Rejection, RequestFailed, RequestHandle, RequestOutcome, ServiceConfig,
 };
 pub use stats::{ClientStats, LatencySummary, ServiceStats};
+// The persistence layer's error type, surfaced by
+// `AnnotationService::snapshot_now` (and mapped onto the wire by the
+// `SNAPSHOT` verb) — re-exported so callers need not depend on
+// `teda-store` to name it.
+pub use teda_store::StoreError;

@@ -40,7 +40,7 @@ use crate::fairness::{Admission, Cancelled, ClientId};
 use crate::stats::{LatencySummary, ServiceStats};
 
 /// Scheduler and budget knobs of an [`AnnotationService`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Worker threads. `0` uses the machine's available parallelism.
     pub workers: usize,
@@ -68,6 +68,20 @@ pub struct ServiceConfig {
     /// the default (64) lets a typical interactive table through in one
     /// round. Only meaningful when `query_pool` is set.
     pub fair_quantum: u64,
+    /// Bound on the per-client fairness registry: beyond this many
+    /// distinct [`ClientId`]s, the least-recently-active *idle* client
+    /// is forgotten (its bucket tokens return to the pool; parked
+    /// waiters are never evicted), so one-id-per-request abuse cannot
+    /// grow the admission state without bound. The default (1,024)
+    /// comfortably covers named tenants.
+    pub max_tracked_clients: usize,
+    /// Persistence home (`teda-store`): when set, the service restores
+    /// the query-cache snapshot from `<dir>/cache.snap` at start (any
+    /// corruption degrades to a cold cache, never a panic) and writes a
+    /// fresh snapshot on graceful shutdown — plus on demand through
+    /// [`AnnotationService::snapshot_now`] (the wire `SNAPSHOT` verb).
+    /// `None` disables persistence.
+    pub store_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -80,6 +94,8 @@ impl Default for ServiceConfig {
             cache: None,
             geo_memo_capacity: Some(65_536),
             fair_quantum: 64,
+            max_tracked_clients: 1_024,
+            store_dir: None,
         }
     }
 }
@@ -205,6 +221,10 @@ struct Shared {
     rejected_oversize: AtomicU64,
     stream_tables: AtomicU64,
     backpressure_waits: AtomicU64,
+    /// Query-cache entries restored from the store at start (warm
+    /// start); 0 when no store is configured or the snapshot was
+    /// missing/damaged.
+    restored_cache_entries: AtomicU64,
     latencies: Mutex<LatencyRing>,
 }
 
@@ -245,6 +265,22 @@ impl AnnotationService {
             Some(capacity) => annotator.with_geo_memo_capacity(capacity),
             None => annotator,
         };
+        // Warm start: restore the persisted query memo, TTL clocks
+        // rebased. A missing snapshot is a cold start; *any* damage
+        // (bad magic, wrong version, failed CRC, truncation) degrades
+        // to a cold cache — restore can turn misses into hits, never a
+        // start into a crash. Stale `.tmp` crash leftovers are swept
+        // first so an interrupted snapshot cannot linger forever.
+        let restored = match &config.store_dir {
+            Some(dir) => {
+                let _ = teda_store::clean_stale_tmps(dir);
+                match teda_store::load_cache_snapshot(&dir.join(teda_store::CACHE_FILE)) {
+                    Ok(entries) => annotator.cache().restore_entries(entries) as u64,
+                    Err(_) => 0,
+                }
+            }
+            None => 0,
+        };
         let workers = if config.workers == 0 {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -259,7 +295,11 @@ impl AnnotationService {
         let rx = Arc::new(Mutex::new(rx));
         let shared = Arc::new(Shared {
             annotator,
-            admission: Admission::new(config.query_pool, config.fair_quantum),
+            admission: Admission::new(
+                config.query_pool,
+                config.fair_quantum,
+                config.max_tracked_clients,
+            ),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
@@ -268,6 +308,7 @@ impl AnnotationService {
             rejected_oversize: AtomicU64::new(0),
             stream_tables: AtomicU64::new(0),
             backpressure_waits: AtomicU64::new(0),
+            restored_cache_entries: AtomicU64::new(restored),
             latencies: Mutex::new(LatencyRing::default()),
         });
         let handles = (0..workers)
@@ -609,6 +650,23 @@ impl AnnotationService {
         self.shared.admission.remaining()
     }
 
+    /// Persists the current query-cache contents to
+    /// `<store_dir>/cache.snap` (atomic temp-file + rename), returning
+    /// how many entries the snapshot holds. In-flight searches are
+    /// skipped; entry ages ride along so the next start rebases their
+    /// TTL clocks. Errors are typed: [`teda_store::StoreError::NotConfigured`]
+    /// when the service runs without a `store_dir`, I/O failures
+    /// otherwise — this is also the wire `SNAPSHOT` verb's backend.
+    pub fn snapshot_now(&self) -> Result<usize, teda_store::StoreError> {
+        let Some(dir) = &self.config.store_dir else {
+            return Err(teda_store::StoreError::NotConfigured);
+        };
+        std::fs::create_dir_all(dir).map_err(|e| teda_store::StoreError::io(dir, e))?;
+        let entries = self.shared.annotator.cache().export_entries();
+        teda_store::save_cache_snapshot(&dir.join(teda_store::CACHE_FILE), &entries)?;
+        Ok(entries.len())
+    }
+
     /// A point-in-time report of the service counters. Latency
     /// percentiles cover the most recent `LATENCY_WINDOW` completions.
     pub fn stats(&self) -> ServiceStats {
@@ -631,6 +689,7 @@ impl AnnotationService {
             rejected_oversize: self.shared.rejected_oversize.load(Ordering::Relaxed),
             stream_tables: self.shared.stream_tables.load(Ordering::Relaxed),
             backpressure_waits: self.shared.backpressure_waits.load(Ordering::Relaxed),
+            restored_cache_entries: self.shared.restored_cache_entries.load(Ordering::Relaxed),
             latency: LatencySummary::from_latencies(&latencies),
             cache: self.shared.annotator.cache_stats(),
             geocode: self.shared.annotator.geo_stats(),
@@ -638,13 +697,17 @@ impl AnnotationService {
         }
     }
 
-    /// Stops accepting work, drains the queue, joins the workers and
-    /// returns the final report.
+    /// Stops accepting work, drains the queue, joins the workers,
+    /// persists the query-cache snapshot (when a `store_dir` is
+    /// configured — the graceful-shutdown warm handoff to the next
+    /// process) and returns the final report. A failed snapshot write
+    /// never blocks shutdown: the next start simply comes up cold.
     pub fn shutdown(mut self) -> ServiceStats {
         self.tx = None; // closes the queue; workers exit after draining
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        let _ = self.snapshot_now();
         self.stats()
     }
 }
@@ -652,8 +715,17 @@ impl AnnotationService {
 impl Drop for AnnotationService {
     fn drop(&mut self) {
         self.tx = None;
+        // A non-empty worker list means `shutdown` never ran: this drop
+        // owns the teardown, including the warm-handoff snapshot. After
+        // `shutdown` the list is already drained and the snapshot
+        // already written — repeating the full-cache export and fsync
+        // here would double the shutdown I/O for nothing.
+        let owns_teardown = !self.workers.is_empty();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        if owns_teardown && self.config.store_dir.is_some() {
+            let _ = self.snapshot_now();
         }
     }
 }
@@ -1388,6 +1460,105 @@ mod tests {
             .map_err(|_| "service still shared")
             .unwrap()
             .shutdown();
+    }
+
+    /// Graceful-shutdown snapshot + startup restore: a second service
+    /// over the same store directory starts warm and serves the first
+    /// generation's queries straight from the restored memo.
+    #[test]
+    fn restart_over_a_store_dir_is_warm() {
+        let dir = std::env::temp_dir().join(format!("teda_svc_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServiceConfig {
+            workers: 1,
+            store_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+
+        let service = AnnotationService::start(annotator(Duration::ZERO), config.clone());
+        let table = restaurant_table("warm");
+        let first = service
+            .submit(Arc::clone(&table))
+            .unwrap()
+            .wait()
+            .expect("completes");
+        let cold_misses = service.stats().cache.misses;
+        assert!(cold_misses > 0, "the first generation must actually search");
+        let stats = service.shutdown(); // writes <dir>/cache.snap
+        assert_eq!(stats.restored_cache_entries, 0, "generation one was cold");
+
+        let reborn = AnnotationService::start(annotator(Duration::ZERO), config);
+        let warm_stats = reborn.stats();
+        assert!(
+            warm_stats.restored_cache_entries >= cold_misses,
+            "restore must land every persisted entry, got {} of {}",
+            warm_stats.restored_cache_entries,
+            cold_misses
+        );
+        let again = reborn
+            .submit(table)
+            .unwrap()
+            .wait()
+            .expect("completes warm");
+        assert_eq!(
+            again.annotations, first.annotations,
+            "a warm start must not change results"
+        );
+        let final_stats = reborn.shutdown();
+        assert_eq!(
+            final_stats.cache.misses, 0,
+            "every query of the rerun must hit the restored memo"
+        );
+        assert_eq!(final_stats.cache.hits, cold_misses);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `snapshot_now` without a configured store is a typed error, and
+    /// a corrupt snapshot degrades the next start to cold, not a crash.
+    #[test]
+    fn snapshot_errors_are_typed_and_corruption_degrades_to_cold() {
+        let service = AnnotationService::start(
+            annotator(Duration::ZERO),
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        assert_eq!(
+            service.snapshot_now(),
+            Err(teda_store::StoreError::NotConfigured)
+        );
+        service.shutdown();
+
+        let dir = std::env::temp_dir().join(format!("teda_svc_corrupt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join(teda_store::CACHE_FILE),
+            b"definitely not a snapshot",
+        )
+        .unwrap();
+        // A stale tmp from a crashed writer must be swept at start too.
+        let stale = dir.join(format!("{}.tmp", teda_store::CACHE_FILE));
+        std::fs::write(&stale, b"torn half-write").unwrap();
+        let service = AnnotationService::start(
+            annotator(Duration::ZERO),
+            ServiceConfig {
+                workers: 1,
+                store_dir: Some(dir.clone()),
+                ..ServiceConfig::default()
+            },
+        );
+        assert_eq!(service.stats().restored_cache_entries, 0, "cold, not dead");
+        assert!(!stale.exists(), "stale .tmp leftovers are swept at start");
+        let outcome = service
+            .submit(restaurant_table("after-corruption"))
+            .unwrap()
+            .wait()
+            .expect("service works despite the rotten snapshot");
+        assert_eq!(outcome.annotations.queried_cells, 2);
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Anonymous and named clients are accounted separately.

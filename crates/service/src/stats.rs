@@ -86,6 +86,10 @@ pub struct ServiceStats {
     /// query pool — each one is backpressure applied to a source
     /// instead of a shed table.
     pub backpressure_waits: u64,
+    /// Query-cache entries restored from the persistent store at start
+    /// (the warm-start handoff); 0 without a `store_dir` or when the
+    /// snapshot was missing or damaged.
+    pub restored_cache_entries: u64,
     /// Submit-to-completion latency percentiles (over the scheduler's
     /// recent-completions window, not all-time history).
     pub latency: LatencySummary,

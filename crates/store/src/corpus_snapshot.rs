@@ -1,0 +1,251 @@
+//! Corpus snapshot codec: a [`WebCorpus`] — page store plus
+//! [`InvertedIndex`] parts — in and out of the section container.
+//!
+//! Four sections, each CRC-protected independently so a report can name
+//! which part of a damaged snapshot rotted:
+//!
+//! | tag | section  | contents                                         |
+//! |-----|----------|--------------------------------------------------|
+//! | 1   | pages    | count, then `(url, title, body)` per page        |
+//! | 2   | terms    | interned vocabulary in dense-id order            |
+//! | 3   | postings | offset table (`u32`s), then `(page, tf-bits)`    |
+//! | 4   | docmeta  | per-doc length bits, average-length bits, n_docs |
+//!
+//! Floats are stored as IEEE-754 bit patterns (`f32::to_bits` /
+//! `f64::to_bits`): the loaded index's every BM25 input is the same
+//! bits as the saved one, which is what makes loaded search results
+//! bit-identical rather than merely close. The whole encoding is a pure
+//! function of the corpus — no timestamps, no randomness, no map
+//! iteration order (terms travel in dense-id order) — so equal corpora
+//! produce byte-identical snapshot files; `compact == full rebuild`
+//! byte-identity rests on this.
+
+use teda_websim::{IndexParts, InvertedIndex, WebCorpus, WebPage};
+
+use crate::format::{
+    decode_container, encode_container, put_string, put_u32, put_u64, Cursor, KIND_CORPUS,
+};
+use crate::StoreError;
+
+const SEC_PAGES: u32 = 1;
+const SEC_TERMS: u32 = 2;
+const SEC_POSTINGS: u32 = 3;
+const SEC_DOCMETA: u32 = 4;
+
+/// Serializes the corpus into a complete snapshot file image.
+pub fn encode_corpus(corpus: &WebCorpus) -> Vec<u8> {
+    let parts = corpus.index().to_parts();
+
+    let mut pages = Vec::new();
+    put_u64(&mut pages, corpus.len() as u64);
+    for page in corpus.pages() {
+        put_string(&mut pages, &page.url);
+        put_string(&mut pages, &page.title);
+        put_string(&mut pages, &page.body);
+    }
+
+    let mut terms = Vec::new();
+    put_u64(&mut terms, parts.terms.len() as u64);
+    for term in &parts.terms {
+        put_string(&mut terms, term);
+    }
+
+    let mut postings = Vec::new();
+    put_u64(&mut postings, parts.offsets.len() as u64);
+    for &off in &parts.offsets {
+        put_u32(&mut postings, off);
+    }
+    put_u64(&mut postings, parts.postings.len() as u64);
+    for &(page, tf_bits) in &parts.postings {
+        put_u32(&mut postings, page);
+        put_u32(&mut postings, tf_bits);
+    }
+
+    let mut docmeta = Vec::new();
+    put_u64(&mut docmeta, parts.doc_len_bits.len() as u64);
+    for &bits in &parts.doc_len_bits {
+        put_u64(&mut docmeta, bits);
+    }
+    put_u64(&mut docmeta, parts.avg_len_bits);
+    put_u64(&mut docmeta, parts.n_docs);
+
+    encode_container(
+        KIND_CORPUS,
+        &[
+            (SEC_PAGES, pages),
+            (SEC_TERMS, terms),
+            (SEC_POSTINGS, postings),
+            (SEC_DOCMETA, docmeta),
+        ],
+    )
+}
+
+/// Deserializes and validates a snapshot file image back into a
+/// [`WebCorpus`]. Beyond the container's CRC checks, the index parts go
+/// through [`InvertedIndex::from_parts`]'s structural validation and
+/// the page count must match the index's document count — a snapshot
+/// that decodes is a snapshot that can serve queries safely.
+pub fn decode_corpus(bytes: &[u8]) -> Result<WebCorpus, StoreError> {
+    let sections = decode_container(bytes, KIND_CORPUS)?;
+    let mut pages_sec = None;
+    let mut terms_sec = None;
+    let mut postings_sec = None;
+    let mut docmeta_sec = None;
+    for (tag, payload) in sections {
+        let slot = match tag {
+            SEC_PAGES => &mut pages_sec,
+            SEC_TERMS => &mut terms_sec,
+            SEC_POSTINGS => &mut postings_sec,
+            SEC_DOCMETA => &mut docmeta_sec,
+            other => {
+                return Err(StoreError::Corrupt(format!(
+                    "unknown corpus section tag {other}"
+                )))
+            }
+        };
+        if slot.replace(payload).is_some() {
+            return Err(StoreError::Corrupt(format!(
+                "duplicate corpus section tag {tag}"
+            )));
+        }
+    }
+    let missing = |name: &str| StoreError::Corrupt(format!("missing corpus section: {name}"));
+
+    let mut cur = Cursor::new(pages_sec.ok_or_else(|| missing("pages"))?);
+    // 24 = three 8-byte string length prefixes per page: the tightest
+    // lower bound an empty page can occupy, so a forged count cannot
+    // amplify the allocation past ~1/24th of the input size.
+    let n_pages = cur.len_prefix(24, "page count")?;
+    let mut pages = Vec::with_capacity(n_pages);
+    for _ in 0..n_pages {
+        pages.push(WebPage {
+            url: cur.string("page url")?,
+            title: cur.string("page title")?,
+            body: cur.string("page body")?,
+        });
+    }
+
+    let mut cur = Cursor::new(terms_sec.ok_or_else(|| missing("terms"))?);
+    let n_terms = cur.len_prefix(8, "term count")?;
+    let mut terms = Vec::with_capacity(n_terms);
+    for _ in 0..n_terms {
+        terms.push(cur.string("term")?);
+    }
+
+    // The fixed-width sections decode in bulk (`chunks_exact` over one
+    // bounds-checked take) — the posting arena is the bulk of a
+    // snapshot and a per-element cursor loop would dominate load time,
+    // defeating the point of skipping the cold build.
+    let mut cur = Cursor::new(postings_sec.ok_or_else(|| missing("postings"))?);
+    let n_offsets = cur.len_prefix(4, "offset count")?;
+    let offsets: Vec<u32> = cur
+        .take(n_offsets * 4, "offset table")?
+        .chunks_exact(4)
+        .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte chunk")))
+        .collect();
+    let n_postings = cur.len_prefix(8, "posting count")?;
+    let postings: Vec<(u32, u32)> = cur
+        .take(n_postings * 8, "posting arena")?
+        .chunks_exact(8)
+        .map(|b| {
+            (
+                u32::from_le_bytes(b[..4].try_into().expect("4-byte chunk")),
+                u32::from_le_bytes(b[4..].try_into().expect("4-byte chunk")),
+            )
+        })
+        .collect();
+
+    let mut cur = Cursor::new(docmeta_sec.ok_or_else(|| missing("docmeta"))?);
+    let n_docs_len = cur.len_prefix(8, "doc length count")?;
+    let doc_len_bits: Vec<u64> = cur
+        .take(n_docs_len * 8, "doc length table")?
+        .chunks_exact(8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte chunk")))
+        .collect();
+    let avg_len_bits = cur.u64("average length")?;
+    let n_docs = cur.u64("document count")?;
+
+    let index = InvertedIndex::from_parts(IndexParts {
+        terms,
+        offsets,
+        postings,
+        doc_len_bits,
+        avg_len_bits,
+        n_docs,
+    })
+    .map_err(|e| StoreError::Corrupt(e.to_string()))?;
+    WebCorpus::from_parts(pages, index).map_err(|e| StoreError::Corrupt(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teda_kb::{World, WorldSpec};
+    use teda_websim::WebCorpusSpec;
+
+    fn corpus() -> WebCorpus {
+        let world = World::generate(WorldSpec::tiny(), 42);
+        WebCorpus::build(&world, WebCorpusSpec::tiny(), 42)
+    }
+
+    #[test]
+    fn corpus_round_trips_to_an_identical_index() {
+        let original = corpus();
+        let loaded = decode_corpus(&encode_corpus(&original)).expect("own bytes decode");
+        assert_eq!(
+            loaded.index(),
+            original.index(),
+            "index must be field-identical"
+        );
+        assert_eq!(loaded.pages(), original.pages());
+    }
+
+    #[test]
+    fn encoding_is_a_pure_function_of_the_corpus() {
+        let a = encode_corpus(&corpus());
+        let b = encode_corpus(&corpus());
+        assert_eq!(a, b, "equal corpora must produce byte-identical snapshots");
+    }
+
+    #[test]
+    fn empty_corpus_round_trips() {
+        let empty = WebCorpus::from_pages(Vec::new());
+        let loaded = decode_corpus(&encode_corpus(&empty)).expect("empty decodes");
+        assert_eq!(loaded.len(), 0);
+        assert!(loaded.index().search("anything", 5).is_empty());
+    }
+
+    #[test]
+    fn page_count_index_mismatch_is_corrupt_not_panic() {
+        // Re-encode with one page dropped but the index intact: both
+        // sections checksum fine, so this must be caught by the
+        // cross-section consistency check.
+        let original = corpus();
+        let mut fewer_pages = original.pages().to_vec();
+        fewer_pages.pop();
+        let truncated = WebCorpus::from_pages(fewer_pages);
+        // Graft the *original* (bigger) index onto the smaller page
+        // list at the byte level: encode both, swap the pages section.
+        let small = encode_corpus(&truncated);
+        let sections_small = decode_container(&small, KIND_CORPUS).unwrap();
+        let big = encode_corpus(&original);
+        let sections_big = decode_container(&big, KIND_CORPUS).unwrap();
+        let grafted: Vec<(u32, Vec<u8>)> = sections_big
+            .iter()
+            .map(|&(tag, payload)| {
+                if tag == SEC_PAGES {
+                    let pages = sections_small
+                        .iter()
+                        .find(|&&(t, _)| t == SEC_PAGES)
+                        .unwrap()
+                        .1;
+                    (tag, pages.to_vec())
+                } else {
+                    (tag, payload.to_vec())
+                }
+            })
+            .collect();
+        let bytes = encode_container(KIND_CORPUS, &grafted);
+        assert!(matches!(decode_corpus(&bytes), Err(StoreError::Corrupt(_))));
+    }
+}

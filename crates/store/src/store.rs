@@ -1,0 +1,347 @@
+//! The directory-level store: one base snapshot plus a numbered journal
+//! of delta segments, with atomic writes and crash-leftover sweeping.
+//!
+//! ```text
+//! <dir>/corpus.snap        the base snapshot (pages + index)
+//! <dir>/delta-000001.seg   journaled updates over the base, in order
+//! <dir>/delta-000002.seg
+//! <dir>/cache.snap         query-cache warm-start file (written by the
+//!                          service layer through `cache_snapshot`)
+//! <dir>/*.tmp              crash leftovers, swept at open
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use teda_websim::WebCorpus;
+
+use crate::corpus_snapshot::{decode_corpus, encode_corpus};
+use crate::delta::{decode_segment, encode_segment, BaseId, DeltaOp};
+use crate::format::write_atomic;
+use crate::{clean_stale_tmps, StoreError};
+
+/// Base snapshot file name.
+pub const SNAPSHOT_FILE: &str = "corpus.snap";
+/// Query-cache snapshot file name (the service layer's warm-start file,
+/// kept here so every store consumer agrees on the directory layout).
+pub const CACHE_FILE: &str = "cache.snap";
+const DELTA_PREFIX: &str = "delta-";
+const DELTA_EXT: &str = "seg";
+
+/// A successfully loaded corpus plus what it took to materialize it.
+#[derive(Debug)]
+pub struct Loaded {
+    /// The logical corpus: base snapshot with every delta replayed.
+    pub corpus: WebCorpus,
+    /// Delta segments replayed over the base (0 = pure snapshot load,
+    /// no re-indexing needed).
+    pub replayed_segments: usize,
+}
+
+/// How [`CorpusStore::open_or_build`] obtained its corpus.
+#[derive(Debug)]
+pub enum OpenOutcome {
+    /// Loaded from the persisted snapshot (plus any delta replay).
+    Loaded {
+        /// Delta segments replayed over the base.
+        replayed_segments: usize,
+    },
+    /// No snapshot existed yet: built fresh and persisted (cold start).
+    Built,
+    /// The persisted state was damaged: the typed reason, and the
+    /// corpus was rebuilt fresh and re-persisted. The error is carried,
+    /// not swallowed — operators should know their disk is rotting even
+    /// though service continued.
+    Rebuilt(StoreError),
+}
+
+/// The corpus and how it was obtained.
+#[derive(Debug)]
+pub struct OpenReport {
+    /// The ready-to-serve corpus.
+    pub corpus: WebCorpus,
+    /// Snapshot load, cold build, or corruption fallback.
+    pub outcome: OpenOutcome,
+}
+
+/// A persistent corpus home: snapshot save/load, delta journaling, and
+/// deterministic compaction over one directory. Single-writer by
+/// design: this handle assumes no *other* process rewrites the
+/// snapshot underneath it (concurrent writes through one handle are
+/// safe — every write is atomic and the binding cache is locked).
+#[derive(Debug)]
+pub struct CorpusStore {
+    dir: PathBuf,
+    /// The current snapshot's base binding, computed lazily and
+    /// invalidated by [`save`](Self::save) — so journaling a one-page
+    /// delta does not re-read and re-checksum the whole snapshot on
+    /// every append.
+    cached_base: std::sync::Mutex<Option<BaseId>>,
+}
+
+impl CorpusStore {
+    /// Opens (creating if needed) the store directory and sweeps stale
+    /// `.tmp` crash leftovers, so an interrupted atomic write can never
+    /// shadow or corrupt a later one.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
+        clean_stale_tmps(&dir)?;
+        Ok(CorpusStore {
+            dir,
+            cached_base: std::sync::Mutex::new(None),
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The base snapshot path.
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join(SNAPSHOT_FILE)
+    }
+
+    /// The query-cache snapshot path inside this store's directory.
+    pub fn cache_path(&self) -> PathBuf {
+        self.dir.join(CACHE_FILE)
+    }
+
+    /// Writes `corpus` as the new base snapshot (atomically) and drops
+    /// the delta journal — the snapshot *is* the journal folded in.
+    ///
+    /// Crash safety of the pair: the rename is atomic but the segment
+    /// deletions after it are not, so a crash here can leave old
+    /// segments beside the new snapshot. They are harmless — every
+    /// segment is bound to the CRC + length of the snapshot it was
+    /// journaled over, the new snapshot no longer matches, and the next
+    /// [`load`](Self::load) skips and sweeps them instead of
+    /// double-applying operations the snapshot already contains.
+    pub fn save(&self, corpus: &WebCorpus) -> Result<(), StoreError> {
+        let bytes = encode_corpus(corpus);
+        let base = BaseId::of(&bytes);
+        write_atomic(&self.snapshot_path(), &bytes)?;
+        *self
+            .cached_base
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(base);
+        for segment in self.delta_segments()? {
+            std::fs::remove_file(&segment).map_err(|e| StoreError::io(&segment, e))?;
+        }
+        // The corpus changed, so any co-located query-cache snapshot
+        // describes a world that no longer exists: drop it rather than
+        // let a restarted service serve pre-update results forever
+        // (restore must only ever turn misses into hits).
+        if let Err(e) = std::fs::remove_file(self.cache_path()) {
+            if e.kind() != std::io::ErrorKind::NotFound {
+                return Err(StoreError::io(&self.cache_path(), e));
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads the base snapshot and replays the delta journal over it.
+    /// With an empty journal this is pure deserialization — no
+    /// tokenizing, no index construction; with deltas the logical page
+    /// list is re-indexed through the deterministic sharded build.
+    /// [`StoreError::Missing`] means no snapshot was ever written.
+    ///
+    /// Only segments whose base binding matches the current snapshot
+    /// bytes are replayed; mismatched segments are leftovers of a crash
+    /// between a compaction's snapshot rename and its journal deletion
+    /// — their operations are already folded into the snapshot, so they
+    /// are swept, not applied.
+    pub fn load(&self) -> Result<Loaded, StoreError> {
+        let path = self.snapshot_path();
+        let bytes = std::fs::read(&path).map_err(|e| StoreError::io(&path, e))?;
+        let segments = self.delta_segments()?;
+        if segments.is_empty() {
+            // Fast path: no journal, so the base binding (a second
+            // whole-file CRC) never needs computing.
+            return Ok(Loaded {
+                corpus: decode_corpus(&bytes)?,
+                replayed_segments: 0,
+            });
+        }
+        let base_id = self.bind(&bytes);
+        let base = decode_corpus(&bytes)?;
+        let mut ops = Vec::new();
+        let mut replayed = 0usize;
+        for segment in &segments {
+            let bytes = std::fs::read(segment).map_err(|e| StoreError::io(segment, e))?;
+            let (bound_to, segment_ops) = decode_segment(&bytes)?;
+            if bound_to != base_id {
+                // Already folded into the snapshot by an interrupted
+                // compaction — applying it again would duplicate pages.
+                std::fs::remove_file(segment).map_err(|e| StoreError::io(segment, e))?;
+                continue;
+            }
+            ops.extend(segment_ops);
+            replayed += 1;
+        }
+        if replayed == 0 {
+            return Ok(Loaded {
+                corpus: base,
+                replayed_segments: 0,
+            });
+        }
+        let mut pages = base.into_pages();
+        for op in &ops {
+            op.apply(&mut pages);
+        }
+        Ok(Loaded {
+            corpus: WebCorpus::from_pages(pages),
+            replayed_segments: replayed,
+        })
+    }
+
+    /// The fast path: load the persisted corpus, or fall back to
+    /// `build` — on a cold start (nothing persisted yet) *and* on any
+    /// corruption (bad magic, wrong version, failed checksum,
+    /// truncation, structural damage). Untrusted on-disk bytes can cost
+    /// a rebuild, never a panic or a wrong index. The freshly built
+    /// corpus is persisted so the next open takes the fast path.
+    pub fn open_or_build(
+        dir: impl Into<PathBuf>,
+        build: impl FnOnce() -> WebCorpus,
+    ) -> Result<OpenReport, StoreError> {
+        let store = CorpusStore::open(dir)?;
+        let outcome = match store.load() {
+            Ok(loaded) => {
+                return Ok(OpenReport {
+                    corpus: loaded.corpus,
+                    outcome: OpenOutcome::Loaded {
+                        replayed_segments: loaded.replayed_segments,
+                    },
+                })
+            }
+            Err(e) if e.is_missing() => OpenOutcome::Built,
+            Err(e) => OpenOutcome::Rebuilt(e),
+        };
+        let corpus = build();
+        store.save(&corpus)?;
+        Ok(OpenReport { corpus, outcome })
+    }
+
+    /// Journals a page addition as a new delta segment (atomic append:
+    /// the segment appears whole or not at all).
+    pub fn add_pages(&self, pages: &[teda_websim::WebPage]) -> Result<(), StoreError> {
+        self.append_segment(&[DeltaOp::AddPages(pages.to_vec())])
+    }
+
+    /// Journals a page removal (by URL) as a new delta segment.
+    pub fn remove_pages(&self, urls: &[String]) -> Result<(), StoreError> {
+        self.append_segment(&[DeltaOp::RemovePages(urls.to_vec())])
+    }
+
+    /// Journals an explicit operation batch as one segment, bound to
+    /// the current base snapshot (which must exist — an update without
+    /// a base has nothing to apply to; [`StoreError::Missing`]).
+    pub fn append_segment(&self, ops: &[DeltaOp]) -> Result<(), StoreError> {
+        let base = self.base_id()?;
+        let next = self
+            .delta_segments()?
+            .last()
+            .and_then(|p| segment_seq(p))
+            .unwrap_or(0)
+            + 1;
+        let path = self
+            .dir
+            .join(format!("{DELTA_PREFIX}{next:06}.{DELTA_EXT}"));
+        write_atomic(&path, &encode_segment(base, ops))
+    }
+
+    /// Folds base + deltas into a new base snapshot and truncates the
+    /// journal, returning the compacted corpus.
+    ///
+    /// **Determinism guarantee:** the written snapshot is byte-identical
+    /// to what a full sequential rebuild of the same logical corpus
+    /// would produce. Both sides reduce to `WebCorpus::from_pages` on
+    /// the same page list — whose sharded index build is byte-identical
+    /// to the sequential reference for any shard count (the
+    /// `build_sharded` merge proof) — and the snapshot codec is a pure
+    /// function of the corpus. Proven file-against-file in
+    /// `tests/store.rs`.
+    pub fn compact(&self) -> Result<WebCorpus, StoreError> {
+        let loaded = self.load()?;
+        // Re-derive the index from the logical page list even when the
+        // journal was empty: compaction's contract is "as if built from
+        // scratch", not "whatever the old snapshot held".
+        let compacted = WebCorpus::from_pages(loaded.corpus.into_pages());
+        self.save(&compacted)?;
+        Ok(compacted)
+    }
+
+    /// The current snapshot's base binding, from the cache or by
+    /// reading and checksumming the snapshot file once.
+    fn base_id(&self) -> Result<BaseId, StoreError> {
+        if let Some(base) = *self
+            .cached_base
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
+            return Ok(base);
+        }
+        let snap = self.snapshot_path();
+        let bytes = std::fs::read(&snap).map_err(|e| StoreError::io(&snap, e))?;
+        Ok(self.bind(&bytes))
+    }
+
+    /// Computes and caches the binding of the given snapshot bytes.
+    fn bind(&self, snapshot_bytes: &[u8]) -> BaseId {
+        let base = BaseId::of(snapshot_bytes);
+        *self
+            .cached_base
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(base);
+        base
+    }
+
+    /// The journal's segment paths, in replay (= numeric) order.
+    pub fn delta_segments(&self) -> Result<Vec<PathBuf>, StoreError> {
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(StoreError::io(&self.dir, e)),
+        };
+        let mut segments: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::io(&self.dir, e))?;
+            let path = entry.path();
+            if let Some(seq) = segment_seq(&path) {
+                segments.push((seq, path));
+            }
+        }
+        segments.sort();
+        Ok(segments.into_iter().map(|(_, p)| p).collect())
+    }
+}
+
+/// The sequence number of a `delta-NNNNNN.seg` path, if it is one.
+fn segment_seq(path: &Path) -> Option<u64> {
+    if path.extension()? != DELTA_EXT {
+        return None;
+    }
+    path.file_stem()?
+        .to_str()?
+        .strip_prefix(DELTA_PREFIX)?
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_names_parse_and_sort() {
+        assert_eq!(segment_seq(Path::new("/x/delta-000007.seg")), Some(7));
+        assert_eq!(
+            segment_seq(Path::new("/x/delta-1000000.seg")),
+            Some(1_000_000)
+        );
+        assert_eq!(segment_seq(Path::new("/x/corpus.snap")), None);
+        assert_eq!(segment_seq(Path::new("/x/delta-abc.seg")), None);
+        assert_eq!(segment_seq(Path::new("/x/delta-000007.tmp")), None);
+    }
+}

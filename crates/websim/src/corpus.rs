@@ -109,9 +109,46 @@ impl WebCorpus {
         WebCorpus { pages, index }
     }
 
+    /// Builds a corpus over an explicit page list (ids are positional),
+    /// indexing with the sharded parallel build — byte-identical to the
+    /// sequential reference for any shard count. This is the
+    /// construction `teda-store` uses both for delta replay and for
+    /// compaction, so "compact == full rebuild" is an identity between
+    /// two calls of this one function on the same logical page list.
+    pub fn from_pages(pages: Vec<WebPage>) -> Self {
+        let index = InvertedIndex::build_parallel(&pages);
+        WebCorpus { pages, index }
+    }
+
+    /// Reassembles a corpus from a page list and an already-validated
+    /// index (the snapshot-load path, which skips re-tokenizing the
+    /// whole collection). Fails when the two halves disagree on the
+    /// document count — corrupt snapshot bytes must never produce an
+    /// index that answers queries about pages that do not exist.
+    pub fn from_parts(
+        pages: Vec<WebPage>,
+        index: InvertedIndex,
+    ) -> Result<Self, crate::index::InvalidIndexParts> {
+        if index.n_docs() != pages.len() {
+            return Err(crate::index::invalid_parts(format!(
+                "index covers {} documents but the page store holds {}",
+                index.n_docs(),
+                pages.len()
+            )));
+        }
+        Ok(WebCorpus { pages, index })
+    }
+
     /// The page with id `id`.
     pub fn page(&self, id: PageId) -> &WebPage {
         &self.pages[id.0 as usize]
+    }
+
+    /// Consumes the corpus, returning its page list — the delta-replay
+    /// and compaction paths mutate the list and re-derive the index
+    /// with [`from_pages`](Self::from_pages).
+    pub fn into_pages(self) -> Vec<WebPage> {
+        self.pages
     }
 
     /// All pages.

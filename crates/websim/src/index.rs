@@ -352,6 +352,157 @@ impl InvertedIndex {
     }
 }
 
+/// The raw construction of an [`InvertedIndex`], reduced to primitives
+/// whose byte encoding is unambiguous — the exchange type `teda-store`
+/// serializes into snapshot sections and validates on the way back in.
+///
+/// Floats travel as IEEE-754 bit patterns (`f32::to_bits` /
+/// `f64::to_bits`), never as decimal text, so a load reproduces every
+/// BM25 input *bit for bit* and loaded top-k results are identical to
+/// the freshly built index, ties and all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexParts {
+    /// Interned terms in dense-id order (`terms[id]` is term `id`).
+    pub terms: Vec<String>,
+    /// The offset table: term `t` owns postings `offsets[t]..offsets[t+1]`.
+    pub offsets: Vec<u32>,
+    /// The flat posting arena as `(page id, tf bits)` pairs.
+    pub postings: Vec<(u32, u32)>,
+    /// Per-document lengths as `f64` bit patterns, in document order.
+    pub doc_len_bits: Vec<u64>,
+    /// The average document length as an `f64` bit pattern.
+    pub avg_len_bits: u64,
+    /// Number of indexed documents.
+    pub n_docs: u64,
+}
+
+/// Why a deserialized [`IndexParts`] cannot be turned back into an
+/// index. Carried verbatim inside `teda-store`'s corruption error —
+/// untrusted snapshot bytes must degrade to a typed error, never a
+/// panic in the scoring loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidIndexParts(String);
+
+impl InvalidIndexParts {
+    fn new(msg: impl Into<String>) -> Self {
+        InvalidIndexParts(msg.into())
+    }
+
+    /// The human-readable reason.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Crate-internal constructor so sibling modules (the corpus reassembly
+/// check) can report their own consistency failures under the same type.
+pub(crate) fn invalid_parts(msg: String) -> InvalidIndexParts {
+    InvalidIndexParts::new(msg)
+}
+
+impl std::fmt::Display for InvalidIndexParts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid index parts: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidIndexParts {}
+
+impl InvertedIndex {
+    /// Decomposes the index into its serializable parts. The inverse of
+    /// [`from_parts`](Self::from_parts):
+    /// `from_parts(idx.to_parts()) == idx` for every built index.
+    pub fn to_parts(&self) -> IndexParts {
+        // Invert the interning map into dense-id order.
+        let mut terms = vec![String::new(); self.term_ids.len()];
+        for (token, &id) in &self.term_ids {
+            terms[id as usize] = token.clone();
+        }
+        IndexParts {
+            terms,
+            offsets: self.offsets.clone(),
+            postings: self
+                .postings
+                .iter()
+                .map(|p| (p.page.0, p.tf.to_bits()))
+                .collect(),
+            doc_len_bits: self.doc_len.iter().map(|d| d.to_bits()).collect(),
+            avg_len_bits: self.avg_len.to_bits(),
+            n_docs: self.n_docs as u64,
+        }
+    }
+
+    /// Reassembles an index from deserialized parts, validating every
+    /// structural invariant the scoring loop relies on (offset
+    /// monotonicity, posting page bounds, document-count consistency)
+    /// so corrupt or adversarial snapshot bytes are rejected with a
+    /// typed error instead of panicking inside a later query.
+    ///
+    /// For parts produced by [`to_parts`](Self::to_parts) the result is
+    /// equal to the original index in every field, which makes every
+    /// query's top-k bit-identical.
+    pub fn from_parts(parts: IndexParts) -> Result<Self, InvalidIndexParts> {
+        let n_docs = usize::try_from(parts.n_docs)
+            .map_err(|_| InvalidIndexParts::new("document count overflows usize"))?;
+        if parts.offsets.len() != parts.terms.len() + 1 {
+            return Err(InvalidIndexParts::new(format!(
+                "offset table has {} entries for {} terms (want terms + 1)",
+                parts.offsets.len(),
+                parts.terms.len()
+            )));
+        }
+        if parts.offsets.first() != Some(&0) {
+            return Err(InvalidIndexParts::new("offset table must start at 0"));
+        }
+        if parts.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(InvalidIndexParts::new("offset table must be monotonic"));
+        }
+        if *parts.offsets.last().expect("checked non-empty") as usize != parts.postings.len() {
+            return Err(InvalidIndexParts::new(format!(
+                "offset table ends at {} but the arena holds {} postings",
+                parts.offsets.last().expect("checked non-empty"),
+                parts.postings.len()
+            )));
+        }
+        if parts.doc_len_bits.len() != n_docs {
+            return Err(InvalidIndexParts::new(format!(
+                "{} document lengths for {} documents",
+                parts.doc_len_bits.len(),
+                n_docs
+            )));
+        }
+        if let Some(&(page, _)) = parts.postings.iter().find(|&&(p, _)| p as usize >= n_docs) {
+            return Err(InvalidIndexParts::new(format!(
+                "posting references page {page} of a {n_docs}-document collection"
+            )));
+        }
+        if u32::try_from(parts.terms.len()).is_err() {
+            return Err(InvalidIndexParts::new("term vocabulary exceeds u32 ids"));
+        }
+        let mut term_ids = HashMap::with_capacity(parts.terms.len());
+        for (id, token) in parts.terms.into_iter().enumerate() {
+            if term_ids.insert(token, id as u32).is_some() {
+                return Err(InvalidIndexParts::new("duplicate term in the vocabulary"));
+            }
+        }
+        Ok(InvertedIndex {
+            term_ids,
+            offsets: parts.offsets,
+            postings: parts
+                .postings
+                .into_iter()
+                .map(|(page, tf_bits)| Posting {
+                    page: PageId(page),
+                    tf: f32::from_bits(tf_bits),
+                })
+                .collect(),
+            doc_len: parts.doc_len_bits.into_iter().map(f64::from_bits).collect(),
+            avg_len: f64::from_bits(parts.avg_len_bits),
+            n_docs,
+        })
+    }
+}
+
 /// Interns `token`, growing the accumulator table (and the id → token
 /// table the shard merge translates through) for new terms.
 fn intern(
@@ -567,6 +718,83 @@ mod tests {
         assert_eq!(ids, vec![0, 1, 2, 3, 4], "ties rank by ascending page id");
         assert!(hits.windows(2).all(|w| w[0].1 >= w[1].1));
         assert_eq!(hits, idx.search_full_sort("melisse", 5));
+    }
+
+    #[test]
+    fn parts_round_trip_is_field_identical() {
+        let idx = InvertedIndex::build(&collection());
+        let rebuilt = InvertedIndex::from_parts(idx.to_parts()).expect("own parts are valid");
+        assert_eq!(rebuilt, idx, "from_parts(to_parts(idx)) must equal idx");
+        // And therefore every query's top-k is bit-identical.
+        for q in ["melisse", "restaurant", "melisse restaurant jazz", ""] {
+            assert_eq!(rebuilt.search(q, 10), idx.search(q, 10));
+        }
+        let empty = InvertedIndex::build(&[]);
+        assert_eq!(
+            InvertedIndex::from_parts(empty.to_parts()).expect("empty parts valid"),
+            empty
+        );
+    }
+
+    #[test]
+    fn corrupt_parts_are_rejected_not_panics() {
+        let idx = InvertedIndex::build(&collection());
+        let good = idx.to_parts();
+
+        let mut bad = good.clone();
+        bad.offsets.pop();
+        assert!(
+            InvertedIndex::from_parts(bad).is_err(),
+            "short offset table"
+        );
+
+        let mut bad = good.clone();
+        bad.offsets[0] = 1;
+        assert!(
+            InvertedIndex::from_parts(bad).is_err(),
+            "nonzero first offset"
+        );
+
+        let mut bad = good.clone();
+        let last = bad.offsets.len() - 1;
+        bad.offsets[last] += 7;
+        assert!(
+            InvertedIndex::from_parts(bad).is_err(),
+            "arena length mismatch"
+        );
+
+        let mut bad = good.clone();
+        if bad.offsets.len() > 2 {
+            bad.offsets.swap(1, 2);
+            // Only a real inversion must fail; equal neighbours are legal.
+            if bad.offsets[1] > bad.offsets[2] {
+                assert!(
+                    InvertedIndex::from_parts(bad).is_err(),
+                    "non-monotonic offsets"
+                );
+            }
+        }
+
+        let mut bad = good.clone();
+        bad.postings[0].0 = bad.n_docs as u32 + 10;
+        assert!(
+            InvertedIndex::from_parts(bad).is_err(),
+            "posting page out of range"
+        );
+
+        let mut bad = good.clone();
+        bad.doc_len_bits.pop();
+        assert!(
+            InvertedIndex::from_parts(bad).is_err(),
+            "doc_len count mismatch"
+        );
+
+        let mut bad = good.clone();
+        bad.terms[1] = bad.terms[0].clone();
+        assert!(
+            InvertedIndex::from_parts(bad).is_err(),
+            "duplicate vocabulary term"
+        );
     }
 
     /// Regression: a NaN score (a degenerate idf/length interaction in

@@ -29,4 +29,5 @@ pub mod template;
 
 pub use corpus::{WebCorpus, WebCorpusSpec};
 pub use engine::{BingSim, SearchEngine, SearchResult};
+pub use index::{IndexParts, InvalidIndexParts, InvertedIndex};
 pub use page::{PageId, WebPage};

@@ -3,7 +3,8 @@
 //! reference implementation for clients in other languages.
 
 use std::io::{BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::protocol::{read_frame, Reply, Request, WireError};
 
@@ -15,9 +16,43 @@ pub struct WireClient {
 }
 
 impl WireClient {
-    /// Connects to a running wire server.
+    /// Connects to a running wire server. No I/O deadline: a blocking
+    /// `ANNOTATE` against a backpressured server may legitimately stall
+    /// for as long as admission takes (see
+    /// [`set_io_timeout`](Self::set_io_timeout) to bound it anyway).
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<WireClient> {
-        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connects with a deadline on the TCP handshake **and** installs
+    /// the same deadline as the connection's I/O timeout — a server
+    /// that accepts but never answers (half-dead process, partitioned
+    /// network) errors the pending call out instead of blocking the
+    /// caller forever.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> std::io::Result<WireClient> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        let mut client = Self::from_stream(stream)?;
+        client.set_io_timeout(Some(timeout))?;
+        Ok(client)
+    }
+
+    /// Sets (or with `None` clears) the read/write timeout of every
+    /// later round-trip. A request whose reply does not arrive in time
+    /// fails with [`WireError::Transport`]; the connection should be
+    /// dropped afterwards — the late reply would desynchronize the
+    /// strict request/response framing.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        // Reader and writer are clones of one socket: the timeouts are
+        // per-fd, but set both halves explicitly so the intent survives
+        // any future move away from `try_clone`.
+        self.writer.set_read_timeout(timeout)?;
+        self.writer.set_write_timeout(timeout)?;
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        self.reader.get_ref().set_write_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn from_stream(stream: TcpStream) -> std::io::Result<WireClient> {
         stream.set_nodelay(true).ok(); // request/response latency
         let reader = BufReader::new(stream.try_clone()?);
         Ok(WireClient {
@@ -60,6 +95,13 @@ impl WireClient {
     /// `BUDGET`: `"budget <n>"` or `"budget unmetered"`.
     pub fn budget(&mut self) -> Result<String, WireError> {
         self.roundtrip(&Request::Budget)
+    }
+
+    /// `SNAPSHOT`: persist the service's query-cache snapshot now —
+    /// `"snapshot <entries>"`, or `failed` when the service has no
+    /// store directory or the write fails.
+    pub fn snapshot(&mut self) -> Result<String, WireError> {
+        self.roundtrip(&Request::Snapshot)
     }
 
     /// `QUIT`: orderly close (the server answers `OK bye` first).

@@ -14,6 +14,7 @@
 //!          | "TRY" SP name SP csv LF        ; non-blocking submit (sheds)
 //!          | "STATS" LF                     ; ServiceStats snapshot
 //!          | "BUDGET" LF                    ; remaining query pool
+//!          | "SNAPSHOT" LF                  ; persist the query-cache snapshot
 //!          | "QUIT" LF                      ; close the connection
 //! name     = 1*VCHAR                        ; no spaces, ≤ 256 bytes
 //! csv      = escaped CSV document, optionally led by a "#types" row
@@ -128,6 +129,10 @@ pub enum Request {
     Stats,
     /// `BUDGET` — the remaining query pool.
     Budget,
+    /// `SNAPSHOT` — persist the service's query-cache snapshot to its
+    /// store directory now (`OK snapshot <entries>`); `ERR failed …`
+    /// when the service runs without a store or the write fails.
+    Snapshot,
     /// `QUIT` — orderly connection close.
     Quit,
 }
@@ -143,6 +148,7 @@ impl Request {
         match (verb, rest) {
             ("STATS", None) => Ok(Request::Stats),
             ("BUDGET", None) => Ok(Request::Budget),
+            ("SNAPSHOT", None) => Ok(Request::Snapshot),
             ("QUIT", None) => Ok(Request::Quit),
             ("CLIENT", Some(name)) => Ok(Request::Client {
                 name: valid_name(name)?.to_owned(),
@@ -159,7 +165,7 @@ impl Request {
                     Ok(Request::Try { name, csv })
                 }
             }
-            ("STATS" | "BUDGET" | "QUIT", Some(_)) => {
+            ("STATS" | "BUDGET" | "SNAPSHOT" | "QUIT", Some(_)) => {
                 Err(WireError::BadRequest(format!("{verb} takes no arguments")))
             }
             ("CLIENT" | "ANNOTATE" | "TRY", None) => {
@@ -181,6 +187,7 @@ impl Request {
             Request::Try { name, csv } => format!("TRY {name} {}\n", escape(csv)),
             Request::Stats => "STATS\n".into(),
             Request::Budget => "BUDGET\n".into(),
+            Request::Snapshot => "SNAPSHOT\n".into(),
             Request::Quit => "QUIT\n".into(),
         }
     }
@@ -448,6 +455,7 @@ mod tests {
             },
             Request::Stats,
             Request::Budget,
+            Request::Snapshot,
             Request::Quit,
         ];
         for req in reqs {
@@ -468,6 +476,7 @@ mod tests {
             "CLIENT two words",
             "ANNOTATE onlyname",
             "STATS extra",
+            "SNAPSHOT now",
             "ANNOTATE t a\\qb",
         ] {
             assert!(

@@ -200,6 +200,14 @@ fn handle_connection(service: &AnnotationService, stream: TcpStream, stop: &Atom
                 Some(n) => format!("budget {n}"),
                 None => "budget unmetered".into(),
             }),
+            // Persist the query-cache snapshot on demand (an operator
+            // checkpoint before a planned restart). Store trouble —
+            // including "no store configured" — is a typed failure on
+            // this request only; the connection lives on.
+            Ok(Request::Snapshot) => match service.snapshot_now() {
+                Ok(entries) => Reply::Ok(format!("snapshot {entries}")),
+                Err(e) => Reply::Err(WireError::Failed(e.to_string())),
+            },
             Ok(Request::Annotate { name, csv }) => {
                 annotate(service, &client, &name, &csv, Some(stop))
             }

@@ -18,6 +18,8 @@
 //! * [`service`] — the long-running annotation service: request
 //!   scheduler, per-client fair admission control, bounded caching over
 //!   the batch engine.
+//! * [`store`] — persistence: checksummed index/cache snapshots,
+//!   incremental delta segments, deterministic compaction.
 //! * [`wire`] — the line-protocol TCP front-end over the service
 //!   (newline-framed requests, typed wire errors, reference client).
 //! * [`simkit`] — virtual clock, seeded RNG, reporting helpers.
@@ -32,6 +34,7 @@ pub use teda_geo as geo;
 pub use teda_kb as kb;
 pub use teda_service as service;
 pub use teda_simkit as simkit;
+pub use teda_store as store;
 pub use teda_tabular as tabular;
 pub use teda_text as text;
 pub use teda_websim as websim;

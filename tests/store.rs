@@ -1,0 +1,511 @@
+//! Persistence integration: the acceptance gate of the `teda-store`
+//! subsystem, run by CI on every push (`cargo test --test store`).
+//!
+//! What must hold:
+//!
+//! * `load(save(corpus))` yields **bit-identical** search results for
+//!   every query — not approximately equal scores, the same bits.
+//! * `compact(base + deltas)` writes a snapshot **byte-identical** to a
+//!   full sequential rebuild of the same logical corpus.
+//! * Corrupted, truncated, or version-skewed snapshots come back as
+//!   typed [`StoreError`]s — never a panic — and `open_or_build` falls
+//!   back to a fresh build that heals the store.
+//! * A restored [`QueryCache`] serves hits without touching the engine.
+//! * A crash between the temp-file write and the atomic rename leaves a
+//!   `.tmp` that the next open sweeps, with the previous snapshot
+//!   intact.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use teda::kb::{World, WorldSpec};
+use teda::store::{
+    load_cache_snapshot, save_cache_snapshot, CorpusStore, DeltaOp, OpenOutcome, StoreError,
+    CACHE_FILE, SNAPSHOT_FILE,
+};
+use teda::websim::{SearchEngine, SearchResult, WebCorpus, WebCorpusSpec, WebPage};
+
+fn corpus(seed: u64) -> WebCorpus {
+    let world = World::generate(WorldSpec::tiny(), seed);
+    WebCorpus::build(&world, WebCorpusSpec::tiny(), seed)
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("teda_store_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn page(url: &str, title: &str, body: &str) -> WebPage {
+    WebPage {
+        url: url.into(),
+        title: title.into(),
+        body: body.into(),
+    }
+}
+
+/// Every-query probe: the full vocabulary plus multi-term and unknown
+/// queries, compared as exact `(PageId, f64)` sequences — `f64` equality
+/// here is bit equality for every value BM25 can produce.
+fn assert_bit_identical_everywhere(a: &WebCorpus, b: &WebCorpus) {
+    let probes: Vec<String> = a
+        .pages()
+        .iter()
+        .take(40)
+        .flat_map(|p| {
+            let title = p.title.clone();
+            let lead: String = p
+                .body
+                .split_whitespace()
+                .take(3)
+                .collect::<Vec<_>>()
+                .join(" ");
+            [title, lead]
+        })
+        .chain([
+            "melisse restaurant".into(),
+            "zanzibar xylophone".into(),
+            String::new(),
+        ])
+        .collect();
+    for q in &probes {
+        for k in [1, 3, 10] {
+            assert_eq!(
+                a.index().search(q, k),
+                b.index().search(q, k),
+                "query {q:?} k {k} diverged after persistence"
+            );
+        }
+    }
+}
+
+#[test]
+fn load_of_save_is_bit_identical_for_every_query() {
+    let dir = temp_store("roundtrip");
+    let original = corpus(42);
+    let store = CorpusStore::open(&dir).expect("open store");
+    store.save(&original).expect("save snapshot");
+
+    let loaded = store.load().expect("load snapshot");
+    assert_eq!(loaded.replayed_segments, 0, "pure snapshot load");
+    assert_eq!(
+        loaded.corpus.index(),
+        original.index(),
+        "loaded index must be field-identical to the saved one"
+    );
+    assert_eq!(loaded.corpus.pages(), original.pages());
+    assert_bit_identical_everywhere(&loaded.corpus, &original);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_is_byte_identical_to_a_full_rebuild() {
+    let dir = temp_store("compact");
+    let base = corpus(7);
+    let store = CorpusStore::open(&dir).expect("open store");
+    store.save(&base).expect("save base");
+
+    // Journal a realistic churn: new pages, a removal reaching both a
+    // base page and a freshly added page, then more additions.
+    let added_a = vec![
+        page(
+            "http://new/0",
+            "Nouvelle Table",
+            "nouvelle table restaurant menu chef",
+        ),
+        page(
+            "http://new/1",
+            "Nouvelle Records",
+            "nouvelle records jazz label sessions",
+        ),
+    ];
+    let removed = vec![base.pages()[3].url.clone(), "http://new/1".to_string()];
+    let added_b = vec![page(
+        "http://new/2",
+        "Late addition",
+        "late addition listing city",
+    )];
+    store.add_pages(&added_a).expect("journal add");
+    store.remove_pages(&removed).expect("journal remove");
+    store.add_pages(&added_b).expect("journal add 2");
+    assert_eq!(store.delta_segments().unwrap().len(), 3);
+
+    // The logical corpus, derived independently of the store.
+    let mut logical = base.pages().to_vec();
+    DeltaOp::AddPages(added_a).apply(&mut logical);
+    DeltaOp::RemovePages(removed).apply(&mut logical);
+    DeltaOp::AddPages(added_b).apply(&mut logical);
+
+    // Replay must already serve the logical corpus…
+    let replayed = store.load().expect("load with deltas");
+    assert_eq!(replayed.replayed_segments, 3);
+    assert_eq!(replayed.corpus.pages(), &logical[..]);
+
+    // …and compaction must write the *byte-identical* snapshot a full
+    // from-scratch rebuild of the same logical corpus would write.
+    let compacted = store.compact().expect("compact");
+    assert!(
+        store.delta_segments().unwrap().is_empty(),
+        "journal folded in"
+    );
+    let compact_bytes = std::fs::read(store.snapshot_path()).expect("read compacted snapshot");
+
+    let rebuild_dir = temp_store("compact_ref");
+    let rebuild_store = CorpusStore::open(&rebuild_dir).expect("open reference store");
+    let rebuilt = WebCorpus::from_pages(logical);
+    rebuild_store.save(&rebuilt).expect("save rebuild");
+    let rebuild_bytes = std::fs::read(rebuild_store.snapshot_path()).expect("read rebuild");
+    assert!(
+        compact_bytes == rebuild_bytes,
+        "compacted snapshot diverged from the full-rebuild snapshot ({} vs {} bytes)",
+        compact_bytes.len(),
+        rebuild_bytes.len()
+    );
+    assert_eq!(compacted.index(), rebuilt.index());
+    assert_bit_identical_everywhere(&compacted, &rebuilt);
+
+    // After compaction, the next load is a pure snapshot load again.
+    let after = store.load().expect("load after compact");
+    assert_eq!(after.replayed_segments, 0);
+    assert_eq!(after.corpus.index(), rebuilt.index());
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&rebuild_dir);
+}
+
+#[test]
+fn corruption_comes_back_typed_and_open_or_build_heals() {
+    let dir = temp_store("corrupt");
+    let original = corpus(11);
+    let store = CorpusStore::open(&dir).expect("open");
+    store.save(&original).expect("save");
+    let snap = store.snapshot_path();
+    let good = std::fs::read(&snap).expect("read snapshot");
+
+    // Truncations at every prefix must fail typed, never panic. (The
+    // whole-file sweep is cheap: decoding fails fast.)
+    for cut in [0, 4, 12, 19, 20, 40, good.len() / 2, good.len() - 1] {
+        std::fs::write(&snap, &good[..cut]).unwrap();
+        let err = store.load().expect_err("truncated snapshot must not load");
+        assert!(
+            !err.is_missing(),
+            "cut {cut}: truncation is damage, not absence"
+        );
+    }
+
+    // A flipped payload bit fails its section checksum.
+    let mut flipped = good.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x01;
+    std::fs::write(&snap, &flipped).unwrap();
+    assert!(
+        matches!(
+            store.load(),
+            Err(StoreError::ChecksumMismatch { .. }) | Err(StoreError::Corrupt(_))
+        ),
+        "bit rot must be caught by a CRC or a structural check"
+    );
+
+    // Wrong format version and wrong magic are their own stories.
+    let mut skewed = good.clone();
+    skewed[8] = 0xFE;
+    std::fs::write(&snap, &skewed).unwrap();
+    assert!(matches!(
+        store.load(),
+        Err(StoreError::UnsupportedVersion { found, .. }) if found != 1
+    ));
+    let mut alien = good.clone();
+    alien[..8].copy_from_slice(b"NOTTEDA!");
+    std::fs::write(&snap, &alien).unwrap();
+    assert_eq!(store.load().unwrap_err(), StoreError::BadMagic);
+
+    // The service-facing fast path heals the store: typed fallback,
+    // fresh build, and the *next* open loads clean.
+    let builds = AtomicUsize::new(0);
+    let report = CorpusStore::open_or_build(&dir, || {
+        builds.fetch_add(1, Ordering::Relaxed);
+        corpus(11)
+    })
+    .expect("open_or_build over a rotten snapshot");
+    assert!(
+        matches!(report.outcome, OpenOutcome::Rebuilt(StoreError::BadMagic)),
+        "the fallback must carry the typed reason, got {:?}",
+        report.outcome
+    );
+    assert_eq!(builds.load(Ordering::Relaxed), 1);
+    assert_eq!(report.corpus.index(), original.index());
+
+    let healed = CorpusStore::open_or_build(&dir, || unreachable!("healed store must load"))
+        .expect("open_or_build after healing");
+    assert!(matches!(
+        healed.outcome,
+        OpenOutcome::Loaded {
+            replayed_segments: 0
+        }
+    ));
+    assert_bit_identical_everywhere(&healed.corpus, &original);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn open_or_build_cold_start_builds_once_then_loads() {
+    let dir = temp_store("cold");
+    let builds = AtomicUsize::new(0);
+    let first = CorpusStore::open_or_build(&dir, || {
+        builds.fetch_add(1, Ordering::Relaxed);
+        corpus(5)
+    })
+    .expect("cold open");
+    assert!(matches!(first.outcome, OpenOutcome::Built));
+    let second = CorpusStore::open_or_build(&dir, || {
+        builds.fetch_add(1, Ordering::Relaxed);
+        corpus(5)
+    })
+    .expect("warm open");
+    assert!(matches!(second.outcome, OpenOutcome::Loaded { .. }));
+    assert_eq!(
+        builds.load(Ordering::Relaxed),
+        1,
+        "one build, then snapshots"
+    );
+    assert_eq!(second.corpus.index(), first.corpus.index());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_delta_segment_is_typed_and_does_not_poison_the_base() {
+    let dir = temp_store("baddelta");
+    let base = corpus(3);
+    let store = CorpusStore::open(&dir).expect("open");
+    store.save(&base).expect("save");
+    store
+        .add_pages(&[page("http://ok/0", "fine", "fine page body")])
+        .expect("good segment");
+    std::fs::write(dir.join("delta-000002.seg"), b"rotten segment").unwrap();
+    assert!(
+        store.load().is_err(),
+        "a rotten segment must surface, typed"
+    );
+    // open_or_build falls back to a rebuild and truncates the journal.
+    let report = CorpusStore::open_or_build(&dir, || corpus(3)).expect("heal");
+    assert!(matches!(report.outcome, OpenOutcome::Rebuilt(_)));
+    assert!(store.delta_segments().unwrap().is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A counting engine for the warm-start proof.
+struct Counting(AtomicUsize);
+
+impl SearchEngine for Counting {
+    fn search(&self, query: &str, k: usize) -> Vec<SearchResult> {
+        self.0.fetch_add(1, Ordering::Relaxed);
+        (0..k)
+            .map(|i| SearchResult {
+                url: format!("http://c/{query}/{i}"),
+                title: format!("t{i}"),
+                snippet: format!("{query} snippet {i}"),
+            })
+            .collect()
+    }
+}
+
+#[test]
+fn restored_query_cache_serves_hits_without_re_searching() {
+    use teda::core::cache::QueryCache;
+
+    let dir = temp_store("cache");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(CACHE_FILE);
+
+    // Generation one: populate, persist.
+    let cache = QueryCache::new(8);
+    let engine = Counting(AtomicUsize::new(0));
+    let expected: Vec<Arc<[SearchResult]>> = ["melisse", "louvre", "bayona"]
+        .iter()
+        .map(|q| cache.get_or_search(&engine, q, 5))
+        .collect();
+    assert_eq!(engine.0.load(Ordering::Relaxed), 3);
+    save_cache_snapshot(&path, &cache.export_entries()).expect("persist cache");
+
+    // Generation two: restore, replay the same queries — zero engine
+    // calls, bit-identical results.
+    let reborn = QueryCache::new(8);
+    let restored = reborn.restore_entries(load_cache_snapshot(&path).expect("load cache"));
+    assert_eq!(restored, 3);
+    let engine2 = Counting(AtomicUsize::new(0));
+    for (q, want) in ["melisse", "louvre", "bayona"].iter().zip(&expected) {
+        let got = reborn.get_or_search(&engine2, q, 5);
+        assert_eq!(&got, want, "restored result diverged for {q:?}");
+    }
+    assert_eq!(
+        engine2.0.load(Ordering::Relaxed),
+        0,
+        "a restored cache must answer without re-searching"
+    );
+    assert_eq!(reborn.stats().hits, 3);
+
+    // Corrupt cache snapshots are typed errors, not panics.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+    assert!(load_cache_snapshot(&path).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corpus update invalidates the co-located cache snapshot: restored
+/// entries must never describe a corpus that no longer exists.
+#[test]
+fn corpus_save_invalidates_the_co_located_cache_snapshot() {
+    use teda::core::cache::QueryCache;
+
+    let dir = temp_store("invalidate");
+    let store = CorpusStore::open(&dir).expect("open");
+    store.save(&corpus(21)).expect("save generation one");
+
+    // A service persisted its memo beside the corpus…
+    let cache = QueryCache::new(2);
+    let engine = Counting(AtomicUsize::new(0));
+    cache.get_or_search(&engine, "melisse", 3);
+    save_cache_snapshot(&store.cache_path(), &cache.export_entries()).expect("persist cache");
+    assert!(store.cache_path().exists());
+
+    // …then the corpus changed (compaction after deltas): the memo
+    // file must be gone, so the next service start is cold, not wrong.
+    store
+        .add_pages(&[page("http://new/0", "New", "new page body")])
+        .expect("journal");
+    store.compact().expect("compact");
+    assert!(
+        !store.cache_path().exists(),
+        "a corpus rewrite must invalidate the co-located cache snapshot"
+    );
+    assert!(load_cache_snapshot(&store.cache_path())
+        .expect_err("no cache file")
+        .is_missing());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Concurrent `SNAPSHOT` requests (each wire connection runs on its own
+/// thread) must not trample each other's temp files: every write uses a
+/// unique temp name, so the published snapshot is always one writer's
+/// complete image.
+#[test]
+fn concurrent_cache_snapshots_never_publish_a_torn_file() {
+    use teda::core::cache::QueryCache;
+
+    let dir = temp_store("concurrent");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(CACHE_FILE);
+    let cache = QueryCache::new(8);
+    let engine = Counting(AtomicUsize::new(0));
+    for i in 0..32 {
+        cache.get_or_search(&engine, &format!("q{i}"), 4);
+    }
+    let entries = cache.export_entries();
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let entries = &entries;
+            let path = &path;
+            s.spawn(move || {
+                for _ in 0..16 {
+                    save_cache_snapshot(path, entries).expect("concurrent snapshot write");
+                }
+            });
+        }
+    });
+    let restored = load_cache_snapshot(&path).expect("snapshot must decode after the race");
+    assert_eq!(restored.len(), entries.len());
+    // No temp litter left behind either.
+    let tmps = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|x| x == "tmp")
+        })
+        .count();
+    assert_eq!(tmps, 0, "every writer renames its own temp file away");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression (crash window between a compaction's snapshot rename and
+/// its journal deletion): segments already folded into the snapshot
+/// must NOT be replayed again — they are bound to the old snapshot's
+/// bytes, so the next load skips and sweeps them.
+#[test]
+fn stale_segments_after_an_interrupted_compaction_are_not_double_applied() {
+    let dir = temp_store("interrupted");
+    let base = corpus(13);
+    let store = CorpusStore::open(&dir).expect("open");
+    store.save(&base).expect("save base");
+    store
+        .add_pages(&[page("http://once/0", "Once", "must appear exactly once")])
+        .expect("journal add");
+    let segment_path = store.delta_segments().unwrap()[0].clone();
+    let segment_bytes = std::fs::read(&segment_path).expect("segment bytes");
+
+    let compacted = store.compact().expect("compact folds the journal");
+    assert_eq!(compacted.len(), base.len() + 1);
+
+    // Simulate the crash: the folded snapshot is in place, but the old
+    // segment "survived" the interrupted deletion pass.
+    std::fs::write(&segment_path, &segment_bytes).unwrap();
+    let loaded = store.load().expect("load after interrupted compaction");
+    assert_eq!(
+        loaded.replayed_segments, 0,
+        "a segment bound to the pre-compaction snapshot must not replay"
+    );
+    assert_eq!(
+        loaded.corpus.index(),
+        compacted.index(),
+        "double-applying the folded delta would have changed the index"
+    );
+    assert_eq!(
+        loaded
+            .corpus
+            .pages()
+            .iter()
+            .filter(|p| p.url == "http://once/0")
+            .count(),
+        1,
+        "the journaled page must appear exactly once"
+    );
+    assert!(
+        store.delta_segments().unwrap().is_empty(),
+        "the stale segment is swept, not kept"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_between_temp_write_and_rename_is_recovered() {
+    let dir = temp_store("crash");
+    let original = corpus(9);
+    let store = CorpusStore::open(&dir).expect("open");
+    store.save(&original).expect("save generation one");
+
+    // Simulate the crash: a newer snapshot died after its temp write
+    // but before the rename — plus a torn cache temp for good measure.
+    let stale_snap = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+    let stale_cache = dir.join(format!("{CACHE_FILE}.tmp"));
+    std::fs::write(&stale_snap, b"half-written snapshot of generation two").unwrap();
+    std::fs::write(&stale_cache, b"half-written cache").unwrap();
+
+    // Re-open: the leftovers are swept, generation one is intact.
+    let reopened = CorpusStore::open(&dir).expect("re-open after crash");
+    assert!(
+        !stale_snap.exists(),
+        "stale snapshot tmp must be swept at open"
+    );
+    assert!(
+        !stale_cache.exists(),
+        "stale cache tmp must be swept at open"
+    );
+    let loaded = reopened.load().expect("generation one survives the crash");
+    assert_eq!(loaded.corpus.index(), original.index());
+
+    // And the sweep never touches real artifacts.
+    assert!(reopened.snapshot_path().exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -288,6 +288,97 @@ fn shutdown_unparks_a_connection_waiting_on_a_dry_pool() {
     }
 }
 
+/// Satellite (client timeouts): a server that accepts the connection
+/// but never answers must error the call out within the configured
+/// deadline instead of blocking the caller forever.
+#[test]
+fn io_timeout_errors_out_against_a_mute_server() {
+    use std::time::{Duration, Instant};
+
+    // A "server" that accepts and then plays dead: no reads, no frames.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind mute server");
+    let addr = listener.local_addr().unwrap();
+    let mute = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        // Hold the socket open well past the client's deadline.
+        std::thread::sleep(Duration::from_millis(500));
+        drop(stream);
+    });
+
+    let mut client =
+        WireClient::connect_timeout(&addr, Duration::from_millis(80)).expect("handshake works");
+    let t0 = Instant::now();
+    let err = client
+        .budget()
+        .expect_err("a mute server must not block the caller forever");
+    let elapsed = t0.elapsed();
+    assert!(matches!(err, WireError::Transport(_)), "{err:?}");
+    assert!(
+        elapsed < Duration::from_millis(400),
+        "timeout took {elapsed:?}, deadline was 80ms"
+    );
+    mute.join().unwrap();
+
+    // The same deadline against a live server is harmless.
+    let (_world, engine, classifier) = fixture();
+    let (_service, server) = serve(engine, classifier, ServiceConfig::default());
+    let mut client = WireClient::connect_timeout(&server.local_addr(), Duration::from_secs(5))
+        .expect("connect with deadline");
+    assert_eq!(
+        client.budget().expect("live server answers"),
+        "budget unmetered"
+    );
+    // And clearing the timeout restores the blocking behaviour.
+    client.set_io_timeout(None).expect("clear timeout");
+    assert_eq!(client.budget().unwrap(), "budget unmetered");
+    server.shutdown();
+}
+
+/// The `SNAPSHOT` verb: persists the cache snapshot over the wire when
+/// the service has a store, and fails typed — connection intact — when
+/// it does not.
+#[test]
+fn snapshot_verb_persists_and_fails_typed_without_a_store() {
+    let (world, engine, classifier) = fixture();
+    let table = &seeded_tables(&world, 1, 6)[0];
+
+    // Without a store: typed failure, connection lives on.
+    let (_service, server) = serve(engine.clone(), classifier.clone(), ServiceConfig::default());
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    let err = client.snapshot().expect_err("no store dir configured");
+    assert!(matches!(err, WireError::Failed(_)), "{err:?}");
+    assert_eq!(client.budget().unwrap(), "budget unmetered");
+    server.shutdown();
+
+    // With a store: the verb reports how many entries were persisted,
+    // and the file lands on disk.
+    let dir = std::env::temp_dir().join(format!("teda_wire_snap_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (_service, server) = serve(
+        engine,
+        classifier,
+        ServiceConfig {
+            workers: 1,
+            store_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        },
+    );
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    client
+        .annotate("warmup", &typed_table_to_csv(table))
+        .expect("annotate to warm the cache");
+    let payload = client.snapshot().expect("SNAPSHOT with a store succeeds");
+    let entries: usize = payload
+        .strip_prefix("snapshot ")
+        .expect("payload shape")
+        .parse()
+        .expect("entry count");
+    assert!(entries > 0, "a warmed cache must persist entries");
+    assert!(dir.join("cache.snap").exists());
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn concurrent_connections_are_served_independently() {
     let (world, engine, classifier) = fixture();
