@@ -6,6 +6,7 @@ pub mod coverage;
 pub mod efficiency;
 pub mod fig7;
 pub mod preprocess_stats;
+pub mod segments;
 pub mod service;
 pub mod store;
 pub mod stream;

@@ -123,7 +123,7 @@ pub fn run(fixture: &Fixture) -> StoreReport {
     let removed: Vec<String> = pages.iter().take(16).map(|p| p.url.clone()).collect();
     store.remove_pages(&removed).expect("journal removals");
     let (delta_replay, replayed) = best_of(1, || store.load().expect("replay deltas"));
-    let (compact, _) = best_of(1, || store.compact().expect("compact"));
+    let (compact, _) = best_of(1, || store.compact_in_place().expect("compact"));
     let compact_bytes = std::fs::read(store.snapshot_path()).expect("read compacted snapshot");
     let rebuilt = WebCorpus::from_pages(replayed.corpus.pages().to_vec());
     let rebuild_dir = dir.join("rebuild");
@@ -254,6 +254,29 @@ pub fn render(r: &StoreReport) -> String {
          turns the rerun's engine traffic into hits)\n",
     );
     out
+}
+
+/// The machine-readable record (satellite of the human table).
+pub fn to_json(r: &StoreReport) -> crate::report::BenchJson {
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let flag = |b: bool| if b { 1.0 } else { 0.0 };
+    let mut json = crate::report::BenchJson::new("store");
+    json.metric("pages", r.pages as f64, "pages")
+        .metric("snapshot_bytes", r.snapshot_bytes as f64, "bytes")
+        .metric("cold_build", ms(r.cold_build), "ms")
+        .metric("save", ms(r.save), "ms")
+        .metric("load", ms(r.load), "ms")
+        .metric("load_speedup", r.load_speedup, "x")
+        .metric("load_identical", flag(r.load_identical), "bool")
+        .metric("delta_pages", r.delta_pages as f64, "pages")
+        .metric("delta_replay", ms(r.delta_replay), "ms")
+        .metric("compact", ms(r.compact), "ms")
+        .metric("compact_identical", flag(r.compact_identical), "bool")
+        .metric("restored_entries", r.restored_entries as f64, "entries")
+        .metric("cold_hit_rate", r.cold_hit_rate, "ratio")
+        .metric("warm_hit_rate", r.warm_hit_rate, "ratio")
+        .metric("warm_identical", flag(r.warm_identical), "bool");
+    json
 }
 
 #[cfg(test)]

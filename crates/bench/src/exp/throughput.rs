@@ -158,6 +158,24 @@ pub fn run(fixture: &Fixture) -> Throughput {
 }
 
 /// Renders the report.
+/// The machine-readable record (satellite of the human table).
+pub fn to_json(t: &Throughput) -> crate::report::BenchJson {
+    let flag = |b: bool| if b { 1.0 } else { 0.0 };
+    let mut json = crate::report::BenchJson::new("throughput");
+    json.metric("tables", t.tables as f64, "tables")
+        .metric("cells_queried", t.cells_queried as f64, "cells")
+        .metric("threads", t.threads as f64, "threads")
+        .metric("seq_secs", t.seq_secs, "s")
+        .metric("par_secs", t.par_secs, "s")
+        .metric("speedup", t.speedup(), "x")
+        .metric("par_tables_per_sec", t.par_tables_per_sec(), "tables/s")
+        .metric("queries_saved", t.queries_saved as f64, "queries")
+        .metric("deterministic", flag(t.deterministic), "bool")
+        .metric("rerun_hit_rate", t.rerun_hit_rate, "ratio")
+        .metric("rerun_secs", t.rerun_secs, "s");
+    json
+}
+
 pub fn render(t: &Throughput) -> String {
     let mut out =
         String::from("Batch throughput: parallel cell annotation + (query, k) memoization.\n");

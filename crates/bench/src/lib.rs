@@ -24,3 +24,4 @@
 
 pub mod exp;
 pub mod harness;
+pub mod report;

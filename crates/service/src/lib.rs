@@ -58,10 +58,12 @@
 //! result itself.
 
 mod fairness;
+mod live;
 mod scheduler;
 mod stats;
 
 pub use fairness::ClientId;
+pub use live::LiveCorpus;
 pub use scheduler::{
     AnnotationService, Rejection, RequestFailed, RequestHandle, RequestOutcome, ServiceConfig,
 };
@@ -71,3 +73,6 @@ pub use stats::{ClientStats, LatencySummary, ServiceStats};
 // `SNAPSHOT` verb) — re-exported so callers need not depend on
 // `teda-store` to name it.
 pub use teda_store::StoreError;
+// The live-corpus compaction knobs and report, re-exported for the
+// same reason: `start_live` callers tune and observe them.
+pub use teda_store::{CompactionReport, TierPolicy};

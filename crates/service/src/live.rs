@@ -1,0 +1,235 @@
+//! Live corpus updates without a service restart.
+//!
+//! PR 5 gave the service a durable corpus home ([`CorpusStore`]), but
+//! updating it still meant stop → journal → restart: the running
+//! engine held an immutable index. This module closes that gap with
+//! the segment machinery: a [`LiveCorpus`] pairs the on-disk store
+//! with an in-memory [`SegmentedCorpus`] overlay behind a
+//! [`SwappableBackend`]. `add_pages` builds the batch's partial index
+//! *once*, journals it (so the next restart loads O(delta)) and pushes
+//! the same index as a read-time overlay — in-flight queries keep
+//! their backend snapshot, the next query sees the new pages, and
+//! results are bit-identical to a full rebuild of the logical corpus
+//! at every point.
+//!
+//! Journal growth is bounded by a [`TierPolicy`]: once an update trips
+//! a tier merge or a full fold on disk, the in-memory overlay chain is
+//! reloaded from the compacted store, so neither the file count nor
+//! the overlay depth grows without bound under a continuous update
+//! stream.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use teda_store::{CompactionReport, CorpusStore, DeltaOp, StoreError, TierPolicy};
+use teda_websim::{InvertedIndex, Segment, SegmentOp, SegmentedCorpus, SwappableBackend, WebPage};
+
+/// A persistent corpus that can grow and shrink while being served.
+///
+/// All mutation goes through one internal lock, so concurrent
+/// `add_pages`/`remove_pages` calls serialize (journal order = overlay
+/// order); reads never take it — queries resolve through the
+/// [`SwappableBackend`], which is its own read-mostly lock.
+#[derive(Debug)]
+pub struct LiveCorpus {
+    store: CorpusStore,
+    policy: TierPolicy,
+    current: Mutex<Arc<SegmentedCorpus>>,
+    backend: Arc<SwappableBackend>,
+}
+
+impl LiveCorpus {
+    /// Opens `dir` (which must hold a corpus snapshot — seed it with
+    /// [`CorpusStore::save`] or `open_or_build` first) and replays the
+    /// journal as overlays.
+    pub fn open(dir: impl Into<PathBuf>, policy: TierPolicy) -> Result<Self, StoreError> {
+        let store = CorpusStore::open(dir)?;
+        let corpus = Arc::new(store.load_segmented()?.corpus);
+        let backend = Arc::new(SwappableBackend::new(corpus.clone()));
+        Ok(LiveCorpus {
+            store,
+            policy,
+            current: Mutex::new(corpus),
+            backend,
+        })
+    }
+
+    /// The backend handle to build the service's search engine over:
+    /// every swap is immediately visible to whoever searches through
+    /// it (e.g. `BingSim::instant(live.backend())`).
+    pub fn backend(&self) -> Arc<SwappableBackend> {
+        Arc::clone(&self.backend)
+    }
+
+    /// The current corpus view (a consistent snapshot — later updates
+    /// produce new views and never mutate this one).
+    pub fn corpus(&self) -> Arc<SegmentedCorpus> {
+        Arc::clone(&self.lock())
+    }
+
+    /// The underlying store (paths, compaction, inspection).
+    pub fn store(&self) -> &CorpusStore {
+        &self.store
+    }
+
+    /// Journals `pages` as one delta segment and publishes them to the
+    /// running backend. The batch is tokenized exactly once: the same
+    /// partial index rides in the segment file (for the next O(delta)
+    /// restart) and in the in-memory overlay (for the next query).
+    pub fn add_pages(&self, pages: Vec<WebPage>) -> Result<CompactionReport, StoreError> {
+        let index = InvertedIndex::build(&pages);
+        let parts = index.to_parts();
+        let mut current = self.lock();
+        self.store
+            .append_segment_indexed(&[DeltaOp::AddPages(pages.clone())], &[Some(parts)])?;
+        let op = SegmentOp::add_prebuilt(pages, index)
+            .map_err(|e| StoreError::Corrupt(e.to_string()))?;
+        self.apply_locked(&mut current, op)
+    }
+
+    /// Journals a removal (every live page whose URL is listed) and
+    /// publishes it.
+    pub fn remove_pages(&self, urls: Vec<String>) -> Result<CompactionReport, StoreError> {
+        let mut current = self.lock();
+        self.store
+            .append_segment_indexed(&[DeltaOp::RemovePages(urls.clone())], &[None])?;
+        self.apply_locked(&mut current, SegmentOp::remove(urls))
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Arc<SegmentedCorpus>> {
+        self.current.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Pushes one overlay op, swaps the backend, and lets the tier
+    /// policy bound both the on-disk journal and (via reload after any
+    /// fold/merge) the in-memory overlay chain.
+    fn apply_locked(
+        &self,
+        current: &mut MutexGuard<'_, Arc<SegmentedCorpus>>,
+        op: SegmentOp,
+    ) -> Result<CompactionReport, StoreError> {
+        let next = Arc::new(
+            current
+                .push_segment(Arc::new(Segment::new(vec![op])))
+                .map_err(|e| StoreError::Corrupt(e.to_string()))?,
+        );
+        **current = Arc::clone(&next);
+        self.backend.swap(next);
+        let report = self.store.maybe_compact(self.policy)?;
+        if report.full_fold || report.merges > 0 {
+            let reloaded = Arc::new(self.store.load_segmented()?.corpus);
+            **current = Arc::clone(&reloaded);
+            self.backend.swap(reloaded);
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teda_websim::{SearchBackend, WebCorpus};
+
+    fn page(i: usize, body: &str) -> WebPage {
+        WebPage {
+            url: format!("http://live/{i}"),
+            title: format!("Live page {i}"),
+            body: body.to_string(),
+        }
+    }
+
+    fn seeded(dir: &std::path::Path, n: usize) -> CorpusStore {
+        let store = CorpusStore::open(dir).expect("open");
+        let pages: Vec<WebPage> = (0..n).map(|i| page(i, "rome pasta restaurant")).collect();
+        store
+            .save(&WebCorpus::from_pages(pages))
+            .expect("seed snapshot");
+        store
+    }
+
+    #[test]
+    fn updates_are_visible_through_the_backend_without_reopen() {
+        let dir = std::env::temp_dir().join(format!("teda_live_vis_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        seeded(&dir, 4);
+        let live = LiveCorpus::open(&dir, TierPolicy::default()).expect("open live");
+        let backend = live.backend();
+        assert!(backend.search("tiramisu dessert", 5).is_empty());
+        live.add_pages(vec![page(100, "tiramisu dessert recipe")])
+            .expect("add");
+        let hits = backend.search("tiramisu dessert", 5);
+        assert_eq!(hits.len(), 1, "new page must be searchable immediately");
+        live.remove_pages(vec!["http://live/100".into()])
+            .expect("remove");
+        assert!(
+            backend.search("tiramisu dessert", 5).is_empty(),
+            "removed page must disappear immediately"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn updates_survive_a_reopen_and_match_a_rebuild() {
+        let dir = std::env::temp_dir().join(format!("teda_live_dur_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        seeded(&dir, 3);
+        {
+            let live = LiveCorpus::open(&dir, TierPolicy::default()).expect("open live");
+            live.add_pages(vec![page(7, "florence museum guide")])
+                .expect("add");
+            live.remove_pages(vec!["http://live/1".into()]).expect("rm");
+        }
+        let reopened = LiveCorpus::open(&dir, TierPolicy::default()).expect("reopen");
+        let corpus = reopened.corpus();
+        let rebuilt = WebCorpus::from_pages(corpus.to_pages());
+        assert_eq!(corpus.n_docs(), 3);
+        for (query, k) in [("florence museum", 4), ("rome pasta restaurant", 3)] {
+            assert_eq!(
+                corpus.search(query, k),
+                rebuilt.index().search(query, k),
+                "reopened live corpus must match a full rebuild for {query:?}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tier_policy_bounds_segments_and_overlays() {
+        let dir = std::env::temp_dir().join(format!("teda_live_tier_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        seeded(&dir, 2);
+        let policy = TierPolicy {
+            max_segments: 3,
+            fanout: 2,
+            max_removed: 4,
+        };
+        let live = LiveCorpus::open(&dir, policy).expect("open live");
+        for i in 0..10 {
+            live.add_pages(vec![page(200 + i, "venice canal gondola")])
+                .expect("add");
+        }
+        let files = live.store().delta_segments().expect("list");
+        assert!(
+            files.len() <= policy.max_segments,
+            "tier merging must bound the journal, got {} files",
+            files.len()
+        );
+        assert!(
+            live.corpus().segments().len() <= policy.max_segments,
+            "overlay chain must be bounded too"
+        );
+        // Enough removals to trip the full fold (max_removed = 4): the
+        // journal collapses into a fresh snapshot along the way.
+        let mut folded = false;
+        for i in 0..6 {
+            let report = live
+                .remove_pages(vec![format!("http://live/{}", 200 + i)])
+                .expect("remove");
+            folded |= report.full_fold;
+        }
+        assert!(folded, "crossing max_removed must trigger a full fold");
+        assert!(live.corpus().segments().len() <= policy.max_segments);
+        assert_eq!(live.corpus().n_docs(), 2 + 10 - 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -225,6 +225,9 @@ struct Shared {
     /// start); 0 when no store is configured or the snapshot was
     /// missing/damaged.
     restored_cache_entries: AtomicU64,
+    /// Live corpus updates published while serving (each one swapped
+    /// the search backend and invalidated the query memo).
+    corpus_refreshes: AtomicU64,
     latencies: Mutex<LatencyRing>,
 }
 
@@ -249,6 +252,9 @@ pub struct AnnotationService {
     tx: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
     config: ServiceConfig,
+    /// Set by [`start_live`](Self::start_live): the updatable corpus
+    /// behind the engine, driving `add_pages`/`remove_pages`.
+    live: Option<Arc<crate::live::LiveCorpus>>,
 }
 
 impl AnnotationService {
@@ -309,6 +315,7 @@ impl AnnotationService {
             stream_tables: AtomicU64::new(0),
             backpressure_waits: AtomicU64::new(0),
             restored_cache_entries: AtomicU64::new(restored),
+            corpus_refreshes: AtomicU64::new(0),
             latencies: Mutex::new(LatencyRing::default()),
         });
         let handles = (0..workers)
@@ -326,7 +333,68 @@ impl AnnotationService {
             tx: Some(tx),
             workers: handles,
             config,
+            live: None,
         }
+    }
+
+    /// Starts the service over a [`LiveCorpus`](crate::live::LiveCorpus):
+    /// same scheduler, plus [`add_pages`](Self::add_pages) /
+    /// [`remove_pages`](Self::remove_pages) publishing corpus updates
+    /// to the running engine. The caller builds `annotator` over the
+    /// live corpus's backend (e.g.
+    /// `BingSim::instant(live.backend())`) so searches follow every
+    /// swap; this constructor cannot enforce that wiring, only the
+    /// update half.
+    pub fn start_live(
+        annotator: BatchAnnotator,
+        config: ServiceConfig,
+        live: Arc<crate::live::LiveCorpus>,
+    ) -> Self {
+        let mut service = Self::start(annotator, config);
+        service.live = Some(live);
+        service
+    }
+
+    /// The live corpus, when started with one.
+    pub fn live_corpus(&self) -> Option<&Arc<crate::live::LiveCorpus>> {
+        self.live.as_ref()
+    }
+
+    /// Adds `pages` to the live corpus: journaled to the store,
+    /// searchable by the very next query, no restart. The query memo
+    /// is cleared — memoized results describe the pre-update corpus,
+    /// and a restore/hit must never resurrect them.
+    /// [`StoreError::NotConfigured`](teda_store::StoreError::NotConfigured)
+    /// without a live corpus.
+    pub fn add_pages(
+        &self,
+        pages: Vec<teda_websim::WebPage>,
+    ) -> Result<teda_store::CompactionReport, teda_store::StoreError> {
+        let live = self
+            .live
+            .as_ref()
+            .ok_or(teda_store::StoreError::NotConfigured)?;
+        let report = live.add_pages(pages)?;
+        self.shared.annotator.cache().clear();
+        self.shared.corpus_refreshes.fetch_add(1, Ordering::Relaxed);
+        Ok(report)
+    }
+
+    /// Removes every live page whose URL is listed, with the same
+    /// publication and memo-invalidation semantics as
+    /// [`add_pages`](Self::add_pages).
+    pub fn remove_pages(
+        &self,
+        urls: Vec<String>,
+    ) -> Result<teda_store::CompactionReport, teda_store::StoreError> {
+        let live = self
+            .live
+            .as_ref()
+            .ok_or(teda_store::StoreError::NotConfigured)?;
+        let report = live.remove_pages(urls)?;
+        self.shared.annotator.cache().clear();
+        self.shared.corpus_refreshes.fetch_add(1, Ordering::Relaxed);
+        Ok(report)
     }
 
     /// The effective configuration (workers resolved at start).
@@ -690,6 +758,7 @@ impl AnnotationService {
             stream_tables: self.shared.stream_tables.load(Ordering::Relaxed),
             backpressure_waits: self.shared.backpressure_waits.load(Ordering::Relaxed),
             restored_cache_entries: self.shared.restored_cache_entries.load(Ordering::Relaxed),
+            corpus_refreshes: self.shared.corpus_refreshes.load(Ordering::Relaxed),
             latency: LatencySummary::from_latencies(&latencies),
             cache: self.shared.annotator.cache_stats(),
             geocode: self.shared.annotator.geo_stats(),

@@ -90,6 +90,10 @@ pub struct ServiceStats {
     /// (the warm-start handoff); 0 without a `store_dir` or when the
     /// snapshot was missing or damaged.
     pub restored_cache_entries: u64,
+    /// Live corpus updates (`add_pages`/`remove_pages`) published to
+    /// the running engine; each one swapped the search backend and
+    /// cleared the query memo. 0 without a live corpus.
+    pub corpus_refreshes: u64,
     /// Submit-to-completion latency percentiles (over the scheduler's
     /// recent-completions window, not all-time history).
     pub latency: LatencySummary,

@@ -20,10 +20,18 @@
 //! produce byte-identical snapshot files; `compact == full rebuild`
 //! byte-identity rests on this.
 
-use teda_websim::{IndexParts, InvertedIndex, WebCorpus, WebPage};
+use std::ops::Range;
+use std::sync::Arc;
+
+use teda_text::tokenize;
+use teda_websim::{
+    assemble_results, scoring, IndexParts, InvertedIndex, PageFields, PageId, SearchBackend,
+    WebCorpus, WebPage,
+};
 
 use crate::format::{
-    decode_container, encode_container, put_string, put_u32, put_u64, Cursor, KIND_CORPUS,
+    decode_container, decode_container_spans, encode_container, put_string, put_u32, put_u64,
+    Cursor, KIND_CORPUS,
 };
 use crate::StoreError;
 
@@ -31,6 +39,119 @@ const SEC_PAGES: u32 = 1;
 const SEC_TERMS: u32 = 2;
 const SEC_POSTINGS: u32 = 3;
 const SEC_DOCMETA: u32 = 4;
+
+fn put_terms_payload(out: &mut Vec<u8>, parts: &IndexParts) {
+    put_u64(out, parts.terms.len() as u64);
+    for term in &parts.terms {
+        put_string(out, term);
+    }
+}
+
+fn put_postings_payload(out: &mut Vec<u8>, parts: &IndexParts) {
+    put_u64(out, parts.offsets.len() as u64);
+    for &off in &parts.offsets {
+        put_u32(out, off);
+    }
+    put_u64(out, parts.postings.len() as u64);
+    for &(page, tf_bits) in &parts.postings {
+        put_u32(out, page);
+        put_u32(out, tf_bits);
+    }
+}
+
+fn put_docmeta_payload(out: &mut Vec<u8>, parts: &IndexParts) {
+    put_u64(out, parts.doc_len_bits.len() as u64);
+    for &bits in &parts.doc_len_bits {
+        put_u64(out, bits);
+    }
+    put_u64(out, parts.avg_len_bits);
+    put_u64(out, parts.n_docs);
+}
+
+fn read_terms_payload(cur: &mut Cursor<'_>) -> Result<Vec<String>, StoreError> {
+    let n_terms = cur.len_prefix(8, "term count")?;
+    let mut terms = Vec::with_capacity(n_terms);
+    for _ in 0..n_terms {
+        terms.push(cur.string("term")?);
+    }
+    Ok(terms)
+}
+
+// The fixed-width payloads decode in bulk (`chunks_exact` over one
+// bounds-checked take) — the posting arena is the bulk of a snapshot
+// and a per-element cursor loop would dominate load time, defeating
+// the point of skipping the cold build.
+type PostingsPayload = (Vec<u32>, Vec<(u32, u32)>);
+
+fn read_postings_payload(cur: &mut Cursor<'_>) -> Result<PostingsPayload, StoreError> {
+    let n_offsets = cur.len_prefix(4, "offset count")?;
+    let offsets: Vec<u32> = cur
+        .take(n_offsets * 4, "offset table")?
+        .chunks_exact(4)
+        .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte chunk")))
+        .collect();
+    let n_postings = cur.len_prefix(8, "posting count")?;
+    let postings: Vec<(u32, u32)> = cur
+        .take(n_postings * 8, "posting arena")?
+        .chunks_exact(8)
+        .map(|b| {
+            (
+                u32::from_le_bytes(b[..4].try_into().expect("4-byte chunk")),
+                u32::from_le_bytes(b[4..].try_into().expect("4-byte chunk")),
+            )
+        })
+        .collect();
+    Ok((offsets, postings))
+}
+
+fn read_docmeta_payload(cur: &mut Cursor<'_>) -> Result<(Vec<u64>, u64, u64), StoreError> {
+    let n_docs_len = cur.len_prefix(8, "doc length count")?;
+    let doc_len_bits: Vec<u64> = cur
+        .take(n_docs_len * 8, "doc length table")?
+        .chunks_exact(8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte chunk")))
+        .collect();
+    let avg_len_bits = cur.u64("average length")?;
+    let n_docs = cur.u64("document count")?;
+    Ok((doc_len_bits, avg_len_bits, n_docs))
+}
+
+/// Serializes bare [`IndexParts`] as one contiguous payload — the terms,
+/// postings and docmeta layouts of a corpus snapshot concatenated (same
+/// field order, same widths). Delta segments embed one of these per add
+/// operation: the partial index over exactly that op's pages, built
+/// once at append time so no later load ever re-tokenizes them.
+pub(crate) fn encode_index_parts(parts: &IndexParts) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_terms_payload(&mut out, parts);
+    put_postings_payload(&mut out, parts);
+    put_docmeta_payload(&mut out, parts);
+    out
+}
+
+/// Inverse of [`encode_index_parts`]. Purely structural decoding — the
+/// semantic validation (offset monotonicity, page bounds, …) happens in
+/// `InvertedIndex::from_parts`, which every caller feeds this into.
+pub(crate) fn decode_index_parts(bytes: &[u8]) -> Result<IndexParts, StoreError> {
+    let mut cur = Cursor::new(bytes);
+    let terms = read_terms_payload(&mut cur)?;
+    let (offsets, postings) = read_postings_payload(&mut cur)?;
+    let (doc_len_bits, avg_len_bits, n_docs) = read_docmeta_payload(&mut cur)?;
+    if !cur.is_empty() {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after index parts",
+            cur.remaining()
+        )));
+    }
+    Ok(IndexParts {
+        terms,
+        offsets,
+        postings,
+        doc_len_bits,
+        avg_len_bits,
+        n_docs,
+    })
+}
 
 /// Serializes the corpus into a complete snapshot file image.
 pub fn encode_corpus(corpus: &WebCorpus) -> Vec<u8> {
@@ -45,29 +166,11 @@ pub fn encode_corpus(corpus: &WebCorpus) -> Vec<u8> {
     }
 
     let mut terms = Vec::new();
-    put_u64(&mut terms, parts.terms.len() as u64);
-    for term in &parts.terms {
-        put_string(&mut terms, term);
-    }
-
+    put_terms_payload(&mut terms, &parts);
     let mut postings = Vec::new();
-    put_u64(&mut postings, parts.offsets.len() as u64);
-    for &off in &parts.offsets {
-        put_u32(&mut postings, off);
-    }
-    put_u64(&mut postings, parts.postings.len() as u64);
-    for &(page, tf_bits) in &parts.postings {
-        put_u32(&mut postings, page);
-        put_u32(&mut postings, tf_bits);
-    }
-
+    put_postings_payload(&mut postings, &parts);
     let mut docmeta = Vec::new();
-    put_u64(&mut docmeta, parts.doc_len_bits.len() as u64);
-    for &bits in &parts.doc_len_bits {
-        put_u64(&mut docmeta, bits);
-    }
-    put_u64(&mut docmeta, parts.avg_len_bits);
-    put_u64(&mut docmeta, parts.n_docs);
+    put_docmeta_payload(&mut docmeta, &parts);
 
     encode_container(
         KIND_CORPUS,
@@ -126,44 +229,13 @@ pub fn decode_corpus(bytes: &[u8]) -> Result<WebCorpus, StoreError> {
     }
 
     let mut cur = Cursor::new(terms_sec.ok_or_else(|| missing("terms"))?);
-    let n_terms = cur.len_prefix(8, "term count")?;
-    let mut terms = Vec::with_capacity(n_terms);
-    for _ in 0..n_terms {
-        terms.push(cur.string("term")?);
-    }
+    let terms = read_terms_payload(&mut cur)?;
 
-    // The fixed-width sections decode in bulk (`chunks_exact` over one
-    // bounds-checked take) — the posting arena is the bulk of a
-    // snapshot and a per-element cursor loop would dominate load time,
-    // defeating the point of skipping the cold build.
     let mut cur = Cursor::new(postings_sec.ok_or_else(|| missing("postings"))?);
-    let n_offsets = cur.len_prefix(4, "offset count")?;
-    let offsets: Vec<u32> = cur
-        .take(n_offsets * 4, "offset table")?
-        .chunks_exact(4)
-        .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte chunk")))
-        .collect();
-    let n_postings = cur.len_prefix(8, "posting count")?;
-    let postings: Vec<(u32, u32)> = cur
-        .take(n_postings * 8, "posting arena")?
-        .chunks_exact(8)
-        .map(|b| {
-            (
-                u32::from_le_bytes(b[..4].try_into().expect("4-byte chunk")),
-                u32::from_le_bytes(b[4..].try_into().expect("4-byte chunk")),
-            )
-        })
-        .collect();
+    let (offsets, postings) = read_postings_payload(&mut cur)?;
 
     let mut cur = Cursor::new(docmeta_sec.ok_or_else(|| missing("docmeta"))?);
-    let n_docs_len = cur.len_prefix(8, "doc length count")?;
-    let doc_len_bits: Vec<u64> = cur
-        .take(n_docs_len * 8, "doc length table")?
-        .chunks_exact(8)
-        .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte chunk")))
-        .collect();
-    let avg_len_bits = cur.u64("average length")?;
-    let n_docs = cur.u64("document count")?;
+    let (doc_len_bits, avg_len_bits, n_docs) = read_docmeta_payload(&mut cur)?;
 
     let index = InvertedIndex::from_parts(IndexParts {
         terms,
@@ -175,6 +247,336 @@ pub fn decode_corpus(bytes: &[u8]) -> Result<WebCorpus, StoreError> {
     })
     .map_err(|e| StoreError::Corrupt(e.to_string()))?;
     WebCorpus::from_parts(pages, index).map_err(|e| StoreError::Corrupt(e.to_string()))
+}
+
+/// A byte span into the snapshot buffer whose UTF-8 validity was
+/// checked at open.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    start: usize,
+    end: usize,
+}
+
+/// A zero-copy snapshot view: the corpus served straight out of the
+/// file bytes, nothing re-allocated.
+///
+/// [`decode_corpus`] materializes every string and posting into owned
+/// structures — correct, but a *warm* open (unchanged snapshot, process
+/// restart) pays that allocation storm just to reach the same bytes it
+/// started from. The lazy view instead keeps the whole file image
+/// behind one `Arc<[u8]>` and records where things live:
+///
+/// * page fields are spans served as borrowed `&str` ([`PageFields`]);
+/// * term lookup is a binary search through a permutation of term ids
+///   sorted by term bytes — no `HashMap`, no per-term `String`;
+/// * postings and document lengths stay little-endian in place, decoded
+///   to their `f32`/`f64` bit patterns at access time.
+///
+/// Open cost is therefore CRC verification plus one validating walk
+/// (UTF-8, offset monotonicity, posting page bounds) — reads, not
+/// allocations. The same bit patterns flow into the same
+/// [`teda_websim::scoring`] kernel in the same order as the eager
+/// index's `search`, so results are bit-identical (`exp_segments`
+/// asserts both the speedup and the identity).
+///
+/// All structural invariants are established at open so accessors
+/// cannot panic on any byte sequence that decoded successfully.
+#[derive(Debug)]
+pub struct SnapshotView {
+    buf: Arc<[u8]>,
+    page_spans: Vec<[Span; 3]>,
+    term_spans: Vec<Span>,
+    /// Term ids sorted by term bytes — the lookup structure.
+    term_order: Vec<u32>,
+    /// Byte range of the offset table (`n_terms + 1` LE `u32`s).
+    offsets: Range<usize>,
+    /// Byte range of the posting arena (8 bytes per posting).
+    postings: Range<usize>,
+    /// Byte range of the document-length table (8 bytes per document).
+    doc_len: Range<usize>,
+    avg_len: f64,
+    n_docs: usize,
+}
+
+/// Opens a snapshot image as a [`SnapshotView`] without materializing
+/// pages or index — the warm-open path. Validation is equivalent to
+/// [`decode_corpus`]'s (every check `InvertedIndex::from_parts` and
+/// `WebCorpus::from_parts` would make), so any input this accepts the
+/// eager decoder accepts too, and vice versa.
+pub fn decode_corpus_lazy(buf: Arc<[u8]>) -> Result<SnapshotView, StoreError> {
+    let sections = decode_container_spans(&buf, KIND_CORPUS)?;
+    let mut pages_sec = None;
+    let mut terms_sec = None;
+    let mut postings_sec = None;
+    let mut docmeta_sec = None;
+    for (tag, span) in sections {
+        let slot = match tag {
+            SEC_PAGES => &mut pages_sec,
+            SEC_TERMS => &mut terms_sec,
+            SEC_POSTINGS => &mut postings_sec,
+            SEC_DOCMETA => &mut docmeta_sec,
+            other => {
+                return Err(StoreError::Corrupt(format!(
+                    "unknown corpus section tag {other}"
+                )))
+            }
+        };
+        if slot.replace(span).is_some() {
+            return Err(StoreError::Corrupt(format!(
+                "duplicate corpus section tag {tag}"
+            )));
+        }
+    }
+    let missing = |name: &str| StoreError::Corrupt(format!("missing corpus section: {name}"));
+
+    // One string span: UTF-8-validated here so accessors can slice
+    // without re-checking.
+    fn str_span(
+        cur: &mut Cursor<'_>,
+        base: usize,
+        context: &'static str,
+    ) -> Result<Span, StoreError> {
+        let len = cur.len_prefix(1, context)?;
+        let start = base + cur.position();
+        let bytes = cur.take(len, context)?;
+        std::str::from_utf8(bytes)
+            .map_err(|_| StoreError::Corrupt(format!("{context}: invalid UTF-8")))?;
+        Ok(Span {
+            start,
+            end: start + len,
+        })
+    }
+
+    let sec = pages_sec.ok_or_else(|| missing("pages"))?;
+    let mut cur = Cursor::new(&buf[sec.clone()]);
+    let n_pages = cur.len_prefix(24, "page count")?;
+    let mut page_spans = Vec::with_capacity(n_pages);
+    for _ in 0..n_pages {
+        page_spans.push([
+            str_span(&mut cur, sec.start, "page url")?,
+            str_span(&mut cur, sec.start, "page title")?,
+            str_span(&mut cur, sec.start, "page body")?,
+        ]);
+    }
+
+    let sec = terms_sec.ok_or_else(|| missing("terms"))?;
+    let mut cur = Cursor::new(&buf[sec.clone()]);
+    let n_terms = cur.len_prefix(8, "term count")?;
+    if u32::try_from(n_terms).is_err() {
+        return Err(StoreError::Corrupt(
+            "term vocabulary exceeds u32 ids".into(),
+        ));
+    }
+    let mut term_spans = Vec::with_capacity(n_terms);
+    for _ in 0..n_terms {
+        term_spans.push(str_span(&mut cur, sec.start, "term")?);
+    }
+    let mut term_order: Vec<u32> = (0..n_terms as u32).collect();
+    term_order.sort_unstable_by(|&a, &b| {
+        let sa = term_spans[a as usize];
+        let sb = term_spans[b as usize];
+        buf[sa.start..sa.end].cmp(&buf[sb.start..sb.end])
+    });
+    if term_order.windows(2).any(|w| {
+        let sa = term_spans[w[0] as usize];
+        let sb = term_spans[w[1] as usize];
+        buf[sa.start..sa.end] == buf[sb.start..sb.end]
+    }) {
+        return Err(StoreError::Corrupt(
+            "duplicate term in the vocabulary".into(),
+        ));
+    }
+
+    let sec = postings_sec.ok_or_else(|| missing("postings"))?;
+    let mut cur = Cursor::new(&buf[sec.clone()]);
+    let n_offsets = cur.len_prefix(4, "offset count")?;
+    if n_offsets != n_terms + 1 {
+        return Err(StoreError::Corrupt(format!(
+            "offset table has {n_offsets} entries for {n_terms} terms (want terms + 1)"
+        )));
+    }
+    let off_start = sec.start + cur.position();
+    let offset_bytes = cur.take(n_offsets * 4, "offset table")?;
+    let offsets_range = off_start..off_start + n_offsets * 4;
+    let n_postings = cur.len_prefix(8, "posting count")?;
+    let post_start = sec.start + cur.position();
+    let posting_bytes = cur.take(n_postings * 8, "posting arena")?;
+    let postings_range = post_start..post_start + n_postings * 8;
+    // The same structural walk `InvertedIndex::from_parts` makes —
+    // reads only, so a forged arena costs bounded time and zero
+    // allocation.
+    let mut prev = 0u32;
+    for (i, b) in offset_bytes.chunks_exact(4).enumerate() {
+        let off = u32::from_le_bytes(b.try_into().expect("4-byte chunk"));
+        if i == 0 && off != 0 {
+            return Err(StoreError::Corrupt("offset table must start at 0".into()));
+        }
+        if off < prev {
+            return Err(StoreError::Corrupt("offset table must be monotonic".into()));
+        }
+        prev = off;
+    }
+    if prev as usize != n_postings {
+        return Err(StoreError::Corrupt(format!(
+            "offset table ends at {prev} but the arena holds {n_postings} postings"
+        )));
+    }
+
+    let sec = docmeta_sec.ok_or_else(|| missing("docmeta"))?;
+    let mut cur = Cursor::new(&buf[sec.clone()]);
+    let n_doc_lens = cur.len_prefix(8, "doc length count")?;
+    let len_start = sec.start + cur.position();
+    cur.take(n_doc_lens * 8, "doc length table")?;
+    let doc_len_range = len_start..len_start + n_doc_lens * 8;
+    let avg_len_bits = cur.u64("average length")?;
+    let n_docs = cur.u64("document count")?;
+    let n_docs = usize::try_from(n_docs)
+        .map_err(|_| StoreError::Corrupt("document count overflows usize".into()))?;
+    if n_doc_lens != n_docs {
+        return Err(StoreError::Corrupt(format!(
+            "{n_doc_lens} document lengths for {n_docs} documents"
+        )));
+    }
+    if n_pages != n_docs {
+        return Err(StoreError::Corrupt(format!(
+            "index covers {n_docs} documents but the page store holds {n_pages}"
+        )));
+    }
+    for b in posting_bytes.chunks_exact(8) {
+        let page = u32::from_le_bytes(b[..4].try_into().expect("4-byte chunk"));
+        if page as usize >= n_docs {
+            return Err(StoreError::Corrupt(format!(
+                "posting references page {page} of a {n_docs}-document collection"
+            )));
+        }
+    }
+
+    Ok(SnapshotView {
+        buf,
+        page_spans,
+        term_spans,
+        term_order,
+        offsets: offsets_range,
+        postings: postings_range,
+        doc_len: doc_len_range,
+        avg_len: f64::from_bits(avg_len_bits),
+        n_docs,
+    })
+}
+
+impl SnapshotView {
+    fn str_at(&self, span: Span) -> &str {
+        std::str::from_utf8(&self.buf[span.start..span.end]).expect("UTF-8 validated at open")
+    }
+
+    fn offset_at(&self, i: usize) -> usize {
+        let at = self.offsets.start + i * 4;
+        u32::from_le_bytes(self.buf[at..at + 4].try_into().expect("in-range offset")) as usize
+    }
+
+    fn posting_at(&self, j: usize) -> (u32, f32) {
+        let at = self.postings.start + j * 8;
+        let page = u32::from_le_bytes(self.buf[at..at + 4].try_into().expect("in-range posting"));
+        let tf = f32::from_bits(u32::from_le_bytes(
+            self.buf[at + 4..at + 8]
+                .try_into()
+                .expect("in-range posting"),
+        ));
+        (page, tf)
+    }
+
+    fn doc_len_of(&self, i: usize) -> f64 {
+        let at = self.doc_len.start + i * 8;
+        f64::from_bits(u64::from_le_bytes(
+            self.buf[at..at + 8]
+                .try_into()
+                .expect("in-range doc length"),
+        ))
+    }
+
+    /// The dense id of `term`, if interned — a binary search through
+    /// the sorted permutation instead of a hash lookup.
+    fn term_id(&self, term: &str) -> Option<u32> {
+        self.term_order
+            .binary_search_by(|&tid| {
+                let s = self.term_spans[tid as usize];
+                self.buf[s.start..s.end].cmp(term.as_bytes())
+            })
+            .ok()
+            .map(|at| self.term_order[at])
+    }
+
+    /// Number of pages in the snapshot.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Borrowed field views of page `id` — straight out of the file
+    /// bytes. Panics on out-of-range ids (same contract as
+    /// `WebCorpus::page`).
+    pub fn page_fields(&self, id: PageId) -> PageFields<'_> {
+        let [url, title, body] = self.page_spans[id.0 as usize];
+        PageFields {
+            url: self.str_at(url),
+            title: self.str_at(title),
+            body: self.str_at(body),
+        }
+    }
+
+    /// BM25 top-`k` for `query`, bit-identical to
+    /// `decode_corpus(bytes).index().search(query, k)`: the same posting
+    /// walk feeding the same [`teda_websim::scoring`] kernel, only the
+    /// storage differs.
+    pub fn search(&self, query: &str, k: usize) -> Vec<(PageId, f64)> {
+        if k == 0 || self.n_docs == 0 {
+            return Vec::new();
+        }
+        let mut scores = vec![0.0f64; self.n_docs];
+        let mut touched: Vec<u32> = Vec::new();
+        for term in tokenize(query) {
+            let Some(tid) = self.term_id(&term) else {
+                continue;
+            };
+            let (lo, hi) = (
+                self.offset_at(tid as usize),
+                self.offset_at(tid as usize + 1),
+            );
+            let idf = scoring::idf(self.n_docs, hi - lo);
+            for j in lo..hi {
+                let (page, tf) = self.posting_at(j);
+                let i = page as usize;
+                let contrib = scoring::weight(idf, f64::from(tf), self.doc_len_of(i), self.avg_len);
+                if scores[i] == 0.0 {
+                    touched.push(page);
+                }
+                scores[i] += contrib;
+            }
+        }
+        scoring::rank_top_k(&scores, &touched, k)
+    }
+
+    /// Materializes the eager corpus from the same bytes (re-running
+    /// the full decode) — for callers that outgrow the view, e.g. to
+    /// start journaling on top of it.
+    pub fn materialize(&self) -> Result<WebCorpus, StoreError> {
+        decode_corpus(&self.buf)
+    }
+}
+
+impl SearchBackend for SnapshotView {
+    fn search(&self, query: &str, k: usize) -> Vec<(PageId, f64)> {
+        SnapshotView::search(self, query, k)
+    }
+
+    fn search_results(&self, query: &str, k: usize) -> Vec<teda_websim::SearchResult> {
+        assemble_results(SnapshotView::search(self, query, k), |id| {
+            self.page_fields(id)
+        })
+    }
+
+    fn n_docs(&self) -> usize {
+        self.n_docs
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +615,89 @@ mod tests {
         let loaded = decode_corpus(&encode_corpus(&empty)).expect("empty decodes");
         assert_eq!(loaded.len(), 0);
         assert!(loaded.index().search("anything", 5).is_empty());
+    }
+
+    #[test]
+    fn index_parts_round_trip() {
+        let parts = corpus().index().to_parts();
+        let decoded = decode_index_parts(&encode_index_parts(&parts)).expect("own bytes decode");
+        assert_eq!(decoded, parts);
+    }
+
+    #[test]
+    fn truncated_index_parts_are_typed_errors() {
+        let bytes = encode_index_parts(&corpus().index().to_parts());
+        for cut in [0, 1, 7, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    decode_index_parts(&bytes[..cut]),
+                    Err(StoreError::Truncated { .. } | StoreError::Corrupt(_))
+                ),
+                "cut at {cut}"
+            );
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(matches!(
+            decode_index_parts(&long),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn lazy_view_is_bit_identical_to_eager_decode() {
+        let original = corpus();
+        let bytes: Arc<[u8]> = encode_corpus(&original).into();
+        let eager = decode_corpus(&bytes).expect("eager decodes");
+        let lazy = decode_corpus_lazy(bytes).expect("lazy opens");
+        assert_eq!(lazy.n_docs(), eager.len());
+        for (i, page) in eager.pages().iter().enumerate() {
+            let f = lazy.page_fields(PageId(i as u32));
+            assert_eq!(f.url, page.url);
+            assert_eq!(f.title, page.title);
+            assert_eq!(f.body, page.body);
+        }
+        for query in ["restaurant", "melisse santa monica", "zzz absent", ""] {
+            for k in [1, 5, 20] {
+                let a = lazy.search(query, k);
+                let b = eager.index().search(query, k);
+                assert_eq!(a.len(), b.len(), "{query:?} k {k}");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.0, y.0);
+                    assert_eq!(x.1.to_bits(), y.1.to_bits(), "{query:?} k {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_open_rejects_corruption_like_the_eager_decoder() {
+        let bytes = encode_corpus(&corpus());
+        // Bit rot fails the CRC.
+        let mut rotted = bytes.clone();
+        let last = rotted.len() - 1;
+        rotted[last] ^= 0x10;
+        assert!(matches!(
+            decode_corpus_lazy(rotted.into()),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+        // Truncation anywhere is typed, never a panic (sampled cuts —
+        // every byte of a large snapshot would be minutes of decoding).
+        let step = (bytes.len() / 48).max(1);
+        for cut in (0..bytes.len()).step_by(step) {
+            let err = decode_corpus_lazy(bytes[..cut].to_vec().into())
+                .expect_err("truncated snapshot must not open");
+            assert!(
+                matches!(
+                    err,
+                    StoreError::Truncated { .. }
+                        | StoreError::BadMagic
+                        | StoreError::Corrupt(_)
+                        | StoreError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
     }
 
     #[test]

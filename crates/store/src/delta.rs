@@ -32,8 +32,9 @@
 //! yields the same index a from-scratch sequential build would, which
 //! is the whole compaction correctness argument.
 
-use teda_websim::WebPage;
+use teda_websim::{IndexParts, WebPage};
 
+use crate::corpus_snapshot::{decode_index_parts, encode_index_parts};
 use crate::format::{
     decode_container, encode_container, put_string, put_u32, put_u64, Cursor, KIND_DELTA,
 };
@@ -42,6 +43,11 @@ use crate::StoreError;
 const SEC_BASE: u32 = 3;
 const SEC_ADD: u32 = 1;
 const SEC_REMOVE: u32 = 2;
+/// A partial index over the pages of the immediately preceding
+/// [`SEC_ADD`] section — the segment-level indexing that makes loads
+/// O(delta). Readers that predate (or distrust) it skip it and
+/// re-tokenize; [`decode_segment`] is exactly that tolerant reader.
+const SEC_ADD_INDEX: u32 = 4;
 
 /// Identifies the exact snapshot file a segment applies to: the CRC-32
 /// over the whole file plus its length (a second discriminator against
@@ -87,95 +93,163 @@ impl DeltaOp {
     }
 }
 
-/// Serializes one segment: the base binding first, then the operations
-/// in order.
-pub fn encode_segment(base: BaseId, ops: &[DeltaOp]) -> Vec<u8> {
+fn op_section(op: &DeltaOp) -> (u32, Vec<u8>) {
+    match op {
+        DeltaOp::AddPages(pages) => {
+            let mut payload = Vec::new();
+            put_u64(&mut payload, pages.len() as u64);
+            for page in pages {
+                put_string(&mut payload, &page.url);
+                put_string(&mut payload, &page.title);
+                put_string(&mut payload, &page.body);
+            }
+            (SEC_ADD, payload)
+        }
+        DeltaOp::RemovePages(urls) => {
+            let mut payload = Vec::new();
+            put_u64(&mut payload, urls.len() as u64);
+            for url in urls {
+                put_string(&mut payload, url);
+            }
+            (SEC_REMOVE, payload)
+        }
+    }
+}
+
+fn base_section(base: BaseId) -> (u32, Vec<u8>) {
     let mut binding = Vec::new();
     put_u32(&mut binding, base.crc);
     put_u64(&mut binding, base.len);
-    let sections: Vec<(u32, Vec<u8>)> = std::iter::once((SEC_BASE, binding))
-        .chain(ops.iter().map(|op| match op {
-            DeltaOp::AddPages(pages) => {
-                let mut payload = Vec::new();
-                put_u64(&mut payload, pages.len() as u64);
-                for page in pages {
-                    put_string(&mut payload, &page.url);
-                    put_string(&mut payload, &page.title);
-                    put_string(&mut payload, &page.body);
-                }
-                (SEC_ADD, payload)
-            }
-            DeltaOp::RemovePages(urls) => {
-                let mut payload = Vec::new();
-                put_u64(&mut payload, urls.len() as u64);
-                for url in urls {
-                    put_string(&mut payload, url);
-                }
-                (SEC_REMOVE, payload)
-            }
-        }))
+    (SEC_BASE, binding)
+}
+
+/// Serializes one segment: the base binding first, then the operations
+/// in order (no embedded partial indexes — a reader of this file
+/// re-tokenizes the added pages).
+pub fn encode_segment(base: BaseId, ops: &[DeltaOp]) -> Vec<u8> {
+    let sections: Vec<(u32, Vec<u8>)> = std::iter::once(base_section(base))
+        .chain(ops.iter().map(op_section))
         .collect();
     encode_container(KIND_DELTA, &sections)
 }
 
+/// Serializes one segment with per-add partial indexes: each `AddPages`
+/// section is followed by a [`SEC_ADD_INDEX`] section holding the
+/// [`IndexParts`] built over exactly that op's pages. `indexes` runs
+/// parallel to `ops` (`None` for removals, or for adds the caller
+/// declines to index).
+///
+/// # Panics
+/// If the slices differ in length or an index is attached to a removal
+/// — programmer errors, not data errors.
+pub fn encode_segment_indexed(
+    base: BaseId,
+    ops: &[DeltaOp],
+    indexes: &[Option<IndexParts>],
+) -> Vec<u8> {
+    assert_eq!(ops.len(), indexes.len(), "one index slot per operation");
+    let mut sections: Vec<(u32, Vec<u8>)> = Vec::with_capacity(1 + ops.len() * 2);
+    sections.push(base_section(base));
+    for (op, parts) in ops.iter().zip(indexes) {
+        sections.push(op_section(op));
+        if let Some(parts) = parts {
+            assert!(
+                matches!(op, DeltaOp::AddPages(_)),
+                "only additions carry a partial index"
+            );
+            sections.push((SEC_ADD_INDEX, encode_index_parts(parts)));
+        }
+    }
+    encode_container(KIND_DELTA, &sections)
+}
+
+/// A fully decoded segment: the binding, the operations, and — aligned
+/// with `ops` — the partial index each `AddPages` brought along
+/// (`None` when the segment was written without one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentPayload {
+    /// The snapshot this segment applies to.
+    pub base: BaseId,
+    /// The journaled operations, in order.
+    pub ops: Vec<DeltaOp>,
+    /// `add_indexes[i]` is the partial index of `ops[i]`, if present.
+    pub add_indexes: Vec<Option<IndexParts>>,
+}
+
+fn decode_base(payload: &[u8]) -> Result<BaseId, StoreError> {
+    let mut cur = Cursor::new(payload);
+    let crc = cur.u32("delta base crc")?;
+    let len = cur.u64("delta base length")?;
+    if !cur.is_empty() {
+        return Err(StoreError::Corrupt(
+            "trailing bytes in delta base binding".into(),
+        ));
+    }
+    Ok(BaseId { crc, len })
+}
+
+fn decode_op(tag: u32, payload: &[u8]) -> Result<DeltaOp, StoreError> {
+    let mut cur = Cursor::new(payload);
+    let op = match tag {
+        SEC_ADD => {
+            let n = cur.len_prefix(24, "added page count")?;
+            let mut pages = Vec::with_capacity(n);
+            for _ in 0..n {
+                pages.push(WebPage {
+                    url: cur.string("added page url")?,
+                    title: cur.string("added page title")?,
+                    body: cur.string("added page body")?,
+                });
+            }
+            DeltaOp::AddPages(pages)
+        }
+        SEC_REMOVE => {
+            let n = cur.len_prefix(8, "removed url count")?;
+            let mut urls = Vec::with_capacity(n);
+            for _ in 0..n {
+                urls.push(cur.string("removed url")?);
+            }
+            DeltaOp::RemovePages(urls)
+        }
+        other => {
+            return Err(StoreError::Corrupt(format!(
+                "unknown delta section tag {other}"
+            )))
+        }
+    };
+    if !cur.is_empty() {
+        return Err(StoreError::Corrupt(format!(
+            "trailing bytes in delta section {tag}"
+        )));
+    }
+    Ok(op)
+}
+
 /// Deserializes one segment back into its base binding and operations,
-/// in order. The binding must be the first section — a segment without
-/// one cannot be safely applied to anything.
+/// in order, **skipping** any embedded partial-index sections — the
+/// tolerant reader the O(corpus) re-index fallback uses, so a segment
+/// whose index bytes rotted still replays its operations. The binding
+/// must be the first section — a segment without one cannot be safely
+/// applied to anything.
 pub fn decode_segment(bytes: &[u8]) -> Result<(BaseId, Vec<DeltaOp>), StoreError> {
     let sections = decode_container(bytes, KIND_DELTA)?;
     let mut base = None;
     let mut ops = Vec::with_capacity(sections.len());
     for (i, (tag, payload)) in sections.into_iter().enumerate() {
-        let mut cur = Cursor::new(payload);
-        let op = match tag {
+        match tag {
             SEC_BASE => {
                 if i != 0 || base.is_some() {
                     return Err(StoreError::Corrupt(
                         "delta base binding must be the first and only binding section".into(),
                     ));
                 }
-                let crc = cur.u32("delta base crc")?;
-                let len = cur.u64("delta base length")?;
-                if !cur.is_empty() {
-                    return Err(StoreError::Corrupt(
-                        "trailing bytes in delta base binding".into(),
-                    ));
-                }
-                base = Some(BaseId { crc, len });
-                continue;
+                base = Some(decode_base(payload)?);
             }
-            SEC_ADD => {
-                let n = cur.len_prefix(24, "added page count")?;
-                let mut pages = Vec::with_capacity(n);
-                for _ in 0..n {
-                    pages.push(WebPage {
-                        url: cur.string("added page url")?,
-                        title: cur.string("added page title")?,
-                        body: cur.string("added page body")?,
-                    });
-                }
-                DeltaOp::AddPages(pages)
-            }
-            SEC_REMOVE => {
-                let n = cur.len_prefix(8, "removed url count")?;
-                let mut urls = Vec::with_capacity(n);
-                for _ in 0..n {
-                    urls.push(cur.string("removed url")?);
-                }
-                DeltaOp::RemovePages(urls)
-            }
-            other => {
-                return Err(StoreError::Corrupt(format!(
-                    "unknown delta section tag {other}"
-                )))
-            }
-        };
-        if !cur.is_empty() {
-            return Err(StoreError::Corrupt(format!(
-                "trailing bytes in delta section {tag}"
-            )));
+            // Tolerated without being decoded: the ops alone fully
+            // determine the logical corpus.
+            SEC_ADD_INDEX => {}
+            _ => ops.push(decode_op(tag, payload)?),
         }
-        ops.push(op);
     }
     let Some(base) = base else {
         return Err(StoreError::Corrupt(
@@ -183,6 +257,65 @@ pub fn decode_segment(bytes: &[u8]) -> Result<(BaseId, Vec<DeltaOp>), StoreError
         ));
     };
     Ok((base, ops))
+}
+
+/// Deserializes one segment *with* its embedded partial indexes — the
+/// strict reader the O(delta) load path uses. Any defect in an index
+/// section (structural rot, an index preceding any add, two indexes on
+/// one add) is a typed error; the caller then falls back to
+/// [`decode_segment`] and re-tokenizes, so corrupt index bytes degrade
+/// to the slow path instead of corrupt search results.
+pub fn decode_segment_full(bytes: &[u8]) -> Result<SegmentPayload, StoreError> {
+    let sections = decode_container(bytes, KIND_DELTA)?;
+    let mut base = None;
+    let mut ops = Vec::with_capacity(sections.len());
+    let mut add_indexes: Vec<Option<IndexParts>> = Vec::with_capacity(sections.len());
+    for (i, (tag, payload)) in sections.into_iter().enumerate() {
+        match tag {
+            SEC_BASE => {
+                if i != 0 || base.is_some() {
+                    return Err(StoreError::Corrupt(
+                        "delta base binding must be the first and only binding section".into(),
+                    ));
+                }
+                base = Some(decode_base(payload)?);
+            }
+            SEC_ADD_INDEX => {
+                let parts = decode_index_parts(payload)?;
+                match (ops.last(), add_indexes.last_mut()) {
+                    (Some(DeltaOp::AddPages(pages)), Some(slot @ None)) => {
+                        if parts.n_docs != pages.len() as u64 {
+                            return Err(StoreError::Corrupt(format!(
+                                "segment partial index covers {} documents but the op adds {}",
+                                parts.n_docs,
+                                pages.len()
+                            )));
+                        }
+                        *slot = Some(parts);
+                    }
+                    _ => {
+                        return Err(StoreError::Corrupt(
+                            "partial-index section must directly follow its add section".into(),
+                        ))
+                    }
+                }
+            }
+            _ => {
+                ops.push(decode_op(tag, payload)?);
+                add_indexes.push(None);
+            }
+        }
+    }
+    let Some(base) = base else {
+        return Err(StoreError::Corrupt(
+            "delta segment has no base binding".into(),
+        ));
+    };
+    Ok(SegmentPayload {
+        base,
+        ops,
+        add_indexes,
+    })
 }
 
 #[cfg(test)]
@@ -225,6 +358,79 @@ mod tests {
         }
         let urls: Vec<&str> = pages.iter().map(|p| p.url.as_str()).collect();
         assert_eq!(urls, vec!["base1", "new1"]);
+    }
+
+    #[test]
+    fn indexed_segments_round_trip_and_tolerant_reader_skips_indexes() {
+        let base = BaseId::of(b"snapshot bytes");
+        let added = vec![page("a"), page("b")];
+        let parts = teda_websim::InvertedIndex::build(&added).to_parts();
+        let ops = vec![
+            DeltaOp::AddPages(added),
+            DeltaOp::RemovePages(vec!["a".into()]),
+        ];
+        let indexes = vec![Some(parts.clone()), None];
+        let bytes = encode_segment_indexed(base, &ops, &indexes);
+
+        let full = decode_segment_full(&bytes).expect("own bytes decode");
+        assert_eq!(full.base, base);
+        assert_eq!(full.ops, ops);
+        assert_eq!(full.add_indexes, indexes);
+
+        // The tolerant reader sees identical operations, no indexes.
+        let (b2, ops2) = decode_segment(&bytes).expect("tolerant reader decodes");
+        assert_eq!(b2, base);
+        assert_eq!(ops2, ops);
+    }
+
+    #[test]
+    fn misplaced_or_mismatched_index_sections_are_corrupt() {
+        let base = BaseId::of(b"snapshot bytes");
+        let added = vec![page("a")];
+        let parts = teda_websim::InvertedIndex::build(&added).to_parts();
+
+        // Index bound to a remove op (nothing it could cover).
+        let remove = op_section(&DeltaOp::RemovePages(vec!["a".into()]));
+        let bad = encode_container(
+            KIND_DELTA,
+            &[
+                base_section(base),
+                remove,
+                (SEC_ADD_INDEX, encode_index_parts(&parts)),
+            ],
+        );
+        assert!(matches!(
+            decode_segment_full(&bad),
+            Err(StoreError::Corrupt(_))
+        ));
+        // ...but the tolerant reader still recovers the operations.
+        assert!(decode_segment(&bad).is_ok());
+
+        // Index whose document count disagrees with its add.
+        let two = op_section(&DeltaOp::AddPages(vec![page("a"), page("b")]));
+        let bad = encode_container(
+            KIND_DELTA,
+            &[
+                base_section(base),
+                two,
+                (SEC_ADD_INDEX, encode_index_parts(&parts)),
+            ],
+        );
+        assert!(matches!(
+            decode_segment_full(&bad),
+            Err(StoreError::Corrupt(_))
+        ));
+
+        // Structurally rotten index payload: strict reader errors,
+        // tolerant reader still replays.
+        let add = op_section(&DeltaOp::AddPages(added));
+        let bad = encode_container(
+            KIND_DELTA,
+            &[base_section(base), add, (SEC_ADD_INDEX, vec![0xFF; 12])],
+        );
+        assert!(decode_segment_full(&bad).is_err());
+        let (_, ops) = decode_segment(&bad).expect("ops survive rotten index bytes");
+        assert_eq!(ops.len(), 1);
     }
 
     #[test]

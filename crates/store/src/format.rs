@@ -42,13 +42,15 @@ pub const KIND_CACHE: u32 = 2;
 /// File kind: one journaled delta segment.
 pub const KIND_DELTA: u32 = 3;
 
-/// The byte-at-a-time CRC-32 lookup table, generated at compile time.
-/// A bitwise (table-free) CRC costs ~8 cycles per byte and dominated
-/// snapshot load wall-clock outright — the checksum runs over every
-/// byte of every section, so it must be cheaper than the allocation
-/// work it guards.
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
+/// Slice-by-8 CRC-32 lookup tables, generated at compile time.
+/// `CRC_TABLES[0]` is the classic byte-at-a-time table; `CRC_TABLES[k]`
+/// advances a byte through `k` further zero bytes, so eight table reads
+/// fold a whole `u64` per iteration. The checksum runs over every byte
+/// of every section — with the lazy snapshot view it *is* the warm-open
+/// cost, so one-byte-per-iteration was the wrong shape for the hottest
+/// loop in the crate.
+const CRC_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0usize;
     while i < 256 {
         let mut crc = i as u32;
@@ -58,17 +60,54 @@ const CRC_TABLE: [u32; 256] = {
             crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1usize;
+    while k < 8 {
+        let mut i = 0usize;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
 };
 
-/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial), slice-by-8: eight
+/// bytes folded per iteration through eight precomputed tables, with a
+/// byte-at-a-time tail. Bit-identical to [`crc32_table_driven`] on
+/// every input (a property test holds the two against each other).
 pub fn crc32(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[..4].try_into().expect("4 bytes")) ^ crc;
+        let hi = u32::from_le_bytes(chunk[4..].try_into().expect("4 bytes"));
+        crc = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// The original byte-at-a-time CRC-32 — kept as the reference
+/// implementation the slice-by-8 fast path is property-tested against
+/// (same polynomial, same init/finalize, one table).
+pub fn crc32_table_driven(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ u32::from(b)) & 0xFF) as usize];
     }
     !crc
 }
@@ -102,6 +141,21 @@ pub fn encode_container(kind: u32, sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
 /// still bounds-check every field — a *valid* checksum over a malformed
 /// payload must degrade to [`StoreError::Corrupt`], not a panic).
 pub fn decode_container(bytes: &[u8], kind: u32) -> Result<Vec<(u32, &[u8])>, StoreError> {
+    Ok(decode_container_spans(bytes, kind)?
+        .into_iter()
+        .map(|(tag, span)| (tag, &bytes[span]))
+        .collect())
+}
+
+/// [`decode_container`], but returning each section as a byte *range*
+/// into the input instead of a borrowed slice — what the lazy snapshot
+/// view needs to keep section positions alongside an owned `Arc<[u8]>`
+/// without borrowing from itself. Verification is identical (this is
+/// the one implementation; `decode_container` delegates here).
+pub fn decode_container_spans(
+    bytes: &[u8],
+    kind: u32,
+) -> Result<Vec<(u32, std::ops::Range<usize>)>, StoreError> {
     let mut cur = Cursor::new(bytes);
     let magic = cur.take(8, "file magic")?;
     if magic != MAGIC {
@@ -129,11 +183,12 @@ pub fn decode_container(bytes: &[u8], kind: u32) -> Result<Vec<(u32, &[u8])>, St
         let crc = cur.u32("section checksum")?;
         let len = usize::try_from(len)
             .map_err(|_| StoreError::Corrupt(format!("section {i} length overflows usize")))?;
+        let start = cur.position();
         let payload = cur.take(len, "section payload")?;
         if crc32(payload) != crc {
             return Err(StoreError::ChecksumMismatch { section: tag });
         }
-        sections.push((tag, payload));
+        sections.push((tag, start..start + len));
     }
     if !cur.is_empty() {
         return Err(StoreError::Corrupt(format!(
@@ -194,6 +249,13 @@ impl<'a> Cursor<'a> {
     /// Bytes left to read.
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
+    }
+
+    /// The current read position from the start of the buffer — span
+    /// builders record it just before a `take` to address the taken
+    /// bytes later.
+    pub fn position(&self) -> usize {
+        self.pos
     }
 
     /// Whether the input is exhausted.
@@ -277,6 +339,33 @@ mod tests {
         // The standard check value for CRC-32/IEEE.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32_table_driven(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32_table_driven(b""), 0);
+    }
+
+    #[test]
+    fn crc32_agrees_across_the_chunk_boundary() {
+        // Lengths straddling the 8-byte fold: 0..=7 run entirely in the
+        // tail loop, 8 is one clean fold, 9..=23 mix folds and tail.
+        let data: Vec<u8> = (0..=255u8).cycle().take(64).collect();
+        for len in 0..data.len() {
+            assert_eq!(
+                crc32(&data[..len]),
+                crc32_table_driven(&data[..len]),
+                "len {len}"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        /// The slice-by-8 fast path is bit-identical to the reference
+        /// byte-at-a-time implementation on arbitrary bytes.
+        #[test]
+        fn slice_by_8_is_bit_identical_to_reference(
+            data in proptest::collection::vec(0u8..=255, 0..300),
+        ) {
+            proptest::prop_assert_eq!(crc32(&data), crc32_table_driven(&data));
+        }
     }
 
     #[test]

@@ -56,8 +56,12 @@ mod store;
 use std::path::Path;
 
 pub use cache_snapshot::{load_cache_snapshot, save_cache_snapshot};
-pub use delta::{BaseId, DeltaOp};
-pub use store::{CorpusStore, Loaded, OpenOutcome, OpenReport, CACHE_FILE, SNAPSHOT_FILE};
+pub use corpus_snapshot::{decode_corpus_lazy, SnapshotView};
+pub use delta::{BaseId, DeltaOp, SegmentPayload};
+pub use store::{
+    CompactionReport, CorpusStore, Loaded, OpenOutcome, OpenReport, SegmentedLoad, TierPolicy,
+    CACHE_FILE, SNAPSHOT_FILE,
+};
 
 /// Why a store operation failed. Splits "nothing persisted yet"
 /// ([`Missing`](StoreError::Missing)) from every corruption flavour so

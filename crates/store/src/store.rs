@@ -2,20 +2,36 @@
 //! of delta segments, with atomic writes and crash-leftover sweeping.
 //!
 //! ```text
-//! <dir>/corpus.snap        the base snapshot (pages + index)
-//! <dir>/delta-000001.seg   journaled updates over the base, in order
-//! <dir>/delta-000002.seg
-//! <dir>/cache.snap         query-cache warm-start file (written by the
-//!                          service layer through `cache_snapshot`)
-//! <dir>/*.tmp              crash leftovers, swept at open
+//! <dir>/corpus.snap             the base snapshot (pages + index)
+//! <dir>/delta-000001-000004.seg a merged run of journal segments 1..=4
+//! <dir>/delta-000005.seg        journaled updates over the base, in order
+//! <dir>/cache.snap              query-cache warm-start file (written by
+//!                               the service layer through `cache_snapshot`)
+//! <dir>/*.tmp                   crash leftovers, swept at open
 //! ```
+//!
+//! Every journal segment carries, beside its operations, a partial
+//! index over each `AddPages` batch (built once at append time) — so a
+//! later load merges indexes instead of re-tokenizing the corpus: the
+//! O(delta) path. Tiered compaction folds small segments into run
+//! files named by their covered range (`delta-NNNNNN-MMMMMM.seg`,
+//! concatenated ops + indexes, nothing re-tokenized); a crash between
+//! writing the run and deleting its sources leaves contained singles
+//! that the next listing sweeps, and a *partial* range overlap — which
+//! no code path can produce — is refused as corruption rather than
+//! guessed at.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-use teda_websim::WebCorpus;
+use teda_websim::{
+    IndexParts, InvertedIndex, Segment, SegmentOp, SegmentedCorpus, WebCorpus, WebPage,
+};
 
 use crate::corpus_snapshot::{decode_corpus, encode_corpus};
-use crate::delta::{decode_segment, encode_segment, BaseId, DeltaOp};
+use crate::delta::{
+    decode_segment, decode_segment_full, encode_segment_indexed, BaseId, DeltaOp, SegmentPayload,
+};
 use crate::format::write_atomic;
 use crate::{clean_stale_tmps, StoreError};
 
@@ -35,6 +51,73 @@ pub struct Loaded {
     /// Delta segments replayed over the base (0 = pure snapshot load,
     /// no re-indexing needed).
     pub replayed_segments: usize,
+    /// Whether replay took the O(delta) path: pure additions whose
+    /// journaled partial indexes were merged into the base index
+    /// without re-tokenizing a single page. `false` for an empty
+    /// journal (nothing replayed) and for any replay that had to
+    /// re-index — removals, or add ops whose embedded index was
+    /// unusable.
+    pub incremental: bool,
+}
+
+/// Knobs bounding journal growth for [`CorpusStore::maybe_compact`].
+///
+/// Two independent ceilings: `max_segments` caps how many live journal
+/// files a load must open (merging the oldest `fanout` into one run
+/// file while exceeded), and `max_removed` caps the read-time remove
+/// set (journaled removal URLs), triggering a full fold into a fresh
+/// base snapshot when crossed — removals are the one op the O(delta)
+/// path cannot absorb, so they are bounded separately and more
+/// aggressively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierPolicy {
+    /// Maximum live journal segments before tier merging kicks in.
+    pub max_segments: usize,
+    /// How many of the oldest segments one merge folds together
+    /// (values below 2 are treated as 2 — a 1-way merge is a rename).
+    pub fanout: usize,
+    /// Maximum journaled removal URLs before a full fold.
+    pub max_removed: usize,
+}
+
+impl Default for TierPolicy {
+    fn default() -> Self {
+        TierPolicy {
+            max_segments: 8,
+            fanout: 4,
+            max_removed: 1024,
+        }
+    }
+}
+
+/// What [`CorpusStore::maybe_compact`] actually did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Tier merges performed (each folds several segments into one run).
+    pub merges: usize,
+    /// Total source segments consumed by those merges.
+    pub merged_segments: usize,
+    /// Whether the journal was fully folded into a new base snapshot.
+    pub full_fold: bool,
+    /// Live segments remaining after the call.
+    pub segments_after: usize,
+}
+
+/// A corpus opened for segment-overlay reads: the base snapshot behind
+/// an `Arc` plus the journal replayed as in-memory [`Segment`]s, ready
+/// for O(delta) refresh via [`SegmentedCorpus::push_segment`].
+#[derive(Debug)]
+pub struct SegmentedLoad {
+    /// Base + journal overlays; search results are bit-identical to a
+    /// full rebuild of the logical page list.
+    pub corpus: SegmentedCorpus,
+    /// Journal segments turned into overlays.
+    pub replayed_segments: usize,
+    /// Add operations whose journaled partial index was adopted as-is.
+    pub prebuilt_ops: usize,
+    /// Add operations that had to be re-tokenized (missing or unusable
+    /// embedded index).
+    pub reindexed_ops: usize,
 }
 
 /// How [`CorpusStore::open_or_build`] obtained its corpus.
@@ -142,9 +225,14 @@ impl CorpusStore {
 
     /// Loads the base snapshot and replays the delta journal over it.
     /// With an empty journal this is pure deserialization — no
-    /// tokenizing, no index construction; with deltas the logical page
-    /// list is re-indexed through the deterministic sharded build.
-    /// [`StoreError::Missing`] means no snapshot was ever written.
+    /// tokenizing, no index construction. With a journal of pure
+    /// additions whose embedded partial indexes are intact, the merge
+    /// is O(delta): journaled index shards are grafted onto the base
+    /// index and only bookkeeping arrays are touched. Otherwise
+    /// (removals, or damaged/missing embedded indexes) the logical page
+    /// list is re-indexed through the deterministic sharded build —
+    /// slower, never wrong. [`StoreError::Missing`] means no snapshot
+    /// was ever written.
     ///
     /// Only segments whose base binding matches the current snapshot
     /// bytes are replayed; mismatched segments are leftovers of a crash
@@ -154,45 +242,169 @@ impl CorpusStore {
     pub fn load(&self) -> Result<Loaded, StoreError> {
         let path = self.snapshot_path();
         let bytes = std::fs::read(&path).map_err(|e| StoreError::io(&path, e))?;
-        let segments = self.delta_segments()?;
+        let segments = self.active_segments()?;
         if segments.is_empty() {
             // Fast path: no journal, so the base binding (a second
             // whole-file CRC) never needs computing.
             return Ok(Loaded {
                 corpus: decode_corpus(&bytes)?,
                 replayed_segments: 0,
+                incremental: false,
             });
         }
         let base_id = self.bind(&bytes);
+        let payloads = self.read_bound_payloads(&segments, base_id)?;
+        let replayed = payloads.len();
         let base = decode_corpus(&bytes)?;
-        let mut ops = Vec::new();
-        let mut replayed = 0usize;
-        for segment in &segments {
-            let bytes = std::fs::read(segment).map_err(|e| StoreError::io(segment, e))?;
-            let (bound_to, segment_ops) = decode_segment(&bytes)?;
-            if bound_to != base_id {
-                // Already folded into the snapshot by an interrupted
-                // compaction — applying it again would duplicate pages.
-                std::fs::remove_file(segment).map_err(|e| StoreError::io(segment, e))?;
-                continue;
-            }
-            ops.extend(segment_ops);
-            replayed += 1;
-        }
         if replayed == 0 {
             return Ok(Loaded {
                 corpus: base,
                 replayed_segments: 0,
+                incremental: false,
+            });
+        }
+        let incremental_eligible = payloads.iter().all(|p| {
+            p.ops
+                .iter()
+                .zip(&p.add_indexes)
+                .all(|(op, idx)| matches!(op, DeltaOp::AddPages(_)) && idx.is_some())
+        });
+        if incremental_eligible {
+            // O(delta) path: graft the journaled partial indexes onto
+            // the base index. Pure additions only — a removal would
+            // change interning order and break the byte-identity
+            // guarantee, so it never reaches this branch.
+            let (mut pages, index) = base.into_pages_and_index();
+            let mut parts = Vec::new();
+            for payload in payloads {
+                for (op, idx) in payload.ops.into_iter().zip(payload.add_indexes) {
+                    if let DeltaOp::AddPages(ps) = op {
+                        pages.extend(ps);
+                        parts.push(idx.expect("eligibility checked every add is indexed"));
+                    }
+                }
+            }
+            // Forged parts that passed the structural decode but fail
+            // index validation — including a document count that does
+            // not match the pages they ride with — degrade to one
+            // re-index of the already-assembled page list.
+            let merged = match index.extend_with_parts(parts) {
+                Ok(m) if m.n_docs() == pages.len() => m,
+                _ => {
+                    return Ok(Loaded {
+                        corpus: WebCorpus::from_pages(pages),
+                        replayed_segments: replayed,
+                        incremental: false,
+                    })
+                }
+            };
+            let corpus = WebCorpus::from_parts(pages, merged)
+                .map_err(|e| StoreError::Corrupt(e.to_string()))?;
+            return Ok(Loaded {
+                corpus,
+                replayed_segments: replayed,
+                incremental: true,
             });
         }
         let mut pages = base.into_pages();
-        for op in &ops {
-            op.apply(&mut pages);
+        for payload in payloads {
+            for op in payload.ops {
+                apply_owned(op, &mut pages);
+            }
         }
         Ok(Loaded {
             corpus: WebCorpus::from_pages(pages),
             replayed_segments: replayed,
+            incremental: false,
         })
+    }
+
+    /// Opens the store for segment-overlay reads: the base snapshot is
+    /// decoded once and each journal segment becomes an in-memory
+    /// overlay, adopting its journaled partial index when intact
+    /// (O(delta) open) and re-tokenizing only the damaged ops.
+    pub fn load_segmented(&self) -> Result<SegmentedLoad, StoreError> {
+        let path = self.snapshot_path();
+        let bytes = std::fs::read(&path).map_err(|e| StoreError::io(&path, e))?;
+        let segment_files = self.active_segments()?;
+        let payloads = if segment_files.is_empty() {
+            Vec::new()
+        } else {
+            let base_id = self.bind(&bytes);
+            self.read_bound_payloads(&segment_files, base_id)?
+        };
+        let base = Arc::new(decode_corpus(&bytes)?);
+        let replayed_segments = payloads.len();
+        let mut prebuilt_ops = 0usize;
+        let mut reindexed_ops = 0usize;
+        let mut segments = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            let mut ops = Vec::with_capacity(payload.ops.len());
+            for (op, idx) in payload.ops.into_iter().zip(payload.add_indexes) {
+                ops.push(match op {
+                    DeltaOp::AddPages(pages) => {
+                        match idx.and_then(|parts| InvertedIndex::from_parts(parts).ok()) {
+                            Some(ix) if ix.n_docs() == pages.len() => {
+                                prebuilt_ops += 1;
+                                SegmentOp::add_prebuilt(pages, ix)
+                                    .map_err(|e| StoreError::Corrupt(e.to_string()))?
+                            }
+                            _ => {
+                                reindexed_ops += 1;
+                                SegmentOp::add(pages)
+                            }
+                        }
+                    }
+                    DeltaOp::RemovePages(urls) => SegmentOp::remove(urls),
+                });
+            }
+            segments.push(Arc::new(Segment::new(ops)));
+        }
+        let corpus =
+            SegmentedCorpus::new(base, segments).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+        Ok(SegmentedLoad {
+            corpus,
+            replayed_segments,
+            prebuilt_ops,
+            reindexed_ops,
+        })
+    }
+
+    /// Reads and decodes the given segment files, sweeping any bound to
+    /// a different (older) snapshot. A segment whose embedded index
+    /// sections are damaged but whose op journal is intact degrades to
+    /// an unindexed payload instead of failing the load.
+    fn read_bound_payloads(
+        &self,
+        segments: &[SegFile],
+        base_id: BaseId,
+    ) -> Result<Vec<SegmentPayload>, StoreError> {
+        let mut payloads = Vec::with_capacity(segments.len());
+        for seg in segments {
+            let bytes = std::fs::read(&seg.path).map_err(|e| StoreError::io(&seg.path, e))?;
+            let payload = match decode_segment_full(&bytes) {
+                Ok(payload) => payload,
+                Err(strict_err) => match decode_segment(&bytes) {
+                    Ok((base, ops)) => {
+                        let n = ops.len();
+                        SegmentPayload {
+                            base,
+                            ops,
+                            add_indexes: vec![None; n],
+                        }
+                    }
+                    Err(_) => return Err(strict_err),
+                },
+            };
+            if payload.base != base_id {
+                // Already folded into the snapshot by an interrupted
+                // compaction — applying it again would duplicate pages.
+                std::fs::remove_file(&seg.path).map_err(|e| StoreError::io(&seg.path, e))?;
+                continue;
+            }
+            payloads.push(payload);
+        }
+        Ok(payloads)
     }
 
     /// The fast path: load the persisted corpus, or fall back to
@@ -225,7 +437,7 @@ impl CorpusStore {
 
     /// Journals a page addition as a new delta segment (atomic append:
     /// the segment appears whole or not at all).
-    pub fn add_pages(&self, pages: &[teda_websim::WebPage]) -> Result<(), StoreError> {
+    pub fn add_pages(&self, pages: &[WebPage]) -> Result<(), StoreError> {
         self.append_segment(&[DeltaOp::AddPages(pages.to_vec())])
     }
 
@@ -237,18 +449,40 @@ impl CorpusStore {
     /// Journals an explicit operation batch as one segment, bound to
     /// the current base snapshot (which must exist — an update without
     /// a base has nothing to apply to; [`StoreError::Missing`]).
+    ///
+    /// Each `AddPages` batch is indexed here, once, and the partial
+    /// index rides inside the segment — this is what makes every later
+    /// load O(delta) instead of O(corpus).
     pub fn append_segment(&self, ops: &[DeltaOp]) -> Result<(), StoreError> {
+        let indexes: Vec<Option<IndexParts>> = ops
+            .iter()
+            .map(|op| match op {
+                DeltaOp::AddPages(pages) => Some(InvertedIndex::build(pages).to_parts()),
+                DeltaOp::RemovePages(_) => None,
+            })
+            .collect();
+        self.append_segment_indexed(ops, &indexes).map(drop)
+    }
+
+    /// Like [`append_segment`](Self::append_segment), but adopting
+    /// partial indexes the caller already built (one `Some` per
+    /// `AddPages` op, `None` per removal) instead of tokenizing the
+    /// pages a second time. Returns the sequence number of the new
+    /// segment. Callers that keep an in-memory overlay (the service's
+    /// live corpus) build each add's index exactly once and share it
+    /// between the journal and the overlay.
+    pub fn append_segment_indexed(
+        &self,
+        ops: &[DeltaOp],
+        indexes: &[Option<IndexParts>],
+    ) -> Result<u64, StoreError> {
         let base = self.base_id()?;
-        let next = self
-            .delta_segments()?
-            .last()
-            .and_then(|p| segment_seq(p))
-            .unwrap_or(0)
-            + 1;
+        let next = self.segment_files()?.last().map_or(0, |f| f.end) + 1;
         let path = self
             .dir
             .join(format!("{DELTA_PREFIX}{next:06}.{DELTA_EXT}"));
-        write_atomic(&path, &encode_segment(base, ops))
+        write_atomic(&path, &encode_segment_indexed(base, ops, indexes))?;
+        Ok(next)
     }
 
     /// Folds base + deltas into a new base snapshot and truncates the
@@ -270,6 +504,117 @@ impl CorpusStore {
         let compacted = WebCorpus::from_pages(loaded.corpus.into_pages());
         self.save(&compacted)?;
         Ok(compacted)
+    }
+
+    /// [`compact`](Self::compact) for callers that don't want the
+    /// folded corpus — the common case (maintenance sweeps, benchmarks
+    /// resetting state, the tier policy's full fold), where returning
+    /// the corpus by value just hands the caller megabytes to drop.
+    pub fn compact_in_place(&self) -> Result<(), StoreError> {
+        self.compact().map(drop)
+    }
+
+    /// Bounds the journal per `policy`: a full fold when the journaled
+    /// remove set exceeds `max_removed`, else tier merges of the oldest
+    /// `fanout` segments (concatenating their ops and embedded indexes
+    /// into one run file — nothing re-tokenized) while the live count
+    /// exceeds `max_segments`. A no-op on a store with no snapshot.
+    pub fn maybe_compact(&self, policy: TierPolicy) -> Result<CompactionReport, StoreError> {
+        let mut report = CompactionReport::default();
+        let base_id = match self.base_id() {
+            Ok(base) => base,
+            Err(e) if e.is_missing() => return Ok(report),
+            Err(e) => return Err(e),
+        };
+        // One pass over the live journal: sweep stale-bound leftovers,
+        // count removal URLs for the full-fold trigger.
+        let mut removed = 0usize;
+        let mut active: Vec<SegFile> = Vec::new();
+        for file in self.active_segments()? {
+            let bytes = std::fs::read(&file.path).map_err(|e| StoreError::io(&file.path, e))?;
+            let (bound_to, ops) = decode_segment(&bytes)?;
+            if bound_to != base_id {
+                std::fs::remove_file(&file.path).map_err(|e| StoreError::io(&file.path, e))?;
+                continue;
+            }
+            removed += ops
+                .iter()
+                .map(|op| match op {
+                    DeltaOp::RemovePages(urls) => urls.len(),
+                    DeltaOp::AddPages(_) => 0,
+                })
+                .sum::<usize>();
+            active.push(file);
+        }
+        if removed > policy.max_removed {
+            self.compact_in_place()?;
+            report.full_fold = true;
+            return Ok(report);
+        }
+        let fanout = policy.fanout.max(2);
+        let max_segments = policy.max_segments.max(1);
+        while active.len() > max_segments {
+            let n = fanout.min(active.len());
+            let victims: Vec<SegFile> = active.drain(..n).collect();
+            let merged = self.merge_segments(&victims, base_id)?;
+            report.merges += 1;
+            report.merged_segments += n;
+            // The run re-enters at the front: the next round (if the
+            // count is still over budget) folds it with its successors,
+            // so the loop strictly shrinks and terminates.
+            active.insert(0, merged);
+        }
+        report.segments_after = active.len();
+        Ok(report)
+    }
+
+    /// Merges `victims` (≥ 2, consecutive, oldest-first, all bound to
+    /// `base_id`) into one run file covering their sequence range, then
+    /// deletes the sources. A crash after the run's atomic write leaves
+    /// the sources contained in its range — the next listing sweeps
+    /// them, so no op is ever replayed twice.
+    fn merge_segments(&self, victims: &[SegFile], base_id: BaseId) -> Result<SegFile, StoreError> {
+        let mut ops = Vec::new();
+        let mut indexes = Vec::new();
+        for victim in victims {
+            let bytes = std::fs::read(&victim.path).map_err(|e| StoreError::io(&victim.path, e))?;
+            let payload = match decode_segment_full(&bytes) {
+                Ok(payload) => payload,
+                Err(strict_err) => match decode_segment(&bytes) {
+                    Ok((base, segment_ops)) => {
+                        let n = segment_ops.len();
+                        SegmentPayload {
+                            base,
+                            ops: segment_ops,
+                            add_indexes: vec![None; n],
+                        }
+                    }
+                    Err(_) => return Err(strict_err),
+                },
+            };
+            ops.extend(payload.ops);
+            indexes.extend(payload.add_indexes);
+        }
+        // A merged add op may have lost its index to damage; re-derive
+        // it here so the run restores O(delta) eligibility.
+        for (op, idx) in ops.iter().zip(indexes.iter_mut()) {
+            if let (DeltaOp::AddPages(pages), None) = (op, &idx) {
+                *idx = Some(InvertedIndex::build(pages).to_parts());
+            }
+        }
+        let start = victims
+            .first()
+            .expect("merge of at least two segments")
+            .start;
+        let end = victims.last().expect("merge of at least two segments").end;
+        let path = self
+            .dir
+            .join(format!("{DELTA_PREFIX}{start:06}-{end:06}.{DELTA_EXT}"));
+        write_atomic(&path, &encode_segment_indexed(base_id, &ops, &indexes))?;
+        for victim in victims {
+            std::fs::remove_file(&victim.path).map_err(|e| StoreError::io(&victim.path, e))?;
+        }
+        Ok(SegFile { start, end, path })
     }
 
     /// The current snapshot's base binding, from the cache or by
@@ -297,36 +642,108 @@ impl CorpusStore {
         base
     }
 
-    /// The journal's segment paths, in replay (= numeric) order.
+    /// The journal's segment paths, in replay (= numeric) order —
+    /// *every* segment file, shadowed pre-merge leftovers included, so
+    /// [`save`](Self::save) truncates the whole journal.
     pub fn delta_segments(&self) -> Result<Vec<PathBuf>, StoreError> {
+        Ok(self.segment_files()?.into_iter().map(|f| f.path).collect())
+    }
+
+    /// Every segment file in the directory, sorted for resolution:
+    /// start ascending, then wider range first — so a run file
+    /// immediately precedes the leftovers it shadows.
+    fn segment_files(&self) -> Result<Vec<SegFile>, StoreError> {
         let entries = match std::fs::read_dir(&self.dir) {
             Ok(entries) => entries,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
             Err(e) => return Err(StoreError::io(&self.dir, e)),
         };
-        let mut segments: Vec<(u64, PathBuf)> = Vec::new();
+        let mut segments: Vec<SegFile> = Vec::new();
         for entry in entries {
             let entry = entry.map_err(|e| StoreError::io(&self.dir, e))?;
             let path = entry.path();
-            if let Some(seq) = segment_seq(&path) {
-                segments.push((seq, path));
+            if let Some((start, end)) = segment_range(&path) {
+                segments.push(SegFile { start, end, path });
             }
         }
-        segments.sort();
-        Ok(segments.into_iter().map(|(_, p)| p).collect())
+        segments.sort_by(|a, b| {
+            (a.start, std::cmp::Reverse(a.end), &a.path).cmp(&(
+                b.start,
+                std::cmp::Reverse(b.end),
+                &b.path,
+            ))
+        });
+        Ok(segments)
+    }
+
+    /// The live journal in replay order: [`segment_files`](Self::segment_files)
+    /// with segments fully contained in an earlier one swept (they are
+    /// pre-merge leftovers of an interrupted tier compaction — the run
+    /// file holds their ops byte-for-byte). Partial range overlap has
+    /// no legitimate producer and is refused as corruption.
+    fn active_segments(&self) -> Result<Vec<SegFile>, StoreError> {
+        let mut active: Vec<SegFile> = Vec::new();
+        for file in self.segment_files()? {
+            match active.last() {
+                Some(last) if file.start <= last.end => {
+                    if file.end <= last.end {
+                        std::fs::remove_file(&file.path)
+                            .map_err(|e| StoreError::io(&file.path, e))?;
+                    } else {
+                        return Err(StoreError::Corrupt(format!(
+                            "delta segments {} and {} overlap without containment",
+                            last.path.display(),
+                            file.path.display()
+                        )));
+                    }
+                }
+                _ => active.push(file),
+            }
+        }
+        Ok(active)
     }
 }
 
-/// The sequence number of a `delta-NNNNNN.seg` path, if it is one.
-fn segment_seq(path: &Path) -> Option<u64> {
+/// One journal file and the sequence range it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SegFile {
+    start: u64,
+    end: u64,
+    path: PathBuf,
+}
+
+/// Replays one owned delta op onto a page list (the move-semantics
+/// sibling of [`DeltaOp::apply`] — added pages transfer instead of
+/// cloning).
+fn apply_owned(op: DeltaOp, pages: &mut Vec<WebPage>) {
+    match op {
+        DeltaOp::AddPages(added) => pages.extend(added),
+        DeltaOp::RemovePages(urls) => {
+            let doomed: std::collections::HashSet<&str> = urls.iter().map(String::as_str).collect();
+            pages.retain(|page| !doomed.contains(page.url.as_str()));
+        }
+    }
+}
+
+/// The sequence range of a `delta-NNNNNN.seg` (single segment,
+/// `(N, N)`) or `delta-NNNNNN-MMMMMM.seg` (merged run, `(N, M)`,
+/// requiring `N <= M`) path, if it is one.
+fn segment_range(path: &Path) -> Option<(u64, u64)> {
     if path.extension()? != DELTA_EXT {
         return None;
     }
-    path.file_stem()?
-        .to_str()?
-        .strip_prefix(DELTA_PREFIX)?
-        .parse()
-        .ok()
+    let stem = path.file_stem()?.to_str()?.strip_prefix(DELTA_PREFIX)?;
+    match stem.split_once('-') {
+        None => {
+            let seq: u64 = stem.parse().ok()?;
+            Some((seq, seq))
+        }
+        Some((start, end)) => {
+            let start: u64 = start.parse().ok()?;
+            let end: u64 = end.parse().ok()?;
+            (start <= end).then_some((start, end))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -335,13 +752,58 @@ mod tests {
 
     #[test]
     fn segment_names_parse_and_sort() {
-        assert_eq!(segment_seq(Path::new("/x/delta-000007.seg")), Some(7));
         assert_eq!(
-            segment_seq(Path::new("/x/delta-1000000.seg")),
-            Some(1_000_000)
+            segment_range(Path::new("/x/delta-000007.seg")),
+            Some((7, 7))
         );
-        assert_eq!(segment_seq(Path::new("/x/corpus.snap")), None);
-        assert_eq!(segment_seq(Path::new("/x/delta-abc.seg")), None);
-        assert_eq!(segment_seq(Path::new("/x/delta-000007.tmp")), None);
+        assert_eq!(
+            segment_range(Path::new("/x/delta-1000000.seg")),
+            Some((1_000_000, 1_000_000))
+        );
+        assert_eq!(
+            segment_range(Path::new("/x/delta-000001-000004.seg")),
+            Some((1, 4))
+        );
+        assert_eq!(segment_range(Path::new("/x/delta-000004-000001.seg")), None);
+        assert_eq!(segment_range(Path::new("/x/corpus.snap")), None);
+        assert_eq!(segment_range(Path::new("/x/delta-abc.seg")), None);
+        assert_eq!(segment_range(Path::new("/x/delta-000007.tmp")), None);
+        assert_eq!(segment_range(Path::new("/x/delta-1-2-3.seg")), None);
+    }
+
+    #[test]
+    fn resolution_order_puts_runs_before_their_leftovers() {
+        let mut files = [
+            SegFile {
+                start: 2,
+                end: 2,
+                path: PathBuf::from("/x/delta-000002.seg"),
+            },
+            SegFile {
+                start: 5,
+                end: 5,
+                path: PathBuf::from("/x/delta-000005.seg"),
+            },
+            SegFile {
+                start: 1,
+                end: 4,
+                path: PathBuf::from("/x/delta-000001-000004.seg"),
+            },
+            SegFile {
+                start: 1,
+                end: 1,
+                path: PathBuf::from("/x/delta-000001.seg"),
+            },
+        ];
+        // Same key `segment_files` sorts by.
+        files.sort_by(|a, b| {
+            (a.start, std::cmp::Reverse(a.end), &a.path).cmp(&(
+                b.start,
+                std::cmp::Reverse(b.end),
+                &b.path,
+            ))
+        });
+        let order: Vec<u64> = files.iter().map(|f| f.end).collect();
+        assert_eq!(order, vec![4, 1, 2, 5]);
     }
 }

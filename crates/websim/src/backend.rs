@@ -1,0 +1,206 @@
+//! The search-backend seam: how a ranked index is consumed, without
+//! saying which index it is.
+//!
+//! [`BingSim`](crate::BingSim) (and through it `BatchAnnotator` and the
+//! annotation service) only ever needs three things from the corpus:
+//! rank pages for a query, assemble the ranked pages into results, and
+//! know the collection size. [`SearchBackend`] is that contract,
+//! implemented by the monolithic [`WebCorpus`], the read-time-merged
+//! [`SegmentedCorpus`](crate::SegmentedCorpus), and `teda-store`'s lazy
+//! snapshot view — and it is the seam a future scatter-gather cluster
+//! tier would slot into. [`SwappableBackend`] adds atomic hot swap so a
+//! live service can fold in a freshly journaled segment without
+//! restarting (each query runs against one coherent backend, before or
+//! after the swap, never a mixture).
+
+use std::sync::{Arc, RwLock};
+
+use crate::corpus::WebCorpus;
+use crate::engine::SearchResult;
+use crate::page::{snippet_of, PageId};
+
+/// Borrowed views of one page's fields, as a search result consumes
+/// them. Borrowing (rather than cloning three `String`s per access) is
+/// what lets the zero-copy snapshot view serve page reads straight out
+/// of its byte buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageFields<'a> {
+    /// The page URL.
+    pub url: &'a str,
+    /// The page title.
+    pub title: &'a str,
+    /// The page text.
+    pub body: &'a str,
+}
+
+impl PageFields<'_> {
+    /// The search-result snippet: the first
+    /// [`SNIPPET_WORDS`](crate::page::SNIPPET_WORDS) words of the body.
+    pub fn snippet(&self) -> String {
+        snippet_of(self.body)
+    }
+
+    /// The `(url, title, snippet)` triple the engine facade returns.
+    pub fn to_result(self) -> SearchResult {
+        SearchResult {
+            url: self.url.to_string(),
+            title: self.title.to_string(),
+            snippet: self.snippet(),
+        }
+    }
+}
+
+/// A ranked page collection, as the engine facade consumes it.
+///
+/// Implementations must rank identically for identical logical corpora:
+/// BM25 through [`crate::scoring`], ties broken by ascending page id.
+/// Both methods take `&self` so one backend can serve concurrent
+/// workers. `search_results` exists (rather than a borrowed per-page
+/// accessor) so a hot-swappable backend can resolve one coherent
+/// backend per query — ranking and field assembly never straddle a
+/// swap.
+pub trait SearchBackend: Send + Sync {
+    /// Up to `k` pages by descending BM25 score, ties by ascending id.
+    fn search(&self, query: &str, k: usize) -> Vec<(PageId, f64)>;
+
+    /// The top-`k` results with their fields assembled.
+    fn search_results(&self, query: &str, k: usize) -> Vec<SearchResult>;
+
+    /// Number of pages in the collection.
+    fn n_docs(&self) -> usize;
+}
+
+/// Assembles owned results from ranked hits and a page-field accessor —
+/// the one-liner every concrete backend's `search_results` reduces to.
+pub fn assemble_results<'a>(
+    hits: Vec<(PageId, f64)>,
+    fields: impl Fn(PageId) -> PageFields<'a>,
+) -> Vec<SearchResult> {
+    hits.into_iter()
+        .map(|(page, _)| fields(page).to_result())
+        .collect()
+}
+
+impl SearchBackend for WebCorpus {
+    fn search(&self, query: &str, k: usize) -> Vec<(PageId, f64)> {
+        self.index().search(query, k)
+    }
+
+    fn search_results(&self, query: &str, k: usize) -> Vec<SearchResult> {
+        assemble_results(self.index().search(query, k), |id| self.page_fields(id))
+    }
+
+    fn n_docs(&self) -> usize {
+        self.len()
+    }
+}
+
+/// An atomically swappable backend: the indirection a live service
+/// queries through, so folding in a new segment is one pointer swap.
+///
+/// The lock is held only long enough to clone or replace the `Arc` —
+/// never across a search — so a slow query can't block a refresh and a
+/// refresh can't block queries. A query that raced a swap completes
+/// against the backend it resolved (its `Arc` keeps that corpus
+/// alive), which is exactly the snapshot-isolation semantics a reader
+/// wants.
+pub struct SwappableBackend {
+    inner: RwLock<Arc<dyn SearchBackend>>,
+}
+
+impl SwappableBackend {
+    /// A swappable wrapper starting at `initial`.
+    pub fn new(initial: Arc<dyn SearchBackend>) -> Self {
+        SwappableBackend {
+            inner: RwLock::new(initial),
+        }
+    }
+
+    /// The current backend (cheap: one `Arc` clone under a read lock).
+    pub fn current(&self) -> Arc<dyn SearchBackend> {
+        self.inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Atomically replaces the backend; in-flight queries finish
+    /// against the one they resolved.
+    pub fn swap(&self, next: Arc<dyn SearchBackend>) {
+        *self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = next;
+    }
+}
+
+impl std::fmt::Debug for SwappableBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwappableBackend")
+            .field("n_docs", &self.current().n_docs())
+            .finish()
+    }
+}
+
+impl SearchBackend for SwappableBackend {
+    fn search(&self, query: &str, k: usize) -> Vec<(PageId, f64)> {
+        self.current().search(query, k)
+    }
+
+    fn search_results(&self, query: &str, k: usize) -> Vec<SearchResult> {
+        // One resolve per query: ranking and field assembly both run
+        // against the same backend even if a swap lands mid-call.
+        self.current().search_results(query, k)
+    }
+
+    fn n_docs(&self) -> usize {
+        self.current().n_docs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::WebPage;
+
+    fn corpus() -> WebCorpus {
+        WebCorpus::from_pages(vec![
+            WebPage {
+                url: "u0".into(),
+                title: "Melisse".into(),
+                body: "melisse restaurant santa monica".into(),
+            },
+            WebPage {
+                url: "u1".into(),
+                title: "Noise".into(),
+                body: "unrelated words entirely".into(),
+            },
+        ])
+    }
+
+    #[test]
+    fn corpus_backend_matches_direct_index_search() {
+        let c = corpus();
+        let via_backend = SearchBackend::search(&c, "melisse", 5);
+        let direct = c.index().search("melisse", 5);
+        assert_eq!(via_backend, direct);
+        let results = c.search_results("melisse", 5);
+        assert_eq!(results[0].url, "u0");
+        assert_eq!(results[0].snippet, "melisse restaurant santa monica");
+    }
+
+    #[test]
+    fn swap_changes_results_atomically() {
+        let a = Arc::new(corpus());
+        let b = Arc::new(WebCorpus::from_pages(Vec::new()));
+        let sw = SwappableBackend::new(a.clone());
+        assert_eq!(sw.n_docs(), 2);
+        assert!(!sw.search("melisse", 5).is_empty());
+        // A reader holding the pre-swap backend keeps its view.
+        let held = sw.current();
+        sw.swap(b);
+        assert_eq!(sw.n_docs(), 0);
+        assert!(sw.search("melisse", 5).is_empty());
+        assert_eq!(held.n_docs(), 2);
+    }
+}

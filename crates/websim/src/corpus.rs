@@ -144,11 +144,29 @@ impl WebCorpus {
         &self.pages[id.0 as usize]
     }
 
+    /// Borrowed field views of the page with id `id`.
+    pub fn page_fields(&self, id: PageId) -> crate::backend::PageFields<'_> {
+        let p = self.page(id);
+        crate::backend::PageFields {
+            url: &p.url,
+            title: &p.title,
+            body: &p.body,
+        }
+    }
+
     /// Consumes the corpus, returning its page list — the delta-replay
     /// and compaction paths mutate the list and re-derive the index
     /// with [`from_pages`](Self::from_pages).
     pub fn into_pages(self) -> Vec<WebPage> {
         self.pages
+    }
+
+    /// Consumes the corpus into both halves. The incremental-merge load
+    /// path extends the page list and the index separately (via
+    /// [`InvertedIndex::extend_with_parts`]) instead of re-tokenizing
+    /// everything through [`from_pages`](Self::from_pages).
+    pub fn into_pages_and_index(self) -> (Vec<WebPage>, InvertedIndex) {
+        (self.pages, self.index)
     }
 
     /// All pages.

@@ -16,7 +16,7 @@ use rand::SeedableRng;
 
 use teda_simkit::{LatencyModel, VirtualClock};
 
-use crate::corpus::WebCorpus;
+use crate::backend::SearchBackend;
 
 /// One search result, as the annotator consumes it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,17 +51,19 @@ impl<E: SearchEngine + ?Sized> SearchEngine for Arc<E> {
     }
 }
 
-/// The simulated Bing API over a [`WebCorpus`].
+/// The simulated Bing API over any [`SearchBackend`] — the monolithic
+/// [`crate::WebCorpus`], a segmented corpus, or a hot-swappable handle.
 ///
-/// Cheaply shareable across threads: the corpus and its index are behind
-/// an `Arc` and read-only after construction, the query counter is
-/// atomic, and the only mutable state — the latency RNG — sits behind a
-/// mutex held just long enough to draw one sample. Results are a pure
-/// function of `(query, k)`; concurrent callers only interleave *which*
-/// latency sample each query draws, and the virtual clock accumulates
-/// the same total either way.
+/// Cheaply shareable across threads: the backend is behind an `Arc`
+/// (read-only, or internally synchronized like
+/// [`crate::backend::SwappableBackend`]), the query counter is atomic,
+/// and the only mutable state — the latency RNG — sits behind a mutex
+/// held just long enough to draw one sample. Results are a pure
+/// function of `(query, k)` against the backend's current collection;
+/// concurrent callers only interleave *which* latency sample each query
+/// draws, and the virtual clock accumulates the same total either way.
 pub struct BingSim {
-    corpus: Arc<WebCorpus>,
+    backend: Arc<dyn SearchBackend>,
     clock: VirtualClock,
     latency: LatencyModel,
     rng: Mutex<StdRng>,
@@ -70,9 +72,14 @@ pub struct BingSim {
 
 impl BingSim {
     /// Creates an engine charging `latency` per query into `clock`.
-    pub fn new(corpus: Arc<WebCorpus>, clock: VirtualClock, latency: LatencyModel) -> Self {
+    /// `Arc<WebCorpus>` coerces here, so existing callers are unchanged.
+    pub fn new(
+        backend: Arc<dyn SearchBackend>,
+        clock: VirtualClock,
+        latency: LatencyModel,
+    ) -> Self {
         BingSim {
-            corpus,
+            backend,
             clock,
             latency,
             rng: Mutex::new(StdRng::seed_from_u64(0xb19)),
@@ -81,8 +88,8 @@ impl BingSim {
     }
 
     /// A zero-latency engine for tests.
-    pub fn instant(corpus: Arc<WebCorpus>) -> Self {
-        BingSim::new(corpus, VirtualClock::new(), LatencyModel::zero())
+    pub fn instant(backend: Arc<dyn SearchBackend>) -> Self {
+        BingSim::new(backend, VirtualClock::new(), LatencyModel::zero())
     }
 
     /// Number of queries served (the paper's daily-allowance concern).
@@ -90,9 +97,10 @@ impl BingSim {
         self.queries.load(Ordering::Relaxed)
     }
 
-    /// The shared corpus.
-    pub fn corpus(&self) -> &WebCorpus {
-        &self.corpus
+    /// Number of pages in the backing collection (as of now — a
+    /// swappable backend may grow between calls).
+    pub fn n_docs(&self) -> usize {
+        self.backend.n_docs()
     }
 
     /// The shared virtual clock.
@@ -109,20 +117,7 @@ impl SearchEngine for BingSim {
         };
         self.clock.advance(d);
         self.queries.fetch_add(1, Ordering::Relaxed);
-
-        self.corpus
-            .index()
-            .search(query, k)
-            .into_iter()
-            .map(|(page, _)| {
-                let p = self.corpus.page(page);
-                SearchResult {
-                    url: p.url.clone(),
-                    title: p.title.clone(),
-                    snippet: p.snippet(),
-                }
-            })
-            .collect()
+        self.backend.search_results(query, k)
     }
 }
 
@@ -138,7 +133,7 @@ mod tests {
     use std::time::Duration;
     use teda_kb::{World, WorldSpec};
 
-    use crate::corpus::WebCorpusSpec;
+    use crate::corpus::{WebCorpus, WebCorpusSpec};
 
     fn engine() -> (World, BingSim) {
         let w = World::generate(WorldSpec::tiny(), 42);

@@ -23,26 +23,23 @@
 //! arena, same offsets) for any shard count. See `README.md` next to
 //! this file for why the merge preserves the sequential interning order.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 use rayon::prelude::*;
 
 use teda_text::tokenize;
 
 use crate::page::{PageId, WebPage};
-
-const K1: f64 = 1.2;
-const B: f64 = 0.75;
+use crate::scoring;
 
 /// A posting: page and term frequency.
 ///
 /// `tf` is a small integer count (+2 per title occurrence), exactly
 /// representable in `f32`; scoring widens to `f64`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Posting {
-    page: PageId,
-    tf: f32,
+pub(crate) struct Posting {
+    pub(crate) page: PageId,
+    pub(crate) tf: f32,
 }
 
 /// The inverted index over a page collection.
@@ -60,42 +57,6 @@ pub struct InvertedIndex {
     doc_len: Vec<f64>,
     avg_len: f64,
     n_docs: usize,
-}
-
-/// Heap entry ordered so that `a > b` means "a ranks better": higher
-/// score first, lower page id on ties — the exact order of a full
-/// descending sort with id tie-breaks.
-#[derive(Debug, Clone, Copy)]
-struct Ranked {
-    score: f64,
-    page: PageId,
-}
-
-impl PartialEq for Ranked {
-    fn eq(&self, other: &Self) -> bool {
-        self.score == other.score && self.page == other.page
-    }
-}
-
-impl Eq for Ranked {}
-
-impl Ord for Ranked {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // total_cmp, not partial_cmp().expect(...): BM25 scores are
-        // finite today, but a NaN sneaking in through a future scoring
-        // tweak must degrade (NaN sorts as an ordinary value) rather
-        // than panic inside every query. For finite scores the order is
-        // identical, so top-k ties stay byte-identical.
-        self.score
-            .total_cmp(&other.score)
-            .then_with(|| other.page.cmp(&self.page))
-    }
-}
-
-impl PartialOrd for Ranked {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// One shard's accumulation: a local vocabulary (interned in
@@ -265,17 +226,18 @@ impl InvertedIndex {
         self.term_ids.get(token).copied()
     }
 
-    /// The posting slice of a term id.
-    fn postings_of(&self, tid: u32) -> &[Posting] {
+    /// The posting slice of a term id. Crate-visible so the segmented
+    /// view can merge base postings with segment postings at read time.
+    pub(crate) fn postings_of(&self, tid: u32) -> &[Posting] {
         let lo = self.offsets[tid as usize] as usize;
         let hi = self.offsets[tid as usize + 1] as usize;
         &self.postings[lo..hi]
     }
 
-    /// BM25 IDF with the standard +1 floor against negative values.
-    fn idf_of(&self, df: usize) -> f64 {
-        let df = df as f64;
-        (((self.n_docs as f64 - df + 0.5) / (df + 0.5)) + 1.0).ln()
+    /// The indexed length of document `i` (sum of term counts, titles
+    /// doubled) — the exact BM25 input, as stored.
+    pub(crate) fn doc_len_of(&self, i: usize) -> f64 {
+        self.doc_len[i]
     }
 
     /// Scores `query` against the collection, returning up to `k` pages by
@@ -285,25 +247,7 @@ impl InvertedIndex {
             return Vec::new();
         }
         let (scores, touched) = self.score_query(query);
-        // Bounded min-heap of the k best (the heap's minimum is the
-        // current k-th entry; anything better evicts it).
-        let mut heap: BinaryHeap<std::cmp::Reverse<Ranked>> = BinaryHeap::with_capacity(k + 1);
-        for &page in &touched {
-            let entry = Ranked {
-                score: scores[page as usize],
-                page: PageId(page),
-            };
-            if heap.len() < k {
-                heap.push(std::cmp::Reverse(entry));
-            } else if entry > heap.peek().expect("non-empty heap").0 {
-                heap.pop();
-                heap.push(std::cmp::Reverse(entry));
-            }
-        }
-        heap.into_sorted_vec()
-            .into_iter()
-            .map(|std::cmp::Reverse(r)| (r.page, r.score))
-            .collect()
+        scoring::rank_top_k(&scores, &touched, k)
     }
 
     /// The historical ranking path — score everything, sort everything —
@@ -312,16 +256,7 @@ impl InvertedIndex {
     #[doc(hidden)]
     pub fn search_full_sort(&self, query: &str, k: usize) -> Vec<(PageId, f64)> {
         let (scores, touched) = self.score_query(query);
-        let mut ranked: Vec<(PageId, f64)> = touched
-            .into_iter()
-            .map(|p| (PageId(p), scores[p as usize]))
-            .collect();
-        // Same NaN-tolerant ordering as `Ranked::cmp` — the two paths
-        // must tie-break identically or the bounded-heap equivalence
-        // tests would diverge on degenerate scores.
-        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        ranked.truncate(k);
-        ranked
+        scoring::rank_full_sort(&scores, &touched, k)
     }
 
     /// Accumulates BM25 contributions per page: dense score array plus
@@ -335,13 +270,10 @@ impl InvertedIndex {
                 continue;
             };
             let posts = self.postings_of(tid);
-            let idf = self.idf_of(posts.len());
+            let idf = scoring::idf(self.n_docs, posts.len());
             for p in posts {
                 let i = p.page.0 as usize;
-                let dl = self.doc_len[i];
-                let norm = K1 * (1.0 - B + B * dl / self.avg_len.max(1e-9));
-                let tf = f64::from(p.tf);
-                let contrib = idf * (tf * (K1 + 1.0)) / (tf + norm);
+                let contrib = scoring::weight(idf, f64::from(p.tf), self.doc_len[i], self.avg_len);
                 if scores[i] == 0.0 {
                     touched.push(p.page.0);
                 }
@@ -500,6 +432,88 @@ impl InvertedIndex {
             avg_len: f64::from_bits(parts.avg_len_bits),
             n_docs,
         })
+    }
+
+    /// Extends this index with per-segment partial indexes (each built
+    /// over its own page slice, document ids local and 0-based) —
+    /// **without re-tokenizing anything**. This is the O(delta) journal
+    /// fold: the base index replays the role of shard 0 and every
+    /// partial plays a later shard, so the `build_sharded` merge proof
+    /// applies unchanged and the result is byte-identical to a
+    /// sequential [`build`](Self::build) over the concatenated page
+    /// list (provided each partial really was built over its slice —
+    /// which [`from_parts`](Self::from_parts)-level validation cannot
+    /// check, but which holds for every partial this workspace writes,
+    /// because they are all produced by `build` itself).
+    ///
+    /// Untrusted parts cannot panic: every partial passes the full
+    /// [`from_parts`](Self::from_parts) validation and the combined
+    /// document/posting/vocabulary counts are checked against `u32`
+    /// before the merge's internal conversions run.
+    pub fn extend_with_parts(self, adds: Vec<IndexParts>) -> Result<Self, InvalidIndexParts> {
+        let mut docs = self.n_docs as u64;
+        let mut posts = self.postings.len() as u64;
+        let mut vocab = self.term_ids.len() as u64;
+        for p in &adds {
+            docs = docs
+                .checked_add(p.n_docs)
+                .ok_or_else(|| InvalidIndexParts::new("combined document count overflows"))?;
+            posts = posts
+                .checked_add(p.postings.len() as u64)
+                .ok_or_else(|| InvalidIndexParts::new("combined posting count overflows"))?;
+            vocab = vocab
+                .checked_add(p.terms.len() as u64)
+                .ok_or_else(|| InvalidIndexParts::new("combined vocabulary overflows"))?;
+        }
+        if docs > u64::from(u32::MAX) {
+            return Err(InvalidIndexParts::new(
+                "combined document count exceeds u32 page ids",
+            ));
+        }
+        if posts > u64::from(u32::MAX) || vocab > u64::from(u32::MAX) {
+            return Err(InvalidIndexParts::new(
+                "combined posting arena or vocabulary exceeds u32 offsets",
+            ));
+        }
+        let mut offset = self.n_docs as u32;
+        let mut shards = Vec::with_capacity(adds.len() + 1);
+        shards.push(self.into_shard(0));
+        for parts in adds {
+            let n = parts.n_docs as u32; // fits: bounded by `docs` above
+            shards.push(InvertedIndex::from_parts(parts)?.into_shard(offset));
+            offset += n;
+        }
+        Ok(Self::merge(shards, docs as usize))
+    }
+
+    /// Converts a built index back into the shard accumulation the
+    /// merge consumes, rebasing page ids by `base`. Exact inverse of
+    /// what `merge` did to produce it: terms in dense-id (= global
+    /// first-occurrence) order, per-term postings ascending.
+    fn into_shard(self, base: u32) -> ShardAccum {
+        let mut terms = vec![String::new(); self.term_ids.len()];
+        for (token, id) in self.term_ids {
+            terms[id as usize] = token;
+        }
+        let mut acc = Vec::with_capacity(terms.len());
+        for t in 0..terms.len() {
+            let lo = self.offsets[t] as usize;
+            let hi = self.offsets[t + 1] as usize;
+            acc.push(
+                self.postings[lo..hi]
+                    .iter()
+                    .map(|p| Posting {
+                        page: PageId(p.page.0 + base),
+                        tf: p.tf,
+                    })
+                    .collect(),
+            );
+        }
+        ShardAccum {
+            terms,
+            acc,
+            doc_len: self.doc_len,
+        }
     }
 }
 
@@ -797,49 +811,38 @@ mod tests {
         );
     }
 
-    /// Regression: a NaN score (a degenerate idf/length interaction in
-    /// some future scoring tweak) must order deterministically, not
-    /// panic inside every query — and both ranking paths must agree.
     #[test]
-    fn nan_scores_order_deterministically_instead_of_panicking() {
-        let entries = [
-            Ranked {
-                score: f64::NAN,
-                page: PageId(0),
-            },
-            Ranked {
-                score: 1.5,
-                page: PageId(1),
-            },
-            Ranked {
-                score: f64::NAN,
-                page: PageId(2),
-            },
-            Ranked {
-                score: 0.5,
-                page: PageId(3),
-            },
-        ];
-        let mut heap_order = entries;
-        heap_order.sort(); // would have panicked via partial_cmp
-        let mut full_sort_order: Vec<(PageId, f64)> =
-            entries.iter().map(|r| (r.page, r.score)).collect();
-        full_sort_order.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        // `sort` is ascending "worse first"; the full-sort comparator is
-        // descending "best first" — reversed, they must agree exactly.
-        heap_order.reverse();
-        let from_ranked: Vec<(PageId, f64)> =
-            heap_order.iter().map(|r| (r.page, r.score)).collect();
-        assert_eq!(
-            format!("{from_ranked:?}"),
-            format!("{full_sort_order:?}"),
-            "Ranked::cmp and the full-sort comparator disagree on NaN"
-        );
-        // NaN ranks above every finite score under total_cmp; ties on
-        // NaN still break by ascending page id.
-        assert_eq!(from_ranked[0].0, PageId(0));
-        assert_eq!(from_ranked[1].0, PageId(2));
-        assert_eq!(from_ranked[2].0, PageId(1));
-        assert_eq!(from_ranked[3].0, PageId(3));
+    fn extend_with_parts_is_byte_identical_to_full_rebuild() {
+        let base_pages = collection();
+        let added_a: Vec<WebPage> = (0..9)
+            .map(|i| {
+                page(
+                    &format!("a{i}"),
+                    &format!("added {}", i % 2),
+                    &format!("melisse extra term{} shared word{}", i, i % 3),
+                )
+            })
+            .collect();
+        let added_b = vec![page("b0", "late", "restaurant melisse late arrival")];
+
+        let base = InvertedIndex::build(&base_pages);
+        let parts_a = InvertedIndex::build(&added_a).to_parts();
+        let parts_b = InvertedIndex::build(&added_b).to_parts();
+        let merged = base
+            .extend_with_parts(vec![parts_a, parts_b])
+            .expect("own parts merge");
+
+        let mut all = base_pages;
+        all.extend(added_a);
+        all.extend(added_b);
+        assert_eq!(merged, InvertedIndex::build(&all), "merge != rebuild");
+    }
+
+    #[test]
+    fn extend_with_corrupt_parts_is_a_typed_error() {
+        let base = InvertedIndex::build(&collection());
+        let mut bad = InvertedIndex::build(&[page("x", "t", "one two")]).to_parts();
+        bad.offsets[0] = 3;
+        assert!(base.extend_with_parts(vec![bad]).is_err());
     }
 }

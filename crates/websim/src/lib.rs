@@ -10,7 +10,14 @@
 //! * [`corpus`] — builds the whole Web for a [`teda_kb::World`]: several
 //!   pages per entity, per-type directory pages (what the bare query
 //!   "Museum" retrieves — the Figure 8 failure mode), and pure noise;
-//! * [`index`] — an inverted index with BM25 ranking;
+//! * [`index`] — an inverted index with BM25 ranking (the [`scoring`]
+//!   module holds the shared BM25 kernel and tie rules);
+//! * [`segment`] — a segmented view of a corpus: a base index plus
+//!   journaled add/remove segments merged at read time, bit-identical
+//!   to a full rebuild — the O(delta) ingest path;
+//! * [`backend`] — the [`backend::SearchBackend`] seam the engine and
+//!   services consume, with [`backend::SwappableBackend`] for live
+//!   hot-swap after a segment lands;
 //! * [`engine`] — the [`engine::SearchEngine`] trait and [`engine::BingSim`],
 //!   which returns `(url, title, snippet)` triples (snippets truncated to
 //!   ~20 words, as the paper observes of real snippets) and charges
@@ -21,13 +28,18 @@
 //! retrieves a mix; appending the city (§5.2.2) shifts BM25 toward the
 //! right entity because official pages mention their city.
 
+pub mod backend;
 pub mod corpus;
 pub mod engine;
 pub mod index;
 pub mod page;
+pub mod scoring;
+pub mod segment;
 pub mod template;
 
+pub use backend::{assemble_results, PageFields, SearchBackend, SwappableBackend};
 pub use corpus::{WebCorpus, WebCorpusSpec};
 pub use engine::{BingSim, SearchEngine, SearchResult};
 pub use index::{IndexParts, InvalidIndexParts, InvertedIndex};
 pub use page::{PageId, WebPage};
+pub use segment::{Segment, SegmentOp, SegmentedCorpus};

@@ -24,9 +24,16 @@ impl WebPage {
     /// The search-result snippet: the first [`SNIPPET_WORDS`] words of the
     /// body.
     pub fn snippet(&self) -> String {
-        let words: Vec<&str> = self.body.split_whitespace().take(SNIPPET_WORDS).collect();
-        words.join(" ")
+        snippet_of(&self.body)
     }
+}
+
+/// The snippet of a page body: its first [`SNIPPET_WORDS`] words.
+/// Shared by [`WebPage`] and the borrowed page views of
+/// [`crate::backend::PageFields`].
+pub fn snippet_of(body: &str) -> String {
+    let words: Vec<&str> = body.split_whitespace().take(SNIPPET_WORDS).collect();
+    words.join(" ")
 }
 
 #[cfg(test)]

@@ -1,0 +1,188 @@
+//! The BM25 scoring kernel shared by every index flavour.
+//!
+//! [`InvertedIndex`](crate::InvertedIndex), the read-time-merged
+//! [`SegmentedCorpus`](crate::SegmentedCorpus) and `teda-store`'s lazy
+//! snapshot view all rank with these exact functions. Bit-identity of
+//! their results is not a coincidence to be tested into existence — it
+//! is guaranteed by sharing the arithmetic (same operations in the same
+//! order on the same bit patterns) and the tie rules (score descending,
+//! page id ascending, compared with `f64::total_cmp`). The property
+//! tests then only have to check that each flavour *feeds* the kernel
+//! the same `(idf, tf, doc_len, avg_len)` stream.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::page::PageId;
+
+/// BM25 `k1`: term-frequency saturation.
+pub const K1: f64 = 1.2;
+/// BM25 `b`: document-length normalization strength.
+pub const B: f64 = 0.75;
+
+/// BM25 IDF with the standard +1 floor against negative values.
+#[inline]
+pub fn idf(n_docs: usize, df: usize) -> f64 {
+    let df = df as f64;
+    (((n_docs as f64 - df + 0.5) / (df + 0.5)) + 1.0).ln()
+}
+
+/// One posting's BM25 contribution. The expression tree is fixed here
+/// so every caller performs the identical float operations in the
+/// identical order — the foundation of cross-flavour bit-identity.
+#[inline]
+pub fn weight(idf: f64, tf: f64, doc_len: f64, avg_len: f64) -> f64 {
+    let norm = K1 * (1.0 - B + B * doc_len / avg_len.max(1e-9));
+    idf * (tf * (K1 + 1.0)) / (tf + norm)
+}
+
+/// Heap entry ordered so that `a > b` means "a ranks better": higher
+/// score first, lower page id on ties — the exact order of a full
+/// descending sort with id tie-breaks.
+#[derive(Debug, Clone, Copy)]
+struct Ranked {
+    score: f64,
+    page: PageId,
+}
+
+impl PartialEq for Ranked {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.page == other.page
+    }
+}
+
+impl Eq for Ranked {}
+
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // total_cmp, not partial_cmp().expect(...): BM25 scores are
+        // finite today, but a NaN sneaking in through a future scoring
+        // tweak must degrade (NaN sorts as an ordinary value) rather
+        // than panic inside every query. For finite scores the order is
+        // identical, so top-k ties stay byte-identical.
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.page.cmp(&self.page))
+    }
+}
+
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Selects the top `k` of the touched pages by descending score, page
+/// id ascending on ties, through a bounded binary heap (`O(n log k)`).
+/// `touched` lists the pages with non-zero accumulated score (any
+/// deterministic order works — the heap result is order-insensitive,
+/// but every caller produces first-touch order for its own scan).
+pub fn rank_top_k(scores: &[f64], touched: &[u32], k: usize) -> Vec<(PageId, f64)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    // Bounded min-heap of the k best (the heap's minimum is the
+    // current k-th entry; anything better evicts it).
+    let mut heap: BinaryHeap<std::cmp::Reverse<Ranked>> = BinaryHeap::with_capacity(k + 1);
+    for &page in touched {
+        let entry = Ranked {
+            score: scores[page as usize],
+            page: PageId(page),
+        };
+        if heap.len() < k {
+            heap.push(std::cmp::Reverse(entry));
+        } else if entry > heap.peek().expect("non-empty heap").0 {
+            heap.pop();
+            heap.push(std::cmp::Reverse(entry));
+        }
+    }
+    heap.into_sorted_vec()
+        .into_iter()
+        .map(|std::cmp::Reverse(r)| (r.page, r.score))
+        .collect()
+}
+
+/// The historical ranking path — score everything, sort everything —
+/// kept as the reference [`rank_top_k`] must match exactly (tie order
+/// included) and as the baseline for microbenchmarks.
+pub fn rank_full_sort(scores: &[f64], touched: &[u32], k: usize) -> Vec<(PageId, f64)> {
+    let mut ranked: Vec<(PageId, f64)> = touched
+        .iter()
+        .map(|&p| (PageId(p), scores[p as usize]))
+        .collect();
+    // Same NaN-tolerant ordering as `Ranked::cmp` — the two paths
+    // must tie-break identically or the bounded-heap equivalence
+    // tests would diverge on degenerate scores.
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: a NaN score (a degenerate idf/length interaction in
+    /// some future scoring tweak) must order deterministically, not
+    /// panic inside every query — and both ranking paths must agree.
+    #[test]
+    fn nan_scores_order_deterministically_instead_of_panicking() {
+        let entries = [
+            Ranked {
+                score: f64::NAN,
+                page: PageId(0),
+            },
+            Ranked {
+                score: 1.5,
+                page: PageId(1),
+            },
+            Ranked {
+                score: f64::NAN,
+                page: PageId(2),
+            },
+            Ranked {
+                score: 0.5,
+                page: PageId(3),
+            },
+        ];
+        let mut heap_order = entries;
+        heap_order.sort(); // would have panicked via partial_cmp
+        let mut full_sort_order: Vec<(PageId, f64)> =
+            entries.iter().map(|r| (r.page, r.score)).collect();
+        full_sort_order.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        // `sort` is ascending "worse first"; the full-sort comparator is
+        // descending "best first" — reversed, they must agree exactly.
+        heap_order.reverse();
+        let from_ranked: Vec<(PageId, f64)> =
+            heap_order.iter().map(|r| (r.page, r.score)).collect();
+        assert_eq!(
+            format!("{from_ranked:?}"),
+            format!("{full_sort_order:?}"),
+            "Ranked::cmp and the full-sort comparator disagree on NaN"
+        );
+        // NaN ranks above every finite score under total_cmp; ties on
+        // NaN still break by ascending page id.
+        assert_eq!(from_ranked[0].0, PageId(0));
+        assert_eq!(from_ranked[1].0, PageId(2));
+        assert_eq!(from_ranked[2].0, PageId(1));
+        assert_eq!(from_ranked[3].0, PageId(3));
+    }
+
+    #[test]
+    fn rank_paths_agree_on_ties() {
+        let scores = vec![2.0, 1.0, 2.0, 0.0, 1.0];
+        let touched = vec![0, 1, 2, 4];
+        for k in 0..=5 {
+            assert_eq!(
+                rank_top_k(&scores, &touched, k),
+                rank_full_sort(&scores, &touched, k),
+                "k = {k}"
+            );
+        }
+        let top = rank_top_k(&scores, &touched, 3);
+        assert_eq!(
+            top,
+            vec![(PageId(0), 2.0), (PageId(2), 2.0), (PageId(1), 1.0)]
+        );
+    }
+}

@@ -27,7 +27,7 @@ fn main() {
     println!(
         "world: {} entities; web: {} pages",
         world.len(),
-        engine.corpus().len()
+        engine.n_docs()
     );
 
     // 2. Train the classifier (§5.2.1): category network → positive

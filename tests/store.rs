@@ -19,12 +19,18 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 use teda::kb::{World, WorldSpec};
+use teda::store::delta::{decode_segment_full, encode_segment_indexed};
 use teda::store::{
-    load_cache_snapshot, save_cache_snapshot, CorpusStore, DeltaOp, OpenOutcome, StoreError,
-    CACHE_FILE, SNAPSHOT_FILE,
+    load_cache_snapshot, save_cache_snapshot, BaseId, CorpusStore, DeltaOp, OpenOutcome,
+    StoreError, TierPolicy, CACHE_FILE, SNAPSHOT_FILE,
 };
-use teda::websim::{SearchEngine, SearchResult, WebCorpus, WebCorpusSpec, WebPage};
+use teda::websim::{
+    InvertedIndex, PageId, SearchEngine, SearchResult, WebCorpus, WebCorpusSpec, WebPage,
+};
 
 fn corpus(seed: u64) -> WebCorpus {
     let world = World::generate(WorldSpec::tiny(), seed);
@@ -373,7 +379,7 @@ fn corpus_save_invalidates_the_co_located_cache_snapshot() {
     store
         .add_pages(&[page("http://new/0", "New", "new page body")])
         .expect("journal");
-    store.compact().expect("compact");
+    store.compact_in_place().expect("compact");
     assert!(
         !store.cache_path().exists(),
         "a corpus rewrite must invalidate the co-located cache snapshot"
@@ -507,5 +513,476 @@ fn crash_between_temp_write_and_rename_is_recovered() {
 
     // And the sweep never touches real artifacts.
     assert!(reopened.snapshot_path().exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Segment-level incremental indexing: randomized properties. The PR's
+// core invariant — segmented reads are bit-identical to a full rebuild
+// at every (query, k) under every segment configuration — plus the
+// trust boundary: forged or rotted embedded indexes come back as typed
+// errors or a silent re-index, never a panic and never wrong results.
+// ---------------------------------------------------------------------
+
+/// Deliberately tiny vocabulary: heavy term overlap across pages and
+/// segments is the adversarial case for posting-list merges and idf.
+const VOCAB: &[&str] = &[
+    "harbor", "museum", "jazz", "espresso", "quartet", "granite", "lantern", "orchard", "velvet",
+    "cinnamon", "atlas", "meridian",
+];
+
+fn synth_words(rng: &mut StdRng, n: usize) -> String {
+    (0..n)
+        .map(|_| *VOCAB.choose(rng).expect("vocab is non-empty"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn synth_page(rng: &mut StdRng, url: &str) -> WebPage {
+    let n_title = rng.gen_range(1..=3);
+    let title = synth_words(rng, n_title);
+    let n_body = rng.gen_range(4..=12);
+    let body = synth_words(rng, n_body);
+    page(url, &title, &body)
+}
+
+/// Probe set for the synthetic vocabulary: single terms, multi-term
+/// queries, an unknown term, and the empty query.
+fn vocab_probes() -> Vec<String> {
+    let mut probes: Vec<String> = VOCAB.iter().take(6).map(|w| (*w).to_string()).collect();
+    probes.push("harbor museum jazz".into());
+    probes.push("espresso quartet".into());
+    probes.push("zanzibar xylophone".into());
+    probes.push(String::new());
+    probes
+}
+
+fn bits(hits: &[(PageId, f64)]) -> Vec<(u32, u64)> {
+    hits.iter().map(|&(id, s)| (id.0, s.to_bits())).collect()
+}
+
+/// Both persistence read paths — eager replay (`load`) and overlay open
+/// (`load_segmented`) — against a hand-replayed full rebuild, compared
+/// as exact `(page id, score bits)` sequences.
+fn assert_replay_matches_rebuild(store: &CorpusStore, rebuild: &WebCorpus) {
+    let loaded = store.load().expect("load replays the journal");
+    assert_eq!(loaded.corpus.pages(), rebuild.pages());
+    let seg = store.load_segmented().expect("segmented open");
+    assert_eq!(seg.corpus.n_docs(), rebuild.pages().len());
+    for q in vocab_probes() {
+        for k in [1, 3, 10] {
+            let want = bits(&rebuild.index().search(&q, k));
+            assert_eq!(
+                bits(&loaded.corpus.index().search(&q, k)),
+                want,
+                "load() diverged on {q:?} k {k}"
+            );
+            assert_eq!(
+                bits(&seg.corpus.search(&q, k)),
+                want,
+                "load_segmented() diverged on {q:?} k {k}"
+            );
+        }
+    }
+}
+
+proptest::proptest! {
+    /// Random add/remove op sequences sliced into random journal
+    /// segments: both load paths replay to the exact corpus a full
+    /// rebuild produces, before and after tier compaction under a
+    /// random (tight) policy.
+    #[test]
+    fn random_journals_replay_bit_identical_on_both_load_paths(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_base = rng.gen_range(4..=12usize);
+        let base_pages: Vec<WebPage> = (0..n_base)
+            .map(|i| synth_page(&mut rng, &format!("http://base/{i}")))
+            .collect();
+        let base = WebCorpus::from_pages(base_pages.clone());
+        let dir = temp_store(&format!("prop_replay_{seed}"));
+        let store = CorpusStore::open(&dir).expect("open store");
+        store.save(&base).expect("save base");
+
+        let mut oracle = base_pages;
+        let mut pure_adds = true;
+        let n_segments = rng.gen_range(1..=5usize);
+        for s in 0..n_segments {
+            let n_ops = rng.gen_range(1..=3usize);
+            let mut ops = Vec::new();
+            for o in 0..n_ops {
+                if oracle.is_empty() || rng.gen_bool(0.7) {
+                    let n = rng.gen_range(1..=4usize);
+                    let pages: Vec<WebPage> = (0..n)
+                        .map(|i| synth_page(&mut rng, &format!("http://delta/{s}/{o}/{i}")))
+                        .collect();
+                    ops.push(DeltaOp::AddPages(pages));
+                } else {
+                    pure_adds = false;
+                    let mut urls = Vec::new();
+                    for _ in 0..rng.gen_range(1..=2usize) {
+                        if let Some(p) = oracle.choose(&mut rng) {
+                            urls.push(p.url.clone());
+                        }
+                    }
+                    if rng.gen_bool(0.3) {
+                        urls.push("http://nowhere/".into());
+                    }
+                    ops.push(DeltaOp::RemovePages(urls));
+                }
+            }
+            for op in &ops {
+                op.apply(&mut oracle);
+            }
+            store.append_segment(&ops).expect("append segment");
+        }
+        let rebuild = WebCorpus::from_pages(oracle.clone());
+
+        let loaded = store.load().expect("load");
+        proptest::prop_assert_eq!(loaded.replayed_segments, n_segments);
+        // Pure additions (with their journaled indexes) take the
+        // O(delta) merge; any removal forces the re-tokenize path.
+        proptest::prop_assert_eq!(loaded.incremental, pure_adds);
+        let seg = store.load_segmented().expect("segmented open");
+        if pure_adds {
+            proptest::prop_assert_eq!(seg.reindexed_ops, 0);
+        }
+        assert_replay_matches_rebuild(&store, &rebuild);
+
+        // A random tight tier policy: the journal shrinks under the
+        // bound and replay stays exact through the merged runs.
+        let policy = TierPolicy {
+            max_segments: rng.gen_range(1..=3usize),
+            fanout: rng.gen_range(2..=4usize),
+            max_removed: if rng.gen_bool(0.5) { 0 } else { 1 << 20 },
+        };
+        store.maybe_compact(policy).expect("maybe_compact");
+        proptest::prop_assert!(
+            store.delta_segments().expect("list").len() <= policy.max_segments
+        );
+        assert_replay_matches_rebuild(&store, &rebuild);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// One flipped bit or truncation anywhere in an indexed segment
+    /// file: the strict decoder returns a typed error (or the rot is
+    /// provably inert), and a store open either errors typed or serves
+    /// a corpus consistent with the journal — never a panic, never
+    /// wrong results.
+    #[test]
+    fn rotted_segment_bytes_come_back_typed_and_never_panic(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base_pages: Vec<WebPage> = (0..4)
+            .map(|i| synth_page(&mut rng, &format!("http://base/{i}")))
+            .collect();
+        let delta_pages: Vec<WebPage> = (0..3)
+            .map(|i| synth_page(&mut rng, &format!("http://delta/{i}")))
+            .collect();
+        let dir = temp_store(&format!("prop_rot_{seed}"));
+        let store = CorpusStore::open(&dir).expect("open store");
+        store
+            .save(&WebCorpus::from_pages(base_pages.clone()))
+            .expect("save base");
+        store
+            .append_segment(&[DeltaOp::AddPages(delta_pages.clone())])
+            .expect("append");
+        let seg_path = store.delta_segments().expect("list")[0].clone();
+        let good = std::fs::read(&seg_path).expect("read segment");
+
+        let mut bad = good.clone();
+        if rng.gen_bool(0.3) {
+            let cut = rng.gen_range(0..bad.len());
+            bad.truncate(cut);
+        } else {
+            let pos = rng.gen_range(0..bad.len());
+            let mask = rng.gen_range(1u8..=255);
+            bad[pos] ^= mask;
+        }
+        std::fs::write(&seg_path, &bad).expect("write rotted segment");
+
+        // Strict decode: every section is CRC-framed, so damage is a
+        // typed error; if it somehow decodes, the payload must be the
+        // original one (the rot landed on provably inert bytes).
+        if let Ok(payload) = decode_segment_full(&bad) {
+            proptest::prop_assert_eq!(
+                &payload.ops,
+                &vec![DeltaOp::AddPages(delta_pages.clone())]
+            );
+        }
+
+        let full: Vec<WebPage> = base_pages
+            .iter()
+            .chain(&delta_pages)
+            .cloned()
+            .collect();
+        match store.load() {
+            Err(e) => {
+                // Typed, and named precisely — not a catch-all panic
+                // turned into a string.
+                let msg = e.to_string();
+                proptest::prop_assert!(!msg.is_empty());
+            }
+            Ok(loaded) => {
+                // Only two legal corpora exist: base + delta (inert
+                // rot) or base alone (the segment was swept as a stale
+                // binding).
+                let pages = loaded.corpus.pages();
+                proptest::prop_assert!(
+                    pages == full.as_slice() || pages == base_pages.as_slice(),
+                    "rot produced a corpus matching neither the journal nor the base"
+                );
+            }
+        }
+        match store.load_segmented() {
+            Err(e) => proptest::prop_assert!(!e.to_string().is_empty()),
+            Ok(seg) => {
+                let n = seg.corpus.n_docs();
+                proptest::prop_assert!(n == full.len() || n == base_pages.len());
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn forged_embedded_index_degrades_to_a_re_index_never_wrong_results() {
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    let base_pages: Vec<WebPage> = (0..5)
+        .map(|i| synth_page(&mut rng, &format!("http://base/{i}")))
+        .collect();
+    let delta_pages: Vec<WebPage> = (0..3)
+        .map(|i| synth_page(&mut rng, &format!("http://delta/{i}")))
+        .collect();
+    let dir = temp_store("forged_index");
+    let store = CorpusStore::open(&dir).expect("open store");
+    store
+        .save(&WebCorpus::from_pages(base_pages.clone()))
+        .expect("save base");
+    let base_id = {
+        let bytes = std::fs::read(store.snapshot_path()).expect("read snapshot");
+        BaseId::of(&bytes)
+    };
+
+    // Forgery 1: an index built from a *subset* of the pages it rides
+    // with — structurally valid, semantically short one document.
+    let short_parts = InvertedIndex::build(&delta_pages[..2]).to_parts();
+    let ops = vec![DeltaOp::AddPages(delta_pages.clone())];
+    std::fs::write(
+        dir.join("delta-000001.seg"),
+        encode_segment_indexed(base_id, &ops, &[Some(short_parts)]),
+    )
+    .expect("write forged segment");
+
+    // The strict decoder refuses the count mismatch with a *typed*
+    // error naming the defect — this is the trust boundary, not a
+    // panic site.
+    match decode_segment_full(&std::fs::read(dir.join("delta-000001.seg")).expect("read forged")) {
+        Err(StoreError::Corrupt(msg)) => assert!(
+            msg.contains("covers"),
+            "unexpected corruption message: {msg}"
+        ),
+        other => panic!("short partial index must be typed Corrupt, got {other:?}"),
+    }
+
+    // The store itself degrades: the tolerant decode keeps the ops,
+    // drops the indexes, and replay re-tokenizes — results stay exact.
+    let rebuild = WebCorpus::from_pages(base_pages.iter().chain(&delta_pages).cloned().collect());
+    let loaded = store.load().expect("load degrades, not errors");
+    assert!(
+        !loaded.incremental,
+        "a forged index must never be merged as-is"
+    );
+    let seg = store.load_segmented().expect("segmented open degrades too");
+    assert_eq!(
+        seg.reindexed_ops, 1,
+        "the forged add must be re-tokenized, not adopted"
+    );
+    assert_eq!(seg.prebuilt_ops, 0);
+    assert_replay_matches_rebuild(&store, &rebuild);
+
+    // Forgery 2: the document count matches the op, but the doc-length
+    // table inside the parts is short — structurally decodable, caught
+    // only by `InvertedIndex::from_parts` semantic validation. Both
+    // read paths fall back to a re-index instead of adopting it.
+    let mut lying_parts = InvertedIndex::build(&delta_pages).to_parts();
+    lying_parts.doc_len_bits.pop();
+    std::fs::write(
+        dir.join("delta-000001.seg"),
+        encode_segment_indexed(base_id, &ops, &[Some(lying_parts)]),
+    )
+    .expect("overwrite with lying segment");
+    let payload =
+        decode_segment_full(&std::fs::read(dir.join("delta-000001.seg")).expect("read lying"))
+            .expect("lying segment is structurally valid");
+    assert!(payload.add_indexes[0].is_some());
+    let loaded = store.load().expect("load degrades on lying parts");
+    assert!(!loaded.incremental);
+    let seg = store.load_segmented().expect("segmented open degrades too");
+    assert_eq!(seg.reindexed_ops, 1);
+    assert_replay_matches_rebuild(&store, &rebuild);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tier_merges_preserve_the_compaction_byte_identity_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xfeed);
+    let base_pages: Vec<WebPage> = (0..6)
+        .map(|i| synth_page(&mut rng, &format!("http://base/{i}")))
+        .collect();
+    let base = WebCorpus::from_pages(base_pages.clone());
+
+    // Two stores, identical base and identical six-segment journal.
+    let dir_a = temp_store("merge_oracle_a");
+    let dir_b = temp_store("merge_oracle_b");
+    let store_a = CorpusStore::open(&dir_a).expect("open a");
+    let store_b = CorpusStore::open(&dir_b).expect("open b");
+    store_a.save(&base).expect("save a");
+    store_b.save(&base).expect("save b");
+    for s in 0..6 {
+        let pages: Vec<WebPage> = (0..2)
+            .map(|i| synth_page(&mut rng, &format!("http://delta/{s}/{i}")))
+            .collect();
+        let ops = [DeltaOp::AddPages(pages)];
+        store_a.append_segment(&ops).expect("append a");
+        store_b.append_segment(&ops).expect("append b");
+    }
+
+    // Tier-merge one of them; the other keeps its flat journal.
+    let report = store_a
+        .maybe_compact(TierPolicy {
+            max_segments: 2,
+            fanout: 3,
+            max_removed: 1 << 20,
+        })
+        .expect("maybe_compact");
+    assert!(
+        report.merges > 0,
+        "six segments over a bound of two must merge"
+    );
+    assert!(!report.full_fold);
+    assert!(store_a.delta_segments().expect("list a").len() <= 2);
+
+    // The merge oracle: folding the merged runs and folding the flat
+    // journal must write byte-identical snapshots.
+    store_a.compact_in_place().expect("fold a");
+    store_b.compact_in_place().expect("fold b");
+    let snap_a = std::fs::read(dir_a.join(SNAPSHOT_FILE)).expect("read a");
+    let snap_b = std::fs::read(dir_b.join(SNAPSHOT_FILE)).expect("read b");
+    assert_eq!(
+        snap_a, snap_b,
+        "tier merging changed the bytes a full fold produces"
+    );
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn removal_overflow_triggers_a_full_fold_identical_to_a_rebuild() {
+    let mut rng = StdRng::seed_from_u64(0xdead);
+    let base_pages: Vec<WebPage> = (0..8)
+        .map(|i| synth_page(&mut rng, &format!("http://base/{i}")))
+        .collect();
+    let dir = temp_store("removal_fold");
+    let store = CorpusStore::open(&dir).expect("open store");
+    store
+        .save(&WebCorpus::from_pages(base_pages.clone()))
+        .expect("save base");
+
+    let mut oracle = base_pages;
+    let added: Vec<WebPage> = (0..3)
+        .map(|i| synth_page(&mut rng, &format!("http://delta/{i}")))
+        .collect();
+    store
+        .append_segment(&[DeltaOp::AddPages(added.clone())])
+        .expect("append adds");
+    oracle.extend(added);
+    let doomed: Vec<String> = oracle.iter().take(3).map(|p| p.url.clone()).collect();
+    store
+        .append_segment(&[DeltaOp::RemovePages(doomed.clone())])
+        .expect("append removals");
+    oracle.retain(|p| !doomed.contains(&p.url));
+
+    let report = store
+        .maybe_compact(TierPolicy {
+            max_segments: 8,
+            fanout: 4,
+            max_removed: 2,
+        })
+        .expect("maybe_compact");
+    assert!(report.full_fold, "3 removals over a bound of 2 must fold");
+    assert!(
+        store.delta_segments().expect("list").is_empty(),
+        "a full fold consumes the whole journal"
+    );
+
+    // The folded snapshot is byte-identical to saving a fresh rebuild.
+    let rebuild = WebCorpus::from_pages(oracle);
+    let dir_fresh = temp_store("removal_fold_fresh");
+    let fresh = CorpusStore::open(&dir_fresh).expect("open fresh");
+    fresh.save(&rebuild).expect("save rebuild");
+    assert_eq!(
+        std::fs::read(dir.join(SNAPSHOT_FILE)).expect("read folded"),
+        std::fs::read(dir_fresh.join(SNAPSHOT_FILE)).expect("read fresh"),
+        "full fold diverged from a rebuild of the logical corpus"
+    );
+    assert_replay_matches_rebuild(&store, &rebuild);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir_fresh);
+}
+
+#[test]
+fn crash_leftover_inside_a_merged_run_is_swept_and_overlap_is_typed() {
+    let mut rng = StdRng::seed_from_u64(0xcafe);
+    let base_pages: Vec<WebPage> = (0..4)
+        .map(|i| synth_page(&mut rng, &format!("http://base/{i}")))
+        .collect();
+    let dir = temp_store("leftover");
+    let store = CorpusStore::open(&dir).expect("open store");
+    store
+        .save(&WebCorpus::from_pages(base_pages.clone()))
+        .expect("save base");
+
+    let mut oracle = base_pages;
+    for s in 0..4 {
+        let pages: Vec<WebPage> = (0..2)
+            .map(|i| synth_page(&mut rng, &format!("http://delta/{s}/{i}")))
+            .collect();
+        oracle.extend(pages.clone());
+        store
+            .append_segment(&[DeltaOp::AddPages(pages)])
+            .expect("append");
+    }
+    // Keep a victim's bytes, then merge everything into one run.
+    let victim = store.delta_segments().expect("list")[2].clone();
+    let victim_bytes = std::fs::read(&victim).expect("read victim");
+    let report = store
+        .maybe_compact(TierPolicy {
+            max_segments: 1,
+            fanout: 4,
+            max_removed: 1 << 20,
+        })
+        .expect("merge to one run");
+    assert!(report.merges > 0);
+
+    // Simulate a crash between the run's rename and the victim delete:
+    // the contained single reappears next to the merged run.
+    std::fs::write(&victim, &victim_bytes).expect("resurrect victim");
+    let rebuild = WebCorpus::from_pages(oracle);
+    assert_replay_matches_rebuild(&store, &rebuild);
+    assert!(
+        !victim.exists(),
+        "a contained leftover must be swept during resolution"
+    );
+
+    // A *partially* overlapping run has no legitimate producer: typed
+    // corruption, not a guess.
+    let run = store.delta_segments().expect("list")[0].clone();
+    let run_bytes = std::fs::read(&run).expect("read run");
+    std::fs::write(dir.join("delta-000003-000009.seg"), &run_bytes).expect("write overlapping run");
+    match store.load() {
+        Err(StoreError::Corrupt(msg)) => {
+            assert!(msg.contains("overlap"), "unexpected message: {msg}")
+        }
+        other => panic!("partial overlap must be typed Corrupt, got {other:?}"),
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
