@@ -2,6 +2,8 @@
 //! open-loop load, p50/p99 latency, cache hit rate, and the shed rate of
 //! admission control under a tiny queue + query pool.
 //!
+//! Emits `BENCH_service.json`.
+//!
 //! `--quick` runs on the reduced fixture (the CI smoke configuration).
 
 use teda_bench::exp::service;
@@ -16,6 +18,10 @@ fn main() {
     let fixture = Fixture::build(scale, 42);
     let result = service::run(&fixture);
     println!("{}", service::render(&result));
+    match service::to_json(&result).write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_service.json: {e}"),
+    }
     assert!(
         result.deterministic,
         "service results diverged from the offline batch path"

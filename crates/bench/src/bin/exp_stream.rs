@@ -4,6 +4,8 @@
 //! asserts stream-vs-batch bit-identity and the O(window) memory bound
 //! on every run.
 //!
+//! Emits `BENCH_stream.json`.
+//!
 //! `--quick` runs on the reduced fixture (the CI smoke configuration).
 
 use teda_bench::exp::stream;
@@ -18,6 +20,10 @@ fn main() {
     let fixture = Fixture::build(scale, 42);
     let result = stream::run(&fixture);
     println!("{}", stream::render(&result));
+    match stream::to_json(&result).write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_stream.json: {e}"),
+    }
     for run in &result.runs {
         assert!(
             run.identical,

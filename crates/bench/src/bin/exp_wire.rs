@@ -4,6 +4,8 @@
 //! interactive trickle sharing a drip-fed query pool, where the
 //! trickle's p99 must stay within 5× of its solo baseline.
 //!
+//! Emits `BENCH_wire.json`.
+//!
 //! `--quick` runs on the reduced fixture (the CI smoke configuration).
 
 use teda_bench::exp::wire;
@@ -18,6 +20,10 @@ fn main() {
     let fixture = Fixture::build(scale, 42);
     let result = wire::run(&fixture);
     println!("{}", wire::render(&result));
+    match wire::to_json(&result).write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_wire.json: {e}"),
+    }
     assert!(
         result.deterministic,
         "wire results diverged from the offline batch path"

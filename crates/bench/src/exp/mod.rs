@@ -5,6 +5,7 @@ pub mod comparison;
 pub mod coverage;
 pub mod efficiency;
 pub mod fig7;
+pub mod mmap;
 pub mod preprocess_stats;
 pub mod segments;
 pub mod service;

@@ -187,6 +187,33 @@ pub fn render(r: &ServiceReport) -> String {
     out
 }
 
+/// The machine-readable record (satellite of the human table).
+pub fn to_json(r: &ServiceReport) -> crate::report::BenchJson {
+    let flag = |b: bool| if b { 1.0 } else { 0.0 };
+    let mut json = crate::report::BenchJson::new("service");
+    json.metric("offered", r.offered as f64, "tables")
+        .metric("workers", r.workers as f64, "threads")
+        .metric("wall_secs", r.wall_secs, "s")
+        .metric("req_per_sec", r.req_per_sec, "req/s")
+        .metric(
+            "latency_p50",
+            r.sustained.latency.p50.as_secs_f64() * 1e3,
+            "ms",
+        )
+        .metric(
+            "latency_p99",
+            r.sustained.latency.p99.as_secs_f64() * 1e3,
+            "ms",
+        )
+        .metric("cache_hit_rate", r.sustained.cache_hit_rate(), "ratio")
+        .metric("sustained_shed_rate", r.sustained.shed_rate(), "ratio")
+        .metric("deterministic", flag(r.deterministic), "bool")
+        .metric("pressure_shed_queue", r.pressure.shed_queue as f64, "req")
+        .metric("pressure_shed_budget", r.pressure.shed_budget as f64, "req")
+        .metric("pressure_shed_rate", r.pressure.shed_rate(), "ratio");
+    json
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,5 +247,6 @@ mod tests {
         );
         assert!(r.req_per_sec > 0.0);
         assert!(render(&r).contains("req/s"));
+        assert!(to_json(&r).render().contains("\"req_per_sec\""));
     }
 }

@@ -309,6 +309,45 @@ pub fn render(r: &StreamReport) -> String {
     out
 }
 
+/// The machine-readable record (satellite of the human table): one
+/// metric triplet per window row, keyed by the `max_in_flight` bound.
+pub fn to_json(r: &StreamReport) -> crate::report::BenchJson {
+    let flag = |b: bool| if b { 1.0 } else { 0.0 };
+    let mut json = crate::report::BenchJson::new("stream");
+    json.metric("tables", r.tables as f64, "tables")
+        .metric("threads", r.threads as f64, "threads");
+    for run in &r.runs {
+        json.metric(
+            &format!("w{}_tables_per_sec", run.window),
+            run.tables_per_sec,
+            "tables/s",
+        )
+        .metric(
+            &format!("w{}_peak_live", run.window),
+            run.peak_live as f64,
+            "tables",
+        )
+        .metric(
+            &format!("w{}_identical", run.window),
+            flag(run.identical),
+            "bool",
+        );
+    }
+    json.metric(
+        "service_stream_tables",
+        r.service.stream_tables as f64,
+        "tables",
+    )
+    .metric(
+        "service_backpressure_waits",
+        r.service.backpressure_waits as f64,
+        "waits",
+    )
+    .metric("service_shed", r.service.shed() as f64, "tables")
+    .metric("service_identical", flag(r.service_identical), "bool");
+    json
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,5 +381,8 @@ mod tests {
             r.tables
         );
         assert!(render(&r).contains("backpressure"));
+        assert!(to_json(&r)
+            .render()
+            .contains("\"service_backpressure_waits\""));
     }
 }

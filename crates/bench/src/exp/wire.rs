@@ -305,6 +305,25 @@ pub fn render(r: &WireReport) -> String {
     out
 }
 
+/// The machine-readable record (satellite of the human table).
+pub fn to_json(r: &WireReport) -> crate::report::BenchJson {
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let flag = |b: bool| if b { 1.0 } else { 0.0 };
+    let mut json = crate::report::BenchJson::new("wire");
+    json.metric("offered", r.offered as f64, "tables")
+        .metric("connections", r.connections as f64, "connections")
+        .metric("wall_secs", r.wall_secs, "s")
+        .metric("req_per_sec", r.req_per_sec, "req/s")
+        .metric("deterministic", flag(r.deterministic), "bool")
+        .metric("trickle_solo_p50", ms(r.trickle_solo.p50), "ms")
+        .metric("trickle_solo_p99", ms(r.trickle_solo.p99), "ms")
+        .metric("trickle_contended_p50", ms(r.trickle_contended.p50), "ms")
+        .metric("trickle_contended_p99", ms(r.trickle_contended.p99), "ms")
+        .metric("fairness_ratio", r.fairness_ratio, "x")
+        .metric("hog_completed", r.hog_completed as f64, "tables");
+    json
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,5 +355,6 @@ mod tests {
             2 * TRICKLE_REQUESTS as u64
         );
         assert!(render(&r).contains("fairness ratio"));
+        assert!(to_json(&r).render().contains("\"fairness_ratio\""));
     }
 }

@@ -1,0 +1,300 @@
+//! In-workspace stand-in for the `memmap2` crate (offline build).
+//!
+//! Exposes the two calls the workspace needs from the real crate —
+//! `unsafe Mmap::map(&File)` and `Deref<Target = [u8]>` — backed by
+//! raw `mmap`/`munmap` syscalls on Linux x86_64/aarch64 (no libc
+//! dependency) and by a plain heap read everywhere else, so the API
+//! and observable behaviour are identical on unsupported targets.
+//!
+//! The fallback also engages at runtime when the `TEDA_MMAP_FALLBACK`
+//! environment variable is set (any non-empty value), when the file is
+//! empty (the kernel rejects zero-length mappings), or when the
+//! syscall itself fails — callers never see a different API, only a
+//! privately heap-backed buffer.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::ops::Deref;
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    /// Raw `mmap(NULL, len, PROT_READ, MAP_PRIVATE, fd, 0)`. Returns
+    /// the mapped address, or a negative errno in `[-4095, -1]`.
+    pub fn mmap_readonly(len: usize, fd: i32) -> isize {
+        let ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 9_usize => ret, // __NR_mmap
+                in("rdi") 0_usize,
+                in("rsi") len,
+                in("rdx") PROT_READ,
+                in("r10") MAP_PRIVATE,
+                in("r8") fd as isize,
+                in("r9") 0_usize,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack)
+            );
+        }
+        #[cfg(target_arch = "aarch64")]
+        unsafe {
+            std::arch::asm!(
+                "svc #0",
+                inlateout("x0") 0_usize => ret, // addr hint in, result out
+                in("x1") len,
+                in("x2") PROT_READ,
+                in("x3") MAP_PRIVATE,
+                in("x4") fd as isize,
+                in("x5") 0_usize,
+                in("x8") 222_usize, // __NR_mmap
+                options(nostack)
+            );
+        }
+        ret
+    }
+
+    /// Raw `munmap(addr, len)`; errors are ignored by the caller (the
+    /// mapping is gone either way once the process exits).
+    pub fn munmap(addr: usize, len: usize) {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            let _ret: isize;
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 11_usize => _ret, // __NR_munmap
+                in("rdi") addr,
+                in("rsi") len,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack)
+            );
+        }
+        #[cfg(target_arch = "aarch64")]
+        unsafe {
+            let _ret: isize;
+            std::arch::asm!(
+                "svc #0",
+                inlateout("x0") addr => _ret,
+                in("x1") len,
+                in("x8") 215_usize, // __NR_munmap
+                options(nostack)
+            );
+        }
+    }
+}
+
+enum Backing {
+    /// A live kernel mapping; the pointer came from `mmap` and is
+    /// released with `munmap` on drop.
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Mapped { ptr: *const u8, len: usize },
+    /// Heap fallback: the file contents copied up front.
+    Heap(Vec<u8>),
+}
+
+/// A read-only memory map of a file (or a heap copy standing in for
+/// one). Mirrors `memmap2::Mmap`: construct with [`Mmap::map`], read
+/// through `Deref<Target = [u8]>`.
+pub struct Mmap {
+    backing: Backing,
+}
+
+// The mapped pointer is read-only for the mapping's whole lifetime and
+// the kernel mapping is not tied to the creating thread.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `file` read-only from offset 0 to its current length.
+    ///
+    /// # Safety
+    ///
+    /// As with the real crate: the caller must ensure the underlying
+    /// file is not truncated or mutated in place while the mapping is
+    /// alive (out-of-band changes would be visible through — or fault
+    /// under — the returned slice). The heap fallback copies and is
+    /// immune, but callers must uphold the contract for both backings.
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 || fallback_forced() {
+            return Self::heap(file, len);
+        }
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        {
+            use std::os::fd::AsRawFd;
+            let ret = sys::mmap_readonly(len, file.as_raw_fd());
+            if (-4095..0).contains(&ret) {
+                // Unmappable fd (or exotic fs): degrade to the copy.
+                return Self::heap(file, len);
+            }
+            Ok(Mmap {
+                backing: Backing::Mapped {
+                    ptr: ret as *const u8,
+                    len,
+                },
+            })
+        }
+        #[cfg(not(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        )))]
+        Self::heap(file, len)
+    }
+
+    fn heap(file: &File, len: usize) -> io::Result<Mmap> {
+        let mut reader = file.try_clone()?;
+        reader.seek(SeekFrom::Start(0))?;
+        let mut buf = Vec::with_capacity(len);
+        reader.read_to_end(&mut buf)?;
+        Ok(Mmap {
+            backing: Backing::Heap(buf),
+        })
+    }
+
+    /// True when this instance holds a live kernel mapping rather than
+    /// a heap copy (diagnostics only — behaviour is identical).
+    pub fn is_kernel_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Backing::Mapped { .. } => true,
+            Backing::Heap(_) => false,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Backing::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Backing::Heap(buf) => buf,
+        }
+    }
+}
+
+/// Environment switch so CI (and debugging) can force the heap path on
+/// a target where the kernel mapping would otherwise win.
+fn fallback_forced() -> bool {
+    std::env::var_os("TEDA_MMAP_FALLBACK").is_some_and(|v| !v.is_empty())
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            sys::munmap(ptr as usize, len);
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mmap")
+            .field("len", &self.len())
+            .field("kernel_mapped", &self.is_kernel_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(tag: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("teda_mmap_{tag}_{}", std::process::id()));
+        let mut f = File::create(&path).expect("create");
+        f.write_all(contents).expect("write");
+        f.sync_all().expect("sync");
+        path
+    }
+
+    #[test]
+    fn mapping_reads_back_the_file_bytes() {
+        let payload: Vec<u8> = (0..u8::MAX).cycle().take(70_000).collect();
+        let path = temp_file("roundtrip", &payload);
+        let file = File::open(&path).expect("open");
+        let map = unsafe { Mmap::map(&file) }.expect("map");
+        assert_eq!(&map[..], &payload[..]);
+        assert_eq!(map.len(), payload.len());
+        drop(map);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_files_map_to_an_empty_slice() {
+        let path = temp_file("empty", b"");
+        let file = File::open(&path).expect("open");
+        let map = unsafe { Mmap::map(&file) }.expect("map");
+        assert!(map.is_empty());
+        assert!(!map.is_kernel_mapped(), "empty files use the heap path");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn heap_fallback_is_byte_identical_and_env_forced() {
+        // Env mutation: this is the only test in the binary touching
+        // TEDA_MMAP_FALLBACK, and it restores the prior state.
+        let payload = b"the quick brown fox".repeat(512);
+        let path = temp_file("fallback", &payload);
+        let file = File::open(&path).expect("open");
+        let before = std::env::var_os("TEDA_MMAP_FALLBACK");
+        std::env::set_var("TEDA_MMAP_FALLBACK", "1");
+        let forced = unsafe { Mmap::map(&file) }.expect("map");
+        match before {
+            Some(v) => std::env::set_var("TEDA_MMAP_FALLBACK", v),
+            None => std::env::remove_var("TEDA_MMAP_FALLBACK"),
+        }
+        assert!(!forced.is_kernel_mapped());
+        assert_eq!(&forced[..], &payload[..]);
+        let plain = unsafe { Mmap::map(&file) }.expect("map");
+        assert_eq!(&plain[..], &forced[..]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -21,7 +21,7 @@
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-use teda_store::{CompactionReport, CorpusStore, DeltaOp, StoreError, TierPolicy};
+use teda_store::{CompactionReport, CorpusStore, DeltaOp, MapStats, StoreError, TierPolicy};
 use teda_websim::{InvertedIndex, Segment, SegmentOp, SegmentedCorpus, SwappableBackend, WebPage};
 
 /// A persistent corpus that can grow and shrink while being served.
@@ -34,6 +34,12 @@ use teda_websim::{InvertedIndex, Segment, SegmentOp, SegmentedCorpus, SwappableB
 pub struct LiveCorpus {
     store: CorpusStore,
     policy: TierPolicy,
+    /// Serve the base off the mmap'd snapshot instead of decoding it.
+    mapped: bool,
+    /// The mapping behind the current base in mapped mode (`None` on
+    /// the heap path). Replaced on every fold/merge reload; the old
+    /// mapping stays valid for in-flight readers until dropped.
+    snapshot: Mutex<Option<Arc<teda_store::MappedSnapshot>>>,
     current: Mutex<Arc<SegmentedCorpus>>,
     backend: Arc<SwappableBackend>,
 }
@@ -43,15 +49,63 @@ impl LiveCorpus {
     /// [`CorpusStore::save`] or `open_or_build` first) and replays the
     /// journal as overlays.
     pub fn open(dir: impl Into<PathBuf>, policy: TierPolicy) -> Result<Self, StoreError> {
+        Self::open_with(dir, policy, false)
+    }
+
+    /// [`open`](Self::open), but serving the base corpus straight off
+    /// the mmap'd snapshot ([`CorpusStore::load_segmented_mapped`]): no
+    /// page text is materialized, cold start is O(index + delta), and N
+    /// processes serving the same directory share one page-cache copy.
+    /// Results are bit-identical to the heap path.
+    pub fn open_mapped(dir: impl Into<PathBuf>, policy: TierPolicy) -> Result<Self, StoreError> {
+        Self::open_with(dir, policy, true)
+    }
+
+    /// Opens per the service configuration:
+    /// [`open_mapped`](Self::open_mapped) when
+    /// [`mmap_corpus`](crate::ServiceConfig::mmap_corpus) is set, else
+    /// the heap path — the one switch a deployment flips to serve a
+    /// beyond-RAM corpus.
+    pub fn open_for(
+        config: &crate::ServiceConfig,
+        dir: impl Into<PathBuf>,
+        policy: TierPolicy,
+    ) -> Result<Self, StoreError> {
+        Self::open_with(dir, policy, config.mmap_corpus)
+    }
+
+    fn open_with(
+        dir: impl Into<PathBuf>,
+        policy: TierPolicy,
+        mapped: bool,
+    ) -> Result<Self, StoreError> {
         let store = CorpusStore::open(dir)?;
-        let corpus = Arc::new(store.load_segmented()?.corpus);
+        let (corpus, snapshot) = if mapped {
+            let load = store.load_segmented_mapped()?;
+            (Arc::new(load.corpus), Some(load.snapshot))
+        } else {
+            (Arc::new(store.load_segmented()?.corpus), None)
+        };
         let backend = Arc::new(SwappableBackend::new(corpus.clone()));
         Ok(LiveCorpus {
             store,
             policy,
+            mapped,
+            snapshot: Mutex::new(snapshot),
             current: Mutex::new(corpus),
             backend,
         })
+    }
+
+    /// Mapping counters in mapped mode (`None` on the heap path). The
+    /// counters describe the *current* mapping — a fold/merge reload
+    /// replaces it, so hydration counts restart from zero.
+    pub fn map_stats(&self) -> Option<MapStats> {
+        self.snapshot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .map(|s| s.stats())
     }
 
     /// The backend handle to build the service's search engine over:
@@ -117,7 +171,16 @@ impl LiveCorpus {
         self.backend.swap(next);
         let report = self.store.maybe_compact(self.policy)?;
         if report.full_fold || report.merges > 0 {
-            let reloaded = Arc::new(self.store.load_segmented()?.corpus);
+            // Reload from the compacted store; in mapped mode this maps
+            // the freshly renamed snapshot (the superseded mapping stays
+            // valid for any in-flight reader holding the old view).
+            let reloaded = if self.mapped {
+                let load = self.store.load_segmented_mapped()?;
+                *self.snapshot.lock().unwrap_or_else(PoisonError::into_inner) = Some(load.snapshot);
+                Arc::new(load.corpus)
+            } else {
+                Arc::new(self.store.load_segmented()?.corpus)
+            };
             **current = Arc::clone(&reloaded);
             self.backend.swap(reloaded);
         }
@@ -189,6 +252,50 @@ mod tests {
                 rebuilt.index().search(query, k),
                 "reopened live corpus must match a full rebuild for {query:?}"
             );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mapped_mode_matches_heap_mode_through_updates_and_folds() {
+        let dir = std::env::temp_dir().join(format!("teda_live_map_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        seeded(&dir, 5);
+        let policy = TierPolicy {
+            max_segments: 3,
+            fanout: 2,
+            max_removed: 2,
+        };
+        let live = LiveCorpus::open_mapped(&dir, policy).expect("open mapped");
+        let stats = live.map_stats().expect("mapped mode must report stats");
+        assert!(stats.mapped_bytes > 0);
+        assert_eq!(stats.hydrations, 0, "open must not hydrate page text");
+
+        let backend = live.backend();
+        for i in 0..6 {
+            live.add_pages(vec![page(300 + i, "tiramisu dessert recipe")])
+                .expect("add");
+        }
+        live.remove_pages(vec!["http://live/300".into()])
+            .expect("remove");
+        live.remove_pages(vec!["http://live/301".into()])
+            .expect("remove");
+        live.remove_pages(vec!["http://live/302".into()])
+            .expect("remove (trips the full fold)");
+
+        // Still mapped after tier merges and the full fold.
+        assert!(live.map_stats().is_some());
+        // Bit-identical to a heap rebuild of the same logical corpus.
+        let corpus = live.corpus();
+        let rebuilt = WebCorpus::from_pages(corpus.to_pages());
+        assert_eq!(corpus.n_docs(), 5 + 6 - 3);
+        for (query, k) in [("tiramisu dessert", 10), ("rome pasta restaurant", 5)] {
+            let got = backend.search(query, k);
+            let want = rebuilt.index().search(query, k);
+            assert_eq!(got.len(), want.len(), "{query:?}");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!((g.0, g.1.to_bits()), (w.0, w.1.to_bits()), "{query:?}");
+            }
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

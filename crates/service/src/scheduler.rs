@@ -82,6 +82,15 @@ pub struct ServiceConfig {
     /// [`AnnotationService::snapshot_now`] (the wire `SNAPSHOT` verb).
     /// `None` disables persistence.
     pub store_dir: Option<std::path::PathBuf>,
+    /// Serve the base corpus straight off the mmap'd snapshot file
+    /// instead of decoding it to the heap
+    /// ([`LiveCorpus::open_for`](crate::live::LiveCorpus::open_for)
+    /// consults this): cold start becomes O(index + delta), page text
+    /// hydrates lazily per hit, and N service processes over the same
+    /// store directory share one page-cache copy of the corpus.
+    /// Results are bit-identical either way. [`ServiceStats`] reports
+    /// the mapping's resident-bytes and hydration counters when on.
+    pub mmap_corpus: bool,
 }
 
 impl Default for ServiceConfig {
@@ -96,6 +105,7 @@ impl Default for ServiceConfig {
             fair_quantum: 64,
             max_tracked_clients: 1_024,
             store_dir: None,
+            mmap_corpus: false,
         }
     }
 }
@@ -748,6 +758,11 @@ impl AnnotationService {
             .unwrap_or_else(PoisonError::into_inner)
             .buf
             .clone();
+        let map_stats = self
+            .live
+            .as_ref()
+            .and_then(|live| live.map_stats())
+            .unwrap_or_default();
         ServiceStats {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Relaxed),
@@ -759,6 +774,9 @@ impl AnnotationService {
             backpressure_waits: self.shared.backpressure_waits.load(Ordering::Relaxed),
             restored_cache_entries: self.shared.restored_cache_entries.load(Ordering::Relaxed),
             corpus_refreshes: self.shared.corpus_refreshes.load(Ordering::Relaxed),
+            mapped_bytes: map_stats.mapped_bytes,
+            resident_bytes: map_stats.resident_bytes,
+            page_hydrations: map_stats.hydrations,
             latency: LatencySummary::from_latencies(&latencies),
             cache: self.shared.annotator.cache_stats(),
             geocode: self.shared.annotator.geo_stats(),

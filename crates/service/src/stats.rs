@@ -94,6 +94,18 @@ pub struct ServiceStats {
     /// the running engine; each one swapped the search backend and
     /// cleared the query memo. 0 without a live corpus.
     pub corpus_refreshes: u64,
+    /// Bytes of the mmap'd corpus snapshot behind the live backend.
+    /// 0 unless the service runs with `ServiceConfig::mmap_corpus`. All
+    /// three mapping counters describe the *current* mapping — a
+    /// compaction reload replaces it and they restart.
+    pub mapped_bytes: u64,
+    /// Heap bytes of the mapping's side tables (term lookup, page-span
+    /// table) — the resident cost of serving off the mapping, always
+    /// far below `mapped_bytes` because page text is never copied.
+    pub resident_bytes: u64,
+    /// Page-text hydrations served from the mapping (one per hit whose
+    /// fields were materialized for display).
+    pub page_hydrations: u64,
     /// Submit-to-completion latency percentiles (over the scheduler's
     /// recent-completions window, not all-time history).
     pub latency: LatencySummary,

@@ -35,10 +35,55 @@ use crate::format::{
 };
 use crate::StoreError;
 
-const SEC_PAGES: u32 = 1;
-const SEC_TERMS: u32 = 2;
-const SEC_POSTINGS: u32 = 3;
-const SEC_DOCMETA: u32 = 4;
+pub(crate) const SEC_PAGES: u32 = 1;
+pub(crate) const SEC_TERMS: u32 = 2;
+pub(crate) const SEC_POSTINGS: u32 = 3;
+pub(crate) const SEC_DOCMETA: u32 = 4;
+
+/// The four sections of a corpus snapshot, slotted by tag.
+pub(crate) struct CorpusSections<T> {
+    pub pages: T,
+    pub terms: T,
+    pub postings: T,
+    pub docmeta: T,
+}
+
+/// Slots `(tag, payload)` pairs into the four known corpus sections,
+/// rejecting unknown tags, duplicates and missing sections — the shared
+/// front half of every corpus-snapshot reader (eager, lazy and mapped).
+pub(crate) fn slot_corpus_sections<T>(
+    sections: Vec<(u32, T)>,
+) -> Result<CorpusSections<T>, StoreError> {
+    let mut pages = None;
+    let mut terms = None;
+    let mut postings = None;
+    let mut docmeta = None;
+    for (tag, payload) in sections {
+        let slot = match tag {
+            SEC_PAGES => &mut pages,
+            SEC_TERMS => &mut terms,
+            SEC_POSTINGS => &mut postings,
+            SEC_DOCMETA => &mut docmeta,
+            other => {
+                return Err(StoreError::Corrupt(format!(
+                    "unknown corpus section tag {other}"
+                )))
+            }
+        };
+        if slot.replace(payload).is_some() {
+            return Err(StoreError::Corrupt(format!(
+                "duplicate corpus section tag {tag}"
+            )));
+        }
+    }
+    let missing = |name: &str| StoreError::Corrupt(format!("missing corpus section: {name}"));
+    Ok(CorpusSections {
+        pages: pages.ok_or_else(|| missing("pages"))?,
+        terms: terms.ok_or_else(|| missing("terms"))?,
+        postings: postings.ok_or_else(|| missing("postings"))?,
+        docmeta: docmeta.ok_or_else(|| missing("docmeta"))?,
+    })
+}
 
 fn put_terms_payload(out: &mut Vec<u8>, parts: &IndexParts) {
     put_u64(out, parts.terms.len() as u64);
@@ -189,32 +234,9 @@ pub fn encode_corpus(corpus: &WebCorpus) -> Vec<u8> {
 /// the page count must match the index's document count — a snapshot
 /// that decodes is a snapshot that can serve queries safely.
 pub fn decode_corpus(bytes: &[u8]) -> Result<WebCorpus, StoreError> {
-    let sections = decode_container(bytes, KIND_CORPUS)?;
-    let mut pages_sec = None;
-    let mut terms_sec = None;
-    let mut postings_sec = None;
-    let mut docmeta_sec = None;
-    for (tag, payload) in sections {
-        let slot = match tag {
-            SEC_PAGES => &mut pages_sec,
-            SEC_TERMS => &mut terms_sec,
-            SEC_POSTINGS => &mut postings_sec,
-            SEC_DOCMETA => &mut docmeta_sec,
-            other => {
-                return Err(StoreError::Corrupt(format!(
-                    "unknown corpus section tag {other}"
-                )))
-            }
-        };
-        if slot.replace(payload).is_some() {
-            return Err(StoreError::Corrupt(format!(
-                "duplicate corpus section tag {tag}"
-            )));
-        }
-    }
-    let missing = |name: &str| StoreError::Corrupt(format!("missing corpus section: {name}"));
+    let secs = slot_corpus_sections(decode_container(bytes, KIND_CORPUS)?)?;
 
-    let mut cur = Cursor::new(pages_sec.ok_or_else(|| missing("pages"))?);
+    let mut cur = Cursor::new(secs.pages);
     // 24 = three 8-byte string length prefixes per page: the tightest
     // lower bound an empty page can occupy, so a forged count cannot
     // amplify the allocation past ~1/24th of the input size.
@@ -228,13 +250,13 @@ pub fn decode_corpus(bytes: &[u8]) -> Result<WebCorpus, StoreError> {
         });
     }
 
-    let mut cur = Cursor::new(terms_sec.ok_or_else(|| missing("terms"))?);
+    let mut cur = Cursor::new(secs.terms);
     let terms = read_terms_payload(&mut cur)?;
 
-    let mut cur = Cursor::new(postings_sec.ok_or_else(|| missing("postings"))?);
+    let mut cur = Cursor::new(secs.postings);
     let (offsets, postings) = read_postings_payload(&mut cur)?;
 
-    let mut cur = Cursor::new(docmeta_sec.ok_or_else(|| missing("docmeta"))?);
+    let mut cur = Cursor::new(secs.docmeta);
     let (doc_len_bits, avg_len_bits, n_docs) = read_docmeta_payload(&mut cur)?;
 
     let index = InvertedIndex::from_parts(IndexParts {
@@ -252,39 +274,97 @@ pub fn decode_corpus(bytes: &[u8]) -> Result<WebCorpus, StoreError> {
 /// A byte span into the snapshot buffer whose UTF-8 validity was
 /// checked at open.
 #[derive(Debug, Clone, Copy)]
-struct Span {
+pub(crate) struct Span {
     start: usize,
     end: usize,
 }
 
-/// A zero-copy snapshot view: the corpus served straight out of the
-/// file bytes, nothing re-allocated.
+/// The snapshot file image a view reads through: a heap buffer (the
+/// PR 6 lazy path) or a kernel file mapping (the mmap'd serving path).
+/// Both deref to the same `&[u8]`, so every codec and view downstream
+/// is storage-agnostic; cloning clones an `Arc`, never the bytes.
+#[derive(Debug, Clone)]
+pub enum SnapshotBytes {
+    /// The file image read into memory.
+    Heap(Arc<[u8]>),
+    /// The file mapped read-only; pages fault in on first touch and
+    /// live in the OS page cache, shared across processes.
+    Mapped(Arc<memmap2::Mmap>),
+}
+
+impl std::ops::Deref for SnapshotBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            SnapshotBytes::Heap(buf) => buf,
+            SnapshotBytes::Mapped(map) => map,
+        }
+    }
+}
+
+/// One string span: UTF-8-validated here so accessors can slice
+/// without re-checking.
+fn str_span(cur: &mut Cursor<'_>, base: usize, context: &'static str) -> Result<Span, StoreError> {
+    let len = cur.len_prefix(1, context)?;
+    let start = base + cur.position();
+    let bytes = cur.take(len, context)?;
+    std::str::from_utf8(bytes)
+        .map_err(|_| StoreError::Corrupt(format!("{context}: invalid UTF-8")))?;
+    Ok(Span {
+        start,
+        end: start + len,
+    })
+}
+
+/// Validates the pages section (count, string structure, UTF-8) and
+/// returns the `[url, title, body]` span triple per page, addressed
+/// into the whole file image.
+pub(crate) fn validate_page_spans(
+    buf: &[u8],
+    sec: Range<usize>,
+) -> Result<Vec<[Span; 3]>, StoreError> {
+    let mut cur = Cursor::new(&buf[sec.clone()]);
+    let n_pages = cur.len_prefix(24, "page count")?;
+    let mut page_spans = Vec::with_capacity(n_pages);
+    for _ in 0..n_pages {
+        page_spans.push([
+            str_span(&mut cur, sec.start, "page url")?,
+            str_span(&mut cur, sec.start, "page title")?,
+            str_span(&mut cur, sec.start, "page body")?,
+        ]);
+    }
+    Ok(page_spans)
+}
+
+/// Borrowed field views of page `id` out of `buf`, through spans
+/// produced by [`validate_page_spans`] over the same buffer. Panics on
+/// out-of-range ids (same contract as `WebCorpus::page`).
+pub(crate) fn page_fields_at<'a>(buf: &'a [u8], spans: &[[Span; 3]], id: PageId) -> PageFields<'a> {
+    let str_at =
+        |s: Span| std::str::from_utf8(&buf[s.start..s.end]).expect("UTF-8 validated at open");
+    let [url, title, body] = spans[id.0 as usize];
+    PageFields {
+        url: str_at(url),
+        title: str_at(title),
+        body: str_at(body),
+    }
+}
+
+/// The index half of a snapshot, served in place: terms, postings and
+/// docmeta validated and addressed into the file image — everything a
+/// search needs, nothing a page read needs. [`SnapshotView`] pairs it
+/// with the page-span table up front; the mmap'd `MappedSnapshot`
+/// materializes each half independently on first touch.
 ///
-/// [`decode_corpus`] materializes every string and posting into owned
-/// structures — correct, but a *warm* open (unchanged snapshot, process
-/// restart) pays that allocation storm just to reach the same bytes it
-/// started from. The lazy view instead keeps the whole file image
-/// behind one `Arc<[u8]>` and records where things live:
-///
-/// * page fields are spans served as borrowed `&str` ([`PageFields`]);
-/// * term lookup is a binary search through a permutation of term ids
-///   sorted by term bytes — no `HashMap`, no per-term `String`;
-/// * postings and document lengths stay little-endian in place, decoded
-///   to their `f32`/`f64` bit patterns at access time.
-///
-/// Open cost is therefore CRC verification plus one validating walk
-/// (UTF-8, offset monotonicity, posting page bounds) — reads, not
-/// allocations. The same bit patterns flow into the same
-/// [`teda_websim::scoring`] kernel in the same order as the eager
-/// index's `search`, so results are bit-identical (`exp_segments`
-/// asserts both the speedup and the identity).
-///
-/// All structural invariants are established at open so accessors
-/// cannot panic on any byte sequence that decoded successfully.
+/// All structural invariants (offset monotonicity, posting page
+/// bounds, term uniqueness, length-table arity — exactly the checks
+/// `InvertedIndex::from_parts` makes) are established at open, so
+/// accessors cannot panic on any byte sequence that opened
+/// successfully.
 #[derive(Debug)]
-pub struct SnapshotView {
-    buf: Arc<[u8]>,
-    page_spans: Vec<[Span; 3]>,
+pub(crate) struct CoreIndexView {
+    buf: SnapshotBytes,
     term_spans: Vec<Span>,
     /// Term ids sorted by term bytes — the lookup structure.
     term_order: Vec<u32>,
@@ -298,175 +378,118 @@ pub struct SnapshotView {
     n_docs: usize,
 }
 
-/// Opens a snapshot image as a [`SnapshotView`] without materializing
-/// pages or index — the warm-open path. Validation is equivalent to
-/// [`decode_corpus`]'s (every check `InvertedIndex::from_parts` and
-/// `WebCorpus::from_parts` would make), so any input this accepts the
-/// eager decoder accepts too, and vice versa.
-pub fn decode_corpus_lazy(buf: Arc<[u8]>) -> Result<SnapshotView, StoreError> {
-    let sections = decode_container_spans(&buf, KIND_CORPUS)?;
-    let mut pages_sec = None;
-    let mut terms_sec = None;
-    let mut postings_sec = None;
-    let mut docmeta_sec = None;
-    for (tag, span) in sections {
-        let slot = match tag {
-            SEC_PAGES => &mut pages_sec,
-            SEC_TERMS => &mut terms_sec,
-            SEC_POSTINGS => &mut postings_sec,
-            SEC_DOCMETA => &mut docmeta_sec,
-            other => {
-                return Err(StoreError::Corrupt(format!(
-                    "unknown corpus section tag {other}"
-                )))
-            }
-        };
-        if slot.replace(span).is_some() {
+impl CoreIndexView {
+    /// Validates the three index sections and records where everything
+    /// lives. Reads only — no string, posting or hash-map allocation;
+    /// the side tables built here (term spans + sort permutation) are
+    /// O(vocabulary), not O(corpus).
+    pub(crate) fn open(
+        buf: SnapshotBytes,
+        terms_sec: Range<usize>,
+        postings_sec: Range<usize>,
+        docmeta_sec: Range<usize>,
+    ) -> Result<Self, StoreError> {
+        let bytes: &[u8] = &buf;
+
+        let mut cur = Cursor::new(&bytes[terms_sec.clone()]);
+        let n_terms = cur.len_prefix(8, "term count")?;
+        if u32::try_from(n_terms).is_err() {
+            return Err(StoreError::Corrupt(
+                "term vocabulary exceeds u32 ids".into(),
+            ));
+        }
+        let mut term_spans = Vec::with_capacity(n_terms);
+        for _ in 0..n_terms {
+            term_spans.push(str_span(&mut cur, terms_sec.start, "term")?);
+        }
+        let mut term_order: Vec<u32> = (0..n_terms as u32).collect();
+        term_order.sort_unstable_by(|&a, &b| {
+            let sa = term_spans[a as usize];
+            let sb = term_spans[b as usize];
+            bytes[sa.start..sa.end].cmp(&bytes[sb.start..sb.end])
+        });
+        if term_order.windows(2).any(|w| {
+            let sa = term_spans[w[0] as usize];
+            let sb = term_spans[w[1] as usize];
+            bytes[sa.start..sa.end] == bytes[sb.start..sb.end]
+        }) {
+            return Err(StoreError::Corrupt(
+                "duplicate term in the vocabulary".into(),
+            ));
+        }
+
+        let mut cur = Cursor::new(&bytes[postings_sec.clone()]);
+        let n_offsets = cur.len_prefix(4, "offset count")?;
+        if n_offsets != n_terms + 1 {
             return Err(StoreError::Corrupt(format!(
-                "duplicate corpus section tag {tag}"
+                "offset table has {n_offsets} entries for {n_terms} terms (want terms + 1)"
             )));
         }
-    }
-    let missing = |name: &str| StoreError::Corrupt(format!("missing corpus section: {name}"));
+        let off_start = postings_sec.start + cur.position();
+        let offset_bytes = cur.take(n_offsets * 4, "offset table")?;
+        let offsets_range = off_start..off_start + n_offsets * 4;
+        let n_postings = cur.len_prefix(8, "posting count")?;
+        let post_start = postings_sec.start + cur.position();
+        let posting_bytes = cur.take(n_postings * 8, "posting arena")?;
+        let postings_range = post_start..post_start + n_postings * 8;
+        // The same structural walk `InvertedIndex::from_parts` makes —
+        // reads only, so a forged arena costs bounded time and zero
+        // allocation.
+        let mut prev = 0u32;
+        for (i, b) in offset_bytes.chunks_exact(4).enumerate() {
+            let off = u32::from_le_bytes(b.try_into().expect("4-byte chunk"));
+            if i == 0 && off != 0 {
+                return Err(StoreError::Corrupt("offset table must start at 0".into()));
+            }
+            if off < prev {
+                return Err(StoreError::Corrupt("offset table must be monotonic".into()));
+            }
+            prev = off;
+        }
+        if prev as usize != n_postings {
+            return Err(StoreError::Corrupt(format!(
+                "offset table ends at {prev} but the arena holds {n_postings} postings"
+            )));
+        }
 
-    // One string span: UTF-8-validated here so accessors can slice
-    // without re-checking.
-    fn str_span(
-        cur: &mut Cursor<'_>,
-        base: usize,
-        context: &'static str,
-    ) -> Result<Span, StoreError> {
-        let len = cur.len_prefix(1, context)?;
-        let start = base + cur.position();
-        let bytes = cur.take(len, context)?;
-        std::str::from_utf8(bytes)
-            .map_err(|_| StoreError::Corrupt(format!("{context}: invalid UTF-8")))?;
-        Ok(Span {
-            start,
-            end: start + len,
+        let mut cur = Cursor::new(&bytes[docmeta_sec.clone()]);
+        let n_doc_lens = cur.len_prefix(8, "doc length count")?;
+        let len_start = docmeta_sec.start + cur.position();
+        cur.take(n_doc_lens * 8, "doc length table")?;
+        let doc_len_range = len_start..len_start + n_doc_lens * 8;
+        let avg_len_bits = cur.u64("average length")?;
+        let n_docs = cur.u64("document count")?;
+        let n_docs = usize::try_from(n_docs)
+            .map_err(|_| StoreError::Corrupt("document count overflows usize".into()))?;
+        if n_doc_lens != n_docs {
+            return Err(StoreError::Corrupt(format!(
+                "{n_doc_lens} document lengths for {n_docs} documents"
+            )));
+        }
+        for b in posting_bytes.chunks_exact(8) {
+            let page = u32::from_le_bytes(b[..4].try_into().expect("4-byte chunk"));
+            if page as usize >= n_docs {
+                return Err(StoreError::Corrupt(format!(
+                    "posting references page {page} of a {n_docs}-document collection"
+                )));
+            }
+        }
+
+        Ok(CoreIndexView {
+            buf,
+            term_spans,
+            term_order,
+            offsets: offsets_range,
+            postings: postings_range,
+            doc_len: doc_len_range,
+            avg_len: f64::from_bits(avg_len_bits),
+            n_docs,
         })
     }
 
-    let sec = pages_sec.ok_or_else(|| missing("pages"))?;
-    let mut cur = Cursor::new(&buf[sec.clone()]);
-    let n_pages = cur.len_prefix(24, "page count")?;
-    let mut page_spans = Vec::with_capacity(n_pages);
-    for _ in 0..n_pages {
-        page_spans.push([
-            str_span(&mut cur, sec.start, "page url")?,
-            str_span(&mut cur, sec.start, "page title")?,
-            str_span(&mut cur, sec.start, "page body")?,
-        ]);
-    }
-
-    let sec = terms_sec.ok_or_else(|| missing("terms"))?;
-    let mut cur = Cursor::new(&buf[sec.clone()]);
-    let n_terms = cur.len_prefix(8, "term count")?;
-    if u32::try_from(n_terms).is_err() {
-        return Err(StoreError::Corrupt(
-            "term vocabulary exceeds u32 ids".into(),
-        ));
-    }
-    let mut term_spans = Vec::with_capacity(n_terms);
-    for _ in 0..n_terms {
-        term_spans.push(str_span(&mut cur, sec.start, "term")?);
-    }
-    let mut term_order: Vec<u32> = (0..n_terms as u32).collect();
-    term_order.sort_unstable_by(|&a, &b| {
-        let sa = term_spans[a as usize];
-        let sb = term_spans[b as usize];
-        buf[sa.start..sa.end].cmp(&buf[sb.start..sb.end])
-    });
-    if term_order.windows(2).any(|w| {
-        let sa = term_spans[w[0] as usize];
-        let sb = term_spans[w[1] as usize];
-        buf[sa.start..sa.end] == buf[sb.start..sb.end]
-    }) {
-        return Err(StoreError::Corrupt(
-            "duplicate term in the vocabulary".into(),
-        ));
-    }
-
-    let sec = postings_sec.ok_or_else(|| missing("postings"))?;
-    let mut cur = Cursor::new(&buf[sec.clone()]);
-    let n_offsets = cur.len_prefix(4, "offset count")?;
-    if n_offsets != n_terms + 1 {
-        return Err(StoreError::Corrupt(format!(
-            "offset table has {n_offsets} entries for {n_terms} terms (want terms + 1)"
-        )));
-    }
-    let off_start = sec.start + cur.position();
-    let offset_bytes = cur.take(n_offsets * 4, "offset table")?;
-    let offsets_range = off_start..off_start + n_offsets * 4;
-    let n_postings = cur.len_prefix(8, "posting count")?;
-    let post_start = sec.start + cur.position();
-    let posting_bytes = cur.take(n_postings * 8, "posting arena")?;
-    let postings_range = post_start..post_start + n_postings * 8;
-    // The same structural walk `InvertedIndex::from_parts` makes —
-    // reads only, so a forged arena costs bounded time and zero
-    // allocation.
-    let mut prev = 0u32;
-    for (i, b) in offset_bytes.chunks_exact(4).enumerate() {
-        let off = u32::from_le_bytes(b.try_into().expect("4-byte chunk"));
-        if i == 0 && off != 0 {
-            return Err(StoreError::Corrupt("offset table must start at 0".into()));
-        }
-        if off < prev {
-            return Err(StoreError::Corrupt("offset table must be monotonic".into()));
-        }
-        prev = off;
-    }
-    if prev as usize != n_postings {
-        return Err(StoreError::Corrupt(format!(
-            "offset table ends at {prev} but the arena holds {n_postings} postings"
-        )));
-    }
-
-    let sec = docmeta_sec.ok_or_else(|| missing("docmeta"))?;
-    let mut cur = Cursor::new(&buf[sec.clone()]);
-    let n_doc_lens = cur.len_prefix(8, "doc length count")?;
-    let len_start = sec.start + cur.position();
-    cur.take(n_doc_lens * 8, "doc length table")?;
-    let doc_len_range = len_start..len_start + n_doc_lens * 8;
-    let avg_len_bits = cur.u64("average length")?;
-    let n_docs = cur.u64("document count")?;
-    let n_docs = usize::try_from(n_docs)
-        .map_err(|_| StoreError::Corrupt("document count overflows usize".into()))?;
-    if n_doc_lens != n_docs {
-        return Err(StoreError::Corrupt(format!(
-            "{n_doc_lens} document lengths for {n_docs} documents"
-        )));
-    }
-    if n_pages != n_docs {
-        return Err(StoreError::Corrupt(format!(
-            "index covers {n_docs} documents but the page store holds {n_pages}"
-        )));
-    }
-    for b in posting_bytes.chunks_exact(8) {
-        let page = u32::from_le_bytes(b[..4].try_into().expect("4-byte chunk"));
-        if page as usize >= n_docs {
-            return Err(StoreError::Corrupt(format!(
-                "posting references page {page} of a {n_docs}-document collection"
-            )));
-        }
-    }
-
-    Ok(SnapshotView {
-        buf,
-        page_spans,
-        term_spans,
-        term_order,
-        offsets: offsets_range,
-        postings: postings_range,
-        doc_len: doc_len_range,
-        avg_len: f64::from_bits(avg_len_bits),
-        n_docs,
-    })
-}
-
-impl SnapshotView {
-    fn str_at(&self, span: Span) -> &str {
-        std::str::from_utf8(&self.buf[span.start..span.end]).expect("UTF-8 validated at open")
+    /// The whole file image this view indexes into.
+    pub(crate) fn bytes(&self) -> &[u8] {
+        &self.buf
     }
 
     fn offset_at(&self, i: usize) -> usize {
@@ -485,7 +508,8 @@ impl SnapshotView {
         (page, tf)
     }
 
-    fn doc_len_of(&self, i: usize) -> f64 {
+    /// Indexed length of document `i`, as stored.
+    pub(crate) fn doc_len_of(&self, i: usize) -> f64 {
         let at = self.doc_len.start + i * 8;
         f64::from_bits(u64::from_le_bytes(
             self.buf[at..at + 8]
@@ -496,7 +520,7 @@ impl SnapshotView {
 
     /// The dense id of `term`, if interned — a binary search through
     /// the sorted permutation instead of a hash lookup.
-    fn term_id(&self, term: &str) -> Option<u32> {
+    pub(crate) fn term_id(&self, term: &str) -> Option<u32> {
         self.term_order
             .binary_search_by(|&tid| {
                 let s = self.term_spans[tid as usize];
@@ -506,28 +530,40 @@ impl SnapshotView {
             .map(|at| self.term_order[at])
     }
 
-    /// Number of pages in the snapshot.
-    pub fn n_docs(&self) -> usize {
-        self.n_docs
+    /// Posting-list length of term `tid` (its raw document frequency).
+    pub(crate) fn postings_len(&self, tid: u32) -> usize {
+        self.offset_at(tid as usize + 1) - self.offset_at(tid as usize)
     }
 
-    /// Borrowed field views of page `id` — straight out of the file
-    /// bytes. Panics on out-of-range ids (same contract as
-    /// `WebCorpus::page`).
-    pub fn page_fields(&self, id: PageId) -> PageFields<'_> {
-        let [url, title, body] = self.page_spans[id.0 as usize];
-        PageFields {
-            url: self.str_at(url),
-            title: self.str_at(title),
-            body: self.str_at(body),
+    /// Visits term `tid`'s postings in stored order, straight off the
+    /// little-endian bytes.
+    pub(crate) fn for_each_posting(&self, tid: u32, visit: &mut dyn FnMut(u32, f32)) {
+        let (lo, hi) = (
+            self.offset_at(tid as usize),
+            self.offset_at(tid as usize + 1),
+        );
+        for j in lo..hi {
+            let (page, tf) = self.posting_at(j);
+            visit(page, tf);
         }
     }
 
-    /// BM25 top-`k` for `query`, bit-identical to
-    /// `decode_corpus(bytes).index().search(query, k)`: the same posting
-    /// walk feeding the same [`teda_websim::scoring`] kernel, only the
-    /// storage differs.
-    pub fn search(&self, query: &str, k: usize) -> Vec<(PageId, f64)> {
+    /// Number of documents the index covers.
+    pub(crate) fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Heap bytes of the side tables this view materialized (term
+    /// spans + sort permutation) — the O(vocabulary) resident cost of
+    /// serving off the mapping.
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.term_spans.len() * std::mem::size_of::<Span>() + self.term_order.len() * 4
+    }
+
+    /// BM25 top-`k` for `query`: the same posting walk feeding the same
+    /// [`teda_websim::scoring`] kernel as the eager index's `search`,
+    /// only the storage differs — so results are bit-identical.
+    pub(crate) fn search(&self, query: &str, k: usize) -> Vec<(PageId, f64)> {
         if k == 0 || self.n_docs == 0 {
             return Vec::new();
         }
@@ -554,12 +590,85 @@ impl SnapshotView {
         }
         scoring::rank_top_k(&scores, &touched, k)
     }
+}
+
+/// A zero-copy snapshot view: the corpus served straight out of the
+/// file bytes, nothing re-allocated.
+///
+/// [`decode_corpus`] materializes every string and posting into owned
+/// structures — correct, but a *warm* open (unchanged snapshot, process
+/// restart) pays that allocation storm just to reach the same bytes it
+/// started from. The lazy view instead keeps the whole file image
+/// behind one [`SnapshotBytes`] (heap buffer or file mapping) and
+/// records where things live:
+///
+/// * page fields are spans served as borrowed `&str` ([`PageFields`]);
+/// * term lookup is a binary search through a permutation of term ids
+///   sorted by term bytes — no `HashMap`, no per-term `String`;
+/// * postings and document lengths stay little-endian in place, decoded
+///   to their `f32`/`f64` bit patterns at access time.
+///
+/// Open cost is therefore CRC verification plus one validating walk
+/// (UTF-8, offset monotonicity, posting page bounds) — reads, not
+/// allocations. The same bit patterns flow into the same
+/// [`teda_websim::scoring`] kernel in the same order as the eager
+/// index's `search`, so results are bit-identical (`exp_segments`
+/// asserts both the speedup and the identity).
+///
+/// All structural invariants are established at open so accessors
+/// cannot panic on any byte sequence that decoded successfully.
+#[derive(Debug)]
+pub struct SnapshotView {
+    core: CoreIndexView,
+    page_spans: Vec<[Span; 3]>,
+}
+
+/// Opens a snapshot image as a [`SnapshotView`] without materializing
+/// pages or index — the warm-open path. Validation is equivalent to
+/// [`decode_corpus`]'s (every check `InvertedIndex::from_parts` and
+/// `WebCorpus::from_parts` would make), so any input this accepts the
+/// eager decoder accepts too, and vice versa.
+pub fn decode_corpus_lazy(buf: Arc<[u8]>) -> Result<SnapshotView, StoreError> {
+    let bytes = SnapshotBytes::Heap(buf);
+    let secs = slot_corpus_sections(decode_container_spans(&bytes, KIND_CORPUS)?)?;
+    let page_spans = validate_page_spans(&bytes, secs.pages)?;
+    let core = CoreIndexView::open(bytes, secs.terms, secs.postings, secs.docmeta)?;
+    if page_spans.len() != core.n_docs() {
+        return Err(StoreError::Corrupt(format!(
+            "index covers {} documents but the page store holds {}",
+            core.n_docs(),
+            page_spans.len()
+        )));
+    }
+    Ok(SnapshotView { core, page_spans })
+}
+
+impl SnapshotView {
+    /// Number of pages in the snapshot.
+    pub fn n_docs(&self) -> usize {
+        self.core.n_docs()
+    }
+
+    /// Borrowed field views of page `id` — straight out of the file
+    /// bytes. Panics on out-of-range ids (same contract as
+    /// `WebCorpus::page`).
+    pub fn page_fields(&self, id: PageId) -> PageFields<'_> {
+        page_fields_at(self.core.bytes(), &self.page_spans, id)
+    }
+
+    /// BM25 top-`k` for `query`, bit-identical to
+    /// `decode_corpus(bytes).index().search(query, k)`: the same posting
+    /// walk feeding the same [`teda_websim::scoring`] kernel, only the
+    /// storage differs.
+    pub fn search(&self, query: &str, k: usize) -> Vec<(PageId, f64)> {
+        self.core.search(query, k)
+    }
 
     /// Materializes the eager corpus from the same bytes (re-running
     /// the full decode) — for callers that outgrow the view, e.g. to
     /// start journaling on top of it.
     pub fn materialize(&self) -> Result<WebCorpus, StoreError> {
-        decode_corpus(&self.buf)
+        decode_corpus(self.core.bytes())
     }
 }
 
@@ -575,7 +684,7 @@ impl SearchBackend for SnapshotView {
     }
 
     fn n_docs(&self) -> usize {
-        self.n_docs
+        self.core.n_docs()
     }
 }
 

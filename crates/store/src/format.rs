@@ -21,6 +21,9 @@
 //! every section is verified against its CRC before a payload codec
 //! sees a single byte: truncation, bit rot and version skew surface as
 //! typed [`StoreError`]s, never as a panic or a silently wrong index.
+//! The mmap'd serving path relaxes *when* the CRC runs, not *whether*:
+//! [`decode_container_deferred`] validates the structure up front and
+//! [`verify_section`] checks each payload on first touch.
 
 use std::path::{Path, PathBuf};
 
@@ -150,12 +153,55 @@ pub fn decode_container(bytes: &[u8], kind: u32) -> Result<Vec<(u32, &[u8])>, St
 /// [`decode_container`], but returning each section as a byte *range*
 /// into the input instead of a borrowed slice — what the lazy snapshot
 /// view needs to keep section positions alongside an owned `Arc<[u8]>`
-/// without borrowing from itself. Verification is identical (this is
-/// the one implementation; `decode_container` delegates here).
+/// without borrowing from itself. Verification is identical: this
+/// parses the structure with [`decode_container_deferred`] and then
+/// checks every section's CRC in file order.
 pub fn decode_container_spans(
     bytes: &[u8],
     kind: u32,
 ) -> Result<Vec<(u32, std::ops::Range<usize>)>, StoreError> {
+    let raw = decode_container_deferred(bytes, kind)?;
+    let mut sections = Vec::with_capacity(raw.len());
+    for section in raw {
+        verify_section(bytes, &section)?;
+        sections.push((section.tag, section.span));
+    }
+    Ok(sections)
+}
+
+/// One section as laid out in the container, structurally validated
+/// (its payload span is in bounds) but with the CRC **not yet**
+/// verified — pair with [`verify_section`] before trusting the bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawSection {
+    /// Section-kind discriminator (file-kind specific).
+    pub tag: u32,
+    /// Payload byte range within the container.
+    pub span: std::ops::Range<usize>,
+    /// Declared CRC-32 over the payload bytes.
+    pub crc: u32,
+}
+
+/// Checks `section`'s payload bytes against its declared CRC.
+pub fn verify_section(bytes: &[u8], section: &RawSection) -> Result<(), StoreError> {
+    if crc32(&bytes[section.span.clone()]) != section.crc {
+        return Err(StoreError::ChecksumMismatch {
+            section: section.tag,
+        });
+    }
+    Ok(())
+}
+
+/// Structure-only container parse: header checks and the full section
+/// walk (every declared length validated against the remaining input)
+/// **without** touching payload bytes — O(section count), not O(file).
+/// This is what the mmap'd snapshot opens with, deferring each
+/// section's CRC to first touch via [`verify_section`].
+///
+/// A length prefix pointing past the end of the container — whether
+/// forged or the result of truncation mid-section — is a typed
+/// [`StoreError::Corrupt`], never a panic or an allocation.
+pub fn decode_container_deferred(bytes: &[u8], kind: u32) -> Result<Vec<RawSection>, StoreError> {
     let mut cur = Cursor::new(bytes);
     let magic = cur.take(8, "file magic")?;
     if magic != MAGIC {
@@ -183,12 +229,20 @@ pub fn decode_container_spans(
         let crc = cur.u32("section checksum")?;
         let len = usize::try_from(len)
             .map_err(|_| StoreError::Corrupt(format!("section {i} length overflows usize")))?;
-        let start = cur.position();
-        let payload = cur.take(len, "section payload")?;
-        if crc32(payload) != crc {
-            return Err(StoreError::ChecksumMismatch { section: tag });
+        if len > cur.remaining() {
+            return Err(StoreError::Corrupt(format!(
+                "section {i} (tag {tag}) length {len} points past the end of the container \
+                 ({} bytes remain)",
+                cur.remaining()
+            )));
         }
-        sections.push((tag, start..start + len));
+        let start = cur.position();
+        cur.take(len, "section payload")?;
+        sections.push(RawSection {
+            tag,
+            span: start..start + len,
+            crc,
+        });
     }
     if !cur.is_empty() {
         return Err(StoreError::Corrupt(format!(
@@ -441,6 +495,49 @@ mod tests {
             decode_container(&long, KIND_CORPUS),
             Err(StoreError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn section_lengths_past_the_end_are_typed_corrupt() {
+        let bytes = encode_container(KIND_CORPUS, &[(1, vec![7; 32])]);
+
+        // Forge the first section's length field (header is 20 bytes,
+        // then tag u32 at 20..24, len u64 at 24..32) to point far past
+        // the buffer.
+        let mut forged = bytes.clone();
+        forged[24..32].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        match decode_container(&forged, KIND_CORPUS) {
+            Err(StoreError::Corrupt(msg)) => {
+                assert!(msg.contains("points past"), "got {msg:?}");
+            }
+            other => panic!("forged length must be Corrupt, got {other:?}"),
+        }
+
+        // Truncation mid-payload leaves an honest length with too few
+        // bytes behind it: the same typed shape, never a panic.
+        let cut = &bytes[..20 + 16 + 16];
+        match decode_container(cut, KIND_CORPUS) {
+            Err(StoreError::Corrupt(msg)) => {
+                assert!(msg.contains("points past"), "got {msg:?}");
+            }
+            other => panic!("mid-section truncation must be Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deferred_parse_skips_payload_crcs_until_verify() {
+        let mut bytes = encode_container(KIND_CORPUS, &[(1, vec![9; 24]), (2, vec![8; 8])]);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01; // rot inside section 2's payload
+        let raw = decode_container_deferred(&bytes, KIND_CORPUS)
+            .expect("structure parse must not touch payload bytes");
+        assert_eq!(raw.len(), 2);
+        assert_eq!(raw[0].tag, 1);
+        verify_section(&bytes, &raw[0]).expect("untouched section passes");
+        assert_eq!(
+            verify_section(&bytes, &raw[1]),
+            Err(StoreError::ChecksumMismatch { section: 2 })
+        );
     }
 
     #[test]

@@ -29,6 +29,11 @@
 //!   same logical corpus (the argument rides on the `build_sharded`
 //!   merge proof: both sides reduce to `WebCorpus::from_pages` on the
 //!   same page list, and the codec is a pure function of the corpus).
+//! * [`mapped`] — serves queries straight off the mmap'd snapshot
+//!   file: [`MappedSnapshot`] defers per-section CRC verification to
+//!   first touch and [`ViewBackend`] walks postings in place and
+//!   hydrates page text lazily per hit, so cold start is O(sections)
+//!   and peak RSS tracks what queries touch, not corpus size.
 //! * [`cache_snapshot`] — persists
 //!   [`QueryCache`](teda_core::cache::QueryCache) entries with their
 //!   TTL clocks rebased (in-flight entries skipped), so a restarted
@@ -51,16 +56,18 @@ pub mod cache_snapshot;
 pub mod corpus_snapshot;
 pub mod delta;
 pub mod format;
+pub mod mapped;
 mod store;
 
 use std::path::Path;
 
 pub use cache_snapshot::{load_cache_snapshot, save_cache_snapshot};
-pub use corpus_snapshot::{decode_corpus_lazy, SnapshotView};
+pub use corpus_snapshot::{decode_corpus_lazy, SnapshotBytes, SnapshotView};
 pub use delta::{BaseId, DeltaOp, SegmentPayload};
+pub use mapped::{MapStats, MappedSnapshot, ViewBackend};
 pub use store::{
-    CompactionReport, CorpusStore, Loaded, OpenOutcome, OpenReport, SegmentedLoad, TierPolicy,
-    CACHE_FILE, SNAPSHOT_FILE,
+    CompactionReport, CorpusStore, Loaded, MappedLoad, OpenOutcome, OpenReport, SegmentedLoad,
+    TierPolicy, CACHE_FILE, SNAPSHOT_FILE,
 };
 
 /// Why a store operation failed. Splits "nothing persisted yet"

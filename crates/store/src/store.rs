@@ -28,11 +28,12 @@ use teda_websim::{
     IndexParts, InvertedIndex, Segment, SegmentOp, SegmentedCorpus, WebCorpus, WebPage,
 };
 
-use crate::corpus_snapshot::{decode_corpus, encode_corpus};
+use crate::corpus_snapshot::{decode_corpus, encode_corpus, SnapshotBytes};
 use crate::delta::{
     decode_segment, decode_segment_full, encode_segment_indexed, BaseId, DeltaOp, SegmentPayload,
 };
 use crate::format::write_atomic;
+use crate::mapped::{MappedSnapshot, ViewBackend};
 use crate::{clean_stale_tmps, StoreError};
 
 /// Base snapshot file name.
@@ -111,6 +112,27 @@ pub struct SegmentedLoad {
     /// Base + journal overlays; search results are bit-identical to a
     /// full rebuild of the logical page list.
     pub corpus: SegmentedCorpus,
+    /// Journal segments turned into overlays.
+    pub replayed_segments: usize,
+    /// Add operations whose journaled partial index was adopted as-is.
+    pub prebuilt_ops: usize,
+    /// Add operations that had to be re-tokenized (missing or unusable
+    /// embedded index).
+    pub reindexed_ops: usize,
+}
+
+/// A corpus opened for serving straight off the mmap'd snapshot: the
+/// base is a [`ViewBackend`] borrowing the mapping (no page text
+/// materialized) and the journal is replayed as overlays exactly as in
+/// [`SegmentedLoad`] — results stay bit-identical to the heap path.
+#[derive(Debug)]
+pub struct MappedLoad {
+    /// Mapped base + journal overlays; search results are bit-identical
+    /// to [`CorpusStore::load_segmented`] over the same directory.
+    pub corpus: SegmentedCorpus,
+    /// The mapping behind the base, for counters and explicit
+    /// verification ([`MappedSnapshot::stats`]).
+    pub snapshot: Arc<MappedSnapshot>,
     /// Journal segments turned into overlays.
     pub replayed_segments: usize,
     /// Add operations whose journaled partial index was adopted as-is.
@@ -364,6 +386,90 @@ impl CorpusStore {
             SegmentedCorpus::new(base, segments).map_err(|e| StoreError::Corrupt(e.to_string()))?;
         Ok(SegmentedLoad {
             corpus,
+            replayed_segments,
+            prebuilt_ops,
+            reindexed_ops,
+        })
+    }
+
+    /// Maps the base snapshot file read-only and opens it with all
+    /// payload verification deferred to first touch — O(sections), not
+    /// O(corpus). The mapping shares the OS page cache across every
+    /// process serving the same directory.
+    ///
+    /// Single-writer discipline makes the mapping safe: every snapshot
+    /// write in this crate goes through temp-file + atomic rename, so
+    /// the mapped inode is never modified in place — a compaction after
+    /// this call replaces the directory entry while the old mapping
+    /// stays valid until dropped.
+    pub fn open_mapped(&self) -> Result<Arc<MappedSnapshot>, StoreError> {
+        let path = self.snapshot_path();
+        let file = std::fs::File::open(&path).map_err(|e| StoreError::io(&path, e))?;
+        // SAFETY: see above — writes never touch a published snapshot's
+        // inode, so the mapped bytes are immutable for the mapping's
+        // lifetime.
+        let map = unsafe { memmap2::Mmap::map(&file) }.map_err(|e| StoreError::io(&path, e))?;
+        MappedSnapshot::open(SnapshotBytes::Mapped(Arc::new(map)))
+    }
+
+    /// [`load_segmented`](Self::load_segmented) with the base served
+    /// straight off the mmap'd snapshot: the index half is verified up
+    /// front (it is what every query walks), page text hydrates lazily
+    /// per hit, and journal overlays apply exactly as on the heap path
+    /// — bit-identical results, O(index + delta) open instead of
+    /// O(corpus).
+    ///
+    /// If the journal contains a removal, the pages half is verified
+    /// here too: removal targets resolve by URL against base page
+    /// fields, which must never be read unverified.
+    pub fn load_segmented_mapped(&self) -> Result<MappedLoad, StoreError> {
+        let snapshot = self.open_mapped()?;
+        let segment_files = self.active_segments()?;
+        let payloads = if segment_files.is_empty() {
+            Vec::new()
+        } else {
+            let base_id = self.bind(snapshot.bytes());
+            self.read_bound_payloads(&segment_files, base_id)?
+        };
+        let backend = ViewBackend::new(Arc::clone(&snapshot))?;
+        let replayed_segments = payloads.len();
+        let mut prebuilt_ops = 0usize;
+        let mut reindexed_ops = 0usize;
+        let mut any_remove = false;
+        let mut segments = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            let mut ops = Vec::with_capacity(payload.ops.len());
+            for (op, idx) in payload.ops.into_iter().zip(payload.add_indexes) {
+                ops.push(match op {
+                    DeltaOp::AddPages(pages) => {
+                        match idx.and_then(|parts| InvertedIndex::from_parts(parts).ok()) {
+                            Some(ix) if ix.n_docs() == pages.len() => {
+                                prebuilt_ops += 1;
+                                SegmentOp::add_prebuilt(pages, ix)
+                                    .map_err(|e| StoreError::Corrupt(e.to_string()))?
+                            }
+                            _ => {
+                                reindexed_ops += 1;
+                                SegmentOp::add(pages)
+                            }
+                        }
+                    }
+                    DeltaOp::RemovePages(urls) => {
+                        any_remove = true;
+                        SegmentOp::remove(urls)
+                    }
+                });
+            }
+            segments.push(Arc::new(Segment::new(ops)));
+        }
+        if any_remove {
+            snapshot.verify_pages()?;
+        }
+        let corpus = SegmentedCorpus::new(Arc::new(backend), segments)
+            .map_err(|e| StoreError::Corrupt(e.to_string()))?;
+        Ok(MappedLoad {
+            corpus,
+            snapshot,
             replayed_segments,
             prebuilt_ops,
             reindexed_ops,

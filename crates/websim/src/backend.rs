@@ -95,6 +95,71 @@ impl SearchBackend for WebCorpus {
     }
 }
 
+/// The raw index surface a [`SegmentedCorpus`](crate::SegmentedCorpus)
+/// merges over — everything the two-pass overlay search needs from its
+/// base collection, without saying how that collection is stored.
+///
+/// [`WebCorpus`] implements it over its heap-resident
+/// [`InvertedIndex`](crate::InvertedIndex); `teda-store`'s mmap'd view
+/// backend implements it by walking posting bytes in place. Because the
+/// overlay search consumes *exactly* these accessors — same values,
+/// same visit order — any two implementations that agree on them
+/// produce bit-identical merged rankings.
+///
+/// Contract: `tid` arguments must come from `term_id` on the same
+/// instance; `doc` and page ids are `0..n_docs()`. Postings are visited
+/// in ascending page order with the `tf` bit patterns the index stores
+/// (floats travel as bits precisely so this trait can't introduce
+/// drift).
+pub trait BaseCorpus: Send + Sync + std::fmt::Debug {
+    /// Number of documents in the base collection.
+    fn n_docs(&self) -> usize;
+
+    /// The dense id of `term`, if interned.
+    fn term_id(&self, term: &str) -> Option<u32>;
+
+    /// Posting-list length of term `tid` — its raw document frequency.
+    fn postings_len(&self, tid: u32) -> usize;
+
+    /// Visits term `tid`'s postings in stored (ascending page id)
+    /// order as `(page id, tf)` pairs.
+    fn for_each_posting(&self, tid: u32, visit: &mut dyn FnMut(u32, f32));
+
+    /// Indexed token length of document `doc`, as stored.
+    fn doc_len_of(&self, doc: usize) -> f64;
+
+    /// Borrowed field views of page `id`.
+    fn page_fields(&self, id: PageId) -> PageFields<'_>;
+}
+
+impl BaseCorpus for WebCorpus {
+    fn n_docs(&self) -> usize {
+        self.len()
+    }
+
+    fn term_id(&self, term: &str) -> Option<u32> {
+        self.index().term_id(term)
+    }
+
+    fn postings_len(&self, tid: u32) -> usize {
+        self.index().postings_of(tid).len()
+    }
+
+    fn for_each_posting(&self, tid: u32, visit: &mut dyn FnMut(u32, f32)) {
+        for p in self.index().postings_of(tid) {
+            visit(p.page.0, p.tf);
+        }
+    }
+
+    fn doc_len_of(&self, doc: usize) -> f64 {
+        self.index().doc_len_of(doc)
+    }
+
+    fn page_fields(&self, id: PageId) -> PageFields<'_> {
+        WebCorpus::page_fields(self, id)
+    }
+}
+
 /// An atomically swappable backend: the indirection a live service
 /// queries through, so folding in a new segment is one pointer swap.
 ///

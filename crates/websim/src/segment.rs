@@ -1,8 +1,10 @@
 //! The segmented index: a base corpus plus journaled segments, merged
 //! at **read time** instead of re-indexed at load time.
 //!
-//! Lucene-style shape: the base [`WebCorpus`] keeps its monolithic
-//! [`InvertedIndex`]; every journal segment carries the pages of its
+//! Lucene-style shape: the base collection (any
+//! [`BaseCorpus`] — the heap-resident [`WebCorpus`] with its monolithic
+//! [`InvertedIndex`], or `teda-store`'s mmap'd view backend) keeps its
+//! own index; every journal segment carries the pages of its
 //! `add` operations together with a **partial index built over exactly
 //! those pages** (one `InvertedIndex::build` at append time — the
 //! O(delta) cost); removals become a remove-set applied while scoring.
@@ -42,8 +44,7 @@ use std::sync::Arc;
 
 use teda_text::tokenize;
 
-use crate::backend::{assemble_results, PageFields, SearchBackend};
-use crate::corpus::WebCorpus;
+use crate::backend::{assemble_results, BaseCorpus, PageFields, SearchBackend};
 use crate::engine::SearchResult;
 use crate::index::{invalid_parts, InvalidIndexParts, InvertedIndex};
 use crate::page::{PageId, WebPage};
@@ -183,19 +184,20 @@ enum Slot {
 /// collection with results bit-identical to a full rebuild.
 #[derive(Debug)]
 pub struct SegmentedCorpus {
-    base: Arc<WebCorpus>,
+    base: Arc<dyn BaseCorpus>,
     segments: Vec<Arc<Segment>>,
     plan: Plan,
 }
 
 impl SegmentedCorpus {
     /// A segmented view of `base` with `segments` applied in order.
-    /// O(segments + base bookkeeping); no tokenization.
+    /// O(segments + base bookkeeping); no tokenization. `base` is any
+    /// [`BaseCorpus`] — an `Arc<WebCorpus>` coerces here unchanged.
     pub fn new(
-        base: Arc<WebCorpus>,
+        base: Arc<dyn BaseCorpus>,
         segments: Vec<Arc<Segment>>,
     ) -> Result<Self, InvalidIndexParts> {
-        let plan = compute_plan(&base, &segments)?;
+        let plan = compute_plan(base.as_ref(), &segments)?;
         Ok(SegmentedCorpus {
             base,
             segments,
@@ -212,8 +214,8 @@ impl SegmentedCorpus {
         Self::new(self.base.clone(), segments)
     }
 
-    /// The base corpus under the segments.
-    pub fn base(&self) -> &Arc<WebCorpus> {
+    /// The base collection under the segments.
+    pub fn base(&self) -> &Arc<dyn BaseCorpus> {
         &self.base
     }
 
@@ -237,14 +239,25 @@ impl SegmentedCorpus {
     /// index. Materializes clones; meant for compaction oracles and
     /// tests, not the serving path.
     pub fn to_pages(&self) -> Vec<WebPage> {
+        fn owned(f: PageFields<'_>) -> WebPage {
+            WebPage {
+                url: f.url.to_string(),
+                title: f.title.to_string(),
+                body: f.body.to_string(),
+            }
+        }
         let mut out = Vec::with_capacity(self.plan.n_docs);
         match &self.plan.base_orig {
             Some(orig) => {
                 for &i in orig {
-                    out.push(self.base.page(PageId(i)).clone());
+                    out.push(owned(self.base.page_fields(PageId(i))));
                 }
             }
-            None => out.extend(self.base.pages().iter().cloned()),
+            None => {
+                for i in 0..self.base.n_docs() {
+                    out.push(owned(self.base.page_fields(PageId(i as u32))));
+                }
+            }
         }
         for run in &self.plan.runs {
             let (pages, _) = self.run_parts(run);
@@ -291,7 +304,7 @@ impl SegmentedCorpus {
         if k == 0 || n == 0 {
             return Vec::new();
         }
-        let base_index = self.base.index();
+        let base = self.base.as_ref();
         let mut scores = vec![0.0f64; n];
         let mut touched: Vec<u32> = Vec::new();
         let mut run_tids: Vec<Option<u32>> = Vec::with_capacity(self.plan.runs.len());
@@ -299,17 +312,17 @@ impl SegmentedCorpus {
             // Pass 1: the term's surviving document frequency — the
             // rebuild derives idf from the *final* posting-list length
             // before scoring a single posting.
-            let base_tid = base_index.term_id(&term);
+            let base_tid = base.term_id(&term);
             let mut df = 0usize;
             if let Some(tid) = base_tid {
-                let posts = base_index.postings_of(tid);
-                df += match &self.plan.base_remap {
-                    None => posts.len(),
-                    Some(remap) => posts
-                        .iter()
-                        .filter(|p| remap[p.page.0 as usize] != u32::MAX)
-                        .count(),
-                };
+                match &self.plan.base_remap {
+                    None => df += base.postings_len(tid),
+                    Some(remap) => base.for_each_posting(tid, &mut |page, _| {
+                        if remap[page as usize] != u32::MAX {
+                            df += 1;
+                        }
+                    }),
+                }
             }
             run_tids.clear();
             for run in &self.plan.runs {
@@ -331,19 +344,21 @@ impl SegmentedCorpus {
             // Pass 2: accumulate in ascending final-id order — base
             // survivors (remap is order-preserving), then each run.
             if let Some(tid) = base_tid {
-                for p in base_index.postings_of(tid) {
-                    let orig = p.page.0 as usize;
-                    let f = match &self.plan.base_remap {
-                        None => p.page.0,
+                let remap = self.plan.base_remap.as_deref();
+                let (scores, touched) = (&mut scores, &mut touched);
+                base.for_each_posting(tid, &mut |page, tf| {
+                    let orig = page as usize;
+                    let f = match remap {
+                        None => page,
                         Some(remap) => remap[orig],
                     };
                     if f == u32::MAX {
-                        continue;
+                        return;
                     }
                     let contrib = scoring::weight(
                         idf,
-                        f64::from(p.tf),
-                        base_index.doc_len_of(orig),
+                        f64::from(tf),
+                        base.doc_len_of(orig),
                         self.plan.avg_len,
                     );
                     let i = f as usize;
@@ -351,7 +366,7 @@ impl SegmentedCorpus {
                         touched.push(f);
                     }
                     scores[i] += contrib;
-                }
+                });
             }
             for (run, &tid) in self.plan.runs.iter().zip(&run_tids) {
                 let Some(tid) = tid else { continue };
@@ -407,14 +422,17 @@ impl SearchBackend for SegmentedCorpus {
 /// semantics of [`teda-store`'s] page-list replay (`DeltaOp::apply`):
 /// adds append in order, a removal kills every *currently alive* page
 /// with a matching URL, base and previously added pages alike.
-fn compute_plan(base: &WebCorpus, segments: &[Arc<Segment>]) -> Result<Plan, InvalidIndexParts> {
+fn compute_plan(
+    base: &dyn BaseCorpus,
+    segments: &[Arc<Segment>],
+) -> Result<Plan, InvalidIndexParts> {
     struct AddState {
         seg: u32,
         op: u32,
         alive: Vec<bool>,
     }
 
-    let n_base = base.len();
+    let n_base = base.n_docs();
     let any_remove = segments
         .iter()
         .any(|s| s.ops().iter().any(|o| o.removed().is_some()));
@@ -428,9 +446,9 @@ fn compute_plan(base: &WebCorpus, segments: &[Arc<Segment>]) -> Result<Plan, Inv
         // pure-append fast path never hashes a single base URL.
         base_alive = vec![true; n_base];
         let mut by_url: HashMap<&str, Vec<Slot>> = HashMap::with_capacity(n_base);
-        for (i, p) in base.pages().iter().enumerate() {
+        for i in 0..n_base {
             by_url
-                .entry(p.url.as_str())
+                .entry(base.page_fields(PageId(i as u32)).url)
                 .or_default()
                 .push(Slot::Base(i as u32));
         }
@@ -537,13 +555,13 @@ fn compute_plan(base: &WebCorpus, segments: &[Arc<Segment>]) -> Result<Plan, Inv
     match &base_remap {
         None => {
             for i in 0..n_base {
-                total_len += base.index().doc_len_of(i);
+                total_len += base.doc_len_of(i);
             }
         }
         Some(remap) => {
             for (i, &f) in remap.iter().enumerate() {
                 if f != u32::MAX {
-                    total_len += base.index().doc_len_of(i);
+                    total_len += base.doc_len_of(i);
                 }
             }
         }
@@ -576,6 +594,7 @@ fn compute_plan(base: &WebCorpus, segments: &[Arc<Segment>]) -> Result<Plan, Inv
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::corpus::WebCorpus;
 
     fn page(url: &str, title: &str, body: &str) -> WebPage {
         WebPage {
@@ -698,7 +717,7 @@ mod tests {
             .unwrap();
         assert_eq!(seg.n_docs(), 4);
         assert_eq!(seg2.n_docs(), 5);
-        assert!(Arc::ptr_eq(seg2.base(), &base));
+        assert!(Arc::ptr_eq(seg2.base(), seg.base()));
         assert_identical(&seg2, &["melisse", "pushed"]);
     }
 

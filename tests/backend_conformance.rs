@@ -1,0 +1,249 @@
+//! The shared [`SearchBackend`] conformance suite.
+//!
+//! Every backend in the system promises the same observable behaviour:
+//! identical logical corpora produce bit-identical rankings (BM25 score
+//! bits, ties by ascending page id) and identical assembled results.
+//! This harness states that promise *once* — [`assert_conforms`] — and
+//! runs every implementation through it against a single oracle, the
+//! from-scratch [`WebCorpus`] rebuild of the logical page list:
+//!
+//! * [`WebCorpus`] itself (eager heap index), fresh and store-loaded;
+//! * [`SegmentedCorpus`] layering journal segments over a heap base;
+//! * `ViewBackend` serving straight from the mmap'd snapshot; and
+//! * [`SegmentedCorpus`] layering the same segments over the mapped
+//!   view — the beyond-RAM serving configuration.
+//!
+//! A property test drives all of them through the same random
+//! `(base, ops, query, k)` space, before and after tier compaction, so
+//! a ranking divergence in any backend fails here with the offending
+//! backend named, rather than surfacing as a flaky end-to-end diff.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use teda::store::{CorpusStore, DeltaOp, TierPolicy, ViewBackend};
+use teda::websim::{SearchBackend, WebCorpus, WebPage};
+
+/// Small closed vocabulary: queries hit often, scores collide often —
+/// the regime where tie-breaking bugs actually show up.
+const VOCAB: [&str; 12] = [
+    "harbor", "museum", "jazz", "espresso", "quartet", "granite", "lantern", "orchard", "velvet",
+    "cinnamon", "atlas", "meridian",
+];
+
+fn synth_words(rng: &mut StdRng, n: usize) -> String {
+    (0..n)
+        .map(|_| *VOCAB.choose(rng).expect("vocab is non-empty"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn synth_page(rng: &mut StdRng, url: &str) -> WebPage {
+    let n_title = rng.gen_range(1..=3);
+    let n_body = rng.gen_range(4..=12);
+    WebPage {
+        url: url.into(),
+        title: synth_words(rng, n_title),
+        body: synth_words(rng, n_body),
+    }
+}
+
+/// Single terms, multi-term queries, an unknown term, the empty query.
+fn probes() -> Vec<String> {
+    let mut probes: Vec<String> = VOCAB.iter().take(6).map(|w| (*w).to_string()).collect();
+    probes.push("harbor museum jazz".into());
+    probes.push("espresso quartet granite".into());
+    probes.push("zanzibar xylophone".into());
+    probes.push(String::new());
+    probes
+}
+
+const KS: [usize; 4] = [1, 3, 10, 100];
+
+fn temp_store(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("teda_conform_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The conformance oracle: `backend` must agree with the from-scratch
+/// rebuild on every probe at every depth — ranked `(id, score)` pairs
+/// compared as exact bit patterns, assembled results compared field by
+/// field — and on the document count.
+fn assert_conforms(oracle: &WebCorpus, backend: &dyn SearchBackend, label: &str) {
+    assert_eq!(
+        backend.n_docs(),
+        oracle.pages().len(),
+        "{label}: document count diverged from the oracle"
+    );
+    for q in probes() {
+        for k in KS {
+            let want = oracle.index().search(&q, k);
+            let got = backend.search(&q, k);
+            let to_bits = |hits: &[(teda::websim::PageId, f64)]| -> Vec<(u32, u64)> {
+                hits.iter().map(|&(id, s)| (id.0, s.to_bits())).collect()
+            };
+            assert_eq!(
+                to_bits(&got),
+                to_bits(&want),
+                "{label}: ranking diverged on {q:?} k {k}"
+            );
+            assert_eq!(
+                backend.search_results(&q, k),
+                oracle.search_results(&q, k),
+                "{label}: assembled results diverged on {q:?} k {k}"
+            );
+        }
+    }
+}
+
+/// Opens every backend configuration the store can serve and runs each
+/// through the oracle.
+fn assert_all_backends_conform(store: &CorpusStore, oracle: &WebCorpus, when: &str) {
+    let eager = store.load().expect("eager load");
+    assert_conforms(oracle, &eager.corpus, &format!("{when}: eager WebCorpus"));
+
+    let seg = store.load_segmented().expect("segmented load");
+    assert_conforms(
+        oracle,
+        &seg.corpus,
+        &format!("{when}: SegmentedCorpus over heap base"),
+    );
+
+    let mapped = store.load_segmented_mapped().expect("mapped load");
+    assert_conforms(
+        oracle,
+        &mapped.corpus,
+        &format!("{when}: SegmentedCorpus over mapped view"),
+    );
+
+    // The raw view backend sees only the base snapshot, so it conforms
+    // to the *base* oracle — the journal-free part of the store.
+    let base = mapped
+        .snapshot
+        .materialize()
+        .expect("snapshot materializes");
+    let view = ViewBackend::new(mapped.snapshot).expect("view over verified snapshot");
+    assert_conforms(
+        &base,
+        &view,
+        &format!("{when}: ViewBackend over base snapshot"),
+    );
+}
+
+/// The fixed-seed smoke: one interesting journal (adds and removes),
+/// every backend, before and after both compaction flavours.
+#[test]
+fn every_backend_conforms_through_a_mixed_journal_and_compaction() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let base_pages: Vec<WebPage> = (0..8)
+        .map(|i| synth_page(&mut rng, &format!("http://base/{i}")))
+        .collect();
+    let dir = temp_store("smoke");
+    let store = CorpusStore::open(&dir).expect("open");
+    store
+        .save(&WebCorpus::from_pages(base_pages.clone()))
+        .expect("save");
+
+    let mut logical = base_pages;
+    let segments: Vec<Vec<DeltaOp>> = vec![
+        vec![DeltaOp::AddPages(
+            (0..3)
+                .map(|i| synth_page(&mut rng, &format!("http://delta/a/{i}")))
+                .collect(),
+        )],
+        vec![DeltaOp::RemovePages(vec![
+            logical[1].url.clone(),
+            logical[5].url.clone(),
+        ])],
+        vec![DeltaOp::AddPages(
+            (0..2)
+                .map(|i| synth_page(&mut rng, &format!("http://delta/b/{i}")))
+                .collect(),
+        )],
+    ];
+    for ops in &segments {
+        for op in ops {
+            op.apply(&mut logical);
+        }
+        store.append_segment(ops).expect("append");
+    }
+    let oracle = WebCorpus::from_pages(logical);
+
+    assert_all_backends_conform(&store, &oracle, "pre-compaction");
+
+    store
+        .maybe_compact(TierPolicy {
+            max_segments: 2,
+            fanout: 2,
+            max_removed: 0,
+        })
+        .expect("tiered compaction");
+    assert_all_backends_conform(&store, &oracle, "post-tier-compaction");
+
+    store.compact_in_place().expect("full fold");
+    assert!(store.delta_segments().expect("list").is_empty());
+    assert_all_backends_conform(&store, &oracle, "post-full-compaction");
+    // With the journal folded away, the raw mapped view *is* the whole
+    // logical corpus.
+    let snapshot = store.open_mapped().expect("open mapped");
+    let view = ViewBackend::new(snapshot).expect("view");
+    assert_conforms(&oracle, &view, "post-full-compaction: bare ViewBackend");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest::proptest! {
+    /// Random `(base, ops)` histories: every backend configuration the
+    /// store serves conforms to the rebuild oracle at every probe and
+    /// depth, before and after a random tight compaction.
+    #[test]
+    fn random_histories_conform_across_every_backend(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_base = rng.gen_range(3..=10usize);
+        let base_pages: Vec<WebPage> = (0..n_base)
+            .map(|i| synth_page(&mut rng, &format!("http://base/{i}")))
+            .collect();
+        let dir = temp_store(&format!("prop_{seed}"));
+        let store = CorpusStore::open(&dir).expect("open");
+        store
+            .save(&WebCorpus::from_pages(base_pages.clone()))
+            .expect("save");
+
+        let mut logical = base_pages;
+        for s in 0..rng.gen_range(1..=4usize) {
+            let mut ops = Vec::new();
+            for o in 0..rng.gen_range(1..=3usize) {
+                if logical.is_empty() || rng.gen_bool(0.65) {
+                    let pages: Vec<WebPage> = (0..rng.gen_range(1..=3usize))
+                        .map(|i| synth_page(&mut rng, &format!("http://delta/{s}/{o}/{i}")))
+                        .collect();
+                    ops.push(DeltaOp::AddPages(pages));
+                } else {
+                    let mut urls: Vec<String> = (0..rng.gen_range(1..=2usize))
+                        .filter_map(|_| logical.choose(&mut rng).map(|p| p.url.clone()))
+                        .collect();
+                    if rng.gen_bool(0.25) {
+                        urls.push("http://nowhere/".into());
+                    }
+                    ops.push(DeltaOp::RemovePages(urls));
+                }
+            }
+            for op in &ops {
+                op.apply(&mut logical);
+            }
+            store.append_segment(&ops).expect("append");
+        }
+        let oracle = WebCorpus::from_pages(logical);
+
+        assert_all_backends_conform(&store, &oracle, "pre-compaction");
+
+        let policy = TierPolicy {
+            max_segments: rng.gen_range(1..=3usize),
+            fanout: rng.gen_range(2..=4usize),
+            max_removed: if rng.gen_bool(0.5) { 0 } else { 1 << 20 },
+        };
+        store.maybe_compact(policy).expect("maybe_compact");
+        assert_all_backends_conform(&store, &oracle, "post-compaction");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

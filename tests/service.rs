@@ -337,3 +337,68 @@ fn service_sheds_when_the_queue_bound_is_hit() {
     assert_eq!(stats.completed + shed, tables.len() as u64);
     assert!(stats.shed_rate() > 0.0);
 }
+
+#[test]
+fn mmap_corpus_service_is_bit_identical_and_reports_mapping_counters() {
+    let (world, engine, classifier) = fixture();
+    let tables: Vec<Arc<Table>> = seeded_corpus(&world, 4, 10)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+
+    let reference: Vec<TableAnnotations> = {
+        let offline = batch(engine, classifier.clone());
+        tables.iter().map(|t| offline.annotate_table(t)).collect()
+    };
+
+    // Same Web, served off the mmap'd snapshot instead of the heap.
+    let dir = std::env::temp_dir().join(format!("teda_svc_mmap_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let web = WebCorpus::build(&world, WebCorpusSpec::tiny(), 42);
+    teda::store::CorpusStore::open(&dir)
+        .expect("open store")
+        .save(&web)
+        .expect("seed snapshot");
+    let config = ServiceConfig {
+        workers: 2,
+        queue_depth: tables.len() * 2,
+        mmap_corpus: true,
+        ..ServiceConfig::default()
+    };
+    let live = Arc::new(
+        teda::service::LiveCorpus::open_for(&config, &dir, teda::store::TierPolicy::default())
+            .expect("open mapped live corpus"),
+    );
+    let mapped_engine = Arc::new(BingSim::instant(live.backend()));
+    let service =
+        AnnotationService::start_live(batch(mapped_engine, classifier), config, Arc::clone(&live));
+
+    let early = service.stats();
+    assert!(early.mapped_bytes > 0, "mapping size must be reported");
+    assert_eq!(early.page_hydrations, 0, "open must not hydrate pages");
+
+    let handles: Vec<_> = tables
+        .iter()
+        .map(|t| service.submit(Arc::clone(t)).expect("queue has room"))
+        .collect();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let outcome = handle.wait().expect("request completes");
+        assert_eq!(
+            outcome.annotations, reference[i],
+            "mmap-served service diverged from the heap path on table {i}"
+        );
+    }
+
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, tables.len() as u64);
+    assert!(
+        stats.page_hydrations > 0,
+        "annotating tables must have hydrated page text per hit"
+    );
+    assert!(stats.resident_bytes > 0);
+    assert!(
+        stats.resident_bytes < stats.mapped_bytes,
+        "side tables must stay below the mapping size"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -25,8 +25,8 @@ use rand::{Rng, SeedableRng};
 use teda::kb::{World, WorldSpec};
 use teda::store::delta::{decode_segment_full, encode_segment_indexed};
 use teda::store::{
-    load_cache_snapshot, save_cache_snapshot, BaseId, CorpusStore, DeltaOp, OpenOutcome,
-    StoreError, TierPolicy, CACHE_FILE, SNAPSHOT_FILE,
+    decode_corpus_lazy, load_cache_snapshot, save_cache_snapshot, BaseId, CorpusStore, DeltaOp,
+    OpenOutcome, StoreError, TierPolicy, CACHE_FILE, SNAPSHOT_FILE,
 };
 use teda::websim::{
     InvertedIndex, PageId, SearchEngine, SearchResult, WebCorpus, WebCorpusSpec, WebPage,
@@ -984,5 +984,107 @@ fn crash_leftover_inside_a_merged_run_is_swept_and_overlap_is_typed() {
         }
         other => panic!("partial overlap must be typed Corrupt, got {other:?}"),
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A forged section length that points past the end of the container
+/// must come back as typed [`StoreError::Corrupt`] from *both* decode
+/// paths — the eager loader and the deferred decoder the mmap'd serving
+/// path uses — never as a panic or an attempt to slice past the buffer.
+///
+/// The first section header starts right after the 20-byte file header:
+/// tag at 20..24, length at 24..32. Everything here rewrites only that
+/// length field, so the CRC never gets a chance to excuse the damage —
+/// the structural pass has to catch it first.
+#[test]
+fn forged_section_length_is_typed_corrupt_on_both_decode_paths() {
+    let dir = temp_store("forged_len");
+    let store = CorpusStore::open(&dir).expect("open");
+    store.save(&corpus(13)).expect("save");
+    let snap = store.snapshot_path();
+    let good = std::fs::read(&snap).expect("read snapshot");
+
+    // A terabyte-scale lie, the all-ones pattern, and the subtle case:
+    // a length that fits in the file *from zero* but not from where the
+    // payload actually starts.
+    for forged in [1u64 << 40, u64::MAX, good.len() as u64] {
+        let mut bad = good.clone();
+        bad[24..32].copy_from_slice(&forged.to_le_bytes());
+
+        std::fs::write(&snap, &bad).unwrap();
+        match store.load() {
+            Err(StoreError::Corrupt(msg)) => {
+                assert!(msg.contains("points past"), "eager: unexpected {msg:?}")
+            }
+            other => panic!("eager: forged len {forged} must be Corrupt, got {other:?}"),
+        }
+
+        let buf: std::sync::Arc<[u8]> = bad.into();
+        match decode_corpus_lazy(buf) {
+            Err(StoreError::Corrupt(msg)) => {
+                assert!(msg.contains("points past"), "lazy: unexpected {msg:?}")
+            }
+            other => {
+                let outcome = other.map(|_| "a view");
+                panic!("lazy: forged len {forged} must be Corrupt, got {outcome:?}")
+            }
+        }
+    }
+
+    // Intact bytes still load after all that vandalism.
+    std::fs::write(&snap, &good).unwrap();
+    store.load().expect("pristine snapshot loads");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Truncation *inside* a section — mid-payload and mid-section-header —
+/// must fail typed on both decode paths. The older corruption test
+/// sweeps arbitrary prefixes; this one aims at the structurally
+/// interesting cuts by parsing the real first-section length out of the
+/// file it just wrote.
+#[test]
+fn truncation_mid_section_is_typed_on_both_decode_paths() {
+    let dir = temp_store("trunc_mid");
+    let store = CorpusStore::open(&dir).expect("open");
+    store.save(&corpus(13)).expect("save");
+    let snap = store.snapshot_path();
+    let good = std::fs::read(&snap).expect("read snapshot");
+
+    let first_len = u64::from_le_bytes(good[24..32].try_into().unwrap()) as usize;
+    let first_payload = 36; // 20-byte header + tag(4) + len(8) + crc(4)
+    assert!(
+        first_payload + first_len < good.len(),
+        "fixture must hold more than one section"
+    );
+
+    let cuts = [
+        22,                            // inside the first tag field
+        27,                            // inside the first length field
+        34,                            // inside the first crc field
+        first_payload + 1,             // one byte into the payload
+        first_payload + first_len / 2, // middle of the payload
+        first_payload + first_len - 1, // one byte short of the payload
+        first_payload + first_len + 2, // inside the *second* section header
+    ];
+    for cut in cuts {
+        let bad = &good[..cut];
+
+        std::fs::write(&snap, bad).unwrap();
+        let err = store.load().expect_err("truncated snapshot must not load");
+        assert!(
+            matches!(err, StoreError::Truncated { .. } | StoreError::Corrupt(_)),
+            "eager: cut {cut} must be Truncated or Corrupt, got {err:?}"
+        );
+
+        let buf: std::sync::Arc<[u8]> = bad.to_vec().into();
+        let err = decode_corpus_lazy(buf).expect_err("truncated snapshot must not open lazily");
+        assert!(
+            matches!(err, StoreError::Truncated { .. } | StoreError::Corrupt(_)),
+            "lazy: cut {cut} must be Truncated or Corrupt, got {err:?}"
+        );
+    }
+
+    std::fs::write(&snap, &good).unwrap();
+    store.load().expect("pristine snapshot loads");
     let _ = std::fs::remove_dir_all(&dir);
 }
