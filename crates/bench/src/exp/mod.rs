@@ -1,6 +1,7 @@
 //! Experiment implementations, one module per paper artefact.
 
 pub mod ablation;
+pub mod cluster;
 pub mod comparison;
 pub mod coverage;
 pub mod efficiency;

@@ -1,0 +1,80 @@
+//! Typed cluster failures. The serving tier's contract is "never a
+//! panic, never a silent wrong answer": every degradation a caller can
+//! observe is a variant here, and the one that loses data —
+//! [`PartialResults`](ClusterError::PartialResults) — carries both the
+//! shards that are down and the best answer the live shards could give.
+
+use teda_store::StoreError;
+use teda_websim::PageId;
+use teda_wire::WireError;
+
+/// Why a cluster operation failed (or, for
+/// [`PartialResults`](ClusterError::PartialResults), degraded).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// The topology or an argument is structurally wrong (empty shard
+    /// list, shard image built for a different shard count, replicas of
+    /// one group disagreeing about the corpus).
+    Config(String),
+    /// A shard image could not be read or validated.
+    Store(StoreError),
+    /// Local I/O outside the store (binding a server socket).
+    Io(String),
+    /// A shard answered with a typed, non-retryable protocol error
+    /// (bad request, oversized `k`). Retrying other replicas would get
+    /// the same answer, so the router fails fast instead of burning the
+    /// retry schedule.
+    Wire {
+        /// The shard that rejected the request.
+        shard: u32,
+        /// The server's typed error.
+        error: WireError,
+    },
+    /// One shard's whole replica group is unreachable — the last wire
+    /// error after the bounded retry schedule ran dry.
+    ShardDown {
+        /// The shard whose group is down.
+        shard: u32,
+        /// The final error of the last replica tried.
+        error: WireError,
+    },
+    /// The query was answered without one or more shards: `hits` is the
+    /// exact merge over the live shards (deterministic, but missing the
+    /// dead shards' documents). The caller decides whether a degraded
+    /// answer is acceptable; nothing is silently dropped.
+    PartialResults {
+        /// Shards whose whole replica group was down, ascending.
+        dead_shards: Vec<u32>,
+        /// The merged top-k over the shards that did answer.
+        hits: Vec<(PageId, f64)>,
+    },
+}
+
+impl From<StoreError> for ClusterError {
+    fn from(e: StoreError) -> Self {
+        ClusterError::Store(e)
+    }
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Config(msg) => write!(f, "cluster misconfigured: {msg}"),
+            ClusterError::Store(e) => write!(f, "shard image: {e}"),
+            ClusterError::Io(msg) => write!(f, "cluster i/o: {msg}"),
+            ClusterError::Wire { shard, error } => {
+                write!(f, "shard {shard} rejected the request: {error}")
+            }
+            ClusterError::ShardDown { shard, error } => {
+                write!(f, "shard {shard}: every replica failed (last: {error})")
+            }
+            ClusterError::PartialResults { dead_shards, hits } => write!(
+                f,
+                "partial results: shard(s) {dead_shards:?} down, {} hits from live shards",
+                hits.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}

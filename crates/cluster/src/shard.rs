@@ -1,0 +1,376 @@
+//! The shard process: a [`ShardBackend`] scoring its local pages with
+//! the manifest's *global* BM25 statistics, served over the wire
+//! protocol by a search-only [`WireServer`].
+//!
+//! The backend's scoring loop is a line-for-line mirror of
+//! `InvertedIndex::score_query`, with two substitutions: `N` and each
+//! term's document frequency come from the manifest (global), not the
+//! local index, and `avg_len` is the manifest's exact global bit
+//! pattern. Per document, the contributions are the same values added
+//! in the same order as the single node — so every local score is
+//! bit-identical to that document's global score, and the router's
+//! merge can be bit-identical to the single-node ranking.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
+
+use teda_store::{CorpusStore, ShardManifest, StoreError, ViewBackend};
+use teda_text::tokenize;
+use teda_websim::{scoring, BaseCorpus, PageId, SearchBackend, SearchResult};
+use teda_wire::{SearchHit, ShardInfo, WireServer};
+
+use crate::error::ClusterError;
+
+/// One shard's search backend: any [`BaseCorpus`] (heap-loaded
+/// [`WebCorpus`](teda_websim::WebCorpus) or mmap'd [`ViewBackend`])
+/// plus the manifest that makes its scores globally comparable.
+#[derive(Debug)]
+pub struct ShardBackend {
+    base: Arc<dyn BaseCorpus>,
+    manifest: ShardManifest,
+    /// `manifest.avg_len_bits` decoded once.
+    avg_len: f64,
+}
+
+impl ShardBackend {
+    /// Opens a shard image heap-resident: snapshot (plus any delta
+    /// journal) through [`CorpusStore::load`], manifest validated
+    /// against the loaded corpus.
+    pub fn open(dir: &std::path::Path) -> Result<ShardBackend, ClusterError> {
+        let store = CorpusStore::open(dir)?;
+        let loaded = store.load()?;
+        let manifest = ShardManifest::load(dir)?;
+        Self::from_parts(Arc::new(loaded.corpus), manifest)
+    }
+
+    /// Opens a shard image mmap'd: queries walk postings in place and
+    /// hydrate page text lazily, exactly like a single mapped node.
+    pub fn open_mapped(dir: &std::path::Path) -> Result<ShardBackend, ClusterError> {
+        let store = CorpusStore::open(dir)?;
+        let snap = store.open_mapped()?;
+        let view = ViewBackend::new(snap)?;
+        let manifest = ShardManifest::load(dir)?;
+        Self::from_parts(Arc::new(view), manifest)
+    }
+
+    /// Wraps an already-loaded base behind a manifest, enforcing the
+    /// cross-checks that make later scoring panic-free: document counts
+    /// agree, the df table covers exactly the local vocabulary, and no
+    /// global df is below its local posting count. A mismatched pair is
+    /// a corrupt (or mixed-up) shard image — a typed error, never a
+    /// wrong ranking.
+    pub fn from_parts(
+        base: Arc<dyn BaseCorpus>,
+        manifest: ShardManifest,
+    ) -> Result<ShardBackend, ClusterError> {
+        manifest.validate()?;
+        let corrupt = |msg: String| {
+            Err(ClusterError::Store(StoreError::Corrupt(format!(
+                "shard image: {msg}"
+            ))))
+        };
+        if base.n_docs() != manifest.global_ids.len() {
+            return corrupt(format!(
+                "corpus holds {} documents, manifest maps {}",
+                base.n_docs(),
+                manifest.global_ids.len()
+            ));
+        }
+        if base.n_terms() != manifest.global_dfs.len() {
+            return corrupt(format!(
+                "corpus interns {} terms, manifest carries {} global dfs",
+                base.n_terms(),
+                manifest.global_dfs.len()
+            ));
+        }
+        for tid in 0..base.n_terms() as u32 {
+            let local = base.postings_len(tid);
+            let global = manifest.global_dfs[tid as usize];
+            if (local as u64) > global {
+                return corrupt(format!(
+                    "term {tid} has {local} local postings but global df {global}"
+                ));
+            }
+        }
+        let avg_len = f64::from_bits(manifest.avg_len_bits);
+        Ok(ShardBackend {
+            base,
+            manifest,
+            avg_len,
+        })
+    }
+
+    /// The shard's manifest.
+    pub fn manifest(&self) -> &ShardManifest {
+        &self.manifest
+    }
+
+    /// The wire-level identity a server over this backend advertises.
+    pub fn info(&self) -> ShardInfo {
+        ShardInfo {
+            shard: self.manifest.shard,
+            n_shards: self.manifest.n_shards,
+            global_docs: self.manifest.global_docs,
+        }
+    }
+
+    /// Mirror of `InvertedIndex::score_query` with global statistics:
+    /// dense local score array plus touched local ids in first-touch
+    /// order. Same query-term iteration, same posting order, same
+    /// accumulation order — only `N`, df and `avg_len` are replaced by
+    /// the manifest's global values, which is exactly what makes each
+    /// local score equal the global score bit for bit.
+    fn score_query(&self, query: &str) -> (Vec<f64>, Vec<u32>) {
+        let n_local = self.base.n_docs();
+        let global_docs = self.manifest.global_docs as usize;
+        let mut scores = vec![0.0f64; n_local];
+        let mut touched: Vec<u32> = Vec::new();
+        for term in tokenize(query) {
+            let Some(tid) = self.base.term_id(&term) else {
+                continue;
+            };
+            let idf = scoring::idf(global_docs, self.manifest.global_dfs[tid as usize] as usize);
+            self.base.for_each_posting(tid, &mut |page, tf| {
+                let i = page as usize;
+                let contrib =
+                    scoring::weight(idf, f64::from(tf), self.base.doc_len_of(i), self.avg_len);
+                if scores[i] == 0.0 {
+                    touched.push(page);
+                }
+                scores[i] += contrib;
+            });
+        }
+        (scores, touched)
+    }
+
+    /// The shard's top-`k` in **local** ids. Because `global_ids` is
+    /// strictly ascending, ranking local ids with the shared tie rules
+    /// and translating afterwards gives the same order as ranking the
+    /// global ids directly.
+    fn search_local(&self, query: &str, k: usize) -> Vec<(PageId, f64)> {
+        if k == 0 || self.base.n_docs() == 0 {
+            return Vec::new();
+        }
+        let (scores, touched) = self.score_query(query);
+        scoring::rank_top_k(&scores, &touched, k)
+    }
+
+    fn to_global(&self, local: PageId) -> PageId {
+        PageId(self.manifest.global_ids[local.0 as usize])
+    }
+
+    /// The shard's top-`k` as `SEARCH-FULL` hits: global ids, exact
+    /// score bits, hydrated fields.
+    pub fn search_hits(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        self.search_local(query, k)
+            .into_iter()
+            .map(|(local, score)| SearchHit {
+                id: self.to_global(local),
+                score,
+                result: self.base.page_fields(local).to_result(),
+            })
+            .collect()
+    }
+}
+
+impl SearchBackend for ShardBackend {
+    /// Global-id hits with globally comparable scores.
+    fn search(&self, query: &str, k: usize) -> Vec<(PageId, f64)> {
+        self.search_local(query, k)
+            .into_iter()
+            .map(|(local, score)| (self.to_global(local), score))
+            .collect()
+    }
+
+    fn search_results(&self, query: &str, k: usize) -> Vec<SearchResult> {
+        self.search_local(query, k)
+            .into_iter()
+            .map(|(local, _)| self.base.page_fields(local).to_result())
+            .collect()
+    }
+
+    /// The **local** document count (what `SHARD-STATS` reports as
+    /// `docs`; `global_docs` travels via [`ShardInfo`]).
+    fn n_docs(&self) -> usize {
+        self.base.n_docs()
+    }
+}
+
+/// One shard process: a search-only [`WireServer`] over a
+/// [`ShardBackend`], advertising the shard's identity on `SHARD-STATS`.
+pub struct ShardServer {
+    server: WireServer,
+    info: ShardInfo,
+}
+
+impl ShardServer {
+    /// Opens the shard image at `dir` (heap-resident when `mapped` is
+    /// false, mmap'd when true) and serves it on `addr` (port 0 for an
+    /// ephemeral port).
+    pub fn start(
+        dir: &std::path::Path,
+        mapped: bool,
+        addr: impl ToSocketAddrs,
+    ) -> Result<ShardServer, ClusterError> {
+        let backend = if mapped {
+            ShardBackend::open_mapped(dir)?
+        } else {
+            ShardBackend::open(dir)?
+        };
+        Self::start_with(Arc::new(backend), addr)
+    }
+
+    /// Serves an already-opened backend (how replicas share one mmap'd
+    /// image in-process, and how the tests inject in-memory shards).
+    pub fn start_with(
+        backend: Arc<ShardBackend>,
+        addr: impl ToSocketAddrs,
+    ) -> Result<ShardServer, ClusterError> {
+        let info = backend.info();
+        let server = WireServer::start_search_only(backend, Some(info), addr)
+            .map_err(|e| ClusterError::Io(format!("bind shard server: {e}")))?;
+        Ok(ShardServer { server, info })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The shard identity this server advertises.
+    pub fn info(&self) -> ShardInfo {
+        self.info
+    }
+
+    /// Stops accepting, closes every connection, joins every thread.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{build_shard, partition_pages};
+    use teda_websim::{scoring, WebCorpus, WebPage};
+
+    fn corpus() -> WebCorpus {
+        WebCorpus::from_pages(
+            (0..19)
+                .map(|i| WebPage {
+                    url: format!("http://web.sim/{i}"),
+                    title: format!("page {i} storage"),
+                    body: format!(
+                        "distributed storage engine number {} with shared terms {}",
+                        i,
+                        ["alpha", "beta", "gamma"][i % 3]
+                    ),
+                })
+                .collect(),
+        )
+    }
+
+    fn shard_backends(c: &WebCorpus, n_shards: u32) -> Vec<ShardBackend> {
+        let assignment = partition_pages(c.len(), n_shards);
+        (0..n_shards)
+            .map(|s| {
+                let (local, manifest) = build_shard(c, s, n_shards, &assignment).unwrap();
+                ShardBackend::from_parts(Arc::new(local), manifest).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_scores_are_bit_identical_to_the_global_index() {
+        let c = corpus();
+        let shards = shard_backends(&c, 3);
+        for query in ["storage engine", "alpha", "beta gamma", "absent-term", ""] {
+            // Global scores for every document, via a full-length search.
+            let global = SearchBackend::search(&c, query, c.len());
+            for shard in &shards {
+                for (id, score) in SearchBackend::search(shard, query, c.len()) {
+                    let oracle = global
+                        .iter()
+                        .find(|(gid, _)| *gid == id)
+                        .unwrap_or_else(|| panic!("shard hit {id:?} unknown globally"));
+                    assert_eq!(
+                        score.to_bits(),
+                        oracle.1.to_bits(),
+                        "score of {id:?} for {query:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merged_shard_topk_equals_single_node_topk() {
+        let c = corpus();
+        for n_shards in [1u32, 2, 3, 7] {
+            let shards = shard_backends(&c, n_shards);
+            for query in ["storage", "alpha storage", "gamma engine"] {
+                for k in [1usize, 3, 10, 100] {
+                    let expected = SearchBackend::search(&c, query, k);
+                    let merged = scoring::merge_topk(
+                        shards.iter().map(|s| SearchBackend::search(s, query, k)),
+                        k,
+                    );
+                    assert_eq!(expected, merged, "{n_shards} shards, {query:?}, k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_manifest_is_a_typed_error() {
+        let c = corpus();
+        let assignment = partition_pages(c.len(), 2);
+        let (local, manifest) = build_shard(&c, 0, 2, &assignment).unwrap();
+
+        // Manifest from the *other* shard: document counts disagree.
+        let (_, other) = build_shard(&c, 1, 2, &assignment).unwrap();
+        assert!(matches!(
+            ShardBackend::from_parts(Arc::new(local.clone()), other),
+            Err(ClusterError::Store(StoreError::Corrupt(_)))
+        ));
+
+        // Global df below the local posting count: impossible corpus.
+        let mut broken = manifest.clone();
+        broken.global_dfs[0] = 0;
+        let err = ShardBackend::from_parts(Arc::new(local.clone()), broken);
+        assert!(err.is_err());
+
+        // The untouched pair is fine.
+        assert!(ShardBackend::from_parts(Arc::new(local), manifest).is_ok());
+    }
+
+    #[test]
+    fn shard_server_answers_search_and_stats_over_tcp() {
+        let c = corpus();
+        let shards = shard_backends(&c, 2);
+        let backend = Arc::new(shards.into_iter().next().unwrap());
+        let expected = SearchBackend::search(backend.as_ref(), "storage", 5);
+        let server = ShardServer::start_with(Arc::clone(&backend), "127.0.0.1:0").unwrap();
+
+        let mut client = teda_wire::WireClient::connect(server.local_addr()).unwrap();
+        let hits = client.search("storage", 5).unwrap();
+        assert_eq!(hits, expected, "wire transport must preserve score bits");
+
+        let full = client.search_full("storage", 5).unwrap();
+        assert_eq!(full.len(), expected.len());
+        for (hit, (id, score)) in full.iter().zip(&expected) {
+            assert_eq!(hit.id, *id);
+            assert_eq!(hit.score.to_bits(), score.to_bits());
+            assert!(!hit.result.url.is_empty());
+        }
+
+        let report = client.shard_stats().unwrap();
+        assert_eq!(report.shard, 0);
+        assert_eq!(report.n_shards, 2);
+        assert_eq!(report.global_docs, 19);
+        assert_eq!(report.docs, backend.n_docs() as u64);
+        assert_eq!(report.searches, 2, "both search verbs counted");
+
+        server.shutdown();
+    }
+}

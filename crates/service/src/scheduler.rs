@@ -265,6 +265,10 @@ pub struct AnnotationService {
     /// Set by [`start_live`](Self::start_live): the updatable corpus
     /// behind the engine, driving `add_pages`/`remove_pages`.
     live: Option<Arc<crate::live::LiveCorpus>>,
+    /// Set by [`attach_cluster_telemetry`](Self::attach_cluster_telemetry):
+    /// the fan-out counters of a cluster router serving this node's
+    /// searches, folded into [`stats`](Self::stats).
+    cluster: std::sync::OnceLock<Arc<crate::stats::ClusterTelemetry>>,
 }
 
 impl AnnotationService {
@@ -344,7 +348,21 @@ impl AnnotationService {
             workers: handles,
             config,
             live: None,
+            cluster: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Attaches the fan-out counters of a cluster router fronting this
+    /// service, so scatter-gather accounting (`shard_fanouts`,
+    /// `partial_results`, `replica_retries`) appears in
+    /// [`stats`](Self::stats) and on the `STATS` wire verb. One router
+    /// per service: later attaches are ignored and the first telemetry
+    /// handle is returned.
+    pub fn attach_cluster_telemetry(
+        &self,
+        telemetry: Arc<crate::stats::ClusterTelemetry>,
+    ) -> Arc<crate::stats::ClusterTelemetry> {
+        Arc::clone(self.cluster.get_or_init(|| telemetry))
     }
 
     /// Starts the service over a [`LiveCorpus`](crate::live::LiveCorpus):
@@ -763,6 +781,11 @@ impl AnnotationService {
             .as_ref()
             .and_then(|live| live.map_stats())
             .unwrap_or_default();
+        let (shard_fanouts, partial_results, replica_retries) = self
+            .cluster
+            .get()
+            .map(|t| t.snapshot())
+            .unwrap_or((0, 0, 0));
         ServiceStats {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Relaxed),
@@ -777,6 +800,9 @@ impl AnnotationService {
             mapped_bytes: map_stats.mapped_bytes,
             resident_bytes: map_stats.resident_bytes,
             page_hydrations: map_stats.hydrations,
+            shard_fanouts,
+            partial_results,
+            replica_retries,
             latency: LatencySummary::from_latencies(&latencies),
             cache: self.shared.annotator.cache_stats(),
             geocode: self.shared.annotator.geo_stats(),

@@ -1,9 +1,50 @@
-//! Service accounting: latency percentiles, shed rates, cache hit rates.
+//! Service accounting: latency percentiles, shed rates, cache hit
+//! rates, and the cluster serving counters.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use teda_core::cache::CacheStats;
 use teda_geo::GeocodeStats;
+
+/// Counters a cluster router shares with the service it fronts, so
+/// scatter-gather behaviour shows up in the same [`ServiceStats`]
+/// report (and `STATS` wire payload) as everything else. Lock-free:
+/// the router bumps these on its fan-out path.
+#[derive(Debug, Default)]
+pub struct ClusterTelemetry {
+    shard_fanouts: AtomicU64,
+    partial_results: AtomicU64,
+    replica_retries: AtomicU64,
+}
+
+impl ClusterTelemetry {
+    /// Records one search fanned out to `shards` shard groups.
+    pub fn record_fanout(&self, shards: u64) {
+        self.shard_fanouts.fetch_add(shards, Ordering::Relaxed);
+    }
+
+    /// Records one search answered without a whole replica group —
+    /// a degraded (partial) result the operator should know about.
+    pub fn record_partial(&self) {
+        self.partial_results.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one failover retry against another replica.
+    pub fn record_retry(&self) {
+        self.replica_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time `(shard_fanouts, partial_results,
+    /// replica_retries)` snapshot.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.shard_fanouts.load(Ordering::Relaxed),
+            self.partial_results.load(Ordering::Relaxed),
+            self.replica_retries.load(Ordering::Relaxed),
+        )
+    }
+}
 
 /// Latency percentiles over the completed requests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -106,6 +147,15 @@ pub struct ServiceStats {
     /// Page-text hydrations served from the mapping (one per hit whose
     /// fields were materialized for display).
     pub page_hydrations: u64,
+    /// Shard queries fanned out by an attached cluster router (the sum
+    /// of group count over its searches); 0 without
+    /// [`ClusterTelemetry`] attached.
+    pub shard_fanouts: u64,
+    /// Searches a cluster router answered without a whole replica
+    /// group — each one is a degraded result, never a silent one.
+    pub partial_results: u64,
+    /// Failover retries a cluster router made against other replicas.
+    pub replica_retries: u64,
     /// Submit-to-completion latency percentiles (over the scheduler's
     /// recent-completions window, not all-time history).
     pub latency: LatencySummary,

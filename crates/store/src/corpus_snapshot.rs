@@ -553,6 +553,11 @@ impl CoreIndexView {
         self.n_docs
     }
 
+    /// Size of the interned vocabulary (term ids are `0..n_terms()`).
+    pub(crate) fn n_terms(&self) -> usize {
+        self.term_spans.len()
+    }
+
     /// Heap bytes of the side tables this view materialized (term
     /// spans + sort permutation) — the O(vocabulary) resident cost of
     /// serving off the mapping.

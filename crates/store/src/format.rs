@@ -44,6 +44,9 @@ pub const KIND_CORPUS: u32 = 1;
 pub const KIND_CACHE: u32 = 2;
 /// File kind: one journaled delta segment.
 pub const KIND_DELTA: u32 = 3;
+/// File kind: a cluster shard manifest (global ranking statistics
+/// riding beside a shard's `corpus.snap` — see [`crate::shard`]).
+pub const KIND_SHARD: u32 = 4;
 
 /// Slice-by-8 CRC-32 lookup tables, generated at compile time.
 /// `CRC_TABLES[0]` is the classic byte-at-a-time table; `CRC_TABLES[k]`

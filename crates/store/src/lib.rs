@@ -57,6 +57,7 @@ pub mod corpus_snapshot;
 pub mod delta;
 pub mod format;
 pub mod mapped;
+pub mod shard;
 mod store;
 
 use std::path::Path;
@@ -65,6 +66,7 @@ pub use cache_snapshot::{load_cache_snapshot, save_cache_snapshot};
 pub use corpus_snapshot::{decode_corpus_lazy, SnapshotBytes, SnapshotView};
 pub use delta::{BaseId, DeltaOp, SegmentPayload};
 pub use mapped::{MapStats, MappedSnapshot, ViewBackend};
+pub use shard::{shard_dir_name, ShardManifest, MANIFEST_FILE};
 pub use store::{
     CompactionReport, CorpusStore, Loaded, MappedLoad, OpenOutcome, OpenReport, SegmentedLoad,
     TierPolicy, CACHE_FILE, SNAPSHOT_FILE,

@@ -309,6 +309,10 @@ impl BaseCorpus for ViewBackend {
         self.core().term_id(term)
     }
 
+    fn n_terms(&self) -> usize {
+        self.core().n_terms()
+    }
+
     fn postings_len(&self, tid: u32) -> usize {
         self.core().postings_len(tid)
     }

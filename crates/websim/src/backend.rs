@@ -118,6 +118,12 @@ pub trait BaseCorpus: Send + Sync + std::fmt::Debug {
     /// The dense id of `term`, if interned.
     fn term_id(&self, term: &str) -> Option<u32>;
 
+    /// Size of the interned vocabulary (term ids are `0..n_terms()`).
+    /// The cluster's shard backend validates its manifest's per-term
+    /// global-df table against this, so a `term_id` hit can never
+    /// index past the table.
+    fn n_terms(&self) -> usize;
+
     /// Posting-list length of term `tid` — its raw document frequency.
     fn postings_len(&self, tid: u32) -> usize;
 
@@ -139,6 +145,10 @@ impl BaseCorpus for WebCorpus {
 
     fn term_id(&self, term: &str) -> Option<u32> {
         self.index().term_id(term)
+    }
+
+    fn n_terms(&self) -> usize {
+        self.index().n_terms()
     }
 
     fn postings_len(&self, tid: u32) -> usize {

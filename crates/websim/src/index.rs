@@ -221,6 +221,26 @@ impl InvertedIndex {
         self.postings.len()
     }
 
+    /// The exact average document length this index scores with, as
+    /// stored — the cluster partitioner copies it (as bits) into every
+    /// shard manifest so shard-local scoring reproduces the global
+    /// BM25 length normalization bit for bit.
+    pub fn avg_len(&self) -> f64 {
+        self.avg_len
+    }
+
+    /// The interned terms in dense-id order (`terms()[id]` is term
+    /// `id`). Allocates the vector of borrows, not the strings — used
+    /// by the cluster partitioner to translate each shard's local
+    /// vocabulary into global document frequencies.
+    pub fn terms(&self) -> Vec<&str> {
+        let mut terms = vec![""; self.term_ids.len()];
+        for (token, &id) in &self.term_ids {
+            terms[id as usize] = token;
+        }
+        terms
+    }
+
     /// The interned id of a token, if indexed.
     pub fn term_id(&self, token: &str) -> Option<u32> {
         self.term_ids.get(token).copied()

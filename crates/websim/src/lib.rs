@@ -42,4 +42,5 @@ pub use corpus::{WebCorpus, WebCorpusSpec};
 pub use engine::{BingSim, SearchEngine, SearchResult};
 pub use index::{IndexParts, InvalidIndexParts, InvertedIndex};
 pub use page::{PageId, WebPage};
+pub use scoring::{merge_topk, rank_order};
 pub use segment::{Segment, SegmentOp, SegmentedCorpus};

@@ -36,6 +36,41 @@ pub fn weight(idf: f64, tf: f64, doc_len: f64, avg_len: f64) -> f64 {
     idf * (tf * (K1 + 1.0)) / (tf + norm)
 }
 
+/// The one total order every ranked list in the system uses: higher
+/// score first (compared with `total_cmp`, so a NaN degrades to an
+/// ordinary value instead of panicking inside every query), ascending
+/// page id on ties. `Less` means "`a` ranks better than `b`" — i.e.
+/// sorting by this comparator puts the best hit first.
+///
+/// This is the single definition of the tie rules. The bounded heap
+/// ([`rank_top_k`]), the full-sort reference ([`rank_full_sort`]) and
+/// the cluster router's k-way merge ([`merge_topk`]) all defer to it,
+/// which is why their outputs can be compared bit for bit.
+#[inline]
+pub fn rank_order(a: &(PageId, f64), b: &(PageId, f64)) -> Ordering {
+    b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0))
+}
+
+/// Merges already-ranked lists (each sorted best-first by
+/// [`rank_order`], e.g. per-shard `search` outputs) into one global
+/// top-`k` under the identical order. Page ids must be globally unique
+/// across the lists — duplicate ids are kept as-is, never summed.
+///
+/// Correctness of scatter-gather rides on this: any document in the
+/// global top-k beats all but fewer than k documents globally, hence
+/// all but fewer than k in its own shard, hence appears in that shard's
+/// local top-k — so merging local top-k lists and truncating is exact,
+/// ties included.
+pub fn merge_topk<I>(lists: I, k: usize) -> Vec<(PageId, f64)>
+where
+    I: IntoIterator<Item = Vec<(PageId, f64)>>,
+{
+    let mut merged: Vec<(PageId, f64)> = lists.into_iter().flatten().collect();
+    merged.sort_by(rank_order);
+    merged.truncate(k);
+    merged
+}
+
 /// Heap entry ordered so that `a > b` means "a ranks better": higher
 /// score first, lower page id on ties — the exact order of a full
 /// descending sort with id tie-breaks.
@@ -55,14 +90,9 @@ impl Eq for Ranked {}
 
 impl Ord for Ranked {
     fn cmp(&self, other: &Self) -> Ordering {
-        // total_cmp, not partial_cmp().expect(...): BM25 scores are
-        // finite today, but a NaN sneaking in through a future scoring
-        // tweak must degrade (NaN sorts as an ordinary value) rather
-        // than panic inside every query. For finite scores the order is
-        // identical, so top-k ties stay byte-identical.
-        self.score
-            .total_cmp(&other.score)
-            .then_with(|| other.page.cmp(&self.page))
+        // `rank_order` puts the better entry first (`Less`); the heap
+        // wants "better" to be `Greater`, hence the reverse.
+        rank_order(&(self.page, self.score), &(other.page, other.score)).reverse()
     }
 }
 
@@ -110,10 +140,7 @@ pub fn rank_full_sort(scores: &[f64], touched: &[u32], k: usize) -> Vec<(PageId,
         .iter()
         .map(|&p| (PageId(p), scores[p as usize]))
         .collect();
-    // Same NaN-tolerant ordering as `Ranked::cmp` — the two paths
-    // must tie-break identically or the bounded-heap equivalence
-    // tests would diverge on degenerate scores.
-    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.sort_by(rank_order);
     ranked.truncate(k);
     ranked
 }
@@ -184,5 +211,38 @@ mod tests {
             top,
             vec![(PageId(0), 2.0), (PageId(2), 2.0), (PageId(1), 1.0)]
         );
+    }
+
+    /// Merging per-shard top-k lists equals ranking the union — the
+    /// scatter-gather exactness argument, exercised on ties.
+    #[test]
+    fn merge_topk_equals_ranking_the_union() {
+        // Global scores with cross-shard ties (pages 0/2 tie at 2.0,
+        // pages 1/4 tie at 1.0) split over three "shards", one empty.
+        let scores = vec![2.0, 1.0, 2.0, 0.5, 1.0, 3.0];
+        let all: Vec<u32> = (0..scores.len() as u32).collect();
+        let shards: [&[u32]; 3] = [&[0, 3], &[], &[1, 2, 4, 5]];
+        for k in 0..=scores.len() + 1 {
+            let locals = shards
+                .iter()
+                .map(|pages| rank_top_k(&scores, pages, k))
+                .collect::<Vec<_>>();
+            assert_eq!(
+                merge_topk(locals, k),
+                rank_top_k(&scores, &all, k),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_topk_orders_nan_like_the_single_node_paths() {
+        let a = vec![(PageId(4), f64::NAN), (PageId(7), 1.0)];
+        let b = vec![(PageId(2), f64::NAN), (PageId(9), 2.0)];
+        let merged = merge_topk([a, b], 3);
+        let ids: Vec<u32> = merged.iter().map(|(p, _)| p.0).collect();
+        // NaN ranks above every finite score under total_cmp; NaN ties
+        // break by ascending page id.
+        assert_eq!(ids, vec![2, 4, 9]);
     }
 }

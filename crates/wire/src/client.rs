@@ -6,13 +6,23 @@ use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol::{read_frame, Reply, Request, WireError};
+use teda_websim::PageId;
+
+use crate::protocol::{
+    parse_hits, parse_scored, parse_shard_stats, read_frame, Reply, Request, SearchHit,
+    ShardStatsReport, WireError,
+};
 
 /// One connection to a [`WireServer`](crate::WireServer): strict
 /// request/response, one frame each way.
 pub struct WireClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// The server's address, remembered so auto-reconnect can redial.
+    addr: Option<SocketAddr>,
+    /// The timeout to reinstall on a redialled socket.
+    io_timeout: Option<Duration>,
+    auto_reconnect: bool,
 }
 
 impl WireClient {
@@ -49,16 +59,54 @@ impl WireClient {
         self.writer.set_write_timeout(timeout)?;
         self.reader.get_ref().set_read_timeout(timeout)?;
         self.reader.get_ref().set_write_timeout(timeout)?;
+        self.io_timeout = timeout;
         Ok(())
+    }
+
+    /// Opts this connection into transparent reconnection: when a
+    /// **read-only** request ([`Request::is_read_only`]) fails with a
+    /// transport error (server restarted, idle connection reaped), the
+    /// client redials once and retries that one request. Mutating
+    /// requests are never retried — a lost `ANNOTATE` reply leaves the
+    /// submission's fate unknown, and a replay could double-apply it.
+    pub fn set_auto_reconnect(&mut self, on: bool) {
+        self.auto_reconnect = on;
     }
 
     fn from_stream(stream: TcpStream) -> std::io::Result<WireClient> {
         stream.set_nodelay(true).ok(); // request/response latency
+        let addr = stream.peer_addr().ok();
         let reader = BufReader::new(stream.try_clone()?);
         Ok(WireClient {
             reader,
             writer: stream,
+            addr,
+            io_timeout: None,
+            auto_reconnect: false,
         })
+    }
+
+    /// Redials the remembered server address and swaps the socket in
+    /// place, reinstalling the configured I/O timeout.
+    fn reconnect(&mut self) -> Result<(), WireError> {
+        let addr = self
+            .addr
+            .ok_or_else(|| WireError::Transport("no server address to reconnect to".into()))?;
+        let stream = match self.io_timeout {
+            Some(t) => TcpStream::connect_timeout(&addr, t),
+            None => TcpStream::connect(addr),
+        }
+        .map_err(|e| WireError::Transport(format!("reconnect to {addr}: {e}")))?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(self.io_timeout).ok();
+        stream.set_write_timeout(self.io_timeout).ok();
+        self.reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| WireError::Transport(e.to_string()))?,
+        );
+        self.writer = stream;
+        Ok(())
     }
 
     /// `CLIENT <name>`: attributes every later submission on this
@@ -104,14 +152,56 @@ impl WireClient {
         self.roundtrip(&Request::Snapshot)
     }
 
+    /// `SEARCH`: the node's scored top-`k` for `query` — global page
+    /// ids with exact score bits, in rank order.
+    pub fn search(&mut self, query: &str, k: usize) -> Result<Vec<(PageId, f64)>, WireError> {
+        let payload = self.roundtrip(&Request::Search {
+            k,
+            query: query.into(),
+            full: false,
+        })?;
+        parse_scored(&payload)
+    }
+
+    /// `SEARCH-FULL`: like [`search`](Self::search) but with the
+    /// hydrated url/title/snippet fields on every hit.
+    pub fn search_full(&mut self, query: &str, k: usize) -> Result<Vec<SearchHit>, WireError> {
+        let payload = self.roundtrip(&Request::Search {
+            k,
+            query: query.into(),
+            full: true,
+        })?;
+        parse_hits(&payload)
+    }
+
+    /// `SHARD-STATS`: the node's shard identity, document counts and
+    /// lifetime search counter.
+    pub fn shard_stats(&mut self) -> Result<ShardStatsReport, WireError> {
+        let payload = self.roundtrip(&Request::ShardStats)?;
+        parse_shard_stats(&payload)
+    }
+
     /// `QUIT`: orderly close (the server answers `OK bye` first).
     pub fn quit(mut self) -> Result<String, WireError> {
         self.roundtrip(&Request::Quit)
     }
 
     /// Sends one request frame and reads one reply frame (through the
-    /// same bounded [`read_frame`] the server uses).
+    /// same bounded [`read_frame`] the server uses). With
+    /// [`set_auto_reconnect`](Self::set_auto_reconnect) on, a transport
+    /// failure on a read-only request redials the server once and
+    /// retries that request on the fresh connection.
     fn roundtrip(&mut self, request: &Request) -> Result<String, WireError> {
+        match self.roundtrip_once(request) {
+            Err(WireError::Transport(_)) if self.auto_reconnect && request.is_read_only() => {
+                self.reconnect()?;
+                self.roundtrip_once(request)
+            }
+            other => other,
+        }
+    }
+
+    fn roundtrip_once(&mut self, request: &Request) -> Result<String, WireError> {
         self.writer.write_all(request.encode().as_bytes())?;
         self.writer.flush()?;
         let line = read_frame(&mut self.reader)?

@@ -12,7 +12,7 @@
 //! so a thread per connection is the right shape at this scale):
 //!
 //! * [`protocol`] — the grammar. Newline-delimited frames with
-//!   backslash escaping (`\\`, `\n`, `\r`), so CSV payloads with
+//!   backslash escaping (`\\`, `\n`, `\r`, `\t`), so CSV payloads with
 //!   quoted embedded newlines are still one frame per request. Verbs:
 //!
 //!   ```text
@@ -21,6 +21,9 @@
 //!   TRY <name> <csv>         non-blocking submit (sheds under pressure)
 //!   STATS                    service counters incl. per-client lines
 //!   BUDGET                   remaining query pool
+//!   SEARCH <k> <query>       scored top-k page ids (exact f64 bits)
+//!   SEARCH-FULL <k> <query>  scored top-k with hydrated page fields
+//!   SHARD-STATS              shard identity + global corpus stats
 //!   QUIT                     orderly close
 //!   ```
 //!
@@ -35,7 +38,15 @@
 //!   separately: a bulk streamer saturating `ANNOTATE` cannot starve
 //!   an interactive client sharing the pool.
 //! * [`WireClient`] — the blocking reference client the tests,
-//!   `exp_wire` and the examples use.
+//!   `exp_wire`, the cluster router and the examples use. Opt-in
+//!   idempotent auto-reconnect: a transport failure on a **read-only**
+//!   verb redials once and retries; submissions are never replayed.
+//!
+//! The search verbs make a wire node a cluster building block: a
+//! search-only [`WireServer`] over a shard's backend is the entire
+//! shard-server process of `teda-cluster`, and `SEARCH` scores travel
+//! as exact IEEE-754 bit patterns so scatter-gather merging can be
+//! bit-identical to the single-node index.
 //!
 //! Determinism invariant (hard, inherited): the `OK` payload of
 //! `ANNOTATE`/`TRY` is [`protocol::render_annotations`] of the
@@ -49,5 +60,5 @@ pub mod protocol;
 pub mod server;
 
 pub use client::WireClient;
-pub use protocol::{Reply, Request, WireError};
-pub use server::WireServer;
+pub use protocol::{Reply, Request, SearchHit, ShardInfo, ShardStatsReport, WireError};
+pub use server::{SearchNode, WireServer};

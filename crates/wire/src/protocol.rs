@@ -4,9 +4,10 @@
 //! Every request and every reply is exactly one `\n`-terminated line.
 //! Payloads that themselves contain newlines (CSV documents, annotation
 //! listings, stats reports) ride inside a frame with `\`-escaping:
-//! `\\` ↔ `\`, `\n` ↔ newline, `\r` ↔ carriage return — so a quoted
-//! POI address spanning lines is still one frame, and framing survives
-//! arbitrary untrusted field content.
+//! `\\` ↔ `\`, `\n` ↔ newline, `\r` ↔ carriage return, `\t` ↔ tab — so
+//! a quoted POI address spanning lines is still one frame, tab-separated
+//! result fields cannot be forged by field content, and framing survives
+//! arbitrary untrusted input.
 //!
 //! ```text
 //! request  = "CLIENT" SP name LF            ; set this connection's ClientId
@@ -15,8 +16,12 @@
 //!          | "STATS" LF                     ; ServiceStats snapshot
 //!          | "BUDGET" LF                    ; remaining query pool
 //!          | "SNAPSHOT" LF                  ; persist the query-cache snapshot
+//!          | "SEARCH" SP k SP query LF      ; scored top-k page ids
+//!          | "SEARCH-FULL" SP k SP query LF ; scored top-k with page fields
+//!          | "SHARD-STATS" LF               ; shard identity + global stats
 //!          | "QUIT" LF                      ; close the connection
 //! name     = 1*VCHAR                        ; no spaces, ≤ 256 bytes
+//! k        = 1*DIGIT                        ; ≤ MAX_K
 //! csv      = escaped CSV document, optionally led by a "#types" row
 //!
 //! reply    = "OK" [SP payload] LF
@@ -24,6 +29,11 @@
 //! code     = "queue-full" | "budget-exhausted" | "too-large"
 //!          | "shutting-down" | "failed" | "bad-request"
 //! ```
+//!
+//! `SEARCH` scores travel as 16-hex-digit IEEE-754 bit patterns
+//! ([`render_scored`]), so cluster bit-identity is never at the mercy of
+//! decimal formatting; `SEARCH-FULL` adds the assembled result fields as
+//! tab-separated, field-escaped columns ([`render_hits`]).
 //!
 //! `ANNOTATE`/`TRY` payloads parse through
 //! [`teda_corpus::table_from_csv`], i.e. the exact format
@@ -34,6 +44,7 @@
 
 use teda_core::pipeline::TableAnnotations;
 use teda_service::{Rejection, ServiceStats};
+use teda_websim::{PageId, SearchResult};
 
 /// Hard bound on one frame (request or reply), escape included. A line
 /// longer than this is a `bad-request` and the connection is dropped —
@@ -42,6 +53,10 @@ pub const MAX_FRAME: usize = 4 * 1024 * 1024;
 
 /// Bound on client and table names.
 pub const MAX_NAME: usize = 256;
+
+/// Bound on `SEARCH`'s `k`, enforced at parse time so a hostile frame
+/// cannot make the server pre-size unbounded result buffers.
+pub const MAX_K: usize = 100_000;
 
 /// Reads one bounded frame from a buffered stream — the one framing
 /// routine both the server and the client use, so the [`MAX_FRAME`]
@@ -70,7 +85,9 @@ pub fn read_frame<R: std::io::BufRead>(reader: &mut R) -> Result<Option<String>,
 }
 
 /// Escapes a payload into single-line form (`\` → `\\`, newline →
-/// `\n`, carriage return → `\r`).
+/// `\n`, carriage return → `\r`, tab → `\t`). Tab is escaped so an
+/// escaped field can never collide with the tab separators of
+/// [`render_hits`] lines.
 pub fn escape(raw: &str) -> String {
     let mut out = String::with_capacity(raw.len() + raw.len() / 8);
     for c in raw.chars() {
@@ -78,6 +95,7 @@ pub fn escape(raw: &str) -> String {
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
             _ => out.push(c),
         }
     }
@@ -98,6 +116,7 @@ pub fn unescape(line: &str) -> Result<String, WireError> {
             Some('\\') => out.push('\\'),
             Some('n') => out.push('\n'),
             Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
             Some(other) => {
                 return Err(WireError::BadRequest(format!(
                     "unknown escape \\{other} in payload"
@@ -133,6 +152,21 @@ pub enum Request {
     /// store directory now (`OK snapshot <entries>`); `ERR failed …`
     /// when the service runs without a store or the write fails.
     Snapshot,
+    /// `SEARCH <k> <query>` (`full = false`) or `SEARCH-FULL <k>
+    /// <query>` (`full = true`) — the node's top-`k` for the query:
+    /// scored page ids ([`render_scored`]), or ids plus assembled
+    /// result fields ([`render_hits`]).
+    Search {
+        /// How many hits to return (≤ [`MAX_K`]).
+        k: usize,
+        /// The raw query string (escaped on the wire).
+        query: String,
+        /// Whether to hydrate page fields (`SEARCH-FULL`).
+        full: bool,
+    },
+    /// `SHARD-STATS` — this node's shard identity and the global corpus
+    /// statistics it scores with ([`render_shard_stats`]).
+    ShardStats,
     /// `QUIT` — orderly connection close.
     Quit,
 }
@@ -149,6 +183,7 @@ impl Request {
             ("STATS", None) => Ok(Request::Stats),
             ("BUDGET", None) => Ok(Request::Budget),
             ("SNAPSHOT", None) => Ok(Request::Snapshot),
+            ("SHARD-STATS", None) => Ok(Request::ShardStats),
             ("QUIT", None) => Ok(Request::Quit),
             ("CLIENT", Some(name)) => Ok(Request::Client {
                 name: valid_name(name)?.to_owned(),
@@ -165,10 +200,26 @@ impl Request {
                     Ok(Request::Try { name, csv })
                 }
             }
-            ("STATS" | "BUDGET" | "SNAPSHOT" | "QUIT", Some(_)) => {
+            ("SEARCH", Some(rest)) | ("SEARCH-FULL", Some(rest)) => {
+                let (k, query) = rest.split_once(' ').ok_or_else(|| {
+                    WireError::BadRequest(format!("{verb} needs a k and a query"))
+                })?;
+                let k: usize = k
+                    .parse()
+                    .map_err(|_| WireError::BadRequest(format!("bad k {k:?}")))?;
+                if k > MAX_K {
+                    return Err(WireError::BadRequest(format!("k {k} exceeds {MAX_K}")));
+                }
+                Ok(Request::Search {
+                    k,
+                    query: unescape(query)?,
+                    full: verb == "SEARCH-FULL",
+                })
+            }
+            ("STATS" | "BUDGET" | "SNAPSHOT" | "SHARD-STATS" | "QUIT", Some(_)) => {
                 Err(WireError::BadRequest(format!("{verb} takes no arguments")))
             }
-            ("CLIENT" | "ANNOTATE" | "TRY", None) => {
+            ("CLIENT" | "ANNOTATE" | "TRY" | "SEARCH" | "SEARCH-FULL", None) => {
                 Err(WireError::BadRequest(format!("{verb} needs arguments")))
             }
             ("", _) => Err(WireError::BadRequest("empty request".into())),
@@ -188,8 +239,24 @@ impl Request {
             Request::Stats => "STATS\n".into(),
             Request::Budget => "BUDGET\n".into(),
             Request::Snapshot => "SNAPSHOT\n".into(),
+            Request::Search { k, query, full } => {
+                let verb = if *full { "SEARCH-FULL" } else { "SEARCH" };
+                format!("{verb} {k} {}\n", escape(query))
+            }
+            Request::ShardStats => "SHARD-STATS\n".into(),
             Request::Quit => "QUIT\n".into(),
         }
+    }
+
+    /// Whether the request is read-only and idempotent — safe for a
+    /// client to retry on a fresh connection after a transport failure.
+    /// Submissions (`ANNOTATE`/`TRY`) and state changes (`CLIENT`,
+    /// `SNAPSHOT`) are excluded: a retry could double-apply them.
+    pub fn is_read_only(&self) -> bool {
+        matches!(
+            self,
+            Request::Stats | Request::Budget | Request::Search { .. } | Request::ShardStats
+        )
     }
 }
 
@@ -396,7 +463,8 @@ pub fn render_stats(s: &ServiceStats) -> String {
     let mut out = format!(
         "submitted={} completed={} failed={} shed_queue={} shed_budget={} \
          rejected_oversize={} stream_tables={} backpressure_waits={} \
-         p50_us={} p99_us={} max_us={}\n",
+         p50_us={} p99_us={} max_us={} shard_fanouts={} partial_results={} \
+         replica_retries={}\n",
         s.submitted,
         s.completed,
         s.failed,
@@ -408,6 +476,9 @@ pub fn render_stats(s: &ServiceStats) -> String {
         s.latency.p50.as_micros(),
         s.latency.p99.as_micros(),
         s.latency.max.as_micros(),
+        s.shard_fanouts,
+        s.partial_results,
+        s.replica_retries,
     );
     for c in &s.clients {
         writeln!(
@@ -420,16 +491,227 @@ pub fn render_stats(s: &ServiceStats) -> String {
     out
 }
 
+/// What a search-serving node knows about its place in a cluster: its
+/// shard index, the shard count, and the whole corpus's document count
+/// (the BM25 `N` it scores with). A single-node server uses
+/// `shard = 0, n_shards = 1, global_docs = local docs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// This node's shard index in `0..n_shards`.
+    pub shard: u32,
+    /// How many shards the corpus is partitioned into.
+    pub n_shards: u32,
+    /// Documents in the whole corpus.
+    pub global_docs: u64,
+}
+
+/// The `SHARD-STATS` payload: the node's [`ShardInfo`] plus its local
+/// document count and lifetime `SEARCH` counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStatsReport {
+    /// This node's shard index.
+    pub shard: u32,
+    /// Total shard count.
+    pub n_shards: u32,
+    /// Documents this node holds.
+    pub docs: u64,
+    /// Documents in the whole corpus.
+    pub global_docs: u64,
+    /// `SEARCH`/`SEARCH-FULL` requests served since start.
+    pub searches: u64,
+}
+
+/// One fully hydrated hit on the wire: the global page id, the exact
+/// score bits, and the assembled [`SearchResult`] fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// Global page id.
+    pub id: PageId,
+    /// BM25 score (travels as exact bits).
+    pub score: f64,
+    /// Hydrated url/title/snippet.
+    pub result: SearchResult,
+}
+
+fn score_hex(score: f64) -> String {
+    format!("{:016x}", score.to_bits())
+}
+
+fn parse_score(hex: &str) -> Result<f64, WireError> {
+    if hex.len() != 16 {
+        return Err(WireError::BadRequest(format!(
+            "score must be 16 hex digits, got {:?}",
+            hex.chars().take(20).collect::<String>()
+        )));
+    }
+    u64::from_str_radix(hex, 16)
+        .map(f64::from_bits)
+        .map_err(|_| WireError::BadRequest(format!("bad score hex {hex:?}")))
+}
+
+fn parse_hits_header(payload: &str) -> Result<(usize, std::str::Lines<'_>), WireError> {
+    let mut lines = payload.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| WireError::BadRequest("empty search payload".into()))?;
+    let n: usize = header
+        .strip_prefix("hits=")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| WireError::BadRequest(format!("bad search header {header:?}")))?;
+    if n > MAX_K {
+        return Err(WireError::BadRequest(format!(
+            "search payload claims {n} hits (max {MAX_K})"
+        )));
+    }
+    Ok((n, lines))
+}
+
+/// Renders a `SEARCH` success payload: a `hits=<n>` header, then one
+/// `<id> <score-hex>` line per hit in rank order. Scores are IEEE-754
+/// bit patterns, so [`parse_scored`]`(`[`render_scored`]`(h)) == h`
+/// bit for bit — including NaNs and signed zeros.
+pub fn render_scored(hits: &[(PageId, f64)]) -> String {
+    use std::fmt::Write;
+
+    let mut out = format!("hits={}\n", hits.len());
+    for (id, score) in hits {
+        writeln!(out, "{} {}", id.0, score_hex(*score)).expect("string write");
+    }
+    out
+}
+
+/// Reverses [`render_scored`]. Any malformed line, a hit count that
+/// does not match the header, or a header past [`MAX_K`] is a
+/// [`WireError::BadRequest`].
+pub fn parse_scored(payload: &str) -> Result<Vec<(PageId, f64)>, WireError> {
+    let (n, lines) = parse_hits_header(payload)?;
+    let mut hits = Vec::with_capacity(n);
+    for line in lines {
+        let (id, hex) = line
+            .split_once(' ')
+            .ok_or_else(|| WireError::BadRequest(format!("bad hit line {line:?}")))?;
+        let id: u32 = id
+            .parse()
+            .map_err(|_| WireError::BadRequest(format!("bad page id {id:?}")))?;
+        hits.push((PageId(id), parse_score(hex)?));
+    }
+    if hits.len() != n {
+        return Err(WireError::BadRequest(format!(
+            "search payload promised {n} hits, carried {}",
+            hits.len()
+        )));
+    }
+    Ok(hits)
+}
+
+/// Renders a `SEARCH-FULL` success payload: a `hits=<n>` header, then
+/// one `<id>\t<score-hex>\t<url>\t<title>\t<snippet>` line per hit with
+/// each text field [`escape`]d — tabs in field content become `\t`, so
+/// the five columns are unambiguous for arbitrary page text.
+pub fn render_hits(hits: &[SearchHit]) -> String {
+    use std::fmt::Write;
+
+    let mut out = format!("hits={}\n", hits.len());
+    for h in hits {
+        writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}",
+            h.id.0,
+            score_hex(h.score),
+            escape(&h.result.url),
+            escape(&h.result.title),
+            escape(&h.result.snippet),
+        )
+        .expect("string write");
+    }
+    out
+}
+
+/// Reverses [`render_hits`], with the same typed failure modes as
+/// [`parse_scored`].
+pub fn parse_hits(payload: &str) -> Result<Vec<SearchHit>, WireError> {
+    let (n, lines) = parse_hits_header(payload)?;
+    let mut hits = Vec::with_capacity(n);
+    for line in lines {
+        let mut cols = line.splitn(5, '\t');
+        let mut col = |what: &'static str| {
+            cols.next()
+                .ok_or_else(|| WireError::BadRequest(format!("hit line missing {what}")))
+        };
+        let id: u32 = col("page id")?
+            .parse()
+            .map_err(|_| WireError::BadRequest(format!("bad page id in {line:?}")))?;
+        let score = parse_score(col("score")?)?;
+        let url = unescape(col("url")?)?;
+        let title = unescape(col("title")?)?;
+        let snippet = unescape(col("snippet")?)?;
+        hits.push(SearchHit {
+            id: PageId(id),
+            score,
+            result: SearchResult {
+                url,
+                title,
+                snippet,
+            },
+        });
+    }
+    if hits.len() != n {
+        return Err(WireError::BadRequest(format!(
+            "search payload promised {n} hits, carried {}",
+            hits.len()
+        )));
+    }
+    Ok(hits)
+}
+
+/// Renders the `SHARD-STATS` payload: one
+/// `shard=<s> shards=<n> docs=<d> global_docs=<g> searches=<c>` line.
+pub fn render_shard_stats(r: &ShardStatsReport) -> String {
+    format!(
+        "shard={} shards={} docs={} global_docs={} searches={}",
+        r.shard, r.n_shards, r.docs, r.global_docs, r.searches
+    )
+}
+
+/// Reverses [`render_shard_stats`]; any missing or malformed field is a
+/// [`WireError::BadRequest`].
+pub fn parse_shard_stats(payload: &str) -> Result<ShardStatsReport, WireError> {
+    let mut tokens = payload.split_whitespace();
+    let mut field = |key: &'static str| -> Result<u64, WireError> {
+        let token = tokens
+            .next()
+            .ok_or_else(|| WireError::BadRequest(format!("shard stats missing {key}")))?;
+        token
+            .strip_prefix(key)
+            .and_then(|t| t.strip_prefix('='))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| WireError::BadRequest(format!("bad shard stats field {token:?}")))
+    };
+    let shard = field("shard")? as u32;
+    let n_shards = field("shards")? as u32;
+    let docs = field("docs")?;
+    let global_docs = field("global_docs")?;
+    let searches = field("searches")?;
+    Ok(ShardStatsReport {
+        shard,
+        n_shards,
+        docs,
+        global_docs,
+        searches,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn escape_round_trips_csv_with_quoted_newlines() {
-        let csv = "#types,Text,Location\nname,addr\n\"Bar,\nGrill\",\"1 Main St\r\nSuite 2\"\n";
+        let csv = "#types,Text,Location\nname,addr\n\"Bar,\nGrill\",\"1 Main\tSt\r\nSuite 2\"\n";
         let line = escape(csv);
         assert!(!line.contains('\n'), "escaped payload must be one line");
         assert!(!line.contains('\r'));
+        assert!(!line.contains('\t'), "tabs must be escaped too");
         assert_eq!(unescape(&line).unwrap(), csv);
     }
 
@@ -456,6 +738,17 @@ mod tests {
             Request::Stats,
             Request::Budget,
             Request::Snapshot,
+            Request::Search {
+                k: 10,
+                query: "french restaurant\tparis".into(),
+                full: false,
+            },
+            Request::Search {
+                k: 3,
+                query: "multi\nline".into(),
+                full: true,
+            },
+            Request::ShardStats,
             Request::Quit,
         ];
         for req in reqs {
@@ -464,6 +757,106 @@ mod tests {
             assert_eq!(line.matches('\n').count(), 1, "one frame per request");
             assert_eq!(Request::parse(&line).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn read_only_requests_are_exactly_the_retryable_ones() {
+        let read_only = [
+            Request::Stats,
+            Request::Budget,
+            Request::ShardStats,
+            Request::Search {
+                k: 1,
+                query: "q".into(),
+                full: true,
+            },
+        ];
+        assert!(read_only.iter().all(Request::is_read_only));
+        let mutating = [
+            Request::Client { name: "c".into() },
+            Request::Annotate {
+                name: "t".into(),
+                csv: "a\n1\n".into(),
+            },
+            Request::Try {
+                name: "t".into(),
+                csv: "a\n1\n".into(),
+            },
+            Request::Snapshot,
+            Request::Quit,
+        ];
+        assert!(!mutating.iter().any(Request::is_read_only));
+    }
+
+    #[test]
+    fn search_k_is_bounded_at_parse() {
+        assert!(Request::parse(&format!("SEARCH {MAX_K} q\n")).is_ok());
+        assert!(matches!(
+            Request::parse(&format!("SEARCH {} q\n", MAX_K + 1)),
+            Err(WireError::BadRequest(_))
+        ));
+        for bad in ["SEARCH", "SEARCH 5", "SEARCH x q", "SHARD-STATS now"] {
+            assert!(
+                matches!(Request::parse(bad), Err(WireError::BadRequest(_))),
+                "{bad:?} must be a bad-request"
+            );
+        }
+    }
+
+    #[test]
+    fn scored_hits_round_trip_exact_bits() {
+        let hits = vec![
+            (PageId(7), 1.5),
+            (PageId(0), f64::from_bits(0x7ff8_0000_0000_0001)), // a NaN payload
+            (PageId(42), -0.0),
+            (PageId(9), 0.1 + 0.2), // not representable exactly in decimal
+        ];
+        let payload = render_scored(&hits);
+        let back = parse_scored(&payload).unwrap();
+        assert_eq!(back.len(), hits.len());
+        for ((id, s), (bid, bs)) in hits.iter().zip(&back) {
+            assert_eq!(id, bid);
+            assert_eq!(s.to_bits(), bs.to_bits(), "score bits must survive");
+        }
+        assert!(parse_scored("hits=2\n1 0000000000000000\n").is_err());
+        assert!(parse_scored(&format!("hits={}\n", MAX_K + 1)).is_err());
+        assert!(parse_scored("hits=1\n1 xyz\n").is_err());
+    }
+
+    #[test]
+    fn full_hits_round_trip_with_hostile_fields() {
+        let hits = vec![SearchHit {
+            id: PageId(3),
+            score: 2.25,
+            result: SearchResult {
+                url: "http://web.sim/p\t3".into(),
+                title: "Tab\there \\ and\nnewline".into(),
+                snippet: "plain words".into(),
+            },
+        }];
+        let payload = render_hits(&hits);
+        assert_eq!(parse_hits(&payload).unwrap(), hits);
+        // The whole payload survives a frame round-trip (the reply layer
+        // escapes it once more).
+        let framed = Reply::Ok(payload.clone()).encode();
+        let Reply::Ok(unframed) = Reply::parse(&framed).unwrap() else {
+            panic!("expected OK");
+        };
+        assert_eq!(parse_hits(&unframed).unwrap(), hits);
+    }
+
+    #[test]
+    fn shard_stats_round_trip() {
+        let r = ShardStatsReport {
+            shard: 2,
+            n_shards: 8,
+            docs: 125,
+            global_docs: 1000,
+            searches: 31,
+        };
+        assert_eq!(parse_shard_stats(&render_shard_stats(&r)).unwrap(), r);
+        assert!(parse_shard_stats("shard=1 shards=2").is_err());
+        assert!(parse_shard_stats("shards=2 shard=1 docs=0 global_docs=0 searches=0").is_err());
     }
 
     #[test]

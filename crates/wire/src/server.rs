@@ -1,5 +1,7 @@
 //! The TCP front-end: a std-thread acceptor plus one reader thread per
-//! connection, each driving the shared [`AnnotationService`].
+//! connection, each driving the shared [`AnnotationService`] and/or
+//! [`SearchBackend`] — a node may serve either half or both (a cluster
+//! shard process is a search-only node).
 //!
 //! Shape: the acceptor blocks in `accept`; every connection gets a
 //! thread that reads one frame at a time, parses it with
@@ -20,14 +22,18 @@
 
 use std::io::{BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 use teda_corpus::table_from_csv;
 use teda_service::{AnnotationService, ClientId, RequestHandle};
+use teda_websim::SearchBackend;
 
-use crate::protocol::{read_frame, render_annotations, render_stats, Reply, Request, WireError};
+use crate::protocol::{
+    read_frame, render_annotations, render_hits, render_scored, render_shard_stats, render_stats,
+    Reply, Request, SearchHit, ShardInfo, ShardStatsReport, WireError,
+};
 
 /// Threads and sockets the server must reap on shutdown.
 #[derive(Default)]
@@ -38,7 +44,30 @@ struct Registry {
     handles: Vec<JoinHandle<()>>,
 }
 
-/// The line-protocol TCP front-end over one [`AnnotationService`].
+/// The search-serving half of a wire node: any [`SearchBackend`] plus
+/// its optional cluster identity. With `info = None` the node reports
+/// itself as shard 0 of 1 with `global_docs = n_docs()` — a single-node
+/// server is just a one-shard cluster.
+pub struct SearchNode {
+    /// What `SEARCH`/`SEARCH-FULL` rank against.
+    pub backend: Arc<dyn SearchBackend>,
+    /// The node's place in a cluster, if it serves a shard image.
+    pub info: Option<ShardInfo>,
+}
+
+/// What the connection threads share: each half of the node is
+/// optional, and verbs against a missing half are `bad-request`, not
+/// panics. A shard server runs search-only; the classic annotation
+/// front-end runs service-only; a full node runs both.
+struct NodeParts {
+    service: Option<Arc<AnnotationService>>,
+    search: Option<SearchNode>,
+    /// Lifetime `SEARCH`/`SEARCH-FULL` counter, for `SHARD-STATS`.
+    searches: AtomicU64,
+}
+
+/// The line-protocol TCP front-end over one [`AnnotationService`],
+/// one [`SearchBackend`], or both.
 pub struct WireServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -46,30 +75,68 @@ pub struct WireServer {
     acceptor: Option<JoinHandle<()>>,
     /// Kept so shutdown can unpark connection threads waiting on a dry
     /// query pool (`wake_blocked_submitters`).
-    service: Arc<AnnotationService>,
+    parts: Arc<NodeParts>,
 }
 
 impl WireServer {
     /// Binds `addr` (use port 0 for an ephemeral port; read it back
     /// with [`local_addr`](Self::local_addr)) and starts the acceptor.
     /// The service rides behind an `Arc` so in-process callers can keep
-    /// submitting beside the wire clients.
+    /// submitting beside the wire clients. `SEARCH`/`SHARD-STATS` are
+    /// `bad-request` on such a node; see
+    /// [`start_search_only`](Self::start_search_only) and
+    /// [`start_with_search`](Self::start_with_search).
     pub fn start(
         service: Arc<AnnotationService>,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<WireServer> {
+        Self::start_node(Some(service), None, addr)
+    }
+
+    /// Starts a search-only node — what a cluster shard process runs:
+    /// no annotation pipeline, just `SEARCH`/`SEARCH-FULL`/
+    /// `SHARD-STATS` (plus `QUIT`) over the given backend.
+    pub fn start_search_only(
+        backend: Arc<dyn SearchBackend>,
+        info: Option<ShardInfo>,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<WireServer> {
+        Self::start_node(None, Some(SearchNode { backend, info }), addr)
+    }
+
+    /// Starts a node serving both halves: the annotation verbs against
+    /// `service` and the search verbs against `backend`.
+    pub fn start_with_search(
+        service: Arc<AnnotationService>,
+        backend: Arc<dyn SearchBackend>,
+        info: Option<ShardInfo>,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<WireServer> {
+        Self::start_node(Some(service), Some(SearchNode { backend, info }), addr)
+    }
+
+    fn start_node(
+        service: Option<Arc<AnnotationService>>,
+        search: Option<SearchNode>,
         addr: impl ToSocketAddrs,
     ) -> std::io::Result<WireServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let registry = Arc::new(Mutex::new(Registry::default()));
+        let parts = Arc::new(NodeParts {
+            service,
+            search,
+            searches: AtomicU64::new(0),
+        });
 
         let acceptor = {
             let stop = Arc::clone(&stop);
             let registry = Arc::clone(&registry);
-            let service = Arc::clone(&service);
+            let parts = Arc::clone(&parts);
             std::thread::Builder::new()
                 .name("teda-wire-acceptor".into())
-                .spawn(move || accept_loop(&listener, &service, &stop, &registry))
+                .spawn(move || accept_loop(&listener, &parts, &stop, &registry))
                 .expect("spawn wire acceptor")
         };
         Ok(WireServer {
@@ -77,7 +144,7 @@ impl WireServer {
             stop,
             registry,
             acceptor: Some(acceptor),
-            service,
+            parts,
         })
     }
 
@@ -113,7 +180,9 @@ impl WireServer {
         // unblocked by the socket close — kick the admission condvar so
         // their cancellable submissions observe the stop flag, or the
         // joins below would deadlock.
-        self.service.wake_blocked_submitters();
+        if let Some(service) = &self.parts.service {
+            service.wake_blocked_submitters();
+        }
         for handle in handles {
             let _ = handle.join();
         }
@@ -129,7 +198,7 @@ impl Drop for WireServer {
 /// Accepts until the stop flag rises; spawns one reader per connection.
 fn accept_loop(
     listener: &TcpListener,
-    service: &Arc<AnnotationService>,
+    parts: &Arc<NodeParts>,
     stop: &Arc<AtomicBool>,
     registry: &Arc<Mutex<Registry>>,
 ) {
@@ -149,12 +218,12 @@ fn accept_loop(
             return; // the shutdown poke (or a late client) — drop it
         }
         conn_id += 1;
-        let service = Arc::clone(service);
+        let parts = Arc::clone(parts);
         let stop_flag = Arc::clone(stop);
         let registered = stream.try_clone().ok();
         let handle = std::thread::Builder::new()
             .name(format!("teda-wire-conn-{conn_id}"))
-            .spawn(move || handle_connection(&service, stream, &stop_flag))
+            .spawn(move || handle_connection(&parts, stream, &stop_flag))
             .expect("spawn wire connection thread");
         let mut reg = registry.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(stream) = registered {
@@ -165,13 +234,20 @@ fn accept_loop(
 }
 
 /// One connection: frame in, frame out, until EOF/`QUIT`/shutdown.
-fn handle_connection(service: &AnnotationService, stream: TcpStream, stop: &AtomicBool) {
+fn handle_connection(parts: &NodeParts, stream: TcpStream, stop: &AtomicBool) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     let mut client = ClientId::ANONYMOUS;
+    // A verb against a half this node does not serve is a typed
+    // per-request failure; the connection lives on.
+    let no_service = || {
+        Reply::Err(WireError::BadRequest(
+            "this node serves no annotation service".into(),
+        ))
+    };
 
     while !stop.load(Ordering::SeqCst) {
         let line = match read_frame(&mut reader) {
@@ -195,29 +271,89 @@ fn handle_connection(service: &AnnotationService, stream: TcpStream, stop: &Atom
                 client = ClientId::new(&name);
                 Reply::Ok(format!("client {name}"))
             }
-            Ok(Request::Stats) => Reply::Ok(render_stats(&service.stats())),
-            Ok(Request::Budget) => Reply::Ok(match service.remaining_budget() {
-                Some(n) => format!("budget {n}"),
-                None => "budget unmetered".into(),
-            }),
+            Ok(Request::Stats) => match &parts.service {
+                Some(service) => Reply::Ok(render_stats(&service.stats())),
+                None => no_service(),
+            },
+            Ok(Request::Budget) => match &parts.service {
+                Some(service) => Reply::Ok(match service.remaining_budget() {
+                    Some(n) => format!("budget {n}"),
+                    None => "budget unmetered".into(),
+                }),
+                None => no_service(),
+            },
             // Persist the query-cache snapshot on demand (an operator
             // checkpoint before a planned restart). Store trouble —
             // including "no store configured" — is a typed failure on
             // this request only; the connection lives on.
-            Ok(Request::Snapshot) => match service.snapshot_now() {
-                Ok(entries) => Reply::Ok(format!("snapshot {entries}")),
-                Err(e) => Reply::Err(WireError::Failed(e.to_string())),
+            Ok(Request::Snapshot) => match &parts.service {
+                Some(service) => match service.snapshot_now() {
+                    Ok(entries) => Reply::Ok(format!("snapshot {entries}")),
+                    Err(e) => Reply::Err(WireError::Failed(e.to_string())),
+                },
+                None => no_service(),
             },
-            Ok(Request::Annotate { name, csv }) => {
-                annotate(service, &client, &name, &csv, Some(stop))
-            }
-            Ok(Request::Try { name, csv }) => annotate(service, &client, &name, &csv, None),
+            Ok(Request::Annotate { name, csv }) => match &parts.service {
+                Some(service) => annotate(service, &client, &name, &csv, Some(stop)),
+                None => no_service(),
+            },
+            Ok(Request::Try { name, csv }) => match &parts.service {
+                Some(service) => annotate(service, &client, &name, &csv, None),
+                None => no_service(),
+            },
+            Ok(Request::Search { k, query, full }) => match &parts.search {
+                Some(node) => {
+                    parts.searches.fetch_add(1, Ordering::Relaxed);
+                    serve_search(node, &query, k, full)
+                }
+                None => Reply::Err(WireError::BadRequest(
+                    "this node serves no search backend".into(),
+                )),
+            },
+            Ok(Request::ShardStats) => match &parts.search {
+                Some(node) => {
+                    let docs = node.backend.n_docs() as u64;
+                    let info = node.info.unwrap_or(ShardInfo {
+                        shard: 0,
+                        n_shards: 1,
+                        global_docs: docs,
+                    });
+                    Reply::Ok(render_shard_stats(&ShardStatsReport {
+                        shard: info.shard,
+                        n_shards: info.n_shards,
+                        docs,
+                        global_docs: info.global_docs,
+                        searches: parts.searches.load(Ordering::Relaxed),
+                    }))
+                }
+                None => Reply::Err(WireError::BadRequest(
+                    "this node serves no search backend".into(),
+                )),
+            },
         };
         if writer.write_all(reply.encode().as_bytes()).is_err() {
             return;
         }
         let _ = writer.flush();
     }
+}
+
+/// Serves one `SEARCH`/`SEARCH-FULL` request. The full path ranks once
+/// for the scored ids and once more for the hydrated fields — both
+/// passes are deterministic over the same backend, so the zip below
+/// pairs each id with its own fields.
+fn serve_search(node: &SearchNode, query: &str, k: usize, full: bool) -> Reply {
+    let scored = node.backend.search(query, k);
+    if !full {
+        return Reply::Ok(render_scored(&scored));
+    }
+    let results = node.backend.search_results(query, k);
+    let hits: Vec<SearchHit> = scored
+        .into_iter()
+        .zip(results)
+        .map(|((id, score), result)| SearchHit { id, score, result })
+        .collect();
+    Reply::Ok(render_hits(&hits))
 }
 
 /// Parses and submits one table, waiting for the outcome. Every failure

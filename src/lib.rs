@@ -22,12 +22,16 @@
 //!   incremental delta segments, deterministic compaction.
 //! * [`wire`] — the line-protocol TCP front-end over the service
 //!   (newline-framed requests, typed wire errors, reference client).
+//! * [`cluster`] — the sharded scatter-gather serving tier:
+//!   deterministic partitioner, shard servers, stateless router with
+//!   bit-identical top-k merge and replica failover.
 //! * [`simkit`] — virtual clock, seeded RNG, reporting helpers.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough, and
 //! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction methodology.
 
 pub use teda_classifier as classifier;
+pub use teda_cluster as cluster;
 pub use teda_core as core;
 pub use teda_corpus as corpus;
 pub use teda_geo as geo;

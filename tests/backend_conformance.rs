@@ -192,6 +192,44 @@ fn every_backend_conforms_through_a_mixed_journal_and_compaction() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The scatter-gather router is a [`SearchBackend`] like any other —
+/// so it faces the same oracle, probe for probe, depth for depth, at
+/// several shard counts, over real TCP. This is the issue's headline
+/// invariant: the cluster is bit-identical to the single node.
+#[test]
+fn the_cluster_router_conforms_like_any_single_node_backend() {
+    use teda::cluster::{partition_corpus, ClusterRouter, RouterConfig, ShardServer};
+
+    let mut rng = StdRng::seed_from_u64(13);
+    let pages: Vec<WebPage> = (0..17)
+        .map(|i| synth_page(&mut rng, &format!("http://cluster/{i}")))
+        .collect();
+    let oracle = WebCorpus::from_pages(pages);
+
+    for n_shards in [1u32, 2, 3] {
+        let root = temp_store(&format!("router_{n_shards}"));
+        let dirs = partition_corpus(&oracle, n_shards, &root).expect("partition");
+        let servers: Vec<ShardServer> = dirs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| ShardServer::start(d, i % 2 == 0, "127.0.0.1:0").expect("serve"))
+            .collect();
+        let topology: Vec<Vec<std::net::SocketAddr>> =
+            servers.iter().map(|s| vec![s.local_addr()]).collect();
+        let router =
+            ClusterRouter::connect(&topology, RouterConfig::default()).expect("connect router");
+        assert_conforms(
+            &oracle,
+            &router,
+            &format!("ClusterRouter over {n_shards} shard(s)"),
+        );
+        for s in servers {
+            s.shutdown();
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
 proptest::proptest! {
     /// Random `(base, ops)` histories: every backend configuration the
     /// store serves conforms to the rebuild oracle at every probe and

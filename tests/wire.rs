@@ -379,6 +379,55 @@ fn snapshot_verb_persists_and_fails_typed_without_a_store() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Satellite (auto-reconnect): a client that opted in survives a server
+/// restart transparently — but only for read-only verbs. A mutating
+/// verb over the dead connection fails typed; a replay could
+/// double-apply the submission.
+#[test]
+fn auto_reconnect_retries_read_only_verbs_across_a_server_restart() {
+    let (world, engine, classifier) = fixture();
+    let table = &seeded_tables(&world, 1, 4)[0];
+
+    let (_service, server) = serve(engine.clone(), classifier.clone(), ServiceConfig::default());
+    let addr = server.local_addr();
+
+    let mut client = WireClient::connect(addr).expect("connect");
+    client.set_auto_reconnect(true);
+    let mut plain = WireClient::connect(addr).expect("connect control");
+    assert_eq!(client.budget().unwrap(), "budget unmetered");
+
+    // Drop the server mid-stream, then bring a fresh one up on the very
+    // same address — the restart every long-lived client eventually sees.
+    server.shutdown();
+    let service = Arc::new(AnnotationService::start(
+        BatchAnnotator::new(engine, classifier, AnnotatorConfig::default()),
+        ServiceConfig::default(),
+    ));
+    let server = WireServer::start(Arc::clone(&service), addr).expect("rebind same address");
+
+    // Mutating verb first: the stale connection fails typed, no retry.
+    let err = client
+        .annotate("t", &typed_table_to_csv(table))
+        .expect_err("a mutating verb must not be replayed onto the new server");
+    assert!(matches!(err, WireError::Transport(_)), "{err:?}");
+    assert_eq!(
+        service.stats().submitted,
+        0,
+        "nothing may have been replayed"
+    );
+
+    // Read-only verb: redials once and succeeds against the new server.
+    assert_eq!(
+        client.budget().expect("BUDGET survives the restart"),
+        "budget unmetered"
+    );
+
+    // Without the opt-in, the same restart is a hard transport error.
+    let err = plain.budget().expect_err("no opt-in, no retry");
+    assert!(matches!(err, WireError::Transport(_)), "{err:?}");
+    server.shutdown();
+}
+
 #[test]
 fn concurrent_connections_are_served_independently() {
     let (world, engine, classifier) = fixture();
