@@ -1,0 +1,34 @@
+//! Runs the `teda-lint` static analyzer over the live workspace, prints
+//! the coverage table, emits `BENCH_lint.json`, and asserts the gate:
+//! no unbaselined findings, no stale baseline entries, zero lock-order
+//! cycles. (`--quick` is accepted for CI uniformity; the pass is always
+//! the full workspace — it takes milliseconds.)
+
+use teda_bench::exp::lint;
+
+fn main() {
+    let result = lint::run();
+    println!("{}", lint::render(&result));
+    let json = lint::to_json(&result);
+    match json.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_lint.json: {e}"),
+    }
+    assert!(
+        result.files_scanned > 100,
+        "suspiciously few files scanned ({}) — wrong root?",
+        result.files_scanned
+    );
+    assert_eq!(
+        result.new_findings, 0,
+        "unbaselined lint findings — run `cargo run -p teda-lint -- --check`"
+    );
+    assert_eq!(
+        result.stale_entries, 0,
+        "stale baseline entries — the baseline is shrink-only, prune them"
+    );
+    assert_eq!(
+        result.lock_cycles, 0,
+        "mutex acquisition cycle detected in the workspace"
+    );
+}

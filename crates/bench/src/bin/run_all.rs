@@ -2,8 +2,8 @@
 //! full report (the source of EXPERIMENTS.md's measured numbers).
 
 use teda_bench::exp::{
-    ablation, cluster, comparison, coverage, efficiency, fig7, mmap, preprocess_stats, segments,
-    service, store, stream, table1, table2, table3, throughput, wire,
+    ablation, cluster, comparison, coverage, efficiency, fig7, lint, mmap, preprocess_stats,
+    segments, service, store, stream, table1, table2, table3, throughput, wire,
 };
 use teda_bench::harness::{Fixture, Scale};
 
@@ -38,5 +38,6 @@ fn main() {
     println!("{}", mmap::render(&mmap::run(scale)));
     println!("{}", cluster::render(&cluster::run(scale)));
     println!("{}", fig7::render(&fig7::run()));
+    println!("{}", lint::render(&lint::run()));
     println!("{}", ablation::render(&ablation::run(&fixture)));
 }

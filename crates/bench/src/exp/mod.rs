@@ -6,6 +6,7 @@ pub mod comparison;
 pub mod coverage;
 pub mod efficiency;
 pub mod fig7;
+pub mod lint;
 pub mod mmap;
 pub mod preprocess_stats;
 pub mod segments;

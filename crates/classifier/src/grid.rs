@@ -114,14 +114,14 @@ impl GridSearch {
                 points.push(GridPoint { c, gamma, accuracy });
             }
         }
-        let best = *points
-            .iter()
-            .max_by(|a, b| {
-                a.accuracy
-                    .partial_cmp(&b.accuracy)
-                    .expect("accuracies are finite")
-            })
-            .expect("non-empty grid");
+        // `max_by` keeps the *last* of equal maxima; scan explicitly so
+        // ties break toward the first grid point, as documented above.
+        let mut best = points[0];
+        for p in &points[1..] {
+            if p.accuracy.total_cmp(&best.accuracy) == std::cmp::Ordering::Greater {
+                best = *p;
+            }
+        }
         GridSearchResult { points, best }
     }
 }
@@ -191,6 +191,26 @@ mod tests {
         let b = gs.run(&easy_data());
         assert_eq!(a.best, b.best);
         assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    fn accuracy_ties_break_toward_the_first_grid_point() {
+        // Trivially separable data saturates at 1.0 accuracy across the
+        // whole grid, so every point ties and the first must win.
+        let gs = GridSearch {
+            c_values: vec![1.0, 8.0],
+            gamma_values: vec![1.0, 8.0],
+            folds: 3,
+            seed: 3,
+        };
+        let res = gs.run(&easy_data());
+        let top = res.points.iter().map(|p| p.accuracy).fold(0.0, f64::max);
+        let first_top = res
+            .points
+            .iter()
+            .find(|p| p.accuracy == top)
+            .expect("grid non-empty");
+        assert_eq!((res.best.c, res.best.gamma), (first_top.c, first_top.gamma));
     }
 
     #[test]

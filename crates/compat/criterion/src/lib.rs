@@ -119,7 +119,7 @@ impl Bencher {
                 t0.elapsed().as_nanos() as f64 / n as f64
             })
             .collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        samples.sort_by(|a, b| a.total_cmp(b));
         self.best_ns_per_iter = Some(samples[samples.len() / 2]);
     }
 }

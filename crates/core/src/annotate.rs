@@ -139,6 +139,7 @@ fn vote_plain(
     }
     // Deterministic argmax: highest vote count, earliest type on ties.
     let (t_max, s_max) = votes
+        // teda-lint: allow(nondeterministic_iteration) -- argmax key (votes, Reverse(type)) is unique per entry, so the max is order-independent
         .iter()
         .map(|(&t, &s)| (t, s))
         .max_by_key(|&(t, s)| (s, std::cmp::Reverse(t)))?;

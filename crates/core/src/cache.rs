@@ -365,6 +365,7 @@ impl QueryCache {
     pub fn export_entries(&self) -> Vec<CacheEntrySnapshot> {
         let mut out = Vec::new();
         self.shards.for_each(|shard| {
+            // teda-lint: allow(nondeterministic_iteration) -- collected across shards, then sorted by (query, k) before return
             for (query, entries) in shard.map.iter() {
                 for e in entries {
                     let Slot::Ready(results) = &e.slot else {
@@ -482,6 +483,7 @@ fn remove_entry(shard: &mut Shard, query: &str, k: usize) {
 /// `false` when no `Ready` entry exists (all Pending — nothing evictable).
 fn evict_lru(shard: &mut Shard) -> bool {
     let mut victim: Option<(&String, usize, u64)> = None;
+    // teda-lint: allow(nondeterministic_iteration) -- last_used ticks are unique (one per shard op), so the strict-< minimum is order-independent
     for (q, entries) in shard.map.iter() {
         for e in entries {
             if matches!(e.slot, Slot::Ready(_))

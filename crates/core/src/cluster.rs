@@ -120,6 +120,7 @@ pub fn best_cluster_vote(
                 *counts.entry(t).or_insert(0) += 1;
             }
         }
+        // teda-lint: allow(nondeterministic_iteration) -- best is folded under the total order (votes, then smaller type), order-independent
         for (t, votes) in counts {
             // strict majority *within* the cluster keeps mixed clusters out
             if votes * 2 <= c.members.len() {

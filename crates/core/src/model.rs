@@ -153,7 +153,7 @@ impl SnippetClassifier {
             .iter()
             .copied()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))?;
+            .max_by(|a, b| a.1.total_cmp(&b.1))?;
         let margin_based = matches!(self.model, AnyModel::SvmLinear(_) | AnyModel::SvmRbf(_));
         if margin_based && best_score < 0.0 {
             return None;
@@ -217,6 +217,28 @@ mod tests {
         );
         assert_eq!(clf.classify("random words"), None);
         assert_eq!(clf.classify(""), None, "empty snippet abstains");
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic_the_argmax() {
+        // A NaN feature value propagates NaN into every class score; the
+        // argmax must degrade (total_cmp ranks NaN above finite scores)
+        // instead of panicking mid-classification, and stay deterministic.
+        let mut fx = FeatureExtractor::new();
+        let x0 = fx.fit_transform("menu dining cuisine");
+        let x1 = fx.fit_transform("gallery exhibition art");
+        let mut data = Dataset::new(2, fx.dim());
+        for _ in 0..5 {
+            data.push(x0.clone(), 0);
+            data.push(x1.clone(), 1);
+        }
+        let nb = NaiveBayes::train(&data, NaiveBayesConfig::default());
+        let labels = TypeLabels::new(vec![EntityType::Restaurant, EntityType::Museum]);
+        let clf = SnippetClassifier::new(fx, AnyModel::Bayes(nb), labels);
+        let poisoned = teda_text::SparseVector::from_pairs(vec![(0, f64::NAN)]);
+        let a = clf.classify_vector(&poisoned);
+        let b = clf.classify_vector(&poisoned);
+        assert_eq!(a, b, "NaN classification must be deterministic");
     }
 
     #[test]

@@ -59,12 +59,11 @@ pub fn eliminate_spurious(table: &Table, annotations: Vec<CellAnnotation>) -> Ve
     for etype in types {
         let scores = column_scores(table, &annotations, etype);
         let Some(winner) = scores
+            // teda-lint: allow(nondeterministic_iteration) -- argmax under the total order (score, leftmost column) with unique column keys is order-independent
             .iter()
             .map(|(&j, &s)| (j, s))
             .max_by(|a, b| {
-                a.1.partial_cmp(&b.1)
-                    .expect("finite scores")
-                    .then(b.0.cmp(&a.0)) // ties → leftmost column
+                a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)) // ties → leftmost column
             })
             .map(|(j, _)| j)
         else {
@@ -148,6 +147,50 @@ mod tests {
         let kept = eliminate_spurious(&t, anns);
         assert_eq!(kept.len(), 3);
         assert!(kept.iter().all(|a| a.cell.col == 0), "{kept:?}");
+    }
+
+    #[test]
+    fn equal_column_scores_keep_the_leftmost_column() {
+        let t = Table::builder(2)
+            .row(vec!["Melisse", "Bayona"])
+            .unwrap()
+            .row(vec!["Chez Marie", "Commander's"])
+            .unwrap()
+            .build()
+            .unwrap();
+        // One annotation per column with the same score over distinct
+        // values: S_0 == S_1 exactly, so the tie rule decides.
+        let anns = vec![
+            ann(0, 1, EntityType::Restaurant, 0.8),
+            ann(0, 0, EntityType::Restaurant, 0.8),
+        ];
+        let kept = eliminate_spurious(&t, anns);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(
+            kept[0].cell.col, 0,
+            "ties must break to the leftmost column"
+        );
+    }
+
+    #[test]
+    fn nan_scores_degrade_without_panicking() {
+        // Under the old partial_cmp argmax a NaN column score tore the
+        // whole annotation pass down. total_cmp degrades: NaN sorts
+        // above every finite score, so the poisoned column wins, but the
+        // pipeline keeps running and the outcome stays deterministic.
+        let t = fig8_table();
+        let anns = vec![
+            ann(0, 0, EntityType::Museum, 0.9),
+            ann(0, 1, EntityType::Museum, f64::NAN),
+        ];
+        let kept = eliminate_spurious(&t, anns.clone());
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].cell.col, 1);
+        assert_eq!(
+            kept.len(),
+            eliminate_spurious(&t, anns).len(),
+            "NaN handling must stay deterministic run to run"
+        );
     }
 
     #[test]

@@ -83,11 +83,7 @@ fn cell_ranking(cells: &[(CellId, Vec<LocationId>)], score: &[f64]) -> Vec<usize
     for (_, cands) in cells {
         let m = cands.len();
         let mut order: Vec<usize> = (0..m).collect();
-        order.sort_by(|&a, &b| {
-            score[idx + b]
-                .partial_cmp(&score[idx + a])
-                .expect("scores are finite")
-        });
+        order.sort_by(|&a, &b| score[idx + b].total_cmp(&score[idx + a]));
         ranking.extend(order);
         idx += m;
     }
@@ -233,6 +229,30 @@ pub fn disambiguate(
 mod tests {
     use super::*;
     use crate::gazetteer::LocationKind;
+
+    #[test]
+    fn cell_ranking_orders_by_descending_score_stably() {
+        let cells = vec![(
+            CellId::new(0, 0),
+            (0..4).map(LocationId).collect::<Vec<_>>(),
+        )];
+        // Candidates 1 and 3 tie; the sort is stable, so their original
+        // order (1 before 3) survives.
+        let ranking = cell_ranking(&cells, &[0.1, 0.4, 0.9, 0.4]);
+        assert_eq!(ranking, vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn cell_ranking_survives_nan_scores() {
+        // A NaN score must not panic the convergence check; under
+        // total_cmp it ranks above every finite score.
+        let cells = vec![(
+            CellId::new(0, 0),
+            (0..3).map(LocationId).collect::<Vec<_>>(),
+        )];
+        let ranking = cell_ranking(&cells, &[0.5, f64::NAN, 0.9]);
+        assert_eq!(ranking, vec![1, 2, 0]);
+    }
 
     /// Builds the exact candidate layout of Figure 7a over the Figure 7
     /// gazetteer. Cell coordinates follow the paper (1-based there,

@@ -229,6 +229,7 @@ pub fn city_name_ambiguity(g: &Gazetteer) -> f64 {
     if total == 0 {
         return 0.0;
     }
+    // teda-lint: allow(nondeterministic_iteration) -- integer count/sum is order-insensitive
     let ambiguous: usize = by_name.values().filter(|&&c| c > 1).copied().sum();
     ambiguous as f64 / total as f64
 }

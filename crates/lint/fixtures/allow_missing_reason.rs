@@ -1,0 +1,8 @@
+//! Fixture: an allow without the mandatory reason — the annotation trips
+//! `malformed_allow` AND the finding it failed to suppress still stands.
+//! (Scanned with the untrusted role forced on.)
+
+pub fn decode(bytes: &[u8]) -> u8 {
+    // teda-lint: allow(panic_on_untrusted)
+    bytes[0]
+}

@@ -1,0 +1,7 @@
+//! Fixture: a finding suppressed by a well-formed allow — trips nothing.
+//! (Scanned with the untrusted role forced on.)
+
+pub fn decode(bytes: &[u8]) -> u8 {
+    // teda-lint: allow(panic_on_untrusted) -- fixture: caller guarantees non-empty
+    bytes[0]
+}

@@ -1,0 +1,7 @@
+//! Fixture: an allow naming a lint that does not exist — trips
+//! `malformed_allow` only.
+
+pub fn fine() -> u32 {
+    // teda-lint: allow(no_such_lint) -- fixture: typo'd lint name
+    41 + 1
+}

@@ -1,0 +1,7 @@
+//! Fixture: a reasoned allow that suppresses nothing — trips
+//! `unused_allow` only.
+
+pub fn fine() -> u32 {
+    // teda-lint: allow(float_ord_panic) -- fixture: nothing here floats
+    41 + 1
+}

@@ -1,0 +1,23 @@
+//! Fixture: clean under every lint with every role forced on.
+
+use std::collections::HashMap;
+
+pub fn ranked(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs
+}
+
+pub fn render(counts: &HashMap<String, usize>) -> Result<String, String> {
+    let mut pairs: Vec<(&String, &usize)> = counts.iter().collect();
+    pairs.sort();
+    let mut out = String::new();
+    for (k, v) in pairs {
+        out.push_str(k);
+        out.push_str(&v.to_string());
+    }
+    Ok(out)
+}
+
+pub fn decode(bytes: &[u8]) -> Result<u8, String> {
+    bytes.first().copied().ok_or_else(|| "empty".to_string())
+}

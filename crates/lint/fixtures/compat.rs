@@ -1,0 +1,6 @@
+//! Fixture: trips `compat_containment` (twice) and nothing else.
+
+use serde::Serialize;
+extern crate tokio;
+
+pub fn noop<T: Serialize>(_t: T) {}

@@ -1,0 +1,12 @@
+//! Fixture: trips `float_ord_panic` (twice) and nothing else.
+
+pub fn ranked(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs
+}
+
+pub fn best(xs: &[f64]) -> Option<f64> {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let _ = xs.first()?.partial_cmp(&m).unwrap();
+    Some(m)
+}

@@ -1,0 +1,22 @@
+//! Fixture: trips `lock_order_cycle` (one A<->B cycle) and nothing else.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u32 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn ba(&self) -> u32 {
+        let b = self.beta.lock().unwrap();
+        let a = self.alpha.lock().unwrap();
+        *a - *b
+    }
+}

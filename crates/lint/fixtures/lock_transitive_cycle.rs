@@ -1,0 +1,27 @@
+//! Fixture: cross-function lock cycle — `outer` holds `alpha` and calls
+//! `helper`, which takes `beta`; `other` nests them the opposite way.
+
+use std::sync::Mutex;
+
+pub struct Trio {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Trio {
+    pub fn outer(&self) -> u32 {
+        let a = self.alpha.lock().unwrap();
+        *a + self.helper()
+    }
+
+    fn helper(&self) -> u32 {
+        let b = self.beta.lock().unwrap();
+        *b
+    }
+
+    pub fn other(&self) -> u32 {
+        let b = self.beta.lock().unwrap();
+        let a = self.alpha.lock().unwrap();
+        *a * *b
+    }
+}

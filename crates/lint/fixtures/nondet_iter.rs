@@ -1,0 +1,21 @@
+//! Fixture: trips `nondeterministic_iteration` (twice) and nothing else.
+//! (Scanned with the result-producing role forced on.)
+
+use std::collections::HashMap;
+
+pub fn render(counts: &HashMap<String, usize>) -> String {
+    let mut out = String::new();
+    for (k, v) in counts.iter() {
+        out.push_str(k);
+        out.push_str(&v.to_string());
+    }
+    out
+}
+
+pub fn first_key(counts: &HashMap<String, usize>) -> Option<String> {
+    let mut keys = Vec::new();
+    for k in counts.keys() {
+        keys.push(k.clone());
+    }
+    keys.into_iter().next()
+}

@@ -1,0 +1,19 @@
+//! Fixture: hash iteration made deterministic — trips nothing.
+//! (Scanned with the result-producing role forced on.)
+
+use std::collections::HashMap;
+
+pub fn render(counts: &HashMap<String, usize>) -> String {
+    let mut pairs: Vec<(&String, &usize)> = counts.iter().collect();
+    pairs.sort();
+    let mut out = String::new();
+    for (k, v) in pairs {
+        out.push_str(k);
+        out.push_str(&v.to_string());
+    }
+    out
+}
+
+pub fn size(counts: &HashMap<String, usize>) -> usize {
+    counts.iter().count()
+}

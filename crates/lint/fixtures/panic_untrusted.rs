@@ -1,0 +1,12 @@
+//! Fixture: trips `panic_on_untrusted` (four ways) and nothing else.
+//! (Scanned with the untrusted role forced on.)
+
+pub fn decode(bytes: &[u8]) -> u32 {
+    let first = bytes[0];
+    let s = std::str::from_utf8(bytes).unwrap();
+    let n: u32 = s.trim().parse().expect("a number");
+    if first == 0 {
+        panic!("zero tag");
+    }
+    n
+}

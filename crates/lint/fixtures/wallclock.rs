@@ -1,0 +1,13 @@
+//! Fixture: trips `wallclock_in_scoring` (twice) and nothing else.
+//! (Scanned with the scoring role forced on.)
+
+use std::time::Instant;
+
+pub fn score(base: f64) -> f64 {
+    let t = Instant::now();
+    base + t.elapsed().as_secs_f64()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

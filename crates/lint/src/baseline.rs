@@ -1,0 +1,244 @@
+//! The checked-in findings baseline.
+//!
+//! A baseline entry records one *triaged* pre-existing finding so the CI
+//! gate can stay red-for-new while legacy findings are burned down. The
+//! format is line-oriented, diff-friendly, and hand-edited — there is no
+//! auto-writer on purpose: every entry is supposed to be typed in by a
+//! person together with its reason.
+//!
+//! ```text
+//! # comment
+//! <lint> | <file> | <occurrence> | <reason> | <normalized excerpt>
+//! ```
+//!
+//! Matching is by *fingerprint* — `(lint, file, normalized excerpt,
+//! occurrence index)` — not by line number, so entries survive unrelated
+//! edits that shift lines. `occurrence` disambiguates identical excerpts
+//! within one file (0-based, in line order).
+//!
+//! The baseline can only shrink: an entry that no longer matches any
+//! current finding is *stale* and fails the check just like a new
+//! finding would. Reasons are mandatory and non-empty.
+
+use crate::Finding;
+
+/// One triaged baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub lint: String,
+    pub file: String,
+    /// 0-based index among same-(lint, file, excerpt) findings.
+    pub occurrence: usize,
+    pub reason: String,
+    /// Whitespace-normalized source excerpt.
+    pub excerpt: String,
+}
+
+/// Whitespace-normalization used for fingerprints: collapse every run of
+/// whitespace to one space so formatting churn cannot invalidate entries.
+pub fn normalize(excerpt: &str) -> String {
+    excerpt.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Parses a baseline file. Errors carry the 1-based line number; an
+/// unparsable baseline fails the whole check (a malformed suppression
+/// must never silently suppress nothing — or worse, everything).
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(5, '|').map(str::trim);
+        let (Some(lint), Some(file), Some(occ), Some(reason), Some(excerpt)) = (
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+        ) else {
+            return Err(format!(
+                "baseline line {}: expected `lint | file | occurrence | reason | excerpt`",
+                idx + 1
+            ));
+        };
+        if !crate::LINT_NAMES.contains(&lint) {
+            return Err(format!("baseline line {}: unknown lint {lint:?}", idx + 1));
+        }
+        if matches!(lint, "malformed_allow" | "unused_allow") {
+            return Err(format!(
+                "baseline line {}: {lint} is a suppression-hygiene lint and cannot be baselined",
+                idx + 1
+            ));
+        }
+        let occurrence: usize = occ.parse().map_err(|_| {
+            format!(
+                "baseline line {}: occurrence {occ:?} is not a number",
+                idx + 1
+            )
+        })?;
+        if reason.is_empty() {
+            return Err(format!(
+                "baseline line {}: reason is mandatory — triage the finding, then record why \
+                 it is acceptable",
+                idx + 1
+            ));
+        }
+        out.push(BaselineEntry {
+            lint: lint.to_string(),
+            file: file.to_string(),
+            occurrence,
+            reason: reason.to_string(),
+            excerpt: normalize(excerpt),
+        });
+    }
+    Ok(out)
+}
+
+/// Renders entries back to the file format (used by tests; the shipped
+/// baseline is hand-maintained).
+pub fn render(entries: &[BaselineEntry]) -> String {
+    let mut s = String::from(
+        "# teda-lint baseline — triaged pre-existing findings.\n\
+         # <lint> | <file> | <occurrence> | <reason> | <excerpt>\n\
+         # Shrink-only: stale entries fail the check. See crates/lint/src/README.md.\n",
+    );
+    for e in entries {
+        s.push_str(&format!(
+            "{} | {} | {} | {} | {}\n",
+            e.lint, e.file, e.occurrence, e.reason, e.excerpt
+        ));
+    }
+    s
+}
+
+/// The outcome of matching current findings against the baseline.
+#[derive(Debug, Default)]
+pub struct Diff {
+    /// Findings not covered by any baseline entry — these fail the check.
+    pub new: Vec<Finding>,
+    /// Baseline entries matching no current finding — these fail too
+    /// (shrink-only): the underlying code was fixed, so the entry must go.
+    pub stale: Vec<BaselineEntry>,
+    /// Count of findings covered by the baseline.
+    pub matched: usize,
+}
+
+impl Diff {
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Matches `findings` (assumed sorted by file/line) against `baseline`.
+/// Occurrence indices are assigned per `(lint, file, normalized excerpt)`
+/// group in line order.
+pub fn diff(findings: &[Finding], baseline: &[BaselineEntry]) -> Diff {
+    let mut used = vec![false; baseline.len()];
+    let mut out = Diff::default();
+    let mut occ_counter: std::collections::BTreeMap<(String, String, String), usize> =
+        std::collections::BTreeMap::new();
+    for f in findings {
+        let key = (f.lint.to_string(), f.file.clone(), normalize(&f.excerpt));
+        let occurrence = {
+            let c = occ_counter.entry(key.clone()).or_insert(0);
+            let v = *c;
+            *c += 1;
+            v
+        };
+        let hit = baseline.iter().position(|b| {
+            b.lint == f.lint && b.file == f.file && b.excerpt == key.2 && b.occurrence == occurrence
+        });
+        match hit {
+            Some(i) if !used[i] => {
+                used[i] = true;
+                out.matched += 1;
+            }
+            _ => out.new.push(f.clone()),
+        }
+    }
+    for (i, b) in baseline.iter().enumerate() {
+        if !used[i] {
+            out.stale.push(b.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: &'static str, file: &str, line: u32, excerpt: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            lint,
+            message: String::new(),
+            excerpt: excerpt.to_string(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_match() {
+        let f = finding("float_ord_panic", "a.rs", 10, "x.partial_cmp(&y).unwrap()");
+        let text = render(&[BaselineEntry {
+            lint: "float_ord_panic".into(),
+            file: "a.rs".into(),
+            occurrence: 0,
+            reason: "legacy, tracked in ROADMAP".into(),
+            excerpt: normalize(&f.excerpt),
+        }]);
+        let parsed = parse(&text).unwrap();
+        let d = diff(&[f], &parsed);
+        assert!(d.is_clean());
+        assert_eq!(d.matched, 1);
+    }
+
+    #[test]
+    fn line_drift_does_not_invalidate() {
+        let baseline =
+            parse("float_ord_panic | a.rs | 0 | legacy | x.partial_cmp(&y).unwrap()\n").unwrap();
+        // Same code, 100 lines later.
+        let f = finding("float_ord_panic", "a.rs", 110, "x.partial_cmp(&y).unwrap()");
+        assert!(diff(&[f], &baseline).is_clean());
+    }
+
+    #[test]
+    fn occurrence_disambiguates_twins() {
+        let baseline = parse("panic_on_untrusted | a.rs | 0 | first is fine | v[0]\n").unwrap();
+        let twins = vec![
+            finding("panic_on_untrusted", "a.rs", 5, "v[0]"),
+            finding("panic_on_untrusted", "a.rs", 9, "v[0]"),
+        ];
+        let d = diff(&twins, &baseline);
+        assert_eq!(d.matched, 1);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.new[0].line, 9);
+    }
+
+    #[test]
+    fn stale_entries_fail() {
+        let baseline = parse("float_ord_panic | gone.rs | 0 | was fixed | old()\n").unwrap();
+        let d = diff(&[], &baseline);
+        assert!(!d.is_clean());
+        assert_eq!(d.stale.len(), 1);
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        assert!(parse("float_ord_panic | a.rs | 0 |  | x()\n").is_err());
+    }
+
+    #[test]
+    fn hygiene_lints_cannot_be_baselined() {
+        assert!(parse("unused_allow | a.rs | 0 | because | x()\n").is_err());
+        assert!(parse("malformed_allow | a.rs | 0 | because | x()\n").is_err());
+    }
+
+    #[test]
+    fn unknown_lint_rejected() {
+        assert!(parse("no_such_lint | a.rs | 0 | reason | x()\n").is_err());
+    }
+}

@@ -1,0 +1,394 @@
+//! A small, self-contained Rust lexer.
+//!
+//! Produces a flat token stream that is *comment- and string-aware*: the
+//! lint passes must never fire on text inside a string literal, a raw
+//! string, or a comment (and conversely, allow-annotations live in
+//! comments and must be found there). This is not a full Rust grammar —
+//! it only needs to be right about token *boundaries*:
+//!
+//! * line (`//`) and block (`/* */`, nested) comments,
+//! * string / raw-string / byte-string literals (`"…"`, `r#"…"#`,
+//!   `b"…"`, `br##"…"##`), with escapes,
+//! * char and byte-char literals vs. lifetimes (`'a'` vs `'a`),
+//! * identifiers (including raw `r#ident`), numbers, and
+//!   single-character punctuation.
+//!
+//! Multi-character operators arrive as consecutive punctuation tokens
+//! (`::` is two `:`); the pattern matchers in [`crate::lints`] are
+//! written against that shape.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Source text (for comments: the full comment including markers).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// Token categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Lifetime,
+    /// Any string-like literal: `"…"`, `r"…"`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    Num,
+    /// A single punctuation character (stored in `text`).
+    Punct,
+    LineComment,
+    BlockComment,
+}
+
+impl Tok {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True for either comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens. Never fails: unterminated literals and
+/// comments extend to end of input (the linter reads real, compiling
+/// source, so recovery precision does not matter).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! push {
+        ($kind:expr, $start:expr, $start_line:expr) => {
+            toks.push(Tok {
+                kind: $kind,
+                text: chars[$start..i].iter().collect(),
+                line: $start_line,
+            })
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let start = i;
+        let start_line = line;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                push!(TokKind::LineComment, start, start_line);
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                i += 2;
+                let mut depth = 1usize;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                push!(TokKind::BlockComment, start, start_line);
+            }
+            '"' => {
+                i = lex_string(&chars, i, &mut line);
+                push!(TokKind::Str, start, start_line);
+            }
+            'r' | 'b' if raw_string_hashes(&chars, i).is_some() => {
+                let hashes = raw_string_hashes(&chars, i).unwrap_or(0);
+                i = lex_raw_string(&chars, i, hashes, &mut line);
+                push!(TokKind::Str, start, start_line);
+            }
+            'b' if chars.get(i + 1) == Some(&'"') => {
+                i = lex_string(&chars, i + 1, &mut line);
+                push!(TokKind::Str, start, start_line);
+            }
+            'b' if chars.get(i + 1) == Some(&'\'') => {
+                i = lex_char(&chars, i + 1);
+                push!(TokKind::Char, start, start_line);
+            }
+            'r' if chars.get(i + 1) == Some(&'#')
+                && chars.get(i + 2).copied().is_some_and(is_ident_start) =>
+            {
+                // Raw identifier r#foo.
+                i += 2;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                push!(TokKind::Ident, start, start_line);
+            }
+            '\'' => {
+                // Char literal or lifetime.
+                if chars.get(i + 1) == Some(&'\\') {
+                    i = lex_char(&chars, i);
+                    push!(TokKind::Char, start, start_line);
+                } else if chars.get(i + 1).copied().is_some_and(is_ident_start) {
+                    let mut j = i + 2;
+                    while j < chars.len() && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'\'') {
+                        i = j + 1;
+                        push!(TokKind::Char, start, start_line);
+                    } else {
+                        i = j;
+                        push!(TokKind::Lifetime, start, start_line);
+                    }
+                } else {
+                    i = lex_char(&chars, i);
+                    push!(TokKind::Char, start, start_line);
+                }
+            }
+            c if is_ident_start(c) => {
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                push!(TokKind::Ident, start, start_line);
+            }
+            c if c.is_ascii_digit() => {
+                while i < chars.len() && (is_ident_continue(chars[i])) {
+                    i += 1;
+                }
+                // One fractional part, but never eat the `..` of a range.
+                if i < chars.len()
+                    && chars[i] == '.'
+                    && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    i += 1;
+                    while i < chars.len() && is_ident_continue(chars[i]) {
+                        i += 1;
+                    }
+                }
+                push!(TokKind::Num, start, start_line);
+            }
+            _ => {
+                i += 1;
+                push!(TokKind::Punct, start, start_line);
+            }
+        }
+    }
+    toks
+}
+
+/// `i` points at the opening `"` (or the char before has been consumed
+/// by the caller for `b"`). Returns the index just past the closing `"`.
+fn lex_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    debug_assert_eq!(chars[i], '"');
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                // Count the newline of a `\`-continuation escape.
+                if chars.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    // An escape at EOF (`"…\`) steps to len + 1; clamp so the caller's
+    // slice of the unterminated literal stays in bounds.
+    i.min(chars.len())
+}
+
+/// If position `i` starts a raw (byte) string `r"`, `r#"`, `br##"` …,
+/// returns the number of `#`s; otherwise `None`.
+fn raw_string_hashes(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// Lexes a raw string starting at `i` (at the `r`/`b`); returns the index
+/// just past the closing quote + hashes.
+fn lex_raw_string(chars: &[char], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    while i < chars.len() && chars[i] != '"' {
+        i += 1; // skip b, r, #s
+    }
+    i += 1; // opening quote
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            *line += 1;
+        }
+        if chars[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if chars.get(i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Lexes a char literal starting at the opening `'`; returns the index
+/// just past the closing `'`.
+fn lex_char(chars: &[char], mut i: usize) -> usize {
+    debug_assert_eq!(chars[i], '\'');
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    // Same EOF-escape clamp as `lex_string`.
+    i.min(chars.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn eof_mid_escape_does_not_overrun() {
+        // A trailing backslash escape used to step past the end of input.
+        for src in ["let s = \"abc\\", "let c = '\\", "b'\\", "\"\\"] {
+            let toks = lex(src);
+            let total: usize = toks.iter().map(|t| t.text.chars().count()).sum();
+            assert!(total <= src.chars().count(), "overrun lexing {src:?}");
+        }
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ts = kinds("a.b(c)");
+        assert_eq!(
+            ts,
+            vec![
+                (TokKind::Ident, "a".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Ident, "b".into()),
+                (TokKind::Punct, "(".into()),
+                (TokKind::Ident, "c".into()),
+                (TokKind::Punct, ")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_swallow_code_like_text() {
+        let ts = kinds(r#"let s = "x.unwrap() /* not a comment */";"#);
+        assert!(ts.iter().any(|(k, _)| *k == TokKind::Str));
+        assert!(!ts.iter().any(|(_, t)| t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let ts = kinds(r###"let s = r#"quote " inside"#; x"###);
+        assert!(ts
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("quote")));
+        assert!(ts.iter().any(|(k, t)| *k == TokKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ts = kinds("a /* outer /* inner */ still */ b");
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[1].0, TokKind::BlockComment);
+        assert_eq!(ts[2], (TokKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let ts = kinds("&'a str; 'x'; '\\n'");
+        assert_eq!(ts[1].0, TokKind::Lifetime);
+        assert!(ts.iter().filter(|(k, _)| *k == TokKind::Char).count() == 2);
+    }
+
+    #[test]
+    fn line_numbers_cross_strings_and_comments() {
+        let toks = lex("a\n\"two\nlines\"\n/* c\nc */\nz");
+        let z = toks.iter().find(|t| t.is_ident("z")).unwrap();
+        assert_eq!(z.line, 6);
+    }
+
+    #[test]
+    fn line_numbers_cross_string_continuations() {
+        // `\` at end of line inside a string swallows the newline as an
+        // escape — the line counter must still advance.
+        let toks = lex("let s = \"a \\\n b\";\nz");
+        let z = toks.iter().find(|t| t.is_ident("z")).unwrap();
+        assert_eq!(z.line, 3);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let ts = kinds("0..10");
+        assert_eq!(ts[0], (TokKind::Num, "0".into()));
+        assert_eq!(ts[1], (TokKind::Punct, ".".into()));
+        assert_eq!(ts[2], (TokKind::Punct, ".".into()));
+        assert_eq!(ts[3], (TokKind::Num, "10".into()));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let ts = kinds(r###"b"bytes" b'x' br#"raw"# ident"###);
+        assert_eq!(ts.iter().filter(|(k, _)| *k == TokKind::Str).count(), 2);
+        assert!(ts.iter().any(|(k, t)| *k == TokKind::Char && t == "b'x'"));
+        assert!(ts.iter().any(|(_, t)| t == "ident"));
+    }
+}

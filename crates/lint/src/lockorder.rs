@@ -1,0 +1,720 @@
+//! Static lock-order analysis.
+//!
+//! Extracts nested `.lock()` spans per function, builds the
+//! cross-function mutex acquisition graph, and reports cycles as
+//! deadlock hazards (`lock_order_cycle`).
+//!
+//! Model, deliberately syntactic:
+//!
+//! * **Mutex identity** — a declared name in a typed position
+//!   (`name: Mutex<..>`, `name: &Mutex<..>`, struct field or parameter),
+//!   qualified by its module: `service/fairness::state`. Two fields that
+//!   share a name in one file are one node (conservative).
+//! * **Acquisition** — `<chain>.lock()` where the last identifier of the
+//!   chain is a known mutex name. `self.lock()` is a *method call* (the
+//!   guard-returning helper pattern), not an acquisition.
+//! * **Guard lifetime** — `let g = <m>.lock().unwrap()…;` (only
+//!   `unwrap` / `expect` / `unwrap_or_else` between `lock()` and `;`)
+//!   holds until its block closes or `drop(g)`; any other use is a
+//!   temporary that dies at the end of its statement.
+//! * **Cross-function edges** — a call made while holding `A` reaches
+//!   every lock the callee (resolved by name within the same crate) may
+//!   transitively acquire, giving edges `A -> B`. Helpers returning
+//!   `MutexGuard` additionally transfer their acquisitions to the caller
+//!   with the binding's lifetime.
+//!
+//! A reported cycle (including a self-edge: re-acquiring a held
+//! `std::sync::Mutex` deadlocks) is a hazard, not a proof — but the
+//! graph is small and the edges carry their sites, so triage is cheap.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Tok, TokKind};
+use crate::{Finding, SourceFile};
+
+/// One acquisition-order edge: `from` held while `to` is acquired.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    pub from: String,
+    pub to: String,
+    /// Function the edge was observed in.
+    pub in_fn: String,
+    pub file: String,
+    pub line: u32,
+    /// Callee chain for cross-function edges (empty for direct nesting).
+    pub via: String,
+}
+
+/// The acquisition graph and its cycles.
+#[derive(Debug, Default)]
+pub struct LockReport {
+    /// Every mutex node discovered (sorted).
+    pub mutexes: Vec<String>,
+    /// Deduplicated acquisition-order edges (sorted).
+    pub edges: Vec<LockEdge>,
+    /// Cycles: each is the node list of a strongly connected component
+    /// with at least one internal edge.
+    pub cycles: Vec<Vec<String>>,
+}
+
+impl LockReport {
+    /// Renders cycles as findings (one per cycle, anchored at the first
+    /// participating edge's site).
+    pub fn findings(&self) -> Vec<Finding> {
+        self.cycles
+            .iter()
+            .map(|cycle| {
+                let site = self
+                    .edges
+                    .iter()
+                    .find(|e| cycle.contains(&e.from) && cycle.contains(&e.to));
+                Finding {
+                    file: site.map(|s| s.file.clone()).unwrap_or_default(),
+                    line: site.map(|s| s.line).unwrap_or(0),
+                    lint: "lock_order_cycle",
+                    message: format!(
+                        "mutex acquisition cycle: {} — a consistent global order is required",
+                        cycle.join(" -> ")
+                    ),
+                    excerpt: cycle.join(" -> "),
+                }
+            })
+            .collect()
+    }
+}
+
+/// A function's extracted facts.
+#[derive(Debug)]
+struct FnInfo {
+    name: String,
+    file: String,
+    crate_name: String,
+    returns_guard: bool,
+    /// Token range of the body in its file's `code` stream.
+    body: (usize, usize),
+}
+
+/// Runs the analysis over the workspace files.
+pub fn analyze(files: &[SourceFile]) -> LockReport {
+    // 1. Mutex declarations and function extents per file.
+    let mut mutex_names: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new(); // file -> names
+    let mut fns: Vec<FnInfo> = Vec::new();
+    for f in files {
+        mutex_names.insert(&f.rel_path, find_mutex_names(&f.code));
+        find_functions(f, &mut fns);
+    }
+
+    // 2. Direct acquisitions + pending cross-function calls per function.
+    let mut direct: Vec<BTreeSet<String>> = vec![BTreeSet::new(); fns.len()];
+    let mut edges: BTreeSet<LockEdge> = BTreeSet::new();
+    let mut calls: Vec<Vec<(BTreeSet<String>, String, u32)>> = vec![Vec::new(); fns.len()];
+    // Guard-returning helpers: name -> locks they hand to the caller.
+    let helper_locks: BTreeMap<(String, String), BTreeSet<String>> = {
+        let mut m = BTreeMap::new();
+        for info in fns.iter() {
+            if info.returns_guard {
+                let file = files.iter().find(|f| f.rel_path == info.file);
+                if let Some(file) = file {
+                    let empty = BTreeSet::new();
+                    let names = mutex_names.get(info.file.as_str()).unwrap_or(&empty);
+                    let acquired = scan_body(
+                        file,
+                        info,
+                        names,
+                        &BTreeMap::new(),
+                        &mut BTreeSet::new(),
+                        &mut BTreeSet::new(),
+                        &mut Vec::new(),
+                    );
+                    m.insert((info.crate_name.clone(), info.name.clone()), acquired);
+                }
+            }
+        }
+        m
+    };
+    for (fi, info) in fns.iter().enumerate() {
+        let Some(file) = files.iter().find(|f| f.rel_path == info.file) else {
+            continue;
+        };
+        let empty = BTreeSet::new();
+        let names = mutex_names.get(info.file.as_str()).unwrap_or(&empty);
+        scan_body(
+            file,
+            info,
+            names,
+            &helper_locks,
+            &mut direct[fi],
+            &mut edges,
+            &mut calls[fi],
+        );
+    }
+
+    // 3. Transitive lock sets (fixpoint over same-crate name resolution).
+    let mut all: Vec<BTreeSet<String>> = direct.clone();
+    loop {
+        let mut changed = false;
+        for fi in 0..fns.len() {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for (_, callee, _) in &calls[fi] {
+                for (gi, g) in fns.iter().enumerate() {
+                    if g.name == *callee && g.crate_name == fns[fi].crate_name {
+                        add.extend(all[gi].iter().cloned());
+                    }
+                }
+            }
+            let before = all[fi].len();
+            all[fi].extend(add);
+            if all[fi].len() != before {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // 4. Cross-function edges: held set at call site -> callee's locks.
+    for (fi, info) in fns.iter().enumerate() {
+        for (held, callee, line) in &calls[fi] {
+            for (gi, g) in fns.iter().enumerate() {
+                if g.name == *callee && g.crate_name == info.crate_name {
+                    // `a == b` is kept: re-acquiring a held std Mutex
+                    // through a callee is itself a deadlock (self-loop).
+                    for a in held {
+                        for b in &all[gi] {
+                            edges.insert(LockEdge {
+                                from: a.clone(),
+                                to: b.clone(),
+                                in_fn: info.name.clone(),
+                                file: info.file.clone(),
+                                line: *line,
+                                via: callee.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // 5. Cycles: strongly connected components with an internal edge.
+    let nodes: BTreeSet<String> = edges
+        .iter()
+        .flat_map(|e| [e.from.clone(), e.to.clone()])
+        .chain(mutex_names.iter().flat_map(|(file, names)| {
+            let tag = module_tag(file);
+            names
+                .iter()
+                .map(move |n| format!("{tag}::{n}"))
+                .collect::<Vec<_>>()
+        }))
+        .collect();
+    let cycles = find_cycles(&nodes, &edges);
+
+    LockReport {
+        mutexes: nodes.into_iter().collect(),
+        edges: edges.into_iter().collect(),
+        cycles,
+    }
+}
+
+/// Finds `name: … Mutex<` declarations (fields, params, lets) and
+/// returns module-qualified node names.
+fn find_mutex_names(code: &[Tok]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for i in 0..code.len() {
+        if !code[i].is_ident("Mutex") {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 {
+            let p = &code[j - 1];
+            if p.is_punct(':')
+                || p.is_punct('&')
+                || p.is_punct('<')
+                || p.kind == TokKind::Lifetime
+                || p.is_ident("mut")
+                || p.is_ident("std")
+                || p.is_ident("sync")
+                || p.is_ident("Arc")
+            {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if j < i && j > 0 && code[j - 1].kind == TokKind::Ident && code[j].is_punct(':') {
+            out.insert(code[j - 1].text.clone());
+        }
+    }
+    out
+}
+
+/// Module tag for node names: `crates/service/src/fairness.rs` →
+/// `service/fairness`.
+fn module_tag(rel_path: &str) -> String {
+    rel_path
+        .trim_start_matches("crates/")
+        .trim_end_matches(".rs")
+        .replace("/src/", "/")
+        .replace("/src", "")
+        .to_string()
+}
+
+/// Crate name for call resolution: `crates/service/src/…` → `service`;
+/// root `src/`/`tests/` files → `teda`.
+fn crate_name(rel_path: &str) -> String {
+    rel_path
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| "teda".to_string())
+}
+
+/// Extracts the functions of `f` (name + body token range), skipping
+/// test code.
+fn find_functions(f: &SourceFile, out: &mut Vec<FnInfo>) {
+    let code = &f.code;
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code[i].is_ident("fn") || f.in_test[i] {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = code.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        // Walk the signature to the body `{` or a `;` (trait decl),
+        // tracking parens/brackets so `where` clauses and defaults pass.
+        let mut j = i + 2;
+        let mut depth: i32 = 0;
+        let mut returns_guard = false;
+        let mut body_start: Option<usize> = None;
+        while j < code.len() {
+            let t = &code[j];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+                depth -= 1;
+            } else if t.is_ident("MutexGuard") {
+                returns_guard = true;
+            } else if t.is_punct('{') && depth <= 0 {
+                body_start = Some(j);
+                break;
+            } else if t.is_punct(';') && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        let Some(start) = body_start else {
+            i = j + 1;
+            continue;
+        };
+        // Matching close brace.
+        let mut brace = 0i32;
+        let mut k = start;
+        while k < code.len() {
+            if code[k].is_punct('{') {
+                brace += 1;
+            } else if code[k].is_punct('}') {
+                brace -= 1;
+                if brace == 0 {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        out.push(FnInfo {
+            name: name_tok.text.clone(),
+            file: f.rel_path.clone(),
+            crate_name: crate_name(&f.rel_path),
+            returns_guard,
+            body: (start, k.min(code.len())),
+        });
+        i = start + 1; // nested fns are found by continuing inside
+    }
+}
+
+/// One live lock hold inside a function body.
+#[derive(Debug)]
+struct Hold {
+    node: String,
+    /// Brace depth at acquisition; the hold dies when the block closes.
+    depth: i32,
+    /// Dies at the first `;` at `depth` (temporary guard).
+    statement_bound: bool,
+    guard: Option<String>,
+}
+
+/// Walks one function body: records direct acquisitions into `direct`,
+/// direct nesting edges into `edges`, and calls made while holding into
+/// `calls`. Returns the set of locks acquired (for helper analysis).
+#[allow(clippy::too_many_arguments)]
+fn scan_body(
+    f: &SourceFile,
+    info: &FnInfo,
+    mutexes: &BTreeSet<String>,
+    helper_locks: &BTreeMap<(String, String), BTreeSet<String>>,
+    direct: &mut BTreeSet<String>,
+    edges: &mut BTreeSet<LockEdge>,
+    calls: &mut Vec<(BTreeSet<String>, String, u32)>,
+) -> BTreeSet<String> {
+    let code = &f.code;
+    let tag = module_tag(&f.rel_path);
+    let (start, end) = info.body;
+    let mut depth: i32 = 0;
+    let mut held: Vec<Hold> = Vec::new();
+    let mut acquired = BTreeSet::new();
+
+    let mut i = start;
+    while i < end.min(code.len()) {
+        let t = &code[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            held.retain(|h| h.depth <= depth);
+        } else if t.is_punct(';') {
+            held.retain(|h| !(h.statement_bound && h.depth == depth));
+        } else if t.is_ident("drop")
+            && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && code.get(i + 2).map(|n| n.kind) == Some(TokKind::Ident)
+            && code.get(i + 3).is_some_and(|n| n.is_punct(')'))
+        {
+            let g = &code[i + 2].text;
+            held.retain(|h| h.guard.as_deref() != Some(g.as_str()));
+            i += 4;
+            continue;
+        } else if t.is_ident("lock")
+            && i > start
+            && code[i - 1].is_punct('.')
+            && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && code.get(i + 2).is_some_and(|n| n.is_punct(')'))
+        {
+            // `<recv>.lock()` — acquisition if recv's last ident is a
+            // known mutex (or an unknown non-self local, conservatively).
+            if let Some(recv) = receiver_ident(code, i - 1) {
+                if recv != "self" {
+                    if mutexes.contains(&recv) {
+                        let node = format!("{tag}::{recv}");
+                        acquire(
+                            f,
+                            info,
+                            code,
+                            i,
+                            depth,
+                            &node,
+                            &mut held,
+                            &mut acquired,
+                            direct,
+                            edges,
+                        );
+                    }
+                    i += 3;
+                    continue;
+                }
+            }
+            // `self.lock()` or a dynamic receiver: treat as a call named
+            // `lock` (guard-returning helpers are resolved below).
+            record_call(
+                f,
+                info,
+                code,
+                i,
+                depth,
+                "lock",
+                helper_locks,
+                &mut held,
+                &mut acquired,
+                direct,
+                edges,
+                calls,
+            );
+            i += 3;
+            continue;
+        } else if t.kind == TokKind::Ident
+            && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && !code
+                .get(i.wrapping_sub(1))
+                .is_some_and(|p| p.is_ident("fn"))
+            && !RUST_KEYWORDS.contains(&t.text.as_str())
+            && !(CONDVAR_METHODS.contains(&t.text.as_str())
+                && i > start
+                && code[i - 1].is_punct('.'))
+        {
+            record_call(
+                f,
+                info,
+                code,
+                i,
+                depth,
+                &t.text.clone(),
+                helper_locks,
+                &mut held,
+                &mut acquired,
+                direct,
+                edges,
+                calls,
+            );
+        }
+        i += 1;
+    }
+    acquired
+}
+
+const RUST_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "Some", "Ok", "Err", "None", "Box", "Vec", "drop",
+];
+
+/// `Condvar` wait/notify methods: `wait` atomically *releases* the guard
+/// it is given, so treating it as a call made while holding the lock
+/// would manufacture self-deadlock edges that cannot happen.
+const CONDVAR_METHODS: &[&str] = &[
+    "wait",
+    "wait_while",
+    "wait_timeout",
+    "wait_timeout_while",
+    "notify_one",
+    "notify_all",
+];
+
+/// Registers an acquisition of `node` at token `i`: nesting edges from
+/// every held lock, then the hold itself with its computed lifetime.
+#[allow(clippy::too_many_arguments)]
+fn acquire(
+    f: &SourceFile,
+    info: &FnInfo,
+    code: &[Tok],
+    i: usize,
+    depth: i32,
+    node: &str,
+    held: &mut Vec<Hold>,
+    acquired: &mut BTreeSet<String>,
+    direct: &mut BTreeSet<String>,
+    edges: &mut BTreeSet<LockEdge>,
+) {
+    for h in held.iter() {
+        edges.insert(LockEdge {
+            from: h.node.clone(),
+            to: node.to_string(),
+            in_fn: info.name.clone(),
+            file: f.rel_path.clone(),
+            line: code[i].line,
+            via: String::new(),
+        });
+    }
+    acquired.insert(node.to_string());
+    direct.insert(node.to_string());
+    let (statement_bound, guard) = hold_lifetime(code, i);
+    held.push(Hold {
+        node: node.to_string(),
+        depth,
+        statement_bound,
+        guard,
+    });
+}
+
+/// Records a call made at token `i`; if the callee is a known
+/// guard-returning helper in the same crate, its locks are acquired
+/// here with the binding's lifetime, otherwise the call is pended for
+/// transitive edge construction.
+#[allow(clippy::too_many_arguments)]
+fn record_call(
+    f: &SourceFile,
+    info: &FnInfo,
+    code: &[Tok],
+    i: usize,
+    depth: i32,
+    callee: &str,
+    helper_locks: &BTreeMap<(String, String), BTreeSet<String>>,
+    held: &mut Vec<Hold>,
+    acquired: &mut BTreeSet<String>,
+    direct: &mut BTreeSet<String>,
+    edges: &mut BTreeSet<LockEdge>,
+    calls: &mut Vec<(BTreeSet<String>, String, u32)>,
+) {
+    let key = (info.crate_name.clone(), callee.to_string());
+    if let Some(locks) = helper_locks.get(&key) {
+        for node in locks.clone() {
+            acquire(
+                f, info, code, i, depth, &node, held, acquired, direct, edges,
+            );
+        }
+        return;
+    }
+    if !held.is_empty() {
+        let set: BTreeSet<String> = held.iter().map(|h| h.node.clone()).collect();
+        calls.push((set, callee.to_string(), code[i].line));
+    }
+}
+
+/// Decides a new hold's lifetime by looking around its `.lock()` at
+/// token `i` (the `lock` ident): a `let g = …lock()[.unwrap-ish()];`
+/// binding persists to block end under guard name `g`; everything else
+/// is statement-bound.
+fn hold_lifetime(code: &[Tok], i: usize) -> (bool, Option<String>) {
+    // Forward: only unwrap-ish chain segments until `;` keep the guard.
+    let mut j = i + 3; // past `lock ( )`
+    loop {
+        match code.get(j) {
+            Some(t) if t.is_punct('.') => {
+                let Some(m) = code.get(j + 1) else { break };
+                if matches!(m.text.as_str(), "unwrap" | "expect" | "unwrap_or_else")
+                    && code.get(j + 2).is_some_and(|n| n.is_punct('('))
+                {
+                    // Skip the balanced argument list.
+                    let mut d = 0i32;
+                    let mut k = j + 2;
+                    while k < code.len() {
+                        if code[k].is_punct('(') {
+                            d += 1;
+                        } else if code[k].is_punct(')') {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    j = k + 1;
+                    continue;
+                }
+                return (true, None);
+            }
+            Some(t) if t.is_punct(';') => break,
+            _ => return (true, None),
+        }
+    }
+    // Backward: statement must start `let [mut] g =`.
+    let mut k = i;
+    let mut steps = 0;
+    while k > 0 && steps < 60 {
+        k -= 1;
+        steps += 1;
+        if code[k].is_punct(';') || code[k].is_punct('{') || code[k].is_punct('}') {
+            k += 1;
+            break;
+        }
+    }
+    if code.get(k).is_some_and(|t| t.is_ident("let")) {
+        let mut n = k + 1;
+        if code.get(n).is_some_and(|t| t.is_ident("mut")) {
+            n += 1;
+        }
+        if code.get(n).map(|t| t.kind) == Some(TokKind::Ident)
+            && code.get(n + 1).is_some_and(|t| t.is_punct('='))
+        {
+            return (false, Some(code[n].text.clone()));
+        }
+    }
+    (true, None)
+}
+
+/// The last identifier of the receiver chain ending at the `.` at `dot`
+/// (e.g. `self.shards[i]` → `shards`). `)`-receivers (call results)
+/// resolve to `None`.
+fn receiver_ident(code: &[Tok], dot: usize) -> Option<String> {
+    let mut j = dot;
+    loop {
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+        let t = &code[j];
+        if t.is_punct(']') {
+            // Skip the index expression.
+            let mut d = 1i32;
+            while j > 0 && d > 0 {
+                j -= 1;
+                if code[j].is_punct(']') {
+                    d += 1;
+                } else if code[j].is_punct('[') {
+                    d -= 1;
+                }
+            }
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            return Some(t.text.clone());
+        }
+        return None;
+    }
+}
+
+/// Tarjan-free cycle finder: repeated DFS looking for back edges,
+/// reporting each strongly connected component that contains one.
+fn find_cycles(nodes: &BTreeSet<String>, edges: &BTreeSet<LockEdge>) -> Vec<Vec<String>> {
+    // Kosaraju-style: order by finish time, then transpose components.
+    let adj = |n: &String| -> Vec<&String> {
+        edges
+            .iter()
+            .filter(|e| &e.from == n)
+            .map(|e| &e.to)
+            .collect()
+    };
+    let mut order: Vec<&String> = Vec::new();
+    let mut seen: BTreeSet<&String> = BTreeSet::new();
+    for n in nodes {
+        if seen.contains(n) {
+            continue;
+        }
+        // Iterative post-order DFS.
+        let mut stack: Vec<(&String, bool)> = vec![(n, false)];
+        while let Some((v, expanded)) = stack.pop() {
+            if expanded {
+                order.push(v);
+                continue;
+            }
+            if !seen.insert(v) {
+                continue;
+            }
+            stack.push((v, true));
+            for w in adj(v) {
+                if !seen.contains(w) && nodes.contains(w) {
+                    stack.push((w, false));
+                }
+            }
+        }
+    }
+    let radj = |n: &String| -> Vec<&String> {
+        edges
+            .iter()
+            .filter(|e| &e.to == n)
+            .map(|e| &e.from)
+            .collect()
+    };
+    let mut comp: BTreeMap<&String, usize> = BTreeMap::new();
+    let mut comps: Vec<Vec<String>> = Vec::new();
+    for n in order.iter().rev() {
+        if comp.contains_key(n) {
+            continue;
+        }
+        let id = comps.len();
+        let mut members = Vec::new();
+        let mut stack = vec![*n];
+        while let Some(v) = stack.pop() {
+            if comp.contains_key(v) {
+                continue;
+            }
+            comp.insert(v, id);
+            members.push(v.clone());
+            for w in radj(v) {
+                if !comp.contains_key(w) {
+                    stack.push(w);
+                }
+            }
+        }
+        members.sort();
+        comps.push(members);
+    }
+    comps
+        .into_iter()
+        .filter(|members| {
+            members.len() > 1
+                || edges
+                    .iter()
+                    .any(|e| e.from == members[0] && e.to == members[0])
+        })
+        .collect()
+}

@@ -1,0 +1,125 @@
+//! `teda-lint` CLI.
+//!
+//! ```text
+//! cargo run -p teda-lint -- --check            # CI gate: exit 1 on new/stale
+//! cargo run -p teda-lint --                    # report only, always exit 0
+//! cargo run -p teda-lint -- --check --json lint-report.json
+//! ```
+//!
+//! Flags:
+//! * `--check` — exit non-zero when the diff vs the baseline is not clean
+//!   (new findings or stale baseline entries).
+//! * `--json <path>` — also write the machine-readable report (`-` for
+//!   stdout).
+//! * `--baseline <path>` — baseline file (default `<root>/lint-baseline.txt`;
+//!   a missing file is an empty baseline).
+//! * `--root <path>` — workspace root (default: walk up from the current
+//!   directory to the first `Cargo.toml` containing `[workspace]`).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use teda_lint::{baseline, load_workspace, lockorder, report, run_all_lints};
+
+fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: teda-lint [--check] [--json <path|->] [--baseline <path>] [--root <path>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut json_path: Option<String> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => return usage(),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let root = match root.or_else(|| std::env::current_dir().ok().and_then(|cwd| find_root(&cwd))) {
+        Some(r) => r,
+        None => {
+            eprintln!("teda-lint: no workspace root found (no Cargo.toml with [workspace] above the current directory); pass --root");
+            return ExitCode::from(2);
+        }
+    };
+
+    let files = match load_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "teda-lint: failed to read workspace under {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
+    let baseline_text = std::fs::read_to_string(&baseline_path).unwrap_or_default();
+    let entries = match baseline::parse(&baseline_text) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("teda-lint: {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = run_all_lints(&files);
+    let lock = lockorder::analyze(&files);
+    let diff = baseline::diff(&findings, &entries);
+
+    if let Some(path) = &json_path {
+        let json = report::render_json(files.len(), &findings, &diff, entries.len(), &lock);
+        if path == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("teda-lint: failed to write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let (text, pass) = report::render_human(files.len(), &findings, &diff, &lock);
+    if json_path.as_deref() == Some("-") {
+        eprint!("{text}"); // keep stdout pure JSON
+    } else {
+        print!("{text}");
+    }
+
+    if check && !pass {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -37,7 +37,7 @@ impl Summary {
                 p95: 0.0,
             };
         }
-        clean.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        clean.sort_by(|a, b| a.total_cmp(b));
         let n = clean.len();
         let mean = clean.iter().sum::<f64>() / n as f64;
         let var = clean.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
@@ -126,6 +126,16 @@ mod tests {
         let s = Summary::of(&[1.0, f64::NAN, 3.0, f64::INFINITY]);
         assert_eq!(s.n, 2);
         assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn all_non_finite_input_yields_the_empty_summary() {
+        // The sort runs on the filtered sample; an all-NaN input must
+        // fall into the empty branch, not panic in the comparator.
+        let s = Summary::of(&[f64::NAN, f64::INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.p95, 0.0);
     }
 
     #[test]

@@ -187,7 +187,19 @@ pub struct RawSection {
 
 /// Checks `section`'s payload bytes against its declared CRC.
 pub fn verify_section(bytes: &[u8], section: &RawSection) -> Result<(), StoreError> {
-    if crc32(&bytes[section.span.clone()]) != section.crc {
+    // The container parser only produces in-bounds spans, but this is a
+    // public entry point — an out-of-range `RawSection` from elsewhere
+    // must degrade to `Corrupt`, not panic.
+    let payload = bytes.get(section.span.clone()).ok_or_else(|| {
+        StoreError::Corrupt(format!(
+            "section {} span {}..{} exceeds container length {}",
+            section.tag,
+            section.span.start,
+            section.span.end,
+            bytes.len()
+        ))
+    })?;
+    if crc32(payload) != section.crc {
         return Err(StoreError::ChecksumMismatch {
             section: section.tag,
         });
@@ -398,6 +410,37 @@ mod tests {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32_table_driven(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32_table_driven(b""), 0);
+    }
+
+    #[test]
+    fn out_of_range_section_span_is_corrupt_not_panic() {
+        // `RawSection` is a public type: a span forged (or stale) past
+        // the container end must come back as a typed error. This used
+        // to be a slice-index panic.
+        let bytes = encode_container(7, &[(1, vec![0xAA; 16])]);
+        let bogus = RawSection {
+            tag: 1,
+            span: bytes.len() - 4..bytes.len() + 4,
+            crc: 0,
+        };
+        match verify_section(&bytes, &bogus) {
+            Err(StoreError::Corrupt(msg)) => {
+                assert!(msg.contains("exceeds container length"), "{msg}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // Inverted start > end degenerates the same way. (The reversed
+        // range is the malformed input under test, not an iteration.)
+        #[allow(clippy::reversed_empty_ranges)]
+        let inverted = RawSection {
+            tag: 1,
+            span: 8..4,
+            crc: 0,
+        };
+        assert!(matches!(
+            verify_section(&bytes, &inverted),
+            Err(StoreError::Corrupt(_))
+        ));
     }
 
     #[test]

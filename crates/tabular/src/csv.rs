@@ -128,6 +128,7 @@ pub fn parse_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
 /// set the types explicitly for GFT-style inputs.
 pub fn parse_table(input: &str, name: &str, has_headers: bool) -> Result<Table, CsvError> {
     let records = parse_records(input)?;
+    // teda-lint: allow(panic_on_untrusted) -- parse_records returns CsvError::Empty for zero records, so records is non-empty here
     let width = records[0].len();
     for (idx, r) in records.iter().enumerate() {
         if r.len() != width {
@@ -143,6 +144,7 @@ pub fn parse_table(input: &str, name: &str, has_headers: bool) -> Result<Table, 
         .name(name)
         .column_types(vec![ColumnType::Unknown; width])?;
     if has_headers {
+        // teda-lint: allow(panic_on_untrusted) -- same non-empty guarantee: parse_records errored on zero records above
         let headers = it.next().expect("checked non-empty");
         builder = builder.headers(headers)?;
     }
@@ -231,6 +233,11 @@ mod tests {
     #[test]
     fn empty_input_is_error() {
         assert_eq!(parse_records("").unwrap_err(), CsvError::Empty);
+        // `parse_table` leans on this: its width probe reads the first
+        // record unchecked, which is only sound because zero records is
+        // an error here, never an empty Vec.
+        assert_eq!(parse_table("", "t", false).unwrap_err(), CsvError::Empty);
+        assert_eq!(parse_table("", "t", true).unwrap_err(), CsvError::Empty);
     }
 
     #[test]

@@ -91,8 +91,10 @@ fn accumulate_shard(pages: &[WebPage], base: u32) -> ShardAccum {
             let tid = intern(&mut term_ids, &mut terms, &mut acc, tok);
             *counts.entry(tid).or_insert(0.0) += 2.0;
         }
+        // teda-lint: allow(nondeterministic_iteration) -- counts are integral f64s; integer-valued f64 addition below 2^53 is exact, so the sum is order-independent
         let len: f64 = counts.values().map(|&c| f64::from(c)).sum();
         doc_len.push(len);
+        // teda-lint: allow(nondeterministic_iteration) -- each tid occurs once per page and pages arrive in order, so per-term postings stay in page order
         for (&tid, &tf) in &counts {
             acc[tid as usize].push(Posting { page: id, tf });
         }
@@ -235,6 +237,7 @@ impl InvertedIndex {
     /// vocabulary into global document frequencies.
     pub fn terms(&self) -> Vec<&str> {
         let mut terms = vec![""; self.term_ids.len()];
+        // teda-lint: allow(nondeterministic_iteration) -- scatter into unique dense id slots; write order cannot affect the result
         for (token, &id) in &self.term_ids {
             terms[id as usize] = token;
         }
@@ -367,6 +370,7 @@ impl InvertedIndex {
     pub fn to_parts(&self) -> IndexParts {
         // Invert the interning map into dense-id order.
         let mut terms = vec![String::new(); self.term_ids.len()];
+        // teda-lint: allow(nondeterministic_iteration) -- scatter into unique dense id slots; write order cannot affect the result
         for (token, &id) in &self.term_ids {
             terms[id as usize] = token.clone();
         }
@@ -512,6 +516,7 @@ impl InvertedIndex {
     /// first-occurrence) order, per-term postings ascending.
     fn into_shard(self, base: u32) -> ShardAccum {
         let mut terms = vec![String::new(); self.term_ids.len()];
+        // teda-lint: allow(nondeterministic_iteration) -- scatter into unique dense id slots; write order cannot affect the result
         for (token, id) in self.term_ids {
             terms[id as usize] = token;
         }

@@ -449,6 +449,7 @@ pub fn render_annotations(a: &TableAnnotations) -> String {
             "{},{},{},{},{}",
             c.cell.row, c.cell.col, c.etype, c.score, c.votes
         )
+        // teda-lint: allow(panic_on_untrusted) -- fmt::Write into String is infallible
         .expect("string write");
     }
     out
@@ -486,6 +487,7 @@ pub fn render_stats(s: &ServiceStats) -> String {
             "client {} submitted={} completed={} failed={} shed={} granted={} bucket={} waiting={}",
             c.client, c.submitted, c.completed, c.failed, c.shed, c.granted, c.bucket, c.waiting
         )
+        // teda-lint: allow(panic_on_untrusted) -- fmt::Write into String is infallible
         .expect("string write");
     }
     out
@@ -575,6 +577,7 @@ pub fn render_scored(hits: &[(PageId, f64)]) -> String {
 
     let mut out = format!("hits={}\n", hits.len());
     for (id, score) in hits {
+        // teda-lint: allow(panic_on_untrusted) -- fmt::Write into String is infallible
         writeln!(out, "{} {}", id.0, score_hex(*score)).expect("string write");
     }
     out
@@ -622,6 +625,7 @@ pub fn render_hits(hits: &[SearchHit]) -> String {
             escape(&h.result.title),
             escape(&h.result.snippet),
         )
+        // teda-lint: allow(panic_on_untrusted) -- fmt::Write into String is infallible
         .expect("string write");
     }
     out

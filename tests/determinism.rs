@@ -40,6 +40,76 @@ fn run_pipeline(seed: u64) -> Vec<(usize, usize, String, f64)> {
     out
 }
 
+// ---------------------------------------------------------------------
+// Cross-process determinism. In-process repeats share one SipHash key,
+// so `HashMap` iteration order repeats even where it shouldn't be
+// relied on; a freshly spawned process gets a fresh key. Running the
+// pipeline in two separate child processes and comparing bytes is the
+// strongest order-dependence check available without patching the
+// hasher.
+// ---------------------------------------------------------------------
+
+const CHILD_ENV: &str = "TEDA_DETERMINISM_CHILD_SEED";
+const FP_BEGIN: &str = "BEGIN-TEDA-FINGERPRINT";
+const FP_END: &str = "END-TEDA-FINGERPRINT";
+
+fn fingerprint(rows: &[(usize, usize, String, f64)]) -> String {
+    let mut out = String::new();
+    for (r, c, t, s) in rows {
+        // Scores by bit pattern: byte-identical must mean bit-identical,
+        // not display-rounding-identical.
+        out.push_str(&format!("{r},{c},{t},{:016x}\n", s.to_bits()));
+    }
+    out
+}
+
+/// Child half of the harness: inert in a normal test run, emits the
+/// pipeline fingerprint when re-executed with [`CHILD_ENV`] set.
+#[test]
+fn child_emits_pipeline_fingerprint() {
+    let Ok(seed) = std::env::var(CHILD_ENV) else {
+        return;
+    };
+    let seed: u64 = seed.parse().expect("child seed env var");
+    println!("{FP_BEGIN}\n{}{FP_END}", fingerprint(&run_pipeline(seed)));
+}
+
+fn spawn_pipeline_process(seed: u64) -> String {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(exe)
+        .args([
+            "--exact",
+            "child_emits_pipeline_fingerprint",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env(CHILD_ENV, seed.to_string())
+        .output()
+        .expect("spawn child test process");
+    assert!(
+        out.status.success(),
+        "child run failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("child stdout utf-8");
+    let begin = stdout.find(FP_BEGIN).expect("begin marker") + FP_BEGIN.len() + 1;
+    let end = stdout.find(FP_END).expect("end marker");
+    stdout[begin..end].to_string()
+}
+
+#[test]
+fn separately_spawned_processes_produce_identical_bytes() {
+    let a = spawn_pipeline_process(42);
+    let b = spawn_pipeline_process(42);
+    assert!(!a.is_empty(), "child produced no annotations");
+    assert_eq!(a, b, "two processes with fresh hasher keys diverged");
+    assert_eq!(
+        a,
+        fingerprint(&run_pipeline(42)),
+        "child output diverged from the in-process pipeline"
+    );
+}
+
 #[test]
 fn same_seed_same_annotations() {
     let a = run_pipeline(42);

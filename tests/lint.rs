@@ -1,0 +1,345 @@
+//! The analyzer's fixture and property suite, plus the live-workspace
+//! gate.
+//!
+//! Three layers:
+//!
+//! 1. **Fixtures** (`crates/lint/fixtures/*.rs`): each deliberately-bad
+//!    file must trip *exactly* its lint — right name, right count,
+//!    nothing else — and the clean fixtures must trip nothing. This pins
+//!    both directions: the lint fires where it should and stays quiet
+//!    where it should not.
+//! 2. **Properties**: the lexer and the full lint pipeline never panic
+//!    on arbitrary input, token lines are monotone, and lexing is
+//!    insensitive to trailing garbage — the analyzer reads every
+//!    workspace file, so it must be total.
+//! 3. **Live workspace**: running the real analyzer over this repository
+//!    against the checked-in baseline must be clean, and the lock graph
+//!    must be cycle-free. This is the same check CI runs via
+//!    `cargo run -p teda-lint -- --check`.
+
+use std::path::{Path, PathBuf};
+
+use teda_lint::{baseline, lockorder, run_all_lints, Roles, SourceFile};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf()
+}
+
+fn fixture(name: &str) -> String {
+    let path = workspace_root().join("crates/lint/fixtures").join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// Parses a fixture under forced roles and returns the lint names of
+/// every finding (sorted).
+fn lints_tripped(name: &str, roles: Roles) -> Vec<&'static str> {
+    let f = SourceFile::parse_with_roles(name, &fixture(name), roles);
+    let mut lints: Vec<&'static str> = run_all_lints(&[f]).iter().map(|f| f.lint).collect();
+    lints.sort();
+    lints
+}
+
+const UNTRUSTED: Roles = Roles {
+    untrusted: true,
+    result_producing: false,
+    scoring: false,
+    test_only: false,
+};
+const RESULT_PRODUCING: Roles = Roles {
+    untrusted: false,
+    result_producing: true,
+    scoring: false,
+    test_only: false,
+};
+const SCORING: Roles = Roles {
+    untrusted: false,
+    result_producing: false,
+    scoring: true,
+    test_only: false,
+};
+const NO_ROLES: Roles = Roles {
+    untrusted: false,
+    result_producing: false,
+    scoring: false,
+    test_only: false,
+};
+const ALL_ROLES: Roles = Roles {
+    untrusted: true,
+    result_producing: true,
+    scoring: true,
+    test_only: false,
+};
+
+#[test]
+fn fixture_float_ord_trips_exactly_float_ord() {
+    assert_eq!(
+        lints_tripped("float_ord.rs", NO_ROLES),
+        vec!["float_ord_panic", "float_ord_panic"]
+    );
+}
+
+#[test]
+fn fixture_nondet_iter_trips_exactly_nondet_iter() {
+    assert_eq!(
+        lints_tripped("nondet_iter.rs", RESULT_PRODUCING),
+        vec!["nondeterministic_iteration", "nondeterministic_iteration"]
+    );
+}
+
+#[test]
+fn fixture_nondet_iter_sorted_is_clean() {
+    assert!(lints_tripped("nondet_iter_sorted.rs", RESULT_PRODUCING).is_empty());
+}
+
+#[test]
+fn fixture_panic_untrusted_trips_exactly_panic_untrusted() {
+    assert_eq!(
+        lints_tripped("panic_untrusted.rs", UNTRUSTED),
+        vec!["panic_on_untrusted"; 4]
+    );
+}
+
+#[test]
+fn fixture_panic_untrusted_is_clean_without_the_role() {
+    // The same panics outside an untrusted module are not findings —
+    // the lint is a policy about decode paths, not a global panic ban.
+    assert!(lints_tripped("panic_untrusted.rs", NO_ROLES).is_empty());
+}
+
+#[test]
+fn fixture_wallclock_trips_exactly_wallclock() {
+    assert_eq!(
+        lints_tripped("wallclock.rs", SCORING),
+        vec!["wallclock_in_scoring"; 4]
+    );
+}
+
+#[test]
+fn fixture_compat_trips_exactly_compat() {
+    assert_eq!(
+        lints_tripped("compat.rs", NO_ROLES),
+        vec!["compat_containment", "compat_containment"]
+    );
+}
+
+#[test]
+fn fixture_clean_is_clean_under_every_role() {
+    assert!(lints_tripped("clean.rs", ALL_ROLES).is_empty());
+}
+
+#[test]
+fn fixture_allow_ok_suppresses_and_is_not_unused() {
+    assert!(lints_tripped("allow_ok.rs", UNTRUSTED).is_empty());
+}
+
+#[test]
+fn fixture_allow_without_reason_fails_open() {
+    // A reasonless allow must NOT suppress: the finding stands and the
+    // annotation itself is a second finding.
+    assert_eq!(
+        lints_tripped("allow_missing_reason.rs", UNTRUSTED),
+        vec!["malformed_allow", "panic_on_untrusted"]
+    );
+}
+
+#[test]
+fn fixture_unused_allow_is_flagged() {
+    assert_eq!(
+        lints_tripped("allow_unused.rs", NO_ROLES),
+        vec!["unused_allow"]
+    );
+}
+
+#[test]
+fn fixture_unknown_lint_allow_is_malformed() {
+    assert_eq!(
+        lints_tripped("allow_unknown_lint.rs", NO_ROLES),
+        vec!["malformed_allow"]
+    );
+}
+
+#[test]
+fn fixture_lock_cycle_is_reported() {
+    let f = SourceFile::parse_with_roles("lock_cycle.rs", &fixture("lock_cycle.rs"), NO_ROLES);
+    let report = lockorder::analyze(&[f]);
+    assert_eq!(report.cycles.len(), 1, "edges: {:?}", report.edges);
+    assert_eq!(
+        report.cycles[0],
+        vec![
+            "lock_cycle::alpha".to_string(),
+            "lock_cycle::beta".to_string()
+        ]
+    );
+    let findings = report.findings();
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].lint, "lock_order_cycle");
+}
+
+#[test]
+fn fixture_consistent_lock_order_has_edges_but_no_cycle() {
+    let f =
+        SourceFile::parse_with_roles("lock_nested_ok.rs", &fixture("lock_nested_ok.rs"), NO_ROLES);
+    let report = lockorder::analyze(&[f]);
+    assert!(!report.edges.is_empty());
+    assert!(
+        report.cycles.is_empty(),
+        "false cycle from consistent ordering: {:?}",
+        report.cycles
+    );
+}
+
+#[test]
+fn fixture_transitive_lock_cycle_is_reported() {
+    // `outer` holds alpha and calls helper (takes beta); `other` nests
+    // beta -> alpha directly. The cycle only exists across the call
+    // graph — a per-function analysis would miss it.
+    let f = SourceFile::parse_with_roles(
+        "lock_transitive_cycle.rs",
+        &fixture("lock_transitive_cycle.rs"),
+        NO_ROLES,
+    );
+    let report = lockorder::analyze(&[f]);
+    assert_eq!(report.cycles.len(), 1, "edges: {:?}", report.edges);
+}
+
+#[test]
+fn every_fixture_is_covered_by_a_test() {
+    // Adding a fixture without wiring it into this suite would silently
+    // skip it; pin the exact fixture set instead.
+    let dir = workspace_root().join("crates/lint/fixtures");
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("fixtures dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".rs"))
+        .collect();
+    names.sort();
+    assert_eq!(
+        names,
+        vec![
+            "allow_missing_reason.rs",
+            "allow_ok.rs",
+            "allow_unknown_lint.rs",
+            "allow_unused.rs",
+            "clean.rs",
+            "compat.rs",
+            "float_ord.rs",
+            "lock_cycle.rs",
+            "lock_nested_ok.rs",
+            "lock_transitive_cycle.rs",
+            "nondet_iter.rs",
+            "nondet_iter_sorted.rs",
+            "panic_untrusted.rs",
+            "wallclock.rs",
+        ]
+    );
+}
+
+// ---------------------------------------------------------------------
+// Properties: the analyzer must be total over arbitrary input.
+// ---------------------------------------------------------------------
+
+#[test]
+fn prop_lexer_and_lints_never_panic() {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    let alphabet: Vec<char> = "abz_ \n\t\"'#/*(){}[];:.,<>&|!?=+-0129r\\"
+        .chars()
+        .collect();
+    let mut rng = StdRng::seed_from_u64(0x7eda_11a7);
+    for case in 0..300 {
+        let len = rng.gen_range(0..200);
+        let src: String = (0..len)
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect();
+        let toks = teda_lint::lexer::lex(&src);
+        // Lines are monotone non-decreasing and within the source.
+        let line_count = src.lines().count().max(1) as u32;
+        let mut prev = 1u32;
+        for t in &toks {
+            assert!(t.line >= prev, "case {case}: lines went backwards");
+            assert!(t.line <= line_count, "case {case}: line past end");
+            prev = t.line;
+        }
+        // The full pipeline is total too, under every role.
+        let f = SourceFile::parse_with_roles("fuzz.rs", &src, ALL_ROLES);
+        let _ = run_all_lints(&[f]);
+    }
+}
+
+#[test]
+fn prop_lexing_fixture_prefixes_never_panics() {
+    // Truncating real code mid-token (unterminated strings, half-open
+    // comments) must still lex: the analyzer may see work-in-progress
+    // files.
+    for name in ["float_ord.rs", "lock_cycle.rs", "panic_untrusted.rs"] {
+        let src = fixture(name);
+        for cut in 0..src.len() {
+            if src.is_char_boundary(cut) {
+                let _ = teda_lint::lexer::lex(&src[..cut]);
+            }
+        }
+    }
+}
+
+#[test]
+fn prop_baseline_roundtrip() {
+    // parse(render(entries)) == entries for arbitrary well-formed entries.
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(42);
+    let lints = [
+        "float_ord_panic",
+        "panic_on_untrusted",
+        "compat_containment",
+    ];
+    for _ in 0..100 {
+        let n = rng.gen_range(0..10);
+        let entries: Vec<baseline::BaselineEntry> = (0..n)
+            .map(|i| baseline::BaselineEntry {
+                lint: lints[rng.gen_range(0..lints.len())].to_string(),
+                file: format!("crates/x/src/f{i}.rs"),
+                occurrence: rng.gen_range(0..4),
+                reason: format!("reason {}", rng.gen_range(0..1000)),
+                excerpt: baseline::normalize("let x = y[0];"),
+            })
+            .collect();
+        let parsed = baseline::parse(&baseline::render(&entries)).expect("roundtrip parses");
+        assert_eq!(parsed, entries);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Live workspace: the CI gate, as a test.
+// ---------------------------------------------------------------------
+
+#[test]
+fn workspace_is_clean_against_the_checked_in_baseline() {
+    let root = workspace_root();
+    let files = teda_lint::load_workspace(&root).expect("workspace readable");
+    let findings = run_all_lints(&files);
+    let text = std::fs::read_to_string(root.join("lint-baseline.txt")).unwrap_or_default();
+    let entries = baseline::parse(&text).expect("baseline parses");
+    let diff = baseline::diff(&findings, &entries);
+    assert!(
+        diff.is_clean(),
+        "lint gate: {} new finding(s), {} stale baseline entr(ies)\nnew: {:#?}\nstale: {:#?}",
+        diff.new.len(),
+        diff.stale.len(),
+        diff.new,
+        diff.stale
+    );
+}
+
+#[test]
+fn workspace_lock_graph_is_cycle_free() {
+    let root = workspace_root();
+    let files = teda_lint::load_workspace(&root).expect("workspace readable");
+    let report = lockorder::analyze(&files);
+    assert!(
+        report.cycles.is_empty(),
+        "mutex acquisition cycles: {:?}\nedges: {:#?}",
+        report.cycles,
+        report.edges
+    );
+}
