@@ -74,8 +74,5 @@ fn main() {
         "whole-group death must surface as typed PartialResults"
     );
 
-    match cluster::to_json(&result).write() {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write BENCH_cluster.json: {e}"),
-    }
+    cluster::to_json(&result).write_logged();
 }

@@ -10,10 +10,7 @@ fn main() {
     let result = lint::run();
     println!("{}", lint::render(&result));
     let json = lint::to_json(&result);
-    match json.write() {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write BENCH_lint.json: {e}"),
-    }
+    json.write_logged();
     assert!(
         result.files_scanned > 100,
         "suspiciously few files scanned ({}) — wrong root?",

@@ -129,8 +129,5 @@ fn main() {
     for (name, value) in rss_metrics {
         json.metric(name, value, "KiB");
     }
-    match json.write() {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write BENCH_mmap.json: {e}"),
-    }
+    json.write_logged();
 }

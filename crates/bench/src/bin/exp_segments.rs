@@ -19,10 +19,7 @@ fn main() {
     let result = segments::run(&fixture);
     println!("{}", segments::render(&result));
     let json = segments::to_json(&result);
-    match json.write() {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write BENCH_segments.json: {e}"),
-    }
+    json.write_logged();
     assert!(
         result.incremental_path_taken,
         "the indexed journal must reload through the O(delta) merge"

@@ -18,10 +18,7 @@ fn main() {
     let fixture = Fixture::build(scale, 42);
     let result = service::run(&fixture);
     println!("{}", service::render(&result));
-    match service::to_json(&result).write() {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write BENCH_service.json: {e}"),
-    }
+    service::to_json(&result).write_logged();
     assert!(
         result.deterministic,
         "service results diverged from the offline batch path"

@@ -18,10 +18,7 @@ fn main() {
     let fixture = Fixture::build(scale, 42);
     let result = store::run(&fixture);
     println!("{}", store::render(&result));
-    match store::to_json(&result).write() {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write BENCH_store.json: {e}"),
-    }
+    store::to_json(&result).write_logged();
     assert!(
         result.load_identical,
         "loaded snapshot diverged from the freshly built index"

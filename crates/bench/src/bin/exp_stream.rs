@@ -20,10 +20,7 @@ fn main() {
     let fixture = Fixture::build(scale, 42);
     let result = stream::run(&fixture);
     println!("{}", stream::render(&result));
-    match stream::to_json(&result).write() {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write BENCH_stream.json: {e}"),
-    }
+    stream::to_json(&result).write_logged();
     for run in &result.runs {
         assert!(
             run.identical,

@@ -16,10 +16,7 @@ fn main() {
     let fixture = Fixture::build(scale, 42);
     let result = throughput::run(&fixture);
     println!("{}", throughput::render(&result));
-    match throughput::to_json(&result).write() {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write BENCH_throughput.json: {e}"),
-    }
+    throughput::to_json(&result).write_logged();
     assert!(
         result.deterministic,
         "parallel annotation diverged from the sequential path"

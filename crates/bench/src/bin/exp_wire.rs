@@ -20,10 +20,7 @@ fn main() {
     let fixture = Fixture::build(scale, 42);
     let result = wire::run(&fixture);
     println!("{}", wire::render(&result));
-    match wire::to_json(&result).write() {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write BENCH_wire.json: {e}"),
-    }
+    wire::to_json(&result).write_logged();
     assert!(
         result.deterministic,
         "wire results diverged from the offline batch path"

@@ -2,7 +2,7 @@
 //! full report (the source of EXPERIMENTS.md's measured numbers).
 
 use teda_bench::exp::{
-    ablation, cluster, comparison, coverage, efficiency, fig7, lint, mmap, preprocess_stats,
+    ablation, cluster, comparison, coverage, efficiency, fig7, lint, mmap, obs, preprocess_stats,
     segments, service, store, stream, table1, table2, table3, throughput, wire,
 };
 use teda_bench::harness::{Fixture, Scale};
@@ -37,6 +37,7 @@ fn main() {
     println!("{}", segments::render(&segments::run(&fixture)));
     println!("{}", mmap::render(&mmap::run(scale)));
     println!("{}", cluster::render(&cluster::run(scale)));
+    println!("{}", obs::render(&obs::run(&fixture, scale)));
     println!("{}", fig7::render(&fig7::run()));
     println!("{}", lint::render(&lint::run()));
     println!("{}", ablation::render(&ablation::run(&fixture)));

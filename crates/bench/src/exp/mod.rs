@@ -8,6 +8,7 @@ pub mod efficiency;
 pub mod fig7;
 pub mod lint;
 pub mod mmap;
+pub mod obs;
 pub mod preprocess_stats;
 pub mod segments;
 pub mod service;

@@ -1,0 +1,424 @@
+//! Observability under measurement: the telemetry layer's three claims,
+//! each asserted in-run.
+//!
+//! * **bit identity** — the same table batch annotated by a
+//!   `telemetry: true` service and a `telemetry: false` service yields
+//!   equal `AnnotationResult`s, both equal to the offline batch path.
+//!   Observation must never perturb a result bit.
+//! * **bounded overhead** — interleaved A/B timing of the two services
+//!   over the same batch; the median of the paired per-rep ratios must
+//!   stay within 5%. Recording is one atomic increment per stage plus
+//!   two clock reads, so the honest expectation is ~0%.
+//! * **cross-node tracing** — a scatter-gather cluster answers one
+//!   traced query; `ClusterRouter::reconstruct_trace` must return a
+//!   single span tree covering the router's scatter/merge stages *and*
+//!   a grafted subtree from every live shard, while the routed answer
+//!   stays bit-identical to the single-node index.
+//!
+//! The stage histograms of the telemetry-on service feed
+//! `BENCH_obs.json` (count/p50/p99 per stage, straight from
+//! [`teda_obs::Registry`]), and the `METRICS`/JSON expositions are
+//! checked for stability and balance.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use teda_cluster::{partition_corpus, ClusterRouter, RouterConfig, ShardServer};
+use teda_core::pipeline::BatchAnnotator;
+use teda_corpus::gft::poi_table;
+use teda_kb::EntityType;
+use teda_service::{AnnotationService, ServiceConfig};
+use teda_simkit::rng_from_seed;
+use teda_simkit::tablefmt::{Align, TextTable};
+use teda_tabular::Table;
+use teda_websim::{PageId, WebCorpus};
+
+use crate::harness::{Fixture, Scale};
+
+/// The observability experiment report.
+#[derive(Debug, Clone)]
+pub struct ObsReport {
+    /// Tables per timed rep.
+    pub tables: usize,
+    /// Timed A/B reps (after one untimed warm-up on each side).
+    pub reps: usize,
+    /// Telemetry-on == telemetry-off == offline batch, for every table.
+    pub identical: bool,
+    /// Median per-rep batch wall time with telemetry on.
+    pub median_on_ms: f64,
+    /// Median per-rep batch wall time with telemetry off.
+    pub median_off_ms: f64,
+    /// Median of the paired per-rep `on/off` ratios.
+    pub overhead: f64,
+    /// `(stage, count, p50_us, p99_us)` from the on-service's registry.
+    pub stages: Vec<(String, u64, u64, u64)>,
+    /// Completed span trees in the on-service's trace ring.
+    pub traces_completed: usize,
+    /// The off-service's registry recorded nothing at all.
+    pub off_silent: bool,
+    /// Two `METRICS` scrapes of unchanged state render identically.
+    pub exposition_stable: bool,
+    /// `Registry::to_json` is brace-balanced and names every stage.
+    pub json_balanced: bool,
+    /// Shards in the traced cluster.
+    pub cluster_shards: u32,
+    /// The reconstructed trace's id.
+    pub trace_id: u64,
+    /// Spans in the reconstructed cross-node tree.
+    pub trace_spans: usize,
+    /// Router-side scatter span present for every shard, plus a merge
+    /// span.
+    pub trace_router_stages: bool,
+    /// Shards whose own span subtree was grafted into the tree.
+    pub trace_shards_grafted: u32,
+    /// The traced routed answer == the single-node index, bit for bit.
+    pub cluster_identical: bool,
+}
+
+fn n_tables(scale: Scale) -> usize {
+    match scale {
+        Scale::Standard => 12,
+        Scale::Quick => 6,
+    }
+}
+
+fn n_reps(scale: Scale) -> usize {
+    match scale {
+        Scale::Standard => 21,
+        Scale::Quick => 9,
+    }
+}
+
+fn n_pages(scale: Scale) -> usize {
+    match scale {
+        Scale::Standard => 4_000,
+        Scale::Quick => 1_200,
+    }
+}
+
+const CLUSTER_SHARDS: u32 = 3;
+
+/// The batch both services annotate: seeded POI tables, mixed types.
+fn batch(fixture: &Fixture, n: usize) -> Vec<Arc<Table>> {
+    let mut rng = rng_from_seed(fixture.seed ^ 0x0b5);
+    let types = [
+        EntityType::Restaurant,
+        EntityType::Museum,
+        EntityType::Hotel,
+    ];
+    (0..n)
+        .map(|i| {
+            Arc::new(
+                poi_table(
+                    &fixture.world,
+                    types[i % types.len()],
+                    8,
+                    (i % 3) as u8,
+                    &format!("obs_{i}"),
+                    &mut rng,
+                )
+                .table,
+            )
+        })
+        .collect()
+}
+
+fn service(fixture: &Fixture, telemetry: bool) -> Arc<AnnotationService> {
+    Arc::new(AnnotationService::start(
+        BatchAnnotator::new(
+            fixture.engine.clone(),
+            fixture.svm.clone(),
+            Default::default(),
+        ),
+        ServiceConfig {
+            workers: 2,
+            telemetry,
+            ..ServiceConfig::default()
+        },
+    ))
+}
+
+/// One timed pass: submit the whole batch, wait for every result, and
+/// return `(wall time, annotation results in table order)`.
+fn pass(
+    service: &AnnotationService,
+    tables: &[Arc<Table>],
+) -> (Duration, Vec<teda_core::pipeline::TableAnnotations>) {
+    let t0 = Instant::now();
+    let handles: Vec<_> = tables
+        .iter()
+        .map(|t| {
+            service
+                .submit_blocking(Arc::clone(t))
+                .expect("obs batch admission")
+        })
+        .collect();
+    let outcomes: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.wait().expect("obs batch annotation").annotations)
+        .collect();
+    (t0.elapsed(), outcomes)
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(f64::total_cmp);
+    values[values.len() / 2]
+}
+
+fn bits(hits: &[(PageId, f64)]) -> Vec<(u32, u64)> {
+    hits.iter().map(|&(id, s)| (id.0, s.to_bits())).collect()
+}
+
+/// Runs all three phases.
+pub fn run(fixture: &Fixture, scale: Scale) -> ObsReport {
+    let tables = batch(fixture, n_tables(scale));
+    let offline = BatchAnnotator::new(
+        fixture.engine.clone(),
+        fixture.svm.clone(),
+        Default::default(),
+    );
+    let reference: Vec<_> = tables.iter().map(|t| offline.annotate_table(t)).collect();
+
+    // Phase 1: identity + paired overhead. One warm-up pass per side
+    // (cache population, thread spin-up), then interleaved timed reps
+    // with the order alternating to cancel drift.
+    let on = service(fixture, true);
+    let off = service(fixture, false);
+    let (_, warm_on) = pass(&on, &tables);
+    let (_, warm_off) = pass(&off, &tables);
+    let mut identical = warm_on == reference && warm_off == reference;
+
+    let reps = n_reps(scale);
+    let mut on_ms = Vec::with_capacity(reps);
+    let mut off_ms = Vec::with_capacity(reps);
+    let mut ratios = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let (d_on, d_off) = if rep % 2 == 0 {
+            let (d_on, out_on) = pass(&on, &tables);
+            let (d_off, out_off) = pass(&off, &tables);
+            identical &= out_on == reference && out_off == reference;
+            (d_on, d_off)
+        } else {
+            let (d_off, out_off) = pass(&off, &tables);
+            let (d_on, out_on) = pass(&on, &tables);
+            identical &= out_on == reference && out_off == reference;
+            (d_on, d_off)
+        };
+        on_ms.push(d_on.as_secs_f64() * 1e3);
+        off_ms.push(d_off.as_secs_f64() * 1e3);
+        ratios.push(d_on.as_secs_f64() / d_off.as_secs_f64().max(1e-9));
+    }
+    let median_on_ms = median(&mut on_ms);
+    let median_off_ms = median(&mut off_ms);
+    let overhead = median(&mut ratios);
+
+    // The on-service's registry is the exposition under test.
+    let obs = on.obs();
+    let stages: Vec<(String, u64, u64, u64)> = obs
+        .snapshots()
+        .into_iter()
+        .map(|(stage, snap)| (stage, snap.count(), snap.quantile(0.5), snap.quantile(0.99)))
+        .collect();
+    let traces_completed = obs.trace_ids().len();
+    let off_obs = off.obs();
+    let off_silent =
+        off_obs.snapshots().iter().all(|(_, s)| s.is_empty()) && off_obs.trace_ids().is_empty();
+    let exposition_stable = obs.to_prometheus() == obs.to_prometheus();
+    let json = obs.to_json();
+    let json_balanced = json.matches('{').count() == json.matches('}').count()
+        && json.matches('[').count() == json.matches(']').count()
+        && stages
+            .iter()
+            .all(|(stage, ..)| json.contains(stage.as_str()));
+    drop(on);
+    drop(off);
+
+    // Phase 2: one traced query across a real loopback cluster.
+    let root = std::env::temp_dir().join(format!("teda_exp_obs_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let corpus = WebCorpus::from_pages(super::mmap::synthetic_pages(n_pages(scale)));
+    let dirs = partition_corpus(&corpus, CLUSTER_SHARDS, &root).expect("partition");
+    let servers: Vec<ShardServer> = dirs
+        .iter()
+        .enumerate()
+        .map(|(i, dir)| ShardServer::start(dir, i % 2 == 0, "127.0.0.1:0").expect("serve shard"))
+        .collect();
+    let topology: Vec<Vec<SocketAddr>> = servers.iter().map(|s| vec![s.local_addr()]).collect();
+    let router = ClusterRouter::connect(&topology, RouterConfig::default()).expect("connect");
+
+    let (query, k) = ("restaurant city review", 10);
+    let routed = router.try_search(query, k).expect("routed search");
+    let cluster_identical = bits(&routed) == bits(&corpus.index().search(query, k));
+    let trace_id = *router
+        .obs()
+        .trace_ids()
+        .last()
+        .expect("the routed query leaves a trace");
+    let trace = router
+        .reconstruct_trace(trace_id)
+        .expect("reconstruct by id");
+    let span_names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+    let trace_router_stages = span_names.contains(&"merge")
+        && (0..CLUSTER_SHARDS).all(|s| span_names.contains(&format!("shard{s}").as_str()));
+    let trace_shards_grafted = (0..CLUSTER_SHARDS)
+        .filter(|s| span_names.contains(&format!("shard{s}:search").as_str()))
+        .count() as u32;
+    let trace_spans = trace.spans.len();
+
+    for s in servers {
+        s.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&root);
+
+    ObsReport {
+        tables: tables.len(),
+        reps,
+        identical,
+        median_on_ms,
+        median_off_ms,
+        overhead,
+        stages,
+        traces_completed,
+        off_silent,
+        exposition_stable,
+        json_balanced,
+        cluster_shards: CLUSTER_SHARDS,
+        trace_id,
+        trace_spans,
+        trace_router_stages,
+        trace_shards_grafted,
+        cluster_identical,
+    }
+}
+
+/// Renders the report.
+pub fn render(r: &ObsReport) -> String {
+    let mut out = String::from(
+        "Observability: telemetry on/off bit identity, recording overhead, cross-node tracing.\n",
+    );
+    let mut tbl = TextTable::new(vec!["Metric", "Value"]);
+    tbl.align(1, Align::Right);
+    tbl.row(vec![
+        "batch".into(),
+        format!("{} tables x {} reps", r.tables, r.reps),
+    ]);
+    tbl.row(vec!["on == off == offline".into(), r.identical.to_string()]);
+    tbl.row(vec![
+        "median batch, telemetry on".into(),
+        format!("{:.2} ms", r.median_on_ms),
+    ]);
+    tbl.row(vec![
+        "median batch, telemetry off".into(),
+        format!("{:.2} ms", r.median_off_ms),
+    ]);
+    tbl.row(vec![
+        "overhead (paired median)".into(),
+        format!("{:.3}x", r.overhead),
+    ]);
+    for (stage, count, p50, p99) in &r.stages {
+        tbl.row(vec![
+            format!("stage {stage}"),
+            format!("{count} obs, p50 <= {p50} us, p99 <= {p99} us"),
+        ]);
+    }
+    tbl.row(vec![
+        "trace ring / off-service silent".into(),
+        format!("{} trees / {}", r.traces_completed, r.off_silent),
+    ]);
+    tbl.row(vec![
+        "exposition stable / JSON balanced".into(),
+        format!("{} / {}", r.exposition_stable, r.json_balanced),
+    ]);
+    tbl.row(vec![
+        "cluster trace".into(),
+        format!(
+            "id {:016x}: {} spans over {} shards, router stages {}, {} shard trees grafted",
+            r.trace_id,
+            r.trace_spans,
+            r.cluster_shards,
+            r.trace_router_stages,
+            r.trace_shards_grafted
+        ),
+    ]);
+    tbl.row(vec![
+        "routed answer == single node".into(),
+        r.cluster_identical.to_string(),
+    ]);
+    out.push_str(&tbl.render());
+    out.push_str(
+        "(quantiles are log-bucket upper bounds; recording is one atomic \
+         increment per stage, so telemetry may never move a result bit — \
+         both services annotate the identical batch and are compared \
+         against the offline batch path)\n",
+    );
+    out
+}
+
+/// The machine-readable record: the assertion flags plus every stage
+/// histogram of the serving node, straight from the registry.
+pub fn to_json(r: &ObsReport) -> crate::report::BenchJson {
+    let flag = |b: bool| if b { 1.0 } else { 0.0 };
+    let mut json = crate::report::BenchJson::new("obs");
+    json.metric("tables", r.tables as f64, "tables")
+        .metric("reps", r.reps as f64, "reps")
+        .metric("identical", flag(r.identical), "bool")
+        .metric("median_on_ms", r.median_on_ms, "ms")
+        .metric("median_off_ms", r.median_off_ms, "ms")
+        .metric("overhead", r.overhead, "x")
+        .metric("traces_completed", r.traces_completed as f64, "traces")
+        .metric("off_silent", flag(r.off_silent), "bool")
+        .metric("exposition_stable", flag(r.exposition_stable), "bool")
+        .metric("json_balanced", flag(r.json_balanced), "bool")
+        .metric("cluster_shards", r.cluster_shards as f64, "shards")
+        .metric("trace_spans", r.trace_spans as f64, "spans")
+        .metric("trace_router_stages", flag(r.trace_router_stages), "bool")
+        .metric(
+            "trace_shards_grafted",
+            r.trace_shards_grafted as f64,
+            "shards",
+        )
+        .metric("cluster_identical", flag(r.cluster_identical), "bool");
+    for (stage, count, p50, p99) in &r.stages {
+        json.metric(&format!("stage_{stage}_count"), *count as f64, "obs")
+            .metric(&format!("stage_{stage}_p50_us"), *p50 as f64, "us")
+            .metric(&format!("stage_{stage}_p99_us"), *p99 as f64, "us");
+    }
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_experiment_asserts_its_own_invariants() {
+        let fixture = Fixture::build(Scale::Quick, 42);
+        let r = run(&fixture, Scale::Quick);
+        assert!(r.identical, "telemetry perturbed an annotation");
+        assert!(r.off_silent, "a disabled registry recorded something");
+        assert!(r.exposition_stable && r.json_balanced);
+        assert!(
+            r.stages
+                .iter()
+                .any(|(s, count, ..)| s == "annotate" && *count > 0),
+            "the annotate stage must be populated: {:?}",
+            r.stages
+        );
+        assert!(r.cluster_identical, "tracing changed a routed answer");
+        assert!(r.trace_router_stages, "missing router-side spans");
+        assert_eq!(
+            r.trace_shards_grafted, r.cluster_shards,
+            "every live shard must graft its subtree"
+        );
+        // The in-crate bound is lenient (CI machines are noisy); the
+        // binary asserts the 5% claim over the larger standard run.
+        assert!(
+            r.overhead <= 1.5,
+            "recording overhead out of bounds: {:.3}x",
+            r.overhead
+        );
+        assert!(render(&r).contains("overhead"));
+        assert!(to_json(&r).render().contains("\"stage_annotate_count\""));
+    }
+}

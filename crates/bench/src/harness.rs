@@ -20,6 +20,8 @@ use teda_simkit::{LatencyModel, VirtualClock};
 use teda_tabular::CellId;
 use teda_websim::{BingSim, WebCorpus, WebCorpusSpec};
 
+use crate::report::log;
+
 /// Everything an experiment needs, built once per process.
 pub struct Fixture {
     pub seed: u64,
@@ -73,11 +75,11 @@ impl Fixture {
             ),
         };
 
-        eprintln!("[fixture] generating world…");
+        log("fixture", "generating world…");
         let world = World::generate(world_spec, seed);
         let net = CategoryNetwork::build(&world, seed);
 
-        eprintln!("[fixture] building web corpus…");
+        log("fixture", "building web corpus…");
         let web = Arc::new(WebCorpus::build(&world, web_spec, seed));
         let clock = VirtualClock::new();
         let engine = Arc::new(BingSim::new(
@@ -94,23 +96,26 @@ impl Fixture {
         let catalogue = Catalogue::sample(&world, 0.22, seed);
         let benchmark = gft_benchmark(&world, seed);
 
-        eprintln!("[fixture] harvesting training corpus…");
+        log("fixture", "harvesting training corpus…");
         let targets = EntityType::TARGETS.to_vec();
         let corpus = harvest(&world, &net, engine.as_ref(), &targets, trainer_cfg);
-        eprintln!(
-            "[fixture] corpus: {} train / {} test snippets, vocab {}",
-            corpus.train.len(),
-            corpus.test.len(),
-            corpus.extractor.dim()
+        log(
+            "fixture",
+            &format!(
+                "corpus: {} train / {} test snippets, vocab {}",
+                corpus.train.len(),
+                corpus.test.len(),
+                corpus.extractor.dim()
+            ),
         );
 
-        eprintln!("[fixture] training classifiers…");
+        log("fixture", "training classifiers…");
         let svm = train_svm_linear(&corpus, PegasosConfig::default());
         let bayes = train_bayes(&corpus, NaiveBayesConfig::snippet_default());
         clock.reset();
-        eprintln!(
-            "[fixture] ready in {:.1}s (real)",
-            t0.elapsed().as_secs_f64()
+        log(
+            "fixture",
+            &format!("ready in {:.1}s (real)", t0.elapsed().as_secs_f64()),
         );
 
         Fixture {

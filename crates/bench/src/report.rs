@@ -10,6 +10,14 @@
 
 use std::path::PathBuf;
 
+/// One tagged diagnostic line on stderr — the shared logging funnel of
+/// the experiment binaries and the fixture builder. Stdout stays
+/// reserved for rendered reports and emitted artefact paths, so
+/// redirecting it still yields a clean report document.
+pub fn log(component: &str, message: &str) {
+    eprintln!("[{component}] {message}");
+}
+
 /// A named collection of scalar metrics, serializable as JSON.
 #[derive(Debug, Clone)]
 pub struct BenchJson {
@@ -65,6 +73,20 @@ impl BenchJson {
         let path = PathBuf::from(format!("BENCH_{}.json", self.name));
         std::fs::write(&path, self.render())?;
         Ok(path)
+    }
+
+    /// [`write`](Self::write) with the outcome reported the way every
+    /// experiment binary does it: the artefact path on stdout, a write
+    /// failure through [`log`] without aborting the run (the asserted
+    /// claims have already passed by the time the JSON drops).
+    pub fn write_logged(&self) {
+        match self.write() {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => log(
+                &format!("exp_{}", self.name),
+                &format!("could not write BENCH_{}.json: {e}", self.name),
+            ),
+        }
     }
 }
 

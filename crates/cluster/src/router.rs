@@ -27,6 +27,7 @@ use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use teda_obs::{stage, Histogram, Registry, StageTimer, Trace, TraceCtx};
 use teda_service::ClusterTelemetry;
 use teda_websim::scoring::{merge_topk, rank_order};
 use teda_websim::{PageId, SearchBackend, SearchResult};
@@ -103,6 +104,14 @@ pub struct ClusterRouter {
     global_docs: u64,
     config: RouterConfig,
     telemetry: Arc<ClusterTelemetry>,
+    /// The router's observability surface: `shard_scatter`/`merge`
+    /// histograms and one trace per routed search. All timing goes
+    /// through `teda-obs` types — this is a scoring/merge module, and
+    /// the no-wallclock invariant (`wallclock_in_scoring`) still holds:
+    /// observation never feeds back into ranking.
+    obs: Arc<Registry>,
+    hist_scatter: Arc<Histogram>,
+    hist_merge: Arc<Histogram>,
 }
 
 impl std::fmt::Debug for ClusterRouter {
@@ -149,11 +158,17 @@ impl ClusterRouter {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
+        let obs = Registry::new("router");
+        let hist_scatter = obs.histogram(stage::SHARD_SCATTER);
+        let hist_merge = obs.histogram(stage::MERGE);
         let router = ClusterRouter {
             groups,
             global_docs: 0,
             config,
             telemetry: Arc::new(ClusterTelemetry::default()),
+            obs,
+            hist_scatter,
+            hist_merge,
         };
         let mut router = router;
         router.global_docs = router.validate_topology()?;
@@ -193,6 +208,31 @@ impl ClusterRouter {
     /// so `STATS` surfaces the fan-out/partial/retry counters.
     pub fn telemetry(&self) -> Arc<ClusterTelemetry> {
         Arc::clone(&self.telemetry)
+    }
+
+    /// The router's observability registry: `shard_scatter` and `merge`
+    /// stage histograms, plus one completed trace per routed search
+    /// (deterministic ids 1, 2, 3, …). `METRICS`-style exposition and
+    /// `BENCH_obs.json` read from here.
+    pub fn obs(&self) -> Arc<Registry> {
+        Arc::clone(&self.obs)
+    }
+
+    /// Reassembles the cross-node span tree of one routed search: the
+    /// router's own trace for `id`, with every live shard's tree (its
+    /// `TRACE-DUMP <id>` over the wire) grafted under the root. `None`
+    /// when the router never completed a trace with this id; shards
+    /// that no longer remember the id (ring eviction, restart) are
+    /// skipped, dead shards are skipped — the tree spans whoever still
+    /// answers.
+    pub fn reconstruct_trace(&self, id: u64) -> Option<Trace> {
+        let mut root = self.obs.trace(id)?;
+        for group in &self.groups {
+            if let Ok(shard_tree) = self.on_group(group, &|c| c.trace_dump(id)) {
+                root.graft(&shard_tree);
+            }
+        }
+        Some(root)
     }
 
     /// Shard count.
@@ -292,22 +332,34 @@ impl ClusterRouter {
     /// Fans `op` out to every shard concurrently (one thread per group —
     /// the scatter is latency-bound on the slowest shard, and shard
     /// counts are small). Returns per-group outcomes in shard order.
+    /// The whole fan-out records into the `shard_scatter` histogram and
+    /// each group stamps a `shard<i>` child span on `trace` — pass a
+    /// disabled context to observe nothing.
     fn scatter<T: Send>(
         &self,
         op: &(dyn Fn(&mut WireClient) -> Result<T, WireError> + Sync),
+        trace: &TraceCtx,
     ) -> Vec<Result<T, ClusterError>> {
         self.telemetry.record_fanout(self.groups.len() as u64);
-        std::thread::scope(|scope| {
+        let timer = StageTimer::start(Arc::clone(&self.hist_scatter));
+        let outcomes = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .groups
                 .iter()
-                .map(|group| scope.spawn(move || self.on_group(group, op)))
+                .map(|group| {
+                    scope.spawn(move || {
+                        let _span = trace.span(&format!("shard{}", group.shard));
+                        self.on_group(group, op)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("scatter worker panicked"))
                 .collect()
-        })
+        });
+        timer.finish();
+        outcomes
     }
 
     /// Splits scatter outcomes into live results and dead shards.
@@ -338,9 +390,24 @@ impl ClusterRouter {
     /// [`ClusterError::PartialResults`] (carrying the exact merge over
     /// the live shards) when one or more whole replica groups are down.
     pub fn try_search(&self, query: &str, k: usize) -> Result<Vec<(PageId, f64)>, ClusterError> {
-        let outcomes = self.scatter(&|c: &mut WireClient| c.search(query, k));
+        // Trace the scatter under the router's deterministic id and
+        // forward that id to every shard (`TRACE <id> SEARCH …`), so
+        // the shard-side trees share it and `reconstruct_trace` can
+        // reassemble the whole request.
+        let trace = self.obs.start_trace("search");
+        let outcomes = match trace.id() {
+            Some(id) => self.scatter(&|c: &mut WireClient| c.search_traced(id, query, k), &trace),
+            None => self.scatter(&|c: &mut WireClient| c.search(query, k), &trace),
+        };
         let (live, dead) = self.gather(outcomes)?;
-        let hits = merge_topk(live, k);
+        let hits = {
+            let timer = StageTimer::start(Arc::clone(&self.hist_merge));
+            let _span = trace.span(stage::MERGE);
+            let hits = merge_topk(live, k);
+            timer.finish();
+            hits
+        };
+        trace.finish();
         if dead.is_empty() {
             Ok(hits)
         } else {
@@ -356,13 +423,19 @@ impl ClusterRouter {
     /// partial-results error carries the scored ids of the degraded
     /// merge.
     pub fn try_search_full(&self, query: &str, k: usize) -> Result<Vec<SearchHit>, ClusterError> {
-        let outcomes = self.scatter(&|c: &mut WireClient| c.search_full(query, k));
+        let trace = self.obs.start_trace("search_full");
+        let outcomes = self.scatter(&|c: &mut WireClient| c.search_full(query, k), &trace);
         let (live, dead) = self.gather(outcomes)?;
+        let timer = StageTimer::start(Arc::clone(&self.hist_merge));
+        let merge_span = trace.span(stage::MERGE);
         // Same comparator as `merge_topk`, applied through the hit's
         // (id, score) key — full hits rank exactly like scored pairs.
         let mut hits: Vec<SearchHit> = live.into_iter().flatten().collect();
         hits.sort_by(|a, b| rank_order(&(a.id, a.score), &(b.id, b.score)));
         hits.truncate(k);
+        drop(merge_span);
+        timer.finish();
+        trace.finish();
         if dead.is_empty() {
             Ok(hits)
         } else {

@@ -45,10 +45,11 @@
 //! integration.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use teda_memo::{lead, Counters, Flight, Shards, Slot};
+use teda_obs::{Histogram, StageTimer, Stopwatch};
 use teda_websim::{SearchEngine, SearchResult};
 
 /// Hit/miss/eviction accounting of a [`QueryCache`].
@@ -159,6 +160,12 @@ pub struct QueryCache {
     per_shard_capacity: usize,
     ttl: Option<Duration>,
     counters: Counters,
+    /// `cache_lookup` stage histogram — time from lookup to a memoized
+    /// answer (fast-path hits and follower waits). Unattached (the
+    /// default) records nothing; see [`attach_obs`](Self::attach_obs).
+    hist_lookup: OnceLock<Arc<Histogram>>,
+    /// `search` stage histogram — the leader's engine call on a miss.
+    hist_search: OnceLock<Arc<Histogram>>,
 }
 
 impl Default for QueryCache {
@@ -195,6 +202,33 @@ impl QueryCache {
             per_shard_capacity,
             ttl: config.ttl,
             counters: Counters::default(),
+            hist_lookup: OnceLock::new(),
+            hist_search: OnceLock::new(),
+        }
+    }
+
+    /// Attaches the serving node's observability registry: lookups
+    /// record into its `cache_lookup` stage histogram and leader engine
+    /// calls into `search`. First attach wins. Timing is observation
+    /// only — results stay a pure function of `(query, k)`.
+    pub fn attach_obs(&self, obs: &teda_obs::Registry) {
+        let _ = self
+            .hist_lookup
+            .set(obs.histogram(teda_obs::stage::CACHE_LOOKUP));
+        let _ = self.hist_search.set(obs.histogram(teda_obs::stage::SEARCH));
+    }
+
+    /// A stopwatch running only when the `cache_lookup` histogram is
+    /// attached and recording.
+    fn lookup_watch(&self) -> Stopwatch {
+        Stopwatch::started_if(self.hist_lookup.get().is_some_and(|h| h.is_enabled()))
+    }
+
+    /// Records one lookup-to-answer duration (no-op when unattached or
+    /// the watch never started).
+    fn record_lookup(&self, watch: Stopwatch) {
+        if let (Some(h), true) = (self.hist_lookup.get(), watch.is_running()) {
+            h.record(watch.elapsed_us());
         }
     }
 
@@ -227,6 +261,7 @@ impl QueryCache {
             InFlight(Arc<Flight<Results>>),
             Missing,
         }
+        let watch = self.lookup_watch();
         loop {
             let flight = {
                 let mut shard = self.shards.lock(query.as_bytes());
@@ -254,6 +289,8 @@ impl QueryCache {
                 match found {
                     Found::Hit(results) => {
                         self.counters.hit();
+                        drop(shard);
+                        self.record_lookup(watch);
                         return results;
                     }
                     Found::InFlight(flight) => flight,
@@ -271,7 +308,15 @@ impl QueryCache {
                         // lock; on unwind the slot is removed so
                         // followers retry instead of hanging.
                         return lead(
-                            || engine.search(query, k).into(),
+                            || {
+                                let timer = self
+                                    .hist_search
+                                    .get()
+                                    .map(|h| StageTimer::start(Arc::clone(h)));
+                                let results = engine.search(query, k).into();
+                                drop(timer);
+                                results
+                            },
                             |results| self.resolve_slot(query, k, &flight, results),
                         );
                     }
@@ -282,6 +327,7 @@ impl QueryCache {
             // loop and race to become the new leader.
             if let Some(results) = flight.wait() {
                 self.counters.hit();
+                self.record_lookup(watch);
                 return results;
             }
         }

@@ -1,0 +1,19 @@
+//! Fixture: clock reads like the obs clock facade's. Clean under the
+//! roles `Roles::for_path` derives for `crates/obs/src/clock.rs` (the
+//! WALLCLOCK_EXEMPT carve-out), but the same source under any
+//! non-exempt scoring path must still trip `wallclock_in_scoring` —
+//! the exemption is a named hole, not a weakening of the lint.
+
+use std::time::Instant;
+
+pub struct Timer {
+    t0: Instant,
+}
+
+pub fn start() -> Timer {
+    Timer { t0: Instant::now() }
+}
+
+pub fn elapsed_us(t: &Timer) -> u64 {
+    t.t0.elapsed().as_micros() as u64
+}

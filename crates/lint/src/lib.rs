@@ -72,7 +72,32 @@ pub const SCORING_MODULES: &[&str] = &[
     "crates/cluster/src/partition.rs",
     "crates/cluster/src/router.rs",
     "crates/core/src/postprocess.rs",
+    // Scoring-adjacent by position (its guard types are held open
+    // across scoring calls) but carved out below — see
+    // WALLCLOCK_EXEMPT for the proof.
+    "crates/obs/src/clock.rs",
 ];
+
+/// Path prefixes exempt from `wallclock_in_scoring`, each carrying a
+/// written proof of why clock reads there cannot perturb a result.
+/// An exemption without a proof is rejected by this crate's own tests;
+/// the fixture suite pins that non-exempt scoring modules still trip.
+pub const WALLCLOCK_EXEMPT: &[(&str, &str)] = &[(
+    "crates/obs/",
+    "observation-only: teda-obs reads clocks to time stages after their \
+     results are computed; durations flow into histograms and trace spans \
+     only, never into a score, rank, or merge decision — exp_obs asserts \
+     bit-identical annotations with telemetry on and off",
+)];
+
+/// The proof string for an exempt path, or `None` when the wall-clock
+/// ban applies in full.
+pub fn wallclock_exemption(rel: &str) -> Option<&'static str> {
+    WALLCLOCK_EXEMPT
+        .iter()
+        .find(|(prefix, _)| rel.starts_with(prefix))
+        .map(|(_, proof)| *proof)
+}
 
 /// Import roots the offline-build constraint admits: the standard
 /// library, workspace crates, and the crates.io stand-ins vendored under
@@ -123,7 +148,7 @@ impl Roles {
         Roles {
             untrusted: UNTRUSTED_MODULES.contains(&rel),
             result_producing,
-            scoring: SCORING_MODULES.contains(&rel),
+            scoring: SCORING_MODULES.contains(&rel) && wallclock_exemption(rel).is_none(),
             test_only,
         }
     }
@@ -504,6 +529,27 @@ mod tests {
         assert!(Roles::for_path("tests/store.rs").test_only);
         assert!(Roles::for_path("crates/geo/tests/props.rs").test_only);
         assert!(!Roles::for_path("crates/service/src/lib.rs").result_producing);
+        // The obs clock facade is listed scoring-adjacent but exempt
+        // from the wall-clock ban; every other scoring module stays
+        // covered.
+        assert!(!Roles::for_path("crates/obs/src/clock.rs").scoring);
+        assert!(wallclock_exemption("crates/obs/src/clock.rs").is_some());
+        assert!(Roles::for_path("crates/cluster/src/router.rs").scoring);
+        assert!(wallclock_exemption("crates/cluster/src/router.rs").is_none());
+    }
+
+    #[test]
+    fn every_wallclock_exemption_carries_a_real_proof() {
+        for (prefix, proof) in WALLCLOCK_EXEMPT {
+            assert!(
+                prefix.starts_with("crates/") && prefix.ends_with('/'),
+                "exemption prefix {prefix:?} must name a crate subtree"
+            );
+            assert!(
+                proof.len() >= 40,
+                "exemption for {prefix:?} needs a written proof, got {proof:?}"
+            );
+        }
     }
 
     #[test]

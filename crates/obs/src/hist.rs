@@ -1,0 +1,246 @@
+//! Lock-free log-bucketed latency histograms.
+//!
+//! Fixed geometric layout over microseconds: bucket `i` holds every
+//! value whose bit width is `i` — bucket 0 is exactly `0`, bucket `i`
+//! (for `1 ≤ i ≤ 62`) covers `[2^(i-1), 2^i - 1]`, and the top bucket
+//! saturates: everything at or above `2^62 µs` (≈146 millennia) lands
+//! there. Recording is one relaxed atomic increment on the bucket
+//! counter — no lock, no allocation, no clock read — so a histogram can
+//! sit on the hottest request path of the service without perturbing
+//! it, and a disabled histogram short-circuits before even that.
+//!
+//! Quantiles are estimated from a [`HistSnapshot`] by nearest rank over
+//! the bucket counts and reported as the *upper bound* of the selected
+//! bucket, so the exact sorted value is always within the same bucket's
+//! bounds (property-tested in `tests/obs.rs`). Snapshots merge by
+//! element-wise saturating addition, which is associative and
+//! commutative: the merged count is `min(true total, u64::MAX)`
+//! regardless of merge order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one per possible bit width of a `u64` value,
+/// plus bucket 0 for the value zero.
+pub const BUCKETS: usize = 64;
+
+/// The bucket a microsecond value lands in: its bit width, clamped
+/// into the saturating top bucket.
+#[inline]
+pub fn bucket_of(us: u64) -> usize {
+    ((u64::BITS - us.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive `[lower, upper]` value range of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        i if i < BUCKETS - 1 => (1 << (i - 1), (1 << i) - 1),
+        _ => (1 << (BUCKETS - 2), u64::MAX),
+    }
+}
+
+/// A lock-free histogram of microsecond durations. Shared behind an
+/// `Arc`; every recorder and every snapshotter proceeds without
+/// coordination.
+#[derive(Debug)]
+pub struct Histogram {
+    enabled: bool,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Histogram {
+    /// A recording histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            enabled: true,
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// A disabled histogram: [`record`](Self::record) is a no-op and
+    /// [`is_enabled`](Self::is_enabled) is false, so callers can skip
+    /// the clock read that would produce the value in the first place.
+    pub fn disabled() -> Histogram {
+        Histogram {
+            enabled: false,
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Whether recording does anything — timers consult this before
+    /// reading the clock.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one duration: a single relaxed atomic increment.
+    #[inline]
+    pub fn record(&self, us: u64) {
+        if self.enabled {
+            self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the bucket counts. Concurrent recorders
+    /// may land increments between bucket reads; each bucket value is
+    /// itself exact.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// An owned copy of a histogram's bucket counts — what quantile
+/// estimation, merging, and exposition work from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Count per bucket (see [`bucket_bounds`] for value ranges).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Total recorded observations (saturating).
+    pub fn count(&self) -> u64 {
+        self.buckets
+            .iter()
+            .fold(0u64, |acc, &b| acc.saturating_add(b))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|&b| b == 0)
+    }
+
+    /// The `[lower, upper]` bucket bounds containing the `q`-quantile
+    /// observation (nearest rank: rank `⌈q·n⌉`, clamped to `[1, n]`).
+    /// `(0, 0)` for an empty snapshot.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        let n = self.count();
+        if n == 0 {
+            return (0, 0);
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(b);
+            if seen >= rank {
+                return bucket_bounds(i);
+            }
+        }
+        bucket_bounds(BUCKETS - 1)
+    }
+
+    /// Upper-bound estimate of the `q`-quantile: the exact sorted value
+    /// is guaranteed to lie within the same bucket, i.e. in
+    /// `[quantile_bounds(q).0, quantile(q)]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bounds(q).1
+    }
+
+    /// Upper bound of the highest non-empty bucket — an upper estimate
+    /// of the maximum recorded value. `0` for an empty snapshot.
+    pub fn max_bound(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&b| b > 0)
+            .map(|i| bucket_bounds(i).1)
+            .unwrap_or(0)
+    }
+
+    /// Element-wise saturating merge: associative and commutative, so
+    /// shard snapshots can fold in any order with one result.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a = a.saturating_add(*b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_value_space() {
+        for (v, want) in [(0u64, 0usize), (1, 1), (2, 2), (3, 2), (4, 3), (1023, 10)] {
+            assert_eq!(bucket_of(v), want, "bucket of {v}");
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        // Every value lies within its own bucket's bounds, and bounds tile.
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= hi);
+            assert_eq!(bucket_of(lo), i);
+            assert_eq!(bucket_of(hi), i);
+            if i + 1 < BUCKETS {
+                assert_eq!(bucket_bounds(i + 1).0, hi + 1, "bucket {i} must tile");
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_quantile_bracket_exact_values() {
+        let h = Histogram::new();
+        let values = [0u64, 1, 5, 5, 9, 100, 100_000, 3_000_000];
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), values.len() as u64);
+        let mut sorted = values;
+        sorted.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let (lo, hi) = snap.quantile_bounds(q);
+            assert!(
+                lo <= exact && exact <= hi,
+                "q={q}: exact {exact} outside [{lo}, {hi}]"
+            );
+        }
+        assert!(snap.max_bound() >= *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn disabled_histogram_records_nothing() {
+        let h = Histogram::disabled();
+        h.record(42);
+        assert!(!h.is_enabled());
+        assert!(h.snapshot().is_empty());
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = HistSnapshot::default();
+        a.buckets[3] = u64::MAX - 1;
+        let mut b = HistSnapshot::default();
+        b.buckets[3] = 5;
+        a.merge(&b);
+        assert_eq!(a.buckets[3], u64::MAX);
+        assert_eq!(a.count(), u64::MAX);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let snap = Histogram::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.max_bound(), 0);
+    }
+}

@@ -67,7 +67,7 @@ pub use live::LiveCorpus;
 pub use scheduler::{
     AnnotationService, Rejection, RequestFailed, RequestHandle, RequestOutcome, ServiceConfig,
 };
-pub use stats::{ClientStats, ClusterTelemetry, LatencySummary, ServiceStats};
+pub use stats::{ClientStats, ClusterTelemetry, LatencySummary, ServiceStats, StageStats};
 // The persistence layer's error type, surfaced by
 // `AnnotationService::snapshot_now` (and mapped onto the wire by the
 // `SNAPSHOT` verb) — re-exported so callers need not depend on

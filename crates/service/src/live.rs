@@ -19,8 +19,9 @@
 //! stream.
 
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
+use teda_obs::{stage, Histogram, Registry, Stopwatch};
 use teda_store::{CompactionReport, CorpusStore, DeltaOp, MapStats, StoreError, TierPolicy};
 use teda_websim::{InvertedIndex, Segment, SegmentOp, SegmentedCorpus, SwappableBackend, WebPage};
 
@@ -42,6 +43,13 @@ pub struct LiveCorpus {
     snapshot: Mutex<Option<Arc<teda_store::MappedSnapshot>>>,
     current: Mutex<Arc<SegmentedCorpus>>,
     backend: Arc<SwappableBackend>,
+    /// `compaction` stage histogram, attached by the service that
+    /// serves this corpus (see [`attach_obs`](Self::attach_obs)); a
+    /// standalone `LiveCorpus` records nothing.
+    hist_compaction: OnceLock<Arc<Histogram>>,
+    /// `page_hydration` stage histogram, forwarded to the mapped
+    /// snapshot (and re-forwarded after every fold/merge reload).
+    hist_hydration: OnceLock<Arc<Histogram>>,
 }
 
 impl LiveCorpus {
@@ -94,7 +102,30 @@ impl LiveCorpus {
             snapshot: Mutex::new(snapshot),
             current: Mutex::new(corpus),
             backend,
+            hist_compaction: OnceLock::new(),
+            hist_hydration: OnceLock::new(),
         })
+    }
+
+    /// Attaches the serving node's observability registry: compaction
+    /// work (tier merges, full folds, and the reload they force)
+    /// records into its `compaction` stage histogram, and in mapped
+    /// mode every page hydration records into `page_hydration`. First
+    /// attach wins; [`crate::AnnotationService::start_live`] calls this.
+    pub fn attach_obs(&self, obs: &Registry) {
+        let _ = self.hist_compaction.set(obs.histogram(stage::COMPACTION));
+        let _ = self
+            .hist_hydration
+            .set(obs.histogram(stage::PAGE_HYDRATION));
+        if let (Some(hist), Some(snapshot)) = (
+            self.hist_hydration.get(),
+            self.snapshot
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .as_ref(),
+        ) {
+            snapshot.attach_hydration_histogram(Arc::clone(hist));
+        }
     }
 
     /// Mapping counters in mapped mode (`None` on the heap path). The
@@ -169,6 +200,11 @@ impl LiveCorpus {
         );
         **current = Arc::clone(&next);
         self.backend.swap(next);
+        // Time the compaction probe + any reload it forces, but only
+        // record when compaction actually did work — the every-update
+        // no-op probe would otherwise drown the distribution.
+        let watch =
+            Stopwatch::started_if(self.hist_compaction.get().is_some_and(|h| h.is_enabled()));
         let report = self.store.maybe_compact(self.policy)?;
         if report.full_fold || report.merges > 0 {
             // Reload from the compacted store; in mapped mode this maps
@@ -176,6 +212,9 @@ impl LiveCorpus {
             // valid for any in-flight reader holding the old view).
             let reloaded = if self.mapped {
                 let load = self.store.load_segmented_mapped()?;
+                if let Some(hist) = self.hist_hydration.get() {
+                    load.snapshot.attach_hydration_histogram(Arc::clone(hist));
+                }
                 *self.snapshot.lock().unwrap_or_else(PoisonError::into_inner) = Some(load.snapshot);
                 Arc::new(load.corpus)
             } else {
@@ -183,6 +222,9 @@ impl LiveCorpus {
             };
             **current = Arc::clone(&reloaded);
             self.backend.swap(reloaded);
+            if let (Some(h), true) = (self.hist_compaction.get(), watch.is_running()) {
+                h.record(watch.elapsed_us());
+            }
         }
         Ok(report)
     }

@@ -21,7 +21,7 @@
 //! per-client counters — a bulk ingester sharing the pool with an
 //! interactive caller can no longer starve it.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
@@ -34,10 +34,11 @@ use teda_core::pipeline::{BatchAnnotator, TableAnnotations};
 use teda_core::stream::{
     AnnotatedTable, AnnotationSink, IntoArcTable, SourceError, StreamSummary, TableSource,
 };
+use teda_obs::{stage, Histogram, Registry, StageTimer, TraceCtx};
 use teda_tabular::Table;
 
 use crate::fairness::{Admission, Cancelled, ClientId};
-use crate::stats::{LatencySummary, ServiceStats};
+use crate::stats::{LatencySummary, ServiceStats, StageStats};
 
 /// Scheduler and budget knobs of an [`AnnotationService`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,6 +92,15 @@ pub struct ServiceConfig {
     /// Results are bit-identical either way. [`ServiceStats`] reports
     /// the mapping's resident-bytes and hydration counters when on.
     pub mmap_corpus: bool,
+    /// Telemetry master switch. `true` (the default) wires a recording
+    /// [`teda_obs::Registry`] through the pipeline: per-stage latency
+    /// histograms, per-request trace spans, and the `METRICS` /
+    /// `TRACE-DUMP` wire exposition. `false` installs a no-op registry
+    /// — every recording site costs one predictable branch and no
+    /// clock read. Results are bit-identical either way (`exp_obs`
+    /// asserts it); with telemetry off, [`ServiceStats::latency`] and
+    /// the per-stage histograms read as zero.
+    pub telemetry: bool,
 }
 
 impl Default for ServiceConfig {
@@ -106,6 +116,7 @@ impl Default for ServiceConfig {
             max_tracked_clients: 1_024,
             store_dir: None,
             mmap_corpus: false,
+            telemetry: true,
         }
     }
 }
@@ -189,31 +200,15 @@ struct Job {
     enqueued: Instant,
     reserved: u64,
     reply: SyncSender<Result<RequestOutcome, RequestFailed>>,
-}
-
-/// Completed-request latencies kept for the percentile report. A
-/// long-running service must not remember every request forever, so the
-/// window is a fixed-size ring: p50/p99 describe the most recent
-/// [`LATENCY_WINDOW`] completions, which is also what an operator wants
-/// from a live service (current behaviour, not day-one history).
-const LATENCY_WINDOW: usize = 4096;
-
-/// Fixed-size ring of recent latencies.
-#[derive(Debug, Default)]
-struct LatencyRing {
-    buf: Vec<Duration>,
-    next: usize,
-}
-
-impl LatencyRing {
-    fn push(&mut self, d: Duration) {
-        if self.buf.len() < LATENCY_WINDOW {
-            self.buf.push(d);
-        } else {
-            self.buf[self.next] = d;
-            self.next = (self.next + 1) % LATENCY_WINDOW;
-        }
-    }
+    /// Monotonic submission ticket — the key of the in-flight registry.
+    ticket: u64,
+    /// The request's trace context (inert when telemetry is off or the
+    /// caller disabled tracing): queue-wait and annotate spans land
+    /// here, and the worker finishes the tree on completion.
+    trace: TraceCtx,
+    /// Trace-relative enqueue offset, so the worker can record the
+    /// queue-wait span it did not start.
+    trace_enqueued_us: u64,
 }
 
 /// State shared between the submit path and the workers.
@@ -238,19 +233,41 @@ struct Shared {
     /// Live corpus updates published while serving (each one swapped
     /// the search backend and invalidated the query memo).
     corpus_refreshes: AtomicU64,
-    latencies: Mutex<LatencyRing>,
+    /// The node's observability surface: stage histograms, the trace
+    /// ring, exposition. A no-op registry when telemetry is off.
+    obs: Arc<Registry>,
+    /// Stage histograms cached at start so the completion path records
+    /// with one atomic increment — never the registry's lookup lock.
+    hist_request: Arc<Histogram>,
+    hist_queue_wait: Arc<Histogram>,
+    hist_annotate: Arc<Histogram>,
+    /// Accepted-but-unfinished requests: ticket → submit instant.
+    /// Tickets are monotonic, so the first entry is the oldest request
+    /// still in flight — [`ServiceStats::inflight_oldest_ms`] reads it,
+    /// which is how a wedged worker shows up in stats *while* it is
+    /// wedged instead of only after its latency lands.
+    inflight: Mutex<BTreeMap<u64, Instant>>,
+    next_ticket: AtomicU64,
 }
 
 impl Shared {
-    /// Pushes one completion latency into the ring. A poisoned ring
-    /// (a thread panicked mid-push) is recovered, not propagated: the
-    /// ring holds plain `Duration`s with no cross-entry invariant, so
-    /// the worst a panic can leave behind is one stale slot.
-    fn record_latency(&self, latency: Duration) {
-        self.latencies
+    /// Registers an accepted submission in the in-flight map. Poisoning
+    /// is recovered, not propagated: entries are independent
+    /// `(ticket, Instant)` pairs with no cross-entry invariant.
+    fn note_inflight(&self, ticket: u64) {
+        self.inflight
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .push(latency);
+            .insert(ticket, Instant::now());
+    }
+
+    /// Retires a submission from the in-flight map (completion, panic,
+    /// or an enqueue that failed after registering).
+    fn clear_inflight(&self, ticket: u64) {
+        self.inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&ticket);
     }
 }
 
@@ -313,6 +330,11 @@ impl AnnotationService {
         config.workers = workers;
         let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
+        let obs = if config.telemetry {
+            Registry::new("service")
+        } else {
+            Registry::noop("service")
+        };
         let shared = Arc::new(Shared {
             annotator,
             admission: Admission::new(
@@ -330,8 +352,17 @@ impl AnnotationService {
             backpressure_waits: AtomicU64::new(0),
             restored_cache_entries: AtomicU64::new(restored),
             corpus_refreshes: AtomicU64::new(0),
-            latencies: Mutex::new(LatencyRing::default()),
+            hist_request: obs.histogram(stage::REQUEST),
+            hist_queue_wait: obs.histogram(stage::QUEUE_WAIT),
+            hist_annotate: obs.histogram(stage::ANNOTATE),
+            obs,
+            inflight: Mutex::new(BTreeMap::new()),
+            next_ticket: AtomicU64::new(1),
         });
+        // The engine's query cache reports into the same registry:
+        // `cache_lookup` for memoized answers, `search` for the leader
+        // engine calls behind misses.
+        shared.annotator.cache().attach_obs(&shared.obs);
         let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -379,6 +410,7 @@ impl AnnotationService {
         live: Arc<crate::live::LiveCorpus>,
     ) -> Self {
         let mut service = Self::start(annotator, config);
+        live.attach_obs(&service.shared.obs);
         service.live = Some(live);
         service
     }
@@ -435,6 +467,14 @@ impl AnnotationService {
         &self.shared.annotator
     }
 
+    /// The node's observability registry — stage histograms, completed
+    /// traces, and the `METRICS`/`TRACE-DUMP`/`STATS JSON` exposition
+    /// backends. A no-op registry when the service runs with
+    /// `telemetry: false`.
+    pub fn obs(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.obs)
+    }
+
     /// Submits one table for annotation as [`ClientId::ANONYMOUS`].
     /// Never blocks: the job is either queued (returning a
     /// [`RequestHandle`]) or shed with the reason. The table rides
@@ -451,6 +491,21 @@ impl AnnotationService {
         &self,
         client: &ClientId,
         table: Arc<Table>,
+    ) -> Result<RequestHandle, Rejection> {
+        let trace = self.shared.obs.start_trace("request");
+        self.submit_traced(client, table, trace)
+    }
+
+    /// [`submit_as`](Self::submit_as) under a caller-minted trace
+    /// context — the wire server's `TRACE <id>`-prefixed requests use
+    /// [`teda_obs::Registry::trace_with_id`] so the queue-wait and
+    /// annotate spans recorded here complete under the caller's id.
+    /// Pass [`TraceCtx::disabled`] to trace nothing.
+    pub fn submit_traced(
+        &self,
+        client: &ClientId,
+        table: Arc<Table>,
+        trace: TraceCtx,
     ) -> Result<RequestHandle, Rejection> {
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         let need = (table.n_rows() * table.n_cols()) as u64;
@@ -471,7 +526,7 @@ impl AnnotationService {
             return Err(Rejection::BudgetExhausted);
         }
 
-        self.enqueue(client, table, need, false)
+        self.enqueue(client, table, need, false, trace)
     }
 
     /// Submits one table, **blocking** instead of shedding: a full queue
@@ -501,7 +556,8 @@ impl AnnotationService {
         client: &ClientId,
         table: Arc<Table>,
     ) -> Result<RequestHandle, Rejection> {
-        self.submit_blocking_inner(client, table, None)
+        let trace = self.shared.obs.start_trace("request");
+        self.submit_blocking_inner(client, table, None, trace)
     }
 
     /// [`submit_blocking_as`](Self::submit_blocking_as) with an escape
@@ -517,7 +573,22 @@ impl AnnotationService {
         table: Arc<Table>,
         cancel: &std::sync::atomic::AtomicBool,
     ) -> Result<RequestHandle, Rejection> {
-        self.submit_blocking_inner(client, table, Some(cancel))
+        let trace = self.shared.obs.start_trace("request");
+        self.submit_blocking_traced(client, table, Some(cancel), trace)
+    }
+
+    /// The blocking submit path under a caller-minted trace context
+    /// (see [`submit_traced`](Self::submit_traced)); `cancel` behaves
+    /// as in
+    /// [`submit_blocking_cancellable`](Self::submit_blocking_cancellable).
+    pub fn submit_blocking_traced(
+        &self,
+        client: &ClientId,
+        table: Arc<Table>,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
+        trace: TraceCtx,
+    ) -> Result<RequestHandle, Rejection> {
+        self.submit_blocking_inner(client, table, cancel, trace)
     }
 
     fn submit_blocking_inner(
@@ -525,6 +596,7 @@ impl AnnotationService {
         client: &ClientId,
         table: Arc<Table>,
         cancel: Option<&std::sync::atomic::AtomicBool>,
+        trace: TraceCtx,
     ) -> Result<RequestHandle, Rejection> {
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         let need = (table.n_rows() * table.n_cols()) as u64;
@@ -551,7 +623,7 @@ impl AnnotationService {
             Err(Cancelled) => return Err(Rejection::Cancelled),
         }
 
-        self.enqueue(client, table, need, true)
+        self.enqueue(client, table, need, true, trace)
     }
 
     /// Wakes every submitter parked on a dry pool. Harmless for plain
@@ -573,6 +645,7 @@ impl AnnotationService {
         table: Arc<Table>,
         need: u64,
         blocking: bool,
+        trace: TraceCtx,
     ) -> Result<RequestHandle, Rejection> {
         let Some(tx) = &self.tx else {
             self.refund(need);
@@ -580,13 +653,23 @@ impl AnnotationService {
             return Err(Rejection::ShuttingDown);
         };
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let ticket = self.shared.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let trace_enqueued_us = trace.now_us();
         let job = Job {
             table,
             client: client.clone(),
             enqueued: Instant::now(),
             reserved: need,
             reply: reply_tx,
+            ticket,
+            trace,
+            trace_enqueued_us,
         };
+        // Register before the handoff: a request is "in flight" from
+        // the moment it is accepted, and the worker that retires the
+        // ticket cannot outrun an insert that happens first. Every
+        // failed handoff below deregisters.
+        self.shared.note_inflight(ticket);
         match tx.try_send(job) {
             Ok(()) => Ok(RequestHandle { reply: reply_rx }),
             Err(TrySendError::Full(job)) if blocking => {
@@ -598,6 +681,7 @@ impl AnnotationService {
                 match tx.send(job) {
                     Ok(()) => Ok(RequestHandle { reply: reply_rx }),
                     Err(_) => {
+                        self.shared.clear_inflight(ticket);
                         self.refund(need);
                         self.shared.admission.note_shed(client);
                         Err(Rejection::ShuttingDown)
@@ -605,12 +689,14 @@ impl AnnotationService {
                 }
             }
             Err(TrySendError::Full(_)) => {
+                self.shared.clear_inflight(ticket);
                 self.refund(need);
                 self.shared.shed_queue.fetch_add(1, Ordering::Relaxed);
                 self.shared.admission.note_shed(client);
                 Err(Rejection::QueueFull)
             }
             Err(TrySendError::Disconnected(_)) => {
+                self.shared.clear_inflight(ticket);
                 self.refund(need);
                 self.shared.admission.note_shed(client);
                 Err(Rejection::ShuttingDown)
@@ -754,6 +840,7 @@ impl AnnotationService {
     /// when the service runs without a `store_dir`, I/O failures
     /// otherwise — this is also the wire `SNAPSHOT` verb's backend.
     pub fn snapshot_now(&self) -> Result<usize, teda_store::StoreError> {
+        let _timer = StageTimer::start(self.shared.obs.histogram(stage::SNAPSHOT));
         let Some(dir) = &self.config.store_dir else {
             return Err(teda_store::StoreError::NotConfigured);
         };
@@ -764,18 +851,45 @@ impl AnnotationService {
     }
 
     /// A point-in-time report of the service counters. Latency
-    /// percentiles cover the most recent `LATENCY_WINDOW` completions.
+    /// percentiles come from the request-stage histogram — all
+    /// completions since start, each value reported as its log-bucket
+    /// upper bound (within 2× of exact; see `teda-obs`). All-zero when
+    /// the service runs with `telemetry: false`.
     pub fn stats(&self) -> ServiceStats {
-        // Copy the window out, then sort outside the lock so stats
-        // polling never stalls the workers' completion path. A poisoned
-        // ring (panic mid-push) is recovered: worst case one stale slot.
-        let latencies = self
+        let request = self.shared.hist_request.snapshot();
+        let latency = LatencySummary {
+            p50: Duration::from_micros(request.quantile(0.50)),
+            p99: Duration::from_micros(request.quantile(0.99)),
+            max: Duration::from_micros(request.max_bound()),
+        };
+        // Copy the oldest submit instant out and compute its age
+        // outside the lock, so stats polling holds it for two reads. A
+        // poisoned map (panic mid-insert) is recovered: worst case one
+        // stale ticket.
+        let (inflight, oldest_started) = {
+            let map = self
+                .shared
+                .inflight
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            (map.len() as u64, map.values().next().copied())
+        };
+        let inflight_oldest_ms = oldest_started
+            .map(|t0| t0.elapsed().as_millis() as u64)
+            .unwrap_or(0);
+        let stages = self
             .shared
-            .latencies
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .buf
-            .clone();
+            .obs
+            .snapshots()
+            .into_iter()
+            .map(|(stage, snap)| StageStats {
+                count: snap.count(),
+                p50_us: snap.quantile(0.50),
+                p99_us: snap.quantile(0.99),
+                max_us: snap.max_bound(),
+                stage,
+            })
+            .collect();
         let map_stats = self
             .live
             .as_ref()
@@ -803,7 +917,10 @@ impl AnnotationService {
             shard_fanouts,
             partial_results,
             replica_retries,
-            latency: LatencySummary::from_latencies(&latencies),
+            inflight,
+            inflight_oldest_ms,
+            latency,
+            stages,
             cache: self.shared.annotator.cache_stats(),
             geocode: self.shared.annotator.geo_stats(),
             clients: self.shared.admission.client_stats(),
@@ -910,9 +1027,19 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
         };
         let Ok(job) = job else { break };
         let queue_wait = job.enqueued.elapsed();
+        shared.hist_queue_wait.record(queue_wait.as_micros() as u64);
+        job.trace
+            .add_span(stage::QUEUE_WAIT, job.trace_enqueued_us, job.trace.now_us());
+        // Both timers are fire-and-forget: the annotate span and the
+        // stage histogram record on drop, whether the engine returns
+        // or unwinds.
+        let annotate_span = job.trace.span(stage::ANNOTATE);
+        let annotate_timer = StageTimer::start(Arc::clone(&shared.hist_annotate));
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             shared.annotator.annotate_table(&job.table)
         }));
+        annotate_timer.finish();
+        drop(annotate_span);
         match outcome {
             Ok(annotations) => {
                 // Return the unused share of the worst-case reservation:
@@ -924,7 +1051,9 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
                 );
                 let latency = job.enqueued.elapsed();
                 shared.completed.fetch_add(1, Ordering::Relaxed);
-                shared.record_latency(latency);
+                shared.hist_request.record(latency.as_micros() as u64);
+                shared.clear_inflight(job.ticket);
+                job.trace.finish();
                 let _ = job.reply.try_send(Ok(RequestOutcome {
                     annotations,
                     latency,
@@ -936,6 +1065,8 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
                 // refunded (true usage unknown), the caller is told.
                 shared.failed.fetch_add(1, Ordering::Relaxed);
                 shared.admission.on_failed(&job.client);
+                shared.clear_inflight(job.ticket);
+                job.trace.finish();
                 let _ = job.reply.try_send(Err(RequestFailed));
             }
         }
@@ -1375,10 +1506,12 @@ mod tests {
         assert_eq!(final_stats.failed, 1);
     }
 
-    /// Regression (lock-poisoning wedge, unit level): poisoning the
-    /// latencies ring directly must not break completions or stats.
+    /// Regression (lock-poisoning wedge, unit level): the latency path
+    /// is now a lock-free histogram, so the one mutex left on the
+    /// completion path is the in-flight map — poisoning it directly
+    /// must not break submissions, completions, or stats.
     #[test]
-    fn poisoned_latency_ring_is_recovered() {
+    fn poisoned_inflight_map_is_recovered() {
         let service = AnnotationService::start(
             annotator(Duration::ZERO),
             ServiceConfig {
@@ -1388,20 +1521,111 @@ mod tests {
         );
         let shared = Arc::clone(&service.shared);
         let _ = std::thread::spawn(move || {
-            let _guard = shared.latencies.lock().unwrap();
-            panic!("poison the latencies ring");
+            let _guard = shared.inflight.lock().unwrap();
+            panic!("poison the in-flight map");
         })
         .join();
         let outcome = service
             .submit(restaurant_table("poisoned"))
             .expect("submission still accepted")
             .wait()
-            .expect("completion path recovers the poisoned ring");
+            .expect("completion path recovers the poisoned map");
         assert!(outcome.latency >= outcome.queue_wait);
         let stats = service.stats();
         assert_eq!(stats.completed, 1);
+        assert_eq!(stats.inflight, 0, "completed ticket must be retired");
         assert_eq!(stats.latency.max, stats.latency.p99.max(stats.latency.max));
         service.shutdown();
+    }
+
+    /// Regression (satellite: in-flight visibility): a request that is
+    /// admitted but not yet complete used to be invisible — its latency
+    /// only landed in the summary *after* completion, so a wedged
+    /// worker looked healthy. `inflight` / `inflight_oldest_ms` must
+    /// expose it while it runs.
+    #[test]
+    fn stats_expose_inflight_requests_and_their_age() {
+        let service = AnnotationService::start(
+            annotator(Duration::from_millis(300)),
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        assert_eq!(service.stats().inflight, 0);
+        assert_eq!(service.stats().inflight_oldest_ms, 0);
+        let handle = service.submit(restaurant_table("slow")).expect("admitted");
+        // Poll until the slow request shows up as in flight with a
+        // growing age — well before its 300 ms engine stall completes.
+        let t0 = Instant::now();
+        let seen = loop {
+            let stats = service.stats();
+            if stats.inflight == 1 && stats.inflight_oldest_ms >= 50 {
+                break stats;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "in-flight request never surfaced in stats: {stats:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert_eq!(
+            seen.completed, 0,
+            "the request must still be running when observed"
+        );
+        handle.wait().expect("completes");
+        let done = service.shutdown();
+        assert_eq!(done.completed, 1);
+        assert_eq!(done.inflight, 0);
+        assert_eq!(done.inflight_oldest_ms, 0);
+        // The tail latency the old summary would have discarded until
+        // completion is now in the histogram too.
+        assert!(done.latency.max >= Duration::from_millis(300));
+    }
+
+    /// Stage histograms ride along in stats: one entry per recorded
+    /// stage, quantile bounds ordered, and a disabled-telemetry service
+    /// records nothing while returning identical annotations.
+    #[test]
+    fn stage_histograms_report_and_telemetry_off_is_bit_identical() {
+        let table = restaurant_table("obs");
+        let on = AnnotationService::start(
+            annotator(Duration::ZERO),
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let with_telemetry = on.submit(Arc::clone(&table)).unwrap().wait().unwrap();
+        let stats = on.stats();
+        for name in [stage::REQUEST, stage::QUEUE_WAIT, stage::ANNOTATE] {
+            let s = stats
+                .stage(name)
+                .unwrap_or_else(|| panic!("stage {name} missing from {:?}", stats.stages));
+            assert_eq!(s.count, 1);
+            assert!(s.p50_us <= s.p99_us && s.p99_us <= s.max_us);
+        }
+        assert!(on.obs().trace(1).is_some(), "request 1 leaves a trace");
+        on.shutdown();
+
+        let off = AnnotationService::start(
+            annotator(Duration::ZERO),
+            ServiceConfig {
+                workers: 1,
+                telemetry: false,
+                ..ServiceConfig::default()
+            },
+        );
+        let without = off.submit(table).unwrap().wait().unwrap();
+        assert_eq!(
+            without.annotations, with_telemetry.annotations,
+            "telemetry must never change a result bit"
+        );
+        let dark = off.stats();
+        assert!(dark.stages.iter().all(|s| s.count == 0));
+        assert_eq!(dark.latency, LatencySummary::default());
+        assert!(off.obs().trace_ids().is_empty());
+        off.shutdown();
     }
 
     /// Regression (busy-wait): a submitter blocked on a dry pool parks

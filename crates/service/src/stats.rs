@@ -46,6 +46,23 @@ impl ClusterTelemetry {
     }
 }
 
+/// One pipeline stage's latency distribution, summarized from its
+/// log-bucketed `teda-obs` histogram: counts are exact, quantiles and
+/// max are bucket upper bounds (within 2× of the true value).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Canonical stage name (see [`teda_obs::stage`]).
+    pub stage: String,
+    /// Recorded observations.
+    pub count: u64,
+    /// Median, µs (bucket upper bound).
+    pub p50_us: u64,
+    /// 99th percentile, µs (bucket upper bound).
+    pub p99_us: u64,
+    /// Upper bound of the slowest observation, µs.
+    pub max_us: u64,
+}
+
 /// Latency percentiles over the completed requests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencySummary {
@@ -156,9 +173,20 @@ pub struct ServiceStats {
     pub partial_results: u64,
     /// Failover retries a cluster router made against other replicas.
     pub replica_retries: u64,
-    /// Submit-to-completion latency percentiles (over the scheduler's
-    /// recent-completions window, not all-time history).
+    /// Requests admitted but not yet completed (queued or running).
+    /// The completed-only latency summary cannot see these; a wedged
+    /// request shows up here *while* it is wedged.
+    pub inflight: u64,
+    /// Age of the oldest in-flight request, in milliseconds; 0 when
+    /// nothing is in flight.
+    pub inflight_oldest_ms: u64,
+    /// Submit-to-completion latency percentiles, summarized from the
+    /// `request` stage histogram (all completions since start; values
+    /// are log-bucket upper bounds). All-zero with telemetry off.
     pub latency: LatencySummary,
+    /// Per-stage latency distributions (queue wait, annotate, snapshot,
+    /// …), sorted by stage name. Empty until a stage records.
+    pub stages: Vec<StageStats>,
     /// Query-cache accounting of the underlying batch engine.
     pub cache: CacheStats,
     /// Geocoding-memo accounting of the underlying batch engine.
@@ -172,6 +200,11 @@ impl ServiceStats {
     /// The counters of one client, if it has been seen.
     pub fn client(&self, name: &str) -> Option<&ClientStats> {
         self.clients.iter().find(|c| c.client == name)
+    }
+
+    /// The distribution of one pipeline stage, if it has recorded.
+    pub fn stage(&self, name: &str) -> Option<&StageStats> {
+        self.stages.iter().find(|s| s.stage == name)
     }
 
     /// Shed + rejected requests.

@@ -32,6 +32,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
+use teda_obs::{Histogram, StageTimer};
 use teda_websim::{
     assemble_results, BaseCorpus, PageFields, PageId, SearchBackend, SearchResult, WebCorpus,
 };
@@ -81,6 +82,11 @@ pub struct MappedSnapshot {
     core: OnceLock<Result<CoreIndexView, StoreError>>,
     pages: OnceLock<Result<Vec<[Span; 3]>, StoreError>>,
     hydrations: AtomicU64,
+    /// `page_hydration` stage histogram, attached by the serving layer
+    /// (see [`attach_hydration_histogram`]); unattached records nothing.
+    ///
+    /// [`attach_hydration_histogram`]: MappedSnapshot::attach_hydration_histogram
+    hist_hydration: OnceLock<Arc<Histogram>>,
 }
 
 impl MappedSnapshot {
@@ -100,7 +106,15 @@ impl MappedSnapshot {
             core: OnceLock::new(),
             pages: OnceLock::new(),
             hydrations: AtomicU64::new(0),
+            hist_hydration: OnceLock::new(),
         }))
+    }
+
+    /// Attaches the `page_hydration` latency histogram. The first
+    /// attachment wins; later calls are no-ops, so re-attaching after a
+    /// snapshot reload is always safe.
+    pub fn attach_hydration_histogram(&self, hist: Arc<Histogram>) {
+        let _ = self.hist_hydration.set(hist);
     }
 
     /// The whole file image (for binding segment files to this base).
@@ -178,6 +192,10 @@ impl MappedSnapshot {
     /// pages section on first touch. Each successful call counts one
     /// hydration.
     pub fn page_fields(&self, id: PageId) -> Result<PageFields<'_>, StoreError> {
+        let _timer = self
+            .hist_hydration
+            .get()
+            .map(|h| StageTimer::start(Arc::clone(h)));
         let table = self.page_table()?;
         if id.0 as usize >= table.len() {
             return Err(StoreError::Corrupt(format!(

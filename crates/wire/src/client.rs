@@ -181,6 +181,58 @@ impl WireClient {
         parse_shard_stats(&payload)
     }
 
+    /// `STATS JSON`: the full service counters — per-stage histograms
+    /// included — as one JSON object
+    /// ([`crate::protocol::render_stats_json`]).
+    pub fn stats_json(&mut self) -> Result<String, WireError> {
+        self.roundtrip(&Request::StatsJson)
+    }
+
+    /// `METRICS`: the node's stage histograms and counters in
+    /// Prometheus text exposition format.
+    pub fn metrics(&mut self) -> Result<String, WireError> {
+        self.roundtrip(&Request::Metrics)
+    }
+
+    /// `TRACE-DUMP <id>`: one completed span tree from the node's trace
+    /// ring, parsed back into a [`teda_obs::Trace`].
+    pub fn trace_dump(&mut self, id: u64) -> Result<teda_obs::Trace, WireError> {
+        let payload = self.roundtrip(&Request::TraceDump { id })?;
+        teda_obs::Trace::parse(&payload).map_err(WireError::BadRequest)
+    }
+
+    /// `TRACE <id> SEARCH …`: a scored search run under the caller's
+    /// trace id — the node records its span tree under `id`, ready for
+    /// [`trace_dump`](Self::trace_dump) and cross-node grafting.
+    pub fn search_traced(
+        &mut self,
+        id: u64,
+        query: &str,
+        k: usize,
+    ) -> Result<Vec<(PageId, f64)>, WireError> {
+        let payload = self.roundtrip(&Request::Traced {
+            id,
+            inner: Box::new(Request::Search {
+                k,
+                query: query.into(),
+                full: false,
+            }),
+        })?;
+        parse_scored(&payload)
+    }
+
+    /// `TRACE <id> ANNOTATE …`: a blocking submission run under the
+    /// caller's trace id.
+    pub fn annotate_traced(&mut self, id: u64, name: &str, csv: &str) -> Result<String, WireError> {
+        self.roundtrip(&Request::Traced {
+            id,
+            inner: Box::new(Request::Annotate {
+                name: name.into(),
+                csv: csv.into(),
+            }),
+        })
+    }
+
     /// `QUIT`: orderly close (the server answers `OK bye` first).
     pub fn quit(mut self) -> Result<String, WireError> {
         self.roundtrip(&Request::Quit)

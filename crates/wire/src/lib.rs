@@ -24,6 +24,10 @@
 //!   SEARCH <k> <query>       scored top-k page ids (exact f64 bits)
 //!   SEARCH-FULL <k> <query>  scored top-k with hydrated page fields
 //!   SHARD-STATS              shard identity + global corpus stats
+//!   STATS JSON               full ServiceStats as one JSON object
+//!   METRICS                  Prometheus-style stage histograms
+//!   TRACE-DUMP <id>          one completed span tree by trace id
+//!   TRACE <id> <request>     run SEARCH/ANNOTATE/TRY under trace id
 //!   QUIT                     orderly close
 //!   ```
 //!

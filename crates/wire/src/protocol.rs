@@ -19,9 +19,14 @@
 //!          | "SEARCH" SP k SP query LF      ; scored top-k page ids
 //!          | "SEARCH-FULL" SP k SP query LF ; scored top-k with page fields
 //!          | "SHARD-STATS" LF               ; shard identity + global stats
+//!          | "STATS" SP "JSON" LF           ; ServiceStats as one JSON object
+//!          | "METRICS" LF                   ; Prometheus-style exposition
+//!          | "TRACE-DUMP" SP id LF          ; one completed span tree by id
+//!          | "TRACE" SP id SP request LF    ; run request under trace id
 //!          | "QUIT" LF                      ; close the connection
 //! name     = 1*VCHAR                        ; no spaces, ≤ 256 bytes
 //! k        = 1*DIGIT                        ; ≤ MAX_K
+//! id       = 16HEXDIG                       ; a trace id, zero-padded hex
 //! csv      = escaped CSV document, optionally led by a "#types" row
 //!
 //! reply    = "OK" [SP payload] LF
@@ -167,6 +172,27 @@ pub enum Request {
     /// `SHARD-STATS` — this node's shard identity and the global corpus
     /// statistics it scores with ([`render_shard_stats`]).
     ShardStats,
+    /// `STATS JSON` — the full [`ServiceStats`] snapshot (per-stage
+    /// histograms included) as one JSON object ([`render_stats_json`]).
+    StatsJson,
+    /// `METRICS` — the node's stage histograms and counters in
+    /// Prometheus text exposition format (stable ordering).
+    Metrics,
+    /// `TRACE-DUMP <id>` — one completed span tree from the node's
+    /// trace ring, rendered by `teda_obs::Trace::render`.
+    TraceDump {
+        /// The trace id (16 zero-padded hex digits on the wire).
+        id: u64,
+    },
+    /// `TRACE <id> <request>` — run the inner request under the
+    /// caller's trace id, so a cross-node request reconstructs from one
+    /// id. Only `SEARCH`/`SEARCH-FULL`/`ANNOTATE`/`TRY` can be traced.
+    Traced {
+        /// The caller-minted trace id.
+        id: u64,
+        /// The request to run under that id.
+        inner: Box<Request>,
+    },
     /// `QUIT` — orderly connection close.
     Quit,
 }
@@ -181,9 +207,33 @@ impl Request {
         };
         match (verb, rest) {
             ("STATS", None) => Ok(Request::Stats),
+            ("STATS", Some("JSON")) => Ok(Request::StatsJson),
             ("BUDGET", None) => Ok(Request::Budget),
             ("SNAPSHOT", None) => Ok(Request::Snapshot),
             ("SHARD-STATS", None) => Ok(Request::ShardStats),
+            ("METRICS", None) => Ok(Request::Metrics),
+            ("TRACE-DUMP", Some(id)) => Ok(Request::TraceDump {
+                id: parse_trace_id(id)?,
+            }),
+            ("TRACE", Some(rest)) => {
+                let (id, inner_line) = rest.split_once(' ').ok_or_else(|| {
+                    WireError::BadRequest("TRACE needs an id and a request".into())
+                })?;
+                let id = parse_trace_id(id)?;
+                let inner = Request::parse(inner_line)?;
+                if !matches!(
+                    inner,
+                    Request::Search { .. } | Request::Annotate { .. } | Request::Try { .. }
+                ) {
+                    return Err(WireError::BadRequest(
+                        "TRACE only prefixes SEARCH/SEARCH-FULL/ANNOTATE/TRY".into(),
+                    ));
+                }
+                Ok(Request::Traced {
+                    id,
+                    inner: Box::new(inner),
+                })
+            }
             ("QUIT", None) => Ok(Request::Quit),
             ("CLIENT", Some(name)) => Ok(Request::Client {
                 name: valid_name(name)?.to_owned(),
@@ -216,12 +266,16 @@ impl Request {
                     full: verb == "SEARCH-FULL",
                 })
             }
-            ("STATS" | "BUDGET" | "SNAPSHOT" | "SHARD-STATS" | "QUIT", Some(_)) => {
+            ("STATS", Some(_)) => Err(WireError::BadRequest(
+                "STATS takes no arguments (or the single word JSON)".into(),
+            )),
+            ("BUDGET" | "SNAPSHOT" | "SHARD-STATS" | "METRICS" | "QUIT", Some(_)) => {
                 Err(WireError::BadRequest(format!("{verb} takes no arguments")))
             }
-            ("CLIENT" | "ANNOTATE" | "TRY" | "SEARCH" | "SEARCH-FULL", None) => {
-                Err(WireError::BadRequest(format!("{verb} needs arguments")))
-            }
+            (
+                "CLIENT" | "ANNOTATE" | "TRY" | "SEARCH" | "SEARCH-FULL" | "TRACE-DUMP" | "TRACE",
+                None,
+            ) => Err(WireError::BadRequest(format!("{verb} needs arguments"))),
             ("", _) => Err(WireError::BadRequest("empty request".into())),
             (other, _) => Err(WireError::BadRequest(format!(
                 "unknown verb {:?}",
@@ -244,6 +298,13 @@ impl Request {
                 format!("{verb} {k} {}\n", escape(query))
             }
             Request::ShardStats => "SHARD-STATS\n".into(),
+            Request::StatsJson => "STATS JSON\n".into(),
+            Request::Metrics => "METRICS\n".into(),
+            Request::TraceDump { id } => format!("TRACE-DUMP {id:016x}\n"),
+            Request::Traced { id, inner } => {
+                let inner_line = inner.encode();
+                format!("TRACE {id:016x} {}", inner_line)
+            }
             Request::Quit => "QUIT\n".into(),
         }
     }
@@ -251,13 +312,33 @@ impl Request {
     /// Whether the request is read-only and idempotent — safe for a
     /// client to retry on a fresh connection after a transport failure.
     /// Submissions (`ANNOTATE`/`TRY`) and state changes (`CLIENT`,
-    /// `SNAPSHOT`) are excluded: a retry could double-apply them.
+    /// `SNAPSHOT`) are excluded: a retry could double-apply them. A
+    /// `TRACE`-prefixed request inherits the inner request's answer —
+    /// retrying a traced search re-records its trace, but telemetry is
+    /// not service state.
     pub fn is_read_only(&self) -> bool {
-        matches!(
-            self,
-            Request::Stats | Request::Budget | Request::Search { .. } | Request::ShardStats
-        )
+        match self {
+            Request::Stats
+            | Request::Budget
+            | Request::Search { .. }
+            | Request::ShardStats
+            | Request::StatsJson
+            | Request::Metrics
+            | Request::TraceDump { .. } => true,
+            Request::Traced { inner, .. } => inner.is_read_only(),
+            _ => false,
+        }
     }
+}
+
+fn parse_trace_id(hex: &str) -> Result<u64, WireError> {
+    if hex.len() != 16 {
+        return Err(WireError::BadRequest(format!(
+            "trace id must be 16 hex digits, got {:?}",
+            hex.chars().take(20).collect::<String>()
+        )));
+    }
+    u64::from_str_radix(hex, 16).map_err(|_| WireError::BadRequest(format!("bad trace id {hex:?}")))
 }
 
 fn valid_name(name: &str) -> Result<&str, WireError> {
@@ -490,6 +571,113 @@ pub fn render_stats(s: &ServiceStats) -> String {
         // teda-lint: allow(panic_on_untrusted) -- fmt::Write into String is infallible
         .expect("string write");
     }
+    out
+}
+
+fn json_str(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                // teda-lint: allow(panic_on_untrusted) -- fmt::Write into String is infallible
+                write!(out, "\\u{:04x}", c as u32).expect("string write");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a [`ServiceStats`] snapshot as one JSON object — the
+/// `STATS JSON` payload. Every counter, the latency summary, the
+/// per-stage histogram summaries, cache/geocode accounting and the
+/// per-client table ride in a single machine-readable frame, so a
+/// scraper never reassembles them from the `key=value` text form.
+/// Key order is fixed (declaration order; stages and clients are
+/// pre-sorted by name), so equal snapshots render identically.
+pub fn render_stats_json(s: &ServiceStats) -> String {
+    use std::fmt::Write;
+
+    let mut out = String::with_capacity(1024);
+    // teda-lint: allow(panic_on_untrusted) -- fmt::Write into String is infallible
+    let mut put = |frag: std::fmt::Arguments<'_>| out.write_fmt(frag).expect("string write");
+    put(format_args!(
+        "{{\"submitted\":{},\"completed\":{},\"failed\":{},\"shed_queue\":{},\
+         \"shed_budget\":{},\"rejected_oversize\":{},\"stream_tables\":{},\
+         \"backpressure_waits\":{},\"restored_cache_entries\":{},\
+         \"corpus_refreshes\":{},\"mapped_bytes\":{},\"resident_bytes\":{},\
+         \"page_hydrations\":{},\"shard_fanouts\":{},\"partial_results\":{},\
+         \"replica_retries\":{},\"inflight\":{},\"inflight_oldest_ms\":{}",
+        s.submitted,
+        s.completed,
+        s.failed,
+        s.shed_queue,
+        s.shed_budget,
+        s.rejected_oversize,
+        s.stream_tables,
+        s.backpressure_waits,
+        s.restored_cache_entries,
+        s.corpus_refreshes,
+        s.mapped_bytes,
+        s.resident_bytes,
+        s.page_hydrations,
+        s.shard_fanouts,
+        s.partial_results,
+        s.replica_retries,
+        s.inflight,
+        s.inflight_oldest_ms,
+    ));
+    put(format_args!(
+        ",\"latency\":{{\"p50_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+        s.latency.p50.as_micros(),
+        s.latency.p99.as_micros(),
+        s.latency.max.as_micros(),
+    ));
+    put(format_args!(",\"stages\":["));
+    for (i, st) in s.stages.iter().enumerate() {
+        put(format_args!(
+            "{}{{\"stage\":{},\"count\":{},\"p50_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+            if i == 0 { "" } else { "," },
+            json_str(&st.stage),
+            st.count,
+            st.p50_us,
+            st.p99_us,
+            st.max_us,
+        ));
+    }
+    put(format_args!(
+        "],\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"expired\":{}}}",
+        s.cache.hits, s.cache.misses, s.cache.evictions, s.cache.expired,
+    ));
+    put(format_args!(
+        ",\"geocode\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}}",
+        s.geocode.hits, s.geocode.misses, s.geocode.evictions,
+    ));
+    put(format_args!(",\"clients\":["));
+    for (i, c) in s.clients.iter().enumerate() {
+        put(format_args!(
+            "{}{{\"client\":{},\"submitted\":{},\"completed\":{},\"failed\":{},\
+             \"shed\":{},\"granted\":{},\"bucket\":{},\"waiting\":{}}}",
+            if i == 0 { "" } else { "," },
+            json_str(&c.client),
+            c.submitted,
+            c.completed,
+            c.failed,
+            c.shed,
+            c.granted,
+            c.bucket,
+            c.waiting,
+        ));
+    }
+    put(format_args!("]}}"));
     out
 }
 
@@ -753,6 +941,24 @@ mod tests {
                 full: true,
             },
             Request::ShardStats,
+            Request::StatsJson,
+            Request::Metrics,
+            Request::TraceDump { id: 0x2a },
+            Request::Traced {
+                id: u64::MAX,
+                inner: Box::new(Request::Search {
+                    k: 5,
+                    query: "rome\ttrattoria".into(),
+                    full: true,
+                }),
+            },
+            Request::Traced {
+                id: 7,
+                inner: Box::new(Request::Annotate {
+                    name: "t3".into(),
+                    csv: "a\n1\n".into(),
+                }),
+            },
             Request::Quit,
         ];
         for req in reqs {
@@ -761,6 +967,50 @@ mod tests {
             assert_eq!(line.matches('\n').count(), 1, "one frame per request");
             assert_eq!(Request::parse(&line).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn trace_prefix_is_bounded_to_traceable_verbs() {
+        // A trace id is exactly 16 zero-padded hex digits.
+        assert!(Request::parse("TRACE-DUMP 000000000000002a\n").is_ok());
+        for bad in [
+            "TRACE-DUMP 2a",
+            "TRACE-DUMP 00000000000000zz",
+            "TRACE-DUMP",
+            "TRACE 000000000000002a",
+            "TRACE 2a SEARCH 1 q",
+        ] {
+            assert!(
+                matches!(Request::parse(bad), Err(WireError::BadRequest(_))),
+                "{bad:?} must be a bad-request"
+            );
+        }
+        // Only SEARCH/SEARCH-FULL/ANNOTATE/TRY can ride under TRACE —
+        // in particular a nested TRACE cannot.
+        for inner in [
+            "STATS",
+            "QUIT",
+            "METRICS",
+            "TRACE 0000000000000001 SEARCH 1 q",
+        ] {
+            let line = format!("TRACE 000000000000002a {inner}\n");
+            assert!(
+                matches!(Request::parse(&line), Err(WireError::BadRequest(_))),
+                "{inner:?} must not be traceable"
+            );
+        }
+        let ok = Request::parse("TRACE 000000000000002a SEARCH 3 pizza\n").unwrap();
+        assert_eq!(
+            ok,
+            Request::Traced {
+                id: 0x2a,
+                inner: Box::new(Request::Search {
+                    k: 3,
+                    query: "pizza".into(),
+                    full: false,
+                }),
+            }
+        );
     }
 
     #[test]
@@ -773,6 +1023,17 @@ mod tests {
                 k: 1,
                 query: "q".into(),
                 full: true,
+            },
+            Request::StatsJson,
+            Request::Metrics,
+            Request::TraceDump { id: 1 },
+            Request::Traced {
+                id: 1,
+                inner: Box::new(Request::Search {
+                    k: 1,
+                    query: "q".into(),
+                    full: false,
+                }),
             },
         ];
         assert!(read_only.iter().all(Request::is_read_only));
@@ -788,8 +1049,69 @@ mod tests {
             },
             Request::Snapshot,
             Request::Quit,
+            // A traced submission is still a submission.
+            Request::Traced {
+                id: 1,
+                inner: Box::new(Request::Annotate {
+                    name: "t".into(),
+                    csv: "a\n1\n".into(),
+                }),
+            },
         ];
         assert!(!mutating.iter().any(Request::is_read_only));
+    }
+
+    #[test]
+    fn stats_json_renders_every_section_with_escaped_names() {
+        use std::time::Duration;
+        use teda_service::{ClientStats, LatencySummary, StageStats};
+
+        let stats = ServiceStats {
+            submitted: 3,
+            completed: 2,
+            inflight: 1,
+            inflight_oldest_ms: 40,
+            latency: LatencySummary {
+                p50: Duration::from_micros(100),
+                p99: Duration::from_micros(900),
+                max: Duration::from_micros(1000),
+            },
+            stages: vec![StageStats {
+                stage: "annotate".into(),
+                count: 2,
+                p50_us: 64,
+                p99_us: 128,
+                max_us: 128,
+            }],
+            clients: vec![ClientStats {
+                client: "bulk \"loader\"\n".into(),
+                submitted: 3,
+                ..ClientStats::default()
+            }],
+            ..ServiceStats::default()
+        };
+        let json = render_stats_json(&stats);
+        // One frame, structurally balanced, with every section present.
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        for key in [
+            "\"submitted\":3",
+            "\"inflight\":1",
+            "\"inflight_oldest_ms\":40",
+            "\"latency\":{\"p50_us\":100,\"p99_us\":900,\"max_us\":1000}",
+            "\"stage\":\"annotate\"",
+            "\"cache\":{",
+            "\"geocode\":{",
+            "\"client\":\"bulk \\\"loader\\\"\\n\"",
+        ] {
+            assert!(json.contains(key), "missing {key:?} in {json}");
+        }
+        // The hostile client name must not leak a raw quote or newline.
+        assert!(!json.contains('\n'));
     }
 
     #[test]

@@ -27,12 +27,13 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 use teda_corpus::table_from_csv;
+use teda_obs::{stage, Registry as ObsRegistry, TraceCtx};
 use teda_service::{AnnotationService, ClientId, RequestHandle};
 use teda_websim::SearchBackend;
 
 use crate::protocol::{
     read_frame, render_annotations, render_hits, render_scored, render_shard_stats, render_stats,
-    Reply, Request, SearchHit, ShardInfo, ShardStatsReport, WireError,
+    render_stats_json, Reply, Request, SearchHit, ShardInfo, ShardStatsReport, WireError,
 };
 
 /// Threads and sockets the server must reap on shutdown.
@@ -64,6 +65,10 @@ struct NodeParts {
     search: Option<SearchNode>,
     /// Lifetime `SEARCH`/`SEARCH-FULL` counter, for `SHARD-STATS`.
     searches: AtomicU64,
+    /// The node's observability surface: the service's registry when
+    /// this node runs one (so `METRICS` sees the scheduler's stage
+    /// histograms), a fresh per-node registry on a search-only node.
+    obs: Arc<ObsRegistry>,
 }
 
 /// The line-protocol TCP front-end over one [`AnnotationService`],
@@ -124,10 +129,24 @@ impl WireServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let registry = Arc::new(Mutex::new(Registry::default()));
+        let obs = match &service {
+            Some(service) => service.obs(),
+            None => {
+                // A search-only node has no service registry — give it
+                // its own, labelled with its shard identity so grafted
+                // cross-node traces name the shard that produced them.
+                let name = match search.as_ref().and_then(|s| s.info) {
+                    Some(info) => format!("shard{}", info.shard),
+                    None => "node".to_string(),
+                };
+                ObsRegistry::new(&name)
+            }
+        };
         let parts = Arc::new(NodeParts {
             service,
             search,
             searches: AtomicU64::new(0),
+            obs,
         });
 
         let acceptor = {
@@ -275,6 +294,18 @@ fn handle_connection(parts: &NodeParts, stream: TcpStream, stop: &AtomicBool) {
                 Some(service) => Reply::Ok(render_stats(&service.stats())),
                 None => no_service(),
             },
+            Ok(Request::StatsJson) => match &parts.service {
+                Some(service) => Reply::Ok(render_stats_json(&service.stats())),
+                None => no_service(),
+            },
+            Ok(Request::Metrics) => Reply::Ok(parts.obs.to_prometheus()),
+            Ok(Request::TraceDump { id }) => match parts.obs.trace(id) {
+                Some(trace) => Reply::Ok(trace.render()),
+                None => Reply::Err(WireError::BadRequest(format!(
+                    "no completed trace {id:016x}"
+                ))),
+            },
+            Ok(Request::Traced { id, inner }) => serve_traced(parts, &client, id, *inner, stop),
             Ok(Request::Budget) => match &parts.service {
                 Some(service) => Reply::Ok(match service.remaining_budget() {
                     Some(n) => format!("budget {n}"),
@@ -294,11 +325,11 @@ fn handle_connection(parts: &NodeParts, stream: TcpStream, stop: &AtomicBool) {
                 None => no_service(),
             },
             Ok(Request::Annotate { name, csv }) => match &parts.service {
-                Some(service) => annotate(service, &client, &name, &csv, Some(stop)),
+                Some(service) => annotate(service, &client, &name, &csv, Some(stop), None),
                 None => no_service(),
             },
             Ok(Request::Try { name, csv }) => match &parts.service {
-                Some(service) => annotate(service, &client, &name, &csv, None),
+                Some(service) => annotate(service, &client, &name, &csv, None, None),
                 None => no_service(),
             },
             Ok(Request::Search { k, query, full }) => match &parts.search {
@@ -356,26 +387,94 @@ fn serve_search(node: &SearchNode, query: &str, k: usize, full: bool) -> Reply {
     Reply::Ok(render_hits(&hits))
 }
 
+/// Serves one `TRACE <id>`-prefixed request: the inner request runs
+/// under a trace context carrying the caller's id, so the tree this
+/// node records can be fetched with `TRACE-DUMP <id>` and grafted into
+/// the caller's tree — one id reconstructs a cross-node request.
+fn serve_traced(
+    parts: &NodeParts,
+    client: &ClientId,
+    id: u64,
+    inner: Request,
+    stop: &AtomicBool,
+) -> Reply {
+    match inner {
+        Request::Search { k, query, full } => match &parts.search {
+            Some(node) => {
+                parts.searches.fetch_add(1, Ordering::Relaxed);
+                let ctx = parts.obs.trace_with_id(id, "search");
+                let reply = {
+                    let _span = ctx.span(stage::SEARCH);
+                    serve_search(node, &query, k, full)
+                };
+                ctx.finish();
+                reply
+            }
+            None => Reply::Err(WireError::BadRequest(
+                "this node serves no search backend".into(),
+            )),
+        },
+        Request::Annotate { name, csv } => match &parts.service {
+            Some(service) => annotate(
+                service,
+                client,
+                &name,
+                &csv,
+                Some(stop),
+                Some(parts.obs.trace_with_id(id, "request")),
+            ),
+            None => Reply::Err(WireError::BadRequest(
+                "this node serves no annotation service".into(),
+            )),
+        },
+        Request::Try { name, csv } => match &parts.service {
+            Some(service) => annotate(
+                service,
+                client,
+                &name,
+                &csv,
+                None,
+                Some(parts.obs.trace_with_id(id, "request")),
+            ),
+            None => Reply::Err(WireError::BadRequest(
+                "this node serves no annotation service".into(),
+            )),
+        },
+        // `Request::parse` only wraps the three verbs above; an
+        // in-process caller handing us something else is a bad request,
+        // not a panic.
+        _ => Reply::Err(WireError::BadRequest(
+            "TRACE only prefixes SEARCH/SEARCH-FULL/ANNOTATE/TRY".into(),
+        )),
+    }
+}
+
 /// Parses and submits one table, waiting for the outcome. Every failure
 /// mode maps onto a typed wire error; nothing from untrusted input can
 /// unwind this thread. `Some(stop)` selects blocking admission
 /// (`ANNOTATE`), cancellable by server shutdown so a connection parked
 /// on a dry pool cannot deadlock the join; `None` selects the
-/// non-blocking `TRY` path.
+/// non-blocking `TRY` path. A `Some(trace)` runs the request under the
+/// caller's trace id.
 fn annotate(
     service: &AnnotationService,
     client: &ClientId,
     name: &str,
     csv: &str,
     blocking: Option<&AtomicBool>,
+    trace: Option<TraceCtx>,
 ) -> Reply {
     let table = match table_from_csv(csv, name) {
         Ok(table) => Arc::new(table),
         Err(e) => return Reply::Err(WireError::BadRequest(e.message().to_owned())),
     };
-    let submitted: Result<RequestHandle, _> = match blocking {
-        Some(stop) => service.submit_blocking_cancellable(client, Arc::clone(&table), stop),
-        None => service.submit_as(client, Arc::clone(&table)),
+    let submitted: Result<RequestHandle, _> = match (blocking, trace) {
+        (Some(stop), Some(tr)) => {
+            service.submit_blocking_traced(client, Arc::clone(&table), Some(stop), tr)
+        }
+        (Some(stop), None) => service.submit_blocking_cancellable(client, Arc::clone(&table), stop),
+        (None, Some(tr)) => service.submit_traced(client, Arc::clone(&table), tr),
+        (None, None) => service.submit_as(client, Arc::clone(&table)),
     };
     let handle = match submitted {
         Ok(handle) => handle,

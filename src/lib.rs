@@ -25,6 +25,9 @@
 //! * [`cluster`] — the sharded scatter-gather serving tier:
 //!   deterministic partitioner, shard servers, stateless router with
 //!   bit-identical top-k merge and replica failover.
+//! * [`obs`] — observability: lock-free log-bucketed histograms,
+//!   per-request trace spans, Prometheus/JSON exposition — recording
+//!   never perturbs a result bit.
 //! * [`simkit`] — virtual clock, seeded RNG, reporting helpers.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough, and
@@ -36,6 +39,7 @@ pub use teda_core as core;
 pub use teda_corpus as corpus;
 pub use teda_geo as geo;
 pub use teda_kb as kb;
+pub use teda_obs as obs;
 pub use teda_service as service;
 pub use teda_simkit as simkit;
 pub use teda_store as store;

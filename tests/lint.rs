@@ -116,6 +116,30 @@ fn fixture_wallclock_trips_exactly_wallclock() {
 }
 
 #[test]
+fn fixture_wallclock_exempt_obs_clock_is_clean_but_scoring_still_trips() {
+    // The same clock-reading source is clean under the roles derived
+    // for the obs clock facade (the WALLCLOCK_EXEMPT carve-out with its
+    // written proof) and a finding under any non-exempt scoring module
+    // — the exemption is a named hole, not a weakening of the lint.
+    let obs_roles = Roles::for_path("crates/obs/src/clock.rs");
+    assert!(!obs_roles.scoring, "obs clock must be wallclock-exempt");
+    assert!(
+        teda_lint::wallclock_exemption("crates/obs/src/clock.rs").is_some(),
+        "the exemption must carry its proof"
+    );
+    let f = SourceFile::parse_with_roles(
+        "wallclock_exempt.rs",
+        &fixture("wallclock_exempt.rs"),
+        obs_roles,
+    );
+    assert!(run_all_lints(&[f]).is_empty());
+    assert_eq!(
+        lints_tripped("wallclock_exempt.rs", SCORING),
+        vec!["wallclock_in_scoring"; 3]
+    );
+}
+
+#[test]
 fn fixture_compat_trips_exactly_compat() {
     assert_eq!(
         lints_tripped("compat.rs", NO_ROLES),
@@ -232,6 +256,7 @@ fn every_fixture_is_covered_by_a_test() {
             "nondet_iter_sorted.rs",
             "panic_untrusted.rs",
             "wallclock.rs",
+            "wallclock_exempt.rs",
         ]
     );
 }
